@@ -1,0 +1,593 @@
+//! Multilevel k-way hypergraph partitioning by recursive bisection.
+//!
+//! A from-scratch implementation of the classical multilevel scheme
+//! (PaToH/hMETIS style), the paper's "computationally expensive"
+//! load-balancing baseline:
+//!
+//! 1. **Coarsening** — heavy-connectivity vertex matching until the
+//!    hypergraph is small;
+//! 2. **Initial partitioning** — randomized greedy region growth on the
+//!    coarsest level, best of several tries;
+//! 3. **Uncoarsening + FM refinement** — project the bisection back
+//!    through the levels, improving the connectivity cut at each level
+//!    with Fiduccia–Mattheyses passes under a balance constraint.
+//!
+//! k-way partitions come from recursive bisection with proportional
+//! target weights, so any `k ≥ 1` is supported.
+
+use crate::hypergraph::Hypergraph;
+
+/// Partitioner configuration.
+#[derive(Debug, Clone)]
+pub struct HgpConfig {
+    /// Allowed part-weight deviation as a fraction of total weight
+    /// (per bisection).
+    pub epsilon: f64,
+    /// RNG seed (fully deterministic given the seed).
+    pub seed: u64,
+    /// Stop coarsening below this many vertices.
+    pub coarsen_until: usize,
+    /// FM passes per uncoarsening level.
+    pub fm_passes: usize,
+    /// Random restarts for the initial partition.
+    pub initial_tries: usize,
+}
+
+impl Default for HgpConfig {
+    fn default() -> Self {
+        HgpConfig { epsilon: 0.05, seed: 0x9a27, coarsen_until: 64, fm_passes: 3, initial_tries: 6 }
+    }
+}
+
+/// Partitions `hg` into `k` parts; returns `parts[v] ∈ 0..k`.
+pub fn partition(hg: &Hypergraph, k: usize, cfg: &HgpConfig) -> Vec<u32> {
+    assert!(k >= 1, "k must be at least 1");
+    let mut parts = vec![0u32; hg.nv()];
+    if k == 1 || hg.nv() == 0 {
+        return parts;
+    }
+    let ids: Vec<usize> = (0..hg.nv()).collect();
+    recurse(hg, &ids, k, 0, cfg, cfg.seed, &mut parts);
+    parts
+}
+
+/// Recursively bisects the sub-hypergraph induced by `ids`, writing
+/// part labels `base..base+k` into `parts`.
+fn recurse(
+    hg: &Hypergraph,
+    ids: &[usize],
+    k: usize,
+    base: u32,
+    cfg: &HgpConfig,
+    seed: u64,
+    parts: &mut [u32],
+) {
+    if k == 1 {
+        for &v in ids {
+            parts[v] = base;
+        }
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let f = k0 as f64 / k as f64;
+
+    let sub = extract(hg, ids);
+    let sides = multilevel_bisect(&sub, f, cfg, seed);
+
+    let left: Vec<usize> = ids.iter().enumerate().filter(|(i, _)| sides[*i] == 0).map(|(_, &v)| v).collect();
+    let right: Vec<usize> = ids.iter().enumerate().filter(|(i, _)| sides[*i] == 1).map(|(_, &v)| v).collect();
+    recurse(hg, &left, k0, base, cfg, seed.wrapping_mul(6364136223846793005).wrapping_add(1), parts);
+    recurse(hg, &right, k1, base + k0 as u32, cfg, seed.wrapping_mul(6364136223846793005).wrapping_add(2), parts);
+}
+
+/// Induces the sub-hypergraph on `ids` (nets restricted to kept pins).
+fn extract(hg: &Hypergraph, ids: &[usize]) -> Hypergraph {
+    let mut newid = vec![u32::MAX; hg.nv()];
+    for (ni, &v) in ids.iter().enumerate() {
+        newid[v] = ni as u32;
+    }
+    let vwts: Vec<f64> = ids.iter().map(|&v| hg.vwts[v]).collect();
+    let mut nets = Vec::new();
+    let mut nwts = Vec::new();
+    for (net, &w) in hg.nets.iter().zip(&hg.nwts) {
+        let pins: Vec<u32> = net.iter().filter_map(|&v| {
+            let n = newid[v as usize];
+            (n != u32::MAX).then_some(n)
+        }).collect();
+        if pins.len() >= 2 {
+            nets.push(pins);
+            nwts.push(w);
+        }
+    }
+    Hypergraph::new(vwts, nets, nwts)
+}
+
+/// One multilevel bisection: returns side (0/1) per vertex, targeting
+/// fraction `f` of the total weight on side 0.
+fn multilevel_bisect(hg: &Hypergraph, f: f64, cfg: &HgpConfig, seed: u64) -> Vec<u8> {
+    // --- Coarsening ---
+    struct Level {
+        hg: Hypergraph,
+        /// fine vertex → coarse vertex of the *next* level.
+        map: Vec<u32>,
+    }
+    let mut levels: Vec<Level> = Vec::new();
+    let mut current = hg.clone();
+    let mut rng = Rng::new(seed ^ 0xc0a53);
+    while current.nv() > cfg.coarsen_until {
+        let map = heavy_connectivity_matching(&current, &mut rng);
+        let coarse_nv = 1 + map.iter().copied().max().unwrap_or(0) as usize;
+        if coarse_nv as f64 > 0.95 * current.nv() as f64 {
+            break; // coarsening stalled
+        }
+        let coarse = coarsen(&current, &map, coarse_nv);
+        levels.push(Level { hg: current, map });
+        current = coarse;
+    }
+
+    // --- Initial partition on the coarsest level ---
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    for t in 0..cfg.initial_tries.max(1) {
+        let mut sides = grow_bisection(&current, f, &mut rng);
+        let inc = current.vertex_nets();
+        for _ in 0..cfg.fm_passes {
+            if !fm_pass(&current, &inc, &mut sides, f, cfg.epsilon, &mut rng) {
+                break;
+            }
+        }
+        let cut = bisection_cut(&current, &sides);
+        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+            best = Some((cut, sides));
+        }
+        let _ = t;
+    }
+    let mut sides = best.expect("at least one initial try").1;
+
+    // --- Uncoarsen + refine ---
+    for level in levels.iter().rev() {
+        let mut fine_sides = vec![0u8; level.hg.nv()];
+        for (v, &c) in level.map.iter().enumerate() {
+            fine_sides[v] = sides[c as usize];
+        }
+        let inc = level.hg.vertex_nets();
+        for _ in 0..cfg.fm_passes {
+            if !fm_pass(&level.hg, &inc, &mut fine_sides, f, cfg.epsilon, &mut rng) {
+                break;
+            }
+        }
+        sides = fine_sides;
+    }
+    sides
+}
+
+/// Heavy-connectivity matching: pairs each vertex with the unmatched
+/// neighbour sharing the largest net-weight density. Returns the fine→
+/// coarse vertex map.
+fn heavy_connectivity_matching(hg: &Hypergraph, rng: &mut Rng) -> Vec<u32> {
+    const MAX_NET_FOR_MATCHING: usize = 64;
+    let nv = hg.nv();
+    let inc = hg.vertex_nets();
+    let mut order: Vec<usize> = (0..nv).collect();
+    rng.shuffle(&mut order);
+    let mut mate = vec![u32::MAX; nv];
+    let mut score = vec![0.0f64; nv];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut coarse = vec![u32::MAX; nv];
+    let mut next_coarse = 0u32;
+
+    for &u in &order {
+        if mate[u] != u32::MAX {
+            continue;
+        }
+        // Score unmatched neighbours by shared connectivity.
+        for &ni in &inc[u] {
+            let net = &hg.nets[ni as usize];
+            if net.len() > MAX_NET_FOR_MATCHING {
+                continue;
+            }
+            let density = hg.nwts[ni as usize] / (net.len() - 1) as f64;
+            for &v in net {
+                let v = v as usize;
+                if v != u && mate[v] == u32::MAX {
+                    if score[v] == 0.0 {
+                        touched.push(v);
+                    }
+                    score[v] += density;
+                }
+            }
+        }
+        let mut bestv = None;
+        let mut bests = 0.0;
+        for &v in &touched {
+            if score[v] > bests {
+                bests = score[v];
+                bestv = Some(v);
+            }
+        }
+        for &v in &touched {
+            score[v] = 0.0;
+        }
+        touched.clear();
+
+        let c = next_coarse;
+        next_coarse += 1;
+        coarse[u] = c;
+        mate[u] = u as u32;
+        if let Some(v) = bestv {
+            coarse[v] = c;
+            mate[v] = v as u32;
+        }
+    }
+    coarse
+}
+
+/// Builds the coarse hypergraph for a matching map.
+fn coarsen(hg: &Hypergraph, map: &[u32], coarse_nv: usize) -> Hypergraph {
+    let mut vwts = vec![0.0; coarse_nv];
+    for (v, &c) in map.iter().enumerate() {
+        vwts[c as usize] += hg.vwts[v];
+    }
+    let nets: Vec<Vec<u32>> =
+        hg.nets.iter().map(|net| net.iter().map(|&v| map[v as usize]).collect()).collect();
+    Hypergraph::new(vwts, nets, hg.nwts.clone())
+}
+
+/// Random greedy region growth targeting `f` of the weight on side 0.
+fn grow_bisection(hg: &Hypergraph, f: f64, rng: &mut Rng) -> Vec<u8> {
+    let nv = hg.nv();
+    if nv == 0 {
+        return Vec::new();
+    }
+    let total: f64 = hg.vwts.iter().sum();
+    let target0 = f * total;
+    let inc = hg.vertex_nets();
+    let mut side = vec![1u8; nv];
+    let mut w0 = 0.0;
+    let mut queue = std::collections::VecDeque::new();
+    let mut enqueued = vec![false; nv];
+
+    while w0 < target0 {
+        let u = match queue.pop_front() {
+            Some(u) => u,
+            None => {
+                // Start (or restart) from a random unassigned vertex.
+                match (0..nv).filter(|&v| side[v] == 1 && !enqueued[v]).nth(rng.below(nv)) {
+                    Some(u) => u,
+                    None => match (0..nv).find(|&v| side[v] == 1) {
+                        Some(u) => u,
+                        None => break,
+                    },
+                }
+            }
+        };
+        if side[u] == 0 {
+            continue;
+        }
+        // Stop before badly overshooting the target.
+        if w0 + hg.vwts[u] > target0 + 0.5 * hg.vwts[u] && w0 > 0.0 {
+            // Still take it if we're far from the target.
+            if w0 >= 0.8 * target0 {
+                break;
+            }
+        }
+        side[u] = 0;
+        w0 += hg.vwts[u];
+        for &ni in &inc[u] {
+            for &v in &hg.nets[ni as usize] {
+                let v = v as usize;
+                if side[v] == 1 && !enqueued[v] {
+                    enqueued[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    side
+}
+
+/// Weighted cut of a bisection (connectivity cut with k = 2 equals the
+/// plain cut-net metric).
+fn bisection_cut(hg: &Hypergraph, side: &[u8]) -> f64 {
+    let mut cut = 0.0;
+    for (net, &w) in hg.nets.iter().zip(&hg.nwts) {
+        let s0 = side[net[0] as usize];
+        if net.iter().any(|&v| side[v as usize] != s0) {
+            cut += w;
+        }
+    }
+    cut
+}
+
+/// One FM pass. Returns true if the pass improved the cut.
+fn fm_pass(
+    hg: &Hypergraph,
+    inc: &[Vec<u32>],
+    side: &mut [u8],
+    f: f64,
+    epsilon: f64,
+    _rng: &mut Rng,
+) -> bool {
+    let nv = hg.nv();
+    if nv == 0 {
+        return false;
+    }
+    let total: f64 = hg.vwts.iter().sum();
+    let target0 = f * total;
+    let slack = epsilon * total;
+
+    // Per-net pin counts on side 0 / side 1.
+    let mut cnt = vec![[0u32; 2]; hg.nets.len()];
+    for (ni, net) in hg.nets.iter().enumerate() {
+        for &v in net {
+            cnt[ni][side[v as usize] as usize] += 1;
+        }
+    }
+    let gain = |v: usize, side: &[u8], cnt: &[[u32; 2]]| -> f64 {
+        let s = side[v] as usize;
+        let mut g = 0.0;
+        for &ni in &inc[v] {
+            let ni = ni as usize;
+            let w = hg.nwts[ni];
+            if cnt[ni][s] == 1 {
+                g += w; // net becomes uncut
+            }
+            if cnt[ni][1 - s] == 0 {
+                g -= w; // net becomes cut
+            }
+        }
+        g
+    };
+
+    let mut w0: f64 = (0..nv).filter(|&v| side[v] == 0).map(|v| hg.vwts[v]).sum();
+    let mut locked = vec![false; nv];
+    // Lazy max-heap of (gain, vertex); stale entries are skipped.
+    let mut heap: std::collections::BinaryHeap<HeapItem> = (0..nv)
+        .map(|v| HeapItem { gain: gain(v, side, &cnt), vertex: v as u32 })
+        .collect();
+
+    let mut applied: Vec<usize> = Vec::new();
+    let mut cum = 0.0;
+    let mut best_cum = 0.0;
+    let mut best_len = 0usize;
+    // Tie-break equal-cut prefixes by balance deviation, so FM also
+    // serves as the balance-repair step (essential for net-free or
+    // already-optimal-cut instances).
+    let mut best_dev = (w0 - target0).abs();
+
+    while let Some(HeapItem { gain: g, vertex }) = heap.pop() {
+        let v = vertex as usize;
+        if locked[v] {
+            continue;
+        }
+        let fresh = gain(v, side, &cnt);
+        if (fresh - g).abs() > 1e-12 {
+            heap.push(HeapItem { gain: fresh, vertex });
+            continue;
+        }
+        // Balance feasibility of moving v.
+        let wv = hg.vwts[v];
+        let new_w0 = if side[v] == 0 { w0 - wv } else { w0 + wv };
+        let now_dev = (w0 - target0).abs();
+        let new_dev = (new_w0 - target0).abs();
+        if new_dev > slack && new_dev >= now_dev {
+            // Infeasible and not improving balance: skip (stays locked
+            // out of this pass).
+            locked[v] = true;
+            continue;
+        }
+        // Apply the move.
+        let s = side[v] as usize;
+        for &ni in &inc[v] {
+            let ni = ni as usize;
+            cnt[ni][s] -= 1;
+            cnt[ni][1 - s] += 1;
+        }
+        side[v] = 1 - side[v];
+        w0 = new_w0;
+        locked[v] = true;
+        cum += fresh;
+        applied.push(v);
+        let dev = (w0 - target0).abs();
+        if cum > best_cum + 1e-12 || (cum > best_cum - 1e-12 && dev < best_dev - 1e-12) {
+            best_cum = cum.max(best_cum);
+            best_dev = dev;
+            best_len = applied.len();
+        }
+        // Refresh neighbour gains (lazy: push updated values).
+        for &ni in &inc[v] {
+            for &u in &hg.nets[ni as usize] {
+                let u = u as usize;
+                if !locked[u] {
+                    heap.push(HeapItem { gain: gain(u, side, &cnt), vertex: u as u32 });
+                }
+            }
+        }
+    }
+
+    // Roll back past the best prefix.
+    for &v in applied[best_len..].iter().rev() {
+        side[v] = 1 - side[v];
+    }
+    best_len > 0
+}
+
+/// Heap item ordered by gain (max-heap), ties by vertex id.
+struct HeapItem {
+    gain: f64,
+    vertex: u32,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("NaN gain")
+            .then(self.vertex.cmp(&other.vertex))
+    }
+}
+
+/// Deterministic splitmix64-based RNG (no external dependency in the
+/// partitioner hot path).
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of cliques: `m` groups of `g` vertices; heavy nets inside
+    /// groups, light nets linking consecutive groups. The natural
+    /// k = m partition cuts only the light links.
+    fn ring_of_cliques(m: usize, g: usize) -> Hypergraph {
+        let nv = m * g;
+        let mut nets = Vec::new();
+        let mut nwts = Vec::new();
+        for c in 0..m {
+            let members: Vec<u32> = (0..g).map(|i| (c * g + i) as u32).collect();
+            nets.push(members);
+            nwts.push(10.0);
+            // Light link to the next group.
+            nets.push(vec![(c * g) as u32, (((c + 1) % m) * g) as u32]);
+            nwts.push(1.0);
+        }
+        Hypergraph::new(vec![1.0; nv], nets, nwts)
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let hg = ring_of_cliques(2, 4);
+        let parts = partition(&hg, 1, &HgpConfig::default());
+        assert!(parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn bisection_is_balanced_and_valid() {
+        let hg = ring_of_cliques(4, 8);
+        let parts = partition(&hg, 2, &HgpConfig::default());
+        assert_eq!(parts.len(), 32);
+        assert!(parts.iter().all(|&p| p < 2));
+        let w = hg.part_weights(&parts, 2);
+        assert!((w[0] - w[1]).abs() <= 4.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn bisection_finds_the_obvious_cut() {
+        // Two heavy cliques joined by one light net: the cut should not
+        // split a clique.
+        let hg = ring_of_cliques(2, 10);
+        let parts = partition(&hg, 2, &HgpConfig::default());
+        let cut = hg.connectivity_cut(&parts, 2);
+        // Optimal cuts only the two inter-clique links (weight 1 each).
+        assert!(cut <= 2.0 + 1e-12, "cut {cut} parts {parts:?}");
+    }
+
+    #[test]
+    fn four_way_respects_structure() {
+        let hg = ring_of_cliques(4, 6);
+        let parts = partition(&hg, 4, &HgpConfig::default());
+        let w = hg.part_weights(&parts, 4);
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        let mean = w.iter().sum::<f64>() / 4.0;
+        assert!(max / mean <= 1.35, "weights {w:?}");
+        // Each heavy clique net should be internal to one part.
+        let cut = hg.connectivity_cut(&parts, 4);
+        assert!(cut <= 8.0, "cut {cut}");
+    }
+
+    #[test]
+    fn odd_k_supported() {
+        let hg = ring_of_cliques(6, 5);
+        let parts = partition(&hg, 3, &HgpConfig::default());
+        assert!(parts.iter().all(|&p| p < 3));
+        let w = hg.part_weights(&parts, 3);
+        assert!(w.iter().all(|&x| x > 0.0), "no empty parts expected: {w:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hg = ring_of_cliques(3, 7);
+        let cfg = HgpConfig::default();
+        assert_eq!(partition(&hg, 4, &cfg), partition(&hg, 4, &cfg));
+    }
+
+    #[test]
+    fn handles_netless_hypergraph() {
+        let hg = Hypergraph::new(vec![1.0; 10], vec![], vec![]);
+        let parts = partition(&hg, 2, &HgpConfig::default());
+        let w = hg.part_weights(&parts, 2);
+        assert!((w[0] - w[1]).abs() <= 2.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let hg = Hypergraph::new(vec![], vec![], vec![]);
+        assert!(partition(&hg, 4, &HgpConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn weighted_vertices_balanced_by_weight() {
+        // One heavy vertex + many light ones.
+        let mut vw = vec![1.0; 20];
+        vw[0] = 20.0;
+        let hg = Hypergraph::new(vw, vec![], vec![]);
+        let parts = partition(&hg, 2, &HgpConfig::default());
+        let w = hg.part_weights(&parts, 2);
+        // Heavy vertex alone ≈ the other side's 20 light ones.
+        assert!((w[0] - w[1]).abs() <= 4.0, "weights {w:?}");
+    }
+
+    #[test]
+    fn larger_instance_under_coarsening() {
+        // Big enough to exercise multiple coarsening levels.
+        let hg = ring_of_cliques(32, 16); // 512 vertices
+        let parts = partition(&hg, 8, &HgpConfig::default());
+        let w = hg.part_weights(&parts, 8);
+        let mean = w.iter().sum::<f64>() / 8.0;
+        let max = w.iter().cloned().fold(0.0, f64::max);
+        assert!(max / mean < 1.4, "imbalance {:.3}, weights {w:?}", max / mean);
+        // Cut should be far below "everything cut".
+        let worst: f64 = hg.nwts.iter().sum();
+        assert!(hg.connectivity_cut(&parts, 8) < 0.3 * worst);
+    }
+}

@@ -1,0 +1,129 @@
+//! The load-balancing problem model and assignment metrics.
+//!
+//! A *balancing problem* is a set of weighted tasks to be mapped onto
+//! `p` workers; an [`Assignment`] maps each task to one worker. Some
+//! balancers also use task→worker *candidate* restrictions (locality:
+//! the workers owning a task's data) and task→data affinities (for the
+//! hypergraph model).
+
+/// A task-to-worker mapping (`assignment[task] = worker`).
+pub type Assignment = Vec<u32>;
+
+/// A balancing problem instance.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Per-task cost estimates (non-negative).
+    pub weights: Vec<f64>,
+    /// Number of workers.
+    pub workers: usize,
+}
+
+impl Problem {
+    /// Creates a problem; panics on zero workers or negative weights.
+    pub fn new(weights: Vec<f64>, workers: usize) -> Problem {
+        assert!(workers > 0, "need at least one worker");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        Problem { weights, workers }
+    }
+
+    /// Number of tasks.
+    pub fn ntasks(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Per-worker load of an assignment.
+    pub fn loads(&self, assignment: &[u32]) -> Vec<f64> {
+        assert_eq!(assignment.len(), self.ntasks(), "assignment length mismatch");
+        let mut loads = vec![0.0; self.workers];
+        for (t, &w) in assignment.iter().enumerate() {
+            assert!((w as usize) < self.workers, "worker out of range");
+            loads[w as usize] += self.weights[t];
+        }
+        loads
+    }
+
+    /// Makespan (maximum worker load).
+    pub fn makespan(&self, assignment: &[u32]) -> f64 {
+        self.loads(assignment).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Load imbalance `max/mean` (1.0 = perfect).
+    pub fn imbalance(&self, assignment: &[u32]) -> f64 {
+        let loads = self.loads(assignment);
+        let total: f64 = loads.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.workers as f64;
+        loads.into_iter().fold(0.0, f64::max) / mean
+    }
+
+    /// Theoretical makespan lower bound `max(total/p, max weight)`.
+    pub fn lower_bound(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        let maxw = self.weights.iter().cloned().fold(0.0, f64::max);
+        (total / self.workers as f64).max(maxw)
+    }
+}
+
+/// Number of tasks whose owner differs between two assignments — the
+/// migration cost a persistence-based balancer tries to keep low.
+pub fn movement(a: &[u32], b: &[u32]) -> usize {
+    assert_eq!(a.len(), b.len(), "assignment length mismatch");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Validates an assignment shape (used by proptests and debug builds).
+pub fn is_valid(assignment: &[u32], ntasks: usize, workers: usize) -> bool {
+    assignment.len() == ntasks && assignment.iter().all(|&w| (w as usize) < workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_makespan() {
+        let p = Problem::new(vec![3.0, 1.0, 2.0, 2.0], 2);
+        let a = vec![0, 1, 0, 1];
+        assert_eq!(p.loads(&a), vec![5.0, 3.0]);
+        assert_eq!(p.makespan(&a), 5.0);
+        assert!((p.imbalance(&a) - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_cases() {
+        let p = Problem::new(vec![10.0, 1.0, 1.0], 3);
+        assert_eq!(p.lower_bound(), 10.0);
+        let q = Problem::new(vec![2.0; 6], 3);
+        assert_eq!(q.lower_bound(), 4.0);
+    }
+
+    #[test]
+    fn movement_counts_differences() {
+        assert_eq!(movement(&[0, 1, 2], &[0, 1, 2]), 0);
+        assert_eq!(movement(&[0, 1, 2], &[0, 2, 1]), 2);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(vec![], 4);
+        assert_eq!(p.makespan(&[]), 0.0);
+        assert_eq!(p.imbalance(&[]), 1.0);
+        assert_eq!(p.lower_bound(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker out of range")]
+    fn out_of_range_worker_panics() {
+        let p = Problem::new(vec![1.0], 2);
+        let _ = p.loads(&[7]);
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(is_valid(&[0, 1], 2, 2));
+        assert!(!is_valid(&[0, 2], 2, 2));
+        assert!(!is_valid(&[0], 2, 2));
+    }
+}

@@ -1,0 +1,45 @@
+//! E1 — strong scaling of execution models (simulated cluster).
+//!
+//! Benchmarks the simulated makespan computation of each execution
+//! model at two scales on the measured chemistry cost distribution.
+//! The *results* (makespans, the paper's figure) come from
+//! `reproduce e1`; this bench tracks the simulator's own throughput so
+//! regressions in the harness are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{block_owners, chem_workload_medium};
+use emx_distsim::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e1(c: &mut Criterion) {
+    let w = chem_workload_medium();
+    let mut group = c.benchmark_group("e1_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for p in [4usize, 64] {
+        let cfg = SimConfig::new(p);
+        let models: Vec<(&str, SimModel)> = vec![
+            ("static-block", SimModel::Static(block_owners(w.ntasks(), p))),
+            ("counter", SimModel::Counter { chunk: 8 }),
+            ("guided", SimModel::Guided { min_chunk: 1 }),
+            ("work-stealing", SimModel::WorkStealing { steal_half: true }),
+            (
+                "hier-stealing",
+                SimModel::HierarchicalStealing {
+                    steal_half: true,
+                    node_size: 16,
+                    remote_factor: 10.0,
+                },
+            ),
+        ];
+        for (name, model) in models {
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                b.iter(|| black_box(simulate(&w.costs, &model, &cfg).makespan));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 — the headline comparison on the *real* kernel.
+//!
+//! Measures actual wall time of one Fock build under the serial,
+//! static and work-stealing thread runtimes. (On a single-core host the
+//! absolute multi-worker numbers reflect oversubscription; the DES
+//! regenerates the scaling figure — this bench pins the real kernel and
+//! runtime overhead costs.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emx_chem::prelude::*;
+use emx_core::prelude::*;
+use emx_linalg::Matrix;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e2(c: &mut Criterion) {
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    d.symmetrize();
+
+    let mut group = c.benchmark_group("e2_headline_real_kernel");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    for (name, ex) in [
+        ("serial", Executor::new(1, ExecutionModel::Serial)),
+        ("static-block-p2", Executor::new(2, ExecutionModel::StaticBlock)),
+        (
+            "work-stealing-p2",
+            Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(pf.execute(&d, &ex).0.frobenius_norm()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

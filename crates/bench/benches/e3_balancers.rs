@@ -1,0 +1,44 @@
+//! E3 — balancer quality/throughput on the chemistry workload.
+//!
+//! Benchmarks each load-balancing technique computing an assignment of
+//! the measured Fock-task costs (P = 16). `reproduce e3` prints the
+//! quality table; this pins the balancers' compute costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emx_bench::chem_workload_medium;
+use emx_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e3(c: &mut Criterion) {
+    let w = chem_workload_medium();
+    let mut group = c.benchmark_group("e3_balancers");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for kind in [BalancerKind::Lpt, BalancerKind::KarmarkarKarp, BalancerKind::SemiMatching] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(balance(kind, &w.costs, 16, w.affinity.as_ref()).0.len()));
+        });
+    }
+    // The full hypergraph partition of the 1851-task workload takes
+    // seconds per run (that cost IS the E4 finding — `reproduce e4`
+    // reports it); bench it on a bounded synthetic instance so the
+    // whole suite stays runnable.
+    let n = 1000;
+    let ws = emx_core::prelude::synthetic_workload(
+        emx_chem::synthetic::CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+        n,
+        5,
+        1.0,
+        "ln-1k",
+    );
+    let affinity = synthetic_affinity(n, n / 4, 5);
+    group.bench_function("hypergraph-1k", |b| {
+        b.iter(|| {
+            black_box(balance(BalancerKind::Hypergraph, &ws.costs, 16, Some(&affinity)).0.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4 — balancer cost vs problem size.
+//!
+//! The "hypergraph partitioning is computationally expensive" figure:
+//! balancer wall time as the task count grows. The crossover in
+//! per-task cost between the multilevel partitioner and the
+//! (near-linear) semi-matching/LPT balancers is the paper's point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emx_chem::synthetic::CostModel;
+use emx_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_partition_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [1_000usize, 8_000] {
+        let w = synthetic_workload(
+            CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+            n,
+            5,
+            1.0,
+            format!("ln-{n}"),
+        );
+        let affinity = synthetic_affinity(n, (n / 4).max(1), 5);
+        group.throughput(Throughput::Elements(n as u64));
+        for kind in BalancerKind::all() {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| black_box(balance(kind, &w.costs, 16, Some(&affinity)).0.len()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

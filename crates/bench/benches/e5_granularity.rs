@@ -1,0 +1,46 @@
+//! E5 — task granularity vs runtime overhead.
+//!
+//! Two measurements: (a) the simulated counter model across chunk sizes
+//! (interior optimum), and (b) the *real* thread runtime's per-task
+//! dispatch cost at different chunk sizes — the overhead half of the
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::synthetic_workload_large;
+use emx_chem::synthetic::busy_work;
+use emx_distsim::prelude::*;
+use emx_runtime::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sim_chunks(c: &mut Criterion) {
+    let w = synthetic_workload_large(8192);
+    let cfg = SimConfig::new(64);
+    let mut group = c.benchmark_group("e5_sim_counter_chunk");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for chunk in [1usize, 8, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| black_box(simulate(&w.costs, &SimModel::Counter { chunk }, &cfg).makespan));
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_real_counter_dispatch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let n = 4096;
+    for chunk in [1usize, 16, 256] {
+        let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk });
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
+            b.iter(|| {
+                let (locals, _) = ex.run(n, |_| 0.0f64, |_, acc| *acc += busy_work(20));
+                black_box(locals.iter().sum::<f64>())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_chunks, bench_real_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6 — execution models under energy-induced performance variability.
+//!
+//! Simulated makespans for static vs work stealing under the study's
+//! variability scenarios; `reproduce e6` prints the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{block_owners, synthetic_workload_large};
+use emx_distsim::prelude::*;
+use emx_runtime::Variability;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e6(c: &mut Criterion) {
+    let w = synthetic_workload_large(4096);
+    let p = 16;
+    let scenarios: Vec<(&str, Variability)> = vec![
+        ("none", Variability::None),
+        ("uniform", Variability::PerCoreUniform { spread: 0.6, seed: 3 }),
+        ("slow-cores", Variability::SlowCores { factor: 2.0, count: 2 }),
+        (
+            "dvfs",
+            Variability::Sinusoidal { amplitude: 0.5, period: Duration::from_millis(50) },
+        ),
+    ];
+    let mut group = c.benchmark_group("e6_variability");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (name, var) in scenarios {
+        let cfg = SimConfig { workers: p, variability: var, ..SimConfig::new(p) };
+        let static_model = SimModel::Static(block_owners(w.ntasks(), p));
+        group.bench_with_input(BenchmarkId::new("static", name), &name, |b, _| {
+            b.iter(|| black_box(simulate(&w.costs, &static_model, &cfg).makespan));
+        });
+        group.bench_with_input(BenchmarkId::new("stealing", name), &name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg)
+                        .makespan,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! E7 — runtime-overhead microbenchmarks (real code paths).
+//!
+//! Pins the cost of the mechanisms the execution models are built from:
+//! per-task dispatch of each scheduler, NXTVAL counter fetches, GA
+//! one-sided accumulates (local vs remote block), and the ERI compute
+//! kernel itself at different shell classes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emx_chem::basis::{BasisSet, BasisedMolecule};
+use emx_chem::eri::eri_quartet;
+use emx_chem::molecule::Molecule;
+use emx_chem::shellpair::ShellPair;
+use emx_distsim::prelude::*;
+use emx_runtime::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_dispatch_per_task");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let n = 10_000;
+    for (name, model) in [
+        ("static-block", ExecutionModel::StaticBlock),
+        ("counter-c1", ExecutionModel::DynamicCounter { chunk: 1 }),
+        ("counter-c64", ExecutionModel::DynamicCounter { chunk: 64 }),
+        ("work-stealing", ExecutionModel::WorkStealing(StealConfig::default())),
+    ] {
+        let ex = Executor::new(2, model);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (_, r) = ex.run(n, |_| (), |_, _| {});
+                black_box(r.total_tasks_run())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nxtval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_nxtval");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let counter = NxtVal::new();
+    group.bench_function("fetch", |b| b.iter(|| black_box(counter.next(1))));
+    group.finish();
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ga_acc");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let ga = GlobalArray::zeros(64, 64, 4);
+    let patch = vec![1.0; 16 * 64];
+    // Rows 0..16 belong to rank 0: local for caller 0, remote for 3.
+    group.bench_function("local-block", |b| {
+        b.iter(|| ga.acc(0, 0, 0, 16, 64, 1.0, black_box(&patch)))
+    });
+    group.bench_function("remote-block", |b| {
+        b.iter(|| ga.acc(3, 0, 0, 16, 64, 1.0, black_box(&patch)))
+    });
+    group.finish();
+}
+
+fn bench_eri(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_eri_kernel");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+    // Shell 0: deep-contracted s; shells 2: p — bench contrasting
+    // quartet classes (the cost-skew source).
+    let pair_ss = ShellPair::build(0, &bm.shells[0], 0, &bm.shells[0], 0);
+    let pair_pp = ShellPair::build(2, &bm.shells[2], 2, &bm.shells[2], 0);
+    group.bench_function("ssss-deep", |b| {
+        b.iter(|| black_box(eri_quartet(&pair_ss, &pair_ss, &bm.shells)[0]))
+    });
+    group.bench_function("pppp", |b| {
+        b.iter(|| black_box(eri_quartet(&pair_pp, &pair_pp, &bm.shells)[0]))
+    });
+    group.finish();
+}
+
+fn bench_post_hf_kernels(c: &mut Criterion) {
+    use emx_chem::prelude::*;
+    use emx_linalg::Matrix;
+    let mut group = c.benchmark_group("e7_post_hf_kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let fb = FockBuilder::new(&bm, &pairs, 1e-10);
+    let tasks = fb.tasks(usize::MAX);
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    d.symmetrize();
+    // The UHF iteration runs two generalized J/K builds per step.
+    group.bench_function("rhf-fock-build", |b| {
+        b.iter(|| {
+            let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+            for t in &tasks {
+                fb.execute(t, &d, &mut g);
+            }
+            black_box(g.frobenius_norm())
+        })
+    });
+    group.bench_function("uhf-jk-build", |b| {
+        b.iter(|| {
+            let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+            for t in &tasks {
+                fb.execute_jk(t, &d, &d, 1.0, &mut g);
+            }
+            black_box(g.frobenius_norm())
+        })
+    });
+    // The MP2 AO→MO transform — the N⁵ workload family.
+    let ao = emx_chem::mp2::full_eri_tensor(&bm);
+    let c_id = Matrix::identity(bm.nbf);
+    group.bench_function("mp2-ao-to-mo", |b| {
+        b.iter(|| black_box(emx_chem::mp2::ao_to_mo(&ao, &c_id).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_nxtval, bench_ga, bench_eri, bench_post_hf_kernels);
+criterion_main!(benches);

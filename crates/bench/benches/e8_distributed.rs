@@ -1,0 +1,41 @@
+//! E8 — distributed-scale projection.
+//!
+//! The simulator at cluster scale (up to 4096 ranks) on a large
+//! calibrated workload; `reproduce e8` prints the table with makespans
+//! and utilization, this bench tracks the simulator's scalability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emx_bench::{block_owners, synthetic_workload_large};
+use emx_distsim::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e8(c: &mut Criterion) {
+    let w = synthetic_workload_large(100_000);
+    let mut group = c.benchmark_group("e8_distributed");
+    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    for p in [256usize, 1024, 4096] {
+        let cfg = SimConfig::new(p);
+        group.bench_with_input(BenchmarkId::new("static", p), &p, |b, &p| {
+            let model = SimModel::Static(block_owners(w.ntasks(), p));
+            b.iter(|| black_box(simulate(&w.costs, &model, &cfg).makespan));
+        });
+        group.bench_with_input(BenchmarkId::new("counter", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(simulate(&w.costs, &SimModel::Counter { chunk: 16 }, &cfg).makespan)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stealing", p), &p, |b, _| {
+            b.iter(|| {
+                black_box(
+                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg)
+                        .makespan,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

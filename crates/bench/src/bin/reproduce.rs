@@ -1,0 +1,596 @@
+//! `reproduce` — regenerates every table/figure of the study.
+//!
+//! ```text
+//! cargo run --release -p emx-bench --bin reproduce            # all
+//! cargo run --release -p emx-bench --bin reproduce e2 e3      # subset
+//! ```
+//!
+//! Experiment ids follow `DESIGN.md` (E1–E8) plus `ablations`. Output is
+//! plain-text tables; pass `--csv DIR` to also write CSV files.
+
+use emx_balance::prelude::{rebalance, movement, PersistenceConfig, Problem};
+use emx_bench::{block_owners, chem_workload_medium, synthetic_workload_large};
+use emx_chem::synthetic::CostModel;
+use emx_core::prelude::*;
+use emx_distsim::machine::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            csv_dir = Some(it.next().expect("--csv needs a directory"));
+        } else {
+            wanted.push(a.to_lowercase());
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = vec![
+            "validate", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "ablations",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let machine = MachineModel::default();
+    let mut tables: Vec<Table> = Vec::new();
+
+    for exp in &wanted {
+        match exp.as_str() {
+            "validate" => {
+                tables.push(validate_chemistry());
+            }
+            "e1" => {
+                let w = chem_workload_medium();
+                tables.push(e1_scaling(&w, &[1, 2, 4, 8, 16, 32, 64], &machine));
+            }
+            "e2" => {
+                let w = chem_workload_medium();
+                let h = e2_headline(&w, 16, &machine);
+                tables.push(h.table);
+                println!(
+                    "[e2] work stealing improves {:.0}% over naive block partitioning and \
+                     {:.0}% over the best static partition (paper: ~50% over its static \
+                     baseline — between the two readings)\n",
+                    (h.vs_block - 1.0) * 100.0,
+                    (h.vs_best_static - 1.0) * 100.0
+                );
+            }
+            "e3" => {
+                let w = measure_fock_workload(
+                    &Molecule::water_cluster(2, 5),
+                    BasisSet::Sto3g,
+                    8,
+                    1e-10,
+                    "(H2O)2/STO-3G",
+                );
+                tables.push(e3_balancer_quality(&w, &[4, 8, 16, 32]));
+                tables.push(e3_comm_aware(&w, 16, &machine, 1 << 16));
+            }
+            "e4" => {
+                tables.push(e4_partition_cost(&[1_000, 4_000, 16_000, 64_000], 16, 7));
+            }
+            "e5" => {
+                let mol = Molecule::water_cluster(2, 42);
+                let workloads: Vec<(usize, KernelWorkload)> = [1usize, 2, 8, 32, 128, usize::MAX]
+                    .into_iter()
+                    .map(|chunk| {
+                        let w = estimate_fock_workload(
+                            &mol,
+                            BasisSet::SixThirtyOneG,
+                            chunk,
+                            1e-10,
+                            1.0,
+                            format!("chunk={chunk}"),
+                        );
+                        (chunk, w)
+                    })
+                    .collect();
+                tables.push(e5_granularity(&workloads, 64, &machine));
+            }
+            "e6" => {
+                let uniform = synthetic_workload(
+                    CostModel::Uniform { scale: 1.0 },
+                    4096,
+                    3,
+                    4.0,
+                    "uniform-4096",
+                );
+                tables.push(e6_variability(&uniform, 16, &machine));
+                let w = chem_workload_medium();
+                tables.push(e6_variability(&w, 16, &machine));
+            }
+            "e7" => {
+                tables.push(e7_overheads(&[1, 2, 4]));
+            }
+            "e8" => {
+                let w = synthetic_workload_large(100_000);
+                tables.push(e8_distributed(&w, &[64, 256, 1024, 4096], &machine));
+            }
+            "e9" => {
+                let base = chem_workload_medium();
+                tables.push(e9_weak_scaling(&base, &[4, 16, 64, 256], 128, &machine));
+                tables.push(overhead_decomposition(&base, 64, &machine));
+            }
+            "f1" => {
+                figure_timelines(&machine);
+            }
+            "ablations" => {
+                tables.push(ablation_steal_policy(&machine));
+                tables.push(ablation_counter_chunk(&machine));
+                tables.push(ablation_group_counters(&machine));
+                tables.push(ablation_hierarchical_stealing(&machine));
+                tables.push(ablation_screening_skew());
+                tables.push(ablation_seed_partition());
+                tables.push(ablation_persistence_warmup());
+                tables.push(ablation_incremental_drift());
+                tables.push(ablation_hybrid_seeding(&machine));
+            }
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+    }
+
+    for t in &tables {
+        println!("{t}");
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for (i, t) in tables.iter().enumerate() {
+            let slug: String = t
+                .title
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .take(48)
+                .collect();
+            let path = format!("{dir}/{i:02}_{slug}.csv");
+            std::fs::write(&path, t.to_csv()).expect("write csv");
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Figure F1: per-worker utilization timelines, static vs work stealing
+/// at P = 16 on the measured chemistry workload — the study's
+/// utilization picture in text form.
+fn figure_timelines(machine: &MachineModel) {
+    use emx_distsim::prelude::*;
+    let w = chem_workload_medium();
+    let p = 16;
+    let cfg = SimConfig { workers: p, machine: *machine, trace: true, ..SimConfig::new(p) };
+    println!("## F1: utilization timelines on {} at P={p} (# = busy)", w.name);
+    let owners = block_owners(w.ntasks(), p);
+    let st = simulate(&w.costs, &SimModel::Static(owners), &cfg);
+    println!(
+        "\nstatic-block   (makespan {}, utilization {:.2}):",
+        fmt_secs(st.makespan),
+        st.utilization()
+    );
+    print!("{}", render_sim_timeline(&st, 72, 16));
+    let ws = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+    println!(
+        "\nwork-stealing  (makespan {}, utilization {:.2}):",
+        fmt_secs(ws.makespan),
+        ws.utilization()
+    );
+    print!("{}", render_sim_timeline(&ws, 72, 16));
+    println!();
+}
+
+/// Chemistry validation: the kernel's answers against literature values
+/// — the precondition for any execution-model comparison to be
+/// meaningful.
+fn validate_chemistry() -> Table {
+    use emx_chem::prelude::*;
+    let mut t = Table::new(
+        "Validation: kernel results vs literature",
+        &["quantity", "measured", "reference"],
+    );
+    let run = |mol: &Molecule, basis: BasisSet| {
+        let bm = BasisedMolecule::assign(mol, basis);
+        (rhf(&bm, &ScfConfig::default()), bm)
+    };
+    let cases: Vec<(&str, Molecule, BasisSet, f64)> = vec![
+        ("E(H2, STO-3G, R=1.4)", Molecule::h2(1.4), BasisSet::Sto3g, -1.1167),
+        ("E(H2, 6-31G, R=1.4)", Molecule::h2(1.4), BasisSet::SixThirtyOneG, -1.1267),
+        ("E(H2O, STO-3G)", Molecule::water(), BasisSet::Sto3g, -74.9659),
+        ("E(H2O, 6-31G)", Molecule::water(), BasisSet::SixThirtyOneG, -75.9854),
+        ("E(H2O, 6-31G*)", Molecule::water(), BasisSet::SixThirtyOneGStar, -76.0107),
+        ("E(C6H6, STO-3G)", Molecule::benzene(), BasisSet::Sto3g, -227.8914),
+    ];
+    for (name, mol, basis, lit) in cases {
+        let (r, _) = run(&mol, basis);
+        assert!(r.converged, "{name} did not converge");
+        t.push(vec![name.into(), format!("{:.4} Ha", r.energy), format!("{lit:.4} Ha")]);
+    }
+    // UHF anchors: one-electron H atom (exact in the basis) and the H₂
+    // dissociation limit (spin-symmetry breaking → 2·E(H)).
+    {
+        let mut h_atom = Molecule::new();
+        h_atom.push(Element::H, [0.0; 3]);
+        let bm = BasisedMolecule::assign(&h_atom, BasisSet::Sto3g);
+        let r = emx_chem::uhf::uhf(&bm, 2, &ScfConfig::default());
+        assert!(r.converged);
+        t.push(vec![
+            "E_UHF(H atom, STO-3G)".into(),
+            format!("{:.4} Ha", r.energy),
+            "-0.4666 Ha (exact in basis)".into(),
+        ]);
+        let bm2 = BasisedMolecule::assign(&Molecule::h2(6.0), BasisSet::Sto3g);
+        let r2 = emx_chem::uhf::uhf(&bm2, 1, &ScfConfig::default());
+        assert!(r2.converged);
+        t.push(vec![
+            "E_UHF(H2, R=6.0)".into(),
+            format!("{:.4} Ha", r2.energy),
+            "-0.9332 Ha (= 2·E_H)".into(),
+        ]);
+    }
+
+    // Water dipole, Mulliken charges and MP2 correlation (STO-3G).
+    let (r, bm) = run(&Molecule::water(), BasisSet::Sto3g);
+    let e2 = emx_chem::mp2::mp2_energy(&bm, &r);
+    t.push(vec![
+        "E2_MP2(H2O, STO-3G)".into(),
+        format!("{e2:.4} Ha"),
+        "~-0.036 Ha".into(),
+    ]);
+    let mu = dipole_moment(&bm, &r.density);
+    let debye = (mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2]).sqrt() * AU_TO_DEBYE;
+    t.push(vec!["mu(H2O, STO-3G)".into(), format!("{debye:.3} D"), "1.71 D".into()]);
+    let q = mulliken_charges(&bm, &r.density);
+    t.push(vec![
+        "q_Mulliken(O, STO-3G)".into(),
+        format!("{:+.3} e", q[0]),
+        "-0.37 e".into(),
+    ]);
+    t
+}
+
+/// Ablation: hybrid counter topologies — one global counter vs grouped
+/// counters vs full stealing at scale.
+fn ablation_group_counters(machine: &MachineModel) -> Table {
+    let w = synthetic_workload_large(16_384);
+    let p = 256;
+    let mut m = *machine;
+    m.counter_service = 2e-6;
+    let cfg = emx_distsim::sim::SimConfig { workers: p, machine: m, ..emx_distsim::sim::SimConfig::new(p) };
+    let mut t = Table::new(
+        "Ablation: counter topology (simulated, P=256)",
+        &["scheduler", "makespan", "fetches", "utilization"],
+    );
+    let mut run = |name: &str, model: SimModel| {
+        let r = simulate(&w.costs, &model, &cfg);
+        t.push(vec![
+            name.into(),
+            fmt_secs(r.makespan),
+            r.counter_fetches.to_string(),
+            fmt3(r.utilization()),
+        ]);
+    };
+    run("global counter (c=8)", SimModel::Counter { chunk: 8 });
+    run("guided", SimModel::Guided { min_chunk: 1 });
+    for groups in [4usize, 16, 64] {
+        run(&format!("{groups} group counters (c=8)"), SimModel::GroupCounters { groups, chunk: 8 });
+    }
+    run("work stealing", SimModel::WorkStealing { steal_half: true });
+    run(
+        "static-block",
+        SimModel::Static(block_owners(w.ntasks(), p)),
+    );
+    t
+}
+
+/// Ablation: hierarchical (node-local-first) stealing vs flat random
+/// stealing as remote steals get more expensive.
+fn ablation_hierarchical_stealing(machine: &MachineModel) -> Table {
+    let w = synthetic_workload_large(16_384);
+    let p = 256;
+    let mut t = Table::new(
+        "Ablation: hierarchical vs flat stealing (simulated, P=256, 16 workers/node)",
+        &["remote steal latency", "flat", "hierarchical", "hier steals"],
+    );
+    for lat_us in [6.0f64, 50.0, 400.0] {
+        let mut m = *machine;
+        m.steal_latency = lat_us * 1e-6;
+        let cfg = emx_distsim::sim::SimConfig {
+            workers: p,
+            machine: m,
+            ..emx_distsim::sim::SimConfig::new(p)
+        };
+        let flat = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let hier = simulate(
+            &w.costs,
+            &SimModel::HierarchicalStealing {
+                steal_half: true,
+                node_size: 16,
+                remote_factor: 20.0,
+            },
+            &cfg,
+        );
+        t.push(vec![
+            format!("{lat_us} us"),
+            fmt_secs(flat.makespan),
+            fmt_secs(hier.makespan),
+            hier.steals.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: steal granularity (single task vs half the deque).
+fn ablation_steal_policy(machine: &MachineModel) -> Table {
+    let w = chem_workload_medium();
+    let mut t = Table::new(
+        "Ablation: steal granularity (simulated, P=64)",
+        &["policy", "makespan", "steals", "attempts"],
+    );
+    let cfg = SimConfig { workers: 64, machine: *machine, ..SimConfig::new(64) };
+    for (name, half) in [("steal-one", false), ("steal-half", true)] {
+        let r = simulate(&w.costs, &SimModel::WorkStealing { steal_half: half }, &cfg);
+        t.push(vec![
+            name.into(),
+            fmt_secs(r.makespan),
+            r.steals.to_string(),
+            r.steal_attempts.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablation: counter chunk sweep (the overhead/imbalance dial).
+fn ablation_counter_chunk(machine: &MachineModel) -> Table {
+    let w = synthetic_workload_large(16_384);
+    let mut t = Table::new(
+        "Ablation: shared-counter chunk size (simulated, P=256)",
+        &["chunk", "makespan", "fetches", "utilization"],
+    );
+    let mut m = *machine;
+    m.latency = 10e-6;
+    m.counter_service = 1e-6;
+    let cfg = SimConfig { workers: 256, machine: m, ..SimConfig::new(256) };
+    for chunk in [1usize, 4, 16, 64, 256, 2048] {
+        let r = simulate(&w.costs, &SimModel::Counter { chunk }, &cfg);
+        t.push(vec![
+            chunk.to_string(),
+            fmt_secs(r.makespan),
+            r.counter_fetches.to_string(),
+            fmt3(r.utilization()),
+        ]);
+    }
+    t
+}
+
+/// Ablation: Schwarz screening as the source of task-cost skew.
+fn ablation_screening_skew() -> Table {
+    let mol = Molecule::alkane(8);
+    let mut t = Table::new(
+        "Ablation: screening threshold vs task-cost skew (C8H18/STO-3G)",
+        &["tau", "tasks", "total-cost", "max/mean", "gini"],
+    );
+    for (label, tau) in [("0 (off)", 0.0), ("1e-12", 1e-12), ("1e-8", 1e-8), ("1e-6", 1e-6)] {
+        let w = estimate_fock_workload(&mol, BasisSet::Sto3g, usize::MAX, tau, 1.0, "s");
+        let s = CostStats::from_costs(&w.costs);
+        t.push(vec![
+            label.into(),
+            s.count.to_string(),
+            fmt3(s.total),
+            fmt3(s.max_over_mean),
+            fmt3(s.gini),
+        ]);
+    }
+    t
+}
+
+/// Ablation: initial seed partition of the stealing deques (real
+/// threads; steals required to fix a bad seed).
+fn ablation_seed_partition() -> Table {
+    use emx_runtime::prelude::*;
+    let mut t = Table::new(
+        "Ablation: work-stealing seed partition (real threads, P=2)",
+        &["seed", "steals", "attempts", "utilization"],
+    );
+    let n = 2048;
+    for (name, seed) in [
+        ("block", SeedPartition::Block),
+        ("cyclic", SeedPartition::Cyclic),
+        ("all-on-worker-0", SeedPartition::Assigned(std::sync::Arc::new(vec![0; 2048]))),
+    ] {
+        let ex = Executor::new(
+            2,
+            ExecutionModel::WorkStealing(StealConfig { seed, ..StealConfig::default() }),
+        );
+        let (_, r) = ex.run(n, |_| 0.0f64, |i, acc| {
+            *acc += emx_chem::synthetic::busy_work(50 + (i % 97) as u64)
+        });
+        t.push(vec![
+            name.into(),
+            r.total_steals().to_string(),
+            r.worker_stats.iter().map(|w| w.steal_attempts).sum::<u64>().to_string(),
+            fmt3(r.utilization()),
+        ]);
+    }
+    t
+}
+
+/// Ablation: the hybrid execution model — balancer-seeded work stealing.
+/// A cost-model assignment removes the *predictable* imbalance up front;
+/// stealing handles only the residual, slashing steal traffic.
+fn ablation_hybrid_seeding(machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        "Ablation: balancer-seeded (hybrid) work stealing, quartet-level tasks",
+        &["scenario", "configuration", "makespan", "steals"],
+    );
+    // Three regimes on the chunk-1 (per-quartet) decomposition:
+    //  * P=16, no variability — costs are predictable, the balancer
+    //    alone is optimal, the hybrid steals ~nothing;
+    //  * P=16, 2 slow cores — the static assignment breaks, residual
+    //    stealing routes around the slow cores and beats even the
+    //    block-seeded thief;
+    //  * P=64, 4 slow cores — the heaviest single quartet exceeds the
+    //    balanced share, so NO scheduler helps once its worker is slow:
+    //    the work-units lesson at the kernel's own granularity floor.
+    let mol = emx_chem::molecule::Molecule::water_cluster(2, 42);
+    let w = emx_core::prelude::estimate_fock_workload(
+        &mol,
+        emx_chem::basis::BasisSet::SixThirtyOneG,
+        1,
+        1e-10,
+        1.0,
+        "hybrid",
+    );
+    let scenarios: [(&str, usize, emx_runtime::Variability); 3] = [
+        ("P=16, stable", 16, emx_runtime::Variability::None),
+        ("P=16, 2 slow ×2", 16, emx_runtime::Variability::SlowCores { factor: 2.0, count: 2 }),
+        ("P=64, 4 slow ×2", 64, emx_runtime::Variability::SlowCores { factor: 2.0, count: 4 }),
+    ];
+    for (sname, p, var) in scenarios {
+        let (sm, _) = emx_core::prelude::balance(
+            emx_core::prelude::BalancerKind::SemiMatching,
+            &w.costs,
+            p,
+            None,
+        );
+        let cfg = emx_distsim::sim::SimConfig {
+            workers: p,
+            machine: *machine,
+            variability: var,
+            ..emx_distsim::sim::SimConfig::new(p)
+        };
+        for (name, model) in [
+            ("static (semi-matching)", SimModel::Static(sm.clone())),
+            ("stealing, block seed", SimModel::WorkStealing { steal_half: true }),
+            (
+                "stealing, semi-matching seed",
+                SimModel::SeededStealing { owners: sm.clone(), steal_half: true },
+            ),
+        ] {
+            let r = simulate(&w.costs, &model, &cfg);
+            t.push(vec![
+                sname.into(),
+                name.into(),
+                fmt_secs(r.makespan),
+                r.steals.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation: incremental Fock builds make per-task costs *drift* across
+/// iterations — the execution-model assumption behind persistence-based
+/// balancing erodes, while work stealing is indifferent.
+///
+/// The table tracks, for an incremental SCF on butane: the surviving
+/// quartets, ‖ΔD‖, and the load imbalance of (a) the assignment frozen
+/// from the first incremental iteration vs (b) an assignment re-derived
+/// from each iteration's actual costs.
+fn ablation_incremental_drift() -> Table {
+    use emx_chem::prelude::*;
+    use emx_linalg::{jacobi_eigen, symmetric_orthogonalizer, Matrix};
+
+    let bm = BasisedMolecule::assign(&Molecule::alkane(4), BasisSet::Sto3g);
+    let tau = 1e-8;
+    let pairs = ScreenedPairs::build(&bm, tau * 1e-2);
+    let fb = FockBuilder::new(&bm, &pairs, tau);
+    let tasks = fb.tasks(usize::MAX);
+    let p_workers = 8;
+
+    // Plain Roothaan incremental loop, collecting per-task quartets.
+    let s = emx_chem::oneint::overlap(&bm);
+    let h = emx_chem::oneint::core_hamiltonian(&bm);
+    let x = symmetric_orthogonalizer(&s).expect("SPD overlap");
+    let nocc = bm.nelectrons() / 2;
+    let mut density = {
+        let hp = h.congruence(&x).expect("shapes");
+        let e = jacobi_eigen(&hp, 1e-12, 100).expect("eigen");
+        let c = x.matmul(&e.vectors).expect("shapes");
+        emx_chem::scf::density_from_mos(&c, nocc)
+    };
+    let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+    let mut d_prev = Matrix::zeros(bm.nbf, bm.nbf);
+
+    let mut t = Table::new(
+        "Ablation: incremental-Fock cost drift vs persistence balancing (C4H10, P=8)",
+        &["iteration", "quartets", "|dD|", "imbalance(frozen)", "imbalance(retuned)"],
+    );
+    let mut frozen: Option<Vec<u32>> = None;
+    for iter in 0..10 {
+        let delta = density.sub(&d_prev).expect("shapes");
+        let dmax = fb.pair_density_max(&delta);
+        let mut per_task = Vec::with_capacity(tasks.len());
+        for task in &tasks {
+            per_task.push(fb.execute_density_screened(task, &delta, &dmax, &mut g) as f64);
+        }
+        d_prev = density.clone();
+        let quartets: f64 = per_task.iter().sum();
+        let problem = Problem::new(per_task.clone(), p_workers);
+        // Freeze the assignment computed from the FIRST incremental
+        // iteration's costs (iteration 1 — iteration 0 is the full
+        // build that persistence schemes calibrate on).
+        if iter == 1 {
+            frozen = Some({
+                let (a, _) = emx_core::prelude::balance(
+                    emx_core::prelude::BalancerKind::SemiMatching,
+                    &per_task,
+                    p_workers,
+                    None,
+                );
+                a
+            });
+        }
+        let frozen_imb = frozen
+            .as_ref()
+            .map(|a| fmt3(problem.imbalance(a)))
+            .unwrap_or_else(|| "-".into());
+        let (retuned, _) = emx_core::prelude::balance(
+            emx_core::prelude::BalancerKind::SemiMatching,
+            &per_task,
+            p_workers,
+            None,
+        );
+        t.push(vec![
+            iter.to_string(),
+            (quartets as u64).to_string(),
+            fmt3(delta.max_abs()),
+            frozen_imb,
+            fmt3(problem.imbalance(&retuned)),
+        ]);
+
+        // Damped Roothaan step (50 % mixing) so ΔD decays monotonically
+        // and the drift is visible within a few iterations.
+        let f = h.add(&g).expect("shapes");
+        let fp = f.congruence(&x).expect("shapes");
+        let e = jacobi_eigen(&fp, 1e-12, 100).expect("eigen");
+        let c = x.matmul(&e.vectors).expect("shapes");
+        let fresh = emx_chem::scf::density_from_mos(&c, nocc);
+        let mut mixed = fresh.scaled(0.5);
+        mixed.axpy(0.5, &density).expect("shapes");
+        density = mixed;
+    }
+    t
+}
+
+/// Ablation: persistence-based rebalancing warm-up trajectory.
+fn ablation_persistence_warmup() -> Table {
+    let w = chem_workload_medium();
+    let p = 16;
+    let mut t = Table::new(
+        "Ablation: persistence rebalancer warm-up (P=16)",
+        &["iteration", "imbalance", "migrated-tasks"],
+    );
+    let mut assignment = block_owners(w.ntasks(), p);
+    let cfg = PersistenceConfig { target_imbalance: 1.05, max_moves: usize::MAX };
+    for iter in 0..5 {
+        let problem = Problem::new(w.costs.clone(), p);
+        let before = assignment.clone();
+        assignment = rebalance(&problem, &assignment, &cfg);
+        t.push(vec![
+            iter.to_string(),
+            fmt3(problem.imbalance(&assignment)),
+            movement(&before, &assignment).to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,75 @@
+//! # emx-bench — shared helpers for the benchmark harness
+//!
+//! The criterion benches (`benches/e*.rs`) and the `reproduce` binary
+//! regenerate every table and figure of the study; this library holds
+//! the workload constructors they share so all targets measure the same
+//! inputs.
+
+use emx_chem::basis::BasisSet;
+use emx_chem::molecule::Molecule;
+use emx_chem::synthetic::CostModel;
+use emx_core::prelude::*;
+
+/// The standard chemistry workload of the scaling experiments:
+/// (H₂O)₂ / 6-31G, inspector-estimated costs, chunk = 8.
+pub fn chem_workload_medium() -> KernelWorkload {
+    estimate_fock_workload(
+        &Molecule::water_cluster(2, 42),
+        BasisSet::SixThirtyOneG,
+        8,
+        1e-10,
+        1.0,
+        "(H2O)2/6-31G chunk=8",
+    )
+}
+
+/// A small chemistry workload for real-kernel (non-simulated) benches.
+pub fn chem_workload_small() -> KernelWorkload {
+    estimate_fock_workload(
+        &Molecule::water(),
+        BasisSet::Sto3g,
+        4,
+        1e-10,
+        1.0,
+        "H2O/STO-3G chunk=4",
+    )
+}
+
+/// A large synthetic workload calibrated to the chemistry skew, for
+/// cluster-scale simulations.
+pub fn synthetic_workload_large(ntasks: usize) -> KernelWorkload {
+    synthetic_workload(
+        CostModel::LogNormal { mu: 0.0, sigma: 1.3 },
+        ntasks,
+        7,
+        10.0,
+        format!("lognormal-{ntasks}"),
+    )
+}
+
+/// Block owners for a static partition (bench convenience).
+pub fn block_owners(ntasks: usize, workers: usize) -> Vec<u32> {
+    (0..ntasks).map(|i| emx_runtime::block_owner(i, ntasks.max(1), workers) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_nonempty_and_deterministic() {
+        let a = chem_workload_medium();
+        let b = chem_workload_medium();
+        assert!(a.ntasks() > 100);
+        assert_eq!(a.costs, b.costs);
+        let s = synthetic_workload_large(1000);
+        assert_eq!(s.ntasks(), 1000);
+    }
+
+    #[test]
+    fn block_owners_shape() {
+        let o = block_owners(10, 3);
+        assert_eq!(o.len(), 10);
+        assert!(o.iter().all(|&w| w < 3));
+    }
+}

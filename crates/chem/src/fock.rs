@@ -1,0 +1,627 @@
+//! Fock-matrix construction and its decomposition into schedulable tasks.
+//!
+//! The two-electron part of the closed-shell Fock matrix is
+//!
+//! ```text
+//! G[μν] = Σ_{λσ} P[λσ] ( (μν|λσ) − ½ (μλ|νσ) )
+//! ```
+//!
+//! computed over *unique* shell-pair quartets with 8-fold permutational
+//! symmetry. The unit of scheduling — the **task** — is a bra shell pair
+//! together with a contiguous chunk of ket shell pairs, mirroring the
+//! blocked `(ij, kl)` decomposition of the paper's SCF kernel. Tasks are
+//! embarrassingly parallel: each produces *additive* contributions to
+//! `G`, so any execution model may run them in any order on any worker,
+//! accumulating into worker-local buffers that are reduced at the end
+//! (the shared-memory analogue of Global Arrays `acc`).
+
+use crate::basis::{cartesian_components, BasisedMolecule};
+use crate::eri::{eri_quartet, quartet_cost_estimate};
+use crate::screening::ScreenedPairs;
+use emx_linalg::Matrix;
+
+/// One schedulable unit of Fock-build work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FockTask {
+    /// Index of the bra shell pair in the screened pair list.
+    pub bra: usize,
+    /// First ket-pair index covered (inclusive).
+    pub ket_begin: usize,
+    /// One past the last ket-pair index covered.
+    pub ket_end: usize,
+    /// Inspector cost estimate (arbitrary units, additive).
+    pub est_cost: u64,
+}
+
+/// The Fock-build engine: owns the screened pair list and the Schwarz
+/// threshold, and executes tasks against a density matrix.
+pub struct FockBuilder<'a> {
+    /// The basis-expanded molecule.
+    pub bm: &'a BasisedMolecule,
+    /// Screened shell pairs.
+    pub pairs: &'a ScreenedPairs,
+    /// Schwarz quartet threshold τ.
+    pub tau: f64,
+}
+
+impl<'a> FockBuilder<'a> {
+    /// Creates an engine with quartet threshold `tau`.
+    pub fn new(bm: &'a BasisedMolecule, pairs: &'a ScreenedPairs, tau: f64) -> FockBuilder<'a> {
+        FockBuilder { bm, pairs, tau }
+    }
+
+    /// Decomposes the triangular quartet loop into tasks.
+    ///
+    /// `chunk` caps the number of ket pairs per task; `usize::MAX` gives
+    /// the classic one-task-per-bra-pair decomposition whose costs grow
+    /// linearly with the bra index (maximal skew), small values give
+    /// many near-uniform tasks (maximal scheduling overhead) — the
+    /// granularity axis of experiment E5.
+    pub fn tasks(&self, chunk: usize) -> Vec<FockTask> {
+        assert!(chunk > 0, "chunk must be positive");
+        let np = self.pairs.len();
+        let mut tasks = Vec::new();
+        for bra in 0..np {
+            let mut begin = 0;
+            while begin <= bra {
+                let end = (begin + chunk).min(bra + 1);
+                let est = self.estimate_range(bra, begin, end);
+                if est > 0 {
+                    tasks.push(FockTask { bra, ket_begin: begin, ket_end: end, est_cost: est });
+                }
+                begin = end;
+            }
+        }
+        tasks
+    }
+
+    /// Inspector estimate for a (bra, ket-range) chunk: the summed
+    /// quartet cost over surviving quartets.
+    fn estimate_range(&self, bra: usize, begin: usize, end: usize) -> u64 {
+        let bp = &self.pairs.pairs[bra];
+        let mut est = 0;
+        for ket in begin..end {
+            if self.pairs.survives(bra, ket, self.tau) {
+                est += quartet_cost_estimate(bp, &self.pairs.pairs[ket]);
+            }
+        }
+        est
+    }
+
+    /// Executes one task: computes its surviving quartets and adds their
+    /// contributions into `g_local` (shape `nbf × nbf`).
+    ///
+    /// Returns the number of quartets actually computed (post-screening),
+    /// which the persistence-based balancer uses as a measured cost.
+    pub fn execute(&self, task: &FockTask, density: &Matrix, g_local: &mut Matrix) -> u64 {
+        debug_assert_eq!(density.shape(), (self.bm.nbf, self.bm.nbf));
+        debug_assert_eq!(g_local.shape(), (self.bm.nbf, self.bm.nbf));
+        let mut done = 0;
+        let bra_pair = &self.pairs.pairs[task.bra];
+        for ket in task.ket_begin..task.ket_end {
+            if !self.pairs.survives(task.bra, ket, self.tau) {
+                continue;
+            }
+            let ket_pair = &self.pairs.pairs[ket];
+            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
+            self.scatter(bra_pair, ket_pair, &block, density, g_local);
+            done += 1;
+        }
+        done
+    }
+
+    /// Scatters one quartet block into `g` using 8-fold symmetry.
+    ///
+    /// Shell-level uniqueness comes from the triangular task loop
+    /// (`a ≥ b`, `c ≥ d`, bra pair index ≥ ket pair index); component
+    /// duplicates therefore only arise between *coincident* shells, and
+    /// the filters below dedup exactly those cases:
+    ///
+    /// * `a == b` → keep `ia ≥ ib`;
+    /// * `c == d` → keep `ic ≥ id`;
+    /// * bra pair == ket pair → keep global compound `(μν) ≥ (λσ)`.
+    ///
+    /// A global-compound filter applied unconditionally would be wrong:
+    /// when bra and ket share only the *first* shell, some component
+    /// orbits have their canonical representative in the mirrored
+    /// quartet that the triangular loop never visits, and the
+    /// contribution would be silently dropped (visible only with
+    /// split-valence bases, where the dropped integrals are nonzero).
+    fn scatter(
+        &self,
+        bra: &crate::shellpair::ShellPair,
+        ket: &crate::shellpair::ShellPair,
+        block: &[f64],
+        p: &Matrix,
+        g: &mut Matrix,
+    ) {
+        let off = &self.bm.shell_offsets;
+        let ca = cartesian_components(bra.la);
+        let cb = cartesian_components(bra.lb);
+        let cc = cartesian_components(ket.la);
+        let cd = cartesian_components(ket.lb);
+        let (oa, ob, oc, od) = (off[bra.a], off[bra.b], off[ket.a], off[ket.b]);
+        let (ncb, ncc, ncd) = (cb.len(), cc.len(), cd.len());
+        let same_ab = bra.a == bra.b;
+        let same_cd = ket.a == ket.b;
+        let same_pair = bra.a == ket.a && bra.b == ket.b;
+
+        let mut idx = 0;
+        for ia in 0..ca.len() {
+            let mu = oa + ia;
+            for ib in 0..ncb {
+                let nu = ob + ib;
+                for ic in 0..ncc {
+                    let la = oc + ic;
+                    for id in 0..ncd {
+                        let si = od + id;
+                        let v = block[idx];
+                        idx += 1;
+                        if v == 0.0 {
+                            continue;
+                        }
+                        if same_ab && ib > ia {
+                            continue;
+                        }
+                        if same_cd && id > ic {
+                            continue;
+                        }
+                        if same_pair {
+                            let ij = mu * (mu + 1) / 2 + nu;
+                            let kl = la * (la + 1) / 2 + si;
+                            if ij < kl {
+                                continue;
+                            }
+                        }
+                        scatter_images(g, p, v, mu, nu, la, si);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the full two-electron matrix `G` serially (the reference
+    /// execution model: one worker, canonical task order).
+    pub fn build_serial(&self, density: &Matrix) -> Matrix {
+        let mut g = Matrix::zeros(self.bm.nbf, self.bm.nbf);
+        for task in self.tasks(usize::MAX) {
+            self.execute(&task, density, &mut g);
+        }
+        g
+    }
+
+    /// Executes one task with *separate* Coulomb and exchange densities:
+    /// `G += J(d_j) − k_scale·K(d_k)`.
+    ///
+    /// The RHF build is the special case `(d_j, d_k, k_scale) =
+    /// (P, P, ½)`; the UHF spin Focks use `(Pᵅ+Pᵝ, Pᵅ, 1)` and
+    /// `(Pᵅ+Pᵝ, Pᵝ, 1)`.
+    pub fn execute_jk(
+        &self,
+        task: &FockTask,
+        d_j: &Matrix,
+        d_k: &Matrix,
+        k_scale: f64,
+        g_local: &mut Matrix,
+    ) -> u64 {
+        let mut done = 0;
+        let bra_pair = &self.pairs.pairs[task.bra];
+        for ket in task.ket_begin..task.ket_end {
+            if !self.pairs.survives(task.bra, ket, self.tau) {
+                continue;
+            }
+            let ket_pair = &self.pairs.pairs[ket];
+            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
+            self.scatter_jk(bra_pair, ket_pair, &block, d_j, d_k, k_scale, g_local);
+            done += 1;
+        }
+        done
+    }
+
+    /// J/K scatter with independent densities (see [`Self::execute_jk`]).
+    #[allow(clippy::too_many_arguments)] // kernel-internal plumbing
+    fn scatter_jk(
+        &self,
+        bra: &crate::shellpair::ShellPair,
+        ket: &crate::shellpair::ShellPair,
+        block: &[f64],
+        pj: &Matrix,
+        pk: &Matrix,
+        k_scale: f64,
+        g: &mut Matrix,
+    ) {
+        let off = &self.bm.shell_offsets;
+        let ca = cartesian_components(bra.la);
+        let cb = cartesian_components(bra.lb);
+        let cc = cartesian_components(ket.la);
+        let cd = cartesian_components(ket.lb);
+        let (oa, ob, oc, od) = (off[bra.a], off[bra.b], off[ket.a], off[ket.b]);
+        let (ncb, ncc, ncd) = (cb.len(), cc.len(), cd.len());
+        let same_ab = bra.a == bra.b;
+        let same_cd = ket.a == ket.b;
+        let same_pair = bra.a == ket.a && bra.b == ket.b;
+
+        let mut idx = 0;
+        for ia in 0..ca.len() {
+            let mu = oa + ia;
+            for ib in 0..ncb {
+                let nu = ob + ib;
+                for ic in 0..ncc {
+                    let la = oc + ic;
+                    for id in 0..ncd {
+                        let si = od + id;
+                        let v = block[idx];
+                        idx += 1;
+                        if v == 0.0 {
+                            continue;
+                        }
+                        if same_ab && ib > ia {
+                            continue;
+                        }
+                        if same_cd && id > ic {
+                            continue;
+                        }
+                        if same_pair {
+                            let ij = mu * (mu + 1) / 2 + nu;
+                            let kl = la * (la + 1) / 2 + si;
+                            if ij < kl {
+                                continue;
+                            }
+                        }
+                        scatter_images_jk(g, pj, pk, k_scale, v, mu, nu, la, si);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Largest |density| entry touching each shell pair's block — the
+    /// density factor of density-weighted (incremental) screening.
+    pub fn pair_density_max(&self, density: &Matrix) -> Vec<f64> {
+        let off = &self.bm.shell_offsets;
+        self.pairs
+            .pairs
+            .iter()
+            .map(|sp| {
+                let (a0, a1) = (off[sp.a], off[sp.a] + self.bm.shells[sp.a].ncart());
+                let (b0, b1) = (off[sp.b], off[sp.b] + self.bm.shells[sp.b].ncart());
+                let mut m = 0.0f64;
+                for i in a0..a1 {
+                    for j in b0..b1 {
+                        m = m.max(density[(i, j)].abs());
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    /// Executes one task with density-weighted screening: the quartet
+    /// `(I|J)` is skipped when `Q_I·Q_J·max(D_I, D_J)` falls below τ.
+    ///
+    /// With `density = ΔD` (the density *change*), this is the
+    /// incremental Fock build: as SCF converges, ΔD shrinks and ever
+    /// more quartets vanish — per-task costs drift between iterations,
+    /// eroding the persistence-balancer's core assumption.
+    pub fn execute_density_screened(
+        &self,
+        task: &FockTask,
+        density: &Matrix,
+        dmax: &[f64],
+        g_local: &mut Matrix,
+    ) -> u64 {
+        debug_assert_eq!(dmax.len(), self.pairs.len());
+        let mut done = 0;
+        let bra_pair = &self.pairs.pairs[task.bra];
+        for ket in task.ket_begin..task.ket_end {
+            let dfactor = dmax[task.bra].max(dmax[ket]);
+            if self.pairs.q[task.bra] * self.pairs.q[ket] * dfactor < self.tau {
+                continue;
+            }
+            let ket_pair = &self.pairs.pairs[ket];
+            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
+            self.scatter(bra_pair, ket_pair, &block, density, g_local);
+            done += 1;
+        }
+        done
+    }
+}
+
+/// Applies the J/K updates of one canonical integral value to every
+/// distinct permutational image of `(μν|λσ)`.
+fn scatter_images(g: &mut Matrix, p: &Matrix, v: f64, mu: usize, nu: usize, la: usize, si: usize) {
+    let images = [
+        (mu, nu, la, si),
+        (nu, mu, la, si),
+        (mu, nu, si, la),
+        (nu, mu, si, la),
+        (la, si, mu, nu),
+        (si, la, mu, nu),
+        (la, si, nu, mu),
+        (si, la, nu, mu),
+    ];
+    // Dedup the ≤ 8 images in place (tiny fixed-size problem).
+    let mut seen: [(usize, usize, usize, usize); 8] = [(usize::MAX, 0, 0, 0); 8];
+    let mut nseen = 0;
+    for &im in &images {
+        if seen[..nseen].contains(&im) {
+            continue;
+        }
+        seen[nseen] = im;
+        nseen += 1;
+        let (a, b, c, d) = im;
+        // The symmetry orbits of all canonical quartets partition the
+        // full (a,b,c,d) index space, so applying the two naive updates
+        // once per distinct image reproduces the unrestricted four-index
+        // sums exactly:
+        //   Coulomb   G[ab] += P[cd]·(ab|cd)
+        //   Exchange  G[ac] −= ½·P[bd]·(ab|cd)
+        g[(a, b)] += p.row(c)[d] * v;
+        g[(a, c)] -= 0.5 * p.row(b)[d] * v;
+    }
+}
+
+/// J/K image scatter with independent Coulomb/exchange densities.
+#[allow(clippy::too_many_arguments)] // kernel-internal plumbing
+fn scatter_images_jk(
+    g: &mut Matrix,
+    pj: &Matrix,
+    pk: &Matrix,
+    k_scale: f64,
+    v: f64,
+    mu: usize,
+    nu: usize,
+    la: usize,
+    si: usize,
+) {
+    let images = [
+        (mu, nu, la, si),
+        (nu, mu, la, si),
+        (mu, nu, si, la),
+        (nu, mu, si, la),
+        (la, si, mu, nu),
+        (si, la, mu, nu),
+        (la, si, nu, mu),
+        (si, la, nu, mu),
+    ];
+    let mut seen: [(usize, usize, usize, usize); 8] = [(usize::MAX, 0, 0, 0); 8];
+    let mut nseen = 0;
+    for &im in &images {
+        if seen[..nseen].contains(&im) {
+            continue;
+        }
+        seen[nseen] = im;
+        nseen += 1;
+        let (a, b, c, d) = im;
+        g[(a, b)] += pj.row(c)[d] * v;
+        g[(a, c)] -= k_scale * pk.row(b)[d] * v;
+    }
+}
+
+/// Reference `G` built from the naive four-index loop (no symmetry, no
+/// screening). Exponential in patience — test-sized molecules only.
+pub fn g_matrix_reference(bm: &BasisedMolecule, density: &Matrix) -> Matrix {
+    let n = bm.nbf;
+    // Materialize the full ERI tensor.
+    let mut eri = vec![0.0; n * n * n * n];
+    let at = |m: usize, u: usize, l: usize, s: usize| ((m * n + u) * n + l) * n + s;
+    let nsh = bm.nshells();
+    for a in 0..nsh {
+        for b in 0..nsh {
+            let bra = crate::shellpair::ShellPair::build(a, &bm.shells[a], b, &bm.shells[b], 0);
+            for c in 0..nsh {
+                for d in 0..nsh {
+                    let ket =
+                        crate::shellpair::ShellPair::build(c, &bm.shells[c], d, &bm.shells[d], 0);
+                    let block = eri_quartet(&bra, &ket, &bm.shells);
+                    let (na, nb) = (bm.shells[a].ncart(), bm.shells[b].ncart());
+                    let (nc, nd) = (bm.shells[c].ncart(), bm.shells[d].ncart());
+                    let (oa, ob, oc, od) = (
+                        bm.shell_offsets[a],
+                        bm.shell_offsets[b],
+                        bm.shell_offsets[c],
+                        bm.shell_offsets[d],
+                    );
+                    let mut i = 0;
+                    for ia in 0..na {
+                        for ib in 0..nb {
+                            for ic in 0..nc {
+                                for id in 0..nd {
+                                    eri[at(oa + ia, ob + ib, oc + ic, od + id)] = block[i];
+                                    i += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut g = Matrix::zeros(n, n);
+    for mu in 0..n {
+        for nu in 0..n {
+            let mut s = 0.0;
+            for la in 0..n {
+                for si in 0..n {
+                    s += density[(la, si)]
+                        * (eri[at(mu, nu, la, si)] - 0.5 * eri[at(mu, la, nu, si)]);
+                }
+            }
+            g[(mu, nu)] = s;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{BasisSet, BasisedMolecule};
+    use crate::molecule::Molecule;
+
+    fn setup(mol: &Molecule) -> (BasisedMolecule, ScreenedPairs) {
+        let bm = BasisedMolecule::assign(mol, BasisSet::Sto3g);
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        (bm, pairs)
+    }
+
+    fn mock_density(n: usize) -> Matrix {
+        // A symmetric, not-too-structured density stand-in.
+        let mut d = Matrix::from_fn(n, n, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+        d.symmetrize();
+        d
+    }
+
+    #[test]
+    fn serial_matches_naive_reference_h2() {
+        let mol = Molecule::h2(1.4);
+        let (bm, pairs) = setup(&mol);
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let d = mock_density(bm.nbf);
+        let g = fb.build_serial(&d);
+        let gref = g_matrix_reference(&bm, &d);
+        assert!(g.max_abs_diff(&gref) < 1e-10, "diff {}", g.max_abs_diff(&gref));
+    }
+
+    #[test]
+    fn serial_matches_naive_reference_water() {
+        let mol = Molecule::water();
+        let (bm, pairs) = setup(&mol);
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let d = mock_density(bm.nbf);
+        let g = fb.build_serial(&d);
+        let gref = g_matrix_reference(&bm, &d);
+        assert!(g.max_abs_diff(&gref) < 1e-9, "diff {}", g.max_abs_diff(&gref));
+    }
+
+    #[test]
+    fn serial_matches_naive_reference_split_valence() {
+        // Regression: split-valence bases have two shells of the same
+        // angular momentum on one center, producing quartets where bra
+        // and ket share only their first shell. A global-compound
+        // canonicality filter silently drops those contributions (they
+        // vanish by symmetry in minimal bases, masking the bug).
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+        let pairs = ScreenedPairs::build(&bm, 1e-14);
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let d = mock_density(bm.nbf);
+        let g = fb.build_serial(&d);
+        let gref = g_matrix_reference(&bm, &d);
+        assert!(g.max_abs_diff(&gref) < 1e-9, "diff {}", g.max_abs_diff(&gref));
+    }
+
+    #[test]
+    fn g_is_symmetric_for_symmetric_density() {
+        let (bm, pairs) = setup(&Molecule::water());
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let g = fb.build_serial(&mock_density(bm.nbf));
+        assert!(g.is_symmetric(1e-9), "asymmetry {}", g.max_asymmetry());
+    }
+
+    #[test]
+    fn task_chunking_partitions_ket_ranges() {
+        let (bm, pairs) = setup(&Molecule::water());
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        for chunk in [1, 2, 3, 7, usize::MAX] {
+            let tasks = fb.tasks(chunk);
+            // For each bra, ket ranges must tile 0..=bra without gaps.
+            for bra in 0..pairs.len() {
+                let mut ranges: Vec<_> =
+                    tasks.iter().filter(|t| t.bra == bra).map(|t| (t.ket_begin, t.ket_end)).collect();
+                ranges.sort();
+                let mut expect = 0;
+                for (b, e) in ranges {
+                    assert_eq!(b, expect, "gap in ket coverage for bra {bra} chunk {chunk}");
+                    expect = e;
+                }
+                assert_eq!(expect, bra + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_execution_sums_to_serial() {
+        let (bm, pairs) = setup(&Molecule::water());
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let d = mock_density(bm.nbf);
+        let reference = fb.build_serial(&d);
+        for chunk in [1, 3, 5] {
+            let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+            // Execute in a scrambled order to mimic dynamic scheduling.
+            let mut tasks = fb.tasks(chunk);
+            tasks.reverse();
+            for t in &tasks {
+                fb.execute(t, &d, &mut g);
+            }
+            assert!(g.max_abs_diff(&reference) < 1e-10, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn jk_build_reduces_to_rhf_build() {
+        // execute_jk(P, P, ½) must equal the fused RHF scatter exactly.
+        let (bm, pairs) = setup(&Molecule::water());
+        let fb = FockBuilder::new(&bm, &pairs, 1e-10);
+        let d = mock_density(bm.nbf);
+        let mut g_rhf = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut g_jk = Matrix::zeros(bm.nbf, bm.nbf);
+        for t in fb.tasks(5) {
+            fb.execute(&t, &d, &mut g_rhf);
+            fb.execute_jk(&t, &d, &d, 0.5, &mut g_jk);
+        }
+        assert!(g_rhf.max_abs_diff(&g_jk) < 1e-14);
+    }
+
+    #[test]
+    fn jk_pure_coulomb_and_pure_exchange_split() {
+        // J-only plus (−K)-only equals the combined build (linearity).
+        let (bm, pairs) = setup(&Molecule::h2(1.4));
+        let fb = FockBuilder::new(&bm, &pairs, 0.0);
+        let d = mock_density(bm.nbf);
+        let zero = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut j_only = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut k_only = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut combined = Matrix::zeros(bm.nbf, bm.nbf);
+        for t in fb.tasks(usize::MAX) {
+            fb.execute_jk(&t, &d, &zero, 1.0, &mut j_only);
+            fb.execute_jk(&t, &zero, &d, 1.0, &mut k_only);
+            fb.execute_jk(&t, &d, &d, 1.0, &mut combined);
+        }
+        let sum = j_only.add(&k_only).unwrap();
+        assert!(sum.max_abs_diff(&combined) < 1e-13);
+        // J of a positive density against itself is positive on the
+        // diagonal; K enters with a negative sign.
+        assert!(j_only[(0, 0)] > 0.0);
+        assert!(k_only[(0, 0)] < 0.0);
+    }
+
+    #[test]
+    fn screening_changes_little_for_loose_threshold() {
+        let (bm, pairs) = setup(&Molecule::alkane(3));
+        let d = mock_density(bm.nbf);
+        let exact = FockBuilder::new(&bm, &pairs, 0.0).build_serial(&d);
+        let screened = FockBuilder::new(&bm, &pairs, 1e-9).build_serial(&d);
+        assert!(exact.max_abs_diff(&screened) < 1e-6);
+    }
+
+    #[test]
+    fn task_costs_are_skewed() {
+        let (bm, pairs) = setup(&Molecule::water_cluster(2, 1));
+        let fb = FockBuilder::new(&bm, &pairs, 1e-10);
+        let tasks = fb.tasks(usize::MAX);
+        let max = tasks.iter().map(|t| t.est_cost).max().unwrap();
+        let min = tasks.iter().map(|t| t.est_cost).min().unwrap();
+        assert!(max > 10 * min.max(1), "expected skew, got {min}..{max}");
+    }
+
+    #[test]
+    fn measured_quartets_match_screen_count() {
+        let (bm, pairs) = setup(&Molecule::water());
+        let fb = FockBuilder::new(&bm, &pairs, 1e-10);
+        let d = mock_density(bm.nbf);
+        let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+        let total: u64 =
+            fb.tasks(usize::MAX).iter().map(|t| fb.execute(t, &d, &mut g)).sum();
+        assert_eq!(total as usize, pairs.surviving_quartets(1e-10));
+    }
+}

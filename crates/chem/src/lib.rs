@@ -1,0 +1,59 @@
+//! # emx-chem — the computational chemistry kernel
+//!
+//! A from-scratch Gaussian-basis restricted Hartree–Fock implementation
+//! whose Fock build is the case-study kernel of the execution-model
+//! reproduction:
+//!
+//! * [`molecule`] — geometries and workload generators (water clusters,
+//!   alkanes, random clusters);
+//! * [`basis`] — contracted Gaussian shells, STO-3G and 6-31G data;
+//! * [`boys`], [`md`] — Boys function and McMurchie–Davidson machinery;
+//! * [`oneint`], [`eri`] — one- and two-electron integrals;
+//! * [`screening`] — Schwarz screening (the source of task-cost skew);
+//! * [`fock`] — the Fock build decomposed into schedulable tasks;
+//! * [`scf`] — the RHF driver consuming the kernel;
+//! * [`tasks`], [`synthetic`] — cost statistics and calibrated synthetic
+//!   surrogates for fast execution-model sweeps.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use emx_chem::prelude::*;
+//!
+//! let mol = Molecule::h2(1.4);
+//! let bm = BasisedMolecule::assign(&mol, BasisSet::Sto3g);
+//! let result = rhf(&bm, &ScfConfig::default());
+//! assert!(result.converged);
+//! assert!((result.energy + 1.1167).abs() < 1e-3);
+//! ```
+
+pub mod basis;
+pub mod boys;
+pub mod eri;
+pub mod fock;
+pub mod md;
+pub mod molecule;
+pub mod mp2;
+pub mod oneint;
+pub mod properties;
+pub mod scf;
+pub mod screening;
+pub mod shellpair;
+pub mod synthetic;
+pub mod tasks;
+pub mod uhf;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::basis::{BasisSet, BasisedMolecule, Element, Shell};
+    pub use crate::oneint::{dipole, dipole_moment, AU_TO_DEBYE};
+    pub use crate::mp2::{ao_to_mo, full_eri_tensor, mp2_energy};
+    pub use crate::properties::{mulliken_charges, mulliken_electron_count};
+    pub use crate::fock::{FockBuilder, FockTask};
+    pub use crate::molecule::Molecule;
+    pub use crate::scf::{rhf, rhf_incremental, rhf_with, IncrementalStats, ScfConfig, ScfResult};
+    pub use crate::screening::ScreenedPairs;
+    pub use crate::synthetic::{busy_work, calibrate_lognormal, generate_costs, CostModel};
+    pub use crate::tasks::{imbalance, makespan_lower_bound, CostStats};
+    pub use crate::uhf::{spin_density, uhf, UhfResult};
+}

@@ -1,0 +1,284 @@
+//! McMurchie–Davidson machinery: Hermite expansion coefficients `E_t^{ij}`
+//! and Hermite Coulomb integrals `R_{tuv}`.
+//!
+//! The McMurchie–Davidson scheme expands a product of two Cartesian
+//! Gaussians as a sum of Hermite Gaussians,
+//!
+//! ```text
+//! G_i(x; a, A) · G_j(x; b, B) = Σ_t E_t^{ij} Λ_t(x; p, P)
+//! ```
+//!
+//! after which overlaps are single coefficients, and all Coulomb-type
+//! integrals contract `E` tables against the Hermite Coulomb tensor
+//! `R_{tuv}`, itself built from the Boys function. The recurrences follow
+//! Helgaker, Jørgensen & Olsen, *Molecular Electronic-Structure Theory*,
+//! ch. 9.
+
+use crate::boys::boys_ladder;
+
+/// Table of Hermite expansion coefficients for one Cartesian direction.
+///
+/// Stores `E_t^{ij}` for `0 ≤ i ≤ imax`, `0 ≤ j ≤ jmax`, `0 ≤ t ≤ i+j`,
+/// already including the Gaussian product prefactor
+/// `exp(-ab/(a+b)·X_AB²)` for this direction.
+#[derive(Debug, Clone)]
+pub struct HermiteE {
+    imax: usize,
+    jmax: usize,
+    tdim: usize,
+    data: Vec<f64>,
+}
+
+impl HermiteE {
+    /// Builds the full table for one dimension.
+    ///
+    /// * `a`, `b` — primitive exponents; `ax`, `bx` — center coordinates
+    ///   along this dimension.
+    pub fn build(imax: usize, jmax: usize, a: f64, b: f64, ax: f64, bx: f64) -> HermiteE {
+        let p = a + b;
+        let mu = a * b / p;
+        let xab = ax - bx;
+        let px = (a * ax + b * bx) / p;
+        let xpa = px - ax;
+        let xpb = px - bx;
+        let one_over_2p = 0.5 / p;
+        let tdim = imax + jmax + 1;
+        let mut e = HermiteE { imax, jmax, tdim, data: vec![0.0; (imax + 1) * (jmax + 1) * tdim] };
+
+        // Base case.
+        *e.at_mut(0, 0, 0) = (-mu * xab * xab).exp();
+
+        // Build up in i at j = 0:
+        //   E_t^{i+1,0} = 1/(2p)·E_{t-1}^{i,0} + X_PA·E_t^{i,0} + (t+1)·E_{t+1}^{i,0}
+        for i in 0..imax {
+            for t in 0..=(i + 1) {
+                let mut v = xpa * e.at(i, 0, t);
+                if t > 0 {
+                    v += one_over_2p * e.at(i, 0, t - 1);
+                }
+                if t < i {
+                    v += (t + 1) as f64 * e.at(i, 0, t + 1);
+                }
+                *e.at_mut(i + 1, 0, t) = v;
+            }
+        }
+        // Build up in j for every i:
+        //   E_t^{i,j+1} = 1/(2p)·E_{t-1}^{i,j} + X_PB·E_t^{i,j} + (t+1)·E_{t+1}^{i,j}
+        for i in 0..=imax {
+            for j in 0..jmax {
+                for t in 0..=(i + j + 1) {
+                    let mut v = xpb * e.at(i, j, t);
+                    if t > 0 {
+                        v += one_over_2p * e.at(i, j, t - 1);
+                    }
+                    if t < i + j {
+                        v += (t + 1) as f64 * e.at(i, j, t + 1);
+                    }
+                    *e.at_mut(i, j + 1, t) = v;
+                }
+            }
+        }
+        e
+    }
+
+    /// Reads `E_t^{ij}` (zero outside the stored `t ≤ i+j` triangle).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, t: usize) -> f64 {
+        if t >= self.tdim {
+            return 0.0;
+        }
+        debug_assert!(i <= self.imax && j <= self.jmax);
+        self.data[(i * (self.jmax + 1) + j) * self.tdim + t]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, i: usize, j: usize, t: usize) -> &mut f64 {
+        &mut self.data[(i * (self.jmax + 1) + j) * self.tdim + t]
+    }
+}
+
+/// Hermite Coulomb integral tensor `R⁰_{tuv}` for all `t+u+v ≤ l`.
+///
+/// * `l` — maximum total Hermite order;
+/// * `alpha` — the effective exponent (`p` for nuclear attraction,
+///   `pq/(p+q)` for ERIs);
+/// * `dx, dy, dz` — the displacement vector (`P−C` or `P−Q`).
+///
+/// Returns a flat `(l+1)³` array indexed by [`r_index`] (entries with
+/// `t+u+v > l` are zero).
+pub fn hermite_r(l: usize, alpha: f64, dx: f64, dy: f64, dz: f64) -> Vec<f64> {
+    let dim = l + 1;
+    let t_arg = alpha * (dx * dx + dy * dy + dz * dz);
+    let mut f = vec![0.0; l + 1];
+    boys_ladder(l, t_arg, &mut f);
+
+    let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
+    let mut prev: Vec<f64> = Vec::new();
+    let mut cur = vec![0.0; dim * dim * dim];
+
+    // Build levels n = l down to 0; at level n entries with
+    // t+u+v ≤ l−n are valid.
+    for n in (0..=l).rev() {
+        cur.iter_mut().for_each(|v| *v = 0.0);
+        cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * f[n];
+        let budget = l - n;
+        for total in 1..=budget {
+            for t in 0..=total {
+                for u in 0..=(total - t) {
+                    let v = total - t - u;
+                    let val = if t > 0 {
+                        let mut x = dx * prev[idx(t - 1, u, v)];
+                        if t > 1 {
+                            x += (t - 1) as f64 * prev[idx(t - 2, u, v)];
+                        }
+                        x
+                    } else if u > 0 {
+                        let mut x = dy * prev[idx(t, u - 1, v)];
+                        if u > 1 {
+                            x += (u - 1) as f64 * prev[idx(t, u - 2, v)];
+                        }
+                        x
+                    } else {
+                        let mut x = dz * prev[idx(t, u, v - 1)];
+                        if v > 1 {
+                            x += (v - 1) as f64 * prev[idx(t, u, v - 2)];
+                        }
+                        x
+                    };
+                    cur[idx(t, u, v)] = val;
+                }
+            }
+        }
+        prev = cur.clone();
+    }
+    cur
+}
+
+/// Index into the flat tensor returned by [`hermite_r`].
+#[inline]
+pub fn r_index(l: usize, t: usize, u: usize, v: usize) -> usize {
+    let dim = l + 1;
+    (t * dim + u) * dim + v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn e000_is_gaussian_product_prefactor() {
+        let (a, b, ax, bx) = (0.8, 1.3, 0.0, 1.5);
+        let e = HermiteE::build(0, 0, a, b, ax, bx);
+        let mu = a * b / (a + b);
+        assert!((e.at(0, 0, 0) - (-mu * 2.25).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_from_e_matches_closed_form_ss() {
+        // S = E_0^{00}(x)·E_0^{00}(y)·E_0^{00}(z) · (π/p)^{3/2}
+        let (a, b) = (0.7, 0.9);
+        let (pa, pb) = ([0.1, -0.2, 0.3], [1.0, 0.5, -0.4]);
+        let p = a + b;
+        let mut s = (PI / p).powf(1.5);
+        for d in 0..3 {
+            s *= HermiteE::build(0, 0, a, b, pa[d], pb[d]).at(0, 0, 0);
+        }
+        let mu = a * b / p;
+        let r2: f64 = (0..3).map(|d| (pa[d] - pb[d]) * (pa[d] - pb[d])).sum();
+        let expected = (PI / p).powf(1.5) * (-mu * r2).exp();
+        assert!((s - expected).abs() < 1e-14);
+    }
+
+    #[test]
+    fn e_sum_rule_same_center() {
+        // For A == B, E_t^{ij} with t = 0 equals the 1D same-center
+        // overlap moment ⟨x^{i+j}⟩-type coefficient; spot check i=j=1:
+        // E_0^{11} = 1/(2p).
+        let (a, b) = (1.1, 0.6);
+        let e = HermiteE::build(1, 1, a, b, 0.0, 0.0);
+        assert!((e.at(1, 1, 0) - 0.5 / (a + b)).abs() < 1e-15);
+        // And E_2^{11} = (1/(2p))² · … the top coefficient is always
+        // (1/(2p))^{i+j} when centers coincide.
+        assert!((e.at(1, 1, 2) - (0.5 / (a + b)).powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn e_top_coefficient_general() {
+        // E_{i+j}^{ij} = (1/(2p))^{i+j} · E_0^{00} holds for any centers.
+        let (a, b, ax, bx) = (0.9, 1.7, -0.3, 0.8);
+        let e = HermiteE::build(2, 2, a, b, ax, bx);
+        let k = e.at(0, 0, 0);
+        let h = 0.5 / (a + b);
+        for (i, j) in [(1, 0), (0, 1), (1, 1), (2, 1), (2, 2)] {
+            let top = e.at(i, j, i + j);
+            assert!(
+                (top - k * h.powi((i + j) as i32)).abs() < 1e-14,
+                "i={i} j={j}: {top}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_t_reads_zero() {
+        let e = HermiteE::build(1, 1, 1.0, 1.0, 0.0, 0.0);
+        assert_eq!(e.at(1, 1, 3), 0.0);
+    }
+
+    #[test]
+    fn r000_at_zero_distance() {
+        // R⁰_{000} = F_0(0) = 1 regardless of alpha.
+        let r = hermite_r(0, 0.75, 0.0, 0.0, 0.0);
+        assert!((r[r_index(0, 0, 0, 0)] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn r_first_derivatives_are_odd() {
+        // R_{100} is the x-derivative of R_{000} → antisymmetric in dx.
+        let l = 1;
+        let rp = hermite_r(l, 0.6, 0.9, 0.2, -0.1);
+        let rm = hermite_r(l, 0.6, -0.9, 0.2, -0.1);
+        let t = r_index(l, 1, 0, 0);
+        assert!((rp[t] + rm[t]).abs() < 1e-14);
+        // while R_{000} is even.
+        let o = r_index(l, 0, 0, 0);
+        assert!((rp[o] - rm[o]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn r100_matches_finite_difference() {
+        // R_{100}(d) = ∂/∂dx R_{000}(d); check with central differences.
+        let alpha = 0.8;
+        let (dx, dy, dz) = (0.7, -0.3, 0.45);
+        let h = 1e-5;
+        let r0 = |x: f64| {
+            let t = hermite_r(0, alpha, x, dy, dz);
+            t[r_index(0, 0, 0, 0)]
+        };
+        let fd = (r0(dx + h) - r0(dx - h)) / (2.0 * h);
+        let r = hermite_r(1, alpha, dx, dy, dz);
+        assert!(
+            (r[r_index(1, 1, 0, 0)] - fd).abs() < 1e-8,
+            "{} vs {}",
+            r[r_index(1, 1, 0, 0)],
+            fd
+        );
+    }
+
+    #[test]
+    fn r_mixed_second_derivative_fd() {
+        // R_{110} = ∂²/∂dx∂dy R_{000}.
+        let alpha = 1.1;
+        let (dx, dy, dz) = (0.4, 0.6, -0.2);
+        let h = 1e-4;
+        let r0 = |x: f64, y: f64| {
+            let t = hermite_r(0, alpha, x, y, dz);
+            t[r_index(0, 0, 0, 0)]
+        };
+        let fd = (r0(dx + h, dy + h) - r0(dx + h, dy - h) - r0(dx - h, dy + h)
+            + r0(dx - h, dy - h))
+            / (4.0 * h * h);
+        let r = hermite_r(2, alpha, dx, dy, dz);
+        assert!((r[r_index(2, 1, 1, 0)] - fd).abs() < 1e-6);
+    }
+}

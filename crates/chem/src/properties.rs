@@ -1,0 +1,84 @@
+//! Molecular properties from the converged density.
+//!
+//! Small, independently verifiable consumers of the SCF result — used
+//! by the examples to show the kernel's output is *chemistry*, not just
+//! timings. Dipole moments live in [`crate::oneint`] (they are
+//! integrals); this module holds density-derived analyses.
+
+use crate::basis::BasisedMolecule;
+use crate::oneint::overlap;
+use emx_linalg::Matrix;
+
+/// Mulliken population analysis: partial charge per atom,
+/// `q_A = Z_A − Σ_{μ∈A} (P·S)_{μμ}`.
+///
+/// The gross orbital populations sum to the electron count, so the
+/// charges of a neutral molecule sum to ~0 (returned values are not
+/// renormalized — the residual is a numerical-quality check).
+pub fn mulliken_charges(bm: &BasisedMolecule, density: &Matrix) -> Vec<f64> {
+    let s = overlap(bm);
+    let ps = density.matmul(&s).expect("P·S shapes");
+    let mut populations = vec![0.0; bm.charges.len()];
+    for (shell, &offset) in bm.shells.iter().zip(&bm.shell_offsets) {
+        for c in 0..shell.ncart() {
+            populations[shell.atom] += ps[(offset + c, offset + c)];
+        }
+    }
+    bm.charges.iter().zip(&populations).map(|(&z, &p)| z - p).collect()
+}
+
+/// Total Mulliken electron count `tr(P·S)` — equals the number of
+/// electrons for any valid closed-shell density.
+pub fn mulliken_electron_count(bm: &BasisedMolecule, density: &Matrix) -> f64 {
+    let s = overlap(bm);
+    density.matmul(&s).expect("P·S shapes").trace().expect("square")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::{BasisSet, BasisedMolecule, Element};
+    use crate::molecule::Molecule;
+    use crate::scf::{rhf, ScfConfig};
+
+    #[test]
+    fn water_charges_have_chemical_signs() {
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+        let r = rhf(&bm, &ScfConfig::default());
+        let q = mulliken_charges(&bm, &r.density);
+        assert_eq!(q.len(), 3);
+        // Oxygen pulls density: negative charge; hydrogens positive.
+        assert!(q[0] < -0.1, "O charge {q:?}");
+        assert!(q[1] > 0.05 && q[2] > 0.05, "H charges {q:?}");
+        // Symmetry: both hydrogens identical.
+        assert!((q[1] - q[2]).abs() < 1e-8);
+        // Neutral molecule: charges sum to ~0.
+        assert!(q.iter().sum::<f64>().abs() < 1e-8);
+    }
+
+    #[test]
+    fn electron_count_from_population() {
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+        let r = rhf(&bm, &ScfConfig::default());
+        assert!((mulliken_electron_count(&bm, &r.density) - 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn homonuclear_molecule_has_zero_charges() {
+        let bm = BasisedMolecule::assign(&Molecule::h2(1.4), BasisSet::Sto3g);
+        let r = rhf(&bm, &ScfConfig::default());
+        let q = mulliken_charges(&bm, &r.density);
+        assert!(q.iter().all(|&x| x.abs() < 1e-10), "{q:?}");
+    }
+
+    #[test]
+    fn methane_carbon_is_negative_in_sto3g() {
+        let bm = BasisedMolecule::assign(&Molecule::alkane(1), BasisSet::Sto3g);
+        let r = rhf(&bm, &ScfConfig::default());
+        let q = mulliken_charges(&bm, &r.density);
+        let c = bm.charges.iter().position(|&z| z == 6.0).unwrap();
+        let _ = Element::C;
+        assert!(q[c] < 0.0, "C charge {}", q[c]);
+        assert!(q.iter().sum::<f64>().abs() < 1e-8);
+    }
+}

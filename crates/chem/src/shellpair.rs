@@ -1,0 +1,114 @@
+//! Precomputed shell-pair data.
+//!
+//! Real integral codes never recompute the Gaussian-product quantities
+//! per quartet: a *shell pair* caches, for every pair of primitives, the
+//! total exponent `p`, the product center `P` and the per-dimension
+//! Hermite `E` tables. An ERI over the quartet `(AB|CD)` then only
+//! combines a *bra* pair with a *ket* pair through the `R` tensor.
+
+use crate::basis::Shell;
+use crate::md::HermiteE;
+
+/// One primitive pair within a shell pair.
+#[derive(Debug, Clone)]
+pub struct PrimPair {
+    /// Total exponent `p = a + b`.
+    pub p: f64,
+    /// Exponent of the second primitive (needed by the kinetic-energy
+    /// recurrence, which differentiates the *ket* Gaussian).
+    pub eb: f64,
+    /// Gaussian product center.
+    pub center: [f64; 3],
+    /// Product of contraction coefficients `c_a · c_b`.
+    pub coef: f64,
+    /// Hermite E tables for x, y, z.
+    pub ex: HermiteE,
+    /// Hermite E table for y.
+    pub ey: HermiteE,
+    /// Hermite E table for z.
+    pub ez: HermiteE,
+}
+
+/// Cached pair of shells `(a, b)` with all primitive-pair data.
+#[derive(Debug, Clone)]
+pub struct ShellPair {
+    /// Index of the first shell.
+    pub a: usize,
+    /// Index of the second shell.
+    pub b: usize,
+    /// Angular momentum of shell `a`.
+    pub la: usize,
+    /// Angular momentum of shell `b`.
+    pub lb: usize,
+    /// All primitive pairs (negligible ones pruned).
+    pub prims: Vec<PrimPair>,
+}
+
+impl ShellPair {
+    /// Builds the pair data for shells `sa` (index `a`) and `sb` (index
+    /// `b`). `extra_j` widens the second index of the `E` tables — the
+    /// kinetic-energy operator needs `j+2`.
+    ///
+    /// Primitive pairs whose Gaussian-product prefactor is below
+    /// `1e-18` in every dimension product are pruned; for well-separated
+    /// diffuse/tight pairs this removes most of the work, exactly like
+    /// production integral codes do.
+    pub fn build(a: usize, sa: &Shell, b: usize, sb: &Shell, extra_j: usize) -> ShellPair {
+        let mut prims = Vec::with_capacity(sa.nprim() * sb.nprim());
+        for (&ea, &ca) in sa.exps.iter().zip(&sa.coefs) {
+            for (&eb, &cb) in sb.exps.iter().zip(&sb.coefs) {
+                let p = ea + eb;
+                let center = [
+                    (ea * sa.center[0] + eb * sb.center[0]) / p,
+                    (ea * sa.center[1] + eb * sb.center[1]) / p,
+                    (ea * sa.center[2] + eb * sb.center[2]) / p,
+                ];
+                let ex = HermiteE::build(sa.l, sb.l + extra_j, ea, eb, sa.center[0], sb.center[0]);
+                let ey = HermiteE::build(sa.l, sb.l + extra_j, ea, eb, sa.center[1], sb.center[1]);
+                let ez = HermiteE::build(sa.l, sb.l + extra_j, ea, eb, sa.center[2], sb.center[2]);
+                let k = ex.at(0, 0, 0) * ey.at(0, 0, 0) * ez.at(0, 0, 0);
+                if (ca * cb * k).abs() < 1e-18 {
+                    continue;
+                }
+                prims.push(PrimPair { p, eb, center, coef: ca * cb, ex, ey, ez });
+            }
+        }
+        ShellPair { a, b, la: sa.l, lb: sb.l, prims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::Shell;
+
+    fn s_shell(center: [f64; 3], exps: Vec<f64>, coefs: Vec<f64>) -> Shell {
+        Shell::new(0, center, exps, coefs, 0)
+    }
+
+    #[test]
+    fn prim_pair_count() {
+        let a = s_shell([0.0; 3], vec![1.0, 0.5], vec![0.6, 0.4]);
+        let b = s_shell([0.0, 0.0, 1.0], vec![0.8], vec![1.0]);
+        let sp = ShellPair::build(0, &a, 1, &b, 0);
+        assert_eq!(sp.prims.len(), 2);
+    }
+
+    #[test]
+    fn product_center_on_segment() {
+        let a = s_shell([0.0; 3], vec![2.0], vec![1.0]);
+        let b = s_shell([0.0, 0.0, 2.0], vec![1.0], vec![1.0]);
+        let sp = ShellPair::build(0, &a, 1, &b, 0);
+        // P = (2·0 + 1·2)/3 along z.
+        assert!((sp.prims[0].center[2] - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(sp.prims[0].center[0], 0.0);
+    }
+
+    #[test]
+    fn distant_pairs_are_pruned() {
+        let a = s_shell([0.0; 3], vec![5.0], vec![1.0]);
+        let b = s_shell([0.0, 0.0, 50.0], vec![5.0], vec![1.0]);
+        let sp = ShellPair::build(0, &a, 1, &b, 0);
+        assert!(sp.prims.is_empty(), "far-apart tight pair must prune");
+    }
+}

@@ -1,0 +1,197 @@
+//! Synthetic surrogate workloads calibrated to the chemistry kernel.
+//!
+//! The real Fock build is the ground truth, but sweeping execution
+//! models over hundreds of configurations with real integrals would be
+//! needlessly slow. This module generates task-cost vectors whose
+//! *distribution* matches what the inspector measures on the real kernel
+//! (heavily right-skewed, approximately log-normal with a long tail),
+//! plus a deterministic [`busy_work`] kernel that burns a controlled
+//! number of floating-point operations so real-thread experiments get
+//! tasks of precisely known cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Families of synthetic task-cost distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// All tasks cost exactly `scale`.
+    Uniform {
+        /// The constant cost.
+        scale: f64,
+    },
+    /// Log-normal with the given log-mean and log-stddev — the shape the
+    /// screened Fock build exhibits.
+    LogNormal {
+        /// Mean of ln(cost).
+        mu: f64,
+        /// Stddev of ln(cost).
+        sigma: f64,
+    },
+    /// Discrete Pareto-ish tail: `cost = scale / u^{1/alpha}` for
+    /// uniform `u` — a few giant tasks among many small ones.
+    ParetoTail {
+        /// Scale of the smallest tasks.
+        scale: f64,
+        /// Tail exponent; smaller = heavier tail.
+        alpha: f64,
+    },
+    /// Triangular ramp `1..=n` like the triangular quartet loop of the
+    /// unchunked Fock build (task `i` covers `i+1` ket pairs).
+    Triangular {
+        /// Cost multiplier.
+        scale: f64,
+    },
+}
+
+/// Generates `n` task costs from the model, deterministically from
+/// `seed`.
+pub fn generate_costs(model: CostModel, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_57_5e_ed);
+    match model {
+        CostModel::Uniform { scale } => vec![scale; n],
+        CostModel::LogNormal { mu, sigma } => (0..n)
+            .map(|_| {
+                let z = standard_normal(&mut rng);
+                (mu + sigma * z).exp()
+            })
+            .collect(),
+        CostModel::ParetoTail { scale, alpha } => (0..n)
+            .map(|_| {
+                let u: f64 = rng.random_range(1e-9..1.0);
+                scale / u.powf(1.0 / alpha)
+            })
+            .collect(),
+        CostModel::Triangular { scale } => (0..n).map(|i| scale * (i + 1) as f64).collect(),
+    }
+}
+
+/// Fits a log-normal [`CostModel`] to measured costs (method of moments
+/// in log space). Zero or negative costs are clamped to the smallest
+/// positive measurement.
+///
+/// This is how benches calibrate the synthetic sweeps to the real
+/// kernel: run one inspector pass, fit, then generate arbitrarily many
+/// matched workloads.
+pub fn calibrate_lognormal(measured: &[f64]) -> CostModel {
+    assert!(!measured.is_empty(), "cannot calibrate from no measurements");
+    let floor = measured
+        .iter()
+        .cloned()
+        .filter(|&c| c > 0.0)
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
+    let logs: Vec<f64> = measured.iter().map(|&c| c.max(floor).ln()).collect();
+    let mu = logs.iter().sum::<f64>() / logs.len() as f64;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
+    CostModel::LogNormal { mu, sigma: var.sqrt() }
+}
+
+/// Box–Muller standard normal deviate.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Burns approximately `units` cost units of CPU (one unit ≈ 16 FLOPs of
+/// dependent arithmetic) and returns a value that must be consumed so
+/// the optimizer cannot elide the loop.
+///
+/// Deterministic, allocation-free, and with a strictly serial dependency
+/// chain — wall time scales linearly in `units` regardless of
+/// vectorization.
+#[inline(never)]
+pub fn busy_work(units: u64) -> f64 {
+    let mut x = 1.000_000_1f64;
+    for _ in 0..units {
+        // 16 dependent flops per iteration.
+        x = x * 1.000_000_3 + 0.000_000_7;
+        x = x * 0.999_999_9 + 0.000_000_1;
+        x = x * 1.000_000_1 - 0.000_000_2;
+        x = x * 0.999_999_7 + 0.000_000_4;
+        x = x * 1.000_000_2 - 0.000_000_3;
+        x = x * 0.999_999_8 + 0.000_000_6;
+        x = x * 1.000_000_4 - 0.000_000_5;
+        x = x * 0.999_999_6 + 0.000_000_8;
+        if x > 2.0 {
+            x -= 1.0;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::CostStats;
+
+    #[test]
+    fn uniform_generates_constant() {
+        let c = generate_costs(CostModel::Uniform { scale: 3.5 }, 10, 1);
+        assert!(c.iter().all(|&v| v == 3.5));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = CostModel::LogNormal { mu: 2.0, sigma: 1.0 };
+        assert_eq!(generate_costs(m, 100, 9), generate_costs(m, 100, 9));
+        assert_ne!(generate_costs(m, 100, 9), generate_costs(m, 100, 10));
+    }
+
+    #[test]
+    fn lognormal_moments_roughly_match() {
+        let (mu, sigma) = (1.5, 0.8);
+        let c = generate_costs(CostModel::LogNormal { mu, sigma }, 20_000, 3);
+        let logs: Vec<f64> = c.iter().map(|v| v.ln()).collect();
+        let m = logs.iter().sum::<f64>() / logs.len() as f64;
+        let v = logs.iter().map(|l| (l - m) * (l - m)).sum::<f64>() / logs.len() as f64;
+        assert!((m - mu).abs() < 0.05, "mu {m}");
+        assert!((v.sqrt() - sigma).abs() < 0.05, "sigma {}", v.sqrt());
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_lognormal() {
+        let p = generate_costs(CostModel::ParetoTail { scale: 1.0, alpha: 1.2 }, 5_000, 4);
+        let l = generate_costs(CostModel::LogNormal { mu: 0.0, sigma: 0.5 }, 5_000, 4);
+        assert!(CostStats::from_costs(&p).max_over_mean > CostStats::from_costs(&l).max_over_mean);
+    }
+
+    #[test]
+    fn triangular_ramp() {
+        let c = generate_costs(CostModel::Triangular { scale: 2.0 }, 4, 0);
+        assert_eq!(c, vec![2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn calibration_recovers_parameters() {
+        let truth = CostModel::LogNormal { mu: 3.0, sigma: 1.2 };
+        let sample = generate_costs(truth, 20_000, 5);
+        match calibrate_lognormal(&sample) {
+            CostModel::LogNormal { mu, sigma } => {
+                assert!((mu - 3.0).abs() < 0.05, "mu {mu}");
+                assert!((sigma - 1.2).abs() < 0.05, "sigma {sigma}");
+            }
+            other => panic!("wrong model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calibration_handles_zeros() {
+        match calibrate_lognormal(&[0.0, 1.0, 2.0]) {
+            CostModel::LogNormal { mu, sigma } => {
+                assert!(mu.is_finite() && sigma.is_finite());
+            }
+            other => panic!("wrong model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_work_returns_finite_and_scales() {
+        let v = busy_work(1000);
+        assert!(v.is_finite());
+        assert!(v > 0.0);
+        // Zero units is a no-op that still returns the seed value.
+        assert!((busy_work(0) - 1.000_000_1).abs() < 1e-12);
+    }
+}

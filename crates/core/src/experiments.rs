@@ -1,0 +1,609 @@
+//! Experiment drivers: one function per table/figure of the study.
+//!
+//! Each driver produces a [`Table`] whose rows mirror what the paper
+//! reports (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for paper-vs-measured). Scaling experiments run on the discrete-event
+//! simulator fed with measured or calibrated task costs; the overhead
+//! microbenchmarks (E7) measure the real thread runtime.
+
+use crate::balancer::{balance, BalancerKind, TaskAffinity};
+use crate::table::{fmt3, fmt_secs, Table};
+use crate::workload::KernelWorkload;
+use emx_balance::prelude::Problem;
+use emx_distsim::machine::MachineModel;
+use emx_distsim::nxtval::NxtVal;
+use emx_distsim::sim::{simulate, SimConfig, SimModel};
+use emx_runtime::{block_owner, ExecutionModel, Executor, StealConfig, Variability};
+
+/// The execution models compared in the scaling experiments, with a
+/// default counter chunk.
+fn sim_models(ntasks: usize, workers: usize, chunk: usize) -> Vec<(String, SimModel)> {
+    vec![
+        (
+            "static-block".into(),
+            SimModel::Static((0..ntasks).map(|i| block_owner(i, ntasks.max(1), workers) as u32).collect()),
+        ),
+        (
+            "static-cyclic".into(),
+            SimModel::Static((0..ntasks).map(|i| (i % workers) as u32).collect()),
+        ),
+        (format!("counter(c={chunk})"), SimModel::Counter { chunk }),
+        ("guided".into(), SimModel::Guided { min_chunk: 1 }),
+        ("work-stealing".into(), SimModel::WorkStealing { steal_half: true }),
+    ]
+}
+
+/// E1 — strong scaling of every execution model.
+pub fn e1_scaling(w: &KernelWorkload, workers: &[usize], machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("E1: strong scaling on {} ({} tasks, {} total)", w.name, w.ntasks(), fmt_secs(w.total())),
+        &["P", "model", "makespan", "speedup", "utilization"],
+    );
+    let total = w.total();
+    for &p in workers {
+        let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+        for (name, model) in sim_models(w.ntasks(), p, 8) {
+            let r = simulate(&w.costs, &model, &cfg);
+            t.push(vec![
+                p.to_string(),
+                name,
+                fmt_secs(r.makespan),
+                fmt3(total / r.makespan.max(1e-300)),
+                fmt3(r.utilization()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Outcome of the E2 headline comparison.
+#[derive(Debug, Clone)]
+pub struct HeadlineResult {
+    /// The rendered table.
+    pub table: Table,
+    /// Stealing improvement over the naive block partition (the
+    /// "traditional static scheduling approach" reading).
+    pub vs_block: f64,
+    /// Stealing improvement over the better of block/cyclic (the
+    /// conservative reading).
+    pub vs_best_static: f64,
+}
+
+/// E2 — the headline: work stealing vs static scheduling at one scale.
+///
+/// "Static" in the paper is the traditional partitioned kernel; both
+/// block and cyclic partitions are shown. The paper's ~1.5× lands
+/// between our two readings (naive block above it, cost-smart cyclic
+/// below), so [`HeadlineResult`] reports both.
+pub fn e2_headline(w: &KernelWorkload, p: usize, machine: &MachineModel) -> HeadlineResult {
+    let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+    let n = w.ntasks();
+    let block: Vec<u32> = (0..n).map(|i| block_owner(i, n.max(1), p) as u32).collect();
+    let cyclic: Vec<u32> = (0..n).map(|i| (i % p) as u32).collect();
+    let st_block = simulate(&w.costs, &SimModel::Static(block), &cfg);
+    let st_cyclic = simulate(&w.costs, &SimModel::Static(cyclic), &cfg);
+    let ws = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+    let best_static = st_block.makespan.min(st_cyclic.makespan);
+    let improvement = best_static / ws.makespan.max(1e-300);
+    let mut t = Table::new(
+        format!("E2: work stealing vs static on {} at P={p}", w.name),
+        &["model", "makespan", "utilization", "steals", "improvement-vs-best-static"],
+    );
+    for (name, r) in [("static-block", &st_block), ("static-cyclic", &st_cyclic)] {
+        t.push(vec![
+            name.into(),
+            fmt_secs(r.makespan),
+            fmt3(r.utilization()),
+            "0".into(),
+            fmt3(best_static / r.makespan),
+        ]);
+    }
+    t.push(vec![
+        "work-stealing".into(),
+        fmt_secs(ws.makespan),
+        fmt3(ws.utilization()),
+        ws.steals.to_string(),
+        fmt3(improvement),
+    ]);
+    HeadlineResult {
+        table: t,
+        vs_block: st_block.makespan / ws.makespan.max(1e-300),
+        vs_best_static: improvement,
+    }
+}
+
+/// E3 — load-balancer quality: assignment imbalance, the resulting
+/// simulated kernel time, the communication volume (connectivity cut of
+/// the task hypergraph — the metric hypergraph partitioning optimizes),
+/// and the balancer's own cost.
+pub fn e3_balancer_quality(w: &KernelWorkload, workers: &[usize]) -> Table {
+    let mut t = Table::new(
+        format!("E3: balancer quality on {}", w.name),
+        &["P", "balancer", "imbalance", "makespan", "comm-volume", "balancer-time"],
+    );
+    let hg = w.affinity.as_ref().map(|a| {
+        emx_balance::hypergraph::Hypergraph::from_affinities(w.costs.clone(), &a.touches, a.nblocks)
+    });
+    for &p in workers {
+        let problem = Problem::new(w.costs.clone(), p);
+        let cfg = SimConfig { workers: p, machine: MachineModel::ideal(), ..SimConfig::new(p) };
+        for kind in BalancerKind::all() {
+            let (assignment, secs) = balance(kind, &w.costs, p, w.affinity.as_ref());
+            let r = simulate(&w.costs, &SimModel::Static(assignment.clone()), &cfg);
+            let cut = hg
+                .as_ref()
+                .map(|h| fmt3(h.connectivity_cut(&assignment, p)))
+                .unwrap_or_else(|| "-".into());
+            t.push(vec![
+                p.to_string(),
+                kind.name().into(),
+                fmt3(problem.imbalance(&assignment)),
+                fmt_secs(r.makespan),
+                cut,
+                fmt_secs(secs),
+            ]);
+        }
+    }
+    t
+}
+
+/// E3b — communication-aware balancer comparison: when remote
+/// data-block access is priced, the hypergraph partitioner's lower
+/// connectivity cut turns into runtime — the reason the expensive
+/// technique exists. Blocks are homed by majority placement under each
+/// assignment; workers pay one transfer per remote block they touch.
+pub fn e3_comm_aware(
+    w: &KernelWorkload,
+    p: usize,
+    machine: &MachineModel,
+    block_bytes: usize,
+) -> Table {
+    let affinity = w.affinity.as_ref().expect("comm-aware comparison needs affinities");
+    let mut t = Table::new(
+        format!("E3b: balancers with priced communication on {} (P={p}, {}B blocks)", w.name, block_bytes),
+        &["balancer", "compute-makespan", "comm-total", "makespan-with-comm"],
+    );
+    let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+    for kind in BalancerKind::all() {
+        let (assignment, _) = balance(kind, &w.costs, p, Some(affinity));
+        let compute = simulate(&w.costs, &SimModel::Static(assignment.clone()), &cfg);
+        let layout = emx_distsim::sim::DataLayout::majority_placement(
+            affinity.touches.clone(),
+            &assignment,
+            affinity.nblocks,
+            p,
+            block_bytes,
+        );
+        let with_comm =
+            emx_distsim::sim::simulate_static_with_data(&w.costs, &assignment, &layout, &cfg);
+        t.push(vec![
+            kind.name().into(),
+            fmt_secs(compute.makespan),
+            fmt_secs(with_comm.comm.iter().sum()),
+            fmt_secs(with_comm.makespan),
+        ]);
+    }
+    t
+}
+
+/// E4 — balancer cost vs problem size (the "hypergraph partitioning is
+/// computationally expensive" axis). Synthetic affinities keep the
+/// hypergraph non-trivial.
+pub fn e4_partition_cost(sizes: &[usize], p: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        format!("E4: balancer cost vs task count (P={p})"),
+        &["tasks", "balancer", "time", "imbalance"],
+    );
+    for &n in sizes {
+        let w = crate::workload::synthetic_workload(
+            emx_chem::synthetic::CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+            n,
+            seed,
+            1.0,
+            format!("lognormal-{n}"),
+        );
+        let affinity = synthetic_affinity(n, (n / 4).max(1), seed);
+        let problem = Problem::new(w.costs.clone(), p);
+        for kind in BalancerKind::all() {
+            let (assignment, secs) = balance(kind, &w.costs, p, Some(&affinity));
+            t.push(vec![
+                n.to_string(),
+                kind.name().into(),
+                fmt_secs(secs),
+                fmt3(problem.imbalance(&assignment)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Synthetic task→block affinity: task `i` touches its own block plus
+/// two pseudo-random ones (mimics the bra + ket-chunk structure).
+pub fn synthetic_affinity(ntasks: usize, nblocks: usize, seed: u64) -> TaskAffinity {
+    let touches = (0..ntasks)
+        .map(|i| {
+            let h = |x: u64| {
+                let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z ^ (z >> 31)
+            };
+            let mut v = vec![
+                (i % nblocks) as u32,
+                (h(i as u64) % nblocks as u64) as u32,
+                (h(i as u64 + 1) % nblocks as u64) as u32,
+            ];
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    TaskAffinity { touches, nblocks }
+}
+
+/// E5 — task-granularity sweep: wall time of the dynamic models as a
+/// function of chunk size, exposing the work-units vs overhead balance.
+pub fn e5_granularity(
+    workloads: &[(usize, KernelWorkload)],
+    p: usize,
+    machine: &MachineModel,
+) -> Table {
+    let mut t = Table::new(
+        format!("E5: granularity sweep at P={p}"),
+        &["chunk", "tasks", "counter", "work-stealing", "static-block", "best"],
+    );
+    for (chunk, w) in workloads {
+        let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+        let counter = simulate(&w.costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        let ws = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let owners: Vec<u32> =
+            (0..w.ntasks()).map(|i| block_owner(i, w.ntasks().max(1), p) as u32).collect();
+        let st = simulate(&w.costs, &SimModel::Static(owners), &cfg);
+        let best = counter.makespan.min(ws.makespan).min(st.makespan);
+        let best_name = if best == ws.makespan {
+            "work-stealing"
+        } else if best == counter.makespan {
+            "counter"
+        } else {
+            "static-block"
+        };
+        let chunk_label =
+            if *chunk == usize::MAX { "unchunked".to_string() } else { chunk.to_string() };
+        t.push(vec![
+            chunk_label,
+            w.ntasks().to_string(),
+            fmt_secs(counter.makespan),
+            fmt_secs(ws.makespan),
+            fmt_secs(st.makespan),
+            best_name.into(),
+        ]);
+    }
+    t
+}
+
+/// E6 — energy-induced performance variability: static vs dynamic
+/// models under per-core speed models.
+pub fn e6_variability(w: &KernelWorkload, p: usize, machine: &MachineModel) -> Table {
+    let scenarios: Vec<(&str, Variability)> = vec![
+        ("none", Variability::None),
+        ("uniform±30%", Variability::PerCoreUniform { spread: 0.6, seed: 11 }),
+        ("2 slow cores ×2", Variability::SlowCores { factor: 2.0, count: 2 }),
+        (
+            "dvfs sine 50%",
+            Variability::Sinusoidal {
+                amplitude: 0.5,
+                period: std::time::Duration::from_millis(50),
+            },
+        ),
+    ];
+    let mut t = Table::new(
+        format!("E6: variability tolerance on {} at P={p}", w.name),
+        &["scenario", "model", "makespan", "utilization", "slowdown-vs-none"],
+    );
+    let mut baseline: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for (sname, var) in &scenarios {
+        for (mname, model) in sim_models(w.ntasks(), p, 8) {
+            let cfg = SimConfig {
+                workers: p,
+                machine: *machine,
+                variability: *var,
+                ..SimConfig::new(p)
+            };
+            let r = simulate(&w.costs, &model, &cfg);
+            let base = *baseline.entry(mname.clone()).or_insert(r.makespan);
+            t.push(vec![
+                sname.to_string(),
+                mname,
+                fmt_secs(r.makespan),
+                fmt3(r.utilization()),
+                fmt3(r.makespan / base),
+            ]);
+        }
+    }
+    t
+}
+
+/// E7 — runtime-overhead microbenchmarks on the *real* thread runtime:
+/// per-task scheduling overhead of each execution model and shared
+/// counter throughput under contention.
+pub fn e7_overheads(threads: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E7: runtime overheads (real threads)",
+        &["mechanism", "P", "ops", "total", "per-op"],
+    );
+    // Per-task dispatch overhead of each execution model (empty tasks).
+    let n = 20_000;
+    for &p in threads {
+        for model in [
+            ExecutionModel::StaticBlock,
+            ExecutionModel::DynamicCounter { chunk: 1 },
+            ExecutionModel::DynamicCounter { chunk: 64 },
+            ExecutionModel::WorkStealing(StealConfig::default()),
+        ] {
+            let ex = Executor::new(p, model.clone());
+            let t0 = std::time::Instant::now();
+            let (_, _report) = ex.run(n, |_| (), |_, _| {});
+            let el = t0.elapsed().as_secs_f64();
+            t.push(vec![
+                format!("dispatch/{}", model.name()),
+                p.to_string(),
+                n.to_string(),
+                fmt_secs(el),
+                fmt_secs(el / n as f64),
+            ]);
+        }
+        // Shared-counter fetch throughput under contention.
+        let counter = NxtVal::new();
+        let per_thread = 200_000u64;
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..p {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        std::hint::black_box(counter.next(1));
+                    }
+                });
+            }
+        });
+        let el = t0.elapsed().as_secs_f64();
+        let ops = per_thread * p as u64;
+        t.push(vec![
+            "nxtval-fetch".into(),
+            p.to_string(),
+            ops.to_string(),
+            fmt_secs(el),
+            fmt_secs(el / ops as f64),
+        ]);
+    }
+    t
+}
+
+/// E8 — projected distributed-scale comparison (large simulated P).
+pub fn e8_distributed(w: &KernelWorkload, workers: &[usize], machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("E8: distributed-scale projection on {}", w.name),
+        &["P", "model", "makespan", "utilization", "steals", "fetches"],
+    );
+    for &p in workers {
+        let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+        for (name, model) in sim_models(w.ntasks(), p, 8) {
+            let r = simulate(&w.costs, &model, &cfg);
+            t.push(vec![
+                p.to_string(),
+                name,
+                fmt_secs(r.makespan),
+                fmt3(r.utilization()),
+                r.steals.to_string(),
+                r.counter_fetches.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E9 — weak scaling: the workload grows with the worker count
+/// (`tasks_per_worker` stays fixed), the regime production chemistry
+/// actually runs in. Ideal weak scaling keeps the makespan flat.
+pub fn e9_weak_scaling(
+    base: &KernelWorkload,
+    workers: &[usize],
+    tasks_per_worker: usize,
+    machine: &MachineModel,
+) -> Table {
+    let mut t = Table::new(
+        format!("E9: weak scaling ({} tasks/worker, costs resampled from {})", tasks_per_worker, base.name),
+        &["P", "model", "makespan", "efficiency", "utilization"],
+    );
+    // Resample the base cost distribution to the required size by
+    // cycling with a deterministic permutation stride.
+    let resample = |n: usize| -> Vec<f64> {
+        let m = base.costs.len().max(1);
+        (0..n).map(|i| base.costs[(i * 7919 + 13) % m]).collect()
+    };
+    let mut baseline: Option<f64> = None;
+    for &p in workers {
+        let costs = resample(p * tasks_per_worker);
+        let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+        for (name, model) in sim_models(costs.len(), p, 8) {
+            let r = simulate(&costs, &model, &cfg);
+            let base_time = *baseline.get_or_insert(r.makespan);
+            t.push(vec![
+                p.to_string(),
+                name,
+                fmt_secs(r.makespan),
+                fmt3(base_time / r.makespan.max(1e-300)),
+                fmt3(r.utilization()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Overhead decomposition at one scale: how each model splits total
+/// worker-time between useful work, imbalance idle and scheduling
+/// machinery — the paper's "different system and runtime overheads"
+/// broken out explicitly.
+pub fn overhead_decomposition(w: &KernelWorkload, p: usize, machine: &MachineModel) -> Table {
+    let mut t = Table::new(
+        format!("Overhead decomposition on {} at P={p}", w.name),
+        &["model", "makespan", "busy-fraction", "idle-fraction", "sched-events"],
+    );
+    let cfg = SimConfig { workers: p, machine: *machine, ..SimConfig::new(p) };
+    for (name, model) in sim_models(w.ntasks(), p, 8) {
+        let r = simulate(&w.costs, &model, &cfg);
+        let total = r.makespan * p as f64;
+        let busy: f64 = r.busy.iter().sum();
+        let events = r.counter_fetches + r.steal_attempts;
+        t.push(vec![
+            name,
+            fmt_secs(r.makespan),
+            fmt3(busy / total.max(1e-300)),
+            fmt3((total - busy).max(0.0) / total.max(1e-300)),
+            events.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::synthetic_workload;
+    use emx_chem::synthetic::CostModel;
+
+    fn skewed(n: usize) -> KernelWorkload {
+        synthetic_workload(CostModel::Triangular { scale: 1.0 }, n, 1, 1.0, "tri")
+    }
+
+    #[test]
+    fn e1_has_rows_for_every_p_and_model() {
+        let t = e1_scaling(&skewed(64), &[2, 4], &MachineModel::ideal());
+        assert_eq!(t.rows.len(), 2 * 5);
+        assert!(t.rows.iter().any(|r| r[1] == "guided"));
+    }
+
+    #[test]
+    fn e2_shows_stealing_win_on_chemistry_costs() {
+        // The improvement is measured against the *best* static
+        // partition, so a predictable synthetic ramp (which cyclic
+        // balances perfectly) is not a fair proxy — use the estimated
+        // chemistry decomposition like the paper does.
+        let w = crate::workload::estimate_fock_workload(
+            &emx_chem::molecule::Molecule::water_cluster(3, 2),
+            emx_chem::basis::BasisSet::Sto3g,
+            8,
+            1e-10,
+            1.0,
+            "(H2O)3",
+        );
+        let h = e2_headline(&w, 16, &MachineModel::default());
+        assert_eq!(h.table.rows.len(), 3);
+        // Paper reports ~1.5×, which must fall between our two
+        // readings: conservative > 1.2×, naive-block above 1.5×.
+        assert!(h.vs_best_static > 1.2, "vs best static {}", h.vs_best_static);
+        assert!(h.vs_block > 1.5, "vs block {}", h.vs_block);
+        assert!(h.vs_block >= h.vs_best_static);
+    }
+
+    #[test]
+    fn e3_all_balancers_present() {
+        let t = e3_balancer_quality(&skewed(60), &[4]);
+        assert_eq!(t.rows.len(), BalancerKind::all().len());
+        assert!(t.rows.iter().any(|r| r[1] == "semi-matching"));
+        assert!(t.rows.iter().any(|r| r[1] == "karmarkar-karp"));
+    }
+
+    #[test]
+    fn e3b_comm_pricing_rewards_low_cut() {
+        // Clustered affinities: the hypergraph partitioner's comm term
+        // must be no worse than the purely weight-driven balancers'.
+        let mut w = skewed(96);
+        let affinity = crate::experiments::synthetic_affinity(96, 12, 3);
+        w.affinity = Some(affinity);
+        let t = e3_comm_aware(&w, 4, &MachineModel::default(), 1 << 20);
+        assert_eq!(t.rows.len(), BalancerKind::all().len());
+        let comm_of = |name: &str| -> String {
+            t.rows.iter().find(|r| r[0] == name).expect("row")[2].clone()
+        };
+        // Parse the fmt_secs strings loosely: just ensure presence.
+        assert!(!comm_of("hypergraph").is_empty());
+        assert!(!comm_of("semi-matching").is_empty());
+    }
+
+    #[test]
+    fn e4_larger_problems_cost_more_for_hypergraph() {
+        let t = e4_partition_cost(&[200, 2000], 8, 3);
+        assert_eq!(t.rows.len(), 2 * BalancerKind::all().len());
+    }
+
+    #[test]
+    fn e6_dynamic_tolerates_variability_better() {
+        // Uniform costs isolate the variability effect: static is
+        // perfect without variability, so its relative slowdown fully
+        // reflects the slow cores, while stealing absorbs them.
+        let uniform =
+            synthetic_workload(CostModel::Uniform { scale: 1.0 }, 128, 1, 1.0, "uniform");
+        let t = e6_variability(&uniform, 8, &MachineModel::ideal());
+        // Find slowdown of static-block and work-stealing in the
+        // "2 slow cores" scenario.
+        let get = |model: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == "2 slow cores ×2" && r[1] == model)
+                .map(|r| r[4].parse::<f64>().unwrap())
+                .expect("row present")
+        };
+        assert!(get("work-stealing") < get("static-block"));
+    }
+
+    #[test]
+    fn e8_reports_overheads() {
+        let t = e8_distributed(&skewed(512), &[64, 256], &MachineModel::default());
+        assert_eq!(t.rows.len(), 2 * 5);
+    }
+
+    #[test]
+    fn e9_stealing_weak_scales_flat() {
+        let base = skewed(64);
+        let t = e9_weak_scaling(&base, &[4, 16, 64], 64, &MachineModel::ideal());
+        assert_eq!(t.rows.len(), 3 * 5);
+        // Work stealing efficiency stays near its P=4 value across the
+        // sweep (flat makespan = constant efficiency column ratio).
+        let eff = |p: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == p && r[1] == "work-stealing")
+                .map(|r| r[3].parse::<f64>().unwrap())
+                .expect("row")
+        };
+        let ratio = eff("64") / eff("4");
+        assert!(ratio > 0.8, "weak-scaling efficiency collapsed: {ratio}");
+    }
+
+    #[test]
+    fn overhead_decomposition_fractions_sum_to_one() {
+        let w = skewed(256);
+        let t = overhead_decomposition(&w, 16, &MachineModel::default());
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let busy: f64 = row[2].parse().unwrap();
+            let idle: f64 = row[3].parse().unwrap();
+            assert!((busy + idle - 1.0).abs() < 0.02, "{row:?}");
+        }
+        // Static has zero scheduling events; dynamic models have some.
+        let events = |m: &str| -> u64 {
+            t.rows.iter().find(|r| r[0] == m).unwrap()[4].parse().unwrap()
+        };
+        assert_eq!(events("static-block"), 0);
+        assert!(events("work-stealing") > 0);
+    }
+
+    #[test]
+    fn synthetic_affinity_is_well_formed() {
+        let a = synthetic_affinity(50, 10, 7);
+        assert_eq!(a.touches.len(), 50);
+        for t in &a.touches {
+            assert!(!t.is_empty());
+            assert!(t.iter().all(|&b| (b as usize) < 10));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Parallel Fock builds: the chemistry kernel under any execution model.
+//!
+//! This is the integration point of the whole study: the Fock task list
+//! from [`emx_chem::fock`] executed by [`emx_runtime::Executor`] under
+//! any [`emx_runtime::ExecutionModel`], with worker-local `G`
+//! accumulators reduced at the end (the shared-memory analogue of the
+//! paper's Global-Arrays accumulate). Because tasks only ever *add*
+//! contributions, the result is identical (up to floating-point
+//! reassociation far below SCF tolerances) across all models — the
+//! integration tests assert exactly that.
+
+use emx_chem::basis::BasisedMolecule;
+use emx_chem::fock::{FockBuilder, FockTask};
+use emx_chem::scf::{rhf_with, ScfConfig, ScfResult};
+use emx_chem::screening::ScreenedPairs;
+use emx_linalg::Matrix;
+use emx_runtime::{ExecutionReport, Executor};
+
+/// A Fock build bound to a task decomposition, ready to execute under
+/// any execution model.
+pub struct ParallelFock<'a> {
+    builder: FockBuilder<'a>,
+    tasks: Vec<FockTask>,
+}
+
+impl<'a> ParallelFock<'a> {
+    /// Prepares the task list (`chunk` = ket pairs per task; see
+    /// [`FockBuilder::tasks`]).
+    pub fn new(
+        bm: &'a BasisedMolecule,
+        pairs: &'a ScreenedPairs,
+        tau: f64,
+        chunk: usize,
+    ) -> ParallelFock<'a> {
+        let builder = FockBuilder::new(bm, pairs, tau);
+        let tasks = builder.tasks(chunk);
+        ParallelFock { builder, tasks }
+    }
+
+    /// Number of tasks in the decomposition.
+    pub fn ntasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task list (for balancers and inspectors).
+    pub fn tasks(&self) -> &[FockTask] {
+        &self.tasks
+    }
+
+    /// Inspector cost estimates, one per task (arbitrary additive units).
+    pub fn estimated_costs(&self) -> Vec<f64> {
+        self.tasks.iter().map(|t| t.est_cost as f64).collect()
+    }
+
+    /// Executes one task by index into a caller-owned accumulator —
+    /// the entry point for external runtimes (the distributed driver's
+    /// rank loops). Returns the quartets computed.
+    pub fn execute_task_into(&self, i: usize, density: &Matrix, g_local: &mut Matrix) -> u64 {
+        self.builder.execute(&self.tasks[i], density, g_local)
+    }
+
+    /// Executes all tasks under `executor` against `density`, reducing
+    /// the worker-local accumulators into the returned `G`.
+    pub fn execute(&self, density: &Matrix, executor: &Executor) -> (Matrix, ExecutionReport) {
+        let n = density.rows();
+        let (locals, report) = executor.run(
+            self.tasks.len(),
+            |_| Matrix::zeros(n, n),
+            |i, g_local: &mut Matrix| {
+                self.builder.execute(&self.tasks[i], density, g_local);
+            },
+        );
+        let mut g = Matrix::zeros(n, n);
+        for l in locals {
+            g.axpy(1.0, &l).expect("local G shapes match");
+        }
+        (g, report)
+    }
+}
+
+/// Full RHF where every Fock build runs under `executor`.
+///
+/// Returns the SCF result plus the per-iteration execution reports — the
+/// wall times the paper's per-iteration comparisons are built from.
+pub fn rhf_parallel(
+    bm: &BasisedMolecule,
+    config: &ScfConfig,
+    executor: &Executor,
+    chunk: usize,
+) -> (ScfResult, Vec<ExecutionReport>) {
+    let pairs = ScreenedPairs::build(bm, config.tau * 1e-2);
+    let pf = ParallelFock::new(bm, &pairs, config.tau, chunk);
+    let mut reports = Vec::new();
+    let result = rhf_with(bm, config, |p| {
+        let (g, report) = pf.execute(p, executor);
+        reports.push(report);
+        g
+    });
+    (result, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_chem::basis::{BasisSet, BasisedMolecule};
+    use emx_chem::molecule::Molecule;
+    use emx_runtime::{ExecutionModel, StealConfig};
+
+    fn water() -> BasisedMolecule {
+        BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g)
+    }
+
+    #[test]
+    fn parallel_g_matches_serial_for_every_model() {
+        let bm = water();
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
+        let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.2 / (1.0 + (i as f64 - j as f64).abs()));
+        d.symmetrize();
+        let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+        for model in [
+            ExecutionModel::StaticBlock,
+            ExecutionModel::StaticCyclic,
+            ExecutionModel::DynamicCounter { chunk: 2 },
+            ExecutionModel::WorkStealing(StealConfig::default()),
+        ] {
+            let (g, report) = pf.execute(&d, &Executor::new(3, model.clone()));
+            assert!(
+                g.max_abs_diff(&reference) < 1e-12,
+                "model {} diverged: {}",
+                model.name(),
+                g.max_abs_diff(&reference)
+            );
+            assert_eq!(report.total_tasks_run(), pf.ntasks());
+        }
+    }
+
+    #[test]
+    fn scf_energy_identical_across_models() {
+        let bm = water();
+        let cfg = ScfConfig::default();
+        let (serial, _) = rhf_parallel(&bm, &cfg, &Executor::new(1, ExecutionModel::Serial), usize::MAX);
+        let (ws, reports) = rhf_parallel(
+            &bm,
+            &cfg,
+            &Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())),
+            3,
+        );
+        assert!(serial.converged && ws.converged);
+        assert!((serial.energy - ws.energy).abs() < 1e-9);
+        assert_eq!(reports.len(), ws.iterations);
+    }
+
+    #[test]
+    fn estimated_costs_are_positive_and_skewed() {
+        let bm = water();
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, usize::MAX);
+        let costs = pf.estimated_costs();
+        assert_eq!(costs.len(), pf.ntasks());
+        assert!(costs.iter().all(|&c| c > 0.0));
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > min, "uniform costs would defeat the study");
+    }
+}

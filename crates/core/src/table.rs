@@ -1,0 +1,142 @@
+//! Plain-text result tables.
+//!
+//! Every experiment renders into a [`Table`] — fixed-width text for the
+//! terminal (the shape the paper's tables are compared against in
+//! `EXPERIMENTS.md`) and CSV for downstream plotting.
+
+/// A titled table of string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (e.g. "E2: work stealing vs static").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header count.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (title omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>w$}", w = *w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn fmt3(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Formats seconds in engineering-friendly units.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.1}ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["model", "time"]);
+        t.push(vec!["static".into(), "1.0".into()]);
+        t.push(vec!["ws".into(), "0.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("static"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.0), "0");
+        assert_eq!(fmt3(1234.5), "1234.5");
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert!(fmt3(1e-6).contains('e'));
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(2.5e-3), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500us");
+        assert_eq!(fmt_secs(2.5e-9), "2.5ns");
+    }
+}

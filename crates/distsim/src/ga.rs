@@ -1,0 +1,295 @@
+//! Global-Arrays-style distributed dense matrix.
+//!
+//! The paper's kernel runs over Global Arrays: a PGAS substrate exposing
+//! a dense matrix physically block-distributed across ranks with
+//! one-sided `get` / `put` / `accumulate`. This stand-in keeps the exact
+//! API and ownership structure (block-row distribution, per-block
+//! locks, remote-access accounting) with blocks living in process
+//! memory; the [`crate::machine::MachineModel`] prices the traffic that
+//! the accounting records.
+
+use crate::machine::MachineModel;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A block-row-distributed dense matrix of `f64`.
+pub struct GlobalArray {
+    rows: usize,
+    cols: usize,
+    nranks: usize,
+    /// First row of each rank's block (length `nranks + 1`).
+    row_starts: Vec<usize>,
+    /// One lock-protected block per rank.
+    blocks: Vec<RwLock<Vec<f64>>>,
+    /// Accounting: local and remote operation counts and remote bytes.
+    local_ops: AtomicU64,
+    remote_ops: AtomicU64,
+    remote_bytes: AtomicU64,
+}
+
+impl GlobalArray {
+    /// Creates a zeroed `rows × cols` array distributed over `nranks`.
+    pub fn zeros(rows: usize, cols: usize, nranks: usize) -> GlobalArray {
+        assert!(nranks > 0, "need at least one rank");
+        let base = rows / nranks;
+        let rem = rows % nranks;
+        let mut row_starts = Vec::with_capacity(nranks + 1);
+        let mut r = 0;
+        for i in 0..nranks {
+            row_starts.push(r);
+            r += base + usize::from(i < rem);
+        }
+        row_starts.push(rows);
+        let blocks = (0..nranks)
+            .map(|i| RwLock::new(vec![0.0; (row_starts[i + 1] - row_starts[i]) * cols]))
+            .collect();
+        GlobalArray {
+            rows,
+            cols,
+            nranks,
+            row_starts,
+            blocks,
+            local_ops: AtomicU64::new(0),
+            remote_ops: AtomicU64::new(0),
+            remote_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Matrix shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The rank owning row `r`.
+    pub fn owner_of_row(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row out of range");
+        // Binary search over the block starts.
+        match self.row_starts.binary_search(&r) {
+            Ok(i) => i.min(self.nranks - 1),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Rows `[start, end)` owned by `rank`.
+    pub fn local_rows(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.nranks, "rank out of range");
+        (self.row_starts[rank], self.row_starts[rank + 1])
+    }
+
+    /// One-sided get of the rectangle `rows × cols` at `(r0, c0)` into a
+    /// row-major buffer. `caller` is the accessing rank (for local vs
+    /// remote accounting).
+    pub fn get(&self, caller: usize, r0: usize, c0: usize, nr: usize, nc: usize) -> Vec<f64> {
+        self.check_patch(r0, c0, nr, nc);
+        let mut out = vec![0.0; nr * nc];
+        self.for_each_block(caller, r0, nr, nc, |blk, brow0, local_r, out_r, rows_here| {
+            let block = self.blocks[blk].read();
+            for dr in 0..rows_here {
+                let src = (local_r + dr - brow0) * self.cols + c0;
+                let dst = (out_r + dr) * nc;
+                out[dst..dst + nc].copy_from_slice(&block[src..src + nc]);
+            }
+        });
+        out
+    }
+
+    /// One-sided put of a row-major `nr × nc` patch at `(r0, c0)`.
+    pub fn put(&self, caller: usize, r0: usize, c0: usize, nr: usize, nc: usize, data: &[f64]) {
+        self.check_patch(r0, c0, nr, nc);
+        assert_eq!(data.len(), nr * nc, "patch size mismatch");
+        self.for_each_block_mut(caller, r0, nr, nc, |blk, brow0, local_r, out_r, rows_here| {
+            let mut block = self.blocks[blk].write();
+            for dr in 0..rows_here {
+                let dst = (local_r + dr - brow0) * self.cols + c0;
+                let src = (out_r + dr) * nc;
+                block[dst..dst + nc].copy_from_slice(&data[src..src + nc]);
+            }
+        });
+    }
+
+    /// One-sided atomic accumulate: `A[patch] += alpha · data`. This is
+    /// the operation the distributed Fock build hammers.
+    #[allow(clippy::too_many_arguments)] // mirrors GA_Acc's signature
+    pub fn acc(&self, caller: usize, r0: usize, c0: usize, nr: usize, nc: usize, alpha: f64, data: &[f64]) {
+        self.check_patch(r0, c0, nr, nc);
+        assert_eq!(data.len(), nr * nc, "patch size mismatch");
+        self.for_each_block_mut(caller, r0, nr, nc, |blk, brow0, local_r, out_r, rows_here| {
+            let mut block = self.blocks[blk].write();
+            for dr in 0..rows_here {
+                let dst = (local_r + dr - brow0) * self.cols + c0;
+                let src = (out_r + dr) * nc;
+                for k in 0..nc {
+                    block[dst + k] += alpha * data[src + k];
+                }
+            }
+        });
+    }
+
+    /// Gathers the whole array into a row-major vector (collective-ish;
+    /// used by tests and small examples).
+    pub fn gather(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        for rank in 0..self.nranks {
+            let (r0, r1) = self.local_rows(rank);
+            let block = self.blocks[rank].read();
+            out[r0 * self.cols..r1 * self.cols].copy_from_slice(&block);
+        }
+        out
+    }
+
+    /// Zeroes the array (between SCF iterations).
+    pub fn fill_zero(&self) {
+        for b in &self.blocks {
+            b.write().fill(0.0);
+        }
+    }
+
+    /// (local ops, remote ops, remote bytes) recorded so far.
+    pub fn traffic(&self) -> (u64, u64, u64) {
+        (
+            self.local_ops.load(Ordering::Relaxed),
+            self.remote_ops.load(Ordering::Relaxed),
+            self.remote_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Modeled communication time of the recorded remote traffic.
+    pub fn modeled_comm_time(&self, machine: &MachineModel) -> f64 {
+        let ops = self.remote_ops.load(Ordering::Relaxed);
+        let bytes = self.remote_bytes.load(Ordering::Relaxed);
+        ops as f64 * machine.latency + bytes as f64 / machine.bandwidth
+    }
+
+    fn check_patch(&self, r0: usize, c0: usize, nr: usize, nc: usize) {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "patch out of bounds");
+    }
+
+    /// Visits each owner block overlapped by the row range, passing
+    /// `(block, block_row0, patch_row, out_row, rows_here)` and
+    /// recording local/remote accounting.
+    fn for_each_block(
+        &self,
+        caller: usize,
+        r0: usize,
+        nr: usize,
+        nc: usize,
+        mut f: impl FnMut(usize, usize, usize, usize, usize),
+    ) {
+        let mut r = r0;
+        while r < r0 + nr {
+            let blk = self.owner_of_row(r);
+            let bend = self.row_starts[blk + 1];
+            let rows_here = bend.min(r0 + nr) - r;
+            self.account(caller, blk, rows_here * nc);
+            f(blk, self.row_starts[blk], r, r - r0, rows_here);
+            r += rows_here;
+        }
+    }
+
+    fn for_each_block_mut(
+        &self,
+        caller: usize,
+        r0: usize,
+        nr: usize,
+        nc: usize,
+        f: impl FnMut(usize, usize, usize, usize, usize),
+    ) {
+        self.for_each_block(caller, r0, nr, nc, f);
+    }
+
+    fn account(&self, caller: usize, owner: usize, elems: usize) {
+        if caller == owner {
+            self.local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.remote_ops.fetch_add(1, Ordering::Relaxed);
+            self.remote_bytes.fetch_add((elems * 8) as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_covers_all_rows() {
+        let ga = GlobalArray::zeros(10, 4, 3);
+        // Block sizes 4,3,3.
+        assert_eq!(ga.local_rows(0), (0, 4));
+        assert_eq!(ga.local_rows(1), (4, 7));
+        assert_eq!(ga.local_rows(2), (7, 10));
+        for r in 0..10 {
+            let o = ga.owner_of_row(r);
+            let (a, b) = ga.local_rows(o);
+            assert!((a..b).contains(&r));
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip_across_blocks() {
+        let ga = GlobalArray::zeros(10, 5, 3);
+        // Patch spanning two blocks (rows 3..6).
+        let patch: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        ga.put(0, 3, 1, 3, 5.min(4), &patch[..12]);
+        let back = ga.get(0, 3, 1, 3, 4);
+        assert_eq!(back, patch[..12].to_vec());
+    }
+
+    #[test]
+    fn acc_accumulates_atomically_across_threads() {
+        let ga = GlobalArray::zeros(8, 8, 4);
+        let ones = vec![1.0; 64];
+        std::thread::scope(|s| {
+            for caller in 0..4 {
+                let ga = &ga;
+                let ones = &ones;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        ga.acc(caller, 0, 0, 8, 8, 1.0, ones);
+                    }
+                });
+            }
+        });
+        let full = ga.gather();
+        assert!(full.iter().all(|&v| v == 100.0), "value {}", full[0]);
+    }
+
+    #[test]
+    fn traffic_accounting_distinguishes_local_remote() {
+        let ga = GlobalArray::zeros(8, 2, 2);
+        // Rank 0 touches its own rows: local.
+        let _ = ga.get(0, 0, 0, 2, 2);
+        // Rank 0 touches rank 1's rows: remote.
+        let _ = ga.get(0, 6, 0, 2, 2);
+        let (local, remote, bytes) = ga.traffic();
+        assert_eq!(local, 1);
+        assert_eq!(remote, 1);
+        assert_eq!(bytes, 4 * 8);
+        assert!(ga.modeled_comm_time(&MachineModel::default()) > 0.0);
+    }
+
+    #[test]
+    fn gather_and_zero() {
+        let ga = GlobalArray::zeros(4, 3, 2);
+        ga.put(0, 1, 0, 1, 3, &[1.0, 2.0, 3.0]);
+        let full = ga.gather();
+        assert_eq!(&full[3..6], &[1.0, 2.0, 3.0]);
+        ga.fill_zero();
+        assert!(ga.gather().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_patch_panics() {
+        let ga = GlobalArray::zeros(4, 4, 2);
+        let _ = ga.get(0, 3, 3, 2, 2);
+    }
+
+    #[test]
+    fn more_ranks_than_rows() {
+        let ga = GlobalArray::zeros(2, 2, 5);
+        // Ranks 2..5 own zero rows; everything still works.
+        ga.put(4, 0, 0, 2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ga.gather(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # emx-distsim — simulated distributed-memory substrate
+//!
+//! The paper's environment is an MPI + Global Arrays cluster; this crate
+//! substitutes it with two complementary pieces:
+//!
+//! * **Thread-backed semantics** — [`world`] (ranks, messages, barrier,
+//!   reduce/broadcast), [`nxtval`] (the GA shared counter) and [`ga`]
+//!   (block-distributed dense arrays with one-sided get/put/accumulate
+//!   and traffic accounting). These run the *real* communication code
+//!   paths of the distributed kernel and are tested for correctness.
+//! * **Timing at scale** — [`sim`], a discrete-event simulator replaying
+//!   measured or synthetic task costs through each execution model with
+//!   a parameterized [`machine::MachineModel`], reproducing the paper's
+//!   scaling shapes for thousands of ranks on any host.
+//!
+//! ## Example
+//!
+//! ```
+//! use emx_distsim::prelude::*;
+//!
+//! // Skewed tasks: work stealing beats a static block partition.
+//! let costs: Vec<f64> = (1..=64).map(|i| i as f64 * 1e-6).collect();
+//! let cfg = SimConfig::new(8);
+//! let ws = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+//! let owners: Vec<u32> = (0..64).map(|i| (i / 8) as u32).collect();
+//! let st = simulate(&costs, &SimModel::Static(owners), &cfg);
+//! assert!(ws.makespan < st.makespan);
+//! ```
+
+pub mod ga;
+pub mod machine;
+pub mod nxtval;
+pub mod sim;
+pub mod simviz;
+pub mod world;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::ga::GlobalArray;
+    pub use crate::machine::MachineModel;
+    pub use crate::nxtval::NxtVal;
+    pub use crate::sim::{
+        simulate, simulate_static_with_data, DataLayout, SimConfig, SimModel, SimReport,
+    };
+    pub use crate::simviz::{render_sim_timeline, sim_utilization_curve};
+    pub use crate::world::{run_world, Message, RankCtx, Traffic};
+}

@@ -1,0 +1,90 @@
+//! Machine model: communication and runtime-overhead parameters.
+//!
+//! All the simulated-cluster experiments are parameterized by one
+//! [`MachineModel`]. The defaults approximate the 2014-era Infiniband
+//! cluster class the paper ran on (µs-scale one-sided latencies, GB/s
+//! bandwidth), but every bench sweeps the interesting knobs explicitly.
+
+/// Cluster communication/overhead parameters (seconds and bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineModel {
+    /// One-way small-message latency between ranks (s).
+    pub latency: f64,
+    /// Network bandwidth (bytes/s) for bulk transfers.
+    pub bandwidth: f64,
+    /// Service time of the shared-counter host per fetch (s) — the
+    /// serialization point of NXTVAL-style scheduling.
+    pub counter_service: f64,
+    /// Local per-task dispatch overhead of the runtime (s).
+    pub dispatch_overhead: f64,
+    /// Fixed cost of one steal round-trip (request + response, s).
+    pub steal_latency: f64,
+    /// Additional per-task cost of transferring a stolen task (s).
+    pub steal_transfer: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel {
+            latency: 2e-6,
+            bandwidth: 4e9,
+            counter_service: 0.4e-6,
+            dispatch_overhead: 0.15e-6,
+            steal_latency: 6e-6,
+            steal_transfer: 0.5e-6,
+        }
+    }
+}
+
+impl MachineModel {
+    /// A zero-overhead machine: every scheduling mechanism is free.
+    /// Useful as the "ideal" baseline in overhead-decomposition tables.
+    pub fn ideal() -> MachineModel {
+        MachineModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            counter_service: 0.0,
+            dispatch_overhead: 0.0,
+            steal_latency: 0.0,
+            steal_transfer: 0.0,
+        }
+    }
+
+    /// Transfer time of `bytes` over the network (one message).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Round-trip time of a small request/response pair.
+    pub fn round_trip(&self) -> f64 {
+        2.0 * self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_free() {
+        let m = MachineModel::ideal();
+        assert_eq!(m.transfer_time(1 << 20), 0.0);
+        assert_eq!(m.round_trip(), 0.0);
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let m = MachineModel::default();
+        let small = m.transfer_time(8);
+        let big = m.transfer_time(8 << 20);
+        assert!(big > small);
+        assert!((big - small - (8 << 20) as f64 / m.bandwidth + 8.0 / m.bandwidth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let m = MachineModel::default();
+        assert!(m.latency > 0.0 && m.latency < 1e-3);
+        assert!(m.counter_service < m.steal_latency);
+    }
+}

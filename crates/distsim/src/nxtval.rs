@@ -1,0 +1,80 @@
+//! NXTVAL: the Global-Arrays shared counter.
+//!
+//! In GA-based codes the canonical dynamic scheduler is `NXTVAL()` — an
+//! atomically incremented counter hosted on one rank, fetched over the
+//! network by everyone else. It balances load perfectly at the price of
+//! a round trip per fetch and serialization at the host; chunking
+//! amortizes both. This module provides the shared-memory stand-in used
+//! by the thread-backed runtime and the contention microbenchmarks of
+//! experiment E7.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared task counter (the NXTVAL service).
+#[derive(Debug, Default)]
+pub struct NxtVal {
+    counter: AtomicU64,
+}
+
+impl NxtVal {
+    /// Fresh counter starting at zero.
+    pub fn new() -> NxtVal {
+        NxtVal { counter: AtomicU64::new(0) }
+    }
+
+    /// Claims the next `chunk` values; returns the first of the claimed
+    /// range. The caller owns `[ret, ret + chunk)`.
+    #[inline]
+    pub fn next(&self, chunk: u64) -> u64 {
+        debug_assert!(chunk > 0);
+        self.counter.fetch_add(chunk, Ordering::Relaxed)
+    }
+
+    /// Current value (for monitoring/tests; racy by nature).
+    pub fn peek(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero — GA codes do this between SCF iterations.
+    pub fn reset(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_claims_are_disjoint() {
+        let c = NxtVal::new();
+        assert_eq!(c.next(3), 0);
+        assert_eq!(c.next(3), 3);
+        assert_eq!(c.next(1), 6);
+        assert_eq!(c.peek(), 7);
+        c.reset();
+        assert_eq!(c.peek(), 0);
+    }
+
+    #[test]
+    fn concurrent_claims_never_overlap() {
+        let c = NxtVal::new();
+        let nthreads = 4;
+        let per = 500u64;
+        let claims: Vec<Vec<u64>> = std::thread::scope(|s| {
+            (0..nthreads)
+                .map(|_| {
+                    s.spawn(|| (0..per).map(|_| c.next(2)).collect::<Vec<u64>>())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u64> = claims.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), (nthreads as u64 * per) as usize, "duplicate ranges");
+        assert_eq!(c.peek(), nthreads as u64 * per * 2);
+    }
+}

@@ -1,0 +1,918 @@
+//! Discrete-event simulator of execution models at cluster scale.
+//!
+//! The physical testbed of the paper (a thousand-core cluster) is not
+//! available here, so scaling *shapes* are reproduced by replaying a
+//! task-cost vector — measured from the real chemistry kernel or drawn
+//! from a calibrated synthetic model — through a discrete-event
+//! simulation of each execution model with a parameterized
+//! [`MachineModel`]. The simulator captures exactly the effects the
+//! paper discusses:
+//!
+//! * static models pay zero scheduling overhead but eat the full load
+//!   imbalance;
+//! * the shared counter balances perfectly but serializes at the
+//!   counter host and pays a round trip per chunk;
+//! * work stealing pays per-steal round trips only where imbalance
+//!   actually materializes;
+//! * per-worker speed variability stretches whatever each worker runs.
+
+use crate::machine::MachineModel;
+use emx_runtime::Variability;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Duration;
+
+/// Scheduling policy to simulate.
+#[derive(Debug, Clone)]
+pub enum SimModel {
+    /// Fixed assignment `owner[task] = worker`.
+    Static(Vec<u32>),
+    /// Shared-counter self-scheduling with the given chunk size.
+    Counter {
+        /// Tasks per counter fetch.
+        chunk: usize,
+    },
+    /// Guided self-scheduling: each fetch claims `remaining / (2·P)`
+    /// tasks, floored at `min_chunk`.
+    Guided {
+        /// Smallest chunk a fetch may claim.
+        min_chunk: usize,
+    },
+    /// Hierarchical/distributed counters: tasks are block-partitioned
+    /// into `groups` ranges, each served by its own counter to `P/groups`
+    /// workers. Balances within groups only — the midpoint between one
+    /// global counter (contention) and static partitioning (imbalance).
+    GroupCounters {
+        /// Number of independent counters.
+        groups: usize,
+        /// Tasks per fetch.
+        chunk: usize,
+    },
+    /// Work stealing with random victims.
+    WorkStealing {
+        /// Steal half the victim's queue (vs a single task).
+        steal_half: bool,
+    },
+    /// Hybrid model: the deques are seeded from a load-balancer
+    /// assignment instead of index blocks, and stealing mops up only
+    /// whatever imbalance the cost model missed. The paper's implied
+    /// best-of-both configuration.
+    SeededStealing {
+        /// Initial owner per task (a balancer output).
+        owners: Vec<u32>,
+        /// Steal half the victim's queue (vs a single task).
+        steal_half: bool,
+    },
+    /// Hierarchical work stealing: workers are grouped into nodes of
+    /// `node_size`; thieves try a random *local* victim first (intra-node
+    /// latency = `steal_latency / remote_factor`), falling back to a
+    /// random remote victim at full remote cost.
+    HierarchicalStealing {
+        /// Steal half the victim's queue (vs a single task).
+        steal_half: bool,
+        /// Workers per node.
+        node_size: usize,
+        /// How much cheaper an intra-node steal is (≥ 1).
+        remote_factor: f64,
+    },
+}
+
+impl SimModel {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimModel::Static(_) => "static",
+            SimModel::Counter { .. } => "counter",
+            SimModel::Guided { .. } => "guided",
+            SimModel::GroupCounters { .. } => "group-counters",
+            SimModel::WorkStealing { .. } => "work-stealing",
+            SimModel::SeededStealing { .. } => "seeded-stealing",
+            SimModel::HierarchicalStealing { .. } => "hier-stealing",
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of simulated workers (ranks × cores — the model does not
+    /// distinguish).
+    pub workers: usize,
+    /// Machine overhead parameters.
+    pub machine: MachineModel,
+    /// Per-worker speed variability.
+    pub variability: Variability,
+    /// RNG seed for victim selection.
+    pub seed: u64,
+    /// Record per-task execution intervals (worker, start, end) for
+    /// timeline rendering.
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// Convenience constructor with default machine and no variability.
+    pub fn new(workers: usize) -> SimConfig {
+        SimConfig {
+            workers,
+            machine: MachineModel::default(),
+            variability: Variability::None,
+            seed: 0xd15c,
+            trace: false,
+        }
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last task (s).
+    pub makespan: f64,
+    /// Per-worker time spent executing tasks (s).
+    pub busy: Vec<f64>,
+    /// Per-worker executed task counts.
+    pub tasks: Vec<usize>,
+    /// Successful steals (work-stealing model).
+    pub steals: u64,
+    /// Steal attempts (work-stealing model).
+    pub steal_attempts: u64,
+    /// Counter fetches (counter model).
+    pub counter_fetches: u64,
+    /// Per-worker time spent fetching remote data blocks (s) — only
+    /// populated by [`simulate_static_with_data`].
+    pub comm: Vec<f64>,
+    /// Per-worker task intervals `(start, end)` in seconds — populated
+    /// when [`SimConfig::trace`] is set.
+    pub traces: Vec<Vec<(f64, f64)>>,
+}
+
+impl SimReport {
+    /// Utilization: Σ busy / (P · makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().sum();
+        (busy / (self.makespan * self.busy.len() as f64)).min(1.0)
+    }
+}
+
+/// Runs the simulation of `costs` (seconds per task) under `model`.
+pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    match model {
+        SimModel::Static(owners) => simulate_static(costs, owners, cfg),
+        SimModel::Counter { chunk } => {
+            simulate_counter_family(costs, ChunkPolicy::Fixed(*chunk), 1, cfg)
+        }
+        SimModel::Guided { min_chunk } => {
+            simulate_counter_family(costs, ChunkPolicy::Guided(*min_chunk), 1, cfg)
+        }
+        SimModel::GroupCounters { groups, chunk } => {
+            simulate_counter_family(costs, ChunkPolicy::Fixed(*chunk), (*groups).max(1), cfg)
+        }
+        SimModel::WorkStealing { steal_half } => {
+            simulate_stealing(costs, *steal_half, None, None, cfg)
+        }
+        SimModel::SeededStealing { owners, steal_half } => {
+            simulate_stealing(costs, *steal_half, None, Some(owners), cfg)
+        }
+        SimModel::HierarchicalStealing { steal_half, node_size, remote_factor } => {
+            simulate_stealing(
+                costs,
+                *steal_half,
+                Some(((*node_size).max(1), remote_factor.max(1.0))),
+                None,
+                cfg,
+            )
+        }
+    }
+}
+
+/// How a counter fetch sizes its claim.
+enum ChunkPolicy {
+    Fixed(usize),
+    /// Guided: `remaining/(2·P_group)` floored at the value.
+    Guided(usize),
+}
+
+/// Effective duration of `cost` started at time `t` on `worker`.
+fn stretched(cost: f64, worker: usize, t: f64, cfg: &SimConfig) -> f64 {
+    let f = cfg.variability.factor(worker, cfg.workers, Duration::from_secs_f64(t.max(0.0)));
+    cost * f
+}
+
+fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport {
+    assert_eq!(owners.len(), costs.len(), "assignment length mismatch");
+    let p = cfg.workers;
+    let mut busy = vec![0.0; p];
+    let mut clock = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    for (t, &w) in owners.iter().enumerate() {
+        let w = w as usize;
+        assert!(w < p, "owner out of range");
+        let d = stretched(costs[t], w, clock[w], cfg) + cfg.machine.dispatch_overhead;
+        if cfg.trace {
+            traces[w].push((clock[w], clock[w] + d));
+        }
+        clock[w] += d;
+        busy[w] += d;
+        tasks[w] += 1;
+    }
+    SimReport {
+        makespan: clock.iter().cloned().fold(0.0, f64::max),
+        busy,
+        tasks,
+        steals: 0,
+        steal_attempts: 0,
+        counter_fetches: 0,
+        comm: Vec::new(),
+        traces,
+    }
+}
+
+/// Data placement for communication-aware static simulation.
+#[derive(Debug, Clone)]
+pub struct DataLayout {
+    /// Blocks each task reads/writes.
+    pub task_blocks: Vec<Vec<u32>>,
+    /// Home worker of each block.
+    pub block_home: Vec<u32>,
+    /// Transfer size of one block (bytes).
+    pub block_bytes: usize,
+}
+
+impl DataLayout {
+    /// Places each block on the worker that owns the most tasks touching
+    /// it under `assignment` (majority vote, ties to the lower worker) —
+    /// the natural owner-computes placement.
+    pub fn majority_placement(
+        task_blocks: Vec<Vec<u32>>,
+        assignment: &[u32],
+        nblocks: usize,
+        workers: usize,
+        block_bytes: usize,
+    ) -> DataLayout {
+        assert_eq!(task_blocks.len(), assignment.len(), "length mismatch");
+        let mut votes = vec![vec![0u32; workers]; nblocks];
+        for (t, blocks) in task_blocks.iter().enumerate() {
+            for &b in blocks {
+                votes[b as usize][assignment[t] as usize] += 1;
+            }
+        }
+        let block_home = votes
+            .into_iter()
+            .map(|v| {
+                v.iter().enumerate().max_by_key(|&(i, &c)| (c, usize::MAX - i)).map_or(0, |(i, _)| i)
+                    as u32
+            })
+            .collect();
+        DataLayout { task_blocks, block_home, block_bytes }
+    }
+}
+
+/// Communication-aware static simulation: each worker processes its
+/// tasks in order, paying one block transfer (`machine.transfer_time`)
+/// for every *remote, not-yet-cached* block a task touches. Once
+/// fetched, a block stays cached on the worker (SCF iterations reuse
+/// the same blocks).
+///
+/// This is the metric under which hypergraph partitioning earns its
+/// price: its lower connectivity cut directly reduces the per-worker
+/// communication term.
+pub fn simulate_static_with_data(
+    costs: &[f64],
+    owners: &[u32],
+    layout: &DataLayout,
+    cfg: &SimConfig,
+) -> SimReport {
+    assert_eq!(owners.len(), costs.len(), "assignment length mismatch");
+    assert_eq!(layout.task_blocks.len(), costs.len(), "layout length mismatch");
+    let p = cfg.workers;
+    let m = &cfg.machine;
+    let xfer = m.transfer_time(layout.block_bytes);
+    let nblocks = layout.block_home.len();
+    // Per-worker cached-block bitsets.
+    let words = nblocks.div_ceil(64);
+    let mut cached = vec![vec![0u64; words]; p];
+    let mut busy = vec![0.0; p];
+    let mut comm = vec![0.0; p];
+    let mut clock = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+
+    for (t, &w) in owners.iter().enumerate() {
+        let w = w as usize;
+        assert!(w < p, "owner out of range");
+        for &b in &layout.task_blocks[t] {
+            let b = b as usize;
+            if layout.block_home[b] as usize == w {
+                continue;
+            }
+            let (word, bit) = (b / 64, b % 64);
+            if cached[w][word] & (1 << bit) == 0 {
+                cached[w][word] |= 1 << bit;
+                clock[w] += xfer;
+                comm[w] += xfer;
+            }
+        }
+        let d = stretched(costs[t], w, clock[w], cfg) + m.dispatch_overhead;
+        if cfg.trace {
+            traces[w].push((clock[w], clock[w] + d));
+        }
+        clock[w] += d;
+        busy[w] += d;
+        tasks[w] += 1;
+    }
+    SimReport {
+        makespan: clock.iter().cloned().fold(0.0, f64::max),
+        busy,
+        tasks,
+        steals: 0,
+        steal_attempts: 0,
+        counter_fetches: 0,
+        comm,
+        traces,
+    }
+}
+
+fn simulate_counter_family(
+    costs: &[f64],
+    policy: ChunkPolicy,
+    groups: usize,
+    cfg: &SimConfig,
+) -> SimReport {
+    if let ChunkPolicy::Fixed(c) = policy {
+        assert!(c > 0, "chunk must be positive");
+    }
+    if let ChunkPolicy::Guided(mc) = policy {
+        assert!(mc > 0, "min_chunk must be positive");
+    }
+    let p = cfg.workers;
+    let n = costs.len();
+    let m = &cfg.machine;
+    let groups = groups.min(p).max(1);
+    let wgroup = |w: usize| w * groups / p;
+    let range = |g: usize| (g * n / groups, (g + 1) * n / groups);
+    let mut group_size = vec![0usize; groups];
+    for w in 0..p {
+        group_size[wgroup(w)] += 1;
+    }
+
+    let mut busy = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut fetches = 0u64;
+    let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
+    let mut counter_free = vec![0.0f64; groups];
+    let mut makespan = 0.0f64;
+
+    // Heap of (arrival time at the group's counter, worker).
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+
+    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+        let g = wgroup(w);
+        // The group's counter host serializes its fetches.
+        let start = arrival.max(counter_free[g]);
+        counter_free[g] = start + m.counter_service;
+        fetches += 1;
+        let response = counter_free[g] + m.latency;
+        let (_, gend) = range(g);
+        if next_task[g] >= gend {
+            // Group range exhausted: the worker retires (no cross-group
+            // balancing by design — that asymmetry IS the model).
+            continue;
+        }
+        let remaining = gend - next_task[g];
+        let chunk = match policy {
+            ChunkPolicy::Fixed(c) => c,
+            ChunkPolicy::Guided(mc) => (remaining / (2 * group_size[g])).max(mc),
+        }
+        .min(remaining);
+        let begin = next_task[g];
+        let end = begin + chunk;
+        next_task[g] = end;
+        let mut t = response;
+        for &cost in &costs[begin..end] {
+            let d = stretched(cost, w, t, cfg) + m.dispatch_overhead;
+            if cfg.trace {
+                traces[w].push((t, t + d));
+            }
+            t += d;
+            busy[w] += d;
+            tasks[w] += 1;
+        }
+        makespan = makespan.max(t);
+        // Request the next chunk.
+        heap.push(Reverse((OrdF64(t + m.latency), w)));
+    }
+
+    SimReport {
+        makespan,
+        busy,
+        tasks,
+        steals: 0,
+        steal_attempts: 0,
+        counter_fetches: fetches,
+        comm: Vec::new(),
+        traces,
+    }
+}
+
+fn simulate_stealing(
+    costs: &[f64],
+    steal_half: bool,
+    hierarchy: Option<(usize, f64)>,
+    seed_owners: Option<&[u32]>,
+    cfg: &SimConfig,
+) -> SimReport {
+    let p = cfg.workers;
+    let n = costs.len();
+    let m = &cfg.machine;
+
+    // Seed the deques: from the given assignment, or block-wise
+    // (mirroring the static baseline's initial locality).
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); p];
+    match seed_owners {
+        Some(owners) => {
+            assert_eq!(owners.len(), n, "seed assignment length mismatch");
+            for (i, &w) in owners.iter().enumerate() {
+                assert!((w as usize) < p, "seed owner out of range");
+                queues[w as usize].push_back(i);
+            }
+        }
+        None => {
+            for i in 0..n {
+                queues[emx_runtime::block_owner(i, n.max(1), p)].push_back(i);
+            }
+        }
+    }
+    let mut remaining = n;
+    let mut busy = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut steals = 0u64;
+    let mut attempts = 0u64;
+    let mut makespan = 0.0f64;
+    let mut rng = SplitMix::new(cfg.seed);
+
+    // Event heap: (time, seq, worker). `seq` keeps ordering total.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for w in 0..p {
+        heap.push(Reverse((OrdF64(0.0), seq, w)));
+        seq += 1;
+    }
+
+    while let Some(Reverse((OrdF64(t), _, w))) = heap.pop() {
+        if let Some(i) = queues[w].pop_front() {
+            let d = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
+            if cfg.trace {
+                traces[w].push((t, t + d));
+            }
+            busy[w] += d;
+            tasks[w] += 1;
+            remaining -= 1;
+            makespan = makespan.max(t + d);
+            heap.push(Reverse((OrdF64(t + d), seq, w)));
+            seq += 1;
+            continue;
+        }
+        if remaining == 0 {
+            continue; // global termination: worker retires
+        }
+        // Steal attempt: resolves one round trip later (victim queue is
+        // inspected at resolution time, which is "now + RTT" — we fold
+        // that into scheduling the check directly).
+        attempts += 1;
+        // Hierarchical policy: try a random local victim when any
+        // node-mate has work, else go remote at full latency.
+        let (victim, latency) = match hierarchy {
+            Some((node_size, remote_factor)) if p > 1 => {
+                let node = w / node_size;
+                let lo = node * node_size;
+                let hi = ((node + 1) * node_size).min(p);
+                let local_has_work =
+                    (lo..hi).any(|v| v != w && !queues[v].is_empty());
+                if local_has_work && hi - lo > 1 {
+                    let span = hi - lo - 1;
+                    let mut v = lo + (rng.next() as usize) % span;
+                    if v >= w {
+                        v += 1;
+                    }
+                    (v, m.steal_latency / remote_factor)
+                } else {
+                    let mut v = (rng.next() as usize) % (p - 1);
+                    if v >= w {
+                        v += 1;
+                    }
+                    (v, m.steal_latency)
+                }
+            }
+            _ if p > 1 => {
+                let mut v = (rng.next() as usize) % (p - 1);
+                if v >= w {
+                    v += 1;
+                }
+                (v, m.steal_latency)
+            }
+            _ => (w, m.steal_latency),
+        };
+        let t_resolved = t + latency;
+        let qlen = queues[victim].len();
+        if victim != w && qlen > 0 {
+            let take = if steal_half { qlen.div_ceil(2) } else { 1 };
+            // Steal from the back (cold end), like Chase–Lev thieves.
+            for _ in 0..take {
+                if let Some(task) = queues[victim].pop_back() {
+                    queues[w].push_back(task);
+                }
+            }
+            steals += 1;
+            heap.push(Reverse((OrdF64(t_resolved + take as f64 * m.steal_transfer), seq, w)));
+        } else {
+            // Failed attempt: retry no earlier than the next event in
+            // the system, so zero-latency machines cannot livelock at a
+            // frozen timestamp while another worker finishes a task.
+            let next_event = heap.peek().map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
+            heap.push(Reverse((OrdF64(t_resolved.max(next_event)), seq, w)));
+        }
+        seq += 1;
+    }
+
+    SimReport {
+        makespan,
+        busy,
+        tasks,
+        steals,
+        steal_attempts: attempts,
+        counter_fetches: 0,
+        comm: Vec::new(),
+        traces,
+    }
+}
+
+/// Total-ordered f64 wrapper for the event heaps (times are finite).
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN simulation time")
+    }
+}
+
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> SplitMix {
+        SplitMix { state: seed ^ 0x1234_5678_9abc_def0 }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_assignment(n: usize, p: usize) -> Vec<u32> {
+        (0..n).map(|i| emx_runtime::block_owner(i, n, p) as u32).collect()
+    }
+
+    fn ideal_cfg(p: usize) -> SimConfig {
+        SimConfig { workers: p, machine: MachineModel::ideal(), ..SimConfig::new(p) }
+    }
+
+    #[test]
+    fn static_uniform_is_perfect() {
+        let costs = vec![1.0; 16];
+        let r = simulate(&costs, &SimModel::Static(block_assignment(16, 4)), &ideal_cfg(4));
+        assert!((r.makespan - 4.0).abs() < 1e-12);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_skewed_pays_imbalance() {
+        // Triangular costs, block partition: the last block dominates.
+        let costs: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        let r = simulate(&costs, &SimModel::Static(block_assignment(16, 4)), &ideal_cfg(4));
+        // Last worker owns 13+14+15+16 = 58 of 136 total.
+        assert!((r.makespan - 58.0).abs() < 1e-12);
+        assert!(r.utilization() < 0.6);
+    }
+
+    #[test]
+    fn counter_with_free_machine_is_list_scheduling() {
+        let costs: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        let r = simulate(&costs, &SimModel::Counter { chunk: 1 }, &ideal_cfg(4));
+        // Greedy ≤ LB + max; LB = 34.
+        assert!(r.makespan <= 34.0 + 16.0 + 1e-9);
+        assert!(r.makespan >= 34.0 - 1e-9);
+        assert_eq!(r.tasks.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn counter_serializes_under_contention() {
+        // Many zero-cost tasks: makespan is dominated by the counter's
+        // service time × fetches, no matter how many workers.
+        let costs = vec![0.0; 1000];
+        let mut cfg = ideal_cfg(64);
+        cfg.machine.counter_service = 1e-3;
+        let r = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        assert!(r.makespan >= 1000.0 * 1e-3 - 1e-9, "makespan {}", r.makespan);
+        // Chunking fixes it.
+        let r2 = simulate(&costs, &SimModel::Counter { chunk: 100 }, &cfg);
+        assert!(r2.makespan < r.makespan / 10.0);
+    }
+
+    #[test]
+    fn data_aware_static_prices_remote_blocks() {
+        // 2 workers, 4 blocks; each task touches its own block. With
+        // every block homed on worker 0, worker 1 pays transfers.
+        let costs = vec![1e-3; 4];
+        let owners = vec![0, 0, 1, 1];
+        let layout = DataLayout {
+            task_blocks: vec![vec![0], vec![1], vec![2], vec![3]],
+            block_home: vec![0, 0, 0, 0],
+            block_bytes: 1 << 20,
+        };
+        let cfg = SimConfig::new(2);
+        let r = simulate_static_with_data(&costs, &owners, &layout, &cfg);
+        assert_eq!(r.comm[0], 0.0);
+        let expected = 2.0 * cfg.machine.transfer_time(1 << 20);
+        assert!((r.comm[1] - expected).abs() < 1e-12);
+        assert_eq!(r.tasks, vec![2, 2]);
+    }
+
+    #[test]
+    fn data_aware_caching_is_per_block_once() {
+        // Two tasks touching the same remote block: one transfer only.
+        let costs = vec![1e-3; 2];
+        let owners = vec![1, 1];
+        let layout = DataLayout {
+            task_blocks: vec![vec![0], vec![0]],
+            block_home: vec![0],
+            block_bytes: 4096,
+        };
+        let cfg = SimConfig::new(2);
+        let r = simulate_static_with_data(&costs, &owners, &layout, &cfg);
+        assert!((r.comm[1] - cfg.machine.transfer_time(4096)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn majority_placement_localizes_blocks() {
+        let task_blocks = vec![vec![0], vec![0], vec![0], vec![1]];
+        let assignment = vec![1, 1, 0, 0];
+        let layout = DataLayout::majority_placement(task_blocks, &assignment, 2, 2, 64);
+        // Block 0 is touched by two worker-1 tasks and one worker-0
+        // task → home 1; block 1 only by worker 0 → home 0.
+        assert_eq!(layout.block_home, vec![1, 0]);
+    }
+
+    #[test]
+    fn lower_cut_assignment_pays_less_comm() {
+        // 4 clusters of tasks sharing blocks; the clustered assignment
+        // transfers nothing, the scattered one transfers plenty.
+        let ntasks = 64;
+        let nblocks = 4;
+        let task_blocks: Vec<Vec<u32>> =
+            (0..ntasks).map(|t| vec![(t / 16) as u32]).collect();
+        let costs = vec![1e-4; ntasks];
+        let clustered: Vec<u32> = (0..ntasks).map(|t| (t / 16) as u32).collect();
+        let scattered: Vec<u32> = (0..ntasks).map(|t| (t % 4) as u32).collect();
+        let cfg = SimConfig::new(4);
+        let make_layout = |a: &Vec<u32>| {
+            DataLayout::majority_placement(task_blocks.clone(), a, nblocks, 4, 1 << 22)
+        };
+        let rc = simulate_static_with_data(&costs, &clustered, &make_layout(&clustered), &cfg);
+        let rs = simulate_static_with_data(&costs, &scattered, &make_layout(&scattered), &cfg);
+        let total = |v: &[f64]| v.iter().sum::<f64>();
+        assert_eq!(total(&rc.comm), 0.0);
+        assert!(total(&rs.comm) > 0.0);
+        assert!(rc.makespan < rs.makespan);
+    }
+
+    #[test]
+    fn seeded_stealing_needs_fewer_steals() {
+        // Balanced seed (cyclic over a triangular ramp is near-perfect)
+        // vs the block seed: same near-optimal makespan, far fewer
+        // steals.
+        let costs: Vec<f64> = (1..=512).map(|i| i as f64 * 1e-6).collect();
+        let p = 16;
+        let cfg = SimConfig::new(p);
+        let balanced: Vec<u32> = (0..512).map(|i| (i % p) as u32).collect();
+        let seeded = simulate(
+            &costs,
+            &SimModel::SeededStealing { owners: balanced, steal_half: true },
+            &cfg,
+        );
+        let block = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        assert_eq!(seeded.tasks.iter().sum::<usize>(), 512);
+        assert!(seeded.makespan <= block.makespan * 1.05);
+        assert!(
+            seeded.steals * 2 < block.steals.max(1),
+            "seeded {} vs block {}",
+            seeded.steals,
+            block.steals
+        );
+    }
+
+    #[test]
+    fn hierarchical_stealing_conserves_and_beats_flat_on_expensive_networks() {
+        // Skewed costs, very expensive remote steals: local-first
+        // stealing should match or beat flat random stealing.
+        let costs: Vec<f64> = (1..=512).map(|i| (i % 37) as f64 * 1e-5 + 1e-6).collect();
+        let p = 32;
+        let mut cfg = SimConfig::new(p);
+        cfg.machine.steal_latency = 200e-6;
+        let flat = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let hier = simulate(
+            &costs,
+            &SimModel::HierarchicalStealing {
+                steal_half: true,
+                node_size: 8,
+                remote_factor: 50.0,
+            },
+            &cfg,
+        );
+        assert_eq!(hier.tasks.iter().sum::<usize>(), 512);
+        assert!(
+            hier.makespan <= flat.makespan * 1.05,
+            "hier {} vs flat {}",
+            hier.makespan,
+            flat.makespan
+        );
+    }
+
+    #[test]
+    fn hierarchical_node_size_one_equals_flat() {
+        // node_size = 1 means no node-mates: every steal is remote, so
+        // the model degenerates to flat stealing exactly (same RNG
+        // sequence, same latencies).
+        let costs: Vec<f64> = (1..=128).map(|i| i as f64 * 1e-6).collect();
+        let cfg = SimConfig::new(8);
+        let flat = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let hier = simulate(
+            &costs,
+            &SimModel::HierarchicalStealing {
+                steal_half: true,
+                node_size: 1,
+                remote_factor: 10.0,
+            },
+            &cfg,
+        );
+        assert_eq!(flat.makespan, hier.makespan);
+        assert_eq!(flat.steals, hier.steals);
+    }
+
+    #[test]
+    fn guided_uses_log_fetches() {
+        let costs = vec![1e-6; 10_000];
+        let cfg = ideal_cfg(8);
+        let unit = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        let guided = simulate(&costs, &SimModel::Guided { min_chunk: 1 }, &cfg);
+        assert_eq!(guided.tasks.iter().sum::<usize>(), 10_000);
+        assert!(
+            guided.counter_fetches * 20 < unit.counter_fetches,
+            "guided {} vs unit {}",
+            guided.counter_fetches,
+            unit.counter_fetches
+        );
+        // Work conservation and comparable makespan on uniform costs.
+        assert!(guided.makespan <= unit.makespan * 1.2);
+    }
+
+    #[test]
+    fn group_counters_interpolate_static_and_global() {
+        // Skewed triangular costs: a global counter balances fully,
+        // groups balance within their range only, static not at all.
+        let costs: Vec<f64> = (1..=256).map(|i| i as f64).collect();
+        let p = 16;
+        let mut cfg = ideal_cfg(p);
+        cfg.machine.counter_service = 1e-9;
+        let global = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        let grouped =
+            simulate(&costs, &SimModel::GroupCounters { groups: 4, chunk: 1 }, &cfg);
+        let st = simulate(&costs, &SimModel::Static(block_assignment(256, p)), &cfg);
+        assert_eq!(grouped.tasks.iter().sum::<usize>(), 256);
+        assert!(global.makespan <= grouped.makespan + 1e-9);
+        assert!(grouped.makespan < st.makespan);
+    }
+
+    #[test]
+    fn group_counters_reduce_per_counter_load() {
+        // With zero-cost tasks, the global counter serializes all
+        // fetches; 4 group counters run 4-way concurrently.
+        let costs = vec![0.0; 4000];
+        let mut cfg = ideal_cfg(16);
+        cfg.machine.counter_service = 1e-4;
+        let global = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        let grouped =
+            simulate(&costs, &SimModel::GroupCounters { groups: 4, chunk: 1 }, &cfg);
+        assert!(
+            grouped.makespan < 0.3 * global.makespan,
+            "grouped {} vs global {}",
+            grouped.makespan,
+            global.makespan
+        );
+    }
+
+    #[test]
+    fn stealing_balances_skewed_costs() {
+        let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let p = 8;
+        let static_r =
+            simulate(&costs, &SimModel::Static(block_assignment(64, p)), &ideal_cfg(p));
+        let ws_r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &ideal_cfg(p));
+        assert!(
+            ws_r.makespan < 0.8 * static_r.makespan,
+            "ws {} vs static {}",
+            ws_r.makespan,
+            static_r.makespan
+        );
+        assert!(ws_r.steals > 0);
+        assert_eq!(ws_r.tasks.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn stealing_with_costs_overheads_still_terminates() {
+        let costs = vec![1e-6; 500];
+        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: false }, &SimConfig::new(16));
+        assert_eq!(r.tasks.iter().sum::<usize>(), 500);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn stealing_deterministic_given_seed() {
+        let costs: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64 * 1e-5 + 1e-6).collect();
+        let a = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &SimConfig::new(8));
+        let b = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &SimConfig::new(8));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.steals, b.steals);
+    }
+
+    #[test]
+    fn variability_hurts_static_more_than_stealing() {
+        let costs = vec![1.0; 64];
+        let p = 8;
+        let mut cfg = ideal_cfg(p);
+        cfg.variability = Variability::SlowCores { factor: 3.0, count: 1 };
+        let st = simulate(&costs, &SimModel::Static(block_assignment(64, p)), &cfg);
+        let ws = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        // Static: slow worker takes 8 tasks × 3 = 24 s. Stealing: others
+        // absorb its backlog.
+        assert!((st.makespan - 24.0).abs() < 1e-9);
+        assert!(ws.makespan < 0.7 * st.makespan, "ws {}", ws.makespan);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        for model in [
+            SimModel::Static(vec![]),
+            SimModel::Counter { chunk: 4 },
+            SimModel::Guided { min_chunk: 2 },
+            SimModel::GroupCounters { groups: 2, chunk: 4 },
+            SimModel::WorkStealing { steal_half: true },
+        ] {
+            let r = simulate(&[], &model, &SimConfig::new(4));
+            assert_eq!(r.makespan, 0.0);
+            assert_eq!(r.tasks.iter().sum::<usize>(), 0);
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_serial_sum() {
+        let costs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        for model in [
+            SimModel::Static(vec![0; 10]),
+            SimModel::Counter { chunk: 3 },
+            SimModel::Guided { min_chunk: 1 },
+            SimModel::GroupCounters { groups: 4, chunk: 2 },
+            SimModel::WorkStealing { steal_half: true },
+        ] {
+            let r = simulate(&costs, &model, &ideal_cfg(1));
+            assert!((r.makespan - 55.0).abs() < 1e-9, "{}: {}", model.name(), r.makespan);
+        }
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let costs: Vec<f64> = (1..=32).map(|i| i as f64).collect();
+        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &ideal_cfg(4));
+        let u = r.utilization();
+        assert!((0.0..=1.0).contains(&u));
+        assert!(u > 0.8, "stealing should utilize well: {u}");
+    }
+}

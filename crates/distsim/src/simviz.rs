@@ -1,0 +1,119 @@
+//! Text rendering of simulated execution timelines.
+//!
+//! The counterpart of `emx_runtime::timeline` for DES results: turns a
+//! traced [`SimReport`] into per-worker Gantt
+//! strips and a utilization curve — the paper's utilization figures in
+//! plain text.
+
+use crate::sim::SimReport;
+
+/// Renders one `#`/`·` strip per worker over `width` time buckets. At
+/// most `max_workers` rows are shown (with an ellipsis line if
+/// truncated). Requires the simulation to have run with
+/// `SimConfig::trace = true`.
+pub fn render_sim_timeline(report: &SimReport, width: usize, max_workers: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    let wall = report.makespan;
+    let mut out = String::new();
+    if wall <= 0.0 || report.traces.is_empty() {
+        return out;
+    }
+    let bucket = wall / width as f64;
+    for (w, events) in report.traces.iter().enumerate().take(max_workers) {
+        let mut busy = vec![0.0f64; width];
+        accumulate(events, wall, bucket, &mut busy);
+        out.push_str(&format!("w{w:<4}|"));
+        for &x in &busy {
+            out.push(if x >= 0.5 * bucket { '#' } else { '·' });
+        }
+        out.push_str("|\n");
+    }
+    if report.traces.len() > max_workers {
+        out.push_str(&format!("… {} more workers\n", report.traces.len() - max_workers));
+    }
+    out
+}
+
+/// Fraction of workers busy in each of `buckets` equal slices of the
+/// simulated makespan.
+pub fn sim_utilization_curve(report: &SimReport, buckets: usize) -> Vec<f64> {
+    assert!(buckets > 0, "need at least one bucket");
+    let wall = report.makespan;
+    if wall <= 0.0 || report.traces.is_empty() {
+        return vec![0.0; buckets];
+    }
+    let bucket = wall / buckets as f64;
+    let mut busy = vec![0.0f64; buckets];
+    for events in &report.traces {
+        accumulate(events, wall, bucket, &mut busy);
+    }
+    let denom = bucket * report.traces.len() as f64;
+    busy.iter().map(|&x| (x / denom).min(1.0)).collect()
+}
+
+/// Adds the busy overlap of `events` with each bucket into `busy`.
+fn accumulate(events: &[(f64, f64)], wall: f64, bucket: f64, busy: &mut [f64]) {
+    for &(s, e) in events {
+        let e = e.min(wall);
+        let mut b = (s / bucket) as usize;
+        while b < busy.len() {
+            let b_start = b as f64 * bucket;
+            let b_end = b_start + bucket;
+            if b_start >= e {
+                break;
+            }
+            busy[b] += e.min(b_end) - s.max(b_start);
+            b += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, SimConfig, SimModel};
+
+    fn traced_cfg(p: usize) -> SimConfig {
+        SimConfig { trace: true, machine: crate::machine::MachineModel::ideal(), ..SimConfig::new(p) }
+    }
+
+    #[test]
+    fn static_skew_shows_idle_tails() {
+        // Triangular costs, block partition: early workers idle at the
+        // end — their strips must contain dots, the last worker's none.
+        let costs: Vec<f64> = (1..=32).map(|i| i as f64).collect();
+        let owners: Vec<u32> = (0..32).map(|i| (i / 8) as u32).collect();
+        let r = simulate(&costs, &SimModel::Static(owners), &traced_cfg(4));
+        let s = render_sim_timeline(&r, 40, 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('·'), "worker 0 has an idle tail: {s}");
+        assert!(!lines[3].contains('·'), "worker 3 is the critical path: {s}");
+    }
+
+    #[test]
+    fn stealing_timeline_is_dense() {
+        let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &traced_cfg(4));
+        let u = sim_utilization_curve(&r, 10);
+        let avg = u.iter().sum::<f64>() / u.len() as f64;
+        assert!(avg > 0.85, "stealing keeps everyone busy: {u:?}");
+    }
+
+    #[test]
+    fn untraced_run_renders_empty() {
+        let costs = vec![1.0; 8];
+        let r = simulate(&costs, &SimModel::Counter { chunk: 1 }, &SimConfig::new(2));
+        assert!(render_sim_timeline(&r, 10, 4).is_empty());
+        assert_eq!(sim_utilization_curve(&r, 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn worker_cap_truncates_with_ellipsis() {
+        let costs = vec![1.0; 64];
+        let owners: Vec<u32> = (0..64).map(|i| (i % 16) as u32).collect();
+        let r = simulate(&costs, &SimModel::Static(owners), &traced_cfg(16));
+        let s = render_sim_timeline(&r, 20, 4);
+        assert!(s.contains("… 12 more workers"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Thread-backed "cluster": ranks as OS threads with message passing
+//! and collectives.
+//!
+//! This substrate provides the *semantics* of the paper's MPI/Global
+//! Arrays environment — point-to-point messages, barrier, reduce,
+//! broadcast — with ranks mapped to threads. Timing fidelity at scale
+//! is the job of the discrete-event simulator ([`crate::sim`]); this
+//! world exists so the distributed versions of the kernel run their
+//! real communication code paths and can be tested for correctness.
+
+use crate::machine::MachineModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// A message between ranks: a tag plus a payload of doubles.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender rank.
+    pub from: usize,
+    /// User tag for matching.
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+/// Shared communication state.
+struct Plumbing {
+    machine: MachineModel,
+    /// `senders[to]` delivers into rank `to`'s mailbox.
+    senders: Vec<Sender<Message>>,
+    barrier: Barrier,
+    /// Total messages and payload bytes sent (traffic accounting).
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Per-rank communication handle.
+pub struct RankCtx {
+    /// This rank's id.
+    pub rank: usize,
+    /// Total rank count.
+    pub nranks: usize,
+    plumbing: Arc<Plumbing>,
+    mailbox: Receiver<Message>,
+    /// Out-of-order messages parked until matched.
+    parked: std::cell::RefCell<Vec<Message>>,
+}
+
+impl RankCtx {
+    /// Sends `data` to rank `to` with a tag.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.nranks, "rank out of range");
+        self.plumbing.messages.fetch_add(1, Ordering::Relaxed);
+        self.plumbing.bytes.fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.plumbing.senders[to]
+            .send(Message { from: self.rank, tag, data })
+            .expect("receiver alive for the world's duration");
+    }
+
+    /// Receives the next message matching `from`/`tag` (blocking).
+    /// Non-matching messages are parked, preserving arrival order.
+    pub fn recv(&self, from: usize, tag: u64) -> Message {
+        let mut parked = self.parked.borrow_mut();
+        if let Some(pos) = parked.iter().position(|m| m.from == from && m.tag == tag) {
+            return parked.remove(pos);
+        }
+        loop {
+            let m = self.mailbox.recv().expect("world alive");
+            if m.from == from && m.tag == tag {
+                return m;
+            }
+            parked.push(m);
+        }
+    }
+
+    /// Barrier across all ranks.
+    pub fn barrier(&self) {
+        self.plumbing.barrier.wait();
+    }
+
+    /// Element-wise sum allreduce (gather to rank 0, broadcast back).
+    pub fn allreduce_sum(&self, local: &[f64]) -> Vec<f64> {
+        const TAG_GATHER: u64 = u64::MAX - 1;
+        const TAG_BCAST: u64 = u64::MAX - 2;
+        if self.nranks == 1 {
+            return local.to_vec();
+        }
+        if self.rank == 0 {
+            let mut acc = local.to_vec();
+            for r in 1..self.nranks {
+                let m = self.recv(r, TAG_GATHER);
+                assert_eq!(m.data.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(&m.data) {
+                    *a += b;
+                }
+            }
+            for r in 1..self.nranks {
+                self.send(r, TAG_BCAST, acc.clone());
+            }
+            acc
+        } else {
+            self.send(0, TAG_GATHER, local.to_vec());
+            self.recv(0, TAG_BCAST).data
+        }
+    }
+
+    /// Broadcast from `root`.
+    pub fn broadcast(&self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.nranks == 1 {
+            return data;
+        }
+        if self.rank == root {
+            for r in 0..self.nranks {
+                if r != root {
+                    self.send(r, TAG, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, TAG).data
+        }
+    }
+
+    /// The machine model of this world.
+    pub fn machine(&self) -> &MachineModel {
+        &self.plumbing.machine
+    }
+}
+
+/// Traffic totals of a finished world run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traffic {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+}
+
+/// Runs `body` on `nranks` rank-threads and returns their results plus
+/// traffic accounting.
+pub fn run_world<R, F>(nranks: usize, machine: MachineModel, body: F) -> (Vec<R>, Traffic)
+where
+    R: Send,
+    F: Fn(&RankCtx) -> R + Sync,
+{
+    assert!(nranks > 0, "need at least one rank");
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let plumbing = Arc::new(Plumbing {
+        machine,
+        senders,
+        barrier: Barrier::new(nranks),
+        messages: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+    });
+
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mailbox)| {
+                let plumbing = Arc::clone(&plumbing);
+                let body = &body;
+                s.spawn(move || {
+                    let ctx = RankCtx {
+                        rank,
+                        nranks,
+                        plumbing,
+                        mailbox,
+                        parked: std::cell::RefCell::new(Vec::new()),
+                    };
+                    body(&ctx)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect::<Vec<R>>()
+    });
+    let traffic = Traffic {
+        messages: plumbing.messages.load(Ordering::Relaxed),
+        bytes: plumbing.bytes.load(Ordering::Relaxed),
+    };
+    (results, traffic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let (results, traffic) = run_world(4, MachineModel::default(), |ctx| {
+            // Pass rank id around the ring, accumulating.
+            let next = (ctx.rank + 1) % ctx.nranks;
+            let prev = (ctx.rank + ctx.nranks - 1) % ctx.nranks;
+            ctx.send(next, 7, vec![ctx.rank as f64]);
+            let m = ctx.recv(prev, 7);
+            m.data[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(traffic.messages, 4);
+        assert_eq!(traffic.bytes, 32);
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let (results, _) = run_world(5, MachineModel::default(), |ctx| {
+            ctx.allreduce_sum(&[ctx.rank as f64, 1.0])
+        });
+        for r in results {
+            assert_eq!(r, vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let (results, _) = run_world(3, MachineModel::default(), |ctx| {
+            let data = if ctx.rank == 1 { vec![42.0] } else { vec![] };
+            ctx.broadcast(1, data)
+        });
+        for r in results {
+            assert_eq!(r, vec![42.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let (results, _) = run_world(4, MachineModel::default(), |ctx| {
+            before.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must see all increments.
+            before.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        let (results, _) = run_world(2, MachineModel::default(), |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 1, vec![1.0]);
+                ctx.send(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive tag 2 first although tag 1 arrives first.
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                a.data[0] * 10.0 + b.data[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let (results, traffic) = run_world(1, MachineModel::default(), |ctx| {
+            let s = ctx.allreduce_sum(&[3.0]);
+            let b = ctx.broadcast(0, vec![4.0]);
+            ctx.barrier();
+            s[0] + b[0]
+        });
+        assert_eq!(results, vec![7.0]);
+        assert_eq!(traffic.messages, 0);
+    }
+}

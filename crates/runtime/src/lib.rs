@@ -1,0 +1,47 @@
+//! # emx-runtime — shared-memory execution models
+//!
+//! The runtime half of the execution-model study: a worker pool that
+//! executes an indexed set of independent tasks under any of the
+//! policies the paper compares —
+//!
+//! * static block / cyclic / balancer-assigned partitioning,
+//! * NXTVAL-style dynamic shared-counter self-scheduling (with chunking),
+//! * work stealing on Chase–Lev deques (random or round-robin victims,
+//!   single-task or batch steals),
+//!
+//! with per-worker statistics ([`ExecutionReport`]: utilization,
+//! busy-time imbalance, steal/counter overheads), optional per-task
+//! tracing, and injectable per-core performance variability
+//! ([`Variability`]) modelling energy-induced speed differences.
+//!
+//! ## Example
+//!
+//! ```
+//! use emx_runtime::prelude::*;
+//!
+//! let ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+//! let (locals, report) = ex.run(100, |_| 0u64, |i, sum| *sum += i as u64);
+//! assert_eq!(locals.iter().sum::<u64>(), 4950);
+//! assert_eq!(report.total_tasks_run(), 100);
+//! ```
+
+pub mod model;
+pub mod pool;
+pub mod report;
+pub mod timeline;
+pub mod variability;
+
+pub use model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+pub use pool::Executor;
+pub use report::{ExecutionReport, TaskEvent, WorkerStats};
+pub use timeline::{render_timeline, utilization_curve};
+pub use variability::Variability;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::model::{ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+    pub use crate::pool::Executor;
+    pub use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
+    pub use crate::timeline::{render_timeline, utilization_curve};
+    pub use crate::variability::Variability;
+}

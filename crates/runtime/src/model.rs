@@ -1,0 +1,178 @@
+//! Execution-model descriptions.
+//!
+//! An *execution model* here is the abstract policy deciding which
+//! worker runs which task and when — the variable of the whole study.
+//! The concrete policies mirror the paper's spectrum:
+//!
+//! * **Static** — ownership fixed before execution (block, cyclic, or an
+//!   arbitrary assignment produced by a load balancer);
+//! * **Dynamic shared counter** — NXTVAL-style self-scheduling from one
+//!   global counter, with a chunk size;
+//! * **Work stealing** — distributed deques with random victim
+//!   selection.
+
+use std::sync::Arc;
+
+/// How tasks are distributed to workers before/while running.
+#[derive(Debug, Clone)]
+pub enum ExecutionModel {
+    /// One worker runs everything in task order (baseline).
+    Serial,
+    /// Contiguous index blocks: worker `w` owns `[w·n/P, (w+1)·n/P)`.
+    StaticBlock,
+    /// Round-robin: task `i` belongs to worker `i mod P`.
+    StaticCyclic,
+    /// Explicit per-task owner map (`assignment[i] < P`), produced by a
+    /// cost-model load balancer or a persistence pass.
+    StaticAssigned(Arc<Vec<u32>>),
+    /// Self-scheduling off a single shared counter; each fetch claims
+    /// `chunk` consecutive tasks.
+    DynamicCounter {
+        /// Tasks claimed per counter fetch.
+        chunk: usize,
+    },
+    /// Guided self-scheduling: each fetch claims `remaining / (2·P)`
+    /// tasks (at least `min_chunk`) — large chunks early to amortize
+    /// the counter, small chunks late to balance the tail.
+    DynamicGuided {
+        /// Smallest chunk a fetch may claim.
+        min_chunk: usize,
+    },
+    /// Work stealing over per-worker deques.
+    WorkStealing(StealConfig),
+}
+
+impl ExecutionModel {
+    /// Short, stable name used in reports and bench tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionModel::Serial => "serial",
+            ExecutionModel::StaticBlock => "static-block",
+            ExecutionModel::StaticCyclic => "static-cyclic",
+            ExecutionModel::StaticAssigned(_) => "static-assigned",
+            ExecutionModel::DynamicCounter { .. } => "dynamic-counter",
+            ExecutionModel::DynamicGuided { .. } => "dynamic-guided",
+            ExecutionModel::WorkStealing(_) => "work-stealing",
+        }
+    }
+
+    /// Whether the model can rebalance at runtime.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            ExecutionModel::DynamicCounter { .. }
+                | ExecutionModel::DynamicGuided { .. }
+                | ExecutionModel::WorkStealing(_)
+        )
+    }
+}
+
+/// Work-stealing policy knobs (the ablation axes of experiment E7).
+#[derive(Debug, Clone)]
+pub struct StealConfig {
+    /// How tasks are seeded into the deques before execution.
+    pub seed: SeedPartition,
+    /// Victim selection policy.
+    pub victim: VictimPolicy,
+    /// Steal a batch (about half the victim's deque) instead of one task.
+    pub steal_batch: bool,
+    /// RNG seed for random victim selection (reproducibility).
+    pub rng_seed: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            seed: SeedPartition::Block,
+            victim: VictimPolicy::Random,
+            steal_batch: true,
+            rng_seed: 0x57ea1,
+        }
+    }
+}
+
+/// Initial distribution of tasks into the stealing deques.
+#[derive(Debug, Clone)]
+pub enum SeedPartition {
+    /// Contiguous blocks (default — mirrors the static baseline).
+    Block,
+    /// Round-robin.
+    Cyclic,
+    /// Explicit owner map, e.g. from a locality-aware balancer.
+    Assigned(Arc<Vec<u32>>),
+}
+
+/// Victim selection for steals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniformly random victim (classic).
+    Random,
+    /// Cyclic scan starting from the thief's right neighbour.
+    RoundRobin,
+}
+
+/// Computes the static-block owner of task `i` out of `n` for `p`
+/// workers (balanced block sizes, remainder spread over the first
+/// workers).
+pub fn block_owner(i: usize, n: usize, p: usize) -> usize {
+    debug_assert!(i < n && p > 0);
+    let base = n / p;
+    let rem = n % p;
+    // The first `rem` workers own `base+1` tasks.
+    let cut = rem * (base + 1);
+    if i < cut {
+        i / (base + 1)
+    } else {
+        rem + (i - cut) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ExecutionModel::Serial.name(), "serial");
+        assert_eq!(ExecutionModel::StaticBlock.name(), "static-block");
+        assert_eq!(
+            ExecutionModel::DynamicCounter { chunk: 4 }.name(),
+            "dynamic-counter"
+        );
+        assert_eq!(
+            ExecutionModel::WorkStealing(StealConfig::default()).name(),
+            "work-stealing"
+        );
+    }
+
+    #[test]
+    fn dynamic_classification() {
+        assert!(!ExecutionModel::StaticBlock.is_dynamic());
+        assert!(!ExecutionModel::Serial.is_dynamic());
+        assert!(ExecutionModel::DynamicCounter { chunk: 1 }.is_dynamic());
+        assert!(ExecutionModel::WorkStealing(StealConfig::default()).is_dynamic());
+    }
+
+    #[test]
+    fn block_owner_partitions_evenly() {
+        let (n, p) = (10, 3);
+        let owners: Vec<usize> = (0..n).map(|i| block_owner(i, n, p)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Monotone non-decreasing and covers all workers.
+        for w in owners.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn block_owner_exact_division() {
+        let owners: Vec<usize> = (0..8).map(|i| block_owner(i, 8, 4)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn block_owner_more_workers_than_tasks() {
+        let owners: Vec<usize> = (0..3).map(|i| block_owner(i, 3, 8)).collect();
+        assert_eq!(owners, vec![0, 1, 2]);
+    }
+}

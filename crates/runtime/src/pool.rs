@@ -1,0 +1,698 @@
+//! The shared-memory executor: runs an indexed task set under a chosen
+//! execution model with per-worker local state.
+//!
+//! The contract mirrors the structure of the Fock build (and of any
+//! inspector–executor iteration): `ntasks` independent tasks, each
+//! executed exactly once by some worker, accumulating into that worker's
+//! local state; the caller reduces the locals afterwards. This shape is
+//! what lets one kernel run unchanged under every execution model.
+
+use crate::model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
+use crate::variability::Variability;
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A configured executor.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Scheduling policy.
+    pub model: ExecutionModel,
+    /// Performance-variability injection.
+    pub variability: Variability,
+    /// Record per-task event traces (adds small overhead).
+    pub trace: bool,
+}
+
+impl Executor {
+    /// Creates an executor with no variability and tracing off.
+    pub fn new(workers: usize, model: ExecutionModel) -> Executor {
+        assert!(workers > 0, "need at least one worker");
+        Executor { workers, model, variability: Variability::None, trace: false }
+    }
+
+    /// Runs `ntasks` tasks. `init(w)` builds worker `w`'s local state;
+    /// `task(i, local)` executes task `i` into that state. Returns the
+    /// locals (index = worker) and the execution report.
+    ///
+    /// Every task index in `0..ntasks` is executed exactly once; the
+    /// executor asserts this invariant after the run.
+    pub fn run<L, FInit, FTask>(
+        &self,
+        ntasks: usize,
+        init: FInit,
+        task: FTask,
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+        FInit: Fn(usize) -> L + Sync,
+        FTask: Fn(usize, &mut L) + Sync,
+    {
+        let outcome = match &self.model {
+            ExecutionModel::Serial => self.run_serial(ntasks, &init, &task),
+            ExecutionModel::StaticBlock => {
+                let lists = (0..ntasks).map(|i| block_owner(i, ntasks, self.workers) as u32);
+                self.run_static(ntasks, lists.collect(), &init, &task)
+            }
+            ExecutionModel::StaticCyclic => {
+                let lists = (0..ntasks).map(|i| (i % self.workers) as u32);
+                self.run_static(ntasks, lists.collect(), &init, &task)
+            }
+            ExecutionModel::StaticAssigned(map) => {
+                assert_eq!(map.len(), ntasks, "assignment length mismatch");
+                assert!(
+                    map.iter().all(|&w| (w as usize) < self.workers),
+                    "assignment names a worker out of range"
+                );
+                self.run_static(ntasks, map.as_ref().clone(), &init, &task)
+            }
+            ExecutionModel::DynamicCounter { chunk } => {
+                assert!(*chunk > 0, "chunk must be positive");
+                self.run_counter(ntasks, *chunk, &init, &task)
+            }
+            ExecutionModel::DynamicGuided { min_chunk } => {
+                assert!(*min_chunk > 0, "min_chunk must be positive");
+                self.run_guided(ntasks, *min_chunk, &init, &task)
+            }
+            ExecutionModel::WorkStealing(cfg) => self.run_stealing(ntasks, cfg, &init, &task),
+        };
+        let (locals, report) = outcome;
+        assert_eq!(
+            report.total_tasks_run(),
+            ntasks,
+            "executor dropped or duplicated tasks ({} of {ntasks})",
+            report.total_tasks_run()
+        );
+        (locals, report)
+    }
+
+    fn run_serial<L>(
+        &self,
+        ntasks: usize,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport) {
+        let start = Instant::now();
+        let mut local = init(0);
+        let mut ctx = WorkerCtx::new(0, 1, self.variability, self.trace, start);
+        for i in 0..ntasks {
+            ctx.run_task(i, &mut local, task);
+        }
+        let wall = start.elapsed();
+        (
+            vec![local],
+            ExecutionReport {
+                model: self.model.name().to_string(),
+                workers: 1,
+                tasks: ntasks,
+                wall,
+                worker_stats: vec![ctx.stats],
+                traces: vec![ctx.events],
+            },
+        )
+    }
+
+    fn run_static<L>(
+        &self,
+        ntasks: usize,
+        owners: Vec<u32>,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+    {
+        let p = self.workers;
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (i, &w) in owners.iter().enumerate() {
+            lists[w as usize].push(i);
+        }
+        let start = Instant::now();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = lists
+                .into_iter()
+                .enumerate()
+                .map(|(w, list)| {
+                    let init = &init;
+                    let task = &task;
+                    let variability = self.variability;
+                    let trace = self.trace;
+                    s.spawn(move || {
+                        let mut local = init(w);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        for i in list {
+                            ctx.run_task(i, &mut local, task);
+                        }
+                        (local, ctx.stats, ctx.events)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        });
+        self.assemble(ntasks, start.elapsed(), results)
+    }
+
+    fn run_counter<L>(
+        &self,
+        ntasks: usize,
+        chunk: usize,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+    {
+        let p = self.workers;
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|w| {
+                    let next = &next;
+                    let init = &init;
+                    let task = &task;
+                    let variability = self.variability;
+                    let trace = self.trace;
+                    s.spawn(move || {
+                        let mut local = init(w);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        loop {
+                            let begin = next.fetch_add(chunk, Ordering::Relaxed);
+                            if begin >= ntasks {
+                                break;
+                            }
+                            ctx.stats.counter_fetches += 1;
+                            for i in begin..(begin + chunk).min(ntasks) {
+                                ctx.run_task(i, &mut local, task);
+                            }
+                        }
+                        (local, ctx.stats, ctx.events)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        });
+        self.assemble(ntasks, start.elapsed(), results)
+    }
+
+    fn run_guided<L>(
+        &self,
+        ntasks: usize,
+        min_chunk: usize,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+    {
+        let p = self.workers;
+        let next = AtomicUsize::new(0);
+        let start = Instant::now();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|w| {
+                    let next = &next;
+                    let init = &init;
+                    let task = &task;
+                    let variability = self.variability;
+                    let trace = self.trace;
+                    s.spawn(move || {
+                        let mut local = init(w);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        loop {
+                            // Claim remaining/(2P), floored at min_chunk,
+                            // via CAS (the claim size depends on the
+                            // current counter value, so fetch_add alone
+                            // is not enough).
+                            let begin;
+                            let end;
+                            loop {
+                                let cur = next.load(Ordering::Acquire);
+                                if cur >= ntasks {
+                                    return (local, ctx.stats, ctx.events);
+                                }
+                                let remaining = ntasks - cur;
+                                let chunk = (remaining / (2 * p)).max(min_chunk).min(remaining);
+                                match next.compare_exchange_weak(
+                                    cur,
+                                    cur + chunk,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                ) {
+                                    Ok(_) => {
+                                        begin = cur;
+                                        end = cur + chunk;
+                                        break;
+                                    }
+                                    Err(_) => continue,
+                                }
+                            }
+                            ctx.stats.counter_fetches += 1;
+                            for i in begin..end {
+                                ctx.run_task(i, &mut local, task);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        });
+        self.assemble(ntasks, start.elapsed(), results)
+    }
+
+    fn run_stealing<L>(
+        &self,
+        ntasks: usize,
+        cfg: &StealConfig,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+    {
+        let p = self.workers;
+        // Seed the deques on the main thread (the Worker handle is then
+        // moved into its owning thread).
+        let deques: Vec<Deque<usize>> = (0..p).map(|_| Deque::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
+        for i in 0..ntasks {
+            let owner = match &cfg.seed {
+                SeedPartition::Block => block_owner(i, ntasks, p),
+                SeedPartition::Cyclic => i % p,
+                SeedPartition::Assigned(map) => {
+                    assert_eq!(map.len(), ntasks, "seed assignment length mismatch");
+                    map[i] as usize
+                }
+            };
+            deques[owner].push(i);
+        }
+        let remaining = AtomicUsize::new(ntasks);
+        let start = Instant::now();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = deques
+                .into_iter()
+                .enumerate()
+                .map(|(w, deque)| {
+                    let stealers = &stealers;
+                    let remaining = &remaining;
+                    let init = &init;
+                    let task = &task;
+                    let variability = self.variability;
+                    let trace = self.trace;
+                    let cfg = cfg.clone();
+                    s.spawn(move || {
+                        let mut local = init(w);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        let mut rng = SplitMix::new(cfg.rng_seed ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                        'outer: loop {
+                            // Drain the local deque first.
+                            while let Some(i) = deque.pop() {
+                                ctx.run_task(i, &mut local, task);
+                                remaining.fetch_sub(1, Ordering::Release);
+                            }
+                            // Steal until we obtain work or everything is done.
+                            let mut spins = 0u32;
+                            loop {
+                                if remaining.load(Ordering::Acquire) == 0 {
+                                    break 'outer;
+                                }
+                                if p == 1 {
+                                    // No victims exist; the remaining
+                                    // check above is the only exit.
+                                    std::hint::spin_loop();
+                                    continue;
+                                }
+                                let victim = match cfg.victim {
+                                    VictimPolicy::Random => {
+                                        let mut v = (rng.next() as usize) % (p - 1);
+                                        if v >= w {
+                                            v += 1;
+                                        }
+                                        v
+                                    }
+                                    VictimPolicy::RoundRobin => {
+                                        let v = (w + 1 + (spins as usize) % (p - 1)) % p;
+                                        debug_assert_ne!(v, w);
+                                        v
+                                    }
+                                };
+                                ctx.stats.steal_attempts += 1;
+                                let got = if cfg.steal_batch {
+                                    stealers[victim].steal_batch_and_pop(&deque)
+                                } else {
+                                    stealers[victim].steal()
+                                };
+                                match got {
+                                    Steal::Success(i) => {
+                                        ctx.stats.steals += 1;
+                                        ctx.run_task(i, &mut local, task);
+                                        remaining.fetch_sub(1, Ordering::Release);
+                                        continue 'outer;
+                                    }
+                                    Steal::Empty | Steal::Retry => {
+                                        spins += 1;
+                                        if spins % (4 * p as u32) == 0 {
+                                            std::thread::yield_now();
+                                        } else {
+                                            std::hint::spin_loop();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        (local, ctx.stats, ctx.events)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+        });
+        self.assemble(ntasks, start.elapsed(), results)
+    }
+
+    fn assemble<L>(
+        &self,
+        ntasks: usize,
+        wall: Duration,
+        results: Vec<(L, WorkerStats, Vec<TaskEvent>)>,
+    ) -> (Vec<L>, ExecutionReport) {
+        let mut locals = Vec::with_capacity(results.len());
+        let mut worker_stats = Vec::with_capacity(results.len());
+        let mut traces = Vec::with_capacity(results.len());
+        for (l, st, ev) in results {
+            locals.push(l);
+            worker_stats.push(st);
+            traces.push(ev);
+        }
+        (
+            locals,
+            ExecutionReport {
+                model: self.model.name().to_string(),
+                workers: self.workers,
+                tasks: ntasks,
+                wall,
+                worker_stats,
+                traces,
+            },
+        )
+    }
+}
+
+/// Per-worker execution context: stats, trace buffer, variability clock.
+struct WorkerCtx {
+    worker: usize,
+    nworkers: usize,
+    variability: Variability,
+    trace: bool,
+    start: Instant,
+    stats: WorkerStats,
+    events: Vec<TaskEvent>,
+}
+
+impl WorkerCtx {
+    fn new(worker: usize, nworkers: usize, variability: Variability, trace: bool, start: Instant) -> WorkerCtx {
+        WorkerCtx {
+            worker,
+            nworkers,
+            variability,
+            trace,
+            start,
+            stats: WorkerStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn run_task<L>(&mut self, i: usize, local: &mut L, task: &impl Fn(usize, &mut L)) {
+        let t0 = self.start.elapsed();
+        task(i, local);
+        let t1 = self.start.elapsed();
+        let dur = t1.saturating_sub(t0);
+        self.stats.tasks += 1;
+        self.stats.busy += dur;
+        let f = self.variability.factor(self.worker, self.nworkers, t1);
+        if f > 1.0 {
+            // Stretch the task as a proportionally slower core would.
+            let pad = dur.mul_f64(f - 1.0);
+            let deadline = t1 + pad;
+            while self.start.elapsed() < deadline {
+                std::hint::spin_loop();
+            }
+            self.stats.busy += pad;
+            self.stats.padded += pad;
+        }
+        if self.trace {
+            self.events.push(TaskEvent { task: i, start: t0, end: self.start.elapsed() });
+        }
+    }
+}
+
+/// Minimal splitmix64 PRNG for victim selection (no `rand` dependency in
+/// the hot steal loop).
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> SplitMix {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn all_models(n: usize) -> Vec<ExecutionModel> {
+        vec![
+            ExecutionModel::Serial,
+            ExecutionModel::StaticBlock,
+            ExecutionModel::StaticCyclic,
+            ExecutionModel::StaticAssigned(Arc::new((0..n as u32).map(|i| i % 3).collect())),
+            ExecutionModel::DynamicCounter { chunk: 1 },
+            ExecutionModel::DynamicCounter { chunk: 7 },
+            ExecutionModel::DynamicGuided { min_chunk: 1 },
+            ExecutionModel::DynamicGuided { min_chunk: 4 },
+            ExecutionModel::WorkStealing(StealConfig::default()),
+            ExecutionModel::WorkStealing(StealConfig {
+                victim: VictimPolicy::RoundRobin,
+                steal_batch: false,
+                ..StealConfig::default()
+            }),
+            ExecutionModel::WorkStealing(StealConfig {
+                seed: SeedPartition::Cyclic,
+                ..StealConfig::default()
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_model_runs_each_task_exactly_once() {
+        let n = 97;
+        for model in all_models(n) {
+            let ex = Executor::new(3, model.clone());
+            let (locals, report) = ex.run(n, |_| vec![0u32; n], |i, l: &mut Vec<u32>| l[i] += 1);
+            let mut counts = vec![0u32; n];
+            for l in &locals {
+                for (c, v) in counts.iter_mut().zip(l) {
+                    *c += v;
+                }
+            }
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "model {} duplicated/dropped tasks: {counts:?}",
+                model.name()
+            );
+            assert_eq!(report.total_tasks_run(), n, "model {}", model.name());
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        for model in all_models(0) {
+            let ex = Executor::new(2, model);
+            let (locals, report) = ex.run(0, |_| 0u64, |_, _| unreachable!());
+            assert!(report.total_tasks_run() == 0);
+            assert!(!locals.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_worker_single_task() {
+        for model in all_models(1) {
+            let ex = Executor::new(1, model);
+            let (locals, _) = ex.run(1, |_| 0usize, |i, l| *l += i + 10);
+            assert_eq!(locals.iter().sum::<usize>(), 10);
+        }
+    }
+
+    #[test]
+    fn locals_reduce_to_task_sum() {
+        let n = 1000usize;
+        let expected: u64 = (0..n as u64).sum();
+        for model in all_models(n) {
+            let ex = Executor::new(4, model.clone());
+            let (locals, _) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
+            assert_eq!(locals.iter().sum::<u64>(), expected, "model {}", model.name());
+        }
+    }
+
+    #[test]
+    fn static_block_assigns_contiguously() {
+        let ex = Executor::new(3, ExecutionModel::StaticBlock);
+        let (locals, _) = ex.run(9, |_| Vec::new(), |i, l: &mut Vec<usize>| l.push(i));
+        assert_eq!(locals[0], vec![0, 1, 2]);
+        assert_eq!(locals[1], vec![3, 4, 5]);
+        assert_eq!(locals[2], vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn static_cyclic_assigns_round_robin() {
+        let ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        let (locals, _) = ex.run(5, |_| Vec::new(), |i, l: &mut Vec<usize>| l.push(i));
+        assert_eq!(locals[0], vec![0, 2, 4]);
+        assert_eq!(locals[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn counter_model_reports_fetches() {
+        let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 10 });
+        let (_, report) = ex.run(100, |_| (), |_, _| {});
+        // 10 productive fetches plus up to `workers` empty ones.
+        let fetches = report.total_counter_fetches();
+        assert!((10..=12).contains(&fetches), "fetches = {fetches}");
+    }
+
+    #[test]
+    fn guided_uses_fewer_fetches_than_unit_counter() {
+        let n = 4096;
+        let unit = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 1 });
+        let (_, r_unit) = unit.run(n, |_| (), |_, _| {});
+        let guided = Executor::new(2, ExecutionModel::DynamicGuided { min_chunk: 1 });
+        let (_, r_guided) = guided.run(n, |_| (), |_, _| {});
+        assert!(
+            r_guided.total_counter_fetches() * 10 < r_unit.total_counter_fetches(),
+            "guided {} vs unit {}",
+            r_guided.total_counter_fetches(),
+            r_unit.total_counter_fetches()
+        );
+    }
+
+    #[test]
+    fn guided_single_worker_claims_shrink() {
+        // With P = 1 and min_chunk 1, claims follow remaining/2:
+        // 0..2048, then 1024, … — the fetch count is O(log n).
+        let ex = Executor::new(1, ExecutionModel::DynamicGuided { min_chunk: 1 });
+        let (_, r) = ex.run(4096, |_| (), |_, _| {});
+        let fetches = r.total_counter_fetches();
+        assert!(fetches <= 30, "fetches {fetches}");
+        assert_eq!(r.total_tasks_run(), 4096);
+    }
+
+    #[test]
+    fn stealing_happens_under_skew() {
+        // All work seeded to worker 0, which additionally runs 5× slow;
+        // the other workers must steal. The slow factor keeps the test
+        // robust on machines where worker 0 could otherwise drain its
+        // deque before the thieves are even scheduled.
+        let map: Arc<Vec<u32>> = Arc::new(vec![0; 64]);
+        let mut ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig {
+            seed: SeedPartition::Assigned(map),
+            ..StealConfig::default()
+        }));
+        ex.variability = Variability::SlowCores { factor: 5.0, count: 1 };
+        let (_, report) = ex.run(
+            64,
+            |_| (),
+            |_, _| {
+                std::hint::black_box(emx_busy(50_000));
+            },
+        );
+        assert!(report.total_steals() > 0, "expected steals: {:?}", report.worker_stats);
+    }
+
+    /// Tiny local busy-loop (runtime crate must not depend on emx-chem).
+    fn emx_busy(iters: u64) -> f64 {
+        let mut x = 1.0001f64;
+        for _ in 0..iters {
+            x = x * 1.0000003 + 0.0000007;
+        }
+        x
+    }
+
+    #[test]
+    fn serial_model_reports_one_worker() {
+        let ex = Executor::new(8, ExecutionModel::Serial);
+        let (locals, report) = ex.run(10, |_| 0u32, |_, l| *l += 1);
+        assert_eq!(report.workers, 1);
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0], 10);
+    }
+
+    #[test]
+    fn trace_records_every_task() {
+        let mut ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        ex.trace = true;
+        let (_, report) = ex.run(20, |_| (), |_, _| {});
+        let total: usize = report.traces.iter().map(|t| t.len()).sum();
+        assert_eq!(total, 20);
+        for t in report.traces.iter().flatten() {
+            assert!(t.end >= t.start);
+        }
+    }
+
+    #[test]
+    fn variability_pads_busy_time() {
+        let mut ex = Executor::new(1, ExecutionModel::Serial);
+        ex.variability = Variability::SlowCores { factor: 3.0, count: 1 };
+        let (_, report) = ex.run(
+            5,
+            |_| (),
+            |_, _| {
+                std::hint::black_box(emx_busy(50_000));
+            },
+        );
+        let st = &report.worker_stats[0];
+        assert!(st.padded > Duration::ZERO);
+        // padded ≈ 2× raw busy; allow generous slack for timer noise.
+        let raw = st.busy - st.padded;
+        assert!(
+            st.padded >= raw,
+            "padded {:?} should be ≥ raw busy {:?} at factor 3",
+            st.padded,
+            raw
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length mismatch")]
+    fn bad_assignment_length_panics() {
+        let ex = Executor::new(2, ExecutionModel::StaticAssigned(Arc::new(vec![0; 3])));
+        let _ = ex.run(4, |_| (), |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_assignment_target_panics() {
+        let ex = Executor::new(2, ExecutionModel::StaticAssigned(Arc::new(vec![5; 3])));
+        let _ = ex.run(3, |_| (), |_, _| {});
+    }
+
+    #[test]
+    fn work_stealing_with_one_worker_terminates() {
+        let ex = Executor::new(1, ExecutionModel::WorkStealing(StealConfig::default()));
+        let (locals, _) = ex.run(50, |_| 0u32, |_, l| *l += 1);
+        assert_eq!(locals[0], 50);
+    }
+}

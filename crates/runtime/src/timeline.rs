@@ -1,0 +1,167 @@
+//! Text rendering of execution traces.
+//!
+//! Turns a traced [`ExecutionReport`] into the pictures the paper's
+//! utilization discussion is about: a per-worker Gantt strip (busy vs
+//! idle over time) and a bucketed utilization curve. Pure string
+//! output — usable from examples and `reproduce` without any plotting
+//! dependency.
+
+use crate::report::ExecutionReport;
+
+/// Renders one `#`/`·` strip per worker: `#` where the worker was inside
+/// a task body, `·` where it was idle/scheduling. `width` is the number
+/// of time buckets (columns).
+///
+/// Requires tracing to have been enabled; workers without events render
+/// as all-idle.
+pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    let wall = report.wall.as_secs_f64();
+    let mut out = String::new();
+    if wall <= 0.0 {
+        return out;
+    }
+    let bucket = wall / width as f64;
+    for (w, events) in report.traces.iter().enumerate() {
+        // Busy time per bucket.
+        let mut busy = vec![0.0f64; width];
+        for ev in events {
+            let s = ev.start.as_secs_f64();
+            let e = ev.end.as_secs_f64().min(wall);
+            let mut b = (s / bucket) as usize;
+            while b < width {
+                let b_start = b as f64 * bucket;
+                let b_end = b_start + bucket;
+                if b_start >= e {
+                    break;
+                }
+                busy[b] += e.min(b_end) - s.max(b_start);
+                b += 1;
+            }
+        }
+        out.push_str(&format!("w{w:<3} |"));
+        for &x in &busy {
+            out.push(if x >= 0.5 * bucket { '#' } else { '·' });
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Fraction of workers busy in each of `buckets` equal time slices.
+pub fn utilization_curve(report: &ExecutionReport, buckets: usize) -> Vec<f64> {
+    assert!(buckets > 0, "need at least one bucket");
+    let wall = report.wall.as_secs_f64();
+    if wall <= 0.0 || report.traces.is_empty() {
+        return vec![0.0; buckets];
+    }
+    let bucket = wall / buckets as f64;
+    let mut busy = vec![0.0f64; buckets];
+    for events in &report.traces {
+        for ev in events {
+            let s = ev.start.as_secs_f64();
+            let e = ev.end.as_secs_f64().min(wall);
+            let mut b = (s / bucket) as usize;
+            while b < buckets {
+                let b_start = b as f64 * bucket;
+                let b_end = b_start + bucket;
+                if b_start >= e {
+                    break;
+                }
+                busy[b] += e.min(b_end) - s.max(b_start);
+                b += 1;
+            }
+        }
+    }
+    let denom = bucket * report.traces.len() as f64;
+    busy.iter().map(|&x| (x / denom).min(1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{TaskEvent, WorkerStats};
+    use std::time::Duration;
+
+    fn report_with_traces(wall_ms: u64, traces: Vec<Vec<(u64, u64)>>) -> ExecutionReport {
+        let workers = traces.len();
+        ExecutionReport {
+            model: "test".into(),
+            workers,
+            tasks: traces.iter().map(|t| t.len()).sum(),
+            wall: Duration::from_millis(wall_ms),
+            worker_stats: vec![WorkerStats::default(); workers],
+            traces: traces
+                .into_iter()
+                .map(|evs| {
+                    evs.into_iter()
+                        .enumerate()
+                        .map(|(i, (s, e))| TaskEvent {
+                            task: i,
+                            start: Duration::from_millis(s),
+                            end: Duration::from_millis(e),
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fully_busy_worker_renders_solid() {
+        let r = report_with_traces(100, vec![vec![(0, 100)]]);
+        let s = render_timeline(&r, 10);
+        assert_eq!(s.trim_end(), "w0   |##########|");
+    }
+
+    #[test]
+    fn idle_second_half_renders_dots() {
+        let r = report_with_traces(100, vec![vec![(0, 50)]]);
+        let s = render_timeline(&r, 10);
+        assert_eq!(s.trim_end(), "w0   |#####·····|");
+    }
+
+    #[test]
+    fn one_row_per_worker() {
+        let r = report_with_traces(100, vec![vec![(0, 100)], vec![(50, 100)], vec![]]);
+        let s = render_timeline(&r, 4);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.lines().nth(2).unwrap().contains("····"));
+    }
+
+    #[test]
+    fn utilization_curve_values() {
+        // Two workers: one busy throughout, one busy in the second half.
+        let r = report_with_traces(100, vec![vec![(0, 100)], vec![(50, 100)]]);
+        let u = utilization_curve(&r, 2);
+        assert!((u[0] - 0.5).abs() < 1e-9, "{u:?}");
+        assert!((u[1] - 1.0).abs() < 1e-9, "{u:?}");
+    }
+
+    #[test]
+    fn zero_wall_is_safe() {
+        let r = report_with_traces(0, vec![vec![]]);
+        assert!(render_timeline(&r, 5).is_empty());
+        assert_eq!(utilization_curve(&r, 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn real_trace_integrates_to_busy_fraction() {
+        // Run an actual traced execution and check the curve average is
+        // close to the report's utilization.
+        use crate::model::ExecutionModel;
+        use crate::pool::Executor;
+        let mut ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        ex.trace = true;
+        let (_, r) = ex.run(200, |_| 0.0f64, |_, acc| {
+            let mut x = 1.0001f64;
+            for _ in 0..5_000 {
+                x = x * 1.0000003 + 0.0000001;
+            }
+            *acc += x;
+        });
+        let u = utilization_curve(&r, 20);
+        let avg = u.iter().sum::<f64>() / u.len() as f64;
+        assert!((avg - r.utilization()).abs() < 0.25, "avg {avg} vs {}", r.utilization());
+    }
+}

@@ -1,0 +1,38 @@
+//! H₂ dissociation: RHF vs UHF vs MP2 across the bond-breaking curve.
+//!
+//! The chemistry-side showcase of the kernel extensions: restricted HF
+//! fails at dissociation (ionic terms), MP2 on top of it diverges, and
+//! unrestricted HF breaks spin symmetry to land exactly on twice the
+//! atomic energy. Every number comes from the same integral engine the
+//! execution-model study schedules.
+//!
+//! Run with: `cargo run --release --example dissociation_curve`
+
+use emx_chem::prelude::*;
+
+fn main() {
+    println!("H2 / STO-3G dissociation (energies in Hartree)\n");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "R/a0", "RHF", "RHF+MP2", "UHF", "<S2>");
+    println!("{}", "-".repeat(56));
+    let cfg = ScfConfig::default();
+    for r in [1.0, 1.4, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let mol = Molecule::h2(r);
+        let bm = BasisedMolecule::assign(&mol, BasisSet::Sto3g);
+        let rhf_res = rhf(&bm, &cfg);
+        assert!(rhf_res.converged);
+        let e2 = mp2_energy(&bm, &rhf_res);
+        let uhf_res = uhf(&bm, 1, &cfg);
+        assert!(uhf_res.converged);
+        println!(
+            "{r:>6.1} {:>12.6} {:>12.6} {:>12.6} {:>8.3}",
+            rhf_res.energy,
+            rhf_res.energy + e2,
+            uhf_res.energy,
+            uhf_res.s_squared
+        );
+    }
+    let atom_limit = 2.0 * -0.46658;
+    println!("{}", "-".repeat(56));
+    println!("2 x E(H atom, STO-3G) = {atom_limit:.6} — the UHF column converges to it;");
+    println!("RHF overshoots by ~0.26 Ha at R = 8 and MP2 cannot repair a broken reference.");
+}

@@ -1,0 +1,80 @@
+//! Distributed Fock build on the Global-Arrays substrate.
+//!
+//! Runs the kernel the way the paper's GA/MPI implementation does:
+//! ranks (threads here) self-schedule shell-quartet tasks off a shared
+//! NXTVAL counter, accumulate their contributions into a distributed
+//! global array with one-sided `acc`, and synchronize with a barrier.
+//! The gathered result is verified against the serial build, and the
+//! recorded one-sided traffic is priced with the machine model.
+//!
+//! Run with: `cargo run --release --example distributed_fock`
+
+use emx_chem::prelude::*;
+use emx_distsim::prelude::*;
+use emx_linalg::Matrix;
+
+fn main() {
+    let mol = Molecule::water();
+    let bm = BasisedMolecule::assign(&mol, BasisSet::SixThirtyOneG);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let builder = FockBuilder::new(&bm, &pairs, 1e-10);
+    let tasks = builder.tasks(4);
+    let nbf = bm.nbf;
+
+    let mut density = Matrix::from_fn(nbf, nbf, |i, j| 0.4 / (1.0 + (i as f64 - j as f64).abs()));
+    density.symmetrize();
+
+    let nranks = 4;
+    let chunk = 2u64;
+    let fock = GlobalArray::zeros(nbf, nbf, nranks);
+    let counter = NxtVal::new();
+    let machine = MachineModel::default();
+
+    println!(
+        "distributed Fock build: {} tasks over {} ranks (NXTVAL chunk {})",
+        tasks.len(),
+        nranks,
+        chunk
+    );
+
+    let (per_rank, traffic) = run_world(nranks, machine, |ctx| {
+        let mut local = Matrix::zeros(nbf, nbf);
+        let mut executed = 0usize;
+        loop {
+            let start = counter.next(chunk) as usize;
+            if start >= tasks.len() {
+                break;
+            }
+            for t in &tasks[start..(start + chunk as usize).min(tasks.len())] {
+                builder.execute(t, &density, &mut local);
+                executed += 1;
+            }
+        }
+        // One-sided accumulate of the rank's whole contribution block —
+        // GA codes batch exactly like this to amortize latency.
+        fock.acc(ctx.rank, 0, 0, nbf, nbf, 1.0, local.as_slice());
+        ctx.barrier();
+        executed
+    });
+
+    // Verify against the serial reference.
+    let mut g = Matrix::zeros(nbf, nbf);
+    g.as_mut_slice().copy_from_slice(&fock.gather());
+    let reference = builder.build_serial(&density);
+    let diff = g.max_abs_diff(&reference);
+    println!("tasks per rank: {per_rank:?}");
+    println!("max |G_distributed − G_serial| = {diff:.3e}");
+    assert!(diff < 1e-10, "distributed build must match serial");
+
+    let (local_ops, remote_ops, remote_bytes) = fock.traffic();
+    println!(
+        "GA traffic: {local_ops} local ops, {remote_ops} remote ops, {remote_bytes} remote bytes"
+    );
+    println!(
+        "modeled one-sided communication time: {:.3} us; world messages: {} ({} bytes)",
+        fock.modeled_comm_time(&machine) * 1e6,
+        traffic.messages,
+        traffic.bytes
+    );
+    println!("NXTVAL issued {} values for {} tasks", counter.peek(), tasks.len());
+}

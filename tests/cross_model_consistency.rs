@@ -1,0 +1,125 @@
+//! Integration: the chemistry kernel produces identical results under
+//! every execution model, worker count, and task granularity.
+//!
+//! This is the correctness backbone of the study — performance
+//! comparisons are only meaningful because the answer never changes.
+
+use emx_core::prelude::*;
+use emx_linalg::Matrix;
+use std::sync::Arc;
+
+fn mock_density(n: usize) -> Matrix {
+    let mut d = Matrix::from_fn(n, n, |i, j| 0.25 / (1.0 + (i as f64 - j as f64).abs()));
+    d.symmetrize();
+    d
+}
+
+fn all_models(ntasks: usize, workers: usize) -> Vec<ExecutionModel> {
+    vec![
+        ExecutionModel::StaticBlock,
+        ExecutionModel::StaticCyclic,
+        ExecutionModel::StaticAssigned(Arc::new(
+            (0..ntasks as u32).map(|i| i % workers as u32).collect(),
+        )),
+        ExecutionModel::DynamicCounter { chunk: 1 },
+        ExecutionModel::DynamicCounter { chunk: 5 },
+        ExecutionModel::WorkStealing(StealConfig::default()),
+        ExecutionModel::WorkStealing(StealConfig {
+            victim: VictimPolicy::RoundRobin,
+            steal_batch: false,
+            ..StealConfig::default()
+        }),
+    ]
+}
+
+#[test]
+fn fock_identical_across_models_and_granularities() {
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let d = mock_density(bm.nbf);
+
+    let reference = {
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, usize::MAX);
+        let (g, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+        g
+    };
+
+    for chunk in [1, 3, 16, usize::MAX] {
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, chunk);
+        for workers in [1, 2, 4] {
+            for model in all_models(pf.ntasks(), workers) {
+                let (g, report) = pf.execute(&d, &Executor::new(workers, model.clone()));
+                assert!(
+                    g.max_abs_diff(&reference) < 1e-11,
+                    "chunk {chunk}, P={workers}, model {}: diff {}",
+                    model.name(),
+                    g.max_abs_diff(&reference)
+                );
+                assert_eq!(report.total_tasks_run(), pf.ntasks());
+            }
+        }
+    }
+}
+
+#[test]
+fn full_scf_energy_invariant_under_execution_model() {
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+    let cfg = ScfConfig::default();
+    let (reference, _) =
+        rhf_parallel(&bm, &cfg, &Executor::new(1, ExecutionModel::Serial), usize::MAX);
+    assert!(reference.converged);
+    assert!((reference.energy + 74.96).abs() < 0.05);
+
+    for (workers, model, chunk) in [
+        (2, ExecutionModel::StaticCyclic, 4),
+        (3, ExecutionModel::DynamicCounter { chunk: 2 }, 2),
+        (4, ExecutionModel::WorkStealing(StealConfig::default()), 1),
+    ] {
+        let (r, reports) = rhf_parallel(&bm, &cfg, &Executor::new(workers, model.clone()), chunk);
+        assert!(r.converged, "model {}", model.name());
+        assert!(
+            (r.energy - reference.energy).abs() < 1e-9,
+            "model {} energy {} vs {}",
+            model.name(),
+            r.energy,
+            reference.energy
+        );
+        assert_eq!(reports.len(), r.iterations);
+        assert!(reports.iter().all(|rep| rep.total_tasks_run() > 0));
+    }
+}
+
+#[test]
+fn h2_dissociation_curve_is_model_invariant() {
+    // A small sweep over geometries — every point must agree between
+    // serial and work stealing, and the curve must have a minimum
+    // between the endpoints.
+    let cfg = ScfConfig::default();
+    let serial = Executor::new(1, ExecutionModel::Serial);
+    let ws = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+    let mut energies = Vec::new();
+    for r in [1.0, 1.4, 2.0, 3.0] {
+        let bm = BasisedMolecule::assign(&Molecule::h2(r), BasisSet::Sto3g);
+        let (e1, _) = rhf_parallel(&bm, &cfg, &serial, usize::MAX);
+        let (e2, _) = rhf_parallel(&bm, &cfg, &ws, 2);
+        assert!((e1.energy - e2.energy).abs() < 1e-9, "r = {r}");
+        energies.push(e1.energy);
+    }
+    assert!(energies[1] < energies[0], "E(1.4) < E(1.0)");
+    assert!(energies[1] < energies[3], "E(1.4) < E(3.0)");
+}
+
+#[test]
+fn variability_injection_does_not_change_results() {
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
+    let d = mock_density(bm.nbf);
+    let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+
+    let mut ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+    ex.variability = Variability::SlowCores { factor: 2.0, count: 1 };
+    let (g, report) = pf.execute(&d, &ex);
+    assert!(g.max_abs_diff(&reference) < 1e-11);
+    assert!(report.worker_stats.iter().any(|w| w.padded > std::time::Duration::ZERO));
+}

@@ -35,7 +35,13 @@ pub struct HgpConfig {
 
 impl Default for HgpConfig {
     fn default() -> Self {
-        HgpConfig { epsilon: 0.05, seed: 0x9a27, coarsen_until: 64, fm_passes: 3, initial_tries: 6 }
+        HgpConfig {
+            epsilon: 0.05,
+            seed: 0x9a27,
+            coarsen_until: 64,
+            fm_passes: 3,
+            initial_tries: 6,
+        }
     }
 }
 
@@ -75,10 +81,36 @@ fn recurse(
     let sub = extract(hg, ids);
     let sides = multilevel_bisect(&sub, f, cfg, seed);
 
-    let left: Vec<usize> = ids.iter().enumerate().filter(|(i, _)| sides[*i] == 0).map(|(_, &v)| v).collect();
-    let right: Vec<usize> = ids.iter().enumerate().filter(|(i, _)| sides[*i] == 1).map(|(_, &v)| v).collect();
-    recurse(hg, &left, k0, base, cfg, seed.wrapping_mul(6364136223846793005).wrapping_add(1), parts);
-    recurse(hg, &right, k1, base + k0 as u32, cfg, seed.wrapping_mul(6364136223846793005).wrapping_add(2), parts);
+    let left: Vec<usize> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| sides[*i] == 0)
+        .map(|(_, &v)| v)
+        .collect();
+    let right: Vec<usize> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| sides[*i] == 1)
+        .map(|(_, &v)| v)
+        .collect();
+    recurse(
+        hg,
+        &left,
+        k0,
+        base,
+        cfg,
+        seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+        parts,
+    );
+    recurse(
+        hg,
+        &right,
+        k1,
+        base + k0 as u32,
+        cfg,
+        seed.wrapping_mul(6364136223846793005).wrapping_add(2),
+        parts,
+    );
 }
 
 /// Induces the sub-hypergraph on `ids` (nets restricted to kept pins).
@@ -91,10 +123,13 @@ fn extract(hg: &Hypergraph, ids: &[usize]) -> Hypergraph {
     let mut nets = Vec::new();
     let mut nwts = Vec::new();
     for (net, &w) in hg.nets.iter().zip(&hg.nwts) {
-        let pins: Vec<u32> = net.iter().filter_map(|&v| {
-            let n = newid[v as usize];
-            (n != u32::MAX).then_some(n)
-        }).collect();
+        let pins: Vec<u32> = net
+            .iter()
+            .filter_map(|&v| {
+                let n = newid[v as usize];
+                (n != u32::MAX).then_some(n)
+            })
+            .collect();
         if pins.len() >= 2 {
             nets.push(pins);
             nwts.push(w);
@@ -228,8 +263,11 @@ fn coarsen(hg: &Hypergraph, map: &[u32], coarse_nv: usize) -> Hypergraph {
     for (v, &c) in map.iter().enumerate() {
         vwts[c as usize] += hg.vwts[v];
     }
-    let nets: Vec<Vec<u32>> =
-        hg.nets.iter().map(|net| net.iter().map(|&v| map[v as usize]).collect()).collect();
+    let nets: Vec<Vec<u32>> = hg
+        .nets
+        .iter()
+        .map(|net| net.iter().map(|&v| map[v as usize]).collect())
+        .collect();
     Hypergraph::new(vwts, nets, hg.nwts.clone())
 }
 
@@ -252,7 +290,10 @@ fn grow_bisection(hg: &Hypergraph, f: f64, rng: &mut Rng) -> Vec<u8> {
             Some(u) => u,
             None => {
                 // Start (or restart) from a random unassigned vertex.
-                match (0..nv).filter(|&v| side[v] == 1 && !enqueued[v]).nth(rng.below(nv)) {
+                match (0..nv)
+                    .filter(|&v| side[v] == 1 && !enqueued[v])
+                    .nth(rng.below(nv))
+                {
                     Some(u) => u,
                     None => match (0..nv).find(|&v| side[v] == 1) {
                         Some(u) => u,
@@ -343,7 +384,10 @@ fn fm_pass(
     let mut locked = vec![false; nv];
     // Lazy max-heap of (gain, vertex); stale entries are skipped.
     let mut heap: std::collections::BinaryHeap<HeapItem> = (0..nv)
-        .map(|v| HeapItem { gain: gain(v, side, &cnt), vertex: v as u32 })
+        .map(|v| HeapItem {
+            gain: gain(v, side, &cnt),
+            vertex: v as u32,
+        })
         .collect();
 
     let mut applied: Vec<usize> = Vec::new();
@@ -362,7 +406,10 @@ fn fm_pass(
         }
         let fresh = gain(v, side, &cnt);
         if (fresh - g).abs() > 1e-12 {
-            heap.push(HeapItem { gain: fresh, vertex });
+            heap.push(HeapItem {
+                gain: fresh,
+                vertex,
+            });
             continue;
         }
         // Balance feasibility of moving v.
@@ -399,7 +446,10 @@ fn fm_pass(
             for &u in &hg.nets[ni as usize] {
                 let u = u as usize;
                 if !locked[u] {
-                    heap.push(HeapItem { gain: gain(u, side, &cnt), vertex: u as u32 });
+                    heap.push(HeapItem {
+                        gain: gain(u, side, &cnt),
+                        vertex: u as u32,
+                    });
                 }
             }
         }
@@ -446,7 +496,9 @@ struct Rng {
 
 impl Rng {
     fn new(seed: u64) -> Rng {
-        Rng { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+        Rng {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -585,7 +637,11 @@ mod tests {
         let w = hg.part_weights(&parts, 8);
         let mean = w.iter().sum::<f64>() / 8.0;
         let max = w.iter().cloned().fold(0.0, f64::max);
-        assert!(max / mean < 1.4, "imbalance {:.3}, weights {w:?}", max / mean);
+        assert!(
+            max / mean < 1.4,
+            "imbalance {:.3}, weights {w:?}",
+            max / mean
+        );
         // Cut should be far below "everything cut".
         let worst: f64 = hg.nwts.iter().sum();
         assert!(hg.connectivity_cut(&parts, 8) < 0.3 * worst);

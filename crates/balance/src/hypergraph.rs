@@ -35,7 +35,11 @@ impl Hypergraph {
                 out_nwts.push(w);
             }
         }
-        Hypergraph { vwts, nets: out_nets, nwts: out_nwts }
+        Hypergraph {
+            vwts,
+            nets: out_nets,
+            nwts: out_nwts,
+        }
     }
 
     /// Builds the task-affinity hypergraph: `touches[t]` lists the data

@@ -90,7 +90,10 @@ pub fn karmarkar_karp(problem: &Problem) -> Assignment {
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&x, &y| loads[y].partial_cmp(&loads[x]).expect("NaN load"));
         let loads = order.iter().map(|&i| loads[i]).collect();
-        let members = order.iter().map(|&i| std::mem::take(&mut members[i])).collect();
+        let members = order
+            .iter()
+            .map(|&i| std::mem::take(&mut members[i]))
+            .collect();
         heap.push(BydSpread(Tuple { loads, members }));
     }
 
@@ -146,12 +149,16 @@ mod tests {
     #[test]
     fn never_much_worse_than_lpt_on_random_inputs() {
         for seed in 0..30u64 {
-            let weights: Vec<f64> =
-                (0..60).map(|i| 1.0 + ((seed * 131 + i * 17) % 97) as f64).collect();
+            let weights: Vec<f64> = (0..60)
+                .map(|i| 1.0 + ((seed * 131 + i * 17) % 97) as f64)
+                .collect();
             let p = Problem::new(weights, 7);
             let kk = p.makespan(&karmarkar_karp(&p));
             let greedy = p.makespan(&lpt(&p));
-            assert!(kk <= greedy * 1.05 + 1e-9, "seed {seed}: kk {kk} vs lpt {greedy}");
+            assert!(
+                kk <= greedy * 1.05 + 1e-9,
+                "seed {seed}: kk {kk} vs lpt {greedy}"
+            );
             assert!(kk + 1e-9 >= p.lower_bound());
         }
     }

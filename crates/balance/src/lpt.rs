@@ -25,7 +25,10 @@ impl PartialOrd for Load {
 impl Ord for Load {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Total order: by load, then worker id for determinism.
-        self.0.partial_cmp(&other.0).expect("NaN load").then(self.1.cmp(&other.1))
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN load")
+            .then(self.1.cmp(&other.1))
     }
 }
 
@@ -34,11 +37,15 @@ pub fn lpt(problem: &Problem) -> Assignment {
     let n = problem.ntasks();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        problem.weights[b].partial_cmp(&problem.weights[a]).expect("NaN weight").then(a.cmp(&b))
+        problem.weights[b]
+            .partial_cmp(&problem.weights[a])
+            .expect("NaN weight")
+            .then(a.cmp(&b))
     });
 
-    let mut heap: BinaryHeap<Reverse<Load>> =
-        (0..problem.workers as u32).map(|w| Reverse(Load(0.0, w))).collect();
+    let mut heap: BinaryHeap<Reverse<Load>> = (0..problem.workers as u32)
+        .map(|w| Reverse(Load(0.0, w)))
+        .collect();
     let mut assignment = vec![0u32; n];
     for t in order {
         let Reverse(Load(load, w)) = heap.pop().expect("non-empty heap");
@@ -105,7 +112,10 @@ mod tests {
                 .collect();
             let p = Problem::new(weights, 7);
             let a = lpt(&p);
-            assert!(p.makespan(&a) <= 2.0 * p.lower_bound() + 1e-9, "seed {seed}");
+            assert!(
+                p.makespan(&a) <= 2.0 * p.lower_bound() + 1e-9,
+                "seed {seed}"
+            );
         }
     }
 

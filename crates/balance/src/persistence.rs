@@ -23,7 +23,10 @@ pub struct PersistenceConfig {
 
 impl Default for PersistenceConfig {
     fn default() -> Self {
-        PersistenceConfig { target_imbalance: 1.05, max_moves: usize::MAX }
+        PersistenceConfig {
+            target_imbalance: 1.05,
+            max_moves: usize::MAX,
+        }
     }
 }
 
@@ -34,12 +37,12 @@ impl Default for PersistenceConfig {
 /// push the least-loaded worker above the mean) to the least-loaded
 /// worker. Stops at the imbalance target, the move cap, or when no move
 /// improves the makespan.
-pub fn rebalance(
-    problem: &Problem,
-    previous: &[u32],
-    config: &PersistenceConfig,
-) -> Assignment {
-    assert_eq!(previous.len(), problem.ntasks(), "assignment length mismatch");
+pub fn rebalance(problem: &Problem, previous: &[u32], config: &PersistenceConfig) -> Assignment {
+    assert_eq!(
+        previous.len(),
+        problem.ntasks(),
+        "assignment length mismatch"
+    );
     let mut assignment = previous.to_vec();
     let mut loads = problem.loads(&assignment);
     let total: f64 = loads.iter().sum();
@@ -55,7 +58,9 @@ pub fn rebalance(
     }
     for list in &mut tasks_of {
         list.sort_by(|&a, &b| {
-            problem.weights[a].partial_cmp(&problem.weights[b]).expect("NaN weight")
+            problem.weights[a]
+                .partial_cmp(&problem.weights[b])
+                .expect("NaN weight")
         });
     }
 
@@ -85,9 +90,7 @@ pub fn rebalance(
         loads[lo] += w;
         // Keep the acceptor's list sorted.
         let ins = tasks_of[lo]
-            .binary_search_by(|&x| {
-                problem.weights[x].partial_cmp(&w).expect("NaN weight")
-            })
+            .binary_search_by(|&x| problem.weights[x].partial_cmp(&w).expect("NaN weight"))
             .unwrap_or_else(|e| e);
         tasks_of[lo].insert(ins, t);
         moves += 1;
@@ -136,7 +139,10 @@ mod tests {
     fn movement_is_bounded_by_cap() {
         let p = Problem::new(vec![1.0; 100], 4);
         let prev = vec![0; 100];
-        let cfg = PersistenceConfig { max_moves: 10, ..Default::default() };
+        let cfg = PersistenceConfig {
+            max_moves: 10,
+            ..Default::default()
+        };
         let out = rebalance(&p, &prev, &cfg);
         assert!(movement(&prev, &out) <= 10);
     }
@@ -146,15 +152,23 @@ mod tests {
         // Worker 0 has one extra unit task; a single move fixes it.
         let p = Problem::new(vec![1.0; 9], 2);
         let prev = vec![0, 0, 0, 0, 0, 1, 1, 1, 1];
-        let out = rebalance(&p, &prev, &PersistenceConfig { target_imbalance: 1.2, ..Default::default() });
+        let out = rebalance(
+            &p,
+            &prev,
+            &PersistenceConfig {
+                target_imbalance: 1.2,
+                ..Default::default()
+            },
+        );
         assert!(movement(&prev, &out) <= 1);
     }
 
     #[test]
     fn never_worsens_makespan() {
         for seed in 0..10u64 {
-            let weights: Vec<f64> =
-                (0..40).map(|i| 1.0 + ((seed * 31 + i * 7) % 13) as f64).collect();
+            let weights: Vec<f64> = (0..40)
+                .map(|i| 1.0 + ((seed * 31 + i * 7) % 13) as f64)
+                .collect();
             let p = Problem::new(weights, 5);
             let prev: Vec<u32> = (0..40).map(|i| ((seed as usize + i) % 5) as u32).collect();
             let before = p.makespan(&prev);

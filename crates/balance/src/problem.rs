@@ -22,7 +22,10 @@ impl Problem {
     /// Creates a problem; panics on zero workers or negative weights.
     pub fn new(weights: Vec<f64>, workers: usize) -> Problem {
         assert!(workers > 0, "need at least one worker");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         Problem { weights, workers }
     }
 
@@ -33,7 +36,11 @@ impl Problem {
 
     /// Per-worker load of an assignment.
     pub fn loads(&self, assignment: &[u32]) -> Vec<f64> {
-        assert_eq!(assignment.len(), self.ntasks(), "assignment length mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.ntasks(),
+            "assignment length mismatch"
+        );
         let mut loads = vec![0.0; self.workers];
         for (t, &w) in assignment.iter().enumerate() {
             assert!((w as usize) < self.workers, "worker out of range");

@@ -156,7 +156,10 @@ pub fn semi_matching(problem: &Problem, adj: &Adjacency, config: &SemiMatchConfi
         let &best = adj[t]
             .iter()
             .min_by(|&&a, &&b| {
-                loads[a as usize].partial_cmp(&loads[b as usize]).expect("NaN").then(a.cmp(&b))
+                loads[a as usize]
+                    .partial_cmp(&loads[b as usize])
+                    .expect("NaN")
+                    .then(a.cmp(&b))
             })
             .expect("non-empty candidates");
         assignment[t] = best;
@@ -183,9 +186,7 @@ pub fn semi_matching(problem: &Problem, adj: &Adjacency, config: &SemiMatchConfi
                 if c == from {
                     continue;
                 }
-                if loads[c] + wt < loads[from] - 1e-12
-                    && best.is_none_or(|b| loads[c] < loads[b])
-                {
+                if loads[c] + wt < loads[from] - 1e-12 && best.is_none_or(|b| loads[c] < loads[b]) {
                     best = Some(c);
                 }
             }
@@ -287,7 +288,13 @@ mod tests {
             let adj: Adjacency = (0..n)
                 .map(|t| {
                     let mut c: Vec<u32> = (0..workers as u32)
-                        .filter(|&w| (seed.wrapping_mul(2654435761).wrapping_add((t as u64) * 31 + w as u64)) % 3 != 0)
+                        .filter(|&w| {
+                            (seed
+                                .wrapping_mul(2654435761)
+                                .wrapping_add((t as u64) * 31 + w as u64))
+                                % 3
+                                != 0
+                        })
                         .collect();
                     if c.is_empty() {
                         c.push((seed % workers as u64) as u32);
@@ -342,8 +349,9 @@ mod tests {
     fn weighted_valid_and_candidate_respecting() {
         let weights: Vec<f64> = (0..40).map(|i| ((i * 13 + 7) % 23) as f64 + 1.0).collect();
         let p = Problem::new(weights, 5);
-        let adj: Adjacency =
-            (0..40).map(|t| vec![(t % 5) as u32, ((t + 2) % 5) as u32, ((t + 3) % 5) as u32]).collect();
+        let adj: Adjacency = (0..40)
+            .map(|t| vec![(t % 5) as u32, ((t + 2) % 5) as u32, ((t + 3) % 5) as u32])
+            .collect();
         let a = semi_matching(&p, &adj, &SemiMatchConfig::default());
         assert!(is_valid(&a, 40, 5));
         for (t, &w) in a.iter().enumerate() {
@@ -358,7 +366,11 @@ mod tests {
         let adj = full_adjacency(200, 8);
         let a = semi_matching(&p, &adj, &SemiMatchConfig::default());
         let ms = p.makespan(&a);
-        assert!(ms <= 1.1 * p.lower_bound(), "makespan {ms} vs LB {}", p.lower_bound());
+        assert!(
+            ms <= 1.1 * p.lower_bound(),
+            "makespan {ms} vs LB {}",
+            p.lower_bound()
+        );
     }
 
     #[test]

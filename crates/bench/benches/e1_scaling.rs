@@ -15,11 +15,17 @@ use std::time::Duration;
 fn bench_e1(c: &mut Criterion) {
     let w = chem_workload_medium();
     let mut group = c.benchmark_group("e1_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for p in [4usize, 64] {
         let cfg = SimConfig::new(p);
         let models: Vec<(&str, SimModel)> = vec![
-            ("static-block", SimModel::Static(block_owners(w.ntasks(), p))),
+            (
+                "static-block",
+                SimModel::Static(block_owners(w.ntasks(), p)),
+            ),
             ("counter", SimModel::Counter { chunk: 8 }),
             ("guided", SimModel::Guided { min_chunk: 1 }),
             ("work-stealing", SimModel::WorkStealing { steal_half: true }),

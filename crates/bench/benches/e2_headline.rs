@@ -17,14 +17,22 @@ fn bench_e2(c: &mut Criterion) {
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let pairs = ScreenedPairs::build(&bm, 1e-12);
     let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
-    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+        0.3 / (1.0 + (i as f64 - j as f64).abs())
+    });
     d.symmetrize();
 
     let mut group = c.benchmark_group("e2_headline_real_kernel");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     for (name, ex) in [
         ("serial", Executor::new(1, ExecutionModel::Serial)),
-        ("static-block-p2", Executor::new(2, ExecutionModel::StaticBlock)),
+        (
+            "static-block-p2",
+            Executor::new(2, ExecutionModel::StaticBlock),
+        ),
         (
             "work-stealing-p2",
             Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())),

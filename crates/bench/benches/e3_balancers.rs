@@ -13,8 +13,15 @@ use std::time::Duration;
 fn bench_e3(c: &mut Criterion) {
     let w = chem_workload_medium();
     let mut group = c.benchmark_group("e3_balancers");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
-    for kind in [BalancerKind::Lpt, BalancerKind::KarmarkarKarp, BalancerKind::SemiMatching] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for kind in [
+        BalancerKind::Lpt,
+        BalancerKind::KarmarkarKarp,
+        BalancerKind::SemiMatching,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter(|| black_box(balance(kind, &w.costs, 16, w.affinity.as_ref()).0.len()));
         });
@@ -25,7 +32,10 @@ fn bench_e3(c: &mut Criterion) {
     // whole suite stays runnable.
     let n = 1000;
     let ws = emx_core::prelude::synthetic_workload(
-        emx_chem::synthetic::CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+        emx_chem::synthetic::CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.0,
+        },
         n,
         5,
         1.0,
@@ -34,7 +44,11 @@ fn bench_e3(c: &mut Criterion) {
     let affinity = synthetic_affinity(n, n / 4, 5);
     group.bench_function("hypergraph-1k", |b| {
         b.iter(|| {
-            black_box(balance(BalancerKind::Hypergraph, &ws.costs, 16, Some(&affinity)).0.len())
+            black_box(
+                balance(BalancerKind::Hypergraph, &ws.costs, 16, Some(&affinity))
+                    .0
+                    .len(),
+            )
         });
     });
     group.finish();

@@ -13,10 +13,16 @@ use std::time::Duration;
 
 fn bench_e4(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_partition_cost");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [1_000usize, 8_000] {
         let w = synthetic_workload(
-            CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+            CostModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
             n,
             5,
             1.0,

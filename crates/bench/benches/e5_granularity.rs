@@ -17,7 +17,10 @@ fn bench_sim_chunks(c: &mut Criterion) {
     let w = synthetic_workload_large(8192);
     let cfg = SimConfig::new(64);
     let mut group = c.benchmark_group("e5_sim_counter_chunk");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for chunk in [1usize, 8, 64, 512] {
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
             b.iter(|| black_box(simulate(&w.costs, &SimModel::Counter { chunk }, &cfg).makespan));
@@ -28,7 +31,10 @@ fn bench_sim_chunks(c: &mut Criterion) {
 
 fn bench_real_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_real_counter_dispatch");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 4096;
     for chunk in [1usize, 16, 256] {
         let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk });

@@ -15,17 +15,39 @@ fn bench_e6(c: &mut Criterion) {
     let p = 16;
     let scenarios: Vec<(&str, Variability)> = vec![
         ("none", Variability::None),
-        ("uniform", Variability::PerCoreUniform { spread: 0.6, seed: 3 }),
-        ("slow-cores", Variability::SlowCores { factor: 2.0, count: 2 }),
+        (
+            "uniform",
+            Variability::PerCoreUniform {
+                spread: 0.6,
+                seed: 3,
+            },
+        ),
+        (
+            "slow-cores",
+            Variability::SlowCores {
+                factor: 2.0,
+                count: 2,
+            },
+        ),
         (
             "dvfs",
-            Variability::Sinusoidal { amplitude: 0.5, period: Duration::from_millis(50) },
+            Variability::Sinusoidal {
+                amplitude: 0.5,
+                period: Duration::from_millis(50),
+            },
         ),
     ];
     let mut group = c.benchmark_group("e6_variability");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (name, var) in scenarios {
-        let cfg = SimConfig { workers: p, variability: var, ..SimConfig::new(p) };
+        let cfg = SimConfig {
+            workers: p,
+            variability: var,
+            ..SimConfig::new(p)
+        };
         let static_model = SimModel::Static(block_owners(w.ntasks(), p));
         group.bench_with_input(BenchmarkId::new("static", name), &name, |b, _| {
             b.iter(|| black_box(simulate(&w.costs, &static_model, &cfg).makespan));
@@ -33,8 +55,7 @@ fn bench_e6(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("stealing", name), &name, |b, _| {
             b.iter(|| {
                 black_box(
-                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg)
-                        .makespan,
+                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg).makespan,
                 )
             });
         });

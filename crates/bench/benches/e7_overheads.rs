@@ -17,13 +17,19 @@ use std::time::Duration;
 
 fn bench_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_dispatch_per_task");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let n = 10_000;
     for (name, model) in [
         ("static-block", ExecutionModel::StaticBlock),
         ("counter-c1", ExecutionModel::DynamicCounter { chunk: 1 }),
         ("counter-c64", ExecutionModel::DynamicCounter { chunk: 64 }),
-        ("work-stealing", ExecutionModel::WorkStealing(StealConfig::default())),
+        (
+            "work-stealing",
+            ExecutionModel::WorkStealing(StealConfig::default()),
+        ),
     ] {
         let ex = Executor::new(2, model);
         group.bench_function(name, |b| {
@@ -38,7 +44,10 @@ fn bench_dispatch(c: &mut Criterion) {
 
 fn bench_nxtval(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_nxtval");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let counter = NxtVal::new();
     group.bench_function("fetch", |b| b.iter(|| black_box(counter.next(1))));
     group.finish();
@@ -46,7 +55,10 @@ fn bench_nxtval(c: &mut Criterion) {
 
 fn bench_ga(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_ga_acc");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let ga = GlobalArray::zeros(64, 64, 4);
     let patch = vec![1.0; 16 * 64];
     // Rows 0..16 belong to rank 0: local for caller 0, remote for 3.
@@ -61,7 +73,10 @@ fn bench_ga(c: &mut Criterion) {
 
 fn bench_eri(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_eri_kernel");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
     // Shell 0: deep-contracted s; shells 2: p — bench contrasting
     // quartet classes (the cost-skew source).
@@ -80,12 +95,17 @@ fn bench_post_hf_kernels(c: &mut Criterion) {
     use emx_chem::prelude::*;
     use emx_linalg::Matrix;
     let mut group = c.benchmark_group("e7_post_hf_kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let pairs = ScreenedPairs::build(&bm, 1e-12);
     let fb = FockBuilder::new(&bm, &pairs, 1e-10);
     let tasks = fb.tasks(usize::MAX);
-    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+        0.3 / (1.0 + (i as f64 - j as f64).abs())
+    });
     d.symmetrize();
     // The UHF iteration runs two generalized J/K builds per step.
     group.bench_function("rhf-fock-build", |b| {
@@ -115,5 +135,12 @@ fn bench_post_hf_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch, bench_nxtval, bench_ga, bench_eri, bench_post_hf_kernels);
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_nxtval,
+    bench_ga,
+    bench_eri,
+    bench_post_hf_kernels
+);
 criterion_main!(benches);

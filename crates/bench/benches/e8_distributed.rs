@@ -13,7 +13,10 @@ use std::time::Duration;
 fn bench_e8(c: &mut Criterion) {
     let w = synthetic_workload_large(100_000);
     let mut group = c.benchmark_group("e8_distributed");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     for p in [256usize, 1024, 4096] {
         let cfg = SimConfig::new(p);
         group.bench_with_input(BenchmarkId::new("static", p), &p, |b, &p| {
@@ -28,8 +31,7 @@ fn bench_e8(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("stealing", p), &p, |b, _| {
             b.iter(|| {
                 black_box(
-                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg)
-                        .makespan,
+                    simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg).makespan,
                 )
             });
         });

@@ -5,34 +5,62 @@
 //! cargo run --release -p emx-bench --bin reproduce e2 e3      # subset
 //! ```
 //!
-//! Experiment ids follow `DESIGN.md` (E1–E8) plus `ablations`. Output is
-//! plain-text tables; pass `--csv DIR` to also write CSV files.
+//! Experiment ids follow `DESIGN.md` (E1–E8) plus `ablations` and `obs`
+//! (an instrumented capture of the whole stack). Output is plain-text
+//! tables; pass `--csv DIR` to also write stamped CSV files,
+//! `--trace-out DIR` for Chrome trace JSON and `--metrics-out FILE` for
+//! a stamped JSONL metrics snapshot (the latter two imply `obs`).
 
-use emx_balance::prelude::{rebalance, movement, PersistenceConfig, Problem};
-use emx_bench::{block_owners, chem_workload_medium, synthetic_workload_large};
+use emx_balance::prelude::{movement, rebalance, PersistenceConfig, Problem};
+use emx_bench::{
+    block_owners, capture_observability, chem_workload_medium, synthetic_workload_large,
+};
 use emx_chem::synthetic::CostModel;
 use emx_core::prelude::*;
 use emx_distsim::machine::MachineModel;
+use emx_obs::{git_describe_string, RunMeta, SCHEMA_VERSION};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
             csv_dir = Some(it.next().expect("--csv needs a directory"));
+        } else if a == "--trace-out" {
+            trace_dir = Some(it.next().expect("--trace-out needs a directory"));
+        } else if a == "--metrics-out" {
+            metrics_path = Some(it.next().expect("--metrics-out needs a file path"));
         } else {
             wanted.push(a.to_lowercase());
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
-            "validate", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "f1", "ablations",
+            "validate",
+            "e1",
+            "e2",
+            "e3",
+            "e4",
+            "e5",
+            "e6",
+            "e7",
+            "e8",
+            "e9",
+            "f1",
+            "obs",
+            "ablations",
         ]
         .into_iter()
         .map(String::from)
         .collect();
+    }
+    // The export flags are requests for the instrumented capture.
+    if (trace_dir.is_some() || metrics_path.is_some()) && !wanted.iter().any(|w| w == "obs") {
+        wanted.push("obs".to_string());
     }
 
     let machine = MachineModel::default();
@@ -118,6 +146,9 @@ fn main() {
             "f1" => {
                 figure_timelines(&machine);
             }
+            "obs" => {
+                run_obs_capture(trace_dir.as_deref(), metrics_path.as_deref());
+            }
             "ablations" => {
                 tables.push(ablation_steal_policy(&machine));
                 tables.push(ablation_counter_chunk(&machine));
@@ -138,18 +169,77 @@ fn main() {
     }
     if let Some(dir) = csv_dir {
         std::fs::create_dir_all(&dir).expect("create csv dir");
+        let meta = RunMeta::new("reproduce", git_describe_string());
         for (i, t) in tables.iter().enumerate() {
             let slug: String = t
                 .title
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .take(48)
                 .collect();
             let path = format!("{dir}/{i:02}_{slug}.csv");
-            std::fs::write(&path, t.to_csv()).expect("write csv");
+            std::fs::write(&path, stamped_csv(&meta, t)).expect("write csv");
             println!("wrote {path}");
         }
     }
+}
+
+/// A result table's CSV, self-described with `#` header comments: the
+/// schema version, experiment id, a git-describe string and the table
+/// title — so a results directory outlives the producing binary.
+fn stamped_csv(meta: &RunMeta, t: &Table) -> String {
+    format!(
+        "# schema_version: {}\n# experiment: {}\n# git: {}\n# table: {}\n{}",
+        meta.schema_version,
+        meta.experiment_id,
+        meta.git_describe,
+        t.title,
+        t.to_csv()
+    )
+}
+
+/// The `obs` experiment: runs the instrumented capture and writes its
+/// Chrome traces / JSONL metrics wherever the flags point.
+fn run_obs_capture(trace_dir: Option<&str>, metrics_path: Option<&str>) {
+    let capture = capture_observability("obs");
+    println!(
+        "## obs: instrumented capture (schema v{SCHEMA_VERSION}, {} SCF iterations, {} trace files)",
+        capture.scf_iterations,
+        capture.traces.len()
+    );
+    match trace_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            for (stem, json) in &capture.traces {
+                let path = format!("{dir}/{stem}.trace.json");
+                std::fs::write(&path, json).expect("write trace");
+                println!("wrote {path} (load in Perfetto / chrome://tracing)");
+            }
+        }
+        None => println!("pass --trace-out DIR to write Chrome trace JSON"),
+    }
+    match metrics_path {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create metrics dir");
+                }
+            }
+            std::fs::write(path, &capture.metrics_jsonl).expect("write metrics");
+            println!(
+                "wrote {path} ({} records)",
+                capture.metrics_jsonl.lines().count()
+            );
+        }
+        None => println!("pass --metrics-out FILE to write the JSONL metrics snapshot"),
+    }
+    println!();
 }
 
 /// Figure F1: per-worker utilization timelines, static vs work stealing
@@ -159,8 +249,16 @@ fn figure_timelines(machine: &MachineModel) {
     use emx_distsim::prelude::*;
     let w = chem_workload_medium();
     let p = 16;
-    let cfg = SimConfig { workers: p, machine: *machine, trace: true, ..SimConfig::new(p) };
-    println!("## F1: utilization timelines on {} at P={p} (# = busy)", w.name);
+    let cfg = SimConfig {
+        workers: p,
+        machine: *machine,
+        trace: true,
+        ..SimConfig::new(p)
+    };
+    println!(
+        "## F1: utilization timelines on {} at P={p} (# = busy)",
+        w.name
+    );
     let owners = block_owners(w.ntasks(), p);
     let st = simulate(&w.costs, &SimModel::Static(owners), &cfg);
     println!(
@@ -193,17 +291,51 @@ fn validate_chemistry() -> Table {
         (rhf(&bm, &ScfConfig::default()), bm)
     };
     let cases: Vec<(&str, Molecule, BasisSet, f64)> = vec![
-        ("E(H2, STO-3G, R=1.4)", Molecule::h2(1.4), BasisSet::Sto3g, -1.1167),
-        ("E(H2, 6-31G, R=1.4)", Molecule::h2(1.4), BasisSet::SixThirtyOneG, -1.1267),
-        ("E(H2O, STO-3G)", Molecule::water(), BasisSet::Sto3g, -74.9659),
-        ("E(H2O, 6-31G)", Molecule::water(), BasisSet::SixThirtyOneG, -75.9854),
-        ("E(H2O, 6-31G*)", Molecule::water(), BasisSet::SixThirtyOneGStar, -76.0107),
-        ("E(C6H6, STO-3G)", Molecule::benzene(), BasisSet::Sto3g, -227.8914),
+        (
+            "E(H2, STO-3G, R=1.4)",
+            Molecule::h2(1.4),
+            BasisSet::Sto3g,
+            -1.1167,
+        ),
+        (
+            "E(H2, 6-31G, R=1.4)",
+            Molecule::h2(1.4),
+            BasisSet::SixThirtyOneG,
+            -1.1267,
+        ),
+        (
+            "E(H2O, STO-3G)",
+            Molecule::water(),
+            BasisSet::Sto3g,
+            -74.9659,
+        ),
+        (
+            "E(H2O, 6-31G)",
+            Molecule::water(),
+            BasisSet::SixThirtyOneG,
+            -75.9854,
+        ),
+        (
+            "E(H2O, 6-31G*)",
+            Molecule::water(),
+            BasisSet::SixThirtyOneGStar,
+            -76.0107,
+        ),
+        (
+            "E(C6H6, STO-3G)",
+            Molecule::benzene(),
+            BasisSet::Sto3g,
+            -227.8914,
+        ),
     ];
     for (name, mol, basis, lit) in cases {
         let (r, _) = run(&mol, basis);
         assert!(r.converged, "{name} did not converge");
-        t.push(vec![name.into(), format!("{:.4} Ha", r.energy), format!("{lit:.4} Ha")]);
+        t.push(vec![
+            name.into(),
+            format!("{:.4} Ha", r.energy),
+            format!("{lit:.4} Ha"),
+        ]);
     }
     // UHF anchors: one-electron H atom (exact in the basis) and the H₂
     // dissociation limit (spin-symmetry breaking → 2·E(H)).
@@ -238,7 +370,11 @@ fn validate_chemistry() -> Table {
     ]);
     let mu = dipole_moment(&bm, &r.density);
     let debye = (mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2]).sqrt() * AU_TO_DEBYE;
-    t.push(vec!["mu(H2O, STO-3G)".into(), format!("{debye:.3} D"), "1.71 D".into()]);
+    t.push(vec![
+        "mu(H2O, STO-3G)".into(),
+        format!("{debye:.3} D"),
+        "1.71 D".into(),
+    ]);
     let q = mulliken_charges(&bm, &r.density);
     t.push(vec![
         "q_Mulliken(O, STO-3G)".into(),
@@ -255,7 +391,11 @@ fn ablation_group_counters(machine: &MachineModel) -> Table {
     let p = 256;
     let mut m = *machine;
     m.counter_service = 2e-6;
-    let cfg = emx_distsim::sim::SimConfig { workers: p, machine: m, ..emx_distsim::sim::SimConfig::new(p) };
+    let cfg = emx_distsim::sim::SimConfig {
+        workers: p,
+        machine: m,
+        ..emx_distsim::sim::SimConfig::new(p)
+    };
     let mut t = Table::new(
         "Ablation: counter topology (simulated, P=256)",
         &["scheduler", "makespan", "fetches", "utilization"],
@@ -272,7 +412,10 @@ fn ablation_group_counters(machine: &MachineModel) -> Table {
     run("global counter (c=8)", SimModel::Counter { chunk: 8 });
     run("guided", SimModel::Guided { min_chunk: 1 });
     for groups in [4usize, 16, 64] {
-        run(&format!("{groups} group counters (c=8)"), SimModel::GroupCounters { groups, chunk: 8 });
+        run(
+            &format!("{groups} group counters (c=8)"),
+            SimModel::GroupCounters { groups, chunk: 8 },
+        );
     }
     run("work stealing", SimModel::WorkStealing { steal_half: true });
     run(
@@ -289,7 +432,12 @@ fn ablation_hierarchical_stealing(machine: &MachineModel) -> Table {
     let p = 256;
     let mut t = Table::new(
         "Ablation: hierarchical vs flat stealing (simulated, P=256, 16 workers/node)",
-        &["remote steal latency", "flat", "hierarchical", "hier steals"],
+        &[
+            "remote steal latency",
+            "flat",
+            "hierarchical",
+            "hier steals",
+        ],
     );
     for lat_us in [6.0f64, 50.0, 400.0] {
         let mut m = *machine;
@@ -326,7 +474,11 @@ fn ablation_steal_policy(machine: &MachineModel) -> Table {
         "Ablation: steal granularity (simulated, P=64)",
         &["policy", "makespan", "steals", "attempts"],
     );
-    let cfg = SimConfig { workers: 64, machine: *machine, ..SimConfig::new(64) };
+    let cfg = SimConfig {
+        workers: 64,
+        machine: *machine,
+        ..SimConfig::new(64)
+    };
     for (name, half) in [("steal-one", false), ("steal-half", true)] {
         let r = simulate(&w.costs, &SimModel::WorkStealing { steal_half: half }, &cfg);
         t.push(vec![
@@ -349,7 +501,11 @@ fn ablation_counter_chunk(machine: &MachineModel) -> Table {
     let mut m = *machine;
     m.latency = 10e-6;
     m.counter_service = 1e-6;
-    let cfg = SimConfig { workers: 256, machine: m, ..SimConfig::new(256) };
+    let cfg = SimConfig {
+        workers: 256,
+        machine: m,
+        ..SimConfig::new(256)
+    };
     for chunk in [1usize, 4, 16, 64, 256, 2048] {
         let r = simulate(&w.costs, &SimModel::Counter { chunk }, &cfg);
         t.push(vec![
@@ -369,7 +525,12 @@ fn ablation_screening_skew() -> Table {
         "Ablation: screening threshold vs task-cost skew (C8H18/STO-3G)",
         &["tau", "tasks", "total-cost", "max/mean", "gini"],
     );
-    for (label, tau) in [("0 (off)", 0.0), ("1e-12", 1e-12), ("1e-8", 1e-8), ("1e-6", 1e-6)] {
+    for (label, tau) in [
+        ("0 (off)", 0.0),
+        ("1e-12", 1e-12),
+        ("1e-8", 1e-8),
+        ("1e-6", 1e-6),
+    ] {
         let w = estimate_fock_workload(&mol, BasisSet::Sto3g, usize::MAX, tau, 1.0, "s");
         let s = CostStats::from_costs(&w.costs);
         t.push(vec![
@@ -395,19 +556,31 @@ fn ablation_seed_partition() -> Table {
     for (name, seed) in [
         ("block", SeedPartition::Block),
         ("cyclic", SeedPartition::Cyclic),
-        ("all-on-worker-0", SeedPartition::Assigned(std::sync::Arc::new(vec![0; 2048]))),
+        (
+            "all-on-worker-0",
+            SeedPartition::Assigned(std::sync::Arc::new(vec![0; 2048])),
+        ),
     ] {
         let ex = Executor::new(
             2,
-            ExecutionModel::WorkStealing(StealConfig { seed, ..StealConfig::default() }),
+            ExecutionModel::WorkStealing(StealConfig {
+                seed,
+                ..StealConfig::default()
+            }),
         );
-        let (_, r) = ex.run(n, |_| 0.0f64, |i, acc| {
-            *acc += emx_chem::synthetic::busy_work(50 + (i % 97) as u64)
-        });
+        let (_, r) = ex.run(
+            n,
+            |_| 0.0f64,
+            |i, acc| *acc += emx_chem::synthetic::busy_work(50 + (i % 97) as u64),
+        );
         t.push(vec![
             name.into(),
             r.total_steals().to_string(),
-            r.worker_stats.iter().map(|w| w.steal_attempts).sum::<u64>().to_string(),
+            r.worker_stats
+                .iter()
+                .map(|w| w.steal_attempts)
+                .sum::<u64>()
+                .to_string(),
             fmt3(r.utilization()),
         ]);
     }
@@ -442,8 +615,22 @@ fn ablation_hybrid_seeding(machine: &MachineModel) -> Table {
     );
     let scenarios: [(&str, usize, emx_runtime::Variability); 3] = [
         ("P=16, stable", 16, emx_runtime::Variability::None),
-        ("P=16, 2 slow ×2", 16, emx_runtime::Variability::SlowCores { factor: 2.0, count: 2 }),
-        ("P=64, 4 slow ×2", 64, emx_runtime::Variability::SlowCores { factor: 2.0, count: 4 }),
+        (
+            "P=16, 2 slow ×2",
+            16,
+            emx_runtime::Variability::SlowCores {
+                factor: 2.0,
+                count: 2,
+            },
+        ),
+        (
+            "P=64, 4 slow ×2",
+            64,
+            emx_runtime::Variability::SlowCores {
+                factor: 2.0,
+                count: 4,
+            },
+        ),
     ];
     for (sname, p, var) in scenarios {
         let (sm, _) = emx_core::prelude::balance(
@@ -460,10 +647,16 @@ fn ablation_hybrid_seeding(machine: &MachineModel) -> Table {
         };
         for (name, model) in [
             ("static (semi-matching)", SimModel::Static(sm.clone())),
-            ("stealing, block seed", SimModel::WorkStealing { steal_half: true }),
+            (
+                "stealing, block seed",
+                SimModel::WorkStealing { steal_half: true },
+            ),
             (
                 "stealing, semi-matching seed",
-                SimModel::SeededStealing { owners: sm.clone(), steal_half: true },
+                SimModel::SeededStealing {
+                    owners: sm.clone(),
+                    steal_half: true,
+                },
             ),
         ] {
             let r = simulate(&w.costs, &model, &cfg);
@@ -513,7 +706,13 @@ fn ablation_incremental_drift() -> Table {
 
     let mut t = Table::new(
         "Ablation: incremental-Fock cost drift vs persistence balancing (C4H10, P=8)",
-        &["iteration", "quartets", "|dD|", "imbalance(frozen)", "imbalance(retuned)"],
+        &[
+            "iteration",
+            "quartets",
+            "|dD|",
+            "imbalance(frozen)",
+            "imbalance(retuned)",
+        ],
     );
     let mut frozen: Option<Vec<u32>> = None;
     for iter in 0..10 {
@@ -581,7 +780,10 @@ fn ablation_persistence_warmup() -> Table {
         &["iteration", "imbalance", "migrated-tasks"],
     );
     let mut assignment = block_owners(w.ntasks(), p);
-    let cfg = PersistenceConfig { target_imbalance: 1.05, max_moves: usize::MAX };
+    let cfg = PersistenceConfig {
+        target_imbalance: 1.05,
+        max_moves: usize::MAX,
+    };
     for iter in 0..5 {
         let problem = Problem::new(w.costs.clone(), p);
         let before = assignment.clone();

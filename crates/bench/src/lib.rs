@@ -10,6 +10,10 @@ use emx_chem::molecule::Molecule;
 use emx_chem::synthetic::CostModel;
 use emx_core::prelude::*;
 
+pub mod obscapture;
+
+pub use obscapture::{capture_observability, ObsCapture};
+
 /// The standard chemistry workload of the scaling experiments:
 /// (H₂O)₂ / 6-31G, inspector-estimated costs, chunk = 8.
 pub fn chem_workload_medium() -> KernelWorkload {
@@ -39,7 +43,10 @@ pub fn chem_workload_small() -> KernelWorkload {
 /// cluster-scale simulations.
 pub fn synthetic_workload_large(ntasks: usize) -> KernelWorkload {
     synthetic_workload(
-        CostModel::LogNormal { mu: 0.0, sigma: 1.3 },
+        CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.3,
+        },
         ntasks,
         7,
         10.0,
@@ -49,7 +56,9 @@ pub fn synthetic_workload_large(ntasks: usize) -> KernelWorkload {
 
 /// Block owners for a static partition (bench convenience).
 pub fn block_owners(ntasks: usize, workers: usize) -> Vec<u32> {
-    (0..ntasks).map(|i| emx_runtime::block_owner(i, ntasks.max(1), workers) as u32).collect()
+    (0..ntasks)
+        .map(|i| emx_runtime::block_owner(i, ntasks.max(1), workers) as u32)
+        .collect()
 }
 
 #[cfg(test)]

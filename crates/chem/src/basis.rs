@@ -118,7 +118,13 @@ impl Shell {
     pub fn new(l: usize, center: [f64; 3], exps: Vec<f64>, coefs: Vec<f64>, atom: usize) -> Shell {
         assert_eq!(exps.len(), coefs.len(), "exps/coefs length mismatch");
         assert!(!exps.is_empty(), "shell needs at least one primitive");
-        let mut shell = Shell { l, center, exps, coefs, atom };
+        let mut shell = Shell {
+            l,
+            center,
+            exps,
+            coefs,
+            atom,
+        };
         shell.normalize();
         shell
     }
@@ -167,8 +173,8 @@ impl Shell {
         // Primitive normalization for (l,0,0):
         //   N(α) = (2α/π)^{3/4} (4α)^{l/2} / √((2l−1)!!)
         for (c, &a) in self.coefs.iter_mut().zip(&self.exps) {
-            let n = (2.0 * a / std::f64::consts::PI).powf(0.75) * (4.0 * a).powf(l / 2.0)
-                / dfl.sqrt();
+            let n =
+                (2.0 * a / std::f64::consts::PI).powf(0.75) * (4.0 * a).powf(l / 2.0) / dfl.sqrt();
             *c *= n;
         }
         // Contraction normalization: ⟨(l00)|(l00)⟩ = Σ_pq c_p c_q S_pq
@@ -230,7 +236,13 @@ impl BasisedMolecule {
         let mut shells = Vec::new();
         for (ai, atom) in mol.atoms.iter().enumerate() {
             for proto in element_shells(basis, atom.element) {
-                shells.push(Shell::new(proto.l, atom.position, proto.exps, proto.coefs, ai));
+                shells.push(Shell::new(
+                    proto.l,
+                    atom.position,
+                    proto.exps,
+                    proto.coefs,
+                    ai,
+                ));
             }
         }
         let mut shell_offsets = Vec::with_capacity(shells.len());
@@ -288,7 +300,11 @@ struct ProtoShell {
 }
 
 fn proto(l: usize, exps: &[f64], coefs: &[f64]) -> ProtoShell {
-    ProtoShell { l, exps: exps.to_vec(), coefs: coefs.to_vec() }
+    ProtoShell {
+        l,
+        exps: exps.to_vec(),
+        coefs: coefs.to_vec(),
+    }
 }
 
 /// Shell prototypes for one element in one basis set.
@@ -322,17 +338,29 @@ fn sto3g_shells(el: Element) -> Vec<ProtoShell> {
         Element::C => {
             let e1 = [71.616_837_0, 13.045_096_0, 3.530_512_2];
             let e2 = [2.941_249_4, 0.683_483_1, 0.222_289_9];
-            vec![proto(0, &e1, &STO3G_1S), proto(0, &e2, &STO3G_2S), proto(1, &e2, &STO3G_2P)]
+            vec![
+                proto(0, &e1, &STO3G_1S),
+                proto(0, &e2, &STO3G_2S),
+                proto(1, &e2, &STO3G_2P),
+            ]
         }
         Element::N => {
             let e1 = [99.106_169_0, 18.052_312_0, 4.885_660_2];
             let e2 = [3.780_455_9, 0.878_496_6, 0.285_714_4];
-            vec![proto(0, &e1, &STO3G_1S), proto(0, &e2, &STO3G_2S), proto(1, &e2, &STO3G_2P)]
+            vec![
+                proto(0, &e1, &STO3G_1S),
+                proto(0, &e2, &STO3G_2S),
+                proto(1, &e2, &STO3G_2P),
+            ]
         }
         Element::O => {
             let e1 = [130.709_320_0, 23.808_861_0, 6.443_608_3];
             let e2 = [5.033_151_3, 1.169_596_1, 0.380_389_0];
-            vec![proto(0, &e1, &STO3G_1S), proto(0, &e2, &STO3G_2S), proto(1, &e2, &STO3G_2P)]
+            vec![
+                proto(0, &e1, &STO3G_1S),
+                proto(0, &e2, &STO3G_2S),
+                proto(1, &e2, &STO3G_2P),
+            ]
         }
     }
 }
@@ -340,12 +368,30 @@ fn sto3g_shells(el: Element) -> Vec<ProtoShell> {
 fn g631_shells(el: Element) -> Vec<ProtoShell> {
     match el {
         Element::H => vec![
-            proto(0, &[18.731_137_0, 2.825_393_7, 0.640_121_7], &[0.033_494_60, 0.234_726_95, 0.813_757_33]),
+            proto(
+                0,
+                &[18.731_137_0, 2.825_393_7, 0.640_121_7],
+                &[0.033_494_60, 0.234_726_95, 0.813_757_33],
+            ),
             proto(0, &[0.161_277_8], &[1.0]),
         ],
         Element::C => {
-            let core_e = [3_047.524_9, 457.369_51, 103.948_69, 29.210_155, 9.286_663, 3.163_927];
-            let core_c = [0.001_834_7, 0.014_037_3, 0.068_842_6, 0.232_184_4, 0.467_941_3, 0.362_312_0];
+            let core_e = [
+                3_047.524_9,
+                457.369_51,
+                103.948_69,
+                29.210_155,
+                9.286_663,
+                3.163_927,
+            ];
+            let core_c = [
+                0.001_834_7,
+                0.014_037_3,
+                0.068_842_6,
+                0.232_184_4,
+                0.467_941_3,
+                0.362_312_0,
+            ];
             let val_e = [7.868_272_4, 1.881_288_5, 0.544_249_3];
             let val_s = [-0.119_332_4, -0.160_854_2, 1.143_456_4];
             let val_p = [0.068_999_1, 0.316_424_0, 0.744_308_3];
@@ -358,8 +404,17 @@ fn g631_shells(el: Element) -> Vec<ProtoShell> {
             ]
         }
         Element::N => {
-            let core_e = [4_173.511, 627.457_9, 142.902_1, 40.234_33, 12.820_21, 4.390_437];
-            let core_c = [0.001_834_8, 0.013_995_0, 0.068_587_0, 0.232_241_0, 0.469_070_0, 0.360_455_0];
+            let core_e = [
+                4_173.511, 627.457_9, 142.902_1, 40.234_33, 12.820_21, 4.390_437,
+            ];
+            let core_c = [
+                0.001_834_8,
+                0.013_995_0,
+                0.068_587_0,
+                0.232_241_0,
+                0.469_070_0,
+                0.360_455_0,
+            ];
             let val_e = [11.626_358, 2.716_28, 0.772_218];
             let val_s = [-0.114_961_0, -0.169_118_0, 1.145_852_0];
             let val_p = [0.067_580_0, 0.323_907_0, 0.740_895_0];
@@ -372,8 +427,22 @@ fn g631_shells(el: Element) -> Vec<ProtoShell> {
             ]
         }
         Element::O => {
-            let core_e = [5_484.671_7, 825.234_95, 188.046_96, 52.964_5, 16.897_57, 5.799_635_3];
-            let core_c = [0.001_831_1, 0.013_950_1, 0.068_445_1, 0.232_714_3, 0.470_193_0, 0.358_520_9];
+            let core_e = [
+                5_484.671_7,
+                825.234_95,
+                188.046_96,
+                52.964_5,
+                16.897_57,
+                5.799_635_3,
+            ];
+            let core_c = [
+                0.001_831_1,
+                0.013_950_1,
+                0.068_445_1,
+                0.232_714_3,
+                0.470_193_0,
+                0.358_520_9,
+            ];
             let val_e = [15.539_616, 3.599_933_6, 1.013_761_8];
             let val_s = [-0.110_777_5, -0.148_026_3, 1.130_767_0];
             let val_p = [0.070_874_3, 0.339_752_8, 0.727_158_6];
@@ -396,7 +465,10 @@ mod tests {
     #[test]
     fn cartesian_component_counts() {
         assert_eq!(cartesian_components(0), vec![(0, 0, 0)]);
-        assert_eq!(cartesian_components(1), vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]);
+        assert_eq!(
+            cartesian_components(1),
+            vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+        );
         assert_eq!(cartesian_components(2).len(), 6);
         assert_eq!(cartesian_components(2)[0], (2, 0, 0));
         assert_eq!(cartesian_components(2)[1], (1, 1, 0));
@@ -442,7 +514,11 @@ mod tests {
         // 6-31G's 13 functions + one Cartesian d shell (6) on oxygen.
         assert_eq!(bm.nbf, 19);
         assert_eq!(bm.nshells(), 10);
-        let d = bm.shells.iter().find(|s| s.l == 2).expect("d shell present");
+        let d = bm
+            .shells
+            .iter()
+            .find(|s| s.l == 2)
+            .expect("d shell present");
         assert_eq!(d.ncart(), 6);
         assert_eq!(d.atom, 0, "polarization sits on oxygen");
         // Hydrogens carry no d functions.

@@ -29,7 +29,12 @@ const T_LARGE: f64 = 36.0;
 /// a contiguous ladder of orders, and computing the ladder costs barely
 /// more than a single order.
 pub fn boys_ladder(m_max: usize, t: f64, out: &mut [f64]) {
-    assert!(out.len() == m_max + 1, "boys_ladder: out length {} != m_max+1 {}", out.len(), m_max + 1);
+    assert!(
+        out.len() == m_max + 1,
+        "boys_ladder: out length {} != m_max+1 {}",
+        out.len(),
+        m_max + 1
+    );
     debug_assert!(t >= 0.0, "Boys function argument must be non-negative");
 
     if t < T_TINY {

@@ -96,7 +96,12 @@ pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f6
                                                         * ekx
                                                         * eky
                                                         * ekz
-                                                        * r[r_index(l_total, t + tau, u + nu, v + phi)];
+                                                        * r[r_index(
+                                                            l_total,
+                                                            t + tau,
+                                                            u + nu,
+                                                            v + phi,
+                                                        )];
                                                 }
                                             }
                                         }
@@ -212,9 +217,7 @@ mod tests {
         use crate::basis::{BasisSet, BasisedMolecule};
         use crate::molecule::Molecule;
         let bm = BasisedMolecule::assign(&Molecule::h2(1.4), BasisSet::Sto3g);
-        let pair = |x: usize, y: usize| {
-            ShellPair::build(x, &bm.shells[x], y, &bm.shells[y], 0)
-        };
+        let pair = |x: usize, y: usize| ShellPair::build(x, &bm.shells[x], y, &bm.shells[y], 0);
         let v1111 = eri_quartet(&pair(0, 0), &pair(0, 0), &bm.shells)[0];
         let v1122 = eri_quartet(&pair(0, 0), &pair(1, 1), &bm.shells)[0];
         let v1212 = eri_quartet(&pair(0, 1), &pair(0, 1), &bm.shells)[0];
@@ -261,7 +264,11 @@ mod tests {
         let qs = ss.iter().fold(0.0f64, |m, v| m.max(v.abs())).sqrt();
         let maxv = dsds.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         // |(ds|ds)| ≤ Q_ds² ≤ … but also the generic cross bound holds:
-        assert!(maxv <= qd * qs * (1.0 + 1e-8) + 1e-14, "{maxv} vs {}", qd * qs);
+        assert!(
+            maxv <= qd * qs * (1.0 + 1e-8) + 1e-14,
+            "{maxv} vs {}",
+            qd * qs
+        );
     }
 
     #[test]

@@ -67,7 +67,12 @@ impl<'a> FockBuilder<'a> {
                 let end = (begin + chunk).min(bra + 1);
                 let est = self.estimate_range(bra, begin, end);
                 if est > 0 {
-                    tasks.push(FockTask { bra, ket_begin: begin, ket_end: end, est_cost: est });
+                    tasks.push(FockTask {
+                        bra,
+                        ket_begin: begin,
+                        ket_end: end,
+                        est_cost: est,
+                    });
                 }
                 begin = end;
             }
@@ -480,7 +485,11 @@ mod tests {
         let d = mock_density(bm.nbf);
         let g = fb.build_serial(&d);
         let gref = g_matrix_reference(&bm, &d);
-        assert!(g.max_abs_diff(&gref) < 1e-10, "diff {}", g.max_abs_diff(&gref));
+        assert!(
+            g.max_abs_diff(&gref) < 1e-10,
+            "diff {}",
+            g.max_abs_diff(&gref)
+        );
     }
 
     #[test]
@@ -491,7 +500,11 @@ mod tests {
         let d = mock_density(bm.nbf);
         let g = fb.build_serial(&d);
         let gref = g_matrix_reference(&bm, &d);
-        assert!(g.max_abs_diff(&gref) < 1e-9, "diff {}", g.max_abs_diff(&gref));
+        assert!(
+            g.max_abs_diff(&gref) < 1e-9,
+            "diff {}",
+            g.max_abs_diff(&gref)
+        );
     }
 
     #[test]
@@ -507,7 +520,11 @@ mod tests {
         let d = mock_density(bm.nbf);
         let g = fb.build_serial(&d);
         let gref = g_matrix_reference(&bm, &d);
-        assert!(g.max_abs_diff(&gref) < 1e-9, "diff {}", g.max_abs_diff(&gref));
+        assert!(
+            g.max_abs_diff(&gref) < 1e-9,
+            "diff {}",
+            g.max_abs_diff(&gref)
+        );
     }
 
     #[test]
@@ -526,8 +543,11 @@ mod tests {
             let tasks = fb.tasks(chunk);
             // For each bra, ket ranges must tile 0..=bra without gaps.
             for bra in 0..pairs.len() {
-                let mut ranges: Vec<_> =
-                    tasks.iter().filter(|t| t.bra == bra).map(|t| (t.ket_begin, t.ket_end)).collect();
+                let mut ranges: Vec<_> = tasks
+                    .iter()
+                    .filter(|t| t.bra == bra)
+                    .map(|t| (t.ket_begin, t.ket_end))
+                    .collect();
                 ranges.sort();
                 let mut expect = 0;
                 for (b, e) in ranges {
@@ -620,8 +640,11 @@ mod tests {
         let fb = FockBuilder::new(&bm, &pairs, 1e-10);
         let d = mock_density(bm.nbf);
         let mut g = Matrix::zeros(bm.nbf, bm.nbf);
-        let total: u64 =
-            fb.tasks(usize::MAX).iter().map(|t| fb.execute(t, &d, &mut g)).sum();
+        let total: u64 = fb
+            .tasks(usize::MAX)
+            .iter()
+            .map(|t| fb.execute(t, &d, &mut g))
+            .sum();
         assert_eq!(total as usize, pairs.surviving_quartets(1e-10));
     }
 }

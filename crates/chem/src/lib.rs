@@ -46,13 +46,15 @@ pub mod uhf;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::basis::{BasisSet, BasisedMolecule, Element, Shell};
-    pub use crate::oneint::{dipole, dipole_moment, AU_TO_DEBYE};
-    pub use crate::mp2::{ao_to_mo, full_eri_tensor, mp2_energy};
-    pub use crate::properties::{mulliken_charges, mulliken_electron_count};
     pub use crate::fock::{FockBuilder, FockTask};
     pub use crate::molecule::Molecule;
-    pub use crate::scf::{rhf, rhf_incremental, rhf_with, IncrementalStats, ScfConfig, ScfResult};
-    pub use crate::screening::ScreenedPairs;
+    pub use crate::mp2::{ao_to_mo, full_eri_tensor, mp2_energy};
+    pub use crate::oneint::{dipole, dipole_moment, AU_TO_DEBYE};
+    pub use crate::properties::{mulliken_charges, mulliken_electron_count};
+    pub use crate::scf::{
+        rhf, rhf_incremental, rhf_with, IncrementalStats, IterationPhases, ScfConfig, ScfResult,
+    };
+    pub use crate::screening::{ScreenedPairs, ScreeningStats};
     pub use crate::synthetic::{busy_work, calibrate_lognormal, generate_costs, CostModel};
     pub use crate::tasks::{imbalance, makespan_lower_bound, CostStats};
     pub use crate::uhf::{spin_density, uhf, UhfResult};

@@ -43,7 +43,12 @@ impl HermiteE {
         let xpb = px - bx;
         let one_over_2p = 0.5 / p;
         let tdim = imax + jmax + 1;
-        let mut e = HermiteE { imax, jmax, tdim, data: vec![0.0; (imax + 1) * (jmax + 1) * tdim] };
+        let mut e = HermiteE {
+            imax,
+            jmax,
+            tdim,
+            data: vec![0.0; (imax + 1) * (jmax + 1) * tdim],
+        };
 
         // Base case.
         *e.at_mut(0, 0, 0) = (-mu * xab * xab).exp();

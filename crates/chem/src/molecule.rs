@@ -98,7 +98,10 @@ impl Molecule {
                     let rot = random_rotation(&mut rng);
                     for atom in &monomer.atoms {
                         let p = rotate(&rot, atom.position);
-                        m.push(atom.element, [p[0] + origin[0], p[1] + origin[1], p[2] + origin[2]]);
+                        m.push(
+                            atom.element,
+                            [p[0] + origin[0], p[1] + origin[1], p[2] + origin[2]],
+                        );
                     }
                     placed += 1;
                 }
@@ -121,9 +124,8 @@ impl Molecule {
         let dx = rcc * half_tet.sin();
         let dz = rcc * half_tet.cos();
         let mut m = Molecule::new();
-        let carbon = |i: usize| -> [f64; 3] {
-            [i as f64 * dx, 0.0, if i % 2 == 0 { 0.0 } else { dz }]
-        };
+        let carbon =
+            |i: usize| -> [f64; 3] { [i as f64 * dx, 0.0, if i % 2 == 0 { 0.0 } else { dz }] };
         for i in 0..n {
             m.push(Element::C, carbon(i));
         }
@@ -137,10 +139,16 @@ impl Molecule {
             m.push(Element::H, [c[0], c[1] + hy, c[2] + hz]);
             m.push(Element::H, [c[0], c[1] - hy, c[2] + hz]);
             if i == 0 {
-                m.push(Element::H, [c[0] - dx * (rch / rcc), c[1], c[2] + dz * (rch / rcc) * up]);
+                m.push(
+                    Element::H,
+                    [c[0] - dx * (rch / rcc), c[1], c[2] + dz * (rch / rcc) * up],
+                );
             }
             if i == n - 1 {
-                m.push(Element::H, [c[0] + dx * (rch / rcc), c[1], c[2] + dz * (rch / rcc) * up]);
+                m.push(
+                    Element::H,
+                    [c[0] + dx * (rch / rcc), c[1], c[2] + dz * (rch / rcc) * up],
+                );
             }
         }
         if n == 1 {
@@ -199,7 +207,9 @@ impl Molecule {
         let _comment = lines.next().ok_or("missing comment line")?;
         let mut m = Molecule::new();
         for i in 0..count {
-            let line = lines.next().ok_or_else(|| format!("missing atom line {i}"))?;
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing atom line {i}"))?;
             let mut it = line.split_whitespace();
             let sym = it.next().ok_or_else(|| format!("empty atom line {i}"))?;
             let element = Element::from_symbol(sym)
@@ -227,7 +237,10 @@ impl Molecule {
         let mut guard = 0;
         while m.natoms() < n {
             guard += 1;
-            assert!(guard < 100_000, "random_cluster: placement did not converge");
+            assert!(
+                guard < 100_000,
+                "random_cluster: placement did not converge"
+            );
             let p = [
                 rng.random_range(0.0..box_side),
                 rng.random_range(0.0..box_side),
@@ -321,7 +334,11 @@ mod tests {
             assert_eq!(x.position, y.position);
         }
         // Different seed gives a different geometry.
-        assert!(a.atoms.iter().zip(&c.atoms).any(|(x, y)| x.position != y.position));
+        assert!(a
+            .atoms
+            .iter()
+            .zip(&c.atoms)
+            .any(|(x, y)| x.position != y.position));
     }
 
     #[test]
@@ -329,7 +346,10 @@ mod tests {
         let m = Molecule::water_cluster(8, 3);
         for (i, a) in m.atoms.iter().enumerate() {
             for b in &m.atoms[i + 1..] {
-                assert!(dist2(a.position, b.position).sqrt() > 0.8, "atoms too close");
+                assert!(
+                    dist2(a.position, b.position).sqrt() > 0.8,
+                    "atoms too close"
+                );
             }
         }
     }
@@ -386,10 +406,18 @@ mod tests {
     #[test]
     fn xyz_parse_errors_are_descriptive() {
         assert!(Molecule::from_xyz("").unwrap_err().contains("empty"));
-        assert!(Molecule::from_xyz("x\ncomment\n").unwrap_err().contains("atom count"));
-        assert!(Molecule::from_xyz("1\nc\nXx 0 0 0").unwrap_err().contains("unsupported"));
-        assert!(Molecule::from_xyz("1\nc\nH 0 0").unwrap_err().contains("missing coordinate"));
-        assert!(Molecule::from_xyz("2\nc\nH 0 0 0\n").unwrap_err().contains("missing atom line"));
+        assert!(Molecule::from_xyz("x\ncomment\n")
+            .unwrap_err()
+            .contains("atom count"));
+        assert!(Molecule::from_xyz("1\nc\nXx 0 0 0")
+            .unwrap_err()
+            .contains("unsupported"));
+        assert!(Molecule::from_xyz("1\nc\nH 0 0")
+            .unwrap_err()
+            .contains("missing coordinate"));
+        assert!(Molecule::from_xyz("2\nc\nH 0 0 0\n")
+            .unwrap_err()
+            .contains("missing atom line"));
     }
 
     #[test]

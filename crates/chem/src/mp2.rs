@@ -236,7 +236,10 @@ mod tests {
     #[should_panic(expected = "unconverged")]
     fn rejects_unconverged_scf() {
         let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
-        let cfg = ScfConfig { max_iter: 1, ..ScfConfig::default() };
+        let cfg = ScfConfig {
+            max_iter: 1,
+            ..ScfConfig::default()
+        };
         let r = rhf(&bm, &cfg);
         let _ = mp2_energy(&bm, &r);
     }

@@ -123,7 +123,9 @@ pub fn nuclear_attraction(bm: &BasisedMolecule) -> Matrix {
 
 /// Core Hamiltonian `H = T + V`.
 pub fn core_hamiltonian(bm: &BasisedMolecule) -> Matrix {
-    kinetic(bm).add(&nuclear_attraction(bm)).expect("T and V shapes match")
+    kinetic(bm)
+        .add(&nuclear_attraction(bm))
+        .expect("T and V shapes match")
 }
 
 /// Electric-dipole integral matrices `⟨μ| x |ν⟩, ⟨μ| y |ν⟩, ⟨μ| z |ν⟩`
@@ -188,8 +190,12 @@ pub fn dipole_moment(bm: &BasisedMolecule, density: &Matrix) -> [f64; 3] {
     let mut mu = [0.0; 3];
     for d in 0..3 {
         let electronic = density.dot(&ints[d]).expect("shapes match");
-        let nuclear: f64 =
-            bm.charges.iter().zip(&bm.positions).map(|(&z, r)| z * r[d]).sum();
+        let nuclear: f64 = bm
+            .charges
+            .iter()
+            .zip(&bm.positions)
+            .map(|(&z, r)| z * r[d])
+            .sum();
         mu[d] = nuclear - electronic;
     }
     mu
@@ -199,7 +205,14 @@ pub fn dipole_moment(bm: &BasisedMolecule, density: &Matrix) -> [f64; 3] {
 /// the pair block, then scatters it (and its transpose) into the matrix.
 fn build_pairwise(
     bm: &BasisedMolecule,
-    fill: impl Fn(&ShellPair, &mut [f64], usize, &[(usize, usize, usize)], &[(usize, usize, usize)], &[f64]),
+    fill: impl Fn(
+        &ShellPair,
+        &mut [f64],
+        usize,
+        &[(usize, usize, usize)],
+        &[(usize, usize, usize)],
+        &[f64],
+    ),
 ) -> Matrix {
     let shells = &bm.shells;
     let mut m = Matrix::zeros(bm.nbf, bm.nbf);
@@ -245,7 +258,11 @@ mod tests {
     fn overlap_diagonal_is_one() {
         let s = overlap(&water_sto3g());
         for i in 0..s.rows() {
-            assert!((s[(i, i)] - 1.0).abs() < 1e-10, "S[{i}][{i}] = {}", s[(i, i)]);
+            assert!(
+                (s[(i, i)] - 1.0).abs() < 1e-10,
+                "S[{i}][{i}] = {}",
+                s[(i, i)]
+            );
         }
     }
 
@@ -254,7 +271,11 @@ mod tests {
         let s = overlap(&water_sto3g());
         assert!(s.is_symmetric(1e-12));
         let e = jacobi_eigen(&s, 1e-12, 100).unwrap();
-        assert!(e.values.iter().all(|&v| v > 1e-6), "eigenvalues: {:?}", e.values);
+        assert!(
+            e.values.iter().all(|&v| v > 1e-6),
+            "eigenvalues: {:?}",
+            e.values
+        );
     }
 
     #[test]
@@ -329,11 +350,19 @@ mod tests {
         let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneGStar);
         let s = overlap(&bm);
         for i in 0..bm.nbf {
-            assert!((s[(i, i)] - 1.0).abs() < 1e-10, "S[{i}][{i}] = {}", s[(i, i)]);
+            assert!(
+                (s[(i, i)] - 1.0).abs() < 1e-10,
+                "S[{i}][{i}] = {}",
+                s[(i, i)]
+            );
         }
         assert!(s.is_symmetric(1e-12));
         let e = jacobi_eigen(&s, 1e-12, 200).unwrap();
-        assert!(e.values.iter().all(|&v| v > 1e-8), "near-dependent basis: {:?}", e.values[0]);
+        assert!(
+            e.values.iter().all(|&v| v > 1e-8),
+            "near-dependent basis: {:?}",
+            e.values[0]
+        );
         // Kinetic stays positive definite with d functions present.
         let t = kinetic(&bm);
         let et = jacobi_eigen(&t, 1e-12, 200).unwrap();

@@ -24,14 +24,22 @@ pub fn mulliken_charges(bm: &BasisedMolecule, density: &Matrix) -> Vec<f64> {
             populations[shell.atom] += ps[(offset + c, offset + c)];
         }
     }
-    bm.charges.iter().zip(&populations).map(|(&z, &p)| z - p).collect()
+    bm.charges
+        .iter()
+        .zip(&populations)
+        .map(|(&z, &p)| z - p)
+        .collect()
 }
 
 /// Total Mulliken electron count `tr(P·S)` — equals the number of
 /// electrons for any valid closed-shell density.
 pub fn mulliken_electron_count(bm: &BasisedMolecule, density: &Matrix) -> f64 {
     let s = overlap(bm);
-    density.matmul(&s).expect("P·S shapes").trace().expect("square")
+    density
+        .matmul(&s)
+        .expect("P·S shapes")
+        .trace()
+        .expect("square")
 }
 
 #[cfg(test)]

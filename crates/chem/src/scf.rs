@@ -31,8 +31,31 @@ pub struct ScfConfig {
 
 impl Default for ScfConfig {
     fn default() -> Self {
-        ScfConfig { max_iter: 100, e_tol: 1e-9, d_tol: 1e-7, diis: true, diis_size: 6, tau: 1e-10 }
+        ScfConfig {
+            max_iter: 100,
+            e_tol: 1e-9,
+            d_tol: 1e-7,
+            diis: true,
+            diis_size: 6,
+            tau: 1e-10,
+        }
     }
+}
+
+/// Wall-clock breakdown of one SCF iteration — the observability layer
+/// exports these as `scf_iter` records; the paper's discussion of where
+/// iteration time goes (Fock build vs. everything else) reads straight
+/// off them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterationPhases {
+    /// Two-electron (Fock `G`) build — the parallel kernel under study.
+    pub fock: std::time::Duration,
+    /// DIIS error build + extrapolation.
+    pub diis: std::time::Duration,
+    /// Orthogonalization, diagonalization and density rebuild.
+    pub diag: std::time::Duration,
+    /// Whole iteration, including energy evaluation and bookkeeping.
+    pub total: std::time::Duration,
 }
 
 /// Result of an SCF run.
@@ -57,6 +80,9 @@ pub struct ScfResult {
     pub mo_coefficients: Matrix,
     /// Energy after each iteration.
     pub energy_history: Vec<f64>,
+    /// Wall-clock phase breakdown of each iteration (same length as
+    /// [`ScfResult::energy_history`]).
+    pub phase_timings: Vec<IterationPhases>,
 }
 
 /// Builds the closed-shell density `P = 2 Σᵢ^{occ} C·Cᵀ` from the MO
@@ -102,7 +128,10 @@ pub fn rhf_with(
     mut g_builder: impl FnMut(&Matrix) -> Matrix,
 ) -> ScfResult {
     let nelec = bm.nelectrons();
-    assert!(nelec % 2 == 0, "RHF requires an even electron count, got {nelec}");
+    assert!(
+        nelec % 2 == 0,
+        "RHF requires an even electron count, got {nelec}"
+    );
     let nocc = nelec / 2;
 
     let s = overlap(bm);
@@ -127,21 +156,31 @@ pub fn rhf_with(
     let mut converged = false;
     let mut iterations = 0;
 
+    let mut phase_timings = Vec::new();
+
     for it in 0..config.max_iter {
         iterations = it + 1;
+        let mut phases = IterationPhases::default();
+        let iter_start = std::time::Instant::now();
         let g = g_builder(&p);
+        phases.fock = iter_start.elapsed();
         let mut f = h.add(&g).expect("F = H + G");
 
         // Electronic energy: E = ½ Σ P(H + F).
         let e_elec = 0.5 * p.dot(&h.add(&f).expect("H+F")).expect("energy trace");
         history.push(e_elec + enuc);
 
+        let diis_start = std::time::Instant::now();
         if config.diis {
             // DIIS error e = FPS − SPF, expressed in the orthonormal
             // basis so its norm is meaningful.
             let fps = f.matmul(&p).expect("FP").matmul(&s).expect("FPS");
             let spf = s.matmul(&p).expect("SP").matmul(&f).expect("SPF");
-            let err = fps.sub(&spf).expect("FPS-SPF").congruence(&x).expect("error transform");
+            let err = fps
+                .sub(&spf)
+                .expect("FPS-SPF")
+                .congruence(&x)
+                .expect("error transform");
             diis_f.push(f.clone());
             diis_e.push(err);
             if diis_f.len() > config.diis_size {
@@ -154,12 +193,15 @@ pub fn rhf_with(
                 }
             }
         }
+        phases.diis = diis_start.elapsed();
 
         // Diagonalize in the orthonormal basis and rebuild the density.
+        let diag_start = std::time::Instant::now();
         let fp = f.congruence(&x).expect("F transform");
         let eig = jacobi_eigen(&fp, 1e-12, 100).expect("Fock diagonalization");
         let c = x.matmul(&eig.vectors).expect("back-transform");
         let p_new = density_from_mos(&c, nocc);
+        phases.diag = diag_start.elapsed();
         orbital_energies = eig.values.clone();
         mo_coefficients = c;
 
@@ -167,6 +209,8 @@ pub fn rhf_with(
         let dp = rms_diff(&p_new, &p);
         e_old = e_elec + enuc;
         p = p_new;
+        phases.total = iter_start.elapsed();
+        phase_timings.push(phases);
         if it > 0 && de < config.e_tol && dp < config.d_tol {
             converged = true;
             break;
@@ -183,6 +227,7 @@ pub fn rhf_with(
         density: p,
         mo_coefficients,
         energy_history: history,
+        phase_timings,
     }
 }
 
@@ -209,7 +254,10 @@ pub struct IncrementalStats {
 /// Roothaan iterations with a slightly higher iteration cap.
 pub fn rhf_incremental(bm: &BasisedMolecule, config: &ScfConfig) -> (ScfResult, IncrementalStats) {
     let nelec = bm.nelectrons();
-    assert!(nelec % 2 == 0, "RHF requires an even electron count, got {nelec}");
+    assert!(
+        nelec % 2 == 0,
+        "RHF requires an even electron count, got {nelec}"
+    );
     let nocc = nelec / 2;
 
     let s = overlap(bm);
@@ -242,8 +290,11 @@ pub fn rhf_incremental(bm: &BasisedMolecule, config: &ScfConfig) -> (ScfResult, 
     // bias in G; production codes therefore rebuild from scratch
     // periodically. Eight is a conventional cadence.
     const REBUILD_EVERY: usize = 8;
+    let mut phase_timings = Vec::new();
     for it in 0..config.max_iter * 2 {
         iterations = it + 1;
+        let mut phases = IterationPhases::default();
+        let iter_start = std::time::Instant::now();
         let rebuild = it % REBUILD_EVERY == 0;
         let quartets = if rebuild {
             g.fill_zero();
@@ -265,16 +316,19 @@ pub fn rhf_incremental(bm: &BasisedMolecule, config: &ScfConfig) -> (ScfResult, 
             q
         };
         quartets_per_iteration.push(quartets);
+        phases.fock = iter_start.elapsed();
         p_prev = p.clone();
 
         let f = h.add(&g).expect("F = H + G");
         let e_elec = 0.5 * p.dot(&h.add(&f).expect("H+F")).expect("energy trace");
         history.push(e_elec + enuc);
 
+        let diag_start = std::time::Instant::now();
         let fp = f.congruence(&x).expect("F transform");
         let eig = jacobi_eigen(&fp, 1e-12, 100).expect("Fock diagonalization");
         let c = x.matmul(&eig.vectors).expect("back-transform");
         let p_new = density_from_mos(&c, nocc);
+        phases.diag = diag_start.elapsed();
         orbital_energies = eig.values.clone();
         mo_coefficients = c;
 
@@ -282,6 +336,8 @@ pub fn rhf_incremental(bm: &BasisedMolecule, config: &ScfConfig) -> (ScfResult, 
         let dp = rms_diff(&p_new, &p);
         e_old = e_elec + enuc;
         p = p_new;
+        phases.total = iter_start.elapsed();
+        phase_timings.push(phases);
         if it > 0 && de < config.e_tol.max(1e-8) && dp < config.d_tol.max(1e-6) {
             converged = true;
             break;
@@ -299,8 +355,12 @@ pub fn rhf_incremental(bm: &BasisedMolecule, config: &ScfConfig) -> (ScfResult, 
             density: p,
             mo_coefficients,
             energy_history: history,
+            phase_timings,
         },
-        IncrementalStats { quartets_per_iteration, delta_norms },
+        IncrementalStats {
+            quartets_per_iteration,
+            delta_norms,
+        },
     )
 }
 
@@ -347,7 +407,10 @@ mod tests {
 
     fn run(mol: &Molecule, basis: BasisSet, diis: bool) -> ScfResult {
         let bm = BasisedMolecule::assign(mol, basis);
-        let cfg = ScfConfig { diis, ..ScfConfig::default() };
+        let cfg = ScfConfig {
+            diis,
+            ..ScfConfig::default()
+        };
         rhf(&bm, &cfg)
     }
 
@@ -381,7 +444,12 @@ mod tests {
         let small = run(&Molecule::water(), BasisSet::Sto3g, true);
         let big = run(&Molecule::water(), BasisSet::SixThirtyOneG, true);
         assert!(big.converged);
-        assert!(big.energy < small.energy, "{} !< {}", big.energy, small.energy);
+        assert!(
+            big.energy < small.energy,
+            "{} !< {}",
+            big.energy,
+            small.energy
+        );
         // 6-31G water is ≈ −75.98 Eh in the literature.
         assert!((big.energy + 75.98).abs() < 0.05, "E = {}", big.energy);
     }
@@ -391,7 +459,11 @@ mod tests {
         let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
         let regular = rhf(&bm, &ScfConfig::default());
         let (incremental, stats) = rhf_incremental(&bm, &ScfConfig::default());
-        assert!(incremental.converged, "history {:?}", incremental.energy_history);
+        assert!(
+            incremental.converged,
+            "history {:?}",
+            incremental.energy_history
+        );
         assert!(
             (incremental.energy - regular.energy).abs() < 1e-5,
             "incremental {} vs regular {}",
@@ -412,10 +484,25 @@ mod tests {
         // Per-quartet screening error is bounded by τ, so the reachable
         // convergence is ~n_quartets·τ — the thresholds must match.
         let bm = BasisedMolecule::assign(&Molecule::alkane(2), BasisSet::Sto3g);
-        let cfg = ScfConfig { tau: 1e-7, e_tol: 1e-6, d_tol: 1e-5, ..ScfConfig::default() };
-        let regular = rhf(&bm, &ScfConfig { tau: 1e-10, ..ScfConfig::default() });
+        let cfg = ScfConfig {
+            tau: 1e-7,
+            e_tol: 1e-6,
+            d_tol: 1e-5,
+            ..ScfConfig::default()
+        };
+        let regular = rhf(
+            &bm,
+            &ScfConfig {
+                tau: 1e-10,
+                ..ScfConfig::default()
+            },
+        );
         let (incremental, stats) = rhf_incremental(&bm, &cfg);
-        assert!(incremental.converged, "history {:?}", incremental.energy_history);
+        assert!(
+            incremental.converged,
+            "history {:?}",
+            incremental.energy_history
+        );
         assert!(
             (incremental.energy - regular.energy).abs() < 1e-3,
             "incremental {} vs regular {}",
@@ -449,18 +536,26 @@ mod tests {
         let mut g = Matrix::zeros(bm.nbf, bm.nbf);
         let full: u64 = {
             let dmax = fb.pair_density_max(&d);
-            tasks.iter().map(|t| fb.execute_density_screened(t, &d, &dmax, &mut g)).sum()
+            tasks
+                .iter()
+                .map(|t| fb.execute_density_screened(t, &d, &dmax, &mut g))
+                .sum()
         };
         let small: u64 = {
             let dmax = fb.pair_density_max(&tiny);
-            tasks.iter().map(|t| fb.execute_density_screened(t, &tiny, &dmax, &mut g)).sum()
+            tasks
+                .iter()
+                .map(|t| fb.execute_density_screened(t, &tiny, &dmax, &mut g))
+                .sum()
         };
         assert!(small < full / 2, "full {full}, small {small}");
         // And zero delta does zero work.
         let zero = Matrix::zeros(bm.nbf, bm.nbf);
         let dmax = fb.pair_density_max(&zero);
-        let none: u64 =
-            tasks.iter().map(|t| fb.execute_density_screened(t, &zero, &dmax, &mut g)).sum();
+        let none: u64 = tasks
+            .iter()
+            .map(|t| fb.execute_density_screened(t, &zero, &dmax, &mut g))
+            .sum();
         assert_eq!(none, 0);
     }
 
@@ -506,6 +601,24 @@ mod tests {
         assert_eq!(r.energy_history.len(), r.iterations);
         // Final history entry equals the reported energy.
         assert!((r.energy_history.last().unwrap() - r.energy).abs() < 1e-10);
+    }
+
+    #[test]
+    fn phase_timings_cover_every_iteration() {
+        let r = run(&Molecule::water(), BasisSet::Sto3g, true);
+        assert_eq!(r.phase_timings.len(), r.iterations);
+        for ph in &r.phase_timings {
+            // Phases are sub-intervals of the iteration.
+            assert!(ph.total >= ph.fock);
+            assert!(ph.total >= ph.diis);
+            assert!(ph.total >= ph.diag);
+            assert!(ph.total > std::time::Duration::ZERO);
+        }
+        let (ri, _) = rhf_incremental(
+            &BasisedMolecule::assign(&Molecule::h2(1.4), BasisSet::Sto3g),
+            &ScfConfig::default(),
+        );
+        assert_eq!(ri.phase_timings.len(), ri.iterations);
     }
 
     #[test]

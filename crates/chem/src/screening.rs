@@ -56,7 +56,11 @@ impl ScreenedPairs {
                 }
             }
         }
-        ScreenedPairs { pairs, q, pair_threshold }
+        ScreenedPairs {
+            pairs,
+            q,
+            pair_threshold,
+        }
     }
 
     /// Number of surviving pairs.
@@ -88,6 +92,41 @@ impl ScreenedPairs {
             }
         }
         n
+    }
+
+    /// Screening effectiveness at threshold `tau`: candidate vs.
+    /// surviving quartet counts, ready for metric export.
+    pub fn stats(&self, tau: f64) -> ScreeningStats {
+        let candidates = self.len() * (self.len() + 1) / 2;
+        ScreeningStats {
+            tau,
+            candidate_quartets: candidates,
+            surviving_quartets: self.surviving_quartets(tau),
+        }
+    }
+}
+
+/// Summary of how hard Schwarz screening bites at a given threshold —
+/// the quantity behind the paper's "data-dependent task costs" point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreeningStats {
+    /// Threshold the quartet test used.
+    pub tau: f64,
+    /// Quartets before the Schwarz test (all `(i, j)`, `j ≤ i`).
+    pub candidate_quartets: usize,
+    /// Quartets passing the test.
+    pub surviving_quartets: usize,
+}
+
+impl ScreeningStats {
+    /// Fraction of candidate quartets that survive, in `[0, 1]`
+    /// (1.0 for a degenerate empty pair list).
+    pub fn survival_rate(&self) -> f64 {
+        if self.candidate_quartets == 0 {
+            1.0
+        } else {
+            self.surviving_quartets as f64 / self.candidate_quartets as f64
+        }
     }
 }
 
@@ -139,6 +178,18 @@ mod tests {
         let bm = BasisedMolecule::assign(&Molecule::alkane(4), BasisSet::Sto3g);
         let sp = ScreenedPairs::build(&bm, 1e-12);
         assert!(sp.surviving_quartets(1e-12) >= sp.surviving_quartets(1e-6));
+    }
+
+    #[test]
+    fn stats_match_direct_counts() {
+        let bm = BasisedMolecule::assign(&Molecule::alkane(4), BasisSet::Sto3g);
+        let sp = ScreenedPairs::build(&bm, 1e-12);
+        let st = sp.stats(1e-8);
+        assert_eq!(st.candidate_quartets, sp.len() * (sp.len() + 1) / 2);
+        assert_eq!(st.surviving_quartets, sp.surviving_quartets(1e-8));
+        assert!(st.survival_rate() > 0.0 && st.survival_rate() <= 1.0);
+        // Looser threshold → lower survival.
+        assert!(sp.stats(1e-3).survival_rate() <= st.survival_rate());
     }
 
     #[test]

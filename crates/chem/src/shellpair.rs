@@ -70,10 +70,24 @@ impl ShellPair {
                 if (ca * cb * k).abs() < 1e-18 {
                     continue;
                 }
-                prims.push(PrimPair { p, eb, center, coef: ca * cb, ex, ey, ez });
+                prims.push(PrimPair {
+                    p,
+                    eb,
+                    center,
+                    coef: ca * cb,
+                    ex,
+                    ey,
+                    ez,
+                });
             }
         }
-        ShellPair { a, b, la: sa.l, lb: sb.l, prims }
+        ShellPair {
+            a,
+            b,
+            la: sa.l,
+            lb: sb.l,
+            prims,
+        }
     }
 }
 

@@ -74,7 +74,10 @@ pub fn generate_costs(model: CostModel, n: usize, seed: u64) -> Vec<f64> {
 /// kernel: run one inspector pass, fit, then generate arbitrarily many
 /// matched workloads.
 pub fn calibrate_lognormal(measured: &[f64]) -> CostModel {
-    assert!(!measured.is_empty(), "cannot calibrate from no measurements");
+    assert!(
+        !measured.is_empty(),
+        "cannot calibrate from no measurements"
+    );
     let floor = measured
         .iter()
         .cloned()
@@ -84,7 +87,10 @@ pub fn calibrate_lognormal(measured: &[f64]) -> CostModel {
     let logs: Vec<f64> = measured.iter().map(|&c| c.max(floor).ln()).collect();
     let mu = logs.iter().sum::<f64>() / logs.len() as f64;
     let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
-    CostModel::LogNormal { mu, sigma: var.sqrt() }
+    CostModel::LogNormal {
+        mu,
+        sigma: var.sqrt(),
+    }
 }
 
 /// Box–Muller standard normal deviate.
@@ -134,7 +140,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let m = CostModel::LogNormal { mu: 2.0, sigma: 1.0 };
+        let m = CostModel::LogNormal {
+            mu: 2.0,
+            sigma: 1.0,
+        };
         assert_eq!(generate_costs(m, 100, 9), generate_costs(m, 100, 9));
         assert_ne!(generate_costs(m, 100, 9), generate_costs(m, 100, 10));
     }
@@ -152,8 +161,22 @@ mod tests {
 
     #[test]
     fn pareto_is_heavier_tailed_than_lognormal() {
-        let p = generate_costs(CostModel::ParetoTail { scale: 1.0, alpha: 1.2 }, 5_000, 4);
-        let l = generate_costs(CostModel::LogNormal { mu: 0.0, sigma: 0.5 }, 5_000, 4);
+        let p = generate_costs(
+            CostModel::ParetoTail {
+                scale: 1.0,
+                alpha: 1.2,
+            },
+            5_000,
+            4,
+        );
+        let l = generate_costs(
+            CostModel::LogNormal {
+                mu: 0.0,
+                sigma: 0.5,
+            },
+            5_000,
+            4,
+        );
         assert!(CostStats::from_costs(&p).max_over_mean > CostStats::from_costs(&l).max_over_mean);
     }
 
@@ -165,7 +188,10 @@ mod tests {
 
     #[test]
     fn calibration_recovers_parameters() {
-        let truth = CostModel::LogNormal { mu: 3.0, sigma: 1.2 };
+        let truth = CostModel::LogNormal {
+            mu: 3.0,
+            sigma: 1.2,
+        };
         let sample = generate_costs(truth, 20_000, 5);
         match calibrate_lognormal(&sample) {
             CostModel::LogNormal { mu, sigma } => {

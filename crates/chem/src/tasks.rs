@@ -48,7 +48,10 @@ impl CostStats {
                 gini: 0.0,
             };
         }
-        debug_assert!(costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+        debug_assert!(
+            costs.iter().all(|&c| c >= 0.0),
+            "costs must be non-negative"
+        );
         let total: f64 = costs.iter().sum();
         let mean = total / count as f64;
         let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -169,7 +169,12 @@ pub fn uhf(bm: &BasisedMolecule, multiplicity: usize, config: &ScfConfig) -> Uhf
     let sz = 0.5 * (nalpha as f64 - nbeta as f64);
     let mut overlap_sum = 0.0;
     if nalpha > 0 && nbeta > 0 {
-        let cross = c_a.transpose().matmul(&s).expect("shapes").matmul(&c_b).expect("shapes");
+        let cross = c_a
+            .transpose()
+            .matmul(&s)
+            .expect("shapes")
+            .matmul(&c_b)
+            .expect("shapes");
         for i in 0..nalpha {
             for j in 0..nbeta {
                 overlap_sum += cross[(i, j)] * cross[(i, j)];
@@ -247,7 +252,10 @@ mod tests {
             r_uhf.energy,
             two_atoms
         );
-        assert!(r_uhf.energy < r_rhf.energy - 0.1, "symmetry breaking must pay off");
+        assert!(
+            r_uhf.energy < r_rhf.energy - 0.1,
+            "symmetry breaking must pay off"
+        );
         // Fully broken singlet: ⟨S²⟩ → 1 (half singlet, half triplet).
         assert!(r_uhf.s_squared > 0.8, "S² = {}", r_uhf.s_squared);
     }

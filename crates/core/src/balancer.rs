@@ -68,7 +68,10 @@ pub fn fock_affinity(tasks: &[FockTask], npairs: usize) -> TaskAffinity {
             blocks
         })
         .collect();
-    TaskAffinity { touches, nblocks: npairs }
+    TaskAffinity {
+        touches,
+        nblocks: npairs,
+    }
 }
 
 /// Computes an assignment of `costs` onto `workers` with the chosen
@@ -144,8 +147,18 @@ mod tests {
     #[test]
     fn affinity_from_fock_tasks() {
         let tasks = vec![
-            FockTask { bra: 2, ket_begin: 0, ket_end: 2, est_cost: 5 },
-            FockTask { bra: 3, ket_begin: 3, ket_end: 4, est_cost: 1 },
+            FockTask {
+                bra: 2,
+                ket_begin: 0,
+                ket_end: 2,
+                est_cost: 5,
+            },
+            FockTask {
+                bra: 3,
+                ket_begin: 3,
+                ket_end: 4,
+                est_cost: 1,
+            },
         ];
         let a = fock_affinity(&tasks, 5);
         assert_eq!(a.touches[0], vec![0, 1, 2]);
@@ -157,7 +170,12 @@ mod tests {
     fn hypergraph_with_affinity_balances() {
         let costs = skewed_costs(40);
         let tasks: Vec<FockTask> = (0..40)
-            .map(|i| FockTask { bra: i % 10, ket_begin: 0, ket_end: i % 10 + 1, est_cost: 1 })
+            .map(|i| FockTask {
+                bra: i % 10,
+                ket_begin: 0,
+                ket_end: i % 10 + 1,
+                est_cost: 1,
+            })
             .collect();
         let aff = fock_affinity(&tasks, 10);
         let (a, _) = balance(BalancerKind::Hypergraph, &costs, 4, Some(&aff));
@@ -173,6 +191,11 @@ mod tests {
         let (sm, _) = balance(BalancerKind::SemiMatching, &costs, 8, None);
         let (hg, _) = balance(BalancerKind::Hypergraph, &costs, 8, None);
         let r = p.makespan(&sm) / p.makespan(&hg);
-        assert!(r < 1.1, "semi-matching {} vs hypergraph {}", p.makespan(&sm), p.makespan(&hg));
+        assert!(
+            r < 1.1,
+            "semi-matching {} vs hypergraph {}",
+            p.makespan(&sm),
+            p.makespan(&hg)
+        );
     }
 }

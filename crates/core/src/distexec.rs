@@ -15,8 +15,10 @@ use emx_chem::screening::ScreenedPairs;
 use emx_distsim::ga::GlobalArray;
 use emx_distsim::machine::MachineModel;
 use emx_distsim::nxtval::NxtVal;
-use emx_distsim::world::run_world;
+use emx_distsim::obs::publish_ga_traffic;
+use emx_distsim::world::run_world_with_obs;
 use emx_linalg::Matrix;
+use emx_obs::MetricsRegistry;
 
 /// How ranks obtain tasks in the distributed build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +68,22 @@ pub fn rhf_distributed(
     nranks: usize,
     scheduler: DistScheduler,
 ) -> (ScfResult, DistStats) {
+    rhf_distributed_observed(bm, config, nranks, scheduler, None)
+}
+
+/// [`rhf_distributed`] with observability: when `metrics` is given, the
+/// run additionally publishes NXTVAL fetch counts/latency
+/// (`distsim.nxtval_*`), world traffic and message latency
+/// (`distsim.messages` / `distsim.bytes` / `distsim.msg_latency`), and
+/// Global-Array access accounting (`distsim.ga.*`) into the registry.
+/// The SCF result and [`DistStats`] are identical either way.
+pub fn rhf_distributed_observed(
+    bm: &BasisedMolecule,
+    config: &ScfConfig,
+    nranks: usize,
+    scheduler: DistScheduler,
+    metrics: Option<&MetricsRegistry>,
+) -> (ScfResult, DistStats) {
     assert!(nranks > 0, "need at least one rank");
     let pairs = ScreenedPairs::build(bm, config.tau * 1e-2);
     let pf = ParallelFock::new(bm, &pairs, config.tau, 8);
@@ -77,8 +95,11 @@ pub fn rhf_distributed(
     let result = rhf_with(bm, config, |density: &Matrix| {
         stats.iterations += 1;
         let fock = GlobalArray::zeros(nbf, nbf, nranks);
-        let counter = NxtVal::new();
-        let (per_rank, _traffic) = run_world(nranks, machine, |ctx| {
+        let counter = match metrics {
+            Some(m) => NxtVal::with_metrics(m),
+            None => NxtVal::new(),
+        };
+        let (per_rank, _traffic) = run_world_with_obs(nranks, machine, metrics, |ctx| {
             let mut local = Matrix::zeros(nbf, nbf);
             let mut executed = 0usize;
             match scheduler {
@@ -114,6 +135,9 @@ pub fn rhf_distributed(
             executed
         });
         let (l, r, b) = fock.traffic();
+        if let Some(m) = metrics {
+            publish_ga_traffic(m, "distsim.ga", &fock);
+        }
         stats.ga_local_ops += l;
         stats.ga_remote_ops += r;
         stats.ga_remote_bytes += b;
@@ -138,7 +162,10 @@ mod tests {
         let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
         let cfg = ScfConfig::default();
         let serial = rhf(&bm, &cfg);
-        for sched in [DistScheduler::NxtVal { chunk: 2 }, DistScheduler::StaticBlock] {
+        for sched in [
+            DistScheduler::NxtVal { chunk: 2 },
+            DistScheduler::StaticBlock,
+        ] {
             let (r, stats) = rhf_distributed(&bm, &cfg, 3, sched);
             assert!(r.converged, "{}", sched.name());
             assert!(
@@ -170,6 +197,46 @@ mod tests {
         let (_, fixed) = rhf_distributed(&bm, &cfg, 2, DistScheduler::StaticBlock);
         assert!(dynamic.counter_values > 0);
         assert_eq!(fixed.counter_values, 0);
+    }
+
+    #[test]
+    fn observed_run_publishes_nxtval_and_ga_metrics() {
+        use emx_obs::{MetricValue, MetricsRegistry};
+        let bm = BasisedMolecule::assign(&Molecule::h2(1.4), BasisSet::Sto3g);
+        let cfg = ScfConfig::default();
+        let metrics = MetricsRegistry::new();
+        let (r, stats) = rhf_distributed_observed(
+            &bm,
+            &cfg,
+            2,
+            DistScheduler::NxtVal { chunk: 1 },
+            Some(&metrics),
+        );
+        assert!(r.converged);
+        let entries = metrics.snapshot();
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .value
+                .clone()
+        };
+        match get("distsim.nxtval_fetches") {
+            MetricValue::Counter(v) => assert!(v > 0, "dynamic scheduler must fetch"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("distsim.ga.remote_bytes") {
+            MetricValue::Counter(v) => assert_eq!(v, stats.ga_remote_bytes),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The GA build communicates through one-sided accumulates, not
+        // point-to-point messages, so the latency histogram is present
+        // but empty.
+        match get("distsim.msg_latency") {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 0),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

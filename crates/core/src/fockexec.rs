@@ -61,13 +61,25 @@ impl<'a> ParallelFock<'a> {
 
     /// Executes all tasks under `executor` against `density`, reducing
     /// the worker-local accumulators into the returned `G`.
+    ///
+    /// When the executor carries observability ([`Executor::with_obs`]),
+    /// every task additionally records its computed ERI quartet count
+    /// into a `chem.quartets_per_task` histogram — the decomposition's
+    /// grain-size distribution, resolved once per build.
     pub fn execute(&self, density: &Matrix, executor: &Executor) -> (Matrix, ExecutionReport) {
         let n = density.rows();
+        let quartets = executor
+            .obs
+            .as_ref()
+            .map(|o| o.metrics.histogram("chem.quartets_per_task", "count"));
         let (locals, report) = executor.run(
             self.tasks.len(),
             |_| Matrix::zeros(n, n),
             |i, g_local: &mut Matrix| {
-                self.builder.execute(&self.tasks[i], density, g_local);
+                let q = self.builder.execute(&self.tasks[i], density, g_local);
+                if let Some(h) = &quartets {
+                    h.record(q);
+                }
             },
         );
         let mut g = Matrix::zeros(n, n);
@@ -115,7 +127,9 @@ mod tests {
         let bm = water();
         let pairs = ScreenedPairs::build(&bm, 1e-12);
         let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
-        let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.2 / (1.0 + (i as f64 - j as f64).abs()));
+        let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+            0.2 / (1.0 + (i as f64 - j as f64).abs())
+        });
         d.symmetrize();
         let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
         for model in [
@@ -139,7 +153,12 @@ mod tests {
     fn scf_energy_identical_across_models() {
         let bm = water();
         let cfg = ScfConfig::default();
-        let (serial, _) = rhf_parallel(&bm, &cfg, &Executor::new(1, ExecutionModel::Serial), usize::MAX);
+        let (serial, _) = rhf_parallel(
+            &bm,
+            &cfg,
+            &Executor::new(1, ExecutionModel::Serial),
+            usize::MAX,
+        );
         let (ws, reports) = rhf_parallel(
             &bm,
             &cfg,
@@ -149,6 +168,36 @@ mod tests {
         assert!(serial.converged && ws.converged);
         assert!((serial.energy - ws.energy).abs() < 1e-9);
         assert_eq!(reports.len(), ws.iterations);
+    }
+
+    #[test]
+    fn observed_executor_records_quartets_per_task() {
+        use emx_runtime::RuntimeObs;
+        let bm = water();
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
+        let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+            0.2 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        d.symmetrize();
+        let metrics = std::sync::Arc::new(emx_obs::MetricsRegistry::new());
+        let obs = RuntimeObs::new(metrics.clone());
+        let exec =
+            Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())).with_obs(obs);
+        let (_, report) = pf.execute(&d, &exec);
+        let entries = metrics.snapshot();
+        let h = entries
+            .iter()
+            .find(|e| e.name == "chem.quartets_per_task")
+            .unwrap();
+        match &h.value {
+            emx_obs::MetricValue::Histogram(s) => {
+                assert_eq!(s.count, pf.ntasks() as u64);
+                assert!(s.sum > 0, "a water Fock build computes quartets");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(report.total_tasks_run(), pf.ntasks());
     }
 
     #[test]

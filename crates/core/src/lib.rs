@@ -41,12 +41,14 @@ pub mod workload;
 /// Common imports for examples and benches.
 pub mod prelude {
     pub use crate::balancer::{balance, fock_affinity, BalancerKind, TaskAffinity};
+    pub use crate::distexec::{
+        rhf_distributed, rhf_distributed_observed, DistScheduler, DistStats,
+    };
     pub use crate::experiments::{
         e1_scaling, e2_headline, e3_balancer_quality, e3_comm_aware, e4_partition_cost,
         e5_granularity, e6_variability, e7_overheads, e8_distributed, e9_weak_scaling,
         overhead_decomposition, synthetic_affinity, HeadlineResult,
     };
-    pub use crate::distexec::{rhf_distributed, DistScheduler, DistStats};
     pub use crate::fockexec::{rhf_parallel, ParallelFock};
     pub use crate::table::{fmt3, fmt_secs, Table};
     pub use crate::workload::{

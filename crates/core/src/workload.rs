@@ -65,10 +65,17 @@ pub fn measure_fock_workload(
     let costs: Vec<f64> = report
         .task_durations()
         .into_iter()
-        .map(|d| d.expect("traced serial run covers every task").as_secs_f64())
+        .map(|d| {
+            d.expect("traced serial run covers every task")
+                .as_secs_f64()
+        })
         .collect();
     let affinity = fock_affinity(pf.tasks(), pairs.len());
-    KernelWorkload { name: name.into(), costs, affinity: Some(affinity) }
+    KernelWorkload {
+        name: name.into(),
+        costs,
+        affinity: Some(affinity),
+    }
 }
 
 /// Inspector-estimate workload (no execution): model-based costs scaled
@@ -94,7 +101,11 @@ pub fn estimate_fock_workload(
         }
     }
     let affinity = fock_affinity(pf.tasks(), pairs.len());
-    KernelWorkload { name: name.into(), costs, affinity: Some(affinity) }
+    KernelWorkload {
+        name: name.into(),
+        costs,
+        affinity: Some(affinity),
+    }
 }
 
 /// Synthetic workload with total work scaled to `total_seconds`.
@@ -113,7 +124,11 @@ pub fn synthetic_workload(
             *c *= scale;
         }
     }
-    KernelWorkload { name: name.into(), costs, affinity: None }
+    KernelWorkload {
+        name: name.into(),
+        costs,
+        affinity: None,
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +160,11 @@ mod tests {
         let mea = measure_fock_workload(&mol, BasisSet::Sto3g, usize::MAX, 1e-10, "m");
         assert_eq!(est.ntasks(), mea.ntasks());
         let argmax = |v: &[f64]| {
-            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
         };
         let e = argmax(&est.costs);
         // Measured rank of the estimated-max task must be in the top

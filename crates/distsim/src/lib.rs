@@ -30,6 +30,7 @@
 pub mod ga;
 pub mod machine;
 pub mod nxtval;
+pub mod obs;
 pub mod sim;
 pub mod simviz;
 pub mod world;
@@ -39,9 +40,10 @@ pub mod prelude {
     pub use crate::ga::GlobalArray;
     pub use crate::machine::MachineModel;
     pub use crate::nxtval::NxtVal;
+    pub use crate::obs::{publish_ga_traffic, publish_sim_metrics, sim_report_to_chrome};
     pub use crate::sim::{
         simulate, simulate_static_with_data, DataLayout, SimConfig, SimModel, SimReport,
     };
     pub use crate::simviz::{render_sim_timeline, sim_utilization_curve};
-    pub use crate::world::{run_world, Message, RankCtx, Traffic};
+    pub use crate::world::{run_world, run_world_with_obs, Message, RankCtx, Traffic};
 }

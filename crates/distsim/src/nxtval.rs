@@ -8,18 +8,45 @@
 //! by the thread-backed runtime and the contention microbenchmarks of
 //! experiment E7.
 
+use emx_obs::{Counter, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Metric handles of an instrumented counter (see
+/// [`NxtVal::with_metrics`]).
+#[derive(Debug)]
+struct NxtValObs {
+    fetches: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
 
 /// A shared task counter (the NXTVAL service).
 #[derive(Debug, Default)]
 pub struct NxtVal {
     counter: AtomicU64,
+    obs: Option<NxtValObs>,
 }
 
 impl NxtVal {
     /// Fresh counter starting at zero.
     pub fn new() -> NxtVal {
-        NxtVal { counter: AtomicU64::new(0) }
+        NxtVal {
+            counter: AtomicU64::new(0),
+            obs: None,
+        }
+    }
+
+    /// Fresh counter publishing `distsim.nxtval_fetches` and
+    /// `distsim.nxtval_fetch_latency` (ns) into `metrics` — the E7
+    /// contention microbenchmark's view of counter serialization.
+    pub fn with_metrics(metrics: &MetricsRegistry) -> NxtVal {
+        NxtVal {
+            counter: AtomicU64::new(0),
+            obs: Some(NxtValObs {
+                fetches: metrics.counter("distsim.nxtval_fetches", "count"),
+                latency: metrics.histogram("distsim.nxtval_fetch_latency", "ns"),
+            }),
+        }
     }
 
     /// Claims the next `chunk` values; returns the first of the claimed
@@ -27,7 +54,17 @@ impl NxtVal {
     #[inline]
     pub fn next(&self, chunk: u64) -> u64 {
         debug_assert!(chunk > 0);
-        self.counter.fetch_add(chunk, Ordering::Relaxed)
+        match &self.obs {
+            None => self.counter.fetch_add(chunk, Ordering::Relaxed),
+            Some(o) => {
+                let t0 = std::time::Instant::now();
+                let v = self.counter.fetch_add(chunk, Ordering::Relaxed);
+                o.fetches.inc();
+                o.latency
+                    .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                v
+            }
+        }
     }
 
     /// Current value (for monitoring/tests; racy by nature).
@@ -57,15 +94,39 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_counter_records_fetches() {
+        let metrics = MetricsRegistry::new();
+        let c = NxtVal::with_metrics(&metrics);
+        for _ in 0..10 {
+            c.next(4);
+        }
+        let entries = metrics.snapshot();
+        let fetches = entries
+            .iter()
+            .find(|e| e.name == "distsim.nxtval_fetches")
+            .unwrap();
+        match &fetches.value {
+            emx_obs::MetricValue::Counter(v) => assert_eq!(*v, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        let lat = entries
+            .iter()
+            .find(|e| e.name == "distsim.nxtval_fetch_latency")
+            .unwrap();
+        match &lat.value {
+            emx_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn concurrent_claims_never_overlap() {
         let c = NxtVal::new();
         let nthreads = 4;
         let per = 500u64;
         let claims: Vec<Vec<u64>> = std::thread::scope(|s| {
             (0..nthreads)
-                .map(|_| {
-                    s.spawn(|| (0..per).map(|_| c.next(2)).collect::<Vec<u64>>())
-                })
+                .map(|_| s.spawn(|| (0..per).map(|_| c.next(2)).collect::<Vec<u64>>()))
                 .collect::<Vec<_>>()
                 .into_iter()
                 .map(|h| h.join().unwrap())
@@ -74,7 +135,11 @@ mod tests {
         let mut all: Vec<u64> = claims.into_iter().flatten().collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), (nthreads as u64 * per) as usize, "duplicate ranges");
+        assert_eq!(
+            all.len(),
+            (nthreads as u64 * per) as usize,
+            "duplicate ranges"
+        );
         assert_eq!(c.peek(), nthreads as u64 * per * 2);
     }
 }

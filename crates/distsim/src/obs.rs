@@ -1,0 +1,158 @@
+//! Observability adapters for the simulated distributed substrate:
+//! Chrome-trace export of DES timelines and metric publication for
+//! simulation reports and Global-Array traffic.
+//!
+//! Metric names (all prefixed by the caller):
+//!
+//! | suffix              | kind    | unit  | source                      |
+//! |---------------------|---------|-------|-----------------------------|
+//! | `.makespan_ms`      | gauge   | ms    | [`SimReport::makespan`]     |
+//! | `.utilization`      | gauge   | ratio | [`SimReport::utilization`]  |
+//! | `.steals`           | counter | count | [`SimReport::steals`]       |
+//! | `.steal_attempts`   | counter | count | [`SimReport::steal_attempts`] |
+//! | `.counter_fetches`  | counter | count | [`SimReport::counter_fetches`] |
+//! | `.local_ops`        | counter | count | [`GlobalArray::traffic`]    |
+//! | `.remote_ops`       | counter | count | [`GlobalArray::traffic`]    |
+//! | `.remote_bytes`     | counter | bytes | [`GlobalArray::traffic`]    |
+
+use crate::ga::GlobalArray;
+use crate::sim::SimReport;
+use emx_obs::{ChromeTrace, MetricsRegistry};
+
+/// Converts a traced simulation report into one Chrome-trace process:
+/// one thread track per simulated worker, one `"task"` slice per busy
+/// interval. Requires the simulation to have run with
+/// `SimConfig::trace = true` (untraced reports yield an empty process).
+pub fn sim_report_to_chrome(report: &SimReport, pid: u32, label: &str) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    trace.set_process_name(pid, label.to_string());
+    for (w, intervals) in report.traces.iter().enumerate() {
+        trace.add_worker_intervals(pid, w as u32, "task", "sim", intervals);
+    }
+    trace
+}
+
+/// Publishes a simulation report's headline numbers under `prefix`.
+pub fn publish_sim_metrics(metrics: &MetricsRegistry, prefix: &str, report: &SimReport) {
+    metrics.set_gauge(
+        &format!("{prefix}.makespan_ms"),
+        "ms",
+        report.makespan * 1e3,
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.utilization"),
+        "ratio",
+        report.utilization(),
+    );
+    metrics
+        .counter(&format!("{prefix}.steals"), "count")
+        .add(report.steals);
+    metrics
+        .counter(&format!("{prefix}.steal_attempts"), "count")
+        .add(report.steal_attempts);
+    metrics
+        .counter(&format!("{prefix}.counter_fetches"), "count")
+        .add(report.counter_fetches);
+}
+
+/// Publishes a Global Array's access accounting under `prefix`.
+pub fn publish_ga_traffic(metrics: &MetricsRegistry, prefix: &str, ga: &GlobalArray) {
+    let (local, remote, bytes) = ga.traffic();
+    metrics
+        .counter(&format!("{prefix}.local_ops"), "count")
+        .add(local);
+    metrics
+        .counter(&format!("{prefix}.remote_ops"), "count")
+        .add(remote);
+    metrics
+        .counter(&format!("{prefix}.remote_bytes"), "bytes")
+        .add(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+    use crate::sim::{simulate, SimConfig, SimModel};
+    use emx_obs::{Json, MetricValue};
+
+    fn traced_report() -> SimReport {
+        let costs: Vec<f64> = (1..=16).map(|i| i as f64 * 1e-6).collect();
+        let cfg = SimConfig {
+            trace: true,
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(4)
+        };
+        simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg)
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_sim_worker() {
+        let r = traced_report();
+        let trace = sim_report_to_chrome(&r, 3, "sim ws");
+        let v = Json::parse(&trace.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let tracks = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .count();
+        assert_eq!(tracks, 4);
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .count();
+        assert_eq!(slices, r.traces.iter().map(|t| t.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn sim_metrics_published() {
+        let r = traced_report();
+        let m = MetricsRegistry::new();
+        publish_sim_metrics(&m, "sim", &r);
+        let entries = m.snapshot();
+        let steals = entries.iter().find(|e| e.name == "sim.steals").unwrap();
+        match &steals.value {
+            MetricValue::Counter(v) => assert_eq!(*v, r.steals),
+            other => panic!("unexpected {other:?}"),
+        }
+        let util = entries
+            .iter()
+            .find(|e| e.name == "sim.utilization")
+            .unwrap();
+        match &util.value {
+            MetricValue::Gauge(v) => assert!((*v - r.utilization()).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ga_traffic_published() {
+        let ga = GlobalArray::zeros(8, 8, 2);
+        ga.put(0, 0, 0, 8, 8, &vec![1.0; 64]); // half local, half remote
+        let _ = ga.get(1, 0, 0, 4, 8); // remote for rank 1
+        let m = MetricsRegistry::new();
+        publish_ga_traffic(&m, "ga", &ga);
+        let (local, remote, bytes) = ga.traffic();
+        let entries = m.snapshot();
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap()
+                .value
+                .clone()
+        };
+        match get("ga.local_ops") {
+            MetricValue::Counter(v) => assert_eq!(v, local),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("ga.remote_ops") {
+            MetricValue::Counter(v) => assert_eq!(v, remote),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("ga.remote_bytes") {
+            MetricValue::Counter(v) => assert_eq!(v, bytes),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -176,15 +176,17 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
         SimModel::SeededStealing { owners, steal_half } => {
             simulate_stealing(costs, *steal_half, None, Some(owners), cfg)
         }
-        SimModel::HierarchicalStealing { steal_half, node_size, remote_factor } => {
-            simulate_stealing(
-                costs,
-                *steal_half,
-                Some(((*node_size).max(1), remote_factor.max(1.0))),
-                None,
-                cfg,
-            )
-        }
+        SimModel::HierarchicalStealing {
+            steal_half,
+            node_size,
+            remote_factor,
+        } => simulate_stealing(
+            costs,
+            *steal_half,
+            Some(((*node_size).max(1), remote_factor.max(1.0))),
+            None,
+            cfg,
+        ),
     }
 }
 
@@ -197,7 +199,9 @@ enum ChunkPolicy {
 
 /// Effective duration of `cost` started at time `t` on `worker`.
 fn stretched(cost: f64, worker: usize, t: f64, cfg: &SimConfig) -> f64 {
-    let f = cfg.variability.factor(worker, cfg.workers, Duration::from_secs_f64(t.max(0.0)));
+    let f = cfg
+        .variability
+        .factor(worker, cfg.workers, Duration::from_secs_f64(t.max(0.0)));
     cost * f
 }
 
@@ -207,7 +211,11 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
     let mut busy = vec![0.0; p];
     let mut clock = vec![0.0; p];
     let mut tasks = vec![0usize; p];
-    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
         assert!(w < p, "owner out of range");
@@ -263,11 +271,17 @@ impl DataLayout {
         let block_home = votes
             .into_iter()
             .map(|v| {
-                v.iter().enumerate().max_by_key(|&(i, &c)| (c, usize::MAX - i)).map_or(0, |(i, _)| i)
-                    as u32
+                v.iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+                    .map_or(0, |(i, _)| i) as u32
             })
             .collect();
-        DataLayout { task_blocks, block_home, block_bytes }
+        DataLayout {
+            task_blocks,
+            block_home,
+            block_bytes,
+        }
     }
 }
 
@@ -287,7 +301,11 @@ pub fn simulate_static_with_data(
     cfg: &SimConfig,
 ) -> SimReport {
     assert_eq!(owners.len(), costs.len(), "assignment length mismatch");
-    assert_eq!(layout.task_blocks.len(), costs.len(), "layout length mismatch");
+    assert_eq!(
+        layout.task_blocks.len(),
+        costs.len(),
+        "layout length mismatch"
+    );
     let p = cfg.workers;
     let m = &cfg.machine;
     let xfer = m.transfer_time(layout.block_bytes);
@@ -299,7 +317,11 @@ pub fn simulate_static_with_data(
     let mut comm = vec![0.0; p];
     let mut clock = vec![0.0; p];
     let mut tasks = vec![0usize; p];
-    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
 
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
@@ -361,7 +383,11 @@ fn simulate_counter_family(
 
     let mut busy = vec![0.0; p];
     let mut tasks = vec![0usize; p];
-    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
     let mut fetches = 0u64;
     let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
     let mut counter_free = vec![0.0f64; groups];
@@ -451,7 +477,11 @@ fn simulate_stealing(
     let mut remaining = n;
     let mut busy = vec![0.0; p];
     let mut tasks = vec![0usize; p];
-    let mut traces = if cfg.trace { vec![Vec::new(); p] } else { Vec::new() };
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
     let mut steals = 0u64;
     let mut attempts = 0u64;
     let mut makespan = 0.0f64;
@@ -493,8 +523,7 @@ fn simulate_stealing(
                 let node = w / node_size;
                 let lo = node * node_size;
                 let hi = ((node + 1) * node_size).min(p);
-                let local_has_work =
-                    (lo..hi).any(|v| v != w && !queues[v].is_empty());
+                let local_has_work = (lo..hi).any(|v| v != w && !queues[v].is_empty());
                 if local_has_work && hi - lo > 1 {
                     let span = hi - lo - 1;
                     let mut v = lo + (rng.next() as usize) % span;
@@ -530,12 +559,18 @@ fn simulate_stealing(
                 }
             }
             steals += 1;
-            heap.push(Reverse((OrdF64(t_resolved + take as f64 * m.steal_transfer), seq, w)));
+            heap.push(Reverse((
+                OrdF64(t_resolved + take as f64 * m.steal_transfer),
+                seq,
+                w,
+            )));
         } else {
             // Failed attempt: retry no earlier than the next event in
             // the system, so zero-latency machines cannot livelock at a
             // frozen timestamp while another worker finishes a task.
-            let next_event = heap.peek().map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
+            let next_event = heap
+                .peek()
+                .map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
             heap.push(Reverse((OrdF64(t_resolved.max(next_event)), seq, w)));
         }
         seq += 1;
@@ -571,7 +606,9 @@ struct SplitMix {
 
 impl SplitMix {
     fn new(seed: u64) -> SplitMix {
-        SplitMix { state: seed ^ 0x1234_5678_9abc_def0 }
+        SplitMix {
+            state: seed ^ 0x1234_5678_9abc_def0,
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -588,17 +625,27 @@ mod tests {
     use super::*;
 
     fn block_assignment(n: usize, p: usize) -> Vec<u32> {
-        (0..n).map(|i| emx_runtime::block_owner(i, n, p) as u32).collect()
+        (0..n)
+            .map(|i| emx_runtime::block_owner(i, n, p) as u32)
+            .collect()
     }
 
     fn ideal_cfg(p: usize) -> SimConfig {
-        SimConfig { workers: p, machine: MachineModel::ideal(), ..SimConfig::new(p) }
+        SimConfig {
+            workers: p,
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(p)
+        }
     }
 
     #[test]
     fn static_uniform_is_perfect() {
         let costs = vec![1.0; 16];
-        let r = simulate(&costs, &SimModel::Static(block_assignment(16, 4)), &ideal_cfg(4));
+        let r = simulate(
+            &costs,
+            &SimModel::Static(block_assignment(16, 4)),
+            &ideal_cfg(4),
+        );
         assert!((r.makespan - 4.0).abs() < 1e-12);
         assert!((r.utilization() - 1.0).abs() < 1e-12);
     }
@@ -607,7 +654,11 @@ mod tests {
     fn static_skewed_pays_imbalance() {
         // Triangular costs, block partition: the last block dominates.
         let costs: Vec<f64> = (1..=16).map(|i| i as f64).collect();
-        let r = simulate(&costs, &SimModel::Static(block_assignment(16, 4)), &ideal_cfg(4));
+        let r = simulate(
+            &costs,
+            &SimModel::Static(block_assignment(16, 4)),
+            &ideal_cfg(4),
+        );
         // Last worker owns 13+14+15+16 = 58 of 136 total.
         assert!((r.makespan - 58.0).abs() < 1e-12);
         assert!(r.utilization() < 0.6);
@@ -631,7 +682,11 @@ mod tests {
         let mut cfg = ideal_cfg(64);
         cfg.machine.counter_service = 1e-3;
         let r = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
-        assert!(r.makespan >= 1000.0 * 1e-3 - 1e-9, "makespan {}", r.makespan);
+        assert!(
+            r.makespan >= 1000.0 * 1e-3 - 1e-9,
+            "makespan {}",
+            r.makespan
+        );
         // Chunking fixes it.
         let r2 = simulate(&costs, &SimModel::Counter { chunk: 100 }, &cfg);
         assert!(r2.makespan < r.makespan / 10.0);
@@ -687,8 +742,7 @@ mod tests {
         // transfers nothing, the scattered one transfers plenty.
         let ntasks = 64;
         let nblocks = 4;
-        let task_blocks: Vec<Vec<u32>> =
-            (0..ntasks).map(|t| vec![(t / 16) as u32]).collect();
+        let task_blocks: Vec<Vec<u32>> = (0..ntasks).map(|t| vec![(t / 16) as u32]).collect();
         let costs = vec![1e-4; ntasks];
         let clustered: Vec<u32> = (0..ntasks).map(|t| (t / 16) as u32).collect();
         let scattered: Vec<u32> = (0..ntasks).map(|t| (t % 4) as u32).collect();
@@ -715,7 +769,10 @@ mod tests {
         let balanced: Vec<u32> = (0..512).map(|i| (i % p) as u32).collect();
         let seeded = simulate(
             &costs,
-            &SimModel::SeededStealing { owners: balanced, steal_half: true },
+            &SimModel::SeededStealing {
+                owners: balanced,
+                steal_half: true,
+            },
             &cfg,
         );
         let block = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
@@ -803,8 +860,14 @@ mod tests {
         let mut cfg = ideal_cfg(p);
         cfg.machine.counter_service = 1e-9;
         let global = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
-        let grouped =
-            simulate(&costs, &SimModel::GroupCounters { groups: 4, chunk: 1 }, &cfg);
+        let grouped = simulate(
+            &costs,
+            &SimModel::GroupCounters {
+                groups: 4,
+                chunk: 1,
+            },
+            &cfg,
+        );
         let st = simulate(&costs, &SimModel::Static(block_assignment(256, p)), &cfg);
         assert_eq!(grouped.tasks.iter().sum::<usize>(), 256);
         assert!(global.makespan <= grouped.makespan + 1e-9);
@@ -819,8 +882,14 @@ mod tests {
         let mut cfg = ideal_cfg(16);
         cfg.machine.counter_service = 1e-4;
         let global = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
-        let grouped =
-            simulate(&costs, &SimModel::GroupCounters { groups: 4, chunk: 1 }, &cfg);
+        let grouped = simulate(
+            &costs,
+            &SimModel::GroupCounters {
+                groups: 4,
+                chunk: 1,
+            },
+            &cfg,
+        );
         assert!(
             grouped.makespan < 0.3 * global.makespan,
             "grouped {} vs global {}",
@@ -833,9 +902,16 @@ mod tests {
     fn stealing_balances_skewed_costs() {
         let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
         let p = 8;
-        let static_r =
-            simulate(&costs, &SimModel::Static(block_assignment(64, p)), &ideal_cfg(p));
-        let ws_r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &ideal_cfg(p));
+        let static_r = simulate(
+            &costs,
+            &SimModel::Static(block_assignment(64, p)),
+            &ideal_cfg(p),
+        );
+        let ws_r = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &ideal_cfg(p),
+        );
         assert!(
             ws_r.makespan < 0.8 * static_r.makespan,
             "ws {} vs static {}",
@@ -849,16 +925,30 @@ mod tests {
     #[test]
     fn stealing_with_costs_overheads_still_terminates() {
         let costs = vec![1e-6; 500];
-        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: false }, &SimConfig::new(16));
+        let r = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: false },
+            &SimConfig::new(16),
+        );
         assert_eq!(r.tasks.iter().sum::<usize>(), 500);
         assert!(r.makespan > 0.0);
     }
 
     #[test]
     fn stealing_deterministic_given_seed() {
-        let costs: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64 * 1e-5 + 1e-6).collect();
-        let a = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &SimConfig::new(8));
-        let b = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &SimConfig::new(8));
+        let costs: Vec<f64> = (0..100)
+            .map(|i| ((i * 7) % 13) as f64 * 1e-5 + 1e-6)
+            .collect();
+        let a = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &SimConfig::new(8),
+        );
+        let b = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &SimConfig::new(8),
+        );
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.steals, b.steals);
     }
@@ -868,7 +958,10 @@ mod tests {
         let costs = vec![1.0; 64];
         let p = 8;
         let mut cfg = ideal_cfg(p);
-        cfg.variability = Variability::SlowCores { factor: 3.0, count: 1 };
+        cfg.variability = Variability::SlowCores {
+            factor: 3.0,
+            count: 1,
+        };
         let st = simulate(&costs, &SimModel::Static(block_assignment(64, p)), &cfg);
         let ws = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
         // Static: slow worker takes 8 tasks × 3 = 24 s. Stealing: others
@@ -883,7 +976,10 @@ mod tests {
             SimModel::Static(vec![]),
             SimModel::Counter { chunk: 4 },
             SimModel::Guided { min_chunk: 2 },
-            SimModel::GroupCounters { groups: 2, chunk: 4 },
+            SimModel::GroupCounters {
+                groups: 2,
+                chunk: 4,
+            },
             SimModel::WorkStealing { steal_half: true },
         ] {
             let r = simulate(&[], &model, &SimConfig::new(4));
@@ -899,18 +995,30 @@ mod tests {
             SimModel::Static(vec![0; 10]),
             SimModel::Counter { chunk: 3 },
             SimModel::Guided { min_chunk: 1 },
-            SimModel::GroupCounters { groups: 4, chunk: 2 },
+            SimModel::GroupCounters {
+                groups: 4,
+                chunk: 2,
+            },
             SimModel::WorkStealing { steal_half: true },
         ] {
             let r = simulate(&costs, &model, &ideal_cfg(1));
-            assert!((r.makespan - 55.0).abs() < 1e-9, "{}: {}", model.name(), r.makespan);
+            assert!(
+                (r.makespan - 55.0).abs() < 1e-9,
+                "{}: {}",
+                model.name(),
+                r.makespan
+            );
         }
     }
 
     #[test]
     fn utilization_bounds() {
         let costs: Vec<f64> = (1..=32).map(|i| i as f64).collect();
-        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &ideal_cfg(4));
+        let r = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &ideal_cfg(4),
+        );
         let u = r.utilization();
         assert!((0.0..=1.0).contains(&u));
         assert!(u > 0.8, "stealing should utilize well: {u}");

@@ -7,13 +7,39 @@
 
 use crate::sim::SimReport;
 
-/// Renders one `#`/`·` strip per worker over `width` time buckets. At
-/// most `max_workers` rows are shown (with an ellipsis line if
-/// truncated). Requires the simulation to have run with
-/// `SimConfig::trace = true`.
+/// Maps a bucket's busy fraction to its strip glyph (mirrors
+/// `emx_runtime::timeline`): `·` empty, `▂` ≤ ¼ busy, `▅` ≤ ¾, `#`
+/// (near-)solid.
+fn occupancy_glyph(fraction: f64) -> char {
+    if fraction < 1e-9 {
+        '·'
+    } else if fraction <= 0.25 {
+        '▂'
+    } else if fraction <= 0.75 {
+        '▅'
+    } else {
+        '#'
+    }
+}
+
+/// The rendered span: the makespan, extended over any trace event that
+/// ends after it rather than clipping such events away.
+fn effective_span(report: &SimReport) -> f64 {
+    report
+        .traces
+        .iter()
+        .flatten()
+        .map(|&(_, e)| e)
+        .fold(report.makespan, f64::max)
+}
+
+/// Renders one occupancy strip per worker over `width` time buckets
+/// (`·`/`▂`/`▅`/`#` by busy fraction). At most `max_workers` rows are
+/// shown (with an ellipsis line if truncated). Requires the simulation
+/// to have run with `SimConfig::trace = true`.
 pub fn render_sim_timeline(report: &SimReport, width: usize, max_workers: usize) -> String {
     assert!(width > 0, "need at least one column");
-    let wall = report.makespan;
+    let wall = effective_span(report);
     let mut out = String::new();
     if wall <= 0.0 || report.traces.is_empty() {
         return out;
@@ -24,21 +50,24 @@ pub fn render_sim_timeline(report: &SimReport, width: usize, max_workers: usize)
         accumulate(events, wall, bucket, &mut busy);
         out.push_str(&format!("w{w:<4}|"));
         for &x in &busy {
-            out.push(if x >= 0.5 * bucket { '#' } else { '·' });
+            out.push(occupancy_glyph(x / bucket));
         }
         out.push_str("|\n");
     }
     if report.traces.len() > max_workers {
-        out.push_str(&format!("… {} more workers\n", report.traces.len() - max_workers));
+        out.push_str(&format!(
+            "… {} more workers\n",
+            report.traces.len() - max_workers
+        ));
     }
     out
 }
 
 /// Fraction of workers busy in each of `buckets` equal slices of the
-/// simulated makespan.
+/// simulated span (makespan, extended over late-ending trace events).
 pub fn sim_utilization_curve(report: &SimReport, buckets: usize) -> Vec<f64> {
     assert!(buckets > 0, "need at least one bucket");
-    let wall = report.makespan;
+    let wall = effective_span(report);
     if wall <= 0.0 || report.traces.is_empty() {
         return vec![0.0; buckets];
     }
@@ -74,7 +103,11 @@ mod tests {
     use crate::sim::{simulate, SimConfig, SimModel};
 
     fn traced_cfg(p: usize) -> SimConfig {
-        SimConfig { trace: true, machine: crate::machine::MachineModel::ideal(), ..SimConfig::new(p) }
+        SimConfig {
+            trace: true,
+            machine: crate::machine::MachineModel::ideal(),
+            ..SimConfig::new(p)
+        }
     }
 
     #[test]
@@ -88,13 +121,20 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains('·'), "worker 0 has an idle tail: {s}");
-        assert!(!lines[3].contains('·'), "worker 3 is the critical path: {s}");
+        assert!(
+            !lines[3].contains('·'),
+            "worker 3 is the critical path: {s}"
+        );
     }
 
     #[test]
     fn stealing_timeline_is_dense() {
         let costs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
-        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &traced_cfg(4));
+        let r = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &traced_cfg(4),
+        );
         let u = sim_utilization_curve(&r, 10);
         let avg = u.iter().sum::<f64>() / u.len() as f64;
         assert!(avg > 0.85, "stealing keeps everyone busy: {u:?}");
@@ -106,6 +146,33 @@ mod tests {
         let r = simulate(&costs, &SimModel::Counter { chunk: 1 }, &SimConfig::new(2));
         assert!(render_sim_timeline(&r, 10, 4).is_empty());
         assert_eq!(sim_utilization_curve(&r, 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn partial_buckets_render_fractional_glyphs() {
+        // Hand-built report: one worker busy for 30 % of the span.
+        let r = SimReport {
+            traces: vec![vec![(0.0, 0.3)]],
+            makespan: 1.0,
+            ..simulate(&[1.0], &SimModel::Counter { chunk: 1 }, &traced_cfg(1))
+        };
+        let s = render_sim_timeline(&r, 1, 4);
+        assert_eq!(s.trim_end(), "w0   |▅|");
+        let s = render_sim_timeline(&r, 10, 4);
+        assert_eq!(s.trim_end(), "w0   |###·······|");
+    }
+
+    #[test]
+    fn event_past_makespan_extends_span() {
+        let r = SimReport {
+            traces: vec![vec![(0.5, 2.0)]],
+            makespan: 1.0,
+            ..simulate(&[1.0], &SimModel::Counter { chunk: 1 }, &traced_cfg(1))
+        };
+        let s = render_sim_timeline(&r, 4, 4);
+        assert_eq!(s.trim_end(), "w0   |·###|");
+        let u = sim_utilization_curve(&r, 4);
+        assert!(u[3] > 0.99, "{u:?}");
     }
 
     #[test]

@@ -10,8 +10,10 @@
 
 use crate::machine::MachineModel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use emx_obs::{Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Instant;
 
 /// A message between ranks: a tag plus a payload of doubles.
 #[derive(Debug, Clone)]
@@ -22,6 +24,8 @@ pub struct Message {
     pub tag: u64,
     /// Payload.
     pub data: Vec<f64>,
+    /// Send timestamp, stamped only when the world records latency.
+    sent: Option<Instant>,
 }
 
 /// Shared communication state.
@@ -33,6 +37,8 @@ struct Plumbing {
     /// Total messages and payload bytes sent (traffic accounting).
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Send-to-match latency histogram (ns), when observability is on.
+    msg_latency: Option<Arc<Histogram>>,
 }
 
 /// Per-rank communication handle.
@@ -52,9 +58,17 @@ impl RankCtx {
     pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.nranks, "rank out of range");
         self.plumbing.messages.fetch_add(1, Ordering::Relaxed);
-        self.plumbing.bytes.fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        self.plumbing
+            .bytes
+            .fetch_add((data.len() * 8) as u64, Ordering::Relaxed);
+        let sent = self.plumbing.msg_latency.as_ref().map(|_| Instant::now());
         self.plumbing.senders[to]
-            .send(Message { from: self.rank, tag, data })
+            .send(Message {
+                from: self.rank,
+                tag,
+                data,
+                sent,
+            })
             .expect("receiver alive for the world's duration");
     }
 
@@ -63,15 +77,24 @@ impl RankCtx {
     pub fn recv(&self, from: usize, tag: u64) -> Message {
         let mut parked = self.parked.borrow_mut();
         if let Some(pos) = parked.iter().position(|m| m.from == from && m.tag == tag) {
-            return parked.remove(pos);
+            return self.observe_match(parked.remove(pos));
         }
         loop {
             let m = self.mailbox.recv().expect("world alive");
             if m.from == from && m.tag == tag {
-                return m;
+                return self.observe_match(m);
             }
             parked.push(m);
         }
+    }
+
+    /// Records send-to-match latency (includes time spent parked — the
+    /// receiver's wait is part of the message cost the paper discusses).
+    fn observe_match(&self, m: Message) -> Message {
+        if let (Some(h), Some(sent)) = (&self.plumbing.msg_latency, m.sent) {
+            h.record(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        m
     }
 
     /// Barrier across all ranks.
@@ -145,6 +168,22 @@ where
     R: Send,
     F: Fn(&RankCtx) -> R + Sync,
 {
+    run_world_with_obs(nranks, machine, None, body)
+}
+
+/// [`run_world`] with observability: when `metrics` is given, the run
+/// publishes `distsim.messages` / `distsim.bytes` counters and a
+/// `distsim.msg_latency` histogram (send-to-match, ns) into it.
+pub fn run_world_with_obs<R, F>(
+    nranks: usize,
+    machine: MachineModel,
+    metrics: Option<&MetricsRegistry>,
+    body: F,
+) -> (Vec<R>, Traffic)
+where
+    R: Send,
+    F: Fn(&RankCtx) -> R + Sync,
+{
     assert!(nranks > 0, "need at least one rank");
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
@@ -159,6 +198,7 @@ where
         barrier: Barrier::new(nranks),
         messages: AtomicU64::new(0),
         bytes: AtomicU64::new(0),
+        msg_latency: metrics.map(|m| m.histogram("distsim.msg_latency", "ns")),
     });
 
     let results = std::thread::scope(|s| {
@@ -180,12 +220,19 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect::<Vec<R>>()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect::<Vec<R>>()
     });
     let traffic = Traffic {
         messages: plumbing.messages.load(Ordering::Relaxed),
         bytes: plumbing.bytes.load(Ordering::Relaxed),
     };
+    if let Some(m) = metrics {
+        m.counter("distsim.messages", "count").add(traffic.messages);
+        m.counter("distsim.bytes", "bytes").add(traffic.bytes);
+    }
     (results, traffic)
 }
 
@@ -257,6 +304,46 @@ mod tests {
             }
         });
         assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn observed_world_publishes_traffic_and_latency() {
+        let metrics = MetricsRegistry::new();
+        let (_, traffic) = run_world_with_obs(4, MachineModel::default(), Some(&metrics), |ctx| {
+            let next = (ctx.rank + 1) % ctx.nranks;
+            let prev = (ctx.rank + ctx.nranks - 1) % ctx.nranks;
+            ctx.send(next, 7, vec![ctx.rank as f64]);
+            ctx.recv(prev, 7).data[0]
+        });
+        let entries = metrics.snapshot();
+        let get = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap()
+                .value
+                .clone()
+        };
+        match get("distsim.messages") {
+            emx_obs::MetricValue::Counter(v) => assert_eq!(v, traffic.messages),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("distsim.bytes") {
+            emx_obs::MetricValue::Counter(v) => assert_eq!(v, traffic.bytes),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("distsim.msg_latency") {
+            emx_obs::MetricValue::Histogram(h) => assert_eq!(h.count, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_world_registers_nothing() {
+        // run_world must stay metric-free.
+        let metrics = MetricsRegistry::new();
+        let _ = run_world(2, MachineModel::default(), |ctx| ctx.rank);
+        assert!(metrics.snapshot().is_empty());
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<Eigen> {
     }
     let asym = a.max_asymmetry();
     if asym > 1e-8 {
-        return Err(LinalgError::NotSymmetric { max_asymmetry: asym });
+        return Err(LinalgError::NotSymmetric {
+            max_asymmetry: asym,
+        });
     }
     let n = a.rows();
     let mut m = a.clone();
@@ -66,7 +68,10 @@ pub fn jacobi_eigen(a: &Matrix, tol: f64, max_sweeps: usize) -> Result<Eigen> {
     if off <= tol * full_norm {
         Ok(sorted_eigen(m, v))
     } else {
-        Err(LinalgError::NoConvergence { iterations: max_sweeps, residual: off })
+        Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+            residual: off,
+        })
     }
 }
 
@@ -144,7 +149,11 @@ mod tests {
 
     fn reconstruct(e: &Eigen) -> Matrix {
         let d = Matrix::from_diag(&e.values);
-        e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap()
+        e.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
     }
 
     #[test]
@@ -177,12 +186,18 @@ mod tests {
         let r = reconstruct(&e);
         let mut sym = a.clone();
         sym.symmetrize();
-        assert!(r.max_abs_diff(&sym) < 1e-9, "diff = {}", r.max_abs_diff(&sym));
+        assert!(
+            r.max_abs_diff(&sym) < 1e-9,
+            "diff = {}",
+            r.max_abs_diff(&sym)
+        );
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_fn(8, 8, |i, j| ((i + 1) * (j + 1)) as f64 / (1.0 + (i as f64 - j as f64).powi(2)));
+        let a = Matrix::from_fn(8, 8, |i, j| {
+            ((i + 1) * (j + 1)) as f64 / (1.0 + (i as f64 - j as f64).powi(2))
+        });
         let mut s = a.clone();
         s.symmetrize();
         let e = jacobi_eigen(&s, 1e-13, 100).unwrap();
@@ -203,7 +218,9 @@ mod tests {
 
     #[test]
     fn trace_is_preserved() {
-        let a = Matrix::from_fn(7, 7, |i, j| 1.0 / (1.0 + i as f64 + j as f64) + if i == j { 2.0 } else { 0.0 });
+        let a = Matrix::from_fn(7, 7, |i, j| {
+            1.0 / (1.0 + i as f64 + j as f64) + if i == j { 2.0 } else { 0.0 }
+        });
         let mut s = a.clone();
         s.symmetrize();
         let e = jacobi_eigen(&s, 1e-13, 100).unwrap();
@@ -214,13 +231,19 @@ mod tests {
     #[test]
     fn rejects_non_symmetric() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
-        assert!(matches!(jacobi_eigen(&a, 1e-12, 10), Err(LinalgError::NotSymmetric { .. })));
+        assert!(matches!(
+            jacobi_eigen(&a, 1e-12, 10),
+            Err(LinalgError::NotSymmetric { .. })
+        ));
     }
 
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(jacobi_eigen(&a, 1e-12, 10), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            jacobi_eigen(&a, 1e-12, 10),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]
@@ -237,11 +260,7 @@ mod tests {
     fn degenerate_eigenvalues() {
         // 3x3 with a two-fold degenerate eigenvalue: eigenvectors must
         // still be orthonormal and reconstruct the matrix.
-        let a = Matrix::from_rows(&[
-            &[2.0, 0.0, 0.0],
-            &[0.0, 3.0, 1.0],
-            &[0.0, 1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 1.0], &[0.0, 1.0, 3.0]]);
         let e = jacobi_eigen(&a, 1e-14, 50).unwrap();
         assert!((e.values[0] - 2.0).abs() < 1e-12);
         assert!((e.values[1] - 2.0).abs() < 1e-12);

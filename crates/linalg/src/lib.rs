@@ -88,14 +88,26 @@ impl std::fmt::Display for LinalgError {
             }
             LinalgError::NotSquare { shape } => write!(f, "matrix not square: {shape:?}"),
             LinalgError::NotSymmetric { max_asymmetry } => {
-                write!(f, "matrix not symmetric (max |a_ij - a_ji| = {max_asymmetry:e})")
+                write!(
+                    f,
+                    "matrix not symmetric (max |a_ij - a_ji| = {max_asymmetry:e})"
+                )
             }
-            LinalgError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
             LinalgError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
             LinalgError::NotPositiveDefinite { eigenvalue } => {
-                write!(f, "matrix not positive definite (eigenvalue {eigenvalue:e})")
+                write!(
+                    f,
+                    "matrix not positive definite (eigenvalue {eigenvalue:e})"
+                )
             }
         }
     }

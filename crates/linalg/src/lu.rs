@@ -63,7 +63,11 @@ pub fn lu_decompose(a: &Matrix) -> Result<Lu> {
             }
         }
     }
-    Ok(Lu { lu, perm, perm_sign })
+    Ok(Lu {
+        lu,
+        perm,
+        perm_sign,
+    })
 }
 
 /// Solves `A·x = b` given a prior factorization of `A`.
@@ -155,14 +159,20 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(lu_decompose(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            lu_decompose(&a),
+            Err(LinalgError::Singular { .. })
+        ));
         assert_eq!(determinant(&a).unwrap(), 0.0);
     }
 
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(lu_decompose(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            lu_decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub fn symmetric_orthogonalizer(s: &Matrix) -> Result<Matrix> {
 /// basis had (near) linear dependencies. Always satisfies `Xᵀ S X = 1_m`.
 pub fn canonical_orthogonalizer(s: &Matrix, threshold: f64) -> Result<Matrix> {
     let e = jacobi_eigen(s, 1e-12, 100)?;
-    let kept: Vec<usize> = (0..e.values.len()).filter(|&i| e.values[i] > threshold).collect();
+    let kept: Vec<usize> = (0..e.values.len())
+        .filter(|&i| e.values[i] > threshold)
+        .collect();
     let n = s.rows();
     let mut x = Matrix::zeros(n, kept.len());
     for (col, &i) in kept.iter().enumerate() {
@@ -83,7 +85,11 @@ mod tests {
         let s = sample_spd(6);
         let x = symmetric_orthogonalizer(&s).unwrap();
         let t = s.congruence(&x).unwrap();
-        assert!(t.max_abs_diff(&Matrix::identity(6)) < 1e-9, "XᵀSX = {:?}", t);
+        assert!(
+            t.max_abs_diff(&Matrix::identity(6)) < 1e-9,
+            "XᵀSX = {:?}",
+            t
+        );
     }
 
     #[test]
@@ -117,11 +123,7 @@ mod tests {
     fn canonical_drops_dependent_directions() {
         // Rank-deficient "overlap": duplicate basis function -> one zero
         // eigenvalue. Canonical orthogonalization must drop it.
-        let s = Matrix::from_rows(&[
-            &[1.0, 1.0, 0.0],
-            &[1.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ]);
+        let s = Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]);
         let x = canonical_orthogonalizer(&s, 1e-8).unwrap();
         assert_eq!(x.cols(), 2);
         let t = s.congruence(&x).unwrap();

@@ -1,0 +1,240 @@
+//! Chrome trace-event JSON export (`chrome://tracing` / Perfetto).
+//!
+//! Builds the "JSON Array with metadata" flavour of the trace-event
+//! format: one process per source (runtime, simulator, SCF), one thread
+//! track per worker, complete (`"ph":"X"`) events with microsecond
+//! timestamps. Events are sorted by timestamp at export, so `ts` is
+//! monotonic across the file — some viewers require it.
+
+use crate::json::Json;
+use crate::recorder::SpanEvent;
+use std::collections::BTreeMap;
+
+/// One complete ("X") trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Process id (groups tracks in the viewer).
+    pub pid: u32,
+    /// Thread id (one per worker/rank).
+    pub tid: u32,
+    /// Event name shown on the slice.
+    pub name: String,
+    /// Category string (filterable in the viewer).
+    pub cat: String,
+    /// Start in microseconds from the trace origin.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// Accumulates spans and track names, then serializes to trace JSON.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    spans: Vec<TraceSpan>,
+    process_names: BTreeMap<u32, String>,
+    thread_names: BTreeMap<(u32, u32), String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Names a process (a top-level group in the viewer).
+    pub fn set_process_name(&mut self, pid: u32, name: impl Into<String>) {
+        self.process_names.insert(pid, name.into());
+    }
+
+    /// Names one thread track.
+    pub fn set_thread_name(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.thread_names.insert((pid, tid), name.into());
+    }
+
+    /// Adds one complete event.
+    pub fn add_span(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+    ) {
+        self.spans.push(TraceSpan {
+            pid,
+            tid,
+            name: name.into(),
+            cat: cat.into(),
+            ts_us,
+            dur_us: dur_us.max(0.0),
+        });
+    }
+
+    /// Adds one busy interval per entry of `intervals` (seconds), the
+    /// shape both `ExecutionReport` and `SimReport` traces use. Also
+    /// names the track `worker <tid>` if it has no name yet.
+    pub fn add_worker_intervals(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        intervals: &[(f64, f64)],
+    ) {
+        self.thread_names
+            .entry((pid, tid))
+            .or_insert_with(|| format!("worker {tid}"));
+        for &(start_s, end_s) in intervals {
+            self.add_span(pid, tid, name, cat, start_s * 1e6, (end_s - start_s) * 1e6);
+        }
+    }
+
+    /// Adds recorder spans (nanosecond clocks) under `pid`, one track
+    /// per `SpanEvent::track`.
+    pub fn add_recorder_events(&mut self, pid: u32, events: &[SpanEvent]) {
+        for e in events {
+            self.thread_names
+                .entry((pid, e.track))
+                .or_insert_with(|| format!("worker {}", e.track));
+            self.add_span(
+                pid,
+                e.track,
+                e.name,
+                "span",
+                e.start_ns as f64 / 1e3,
+                (e.end_ns.saturating_sub(e.start_ns)) as f64 / 1e3,
+            );
+        }
+    }
+
+    /// Number of complete events added so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Serializes to the trace-event JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        // Metadata events first: process and thread names.
+        for (pid, name) in &self.process_names {
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("M".into())),
+                ("name", Json::Str("process_name".into())),
+                ("pid", Json::Num(*pid as f64)),
+                ("tid", Json::Num(0.0)),
+                ("args", Json::obj(vec![("name", Json::Str(name.clone()))])),
+            ]));
+        }
+        for ((pid, tid), name) in &self.thread_names {
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("M".into())),
+                ("name", Json::Str("thread_name".into())),
+                ("pid", Json::Num(*pid as f64)),
+                ("tid", Json::Num(*tid as f64)),
+                ("args", Json::obj(vec![("name", Json::Str(name.clone()))])),
+            ]));
+        }
+        // Complete events, sorted so ts is monotonic across the file.
+        let mut spans: Vec<&TraceSpan> = self.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            a.ts_us
+                .total_cmp(&b.ts_us)
+                .then(a.pid.cmp(&b.pid))
+                .then(a.tid.cmp(&b.tid))
+        });
+        for s in spans {
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("X".into())),
+                ("name", Json::Str(s.name.clone())),
+                ("cat", Json::Str(s.cat.clone())),
+                ("pid", Json::Num(s.pid as f64)),
+                ("tid", Json::Num(s.tid as f64)),
+                ("ts", Json::Num(s.ts_us)),
+                ("dur", Json::Num(s.dur_us)),
+            ]));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+        ])
+    }
+
+    /// Serializes to a JSON string ready to load in Perfetto.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_sorted_and_named() {
+        let mut t = ChromeTrace::new();
+        t.set_process_name(0, "runtime");
+        t.add_worker_intervals(0, 1, "task", "exec", &[(2e-6, 3e-6)]);
+        t.add_worker_intervals(0, 0, "task", "exec", &[(0.0, 1e-6)]);
+        let v = Json::parse(&t.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process-name + 2 thread-name + 2 X events.
+        assert_eq!(events.len(), 5);
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        // Monotonic ts.
+        assert!(xs[0].get("ts").unwrap().as_f64() <= xs[1].get("ts").unwrap().as_f64());
+        // One thread-name track per worker.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, vec!["worker 0", "worker 1"]);
+    }
+
+    #[test]
+    fn recorder_events_convert_ns_to_us() {
+        let mut t = ChromeTrace::new();
+        t.add_recorder_events(
+            2,
+            &[crate::recorder::SpanEvent {
+                name: "steal",
+                track: 4,
+                start_ns: 3000,
+                end_ns: 4500,
+            }],
+        );
+        let v = Json::parse(&t.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(3.0));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(1.5));
+        assert_eq!(x.get("tid").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn negative_durations_clamped() {
+        let mut t = ChromeTrace::new();
+        t.add_span(0, 0, "x", "c", 1.0, -5.0);
+        assert_eq!(t.spans[0].dur_us, 0.0);
+    }
+}

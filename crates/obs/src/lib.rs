@@ -1,0 +1,66 @@
+//! # emx-obs — unified observability layer
+//!
+//! The paper's argument is built on *observing* runtime behaviour:
+//! utilization, steal traffic, shared-counter contention, per-phase SCF
+//! cost. This crate is the one place that behaviour is captured and
+//! exported from, shared by the thread runtime, the distributed
+//! simulator, the chemistry kernel and the `reproduce` harness:
+//!
+//! * [`recorder`] — per-worker span recorders with a pluggable
+//!   [`recorder::EventSink`]. Each worker owns its buffer (no locks or
+//!   atomics on the record path) and flushes once at the end of a run.
+//!   With no sink attached a recorder is [`recorder::SpanRecorder::Off`]
+//!   and `record()` is a branch on a two-variant enum; with the
+//!   `compile-out` feature it is statically empty.
+//! * [`metrics`] — a registry of named counters, gauges and log₂-bucketed
+//!   histograms. Handles are `Arc`s that hot paths clone up front and
+//!   update with relaxed atomics; the registry lock is touched only at
+//!   registration and snapshot time.
+//! * [`chrome`] — Chrome trace-event JSON (the `chrome://tracing` /
+//!   Perfetto format) built from any per-worker interval data.
+//! * [`export`] — JSONL and CSV metric snapshots, stamped with a schema
+//!   version, experiment id and git-describe string.
+//! * [`json`] — the minimal JSON value type backing the exporters (the
+//!   workspace builds offline, so no serde).
+//!
+//! ## Example
+//!
+//! ```
+//! use emx_obs::prelude::*;
+//!
+//! let registry = MetricsRegistry::new();
+//! let steals = registry.counter("runtime.steals", "count");
+//! let latency = registry.histogram("runtime.steal_latency", "ns");
+//! steals.inc();
+//! latency.record(1_500);
+//! let meta = RunMeta::new("demo", "v0");
+//! let jsonl = metrics_to_jsonl(&meta, &registry.snapshot(), &[]);
+//! assert!(jsonl.lines().count() >= 3);
+//! ```
+
+pub mod chrome;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use chrome::{ChromeTrace, TraceSpan};
+pub use export::{git_describe_string, metrics_to_csv, metrics_to_jsonl, RunMeta, SCHEMA_VERSION};
+pub use json::Json;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
+};
+pub use recorder::{CollectingSink, EventSink, NullSink, SpanEvent, SpanRecorder};
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::chrome::ChromeTrace;
+    pub use crate::export::{
+        git_describe_string, metrics_to_csv, metrics_to_jsonl, RunMeta, SCHEMA_VERSION,
+    };
+    pub use crate::json::Json;
+    pub use crate::metrics::{
+        Counter, Gauge, Histogram, MetricEntry, MetricValue, MetricsRegistry,
+    };
+    pub use crate::recorder::{CollectingSink, EventSink, NullSink, SpanEvent, SpanRecorder};
+}

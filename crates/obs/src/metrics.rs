@@ -1,0 +1,392 @@
+//! Metrics registry: counters, gauges, log₂-bucketed histograms.
+//!
+//! Hot paths obtain `Arc` handles once (at executor/run setup) and
+//! update them with relaxed atomics; the registry's lock is only taken
+//! at registration and snapshot time, never inside a task loop. Names
+//! are dot-separated (`runtime.steal_latency`), units are free-form
+//! strings recorded at registration (`ns`, `count`, `s`, `bytes`) —
+//! see `DESIGN.md` for the metric naming table.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ buckets in a [`Histogram`] (covers the full u64 range).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, x: f64) {
+        self.bits.store(x.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// Bucket `i` counts samples whose floor(log₂) is `i − 1` (bucket 0 is
+/// exactly-zero samples), so the upper bound of bucket `i > 0` is
+/// `2^i − 1`. Recording is two relaxed `fetch_add`s plus a min/max
+/// update — cheap enough for per-steal and per-fetch call sites.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket for `value`.
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration` as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let upper = if i == 0 { 0 } else { (1u128 << i) as u64 - 1 };
+                Some((upper, n))
+            })
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            p50: percentile(&buckets, count, 0.50),
+            p90: percentile(&buckets, count, 0.90),
+            p99: percentile(&buckets, count, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// Bucket-resolution percentile: the upper bound of the bucket that
+/// contains the requested rank (an upper estimate, never below the true
+/// percentile's bucket).
+fn percentile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut seen = 0;
+    for &(upper, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return upper;
+        }
+    }
+    buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Non-empty `(bucket_upper_bound, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A metric's current value, by kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// Dot-separated metric name.
+    pub name: String,
+    /// Unit string given at registration.
+    pub unit: String,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Registered {
+    unit: String,
+    slot: Slot,
+}
+
+/// Registry of named metrics. Cheap to clone handles out of; snapshots
+/// are sorted by name, so exports are deterministic.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Registered>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or retrieves) a counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn counter(&self, name: &str, unit: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(|| Registered {
+            unit: unit.to_string(),
+            slot: Slot::Counter(Arc::new(Counter::default())),
+        });
+        match &entry.slot {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn gauge(&self, name: &str, unit: &str) -> Arc<Gauge> {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(|| Registered {
+            unit: unit.to_string(),
+            slot: Slot::Gauge(Arc::new(Gauge::default())),
+        });
+        match &entry.slot {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or retrieves) a histogram.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn histogram(&self, name: &str, unit: &str) -> Arc<Histogram> {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(|| Registered {
+            unit: unit.to_string(),
+            slot: Slot::Histogram(Arc::new(Histogram::default())),
+        });
+        match &entry.slot {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Sets a gauge in one call (registers it on first use).
+    pub fn set_gauge(&self, name: &str, unit: &str, value: f64) {
+        self.gauge(name, unit).set(value);
+    }
+
+    /// Current values of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        let map = self.inner.lock().expect("registry poisoned");
+        map.iter()
+            .map(|(name, reg)| MetricEntry {
+                name: name.clone(),
+                unit: reg.unit.clone(),
+                value: match &reg.slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count", "count");
+        c.inc();
+        c.add(4);
+        reg.set_gauge("a.util", "ratio", 0.75);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].value, MetricValue::Counter(5));
+        assert_eq!(snap[1].value, MetricValue::Gauge(0.75));
+    }
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", "count");
+        let b = reg.counter("x", "count");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", "count");
+        reg.gauge("x", "ratio");
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100_000);
+        assert_eq!(s.sum, 101_106);
+        // p50 of 7 samples is the 4th (value 3) → bucket upper 3.
+        assert_eq!(s.p50, 3);
+        // p99 lands in the last bucket.
+        assert!(s.p99 >= 100_000);
+        // Buckets are ascending and sum to the count.
+        let total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 7);
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p50, s.p99), (0, 0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Arc::new(Histogram::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -26,12 +26,14 @@
 //! ```
 
 pub mod model;
+pub mod obs;
 pub mod pool;
 pub mod report;
 pub mod timeline;
 pub mod variability;
 
 pub use model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+pub use obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
 pub use pool::Executor;
 pub use report::{ExecutionReport, TaskEvent, WorkerStats};
 pub use timeline::{render_timeline, utilization_curve};
@@ -40,6 +42,7 @@ pub use variability::Variability;
 /// Common imports.
 pub mod prelude {
     pub use crate::model::{ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+    pub use crate::obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
     pub use crate::pool::Executor;
     pub use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
     pub use crate::timeline::{render_timeline, utilization_curve};

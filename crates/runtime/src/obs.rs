@@ -1,0 +1,223 @@
+//! Optional executor observability: metric handles and span recording.
+//!
+//! An [`Executor`](crate::pool::Executor) carries `obs: Option<RuntimeObs>`.
+//! With `None` (the default) the task loop touches no registry, no sink
+//! and no extra clocks — the only cost is one predictable branch per
+//! task. With `Some`, every worker resolves its metric handles once at
+//! spawn time and then updates plain atomics / a worker-local span
+//! buffer from the hot loop.
+//!
+//! ## Metric names (all registered lazily, only when obs is attached)
+//!
+//! | name                           | kind      | unit  |
+//! |--------------------------------|-----------|-------|
+//! | `runtime.tasks`                | counter   | count |
+//! | `runtime.task_duration`        | histogram | ns    |
+//! | `runtime.steal_attempts`       | counter   | count |
+//! | `runtime.steals`               | counter   | count |
+//! | `runtime.steal_latency`        | histogram | ns    |
+//! | `runtime.counter_fetches`      | counter   | count |
+//! | `runtime.counter_fetch_latency`| histogram | ns    |
+//!
+//! Steal latency is measured from the moment a worker runs out of local
+//! work to the moment a steal succeeds — the paper's "time to find
+//! work", not the cost of one deque operation. The same interval is
+//! emitted as an `"idle"` span when a sink is attached.
+
+use crate::report::{ExecutionReport, TaskEvent};
+use emx_obs::{ChromeTrace, Counter, EventSink, Histogram, MetricsRegistry, SpanRecorder};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Observability attachment for an executor run: a metrics registry and
+/// an optional span sink shared by every worker.
+#[derive(Clone)]
+pub struct RuntimeObs {
+    /// Registry receiving the runtime.* metrics.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Destination for per-worker span buffers (`"task"` / `"idle"`),
+    /// flushed once per worker after the timed region.
+    pub sink: Option<Arc<dyn EventSink>>,
+}
+
+impl RuntimeObs {
+    /// Metrics-only observability (no span recording).
+    pub fn new(metrics: Arc<MetricsRegistry>) -> RuntimeObs {
+        RuntimeObs {
+            metrics,
+            sink: None,
+        }
+    }
+
+    /// Adds a span sink; workers will record `"task"` and `"idle"`
+    /// spans into worker-local buffers flushed to it.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> RuntimeObs {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+impl fmt::Debug for RuntimeObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeObs")
+            .field("metrics", &"MetricsRegistry")
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+/// Per-worker handles, resolved once at worker spawn so the hot loop
+/// never takes the registry lock.
+pub(crate) struct WorkerObs {
+    pub(crate) tasks: Arc<Counter>,
+    pub(crate) task_duration: Arc<Histogram>,
+    pub(crate) steal_attempts: Arc<Counter>,
+    pub(crate) steals: Arc<Counter>,
+    pub(crate) steal_latency: Arc<Histogram>,
+    pub(crate) counter_fetches: Arc<Counter>,
+    pub(crate) counter_fetch_latency: Arc<Histogram>,
+    pub(crate) recorder: SpanRecorder,
+}
+
+impl WorkerObs {
+    pub(crate) fn for_worker(obs: &RuntimeObs, worker: u32) -> WorkerObs {
+        let m = &obs.metrics;
+        WorkerObs {
+            tasks: m.counter("runtime.tasks", "count"),
+            task_duration: m.histogram("runtime.task_duration", "ns"),
+            steal_attempts: m.counter("runtime.steal_attempts", "count"),
+            steals: m.counter("runtime.steals", "count"),
+            steal_latency: m.histogram("runtime.steal_latency", "ns"),
+            counter_fetches: m.counter("runtime.counter_fetches", "count"),
+            counter_fetch_latency: m.histogram("runtime.counter_fetch_latency", "ns"),
+            recorder: match &obs.sink {
+                Some(sink) => SpanRecorder::on(worker, sink.clone()),
+                None => SpanRecorder::off(),
+            },
+        }
+    }
+}
+
+/// Converts a (traced) execution report into one Chrome-trace process:
+/// one thread track per worker, one `"task"` slice per task event. The
+/// process is named `<label> (<model>)`.
+pub fn report_to_chrome(report: &ExecutionReport, pid: u32, label: &str) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    trace.set_process_name(pid, format!("{label} ({})", report.model));
+    for (w, events) in report.traces.iter().enumerate() {
+        let intervals: Vec<(f64, f64)> = events
+            .iter()
+            .map(|e| (e.start.as_secs_f64(), e.end.as_secs_f64()))
+            .collect();
+        trace.add_worker_intervals(pid, w as u32, "task", "exec", &intervals);
+    }
+    trace
+}
+
+/// Publishes a report's derived quantities as gauges under `prefix`
+/// (e.g. `ws.utilization`, `ws.busy_imbalance`, `ws.wall_ms`).
+pub fn publish_report_gauges(metrics: &MetricsRegistry, prefix: &str, report: &ExecutionReport) {
+    metrics.set_gauge(
+        &format!("{prefix}.utilization"),
+        "ratio",
+        report.utilization(),
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.busy_imbalance"),
+        "ratio",
+        report.busy_imbalance(),
+    );
+    metrics.set_gauge(
+        &format!("{prefix}.wall_ms"),
+        "ms",
+        report.wall.as_secs_f64() * 1e3,
+    );
+    metrics.set_gauge(&format!("{prefix}.workers"), "count", report.workers as f64);
+}
+
+/// `Duration` → saturating nanoseconds for histogram recording.
+#[inline]
+pub(crate) fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Task-event helper shared by the report adapter tests.
+#[allow(dead_code)]
+pub(crate) fn task_event(task: usize, start_us: u64, end_us: u64) -> TaskEvent {
+    TaskEvent {
+        task,
+        start: Duration::from_micros(start_us),
+        end: Duration::from_micros(end_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::WorkerStats;
+    use emx_obs::Json;
+
+    #[test]
+    fn report_to_chrome_one_track_per_worker() {
+        let report = ExecutionReport {
+            model: "work-stealing".into(),
+            workers: 2,
+            tasks: 3,
+            wall: Duration::from_micros(30),
+            worker_stats: vec![WorkerStats::default(), WorkerStats::default()],
+            traces: vec![
+                vec![task_event(0, 0, 10), task_event(2, 10, 25)],
+                vec![task_event(1, 5, 20)],
+            ],
+        };
+        let trace = report_to_chrome(&report, 7, "fock");
+        assert_eq!(trace.len(), 3);
+        let v = Json::parse(&trace.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let tracks: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .collect();
+        assert_eq!(tracks.len(), 2, "one thread_name per worker");
+        let proc = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .unwrap();
+        assert_eq!(
+            proc.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("fock (work-stealing)")
+        );
+    }
+
+    #[test]
+    fn gauges_published_under_prefix() {
+        let report = ExecutionReport {
+            model: "static-block".into(),
+            workers: 2,
+            tasks: 1,
+            wall: Duration::from_millis(10),
+            worker_stats: vec![
+                WorkerStats {
+                    busy: Duration::from_millis(10),
+                    tasks: 1,
+                    ..Default::default()
+                },
+                WorkerStats::default(),
+            ],
+            traces: Vec::new(),
+        };
+        let m = MetricsRegistry::new();
+        publish_report_gauges(&m, "sb", &report);
+        let names: Vec<String> = m.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sb.busy_imbalance",
+                "sb.utilization",
+                "sb.wall_ms",
+                "sb.workers"
+            ]
+        );
+    }
+}

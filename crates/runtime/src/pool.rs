@@ -8,6 +8,7 @@
 //! what lets one kernel run unchanged under every execution model.
 
 use crate::model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+use crate::obs::{dur_ns, RuntimeObs, WorkerObs};
 use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
 use crate::variability::Variability;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
@@ -25,13 +26,29 @@ pub struct Executor {
     pub variability: Variability,
     /// Record per-task event traces (adds small overhead).
     pub trace: bool,
+    /// Observability attachment; `None` (the default) keeps the task
+    /// loop free of metric atomics and span buffers.
+    pub obs: Option<RuntimeObs>,
 }
 
 impl Executor {
-    /// Creates an executor with no variability and tracing off.
+    /// Creates an executor with no variability, tracing off and no
+    /// observability attached.
     pub fn new(workers: usize, model: ExecutionModel) -> Executor {
         assert!(workers > 0, "need at least one worker");
-        Executor { workers, model, variability: Variability::None, trace: false }
+        Executor {
+            workers,
+            model,
+            variability: Variability::None,
+            trace: false,
+            obs: None,
+        }
+    }
+
+    /// Attaches observability (builder style).
+    pub fn with_obs(mut self, obs: RuntimeObs) -> Executor {
+        self.obs = Some(obs);
+        self
     }
 
     /// Runs `ntasks` tasks. `init(w)` builds worker `w`'s local state;
@@ -97,7 +114,8 @@ impl Executor {
     ) -> (Vec<L>, ExecutionReport) {
         let start = Instant::now();
         let mut local = init(0);
-        let mut ctx = WorkerCtx::new(0, 1, self.variability, self.trace, start);
+        let obs = self.obs.as_ref().map(|o| WorkerObs::for_worker(o, 0));
+        let mut ctx = WorkerCtx::new(0, 1, self.variability, self.trace, start, obs);
         for i in 0..ntasks {
             ctx.run_task(i, &mut local, task);
         }
@@ -140,9 +158,13 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
+                    let obs = self
+                        .obs
+                        .as_ref()
+                        .map(|o| WorkerObs::for_worker(o, w as u32));
                     s.spawn(move || {
                         let mut local = init(w);
-                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
                         for i in list {
                             ctx.run_task(i, &mut local, task);
                         }
@@ -150,7 +172,10 @@ impl Executor {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
         });
         self.assemble(ntasks, start.elapsed(), results)
     }
@@ -176,15 +201,21 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
+                    let obs = self
+                        .obs
+                        .as_ref()
+                        .map(|o| WorkerObs::for_worker(o, w as u32));
                     s.spawn(move || {
                         let mut local = init(w);
-                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
                         loop {
+                            let t_fetch = ctx.obs_mark();
                             let begin = next.fetch_add(chunk, Ordering::Relaxed);
                             if begin >= ntasks {
                                 break;
                             }
                             ctx.stats.counter_fetches += 1;
+                            ctx.obs_counter_fetch(t_fetch);
                             for i in begin..(begin + chunk).min(ntasks) {
                                 ctx.run_task(i, &mut local, task);
                             }
@@ -193,7 +224,10 @@ impl Executor {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
         });
         self.assemble(ntasks, start.elapsed(), results)
     }
@@ -219,14 +253,19 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
+                    let obs = self
+                        .obs
+                        .as_ref()
+                        .map(|o| WorkerObs::for_worker(o, w as u32));
                     s.spawn(move || {
                         let mut local = init(w);
-                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
                         loop {
                             // Claim remaining/(2P), floored at min_chunk,
                             // via CAS (the claim size depends on the
                             // current counter value, so fetch_add alone
                             // is not enough).
+                            let t_fetch = ctx.obs_mark();
                             let begin;
                             let end;
                             loop {
@@ -251,6 +290,7 @@ impl Executor {
                                 }
                             }
                             ctx.stats.counter_fetches += 1;
+                            ctx.obs_counter_fetch(t_fetch);
                             for i in begin..end {
                                 ctx.run_task(i, &mut local, task);
                             }
@@ -258,7 +298,10 @@ impl Executor {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
         });
         self.assemble(ntasks, start.elapsed(), results)
     }
@@ -303,10 +346,16 @@ impl Executor {
                     let variability = self.variability;
                     let trace = self.trace;
                     let cfg = cfg.clone();
+                    let obs = self
+                        .obs
+                        .as_ref()
+                        .map(|o| WorkerObs::for_worker(o, w as u32));
                     s.spawn(move || {
                         let mut local = init(w);
-                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start);
-                        let mut rng = SplitMix::new(cfg.rng_seed ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        let mut rng = SplitMix::new(
+                            cfg.rng_seed ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                        );
                         'outer: loop {
                             // Drain the local deque first.
                             while let Some(i) = deque.pop() {
@@ -315,8 +364,10 @@ impl Executor {
                             }
                             // Steal until we obtain work or everything is done.
                             let mut spins = 0u32;
+                            let idle_from = ctx.obs_mark();
                             loop {
                                 if remaining.load(Ordering::Acquire) == 0 {
+                                    ctx.obs_idle_end(idle_from);
                                     break 'outer;
                                 }
                                 if p == 1 {
@@ -340,6 +391,7 @@ impl Executor {
                                     }
                                 };
                                 ctx.stats.steal_attempts += 1;
+                                ctx.obs_steal_attempt();
                                 let got = if cfg.steal_batch {
                                     stealers[victim].steal_batch_and_pop(&deque)
                                 } else {
@@ -348,6 +400,7 @@ impl Executor {
                                 match got {
                                     Steal::Success(i) => {
                                         ctx.stats.steals += 1;
+                                        ctx.obs_steal_success(idle_from);
                                         ctx.run_task(i, &mut local, task);
                                         remaining.fetch_sub(1, Ordering::Release);
                                         continue 'outer;
@@ -367,7 +420,10 @@ impl Executor {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
         });
         self.assemble(ntasks, start.elapsed(), results)
     }
@@ -400,7 +456,8 @@ impl Executor {
     }
 }
 
-/// Per-worker execution context: stats, trace buffer, variability clock.
+/// Per-worker execution context: stats, trace buffer, variability clock,
+/// optional observability handles.
 struct WorkerCtx {
     worker: usize,
     nworkers: usize,
@@ -409,10 +466,18 @@ struct WorkerCtx {
     start: Instant,
     stats: WorkerStats,
     events: Vec<TaskEvent>,
+    obs: Option<WorkerObs>,
 }
 
 impl WorkerCtx {
-    fn new(worker: usize, nworkers: usize, variability: Variability, trace: bool, start: Instant) -> WorkerCtx {
+    fn new(
+        worker: usize,
+        nworkers: usize,
+        variability: Variability,
+        trace: bool,
+        start: Instant,
+        obs: Option<WorkerObs>,
+    ) -> WorkerCtx {
         WorkerCtx {
             worker,
             nworkers,
@@ -421,6 +486,7 @@ impl WorkerCtx {
             start,
             stats: WorkerStats::default(),
             events: Vec::new(),
+            obs,
         }
     }
 
@@ -443,8 +509,80 @@ impl WorkerCtx {
             self.stats.busy += pad;
             self.stats.padded += pad;
         }
-        if self.trace {
-            self.events.push(TaskEvent { task: i, start: t0, end: self.start.elapsed() });
+        if self.trace || self.obs.is_some() {
+            let end = self.start.elapsed();
+            if let Some(o) = self.obs.as_mut() {
+                o.tasks.inc();
+                o.task_duration.record(dur_ns(end.saturating_sub(t0)));
+                o.recorder.record("task", dur_ns(t0), dur_ns(end));
+            }
+            if self.trace {
+                self.events.push(TaskEvent {
+                    task: i,
+                    start: t0,
+                    end,
+                });
+            }
+        }
+    }
+
+    /// Timestamp for a latency interval — `None` when obs is off, so the
+    /// hot loops never read the clock just for instrumentation.
+    #[inline]
+    fn obs_mark(&self) -> Option<Duration> {
+        if self.obs.is_some() {
+            Some(self.start.elapsed())
+        } else {
+            None
+        }
+    }
+
+    /// Counts one productive shared-counter fetch and records its
+    /// latency from `mark` (the instant just before the atomic claim).
+    #[inline]
+    fn obs_counter_fetch(&mut self, mark: Option<Duration>) {
+        if let Some(o) = self.obs.as_mut() {
+            o.counter_fetches.inc();
+            if let Some(from) = mark {
+                let now = self.start.elapsed();
+                o.counter_fetch_latency
+                    .record(dur_ns(now.saturating_sub(from)));
+            }
+        }
+    }
+
+    /// Counts one steal attempt (success or not).
+    #[inline]
+    fn obs_steal_attempt(&mut self) {
+        if let Some(o) = self.obs.as_mut() {
+            o.steal_attempts.inc();
+        }
+    }
+
+    /// Records a successful steal: the latency histogram gets the time
+    /// from running out of local work (`idle_from`) to acquiring the
+    /// stolen task, and the same interval becomes an `"idle"` span.
+    #[inline]
+    fn obs_steal_success(&mut self, idle_from: Option<Duration>) {
+        if let Some(o) = self.obs.as_mut() {
+            o.steals.inc();
+            if let Some(from) = idle_from {
+                let now = self.start.elapsed();
+                o.steal_latency.record(dur_ns(now.saturating_sub(from)));
+                o.recorder.record("idle", dur_ns(from), dur_ns(now));
+            }
+        }
+    }
+
+    /// Closes the trailing idle interval when a worker exits because all
+    /// work is done (no steal ever succeeded for this interval).
+    #[inline]
+    fn obs_idle_end(&mut self, idle_from: Option<Duration>) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some(from) = idle_from {
+                let now = self.start.elapsed();
+                o.recorder.record("idle", dur_ns(from), dur_ns(now));
+            }
         }
     }
 }
@@ -544,7 +682,12 @@ mod tests {
         for model in all_models(n) {
             let ex = Executor::new(4, model.clone());
             let (locals, _) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
-            assert_eq!(locals.iter().sum::<u64>(), expected, "model {}", model.name());
+            assert_eq!(
+                locals.iter().sum::<u64>(),
+                expected,
+                "model {}",
+                model.name()
+            );
         }
     }
 
@@ -607,11 +750,17 @@ mod tests {
         // robust on machines where worker 0 could otherwise drain its
         // deque before the thieves are even scheduled.
         let map: Arc<Vec<u32>> = Arc::new(vec![0; 64]);
-        let mut ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig {
-            seed: SeedPartition::Assigned(map),
-            ..StealConfig::default()
-        }));
-        ex.variability = Variability::SlowCores { factor: 5.0, count: 1 };
+        let mut ex = Executor::new(
+            4,
+            ExecutionModel::WorkStealing(StealConfig {
+                seed: SeedPartition::Assigned(map),
+                ..StealConfig::default()
+            }),
+        );
+        ex.variability = Variability::SlowCores {
+            factor: 5.0,
+            count: 1,
+        };
         let (_, report) = ex.run(
             64,
             |_| (),
@@ -619,7 +768,11 @@ mod tests {
                 std::hint::black_box(emx_busy(50_000));
             },
         );
-        assert!(report.total_steals() > 0, "expected steals: {:?}", report.worker_stats);
+        assert!(
+            report.total_steals() > 0,
+            "expected steals: {:?}",
+            report.worker_stats
+        );
     }
 
     /// Tiny local busy-loop (runtime crate must not depend on emx-chem).
@@ -655,7 +808,10 @@ mod tests {
     #[test]
     fn variability_pads_busy_time() {
         let mut ex = Executor::new(1, ExecutionModel::Serial);
-        ex.variability = Variability::SlowCores { factor: 3.0, count: 1 };
+        ex.variability = Variability::SlowCores {
+            factor: 3.0,
+            count: 1,
+        };
         let (_, report) = ex.run(
             5,
             |_| (),
@@ -694,5 +850,128 @@ mod tests {
         let ex = Executor::new(1, ExecutionModel::WorkStealing(StealConfig::default()));
         let (locals, _) = ex.run(50, |_| 0u32, |_, l| *l += 1);
         assert_eq!(locals[0], 50);
+    }
+
+    mod obs {
+        use super::*;
+        use crate::obs::RuntimeObs;
+        use emx_obs::{CollectingSink, MetricValue, MetricsRegistry};
+
+        fn metric_counter(reg: &MetricsRegistry, name: &str) -> u64 {
+            match reg
+                .snapshot()
+                .into_iter()
+                .find(|e| e.name == name)
+                .map(|e| e.value)
+            {
+                Some(MetricValue::Counter(v)) => v,
+                other => panic!("metric {name}: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn no_obs_attached_means_registry_untouched() {
+            // The zero-cost contract: an executor without obs must not
+            // register or update any metric — the shared registry stays
+            // empty no matter how many tasks run.
+            let reg = Arc::new(MetricsRegistry::new());
+            let ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()));
+            assert!(ex.obs.is_none());
+            let _ = ex.run(500, |_| 0u64, |i, l| *l += i as u64);
+            assert!(reg.snapshot().is_empty());
+        }
+
+        #[test]
+        fn counter_model_metrics_match_report() {
+            let reg = Arc::new(MetricsRegistry::new());
+            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 10 })
+                .with_obs(RuntimeObs::new(reg.clone()));
+            let (_, report) = ex.run(100, |_| (), |_, _| {});
+            assert_eq!(metric_counter(&reg, "runtime.tasks"), 100);
+            assert_eq!(
+                metric_counter(&reg, "runtime.counter_fetches"),
+                report.total_counter_fetches()
+            );
+            match reg
+                .snapshot()
+                .into_iter()
+                .find(|e| e.name == "runtime.counter_fetch_latency")
+                .map(|e| e.value)
+            {
+                Some(MetricValue::Histogram(h)) => {
+                    assert_eq!(h.count, report.total_counter_fetches())
+                }
+                other => panic!("latency histogram missing: {other:?}"),
+            }
+        }
+
+        #[test]
+        fn stealing_metrics_and_spans_recorded() {
+            // Same skewed setup as stealing_happens_under_skew, with obs.
+            let map: Arc<Vec<u32>> = Arc::new(vec![0; 64]);
+            let reg = Arc::new(MetricsRegistry::new());
+            let sink = Arc::new(CollectingSink::new());
+            let mut ex = Executor::new(
+                4,
+                ExecutionModel::WorkStealing(StealConfig {
+                    seed: SeedPartition::Assigned(map),
+                    ..StealConfig::default()
+                }),
+            )
+            .with_obs(RuntimeObs::new(reg.clone()).with_sink(sink.clone()));
+            ex.variability = Variability::SlowCores {
+                factor: 5.0,
+                count: 1,
+            };
+            let (_, report) = ex.run(
+                64,
+                |_| (),
+                |_, _| {
+                    std::hint::black_box(emx_busy(50_000));
+                },
+            );
+            assert_eq!(
+                metric_counter(&reg, "runtime.steals"),
+                report.total_steals()
+            );
+            let attempts: u64 = report.worker_stats.iter().map(|w| w.steal_attempts).sum();
+            assert_eq!(metric_counter(&reg, "runtime.steal_attempts"), attempts);
+            if report.total_steals() > 0 {
+                match reg
+                    .snapshot()
+                    .into_iter()
+                    .find(|e| e.name == "runtime.steal_latency")
+                    .map(|e| e.value)
+                {
+                    Some(MetricValue::Histogram(h)) => assert_eq!(h.count, report.total_steals()),
+                    other => panic!("steal latency missing: {other:?}"),
+                }
+            }
+            let events = sink.drain();
+            let tasks = events.iter().filter(|e| e.name == "task").count();
+            assert_eq!(tasks, 64, "one task span per task");
+            for e in &events {
+                assert!(e.end_ns >= e.start_ns);
+                assert!((e.track as usize) < 4);
+            }
+        }
+
+        #[test]
+        fn obs_does_not_change_results() {
+            let n = 300;
+            let expected: u64 = (0..n as u64).sum();
+            for model in all_models(n) {
+                let reg = Arc::new(MetricsRegistry::new());
+                let ex = Executor::new(3, model.clone()).with_obs(RuntimeObs::new(reg));
+                let (locals, report) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
+                assert_eq!(
+                    locals.iter().sum::<u64>(),
+                    expected,
+                    "model {}",
+                    model.name()
+                );
+                assert_eq!(report.total_tasks_run(), n);
+            }
+        }
     }
 }

@@ -68,7 +68,11 @@ impl ExecutionReport {
 
     /// Busy-time imbalance: `max(busy) / mean(busy)`; 1.0 is perfect.
     pub fn busy_imbalance(&self) -> f64 {
-        let times: Vec<f64> = self.worker_stats.iter().map(|w| w.busy.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .worker_stats
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .collect();
         let total: f64 = times.iter().sum();
         if total <= 0.0 {
             return 1.0;
@@ -127,7 +131,11 @@ mod tests {
             wall: Duration::from_millis(wall_ms),
             worker_stats: busys_ms
                 .iter()
-                .map(|&b| WorkerStats { busy: Duration::from_millis(b), tasks: 1, ..Default::default() })
+                .map(|&b| WorkerStats {
+                    busy: Duration::from_millis(b),
+                    tasks: 1,
+                    ..Default::default()
+                })
                 .collect(),
             traces: Vec::new(),
         }

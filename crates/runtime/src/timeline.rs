@@ -8,26 +8,55 @@
 
 use crate::report::ExecutionReport;
 
-/// Renders one `#`/`·` strip per worker: `#` where the worker was inside
-/// a task body, `·` where it was idle/scheduling. `width` is the number
-/// of time buckets (columns).
+/// Maps a bucket's busy fraction to its strip glyph: `·` empty, `▂` up
+/// to a quarter busy, `▅` up to three quarters, `#` (near-)solid.
+pub(crate) fn occupancy_glyph(fraction: f64) -> char {
+    if fraction < 1e-9 {
+        '·'
+    } else if fraction <= 0.25 {
+        '▂'
+    } else if fraction <= 0.75 {
+        '▅'
+    } else {
+        '#'
+    }
+}
+
+/// The rendered/accumulated time span: the report's wall clock, extended
+/// to cover any event that ends after it (clock skew between the worker
+/// that stamped the event and the wall measurement must not silently
+/// truncate the strip).
+fn effective_span(report: &ExecutionReport) -> f64 {
+    report
+        .traces
+        .iter()
+        .flatten()
+        .map(|ev| ev.end.as_secs_f64())
+        .fold(report.wall.as_secs_f64(), f64::max)
+}
+
+/// Renders one occupancy strip per worker over `width` time buckets:
+/// `#` where the worker was inside task bodies for (almost) the whole
+/// bucket, `▅`/`▂` for partially busy buckets, `·` where it was fully
+/// idle/scheduling.
 ///
 /// Requires tracing to have been enabled; workers without events render
-/// as all-idle.
+/// as all-idle. Events ending after the recorded wall clock extend the
+/// rendered span rather than being clipped away.
 pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
     assert!(width > 0, "need at least one column");
-    let wall = report.wall.as_secs_f64();
+    let span = effective_span(report);
     let mut out = String::new();
-    if wall <= 0.0 {
+    if span <= 0.0 {
         return out;
     }
-    let bucket = wall / width as f64;
+    let bucket = span / width as f64;
     for (w, events) in report.traces.iter().enumerate() {
         // Busy time per bucket.
         let mut busy = vec![0.0f64; width];
         for ev in events {
             let s = ev.start.as_secs_f64();
-            let e = ev.end.as_secs_f64().min(wall);
+            let e = ev.end.as_secs_f64().min(span);
             let mut b = (s / bucket) as usize;
             while b < width {
                 let b_start = b as f64 * bucket;
@@ -41,26 +70,28 @@ pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
         }
         out.push_str(&format!("w{w:<3} |"));
         for &x in &busy {
-            out.push(if x >= 0.5 * bucket { '#' } else { '·' });
+            out.push(occupancy_glyph(x / bucket));
         }
         out.push_str("|\n");
     }
     out
 }
 
-/// Fraction of workers busy in each of `buckets` equal time slices.
+/// Fraction of workers busy in each of `buckets` equal time slices (of
+/// the effective span — see [`render_timeline`] on events outlasting
+/// the wall clock).
 pub fn utilization_curve(report: &ExecutionReport, buckets: usize) -> Vec<f64> {
     assert!(buckets > 0, "need at least one bucket");
-    let wall = report.wall.as_secs_f64();
-    if wall <= 0.0 || report.traces.is_empty() {
+    let span = effective_span(report);
+    if span <= 0.0 || report.traces.is_empty() {
         return vec![0.0; buckets];
     }
-    let bucket = wall / buckets as f64;
+    let bucket = span / buckets as f64;
     let mut busy = vec![0.0f64; buckets];
     for events in &report.traces {
         for ev in events {
             let s = ev.start.as_secs_f64();
-            let e = ev.end.as_secs_f64().min(wall);
+            let e = ev.end.as_secs_f64().min(span);
             let mut b = (s / bucket) as usize;
             while b < buckets {
                 let b_start = b as f64 * bucket;
@@ -146,6 +177,60 @@ mod tests {
     }
 
     #[test]
+    fn untraced_report_renders_all_idle_rows() {
+        // Wall time but no events: every worker renders, fully idle.
+        let r = report_with_traces(100, vec![vec![], vec![]]);
+        let s = render_timeline(&r, 6);
+        assert_eq!(s.trim_end(), "w0   |······|\nw1   |······|");
+        assert_eq!(utilization_curve(&r, 4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn single_bucket_aggregates_everything() {
+        let r = report_with_traces(100, vec![vec![(0, 50)]]);
+        assert_eq!(render_timeline(&r, 1).trim_end(), "w0   |▅|");
+        let u = utilization_curve(&r, 1);
+        assert!((u[0] - 0.5).abs() < 1e-9, "{u:?}");
+    }
+
+    #[test]
+    fn partial_buckets_use_fractional_glyphs() {
+        // 20 ms of work in a 100 ms wall, 5 buckets of 20 ms:
+        // bucket 0 is solid, the rest empty — then with 1 bucket the
+        // whole strip is one 20 % cell.
+        let r = report_with_traces(100, vec![vec![(0, 20)]]);
+        assert_eq!(render_timeline(&r, 5).trim_end(), "w0   |#····|");
+        assert_eq!(render_timeline(&r, 1).trim_end(), "w0   |▂|");
+        // 30 ms / 100 ms in one bucket sits in the middle band.
+        let r = report_with_traces(100, vec![vec![(0, 30)]]);
+        assert_eq!(render_timeline(&r, 1).trim_end(), "w0   |▅|");
+    }
+
+    #[test]
+    fn event_past_wall_extends_span_instead_of_vanishing() {
+        // The event ends at 200 ms but the wall clock reads 100 ms
+        // (clock skew): the strip must still show the second half busy
+        // rather than clipping the event away.
+        let r = report_with_traces(100, vec![vec![(100, 200)]]);
+        let s = render_timeline(&r, 10);
+        assert_eq!(s.trim_end(), "w0   |·····#####|");
+        let u = utilization_curve(&r, 2);
+        assert!(
+            (u[0] - 0.0).abs() < 1e-9 && (u[1] - 1.0).abs() < 1e-9,
+            "{u:?}"
+        );
+    }
+
+    #[test]
+    fn zero_wall_with_events_still_renders() {
+        // A degenerate report (wall never measured) with real events:
+        // the effective span comes from the events.
+        let r = report_with_traces(0, vec![vec![(0, 40)]]);
+        let s = render_timeline(&r, 4);
+        assert_eq!(s.trim_end(), "w0   |####|");
+    }
+
+    #[test]
     fn real_trace_integrates_to_busy_fraction() {
         // Run an actual traced execution and check the curve average is
         // close to the report's utilization.
@@ -153,15 +238,23 @@ mod tests {
         use crate::pool::Executor;
         let mut ex = Executor::new(2, ExecutionModel::StaticCyclic);
         ex.trace = true;
-        let (_, r) = ex.run(200, |_| 0.0f64, |_, acc| {
-            let mut x = 1.0001f64;
-            for _ in 0..5_000 {
-                x = x * 1.0000003 + 0.0000001;
-            }
-            *acc += x;
-        });
+        let (_, r) = ex.run(
+            200,
+            |_| 0.0f64,
+            |_, acc| {
+                let mut x = 1.0001f64;
+                for _ in 0..5_000 {
+                    x = x * 1.0000003 + 0.0000001;
+                }
+                *acc += x;
+            },
+        );
         let u = utilization_curve(&r, 20);
         let avg = u.iter().sum::<f64>() / u.len() as f64;
-        assert!((avg - r.utilization()).abs() < 0.25, "avg {avg} vs {}", r.utilization());
+        assert!(
+            (avg - r.utilization()).abs() < 0.25,
+            "avg {avg} vs {}",
+            r.utilization()
+        );
     }
 }

@@ -99,7 +99,10 @@ mod tests {
 
     #[test]
     fn per_core_uniform_in_range_and_deterministic() {
-        let v = Variability::PerCoreUniform { spread: 0.5, seed: 42 };
+        let v = Variability::PerCoreUniform {
+            spread: 0.5,
+            seed: 42,
+        };
         for w in 0..16 {
             let f = v.factor(w, 16, Duration::ZERO);
             assert!((1.0..=1.5).contains(&f), "factor {f}");
@@ -113,7 +116,10 @@ mod tests {
 
     #[test]
     fn slow_cores_affects_prefix_only() {
-        let v = Variability::SlowCores { factor: 2.0, count: 2 };
+        let v = Variability::SlowCores {
+            factor: 2.0,
+            count: 2,
+        };
         assert_eq!(v.factor(0, 8, Duration::ZERO), 2.0);
         assert_eq!(v.factor(1, 8, Duration::ZERO), 2.0);
         assert_eq!(v.factor(2, 8, Duration::ZERO), 1.0);
@@ -121,13 +127,19 @@ mod tests {
 
     #[test]
     fn slow_cores_clamps_below_one() {
-        let v = Variability::SlowCores { factor: 0.5, count: 1 };
+        let v = Variability::SlowCores {
+            factor: 0.5,
+            count: 1,
+        };
         assert_eq!(v.factor(0, 4, Duration::ZERO), 1.0);
     }
 
     #[test]
     fn sinusoidal_bounds_and_time_dependence() {
-        let v = Variability::Sinusoidal { amplitude: 0.8, period: Duration::from_millis(100) };
+        let v = Variability::Sinusoidal {
+            amplitude: 0.8,
+            period: Duration::from_millis(100),
+        };
         for w in 0..4 {
             for ms in [0u64, 13, 27, 50, 77, 99] {
                 let f = v.factor(w, 4, Duration::from_millis(ms));

@@ -12,7 +12,10 @@ use emx_chem::prelude::*;
 
 fn main() {
     println!("H2 / STO-3G dissociation (energies in Hartree)\n");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>8}", "R/a0", "RHF", "RHF+MP2", "UHF", "<S2>");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "R/a0", "RHF", "RHF+MP2", "UHF", "<S2>"
+    );
     println!("{}", "-".repeat(56));
     let cfg = ScfConfig::default();
     for r in [1.0, 1.4, 2.0, 3.0, 4.0, 6.0, 8.0] {

@@ -76,5 +76,9 @@ fn main() {
         traffic.messages,
         traffic.bytes
     );
-    println!("NXTVAL issued {} values for {} tasks", counter.peek(), tasks.len());
+    println!(
+        "NXTVAL issued {} values for {} tasks",
+        counter.peek(),
+        tasks.len()
+    );
 }

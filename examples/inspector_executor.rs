@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example inspector_executor`
 
-use emx_balance::prelude::{rebalance, movement, PersistenceConfig, Problem};
+use emx_balance::prelude::{movement, rebalance, PersistenceConfig, Problem};
 use emx_chem::prelude::*;
 use emx_core::prelude::{fmt3, ParallelFock};
 use emx_linalg::Matrix;
@@ -31,7 +31,10 @@ fn main() {
     let mut assignment: Vec<u32> = (0..pf.ntasks())
         .map(|i| emx_runtime::block_owner(i, pf.ntasks(), workers) as u32)
         .collect();
-    let persistence = PersistenceConfig { target_imbalance: 1.02, max_moves: usize::MAX };
+    let persistence = PersistenceConfig {
+        target_imbalance: 1.02,
+        max_moves: usize::MAX,
+    };
 
     let cfg = ScfConfig::default();
     let mut iteration = 0usize;
@@ -70,7 +73,11 @@ fn main() {
     println!("iter  imbalance(run)  imbalance(rebalanced)  migrated");
     println!("------------------------------------------------------");
     for (it, before, after, moved) in &history {
-        println!("{it:>4}  {:>14}  {:>21}  {moved:>8}", fmt3(*before), fmt3(*after));
+        println!(
+            "{it:>4}  {:>14}  {:>21}  {moved:>8}",
+            fmt3(*before),
+            fmt3(*after)
+        );
     }
     println!(
         "\nE = {:.8} Ha in {} iterations (converged: {})",

@@ -37,7 +37,10 @@ fn main() {
         "work stealing: E = {:.8} Ha in {} iterations (converged: {})",
         r_ws.energy, r_ws.iterations, r_ws.converged
     );
-    assert!((r_serial.energy - r_ws.energy).abs() < 1e-8, "models must agree");
+    assert!(
+        (r_serial.energy - r_ws.energy).abs() < 1e-8,
+        "models must agree"
+    );
 
     let last = reports.last().expect("at least one iteration");
     println!(

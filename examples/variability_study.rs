@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example variability_study`
 
-use emx_core::prelude::*;
 use emx_chem::synthetic::CostModel;
+use emx_core::prelude::*;
 use emx_distsim::machine::MachineModel;
 
 fn main() {
@@ -27,7 +27,10 @@ fn main() {
     // The same scenarios on a skewed chemistry-like workload: dynamic
     // models must absorb both kinds of imbalance at once.
     let skewed = synthetic_workload(
-        CostModel::LogNormal { mu: 0.0, sigma: 1.4 },
+        CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.4,
+        },
         4096,
         3,
         4.0,

@@ -9,7 +9,13 @@ use emx_balance::prelude::*;
 use emx_core::prelude::*;
 
 fn chem_workload() -> KernelWorkload {
-    measure_fock_workload(&Molecule::water_cluster(2, 5), BasisSet::Sto3g, 8, 1e-10, "(H2O)2")
+    measure_fock_workload(
+        &Molecule::water_cluster(2, 5),
+        BasisSet::Sto3g,
+        8,
+        1e-10,
+        "(H2O)2",
+    )
 }
 
 #[test]
@@ -47,7 +53,10 @@ fn hypergraph_is_the_expensive_one_at_scale() {
     // (much) more than semi-matching and LPT — the paper's E4 point.
     let n = 20_000;
     let w = synthetic_workload(
-        CostModel::LogNormal { mu: 0.0, sigma: 1.0 },
+        CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.0,
+        },
         n,
         9,
         1.0,
@@ -91,9 +100,13 @@ fn persistence_rebalancing_converges_over_iterations() {
     // persistence balancer keeps imbalance low with bounded migration.
     let w = chem_workload();
     let p = 6;
-    let mut assignment: Vec<u32> =
-        (0..w.ntasks()).map(|i| emx_runtime::block_owner(i, w.ntasks(), p) as u32).collect();
-    let cfg = PersistenceConfig { target_imbalance: 1.1, max_moves: usize::MAX };
+    let mut assignment: Vec<u32> = (0..w.ntasks())
+        .map(|i| emx_runtime::block_owner(i, w.ntasks(), p) as u32)
+        .collect();
+    let cfg = PersistenceConfig {
+        target_imbalance: 1.1,
+        max_moves: usize::MAX,
+    };
     let mut imbalances = Vec::new();
     for iter in 0..5 {
         // Slight deterministic drift models iteration-to-iteration noise.
@@ -127,7 +140,10 @@ fn unit_semi_matching_on_fock_affinity_graph() {
     // owners of the blocks it touches (blocks distributed round-robin).
     let w = chem_workload();
     let p = 4;
-    let affinity = w.affinity.as_ref().expect("chemistry workload has affinity");
+    let affinity = w
+        .affinity
+        .as_ref()
+        .expect("chemistry workload has affinity");
     let adj: Adjacency = affinity
         .touches
         .iter()
@@ -141,7 +157,10 @@ fn unit_semi_matching_on_fock_affinity_graph() {
     let a = optimal_semi_matching_unit(&adj, p);
     assert!(is_valid(&a, w.ntasks(), p));
     for (t, &worker) in a.iter().enumerate() {
-        assert!(adj[t].contains(&worker), "task {t} placed off its candidate set");
+        assert!(
+            adj[t].contains(&worker),
+            "task {t} placed off its candidate set"
+        );
     }
     // Unit loads should be near-perfectly spread.
     let mut loads = vec![0usize; p];

@@ -65,8 +65,12 @@ fn fock_identical_across_models_and_granularities() {
 fn full_scf_energy_invariant_under_execution_model() {
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let cfg = ScfConfig::default();
-    let (reference, _) =
-        rhf_parallel(&bm, &cfg, &Executor::new(1, ExecutionModel::Serial), usize::MAX);
+    let (reference, _) = rhf_parallel(
+        &bm,
+        &cfg,
+        &Executor::new(1, ExecutionModel::Serial),
+        usize::MAX,
+    );
     assert!(reference.converged);
     assert!((reference.energy + 74.96).abs() < 0.05);
 
@@ -118,8 +122,14 @@ fn variability_injection_does_not_change_results() {
     let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
 
     let mut ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
-    ex.variability = Variability::SlowCores { factor: 2.0, count: 1 };
+    ex.variability = Variability::SlowCores {
+        factor: 2.0,
+        count: 1,
+    };
     let (g, report) = pf.execute(&d, &ex);
     assert!(g.max_abs_diff(&reference) < 1e-11);
-    assert!(report.worker_stats.iter().any(|w| w.padded > std::time::Duration::ZERO));
+    assert!(report
+        .worker_stats
+        .iter()
+        .any(|w| w.padded > std::time::Duration::ZERO));
 }

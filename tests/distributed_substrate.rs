@@ -11,7 +11,9 @@ use emx_linalg::Matrix;
 
 fn setup() -> (BasisedMolecule, Matrix) {
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
-    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| 0.3 / (1.0 + (i as f64 - j as f64).abs()));
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+        0.3 / (1.0 + (i as f64 - j as f64).abs())
+    });
     d.symmetrize();
     (bm, d)
 }
@@ -42,7 +44,11 @@ fn nxtval_scheduled_ga_fock_matches_serial() {
             ctx.barrier();
             n
         });
-        assert_eq!(executed.iter().sum::<usize>(), tasks.len(), "nranks {nranks}");
+        assert_eq!(
+            executed.iter().sum::<usize>(),
+            tasks.len(),
+            "nranks {nranks}"
+        );
 
         let mut g = Matrix::zeros(nbf, nbf);
         g.as_mut_slice().copy_from_slice(&fock.gather());
@@ -83,8 +89,7 @@ fn row_blocked_accumulation_matches_full_acc() {
         for owner in 0..nranks {
             let (r0, r1) = fock.local_rows(owner);
             if r1 > r0 {
-                let block: Vec<f64> =
-                    local.as_slice()[r0 * nbf..r1 * nbf].to_vec();
+                let block: Vec<f64> = local.as_slice()[r0 * nbf..r1 * nbf].to_vec();
                 fock.acc(ctx.rank, r0, 0, r1 - r0, nbf, 1.0, &block);
             }
         }

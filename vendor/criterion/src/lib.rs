@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-harness API surface this workspace's
+//! `benches/` use — groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple median-of-samples timer
+//! instead of criterion's statistical machinery. Good enough to run the
+//! benches offline and print comparable numbers; not a replacement for
+//! real criterion when rigorous confidence intervals are needed.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle created by `criterion_main!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Units-of-work annotation for a group (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label;
+        self.run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut b);
+        }
+        // Sampling: median of per-iteration means across samples.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+        let full = if self.name.is_empty() {
+            label.to_string()
+        } else {
+            format!("{}/{}", self.name, label)
+        };
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.3e} elem/s)", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  ({:.3e} B/s)", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        println!("{full:<48} {:>12.3} us/iter{extra}", median * 1e6);
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier showing only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into an identifier.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A small fixed batch keeps per-call overhead amortized without
+        // criterion's adaptive iteration counts.
+        const BATCH: u64 = 8;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Re-export so generated code can name it unambiguously.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Unbounded MPMC channel on `Mutex` + `Condvar`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+}
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Error returned when all receivers are gone (never in this shim: the
+/// queue is unbounded and receivers are not tracked).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by `recv` when the channel is empty and every sender
+/// has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; never blocks.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.chan.queue.lock().expect("channel poisoned");
+        q.push_back(value);
+        drop(q);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.chan.senders.fetch_add(1, Ordering::Relaxed);
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.chan.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.chan.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.chan.ready.wait(q).expect("channel poisoned");
+        }
+    }
+
+    /// Non-blocking receive; `None` when currently empty.
+    pub fn try_recv(&self) -> Option<T> {
+        self.chan
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_unblocks_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

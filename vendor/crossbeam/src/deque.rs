@@ -1,0 +1,142 @@
+//! Work-stealing deque with the `crossbeam-deque` API shape.
+//!
+//! Owner pushes/pops at the back (LIFO), thieves steal from the front
+//! (FIFO), batch steals move up to half the victim's queue. Backed by a
+//! mutex rather than a Chase–Lev buffer; correctness-equivalent, and the
+//! executor's steal accounting (attempts, successes, batch transfers)
+//! behaves identically.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Owner handle: LIFO push/pop plus stealer creation.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Thief handle cloned from a [`Worker`].
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The victim's queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and may be retried (not produced by this
+    /// lock-based shim, but matched by callers).
+    Retry,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty deque whose owner end is LIFO.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task on the owner end.
+    pub fn push(&self, value: T) {
+        self.inner.lock().expect("deque poisoned").push_back(value);
+    }
+
+    /// Pops from the owner end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("deque poisoned").is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// Creates a thief handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the victim's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("deque poisoned").pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals up to half the victim's queue into `dest`, returning one
+    /// of the stolen tasks directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        if Arc::ptr_eq(&self.inner, &dest.inner) {
+            // Stealing from yourself transfers nothing.
+            return self.steal();
+        }
+        let batch: Vec<T> = {
+            let mut victim = self.inner.lock().expect("deque poisoned");
+            let n = victim.len().div_ceil(2).min(victim.len());
+            victim.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            return Steal::Empty;
+        }
+        let mut it = batch.into_iter();
+        let first = it.next().expect("non-empty batch");
+        let mut d = dest.inner.lock().expect("deque poisoned");
+        for v in it {
+            d.push_back(v);
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_moves_half() {
+        let victim = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        let got = victim.stealer().steal_batch_and_pop(&thief);
+        assert_eq!(got, Steal::Success(0));
+        assert_eq!(thief.len(), 3);
+        assert_eq!(victim.len(), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the two facilities the workspace uses — an unbounded MPSC
+//! channel ([`channel`]) and a work-stealing deque ([`deque`]) — on top
+//! of `std` mutexes. The lock-based deque is slower than Chase–Lev under
+//! heavy contention but is semantically identical, which is what the
+//! execution-model experiments need: steals still transfer real tasks,
+//! attempts still fail on empty victims, and batch steals still move up
+//! to half the victim's queue.
+
+pub mod channel;
+pub mod deque;

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s panic-free,
+//! poison-free API (`lock()`/`read()`/`write()` return guards directly).
+//! Poisoned locks are treated as fatal, matching `parking_lot`'s
+//! no-poisoning semantics closely enough for this workspace.
+
+use std::sync::{self, LockResult};
+
+/// Read-preferring reader–writer lock with `parking_lot`'s guard API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared read guard.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive write guard.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+fn unpoison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        unpoison(self.inner.read())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        unpoison(self.inner.write())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+/// Mutual exclusion with `parking_lot`'s guard API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// Exclusive mutex guard.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        unpoison(self.inner.lock())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

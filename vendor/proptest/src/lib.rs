@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, range and
+//! `collection::vec` strategies, `prop_map`, and `prop_assert!` /
+//! `prop_assert_eq!`. Inputs are drawn from a deterministic RNG seeded
+//! per test name and case index, so failures reproduce across runs.
+//! There is no shrinking: a failing case panics with the inputs baked
+//! into the assertion message instead.
+
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies by [`proptest!`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test-name hash and case index.
+    pub fn deterministic(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64) << 32 | 0x9e37_79b9),
+        }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Run configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, i64, i32);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes
+/// a `#[test]` that runs the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::TestRng::deterministic(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    fn small_vec() -> impl Strategy<Value = Vec<f64>> {
+        crate::collection::vec(0.0f64..10.0, 1..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, x in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vectors_sized(v in small_vec()) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0.0..10.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = (0.0f64..1.0).generate(&mut TestRng::deterministic("t", 3));
+        let b = (0.0f64..1.0).generate(&mut TestRng::deterministic("t", 3));
+        assert_eq!(a, b);
+    }
+}

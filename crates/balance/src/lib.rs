@@ -28,6 +28,8 @@
 //! assert_eq!(p.makespan(&a), 9.0); // {5,4} vs {3,3,3}
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod hpartition;
 pub mod hypergraph;
 pub mod kk;

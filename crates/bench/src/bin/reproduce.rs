@@ -5,7 +5,8 @@
 //! cargo run --release -p emx-bench --bin reproduce e2 e3      # subset
 //! ```
 //!
-//! Experiment ids follow `DESIGN.md` (E1–E8) plus `ablations` and `obs`
+//! Experiment ids follow `DESIGN.md` (E1–E8) plus `faults` (fault
+//! injection, see `docs/FAULT_MODEL.md`), `ablations` and `obs`
 //! (an instrumented capture of the whole stack). Output is plain-text
 //! tables; pass `--csv DIR` to also write stamped CSV files,
 //! `--trace-out DIR` for Chrome trace JSON and `--metrics-out FILE` for
@@ -50,6 +51,7 @@ fn main() {
             "e7",
             "e8",
             "e9",
+            "faults",
             "f1",
             "obs",
             "ablations",
@@ -142,6 +144,39 @@ fn main() {
                 let base = chem_workload_medium();
                 tables.push(e9_weak_scaling(&base, &[4, 16, 64, 256], 128, &machine));
                 tables.push(overhead_decomposition(&base, 64, &machine));
+            }
+            "faults" => {
+                let w = chem_workload_medium();
+                tables.push(e10_faults(&w, 16, &machine));
+                // Instrumented capture of one fail-stop stealing run:
+                // fault events flow through the emx-obs registry exactly
+                // as runtime/sim metrics do.
+                let reg = emx_obs::MetricsRegistry::new();
+                let ideal = w.total() / 16.0;
+                let cfg = SimConfig {
+                    workers: 16,
+                    machine,
+                    ..SimConfig::new(16)
+                };
+                let plan = FaultPlan::fault_free().with_rank_failure(3, 0.25 * ideal);
+                let r = simulate_with_faults(
+                    &w.costs,
+                    &SimModel::WorkStealing { steal_half: true },
+                    &cfg,
+                    &plan,
+                );
+                publish_fault_metrics(&reg, "faults.failstop", &r);
+                println!(
+                    "[faults] fail-stop capture on {}: injected {}, detected {}, \
+                     orphaned {}, recovered {}, lost {} ({} fault metrics registered)\n",
+                    w.name,
+                    r.faults.injected,
+                    r.faults.detected,
+                    r.faults.orphaned,
+                    r.faults.recovered,
+                    r.faults.lost,
+                    reg.snapshot().len()
+                );
             }
             "f1" => {
                 figure_timelines(&machine);

@@ -10,6 +10,7 @@ use crate::balancer::{balance, BalancerKind, TaskAffinity};
 use crate::table::{fmt3, fmt_secs, Table};
 use crate::workload::KernelWorkload;
 use emx_balance::prelude::Problem;
+use emx_distsim::faults::{simulate_with_faults, FaultPlan, RecoveryPolicy};
 use emx_distsim::machine::MachineModel;
 use emx_distsim::nxtval::NxtVal;
 use emx_distsim::sim::{simulate, SimConfig, SimModel};
@@ -573,6 +574,116 @@ pub fn overhead_decomposition(w: &KernelWorkload, p: usize, machine: &MachineMod
     t
 }
 
+/// The execution models compared under fault injection, each with the
+/// recovery policy that redistributes its orphaned tasks.
+fn fault_models(ntasks: usize, workers: usize) -> Vec<(String, SimModel, RecoveryPolicy)> {
+    let owners: Vec<u32> = (0..ntasks)
+        .map(|i| block_owner(i, ntasks.max(1), workers) as u32)
+        .collect();
+    vec![
+        (
+            "static-block".into(),
+            SimModel::Static(owners.clone()),
+            RecoveryPolicy::BlockSurvivors,
+        ),
+        (
+            "counter(c=8)".into(),
+            SimModel::Counter { chunk: 8 },
+            RecoveryPolicy::SemiMatching,
+        ),
+        (
+            "work-stealing".into(),
+            SimModel::WorkStealing { steal_half: true },
+            RecoveryPolicy::SemiMatching,
+        ),
+        (
+            "stealing+persist".into(),
+            SimModel::WorkStealing { steal_half: true },
+            RecoveryPolicy::Persistence,
+        ),
+    ]
+}
+
+/// E10 — fault injection and degraded-mode scheduling: completion time
+/// and recovery accounting for each execution model under the fault
+/// scenarios of `docs/FAULT_MODEL.md` (fail-stop rank, shared-counter
+/// host outage, straggler worker, lossy messaging). The `slowdown`
+/// column is relative to the same model's fault-free run; `orphaned` /
+/// `recovered` / `lost` count tasks through the failure-recovery path.
+pub fn e10_faults(w: &KernelWorkload, p: usize, machine: &MachineModel) -> Table {
+    assert!(p >= 4, "the fail-stop scenario kills rank 3 — need P ≥ 4");
+    let ideal = w.total() / p as f64;
+    let scenarios: Vec<(&str, FaultPlan, Variability)> = vec![
+        ("none", FaultPlan::fault_free(), Variability::None),
+        (
+            "fail-stop rank3",
+            FaultPlan::fault_free().with_rank_failure(3, 0.25 * ideal),
+            Variability::None,
+        ),
+        (
+            // The outage spans the second half of the ideal runtime —
+            // late enough that the stall cannot hide inside the counter
+            // model's trailing-imbalance slack on smooth workloads.
+            "counter outage",
+            FaultPlan::fault_free().with_counter_outage(0.5 * ideal, 0.5 * ideal),
+            Variability::None,
+        ),
+        (
+            "straggler ×4",
+            FaultPlan::fault_free(),
+            Variability::SlowCores {
+                factor: 4.0,
+                count: 1,
+            },
+        ),
+        (
+            "msg faults 5%",
+            FaultPlan::fault_free().with_message_faults(0.05, 0.10, 5e-6),
+            Variability::None,
+        ),
+    ];
+    let mut t = Table::new(
+        format!("E10: fault injection on {} at P={p}", w.name),
+        &[
+            "scenario",
+            "model",
+            "makespan",
+            "slowdown",
+            "orphaned",
+            "recovered",
+            "lost",
+        ],
+    );
+    let mut baseline: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for (sname, plan, var) in &scenarios {
+        for (mname, model, recovery) in fault_models(w.ntasks(), p) {
+            let cfg = SimConfig {
+                workers: p,
+                machine: *machine,
+                variability: *var,
+                ..SimConfig::new(p)
+            };
+            let r = simulate_with_faults(
+                &w.costs,
+                &model,
+                &cfg,
+                &plan.clone().with_recovery(recovery),
+            );
+            let base = *baseline.entry(mname.clone()).or_insert(r.sim.makespan);
+            t.push(vec![
+                sname.to_string(),
+                mname,
+                fmt_secs(r.sim.makespan),
+                fmt3(r.sim.makespan / base.max(1e-300)),
+                r.faults.orphaned.to_string(),
+                r.faults.recovered.to_string(),
+                r.faults.lost.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -713,6 +824,48 @@ mod tests {
         };
         assert_eq!(events("static-block"), 0);
         assert!(events("work-stealing") > 0);
+    }
+
+    #[test]
+    fn e10_no_tasks_lost_and_stealing_recovers_all_orphans() {
+        let t = e10_faults(&skewed(256), 8, &MachineModel::default());
+        assert_eq!(t.rows.len(), 5 * 4);
+        for row in &t.rows {
+            assert_eq!(row[6], "0", "tasks lost in {row:?}");
+        }
+        // Fail-stop must orphan work somewhere and recover every
+        // orphan, and the dead rank's tasks slow the run down.
+        let failstop: Vec<_> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "fail-stop rank3")
+            .collect();
+        assert!(failstop.iter().any(|r| r[4] != "0"), "nothing orphaned");
+        for row in &failstop {
+            assert_eq!(row[4], row[5], "orphaned ≠ recovered: {row:?}");
+            let slowdown: f64 = row[3].parse().unwrap();
+            assert!(slowdown >= 1.0, "{row:?}");
+        }
+        // Fault-free scenario is each model's baseline: slowdown 1.0,
+        // no recovery machinery engaged.
+        for row in t.rows.iter().filter(|r| r[0] == "none") {
+            assert_eq!(row[3], "1.000", "{row:?}");
+            assert_eq!(row[4], "0");
+        }
+        // The counter outage stalls the counter model more than it
+        // stalls work stealing (which never touches the counter).
+        let slow = |scenario: &str, model: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == scenario && r[1] == model)
+                .map(|r| r[3].parse().unwrap())
+                .expect("row present")
+        };
+        assert!(slow("counter outage", "counter(c=8)") >= slow("counter outage", "work-stealing"));
+        // A straggler strands whole chunks on the slow worker under
+        // counter self-scheduling; work stealing re-steals them (the E6
+        // variability result, reproduced through the fault path).
+        assert!(slow("straggler ×4", "counter(c=8)") > slow("straggler ×4", "work-stealing"));
     }
 
     #[test]

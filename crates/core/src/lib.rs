@@ -45,7 +45,7 @@ pub mod prelude {
         rhf_distributed, rhf_distributed_observed, DistScheduler, DistStats,
     };
     pub use crate::experiments::{
-        e1_scaling, e2_headline, e3_balancer_quality, e3_comm_aware, e4_partition_cost,
+        e10_faults, e1_scaling, e2_headline, e3_balancer_quality, e3_comm_aware, e4_partition_cost,
         e5_granularity, e6_variability, e7_overheads, e8_distributed, e9_weak_scaling,
         overhead_decomposition, synthetic_affinity, HeadlineResult,
     };

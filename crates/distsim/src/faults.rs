@@ -1,0 +1,1269 @@
+//! Deterministic fault injection for the distributed simulator.
+//!
+//! The paper's E6 experiment shows how execution models respond to
+//! *performance* variability (slow cores). This module generalizes that
+//! question to *hard* faults — the regime motivating task-based runtimes
+//! in the strong-scaling-limit literature: rank fail-stop, transient
+//! message loss and delay, counter-host outages, and unanswered steal
+//! requests. Every fault is scheduled or drawn deterministically from
+//! [`FaultPlan`] (seeded splitmix64 streams independent of the victim
+//! RNG), so a run is exactly reproducible given `(costs, model, cfg,
+//! plan)`.
+//!
+//! The degraded-mode story mirrors production runtimes:
+//!
+//! * **fail-stop** — a rank dies at a scheduled time; the task it is
+//!   executing loses all partial progress and is orphaned together with
+//!   any work still queued on the rank. After a heartbeat-style
+//!   [`FaultPlan::detection_interval`], survivors redistribute the
+//!   orphans through the `emx-balance` crate (see [`RecoveryPolicy`]) —
+//!   the paper's load balancers double as the recovery path;
+//! * **message faults** — counter fetches and steal requests may be
+//!   dropped (retried after [`FaultPlan::rpc_timeout`]) or delayed;
+//! * **counter outage** — the shared-counter host goes down and fetches
+//!   stall until a backup host takes over after
+//!   [`CounterOutage::failover`];
+//! * **dead-victim steals** — a steal request to a dead rank gets no
+//!   response; the thief times out and retries under exponential
+//!   backoff instead of spinning.
+//!
+//! A fault-free plan reproduces [`crate::sim::simulate`] *exactly* —
+//! same event order, same RNG draws, same makespan — which is asserted
+//! in tests and is what makes degraded-vs-healthy comparisons
+//! meaningful. See `docs/FAULT_MODEL.md` for the full contract.
+
+use crate::sim::{stretched, ChunkPolicy, OrdF64, SimConfig, SimModel, SimReport, SplitMix};
+use emx_balance::prelude::{
+    full_adjacency, rebalance, semi_matching, PersistenceConfig, Problem, SemiMatchConfig,
+};
+use emx_obs::MetricsRegistry;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A scheduled fail-stop failure of one simulated rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankFailure {
+    /// Rank (simulated worker id) that dies.
+    pub rank: usize,
+    /// Simulated time (s) at which it fail-stops. Partial progress on
+    /// the task running at that instant is lost.
+    pub at: f64,
+}
+
+/// Outage of the shared-counter host with failover to a backup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterOutage {
+    /// Outage start (s). Fetches arriving during the outage stall.
+    pub at: f64,
+    /// Time (s) until the backup counter host takes over; stalled
+    /// fetches resume at `at + failover`.
+    pub failover: f64,
+}
+
+/// How survivors redistribute a dead rank's orphaned tasks.
+///
+/// All three run the orphan set through `emx-balance`, so the fault
+/// path exercises the paper's load-balancing machinery end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Contiguous blocks of orphans over survivors in rank order — the
+    /// cheapest possible reassignment, ignores weights and loads.
+    BlockSurvivors,
+    /// Weighted semi-matching ([`semi_matching`]) of the orphans onto
+    /// survivors, with each survivor's residual load modeled as a
+    /// pinned phantom task so loaded survivors receive less.
+    SemiMatching,
+    /// Persistence-style rebalance ([`rebalance`]): orphans start as a
+    /// naive single-survivor assignment and the rebalancer migrates the
+    /// minimum weight needed to meet its imbalance target.
+    Persistence,
+}
+
+impl RecoveryPolicy {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::BlockSurvivors => "block-survivors",
+            RecoveryPolicy::SemiMatching => "semi-matching",
+            RecoveryPolicy::Persistence => "persistence",
+        }
+    }
+}
+
+/// Deterministic fault schedule for one simulated run.
+///
+/// The default plan is fault-free and reproduces the healthy simulator
+/// bit-for-bit; builder methods ([`FaultPlan::with_rank_failure`] etc.)
+/// switch individual faults on.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the fault-fate RNG (message drop/delay draws). This is
+    /// a *separate* splitmix64 stream from [`SimConfig::seed`]'s victim
+    /// selection, so enabling message faults never perturbs victim
+    /// choice.
+    pub seed: u64,
+    /// Scheduled fail-stop failures. Multiple entries for one rank keep
+    /// the earliest.
+    pub rank_failures: Vec<RankFailure>,
+    /// Probability in `[0, 1)` that a counter fetch or steal request is
+    /// silently dropped (retried after [`FaultPlan::rpc_timeout`]).
+    pub drop_prob: f64,
+    /// Probability in `[0, 1)` that a message is delayed by
+    /// [`FaultPlan::delay`] instead of arriving on time.
+    pub delay_prob: f64,
+    /// Extra latency (s) applied to delayed messages.
+    pub delay: f64,
+    /// Optional shared-counter host outage (applies to the group-0
+    /// counter under `GroupCounters`).
+    pub counter_outage: Option<CounterOutage>,
+    /// No-response deadline (s) for counter fetches and steal round
+    /// trips: a dropped request or dead victim costs the sender this
+    /// much waiting before it retries.
+    pub rpc_timeout: f64,
+    /// First exponential-backoff wait (s) after a failed steal. `0`
+    /// disables backoff (and is required for fault-free baseline
+    /// equality).
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff wait per consecutive failure.
+    pub backoff_factor: f64,
+    /// Upper bound (s) on one backoff wait.
+    pub backoff_max: f64,
+    /// Heartbeat-style failure-detection time (s): orphans of a rank
+    /// dying at `t` become redistributable at `t + detection_interval`.
+    pub detection_interval: f64,
+    /// Orphan redistribution policy.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0xfa017,
+            rank_failures: Vec::new(),
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay: 0.0,
+            counter_outage: None,
+            rpc_timeout: 100e-6,
+            backoff_base: 0.0,
+            backoff_factor: 2.0,
+            backoff_max: 1e-3,
+            detection_interval: 1e-3,
+            recovery: RecoveryPolicy::SemiMatching,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing — [`simulate_with_faults`] under this
+    /// plan reproduces [`crate::sim::simulate`] exactly.
+    pub fn fault_free() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules no fault of any kind.
+    pub fn is_fault_free(&self) -> bool {
+        self.rank_failures.is_empty()
+            && self.drop_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.counter_outage.is_none()
+    }
+
+    /// Adds a fail-stop failure of `rank` at time `at` (s).
+    pub fn with_rank_failure(mut self, rank: usize, at: f64) -> FaultPlan {
+        self.rank_failures.push(RankFailure { rank, at });
+        self
+    }
+
+    /// Schedules a counter-host outage starting at `at` with the given
+    /// failover time (both seconds).
+    pub fn with_counter_outage(mut self, at: f64, failover: f64) -> FaultPlan {
+        self.counter_outage = Some(CounterOutage { at, failover });
+        self
+    }
+
+    /// Enables transient message faults: requests dropped with
+    /// probability `drop_prob`, delayed by `delay` seconds with
+    /// probability `delay_prob`.
+    pub fn with_message_faults(mut self, drop_prob: f64, delay_prob: f64, delay: f64) -> FaultPlan {
+        self.drop_prob = drop_prob;
+        self.delay_prob = delay_prob;
+        self.delay = delay;
+        self
+    }
+
+    /// Enables exponential backoff on failed steals: waits
+    /// `base · factor^(k−1)` (capped at `max`) after the `k`-th
+    /// consecutive failure.
+    pub fn with_backoff(mut self, base: f64, factor: f64, max: f64) -> FaultPlan {
+        self.backoff_base = base;
+        self.backoff_factor = factor;
+        self.backoff_max = max;
+        self
+    }
+
+    /// Selects the orphan-redistribution policy.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> FaultPlan {
+        self.recovery = policy;
+        self
+    }
+
+    fn validate(&self, workers: usize) {
+        for f in &self.rank_failures {
+            assert!(f.rank < workers, "failed rank {} out of range", f.rank);
+            assert!(f.at.is_finite() && f.at >= 0.0, "failure time invalid");
+        }
+        assert!(
+            (0.0..1.0).contains(&self.drop_prob),
+            "drop_prob outside [0,1)"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.delay_prob),
+            "delay_prob outside [0,1)"
+        );
+        assert!(self.delay >= 0.0, "delay must be non-negative");
+        assert!(self.detection_interval >= 0.0, "detection_interval < 0");
+        if self.drop_prob > 0.0 || !self.rank_failures.is_empty() {
+            assert!(
+                self.rpc_timeout > 0.0,
+                "rpc_timeout must be positive when requests can go unanswered"
+            );
+        }
+    }
+}
+
+/// Fault/recovery event counts of one degraded run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Fault events that fired (rank deaths, dropped/delayed messages,
+    /// counter outage).
+    pub injected: u64,
+    /// Rank failures the scheduler detected and acted upon.
+    pub detected: u64,
+    /// Tasks orphaned by rank deaths (a task re-orphaned by a second
+    /// death counts again).
+    pub orphaned: u64,
+    /// Orphaned tasks re-executed to completion on survivors.
+    pub recovered: u64,
+    /// Tasks never executed (only possible when every rank that could
+    /// run them died).
+    pub lost: u64,
+    /// Messages silently dropped (retried by the sender).
+    pub dropped_messages: u64,
+    /// Messages that arrived late by [`FaultPlan::delay`].
+    pub delayed_messages: u64,
+    /// Round trips abandoned after [`FaultPlan::rpc_timeout`] because a
+    /// dead rank never responded.
+    pub rpc_timeouts: u64,
+    /// Counter-host failovers to the backup (0 or 1).
+    pub counter_failovers: u64,
+    /// Per-recovered-task latency (s) from the orphaning death to the
+    /// completed re-execution.
+    pub recovery_latency: Vec<f64>,
+}
+
+/// Result of a fault-injected simulation: the usual [`SimReport`] plus
+/// fault accounting.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Performance report (makespan, busy, tasks, steals, …).
+    pub sim: SimReport,
+    /// Fault and recovery accounting.
+    pub faults: FaultStats,
+}
+
+/// Runs `costs` under `model` with faults injected per `plan`.
+///
+/// With [`FaultPlan::fault_free`], this is event-for-event identical to
+/// [`crate::sim::simulate`].
+pub fn simulate_with_faults(
+    costs: &[f64],
+    model: &SimModel,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> FaultReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    plan.validate(cfg.workers);
+    match model {
+        SimModel::Static(owners) => faulty_static(costs, owners, cfg, plan),
+        SimModel::Counter { chunk } => {
+            faulty_counter(costs, ChunkPolicy::Fixed(*chunk), 1, cfg, plan)
+        }
+        SimModel::Guided { min_chunk } => {
+            faulty_counter(costs, ChunkPolicy::Guided(*min_chunk), 1, cfg, plan)
+        }
+        SimModel::GroupCounters { groups, chunk } => faulty_counter(
+            costs,
+            ChunkPolicy::Fixed(*chunk),
+            (*groups).max(1),
+            cfg,
+            plan,
+        ),
+        SimModel::WorkStealing { steal_half } => {
+            faulty_stealing(costs, *steal_half, None, None, cfg, plan)
+        }
+        SimModel::SeededStealing { owners, steal_half } => {
+            faulty_stealing(costs, *steal_half, None, Some(owners), cfg, plan)
+        }
+        SimModel::HierarchicalStealing {
+            steal_half,
+            node_size,
+            remote_factor,
+        } => faulty_stealing(
+            costs,
+            *steal_half,
+            Some(((*node_size).max(1), remote_factor.max(1.0))),
+            None,
+            cfg,
+            plan,
+        ),
+    }
+}
+
+/// Publishes the fault accounting of `report` into `metrics` under
+/// `prefix` (e.g. `distsim.faults`): one counter per [`FaultStats`]
+/// field and a histogram of recovery latency in nanoseconds.
+pub fn publish_fault_metrics(metrics: &MetricsRegistry, prefix: &str, report: &FaultReport) {
+    let f = &report.faults;
+    let add = |name: &str, unit: &str, v: u64| {
+        metrics.counter(&format!("{prefix}.{name}"), unit).add(v);
+    };
+    add("injected", "events", f.injected);
+    add("detected", "events", f.detected);
+    add("orphaned", "tasks", f.orphaned);
+    add("recovered", "tasks", f.recovered);
+    add("lost", "tasks", f.lost);
+    add("dropped_messages", "messages", f.dropped_messages);
+    add("delayed_messages", "messages", f.delayed_messages);
+    add("rpc_timeouts", "events", f.rpc_timeouts);
+    add("counter_failovers", "events", f.counter_failovers);
+    let hist = metrics.histogram(&format!("{prefix}.recovery_latency"), "ns");
+    for &lat in &f.recovery_latency {
+        hist.record((lat * 1e9) as u64);
+    }
+}
+
+/// Earliest scheduled death per worker.
+fn death_times(p: usize, plan: &FaultPlan) -> Vec<Option<f64>> {
+    let mut d: Vec<Option<f64>> = vec![None; p];
+    for f in &plan.rank_failures {
+        d[f.rank] = Some(d[f.rank].map_or(f.at, |x: f64| x.min(f.at)));
+    }
+    d
+}
+
+/// Assigns orphan tasks to survivors; returns, per orphan, an index
+/// into the survivor list. `survivor_loads` are the survivors' residual
+/// completion times (s).
+fn assign_orphans(weights: &[f64], survivor_loads: &[f64], policy: RecoveryPolicy) -> Vec<usize> {
+    let s = survivor_loads.len();
+    assert!(s > 0, "no survivors to receive orphans");
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    match policy {
+        RecoveryPolicy::BlockSurvivors => (0..n).map(|i| i * s / n).collect(),
+        RecoveryPolicy::SemiMatching => {
+            // Orphans may go anywhere; each survivor's residual load is
+            // a phantom task pinned to it so the balancer sees current
+            // imbalance.
+            let base = survivor_loads.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut w = weights.to_vec();
+            let mut adj = full_adjacency(n, s);
+            for (k, &load) in survivor_loads.iter().enumerate() {
+                w.push((load - base).max(0.0));
+                adj.push(vec![k as u32]);
+            }
+            let problem = Problem::new(w, s);
+            let assignment = semi_matching(&problem, &adj, &SemiMatchConfig::default());
+            assignment[..n].iter().map(|&x| x as usize).collect()
+        }
+        RecoveryPolicy::Persistence => {
+            // Naive initial placement (everything on the least-loaded
+            // survivor), then the persistence rebalancer migrates the
+            // minimum to meet its imbalance target.
+            let least = survivor_loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN load"))
+                .map_or(0, |(k, _)| k);
+            let previous = vec![least as u32; n];
+            let problem = Problem::new(weights.to_vec(), s);
+            let assignment = rebalance(&problem, &previous, &PersistenceConfig::default());
+            assignment.iter().map(|&x| x as usize).collect()
+        }
+    }
+}
+
+fn faulty_static(costs: &[f64], owners: &[u32], cfg: &SimConfig, plan: &FaultPlan) -> FaultReport {
+    assert_eq!(owners.len(), costs.len(), "assignment length mismatch");
+    let p = cfg.workers;
+    let m = &cfg.machine;
+    let death = death_times(p, plan);
+    let mut busy = vec![0.0; p];
+    let mut clock = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    let mut stats = FaultStats::default();
+    // (task, origin rank) in task order.
+    let mut orphans: Vec<(usize, usize)> = Vec::new();
+
+    for (i, &w) in owners.iter().enumerate() {
+        let w = w as usize;
+        assert!(w < p, "owner out of range");
+        if let Some(dt) = death[w] {
+            if clock[w] >= dt {
+                orphans.push((i, w));
+                continue;
+            }
+        }
+        let dur = stretched(costs[i], w, clock[w], cfg) + m.dispatch_overhead;
+        if let Some(dt) = death[w] {
+            if clock[w] + dur > dt {
+                // Killed mid-task: partial progress is lost and the
+                // task is orphaned along with the rest of the list.
+                busy[w] += dt - clock[w];
+                clock[w] = dt;
+                orphans.push((i, w));
+                continue;
+            }
+        }
+        if cfg.trace {
+            traces[w].push((clock[w], clock[w] + dur));
+        }
+        clock[w] += dur;
+        busy[w] += dur;
+        tasks[w] += 1;
+    }
+
+    stats.injected = death.iter().flatten().count() as u64;
+    stats.orphaned = orphans.len() as u64;
+    let survivors: Vec<usize> = (0..p).filter(|&w| death[w].is_none()).collect();
+    if !survivors.is_empty() {
+        // Heartbeat detection: every death is eventually noticed.
+        stats.detected = stats.injected;
+    }
+    if !orphans.is_empty() {
+        if survivors.is_empty() {
+            stats.lost = orphans.len() as u64;
+        } else {
+            let weights: Vec<f64> = orphans.iter().map(|&(i, _)| costs[i]).collect();
+            let loads: Vec<f64> = survivors.iter().map(|&s| clock[s]).collect();
+            let assign = assign_orphans(&weights, &loads, plan.recovery);
+            for (k, &(i, origin)) in orphans.iter().enumerate() {
+                let s = survivors[assign[k]];
+                let dt = death[origin].expect("orphan origin died");
+                // The replacement copy starts once the failure is
+                // detected and the reassignment round trip completes.
+                let start = clock[s].max(dt + plan.detection_interval + m.round_trip());
+                let dur = stretched(costs[i], s, start, cfg) + m.dispatch_overhead;
+                if cfg.trace {
+                    traces[s].push((start, start + dur));
+                }
+                clock[s] = start + dur;
+                busy[s] += dur;
+                tasks[s] += 1;
+                stats.recovered += 1;
+                stats.recovery_latency.push(start + dur - dt);
+            }
+        }
+    }
+
+    FaultReport {
+        sim: SimReport {
+            makespan: clock.iter().cloned().fold(0.0, f64::max),
+            busy,
+            tasks,
+            steals: 0,
+            steal_attempts: 0,
+            counter_fetches: 0,
+            comm: Vec::new(),
+            traces,
+        },
+        faults: stats,
+    }
+}
+
+fn faulty_counter(
+    costs: &[f64],
+    policy: ChunkPolicy,
+    groups: usize,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> FaultReport {
+    if let ChunkPolicy::Fixed(c) = policy {
+        assert!(c > 0, "chunk must be positive");
+    }
+    if let ChunkPolicy::Guided(mc) = policy {
+        assert!(mc > 0, "min_chunk must be positive");
+    }
+    let p = cfg.workers;
+    let n = costs.len();
+    let m = &cfg.machine;
+    let groups = groups.min(p).max(1);
+    let wgroup = |w: usize| w * groups / p;
+    let range = |g: usize| (g * n / groups, (g + 1) * n / groups);
+    let mut group_size = vec![0usize; groups];
+    for w in 0..p {
+        group_size[wgroup(w)] += 1;
+    }
+
+    let death = death_times(p, plan);
+    let mut dead = vec![false; p];
+    // Workers scheduled to die whose death has not been processed yet —
+    // while any exist, idle survivors park instead of retiring because
+    // orphans may still appear.
+    let mut undead = death.iter().flatten().count();
+    let mut stats = FaultStats::default();
+    let mut outage_fired = false;
+
+    let mut busy = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    let mut fetches = 0u64;
+    let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
+    let mut counter_free = vec![0.0f64; groups];
+    let mut makespan = 0.0f64;
+    let mut executed = 0usize;
+
+    // Global orphan-recovery queue: survivors of any group drain it once
+    // the originating failure is detected (`recovery_open`).
+    let mut recovery: VecDeque<usize> = VecDeque::new();
+    let mut recovery_open = f64::INFINITY;
+    let mut orphan_death = vec![f64::NAN; n];
+    let mut parked: Vec<(usize, f64)> = Vec::new();
+    let mut fate = SplitMix::new(plan.seed ^ 0x0bad_cafe);
+
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+
+    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+        if dead[w] {
+            continue;
+        }
+        if let Some(dt) = death[w] {
+            if arrival >= dt {
+                // Died while idle or in flight: it held no claimed
+                // tasks, so nothing is orphaned.
+                dead[w] = true;
+                undead -= 1;
+                stats.injected += 1;
+                stats.detected += 1;
+                continue;
+            }
+        }
+        let mut arrival = arrival;
+        // Transient message faults on the fetch request.
+        if plan.drop_prob > 0.0 && fate.unit() < plan.drop_prob {
+            stats.dropped_messages += 1;
+            stats.injected += 1;
+            heap.push(Reverse((OrdF64(arrival + plan.rpc_timeout), w)));
+            continue;
+        }
+        if plan.delay_prob > 0.0 && fate.unit() < plan.delay_prob {
+            stats.delayed_messages += 1;
+            stats.injected += 1;
+            arrival += plan.delay;
+        }
+        let g = wgroup(w);
+        // The group's counter host serializes its fetches.
+        let mut start = arrival.max(counter_free[g]);
+        if g == 0 {
+            if let Some(o) = plan.counter_outage {
+                if start >= o.at && start < o.at + o.failover {
+                    // Counter host down: the fetch stalls until the
+                    // backup host takes over.
+                    start = o.at + o.failover;
+                    if !outage_fired {
+                        outage_fired = true;
+                        stats.injected += 1;
+                        stats.counter_failovers += 1;
+                    }
+                }
+            }
+        }
+        counter_free[g] = start + m.counter_service;
+        fetches += 1;
+        let response = counter_free[g] + m.latency;
+        let (_, gend) = range(g);
+
+        // Claim: main group range first, then the recovery queue.
+        let claimed: Vec<usize> = if next_task[g] < gend {
+            let remaining = gend - next_task[g];
+            let chunk = policy.claim(remaining, group_size[g]);
+            let begin = next_task[g];
+            next_task[g] = begin + chunk;
+            (begin..begin + chunk).collect()
+        } else if !recovery.is_empty() {
+            if response < recovery_open {
+                // Orphans exist but the failure is not yet detected —
+                // come back once it is.
+                heap.push(Reverse((OrdF64(recovery_open), w)));
+                continue;
+            }
+            let chunk = policy.claim(recovery.len(), group_size[g]);
+            (0..chunk).filter_map(|_| recovery.pop_front()).collect()
+        } else if undead > 0 {
+            // Nothing to do now, but a rank is still scheduled to die —
+            // park until its orphans (if any) appear.
+            parked.push((w, response));
+            continue;
+        } else {
+            continue; // range exhausted, no recovery work: retire
+        };
+
+        // Execute the claim, honoring a mid-chunk death.
+        let mut t = response;
+        let mut died_at: Option<f64> = None;
+        let mut first_unrun = claimed.len();
+        for (k, &i) in claimed.iter().enumerate() {
+            if let Some(dt) = death[w] {
+                if t >= dt {
+                    died_at = Some(dt);
+                    first_unrun = k;
+                    break;
+                }
+            }
+            let dur = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
+            if let Some(dt) = death[w] {
+                if t + dur > dt {
+                    busy[w] += dt - t;
+                    t = dt;
+                    died_at = Some(dt);
+                    first_unrun = k;
+                    break;
+                }
+            }
+            if cfg.trace {
+                traces[w].push((t, t + dur));
+            }
+            t += dur;
+            busy[w] += dur;
+            tasks[w] += 1;
+            executed += 1;
+            if !orphan_death[i].is_nan() {
+                stats.recovered += 1;
+                stats.recovery_latency.push(t - orphan_death[i]);
+            }
+        }
+        makespan = makespan.max(t);
+        if let Some(dt) = died_at {
+            dead[w] = true;
+            undead -= 1;
+            stats.injected += 1;
+            stats.detected += 1;
+            for &i in &claimed[first_unrun..] {
+                orphan_death[i] = dt;
+                recovery.push_back(i);
+                stats.orphaned += 1;
+            }
+            recovery_open = recovery_open.min(dt + plan.detection_interval);
+            for (pw, pt) in parked.drain(..) {
+                heap.push(Reverse((OrdF64(recovery_open.max(pt)), pw)));
+            }
+        } else {
+            heap.push(Reverse((OrdF64(t + m.latency), w)));
+        }
+    }
+
+    stats.lost = (n - executed) as u64;
+    FaultReport {
+        sim: SimReport {
+            makespan,
+            busy,
+            tasks,
+            steals: 0,
+            steal_attempts: 0,
+            counter_fetches: fetches,
+            comm: Vec::new(),
+            traces,
+        },
+        faults: stats,
+    }
+}
+
+fn faulty_stealing(
+    costs: &[f64],
+    steal_half: bool,
+    hierarchy: Option<(usize, f64)>,
+    seed_owners: Option<&[u32]>,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> FaultReport {
+    let p = cfg.workers;
+    let n = costs.len();
+    let m = &cfg.machine;
+
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); p];
+    match seed_owners {
+        Some(owners) => {
+            assert_eq!(owners.len(), n, "seed assignment length mismatch");
+            for (i, &w) in owners.iter().enumerate() {
+                assert!((w as usize) < p, "seed owner out of range");
+                queues[w as usize].push_back(i);
+            }
+        }
+        None => {
+            for i in 0..n {
+                queues[emx_runtime::block_owner(i, n.max(1), p)].push_back(i);
+            }
+        }
+    }
+    let death = death_times(p, plan);
+    let mut dead = vec![false; p];
+    let mut stats = FaultStats::default();
+    let mut orphan_death = vec![f64::NAN; n];
+    // Pending redistributions: (due time, orphaned tasks). Processed
+    // lazily when the simulation clock reaches the due time.
+    let mut redis: Vec<(f64, Vec<usize>)> = Vec::new();
+    let mut backoff_k = vec![0u32; p];
+
+    let mut remaining = n;
+    let mut busy = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    let mut steals = 0u64;
+    let mut attempts = 0u64;
+    let mut makespan = 0.0f64;
+    let mut rng = SplitMix::new(cfg.seed);
+    let mut fate = SplitMix::new(plan.seed ^ 0x0bad_cafe);
+
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for w in 0..p {
+        heap.push(Reverse((OrdF64(0.0), seq, w)));
+        seq += 1;
+    }
+
+    // One exponential-backoff wait after the k-th consecutive failure.
+    let backoff = |k: u32| -> f64 {
+        if plan.backoff_base <= 0.0 || k == 0 {
+            0.0
+        } else {
+            (plan.backoff_base * plan.backoff_factor.powi(k as i32 - 1)).min(plan.backoff_max)
+        }
+    };
+
+    while let Some(Reverse((OrdF64(t), _, w))) = heap.pop() {
+        // Redistribute any orphan batch whose detection time has passed.
+        while let Some(k) = redis.iter().position(|&(due, _)| due <= t) {
+            let (_, orphans) = redis.swap_remove(k);
+            let survivors: Vec<usize> = (0..p).filter(|&v| !dead[v]).collect();
+            if survivors.is_empty() {
+                continue; // unreachable: the popped worker is alive
+            }
+            stats.detected += 1;
+            let weights: Vec<f64> = orphans.iter().map(|&i| costs[i]).collect();
+            let loads: Vec<f64> = survivors
+                .iter()
+                .map(|&s| queues[s].iter().map(|&i| costs[i]).sum())
+                .collect();
+            let assign = assign_orphans(&weights, &loads, plan.recovery);
+            for (k, &i) in orphans.iter().enumerate() {
+                queues[survivors[assign[k]]].push_back(i);
+            }
+        }
+
+        if dead[w] {
+            continue;
+        }
+        if let Some(dt) = death[w] {
+            if t >= dt {
+                // Fail-stop: freeze and orphan the queue; survivors
+                // redistribute it after the detection interval.
+                die(
+                    w,
+                    dt,
+                    &mut dead,
+                    &mut queues,
+                    &mut orphan_death,
+                    &mut redis,
+                    &mut stats,
+                    plan,
+                );
+                continue;
+            }
+        }
+        if let Some(i) = queues[w].pop_front() {
+            let dur = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
+            if let Some(dt) = death[w] {
+                if t + dur > dt {
+                    // Killed mid-task: partial progress lost, the task
+                    // rejoins the (now orphaned) queue.
+                    busy[w] += dt - t;
+                    queues[w].push_front(i);
+                    die(
+                        w,
+                        dt,
+                        &mut dead,
+                        &mut queues,
+                        &mut orphan_death,
+                        &mut redis,
+                        &mut stats,
+                        plan,
+                    );
+                    continue;
+                }
+            }
+            if cfg.trace {
+                traces[w].push((t, t + dur));
+            }
+            busy[w] += dur;
+            tasks[w] += 1;
+            remaining -= 1;
+            makespan = makespan.max(t + dur);
+            if !orphan_death[i].is_nan() {
+                stats.recovered += 1;
+                stats.recovery_latency.push(t + dur - orphan_death[i]);
+            }
+            backoff_k[w] = 0;
+            heap.push(Reverse((OrdF64(t + dur), seq, w)));
+            seq += 1;
+            continue;
+        }
+        if remaining == 0 {
+            continue; // global termination: worker retires
+        }
+        // No local work. If no queue holds work and no redistribution is
+        // pending, the remaining tasks are unreachable (their holders
+        // died with no survivors to hand them to) — retire cleanly.
+        if queues.iter().all(VecDeque::is_empty) && redis.is_empty() {
+            continue;
+        }
+        attempts += 1;
+        let (victim, latency) = match hierarchy {
+            Some((node_size, remote_factor)) if p > 1 => {
+                let node = w / node_size;
+                let lo = node * node_size;
+                let hi = ((node + 1) * node_size).min(p);
+                let local_has_work = (lo..hi).any(|v| v != w && !queues[v].is_empty());
+                if local_has_work && hi - lo > 1 {
+                    let span = hi - lo - 1;
+                    let mut v = lo + (rng.next() as usize) % span;
+                    if v >= w {
+                        v += 1;
+                    }
+                    (v, m.steal_latency / remote_factor)
+                } else {
+                    let mut v = (rng.next() as usize) % (p - 1);
+                    if v >= w {
+                        v += 1;
+                    }
+                    (v, m.steal_latency)
+                }
+            }
+            _ if p > 1 => {
+                let mut v = (rng.next() as usize) % (p - 1);
+                if v >= w {
+                    v += 1;
+                }
+                (v, m.steal_latency)
+            }
+            _ => (w, m.steal_latency),
+        };
+        // Transient faults on the steal request.
+        if plan.drop_prob > 0.0 && fate.unit() < plan.drop_prob {
+            stats.dropped_messages += 1;
+            stats.injected += 1;
+            backoff_k[w] += 1;
+            heap.push(Reverse((
+                OrdF64(t + plan.rpc_timeout + backoff(backoff_k[w])),
+                seq,
+                w,
+            )));
+            seq += 1;
+            continue;
+        }
+        let mut t_resolved = t + latency;
+        if plan.delay_prob > 0.0 && fate.unit() < plan.delay_prob {
+            stats.delayed_messages += 1;
+            stats.injected += 1;
+            t_resolved += plan.delay;
+        }
+        if victim != w && death[victim].is_some_and(|dt| dt <= t_resolved) {
+            // Dead victim: no response ever comes. The thief abandons
+            // the round trip after the timeout and backs off.
+            stats.rpc_timeouts += 1;
+            backoff_k[w] += 1;
+            heap.push(Reverse((
+                OrdF64(t + plan.rpc_timeout + backoff(backoff_k[w])),
+                seq,
+                w,
+            )));
+            seq += 1;
+            continue;
+        }
+        let qlen = queues[victim].len();
+        if victim != w && qlen > 0 {
+            let take = if steal_half { qlen.div_ceil(2) } else { 1 };
+            for _ in 0..take {
+                if let Some(task) = queues[victim].pop_back() {
+                    queues[w].push_back(task);
+                }
+            }
+            steals += 1;
+            backoff_k[w] = 0;
+            heap.push(Reverse((
+                OrdF64(t_resolved + take as f64 * m.steal_transfer),
+                seq,
+                w,
+            )));
+        } else {
+            // Failed attempt: back off, but never retry earlier than the
+            // next event (or the next pending redistribution, which may
+            // be the only future work source).
+            backoff_k[w] += 1;
+            let mut retry = t_resolved + backoff(backoff_k[w]);
+            let next_event = heap
+                .peek()
+                .map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
+            retry = retry.max(next_event);
+            if retry <= t {
+                if let Some(due) = redis
+                    .iter()
+                    .map(|&(due, _)| due)
+                    .min_by(|a, b| a.partial_cmp(b).expect("NaN time"))
+                {
+                    retry = retry.max(due);
+                }
+            }
+            heap.push(Reverse((OrdF64(retry), seq, w)));
+        }
+        seq += 1;
+    }
+
+    stats.lost = remaining as u64;
+    FaultReport {
+        sim: SimReport {
+            makespan,
+            busy,
+            tasks,
+            steals,
+            steal_attempts: attempts,
+            counter_fetches: 0,
+            comm: Vec::new(),
+            traces,
+        },
+        faults: stats,
+    }
+}
+
+/// Processes a fail-stop of `w` at `dt` in the stealing loop: freezes
+/// the rank, orphans its queue, and schedules redistribution after the
+/// detection interval.
+#[allow(clippy::too_many_arguments)]
+fn die(
+    w: usize,
+    dt: f64,
+    dead: &mut [bool],
+    queues: &mut [VecDeque<usize>],
+    orphan_death: &mut [f64],
+    redis: &mut Vec<(f64, Vec<usize>)>,
+    stats: &mut FaultStats,
+    plan: &FaultPlan,
+) {
+    dead[w] = true;
+    stats.injected += 1;
+    let orphans: Vec<usize> = std::mem::take(&mut queues[w]).into();
+    stats.orphaned += orphans.len() as u64;
+    for &i in &orphans {
+        orphan_death[i] = dt;
+    }
+    if !orphans.is_empty() {
+        redis.push((dt + plan.detection_interval, orphans));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+    use crate::sim::simulate;
+
+    fn block_assignment(n: usize, p: usize) -> Vec<u32> {
+        (0..n)
+            .map(|i| emx_runtime::block_owner(i, n, p) as u32)
+            .collect()
+    }
+
+    fn skewed(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64 * 1e-4).collect()
+    }
+
+    fn all_models(n: usize, p: usize) -> Vec<SimModel> {
+        vec![
+            SimModel::Static(block_assignment(n, p)),
+            SimModel::Counter { chunk: 4 },
+            SimModel::Guided { min_chunk: 2 },
+            SimModel::GroupCounters {
+                groups: 2,
+                chunk: 4,
+            },
+            SimModel::WorkStealing { steal_half: true },
+            SimModel::SeededStealing {
+                owners: block_assignment(n, p),
+                steal_half: false,
+            },
+            SimModel::HierarchicalStealing {
+                steal_half: true,
+                node_size: 2,
+                remote_factor: 4.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn fault_free_plan_reproduces_baseline() {
+        let costs = skewed(128);
+        let cfg = SimConfig::new(8);
+        let plan = FaultPlan::fault_free();
+        assert!(plan.is_fault_free());
+        for model in all_models(128, 8) {
+            let healthy = simulate(&costs, &model, &cfg);
+            let faulty = simulate_with_faults(&costs, &model, &cfg, &plan);
+            assert_eq!(
+                healthy.makespan,
+                faulty.sim.makespan,
+                "{} makespan drift",
+                model.name()
+            );
+            assert_eq!(healthy.steals, faulty.sim.steals, "{}", model.name());
+            assert_eq!(
+                healthy.counter_fetches,
+                faulty.sim.counter_fetches,
+                "{}",
+                model.name()
+            );
+            assert_eq!(healthy.tasks, faulty.sim.tasks, "{}", model.name());
+            assert_eq!(faulty.faults.injected, 0);
+            assert_eq!(faulty.faults.lost, 0);
+        }
+    }
+
+    #[test]
+    fn fail_stop_recovers_all_orphans_under_every_model() {
+        let costs = skewed(96);
+        let p = 6;
+        let cfg = SimConfig::new(p);
+        // Kill rank 3 early enough that it still holds work everywhere.
+        let total: f64 = costs.iter().sum();
+        let at = 0.2 * total / p as f64;
+        for policy in [
+            RecoveryPolicy::BlockSurvivors,
+            RecoveryPolicy::SemiMatching,
+            RecoveryPolicy::Persistence,
+        ] {
+            for model in all_models(96, p) {
+                let plan = FaultPlan::fault_free()
+                    .with_rank_failure(3, at)
+                    .with_recovery(policy);
+                let r = simulate_with_faults(&costs, &model, &cfg, &plan);
+                assert_eq!(r.faults.lost, 0, "{} {}", model.name(), policy.name());
+                assert_eq!(
+                    r.faults.recovered,
+                    r.faults.orphaned,
+                    "{} {}",
+                    model.name(),
+                    policy.name()
+                );
+                assert_eq!(
+                    r.sim.tasks.iter().sum::<usize>(),
+                    96,
+                    "{} {}: work not conserved",
+                    model.name(),
+                    policy.name()
+                );
+                assert_eq!(r.sim.tasks[3] < 96, true);
+                assert_eq!(
+                    r.faults.recovery_latency.len() as u64,
+                    r.faults.recovered,
+                    "{}",
+                    model.name()
+                );
+                assert!(
+                    r.faults
+                        .recovery_latency
+                        .iter()
+                        .all(|&l| l >= plan.detection_interval),
+                    "{}: recovery cannot precede detection",
+                    model.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_fail_stop_orphans_the_residual_list() {
+        let costs = vec![1.0; 32];
+        let p = 4;
+        let cfg = SimConfig {
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(p)
+        };
+        // Worker 1 owns tasks 8..16 and dies after ~2 of them.
+        let plan = FaultPlan::fault_free().with_rank_failure(1, 2.5);
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::Static(block_assignment(32, p)),
+            &cfg,
+            &plan,
+        );
+        // 2 done before death, the in-flight third loses progress: 6 orphans.
+        assert_eq!(r.faults.orphaned, 6);
+        assert_eq!(r.faults.recovered, 6);
+        assert_eq!(r.sim.tasks[1], 2);
+        assert!(r.sim.makespan > 8.0, "survivors absorb the orphans");
+    }
+
+    #[test]
+    fn counter_outage_stalls_then_fails_over() {
+        let costs = vec![1e-3; 64];
+        let cfg = SimConfig::new(4);
+        let baseline = simulate(&costs, &SimModel::Counter { chunk: 2 }, &cfg);
+        let plan = FaultPlan::fault_free().with_counter_outage(baseline.makespan * 0.3, 5e-3);
+        let r = simulate_with_faults(&costs, &SimModel::Counter { chunk: 2 }, &cfg, &plan);
+        assert_eq!(r.faults.counter_failovers, 1);
+        assert_eq!(r.faults.lost, 0);
+        assert_eq!(r.sim.tasks.iter().sum::<usize>(), 64);
+        assert!(
+            r.sim.makespan > baseline.makespan,
+            "outage must cost time: {} vs {}",
+            r.sim.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn message_drops_retry_until_done() {
+        let costs = skewed(64);
+        let cfg = SimConfig::new(4);
+        for model in [
+            SimModel::Counter { chunk: 2 },
+            SimModel::WorkStealing { steal_half: true },
+        ] {
+            let plan = FaultPlan::fault_free().with_message_faults(0.3, 0.2, 50e-6);
+            let r = simulate_with_faults(&costs, &model, &cfg, &plan);
+            assert!(r.faults.dropped_messages > 0, "{}", model.name());
+            assert!(r.faults.delayed_messages > 0, "{}", model.name());
+            assert_eq!(r.faults.lost, 0, "{}", model.name());
+            assert_eq!(r.sim.tasks.iter().sum::<usize>(), 64, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn dead_victim_steals_time_out_with_backoff() {
+        let costs = skewed(64);
+        let p = 4;
+        let cfg = SimConfig::new(p);
+        let total: f64 = costs.iter().sum();
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(2, 0.15 * total / p as f64)
+            .with_backoff(20e-6, 2.0, 1e-3);
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &cfg,
+            &plan,
+        );
+        assert!(r.faults.rpc_timeouts > 0, "thieves must hit the dead rank");
+        assert_eq!(r.faults.lost, 0);
+        assert_eq!(r.sim.tasks.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn all_ranks_dead_terminates_and_counts_lost() {
+        let costs = vec![1.0; 40];
+        let p = 4;
+        let cfg = SimConfig {
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(p)
+        };
+        let mut plan = FaultPlan::fault_free();
+        for w in 0..p {
+            plan = plan.with_rank_failure(w, 2.5);
+        }
+        for model in all_models(40, p) {
+            let r = simulate_with_faults(&costs, &model, &cfg, &plan);
+            let done = r.sim.tasks.iter().sum::<usize>();
+            assert!(done < 40, "{}: nobody survives to finish", model.name());
+            assert_eq!(r.faults.lost as usize, 40 - done, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let costs = skewed(80);
+        let cfg = SimConfig::new(5);
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(1, 0.01)
+            .with_message_faults(0.1, 0.1, 20e-6)
+            .with_backoff(10e-6, 2.0, 1e-3);
+        for model in all_models(80, 5) {
+            let a = simulate_with_faults(&costs, &model, &cfg, &plan);
+            let b = simulate_with_faults(&costs, &model, &cfg, &plan);
+            assert_eq!(a.sim.makespan, b.sim.makespan, "{}", model.name());
+            assert_eq!(a.faults.recovered, b.faults.recovered, "{}", model.name());
+            assert_eq!(
+                a.faults.dropped_messages,
+                b.faults.dropped_messages,
+                "{}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn publish_metrics_snapshot_contains_fault_series() {
+        let costs = skewed(48);
+        let cfg = SimConfig::new(4);
+        let plan = FaultPlan::fault_free().with_rank_failure(1, 1e-4);
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &cfg,
+            &plan,
+        );
+        let metrics = MetricsRegistry::new();
+        publish_fault_metrics(&metrics, "distsim.faults", &r);
+        let snap = metrics.snapshot();
+        assert!(snap.iter().any(|e| e.name == "distsim.faults.injected"));
+        assert!(snap
+            .iter()
+            .any(|e| e.name == "distsim.faults.recovery_latency"));
+    }
+
+    #[test]
+    fn recovery_policies_land_orphans_on_distinct_survivor_sets() {
+        // Sanity on assign_orphans itself: everything in range, and the
+        // balanced policies spread load better than a single survivor.
+        let weights: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let loads = vec![5.0, 0.0, 30.0];
+        for policy in [
+            RecoveryPolicy::BlockSurvivors,
+            RecoveryPolicy::SemiMatching,
+            RecoveryPolicy::Persistence,
+        ] {
+            let a = assign_orphans(&weights, &loads, policy);
+            assert_eq!(a.len(), 20);
+            assert!(a.iter().all(|&s| s < 3), "{}", policy.name());
+            assert!(
+                a.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+                "{} uses more than one survivor",
+                policy.name()
+            );
+        }
+    }
+}

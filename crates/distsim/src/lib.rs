@@ -13,6 +13,11 @@
 //!   a parameterized [`machine::MachineModel`], reproducing the paper's
 //!   scaling shapes for thousands of ranks on any host.
 //!
+//! [`faults`] layers deterministic fault injection (rank fail-stop,
+//! message drop/delay, counter-host outage, unanswered steals) on top of
+//! the simulator, with orphaned work redistributed through
+//! `emx-balance`. See `docs/FAULT_MODEL.md`.
+//!
 //! ## Example
 //!
 //! ```
@@ -27,6 +32,9 @@
 //! assert!(ws.makespan < st.makespan);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod faults;
 pub mod ga;
 pub mod machine;
 pub mod nxtval;
@@ -37,6 +45,10 @@ pub mod world;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::faults::{
+        publish_fault_metrics, simulate_with_faults, CounterOutage, FaultPlan, FaultReport,
+        FaultStats, RankFailure, RecoveryPolicy,
+    };
     pub use crate::ga::GlobalArray;
     pub use crate::machine::MachineModel;
     pub use crate::nxtval::NxtVal;

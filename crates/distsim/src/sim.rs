@@ -191,14 +191,27 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
 }
 
 /// How a counter fetch sizes its claim.
-enum ChunkPolicy {
+pub(crate) enum ChunkPolicy {
+    /// Fixed chunk of the given size.
     Fixed(usize),
     /// Guided: `remaining/(2·P_group)` floored at the value.
     Guided(usize),
 }
 
+impl ChunkPolicy {
+    /// Number of tasks the next fetch claims, given `remaining` tasks
+    /// and a serving group of `group_size` workers.
+    pub(crate) fn claim(&self, remaining: usize, group_size: usize) -> usize {
+        match *self {
+            ChunkPolicy::Fixed(c) => c,
+            ChunkPolicy::Guided(mc) => (remaining / (2 * group_size.max(1))).max(mc),
+        }
+        .min(remaining)
+    }
+}
+
 /// Effective duration of `cost` started at time `t` on `worker`.
-fn stretched(cost: f64, worker: usize, t: f64, cfg: &SimConfig) -> f64 {
+pub(crate) fn stretched(cost: f64, worker: usize, t: f64, cfg: &SimConfig) -> f64 {
     let f = cfg
         .variability
         .factor(worker, cfg.workers, Duration::from_secs_f64(t.max(0.0)));
@@ -411,11 +424,7 @@ fn simulate_counter_family(
             continue;
         }
         let remaining = gend - next_task[g];
-        let chunk = match policy {
-            ChunkPolicy::Fixed(c) => c,
-            ChunkPolicy::Guided(mc) => (remaining / (2 * group_size[g])).max(mc),
-        }
-        .min(remaining);
+        let chunk = policy.claim(remaining, group_size[g]);
         let begin = next_task[g];
         let end = begin + chunk;
         next_task[g] = end;
@@ -565,9 +574,19 @@ fn simulate_stealing(
                 w,
             )));
         } else {
-            // Failed attempt: retry no earlier than the next event in
-            // the system, so zero-latency machines cannot livelock at a
-            // frozen timestamp while another worker finishes a task.
+            // Failed attempt. If no queue anywhere holds work, the
+            // outstanding tasks can never be obtained by stealing (the
+            // holder gave no response and never will) — retire cleanly
+            // instead of spinning forever on a silent victim. Unreachable
+            // while every round trip completes (`remaining > 0` implies a
+            // non-empty queue between events), but it makes the
+            // no-response path terminate even with faults disabled.
+            if queues.iter().all(VecDeque::is_empty) {
+                continue;
+            }
+            // Retry no earlier than the next event in the system, so
+            // zero-latency machines cannot livelock at a frozen
+            // timestamp while another worker finishes a task.
             let next_event = heap
                 .peek()
                 .map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
@@ -590,7 +609,7 @@ fn simulate_stealing(
 
 /// Total-ordered f64 wrapper for the event heaps (times are finite).
 #[derive(PartialEq, PartialOrd)]
-struct OrdF64(f64);
+pub(crate) struct OrdF64(pub(crate) f64);
 
 impl Eq for OrdF64 {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
@@ -600,23 +619,30 @@ impl Ord for OrdF64 {
     }
 }
 
-struct SplitMix {
+/// splitmix64 — the simulator's deterministic RNG (victim selection and
+/// fault-fate draws use independent instances of this stream).
+pub(crate) struct SplitMix {
     state: u64,
 }
 
 impl SplitMix {
-    fn new(seed: u64) -> SplitMix {
+    pub(crate) fn new(seed: u64) -> SplitMix {
         SplitMix {
             state: seed ^ 0x1234_5678_9abc_def0,
         }
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
     }
 }
 

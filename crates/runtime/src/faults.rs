@@ -1,0 +1,271 @@
+//! Fault injection for the shared-memory executor: poisoned tasks and
+//! straggler workers.
+//!
+//! OS threads cannot be fail-stopped safely the way simulated ranks can
+//! (killing a thread mid-task would leak locks and corrupt shared
+//! accumulators), so the thread substrate models degraded execution with
+//! the two faults that *are* meaningful in-process:
+//!
+//! * **poisoned tasks** — a selected task panics (before touching any
+//!   worker state); the executor catches the unwind, logs it, and
+//!   re-enqueues the work item instead of wedging the pool. A task that
+//!   keeps panicking beyond [`FaultInjection::max_retries`] is treated
+//!   as genuinely broken and its panic is propagated.
+//! * **straggler workers** — the lowest worker ids run every task
+//!   `factor`× slower (spin-amplified, like the variability model),
+//!   standing in for a rank that is alive but degraded.
+//!
+//! Injected panics fire *before* the task body runs, so a retry cannot
+//! double-accumulate into the worker-local state — which is what keeps
+//! cross-model Fock/energy consistency intact under injected faults
+//! (asserted in `tests/cross_model_consistency.rs`). Genuine panics from
+//! the task body itself are also caught and retried, but such a body
+//! may have partially mutated its local state; idempotence there is the
+//! caller's contract, exactly as it is for any retry-based runtime.
+//!
+//! Everything is deterministic: poison sets are explicit task lists or
+//! seeded hashes, and straggler selection is by worker id.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which tasks are poisoned (panic once when first executed).
+#[derive(Debug, Clone, Default)]
+pub enum PoisonSpec {
+    /// No poisoned tasks.
+    #[default]
+    None,
+    /// Exactly these task indices are poisoned.
+    Tasks(Arc<Vec<usize>>),
+    /// Each task is poisoned independently with probability `prob`,
+    /// decided by a deterministic hash of `(seed, task index)`.
+    Random {
+        /// Poisoning probability in `[0, 1]`.
+        prob: f64,
+        /// Deterministic seed.
+        seed: u64,
+    },
+}
+
+/// Straggler injection: the `count` lowest worker ids run `factor`×
+/// slower than nominal (multiplies the variability factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// How many workers straggle (the lowest ids).
+    pub count: usize,
+    /// Slowdown factor (≥ 1) applied to every task they run.
+    pub factor: f64,
+}
+
+/// Fault-injection configuration carried by an
+/// [`Executor`](crate::pool::Executor).
+#[derive(Debug, Clone)]
+pub struct FaultInjection {
+    /// Poisoned-task selection.
+    pub poison: PoisonSpec,
+    /// Optional straggler workers.
+    pub stragglers: Option<StragglerSpec>,
+    /// How many times one task may panic before the executor gives up
+    /// and propagates the panic (a genuinely broken task must not
+    /// livelock the pool).
+    pub max_retries: u32,
+}
+
+impl Default for FaultInjection {
+    fn default() -> FaultInjection {
+        FaultInjection {
+            poison: PoisonSpec::None,
+            stragglers: None,
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultInjection {
+    /// Poisons exactly the given task indices.
+    pub fn poison_tasks(tasks: Vec<usize>) -> FaultInjection {
+        FaultInjection {
+            poison: PoisonSpec::Tasks(Arc::new(tasks)),
+            ..FaultInjection::default()
+        }
+    }
+
+    /// Adds straggler workers (builder style).
+    pub fn with_stragglers(mut self, count: usize, factor: f64) -> FaultInjection {
+        self.stragglers = Some(StragglerSpec { count, factor });
+        self
+    }
+
+    /// Slowdown factor for `worker` (1.0 when it is not a straggler).
+    pub fn straggle_factor(&self, worker: usize) -> f64 {
+        match self.stragglers {
+            Some(s) if worker < s.count => s.factor.max(1.0),
+            _ => 1.0,
+        }
+    }
+}
+
+/// Shared per-run fault state: which tasks are poisoned, which poisons
+/// have already fired, and per-task retry counts.
+pub(crate) struct FaultState {
+    poisoned: Vec<bool>,
+    tripped: Vec<AtomicBool>,
+    attempts: Vec<AtomicU32>,
+    first_fail_ns: Vec<AtomicU64>,
+    pub(crate) max_retries: u32,
+}
+
+impl FaultState {
+    pub(crate) fn new(ntasks: usize, cfg: &FaultInjection) -> FaultState {
+        let mut poisoned = vec![false; ntasks];
+        match &cfg.poison {
+            PoisonSpec::None => {}
+            PoisonSpec::Tasks(list) => {
+                for &i in list.iter() {
+                    if i < ntasks {
+                        poisoned[i] = true;
+                    }
+                }
+            }
+            PoisonSpec::Random { prob, seed } => {
+                for (i, p) in poisoned.iter_mut().enumerate() {
+                    *p = unit_hash(*seed, i as u64) < *prob;
+                }
+            }
+        }
+        FaultState {
+            poisoned,
+            tripped: (0..ntasks).map(|_| AtomicBool::new(false)).collect(),
+            attempts: (0..ntasks).map(|_| AtomicU32::new(0)).collect(),
+            first_fail_ns: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            max_retries: cfg.max_retries,
+        }
+    }
+
+    /// True exactly once per poisoned task: the caller must panic.
+    pub(crate) fn arm_poison(&self, i: usize) -> bool {
+        self.poisoned[i] && !self.tripped[i].swap(true, Ordering::Relaxed)
+    }
+
+    /// Number of caught panics so far for task `i`.
+    pub(crate) fn attempts(&self, i: usize) -> u32 {
+        self.attempts[i].load(Ordering::Relaxed)
+    }
+
+    /// Records one caught panic at `now_ns` (offset from run start) and
+    /// returns the new attempt count.
+    pub(crate) fn record_failure(&self, i: usize, now_ns: u64) -> u32 {
+        let _ = self.first_fail_ns[i].compare_exchange(
+            0,
+            now_ns.max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.attempts[i].fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Offset (ns from run start) of the first caught panic of task `i`.
+    pub(crate) fn first_fail_ns(&self, i: usize) -> u64 {
+        self.first_fail_ns[i].load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `f` under a poison check for task `i`: panics (to be caught by
+/// the worker) when the task is poisoned and has not fired yet.
+pub(crate) fn run_poisonable<R>(
+    state: &FaultState,
+    i: usize,
+    f: impl FnOnce() -> R,
+) -> std::thread::Result<R> {
+    let poison = state.arm_poison(i);
+    catch_unwind(AssertUnwindSafe(move || {
+        if poison {
+            panic!("injected fault: poisoned task {i}");
+        }
+        f()
+    }))
+}
+
+/// Re-raises a payload from a task that exhausted its retries.
+pub(crate) fn propagate(payload: Box<dyn std::any::Any + Send>) -> ! {
+    resume_unwind(payload)
+}
+
+/// Deterministic hash of `(seed, x)` to `[0, 1)` (splitmix64 finalizer,
+/// same construction as the variability model's per-core hash).
+fn unit_hash(seed: u64, x: u64) -> f64 {
+    let mut z = seed.wrapping_add(x.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_list_arms_exactly_once() {
+        let cfg = FaultInjection::poison_tasks(vec![2, 5]);
+        let st = FaultState::new(8, &cfg);
+        assert!(st.arm_poison(2));
+        assert!(!st.arm_poison(2), "a poison fires only once");
+        assert!(!st.arm_poison(3));
+        assert!(st.arm_poison(5));
+    }
+
+    #[test]
+    fn random_poison_is_deterministic_and_roughly_calibrated() {
+        let cfg = FaultInjection {
+            poison: PoisonSpec::Random {
+                prob: 0.25,
+                seed: 7,
+            },
+            ..FaultInjection::default()
+        };
+        let a = FaultState::new(1000, &cfg);
+        let b = FaultState::new(1000, &cfg);
+        let count_a = a.poisoned.iter().filter(|&&p| p).count();
+        let count_b = b.poisoned.iter().filter(|&&p| p).count();
+        assert_eq!(count_a, count_b);
+        assert!((150..350).contains(&count_a), "poisoned {count_a}/1000");
+    }
+
+    #[test]
+    fn out_of_range_poison_indices_are_ignored() {
+        let cfg = FaultInjection::poison_tasks(vec![99]);
+        let st = FaultState::new(4, &cfg);
+        assert!(!st.poisoned.iter().any(|&p| p));
+    }
+
+    #[test]
+    fn straggle_factor_applies_to_prefix() {
+        let cfg = FaultInjection::default().with_stragglers(2, 4.0);
+        assert_eq!(cfg.straggle_factor(0), 4.0);
+        assert_eq!(cfg.straggle_factor(1), 4.0);
+        assert_eq!(cfg.straggle_factor(2), 1.0);
+    }
+
+    #[test]
+    fn failure_bookkeeping_counts_and_timestamps() {
+        let st = FaultState::new(3, &FaultInjection::default());
+        assert_eq!(st.attempts(1), 0);
+        assert_eq!(st.record_failure(1, 500), 1);
+        assert_eq!(st.record_failure(1, 900), 2);
+        assert_eq!(st.attempts(1), 2);
+        assert_eq!(st.first_fail_ns(1), 500, "first failure time is kept");
+    }
+
+    #[test]
+    fn run_poisonable_catches_injected_panic_then_succeeds() {
+        let cfg = FaultInjection::poison_tasks(vec![0]);
+        let st = FaultState::new(1, &cfg);
+        assert!(run_poisonable(&st, 0, || 42).is_err());
+        assert_eq!(
+            run_poisonable(&st, 0, || 42).expect("retry must succeed"),
+            42
+        );
+    }
+}

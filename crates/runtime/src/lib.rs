@@ -11,8 +11,10 @@
 //!
 //! with per-worker statistics ([`ExecutionReport`]: utilization,
 //! busy-time imbalance, steal/counter overheads), optional per-task
-//! tracing, and injectable per-core performance variability
-//! ([`Variability`]) modelling energy-induced speed differences.
+//! tracing, injectable per-core performance variability
+//! ([`Variability`]) modelling energy-induced speed differences, and
+//! deterministic fault injection ([`faults`]: poisoned tasks caught and
+//! re-enqueued, straggler workers) — see `docs/FAULT_MODEL.md`.
 //!
 //! ## Example
 //!
@@ -25,6 +27,9 @@
 //! assert_eq!(report.total_tasks_run(), 100);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod faults;
 pub mod model;
 pub mod obs;
 pub mod pool;
@@ -32,6 +37,7 @@ pub mod report;
 pub mod timeline;
 pub mod variability;
 
+pub use faults::{FaultInjection, PoisonSpec, StragglerSpec};
 pub use model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
 pub use obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
 pub use pool::Executor;
@@ -41,6 +47,7 @@ pub use variability::Variability;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::faults::{FaultInjection, PoisonSpec, StragglerSpec};
     pub use crate::model::{ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
     pub use crate::obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
     pub use crate::pool::Executor;

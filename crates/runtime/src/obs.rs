@@ -18,6 +18,14 @@
 //! | `runtime.steal_latency`        | histogram | ns    |
 //! | `runtime.counter_fetches`      | counter   | count |
 //! | `runtime.counter_fetch_latency`| histogram | ns    |
+//! | `runtime.faults.injected`      | counter   | events|
+//! | `runtime.faults.recovered`     | counter   | tasks |
+//! | `runtime.faults.recovery_latency`| histogram | ns  |
+//!
+//! The three `runtime.faults.*` metrics are registered only when the
+//! executor carries a [`FaultInjection`](crate::faults::FaultInjection)
+//! config. Recovery latency is measured from a task's first caught
+//! panic to its successful completion.
 //!
 //! Steal latency is measured from the moment a worker runs out of local
 //! work to the moment a steal succeeds — the paper's "time to find
@@ -77,7 +85,16 @@ pub(crate) struct WorkerObs {
     pub(crate) steal_latency: Arc<Histogram>,
     pub(crate) counter_fetches: Arc<Counter>,
     pub(crate) counter_fetch_latency: Arc<Histogram>,
+    pub(crate) faults: Option<FaultObsHandles>,
     pub(crate) recorder: SpanRecorder,
+}
+
+/// Fault-injection metric handles, resolved only when the executor
+/// carries a fault config (so fault-free runs register no fault names).
+pub(crate) struct FaultObsHandles {
+    pub(crate) injected: Arc<Counter>,
+    pub(crate) recovered: Arc<Counter>,
+    pub(crate) recovery_latency: Arc<Histogram>,
 }
 
 impl WorkerObs {
@@ -91,11 +108,23 @@ impl WorkerObs {
             steal_latency: m.histogram("runtime.steal_latency", "ns"),
             counter_fetches: m.counter("runtime.counter_fetches", "count"),
             counter_fetch_latency: m.histogram("runtime.counter_fetch_latency", "ns"),
+            faults: None,
             recorder: match &obs.sink {
                 Some(sink) => SpanRecorder::on(worker, sink.clone()),
                 None => SpanRecorder::off(),
             },
         }
+    }
+
+    /// Resolves the `runtime.faults.*` handles (call only when the run
+    /// actually injects faults).
+    pub(crate) fn attach_fault_handles(&mut self, obs: &RuntimeObs) {
+        let m = &obs.metrics;
+        self.faults = Some(FaultObsHandles {
+            injected: m.counter("runtime.faults.injected", "events"),
+            recovered: m.counter("runtime.faults.recovered", "tasks"),
+            recovery_latency: m.histogram("runtime.faults.recovery_latency", "ns"),
+        });
     }
 }
 

@@ -7,12 +7,14 @@
 //! local state; the caller reduces the locals afterwards. This shape is
 //! what lets one kernel run unchanged under every execution model.
 
+use crate::faults::{propagate, run_poisonable, FaultInjection, FaultState};
 use crate::model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
 use crate::obs::{dur_ns, RuntimeObs, WorkerObs};
 use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
 use crate::variability::Variability;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A configured executor.
@@ -29,6 +31,9 @@ pub struct Executor {
     /// Observability attachment; `None` (the default) keeps the task
     /// loop free of metric atomics and span buffers.
     pub obs: Option<RuntimeObs>,
+    /// Fault injection (poisoned tasks, straggler workers); `None` (the
+    /// default) keeps the task loop free of the catch-unwind wrapper.
+    pub faults: Option<FaultInjection>,
 }
 
 impl Executor {
@@ -42,6 +47,7 @@ impl Executor {
             variability: Variability::None,
             trace: false,
             obs: None,
+            faults: None,
         }
     }
 
@@ -49,6 +55,38 @@ impl Executor {
     pub fn with_obs(mut self, obs: RuntimeObs) -> Executor {
         self.obs = Some(obs);
         self
+    }
+
+    /// Attaches fault injection (builder style). Poisoned tasks are
+    /// caught, logged and retried (re-enqueued under work stealing);
+    /// straggler workers run their tasks spin-amplified.
+    pub fn with_faults(mut self, faults: FaultInjection) -> Executor {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Shared fault state for one run (`None` when faults are off).
+    fn fault_state(&self, ntasks: usize) -> Option<Arc<FaultState>> {
+        self.faults
+            .as_ref()
+            .map(|f| Arc::new(FaultState::new(ntasks, f)))
+    }
+
+    /// Straggler slowdown for worker `w` (1.0 without fault injection).
+    fn straggle(&self, w: usize) -> f64 {
+        self.faults.as_ref().map_or(1.0, |f| f.straggle_factor(w))
+    }
+
+    /// Resolves worker `w`'s metric handles, including the fault
+    /// handles when this executor injects faults.
+    fn worker_obs(&self, w: usize) -> Option<WorkerObs> {
+        self.obs.as_ref().map(|o| {
+            let mut wo = WorkerObs::for_worker(o, w as u32);
+            if self.faults.is_some() {
+                wo.attach_fault_handles(o);
+            }
+            wo
+        })
     }
 
     /// Runs `ntasks` tasks. `init(w)` builds worker `w`'s local state;
@@ -114,8 +152,11 @@ impl Executor {
     ) -> (Vec<L>, ExecutionReport) {
         let start = Instant::now();
         let mut local = init(0);
-        let obs = self.obs.as_ref().map(|o| WorkerObs::for_worker(o, 0));
+        let obs = self.worker_obs(0);
         let mut ctx = WorkerCtx::new(0, 1, self.variability, self.trace, start, obs);
+        if let Some(fs) = self.fault_state(ntasks) {
+            ctx.attach_faults(fs, self.straggle(0));
+        }
         for i in 0..ntasks {
             ctx.run_task(i, &mut local, task);
         }
@@ -148,6 +189,7 @@ impl Executor {
         for (i, &w) in owners.iter().enumerate() {
             lists[w as usize].push(i);
         }
+        let fstate = self.fault_state(ntasks);
         let start = Instant::now();
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = lists
@@ -158,13 +200,15 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
-                    let obs = self
-                        .obs
-                        .as_ref()
-                        .map(|o| WorkerObs::for_worker(o, w as u32));
+                    let obs = self.worker_obs(w);
+                    let faults = fstate.clone();
+                    let straggle = self.straggle(w);
                     s.spawn(move || {
                         let mut local = init(w);
                         let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        if let Some(fs) = faults {
+                            ctx.attach_faults(fs, straggle);
+                        }
                         for i in list {
                             ctx.run_task(i, &mut local, task);
                         }
@@ -192,6 +236,7 @@ impl Executor {
     {
         let p = self.workers;
         let next = AtomicUsize::new(0);
+        let fstate = self.fault_state(ntasks);
         let start = Instant::now();
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = (0..p)
@@ -201,13 +246,15 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
-                    let obs = self
-                        .obs
-                        .as_ref()
-                        .map(|o| WorkerObs::for_worker(o, w as u32));
+                    let obs = self.worker_obs(w);
+                    let faults = fstate.clone();
+                    let straggle = self.straggle(w);
                     s.spawn(move || {
                         let mut local = init(w);
                         let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        if let Some(fs) = faults {
+                            ctx.attach_faults(fs, straggle);
+                        }
                         loop {
                             let t_fetch = ctx.obs_mark();
                             let begin = next.fetch_add(chunk, Ordering::Relaxed);
@@ -244,6 +291,7 @@ impl Executor {
     {
         let p = self.workers;
         let next = AtomicUsize::new(0);
+        let fstate = self.fault_state(ntasks);
         let start = Instant::now();
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = (0..p)
@@ -253,13 +301,15 @@ impl Executor {
                     let task = &task;
                     let variability = self.variability;
                     let trace = self.trace;
-                    let obs = self
-                        .obs
-                        .as_ref()
-                        .map(|o| WorkerObs::for_worker(o, w as u32));
+                    let obs = self.worker_obs(w);
+                    let faults = fstate.clone();
+                    let straggle = self.straggle(w);
                     s.spawn(move || {
                         let mut local = init(w);
                         let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        if let Some(fs) = faults {
+                            ctx.attach_faults(fs, straggle);
+                        }
                         loop {
                             // Claim remaining/(2P), floored at min_chunk,
                             // via CAS (the claim size depends on the
@@ -333,6 +383,7 @@ impl Executor {
             deques[owner].push(i);
         }
         let remaining = AtomicUsize::new(ntasks);
+        let fstate = self.fault_state(ntasks);
         let start = Instant::now();
         let results = std::thread::scope(|s| {
             let handles: Vec<_> = deques
@@ -346,21 +397,29 @@ impl Executor {
                     let variability = self.variability;
                     let trace = self.trace;
                     let cfg = cfg.clone();
-                    let obs = self
-                        .obs
-                        .as_ref()
-                        .map(|o| WorkerObs::for_worker(o, w as u32));
+                    let obs = self.worker_obs(w);
+                    let faults = fstate.clone();
+                    let straggle = self.straggle(w);
                     s.spawn(move || {
                         let mut local = init(w);
                         let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        if let Some(fs) = faults {
+                            ctx.attach_faults(fs, straggle);
+                        }
                         let mut rng = SplitMix::new(
                             cfg.rng_seed ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15),
                         );
                         'outer: loop {
-                            // Drain the local deque first.
+                            // Drain the local deque first. A task whose
+                            // panic was caught goes back on the deque
+                            // (where a thief may pick it up) instead of
+                            // wedging this worker.
                             while let Some(i) = deque.pop() {
-                                ctx.run_task(i, &mut local, task);
-                                remaining.fetch_sub(1, Ordering::Release);
+                                if ctx.try_run_task(i, &mut local, task) {
+                                    remaining.fetch_sub(1, Ordering::Release);
+                                } else {
+                                    deque.push(i);
+                                }
                             }
                             // Steal until we obtain work or everything is done.
                             let mut spins = 0u32;
@@ -401,8 +460,11 @@ impl Executor {
                                     Steal::Success(i) => {
                                         ctx.stats.steals += 1;
                                         ctx.obs_steal_success(idle_from);
-                                        ctx.run_task(i, &mut local, task);
-                                        remaining.fetch_sub(1, Ordering::Release);
+                                        if ctx.try_run_task(i, &mut local, task) {
+                                            remaining.fetch_sub(1, Ordering::Release);
+                                        } else {
+                                            deque.push(i);
+                                        }
                                         continue 'outer;
                                     }
                                     Steal::Empty | Steal::Retry => {
@@ -467,6 +529,8 @@ struct WorkerCtx {
     stats: WorkerStats,
     events: Vec<TaskEvent>,
     obs: Option<WorkerObs>,
+    faults: Option<Arc<FaultState>>,
+    straggle: f64,
 }
 
 impl WorkerCtx {
@@ -487,18 +551,85 @@ impl WorkerCtx {
             stats: WorkerStats::default(),
             events: Vec::new(),
             obs,
+            faults: None,
+            straggle: 1.0,
         }
     }
 
+    fn attach_faults(&mut self, state: Arc<FaultState>, straggle: f64) {
+        self.faults = Some(state);
+        self.straggle = straggle;
+    }
+
+    /// Runs task `i` to completion: with faults attached a caught panic
+    /// is retried in place (list/counter models have no queue to return
+    /// the task to); without faults this is the plain task call.
     #[inline]
     fn run_task<L>(&mut self, i: usize, local: &mut L, task: &impl Fn(usize, &mut L)) {
+        if self.faults.is_some() {
+            while !self.try_run_task(i, local, task) {}
+        } else {
+            self.exec_task(i, local, task);
+        }
+    }
+
+    /// One execution attempt of task `i`. Returns `false` when a panic
+    /// was caught (injected poison or a genuine task panic) and the
+    /// task must be re-run; panics beyond `max_retries` are propagated.
+    fn try_run_task<L>(&mut self, i: usize, local: &mut L, task: &impl Fn(usize, &mut L)) -> bool {
+        let Some(state) = self.faults.clone() else {
+            self.exec_task(i, local, task);
+            return true;
+        };
+        let t0 = self.start.elapsed();
+        let result = run_poisonable(&state, i, || task(i, local));
+        let t1 = self.start.elapsed();
+        match result {
+            Ok(()) => {
+                self.account(i, t0, t1);
+                true
+            }
+            Err(payload) => {
+                // The failed attempt still consumed this worker's time.
+                self.stats.busy += t1.saturating_sub(t0);
+                self.stats.panics_caught += 1;
+                if let Some(fh) = self.obs.as_ref().and_then(|o| o.faults.as_ref()) {
+                    fh.injected.inc();
+                }
+                let n = state.record_failure(i, dur_ns(t1));
+                if n > state.max_retries {
+                    eprintln!(
+                        "[emx-runtime] worker {}: task {i} panicked {n} times, propagating",
+                        self.worker
+                    );
+                    propagate(payload);
+                }
+                eprintln!(
+                    "[emx-runtime] worker {}: caught panic in task {i} (attempt {n}), re-enqueueing",
+                    self.worker
+                );
+                false
+            }
+        }
+    }
+
+    /// Fault-free task execution (the pre-fault hot path, unchanged).
+    #[inline]
+    fn exec_task<L>(&mut self, i: usize, local: &mut L, task: &impl Fn(usize, &mut L)) {
         let t0 = self.start.elapsed();
         task(i, local);
         let t1 = self.start.elapsed();
+        self.account(i, t0, t1);
+    }
+
+    /// Post-task accounting: busy time, variability/straggler stretch,
+    /// obs metrics, trace events, and fault-recovery bookkeeping.
+    #[inline]
+    fn account(&mut self, i: usize, t0: Duration, t1: Duration) {
         let dur = t1.saturating_sub(t0);
         self.stats.tasks += 1;
         self.stats.busy += dur;
-        let f = self.variability.factor(self.worker, self.nworkers, t1);
+        let f = self.variability.factor(self.worker, self.nworkers, t1) * self.straggle;
         if f > 1.0 {
             // Stretch the task as a proportionally slower core would.
             let pad = dur.mul_f64(f - 1.0);
@@ -522,6 +653,17 @@ impl WorkerCtx {
                     start: t0,
                     end,
                 });
+            }
+        }
+        if let Some(state) = &self.faults {
+            if state.attempts(i) > 0 {
+                self.stats.recovered_tasks += 1;
+                let first = state.first_fail_ns(i);
+                if let Some(fh) = self.obs.as_ref().and_then(|o| o.faults.as_ref()) {
+                    fh.recovered.inc();
+                    fh.recovery_latency
+                        .record(dur_ns(self.start.elapsed()).saturating_sub(first));
+                }
             }
         }
     }
@@ -852,6 +994,89 @@ mod tests {
         assert_eq!(locals[0], 50);
     }
 
+    mod faults {
+        use super::*;
+        use crate::faults::FaultInjection;
+
+        #[test]
+        fn poisoned_tasks_recover_under_every_model() {
+            let n = 60;
+            let expected: u64 = (0..n as u64).sum();
+            for model in all_models(n) {
+                let ex = Executor::new(3, model.clone())
+                    .with_faults(FaultInjection::poison_tasks(vec![0, 7, 31, 59]));
+                let (locals, report) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
+                assert_eq!(
+                    locals.iter().sum::<u64>(),
+                    expected,
+                    "model {}",
+                    model.name()
+                );
+                assert_eq!(report.total_tasks_run(), n, "model {}", model.name());
+                assert_eq!(report.total_panics_caught(), 4, "model {}", model.name());
+                assert_eq!(report.total_recovered_tasks(), 4, "model {}", model.name());
+            }
+        }
+
+        #[test]
+        fn fault_free_config_changes_nothing() {
+            let n = 100;
+            let ex = Executor::new(3, ExecutionModel::StaticCyclic)
+                .with_faults(FaultInjection::default());
+            let (locals, report) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
+            assert_eq!(locals.iter().sum::<u64>(), (0..n as u64).sum());
+            assert_eq!(report.total_panics_caught(), 0);
+            assert_eq!(report.total_recovered_tasks(), 0);
+        }
+
+        #[test]
+        fn stragglers_pad_but_do_not_change_results() {
+            let ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()))
+                .with_faults(FaultInjection::default().with_stragglers(1, 3.0));
+            let (locals, report) = ex.run(
+                64,
+                |_| 0u64,
+                |i, l| {
+                    std::hint::black_box(emx_busy(50_000));
+                    *l += i as u64;
+                },
+            );
+            assert_eq!(locals.iter().sum::<u64>(), (0..64u64).sum());
+            assert!(
+                report.worker_stats[0].padded > Duration::ZERO,
+                "straggler worker 0 must be spin-amplified"
+            );
+            assert_eq!(report.worker_stats[1].padded, Duration::ZERO);
+        }
+
+        #[test]
+        #[should_panic(expected = "worker panicked")]
+        fn exhausted_retries_propagate() {
+            let mut fi = FaultInjection::poison_tasks(vec![2]);
+            fi.max_retries = 0;
+            let ex = Executor::new(2, ExecutionModel::StaticBlock).with_faults(fi);
+            let _ = ex.run(10, |_| (), |_, _| {});
+        }
+
+        #[test]
+        #[should_panic(expected = "worker panicked")]
+        fn genuinely_broken_task_does_not_livelock() {
+            // Task 5 panics on every attempt — the executor must give up
+            // after max_retries instead of spinning forever.
+            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 2 })
+                .with_faults(FaultInjection::default());
+            let _ = ex.run(
+                10,
+                |_| (),
+                |i, _| {
+                    if i == 5 {
+                        panic!("task body is genuinely broken");
+                    }
+                },
+            );
+        }
+    }
+
     mod obs {
         use super::*;
         use crate::obs::RuntimeObs;
@@ -953,6 +1178,28 @@ mod tests {
             for e in &events {
                 assert!(e.end_ns >= e.start_ns);
                 assert!((e.track as usize) < 4);
+            }
+        }
+
+        #[test]
+        fn fault_metrics_published_when_faults_attached() {
+            use crate::faults::FaultInjection;
+            let reg = Arc::new(MetricsRegistry::new());
+            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 4 })
+                .with_obs(RuntimeObs::new(reg.clone()))
+                .with_faults(FaultInjection::poison_tasks(vec![3, 9]));
+            let (_, report) = ex.run(20, |_| 0u64, |i, l| *l += i as u64);
+            assert_eq!(report.total_panics_caught(), 2);
+            assert_eq!(metric_counter(&reg, "runtime.faults.injected"), 2);
+            assert_eq!(metric_counter(&reg, "runtime.faults.recovered"), 2);
+            match reg
+                .snapshot()
+                .into_iter()
+                .find(|e| e.name == "runtime.faults.recovery_latency")
+                .map(|e| e.value)
+            {
+                Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
+                other => panic!("recovery latency missing: {other:?}"),
             }
         }
 

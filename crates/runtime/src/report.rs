@@ -22,6 +22,10 @@ pub struct WorkerStats {
     pub steals: u64,
     /// Shared-counter fetches (dynamic-counter model only).
     pub counter_fetches: u64,
+    /// Task panics caught by this worker (injected or genuine).
+    pub panics_caught: u64,
+    /// Tasks this worker completed after at least one caught panic.
+    pub recovered_tasks: u64,
 }
 
 /// One traced task execution (when tracing is on).
@@ -96,6 +100,16 @@ impl ExecutionReport {
     /// Total shared-counter fetches across workers.
     pub fn total_counter_fetches(&self) -> u64 {
         self.worker_stats.iter().map(|w| w.counter_fetches).sum()
+    }
+
+    /// Total caught task panics across workers (fault injection).
+    pub fn total_panics_caught(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.panics_caught).sum()
+    }
+
+    /// Total tasks completed after at least one caught panic.
+    pub fn total_recovered_tasks(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.recovered_tasks).sum()
     }
 
     /// Total tasks reported executed (must equal `tasks` — checked by

@@ -114,6 +114,106 @@ fn h2_dissociation_curve_is_model_invariant() {
 }
 
 #[test]
+fn fault_injection_does_not_change_scf_energy() {
+    // Poisoned tasks (caught, logged, re-run) plus a straggler worker
+    // under every thread execution model: the converged energy must be
+    // identical to the fault-free serial run and no task may be lost.
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+    let cfg = ScfConfig::default();
+    let (reference, _) = rhf_parallel(
+        &bm,
+        &cfg,
+        &Executor::new(1, ExecutionModel::Serial),
+        usize::MAX,
+    );
+    assert!(reference.converged);
+
+    for (workers, model) in [
+        (4, ExecutionModel::StaticBlock),
+        (4, ExecutionModel::StaticCyclic),
+        (3, ExecutionModel::DynamicCounter { chunk: 2 }),
+        (4, ExecutionModel::WorkStealing(StealConfig::default())),
+    ] {
+        let ex = Executor::new(workers, model.clone())
+            .with_faults(FaultInjection::poison_tasks(vec![0, 1, 2]).with_stragglers(1, 2.0));
+        let (r, reports) = rhf_parallel(&bm, &cfg, &ex, 4);
+        assert!(r.converged, "model {}", model.name());
+        assert!(
+            (r.energy - reference.energy).abs() < 1e-9,
+            "model {} energy {} vs fault-free {}",
+            model.name(),
+            r.energy,
+            reference.energy
+        );
+        // Each SCF iteration re-arms the poisons; every iteration must
+        // catch them and recover every poisoned task.
+        assert!(!reports.is_empty());
+        for rep in &reports {
+            assert!(rep.total_panics_caught() >= 1, "model {}", model.name());
+            assert_eq!(
+                rep.total_recovered_tasks(),
+                rep.total_panics_caught(),
+                "model {}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_rank_failure_loses_no_tasks_in_any_model() {
+    // Kill rank 3 mid-run under every simulated execution model and
+    // every recovery policy: all orphaned tasks must be re-executed by
+    // survivors and the total executed count conserved.
+    let n = 400usize;
+    let p = 8usize;
+    let costs: Vec<f64> = (0..n).map(|i| 1e-6 * (1.0 + (i % 13) as f64)).collect();
+    let owners: Vec<u32> = (0..n).map(|i| (i % p) as u32).collect();
+    let cfg = SimConfig::new(p);
+    let at = 0.25 * costs.iter().sum::<f64>() / p as f64;
+    let models = vec![
+        SimModel::Static(owners.clone()),
+        SimModel::Counter { chunk: 4 },
+        SimModel::Guided { min_chunk: 1 },
+        SimModel::GroupCounters {
+            groups: 2,
+            chunk: 4,
+        },
+        SimModel::WorkStealing { steal_half: true },
+        SimModel::SeededStealing {
+            owners: owners.clone(),
+            steal_half: true,
+        },
+        SimModel::HierarchicalStealing {
+            steal_half: true,
+            node_size: 4,
+            remote_factor: 4.0,
+        },
+    ];
+    for model in &models {
+        for policy in [
+            RecoveryPolicy::BlockSurvivors,
+            RecoveryPolicy::SemiMatching,
+            RecoveryPolicy::Persistence,
+        ] {
+            let plan = FaultPlan::fault_free()
+                .with_rank_failure(3, at)
+                .with_recovery(policy);
+            let r = simulate_with_faults(&costs, model, &cfg, &plan);
+            let label = format!("model {} policy {}", model.name(), policy.name());
+            assert_eq!(r.faults.lost, 0, "{label}");
+            assert_eq!(r.faults.recovered, r.faults.orphaned, "{label}");
+            let executed: usize = r.sim.tasks.iter().sum();
+            assert_eq!(executed, n, "{label}");
+            assert!(
+                r.sim.tasks[3] > 0,
+                "{label}: rank 3 should run before dying"
+            );
+        }
+    }
+}
+
+#[test]
 fn variability_injection_does_not_change_results() {
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let pairs = ScreenedPairs::build(&bm, 1e-12);

@@ -519,6 +519,10 @@ fn faulty_counter(
     // while any exist, idle survivors park instead of retiring because
     // orphans may still appear.
     let mut undead = death.iter().flatten().count();
+    // Live ranks per group: when a group's last rank dies, its whole
+    // unclaimed range is orphaned onto the global recovery queue so
+    // survivors in other groups can pick it up.
+    let mut alive_in_group = group_size.clone();
     let mut stats = FaultStats::default();
     let mut outage_fired = false;
 
@@ -553,11 +557,40 @@ fn faulty_counter(
         if let Some(dt) = death[w] {
             if arrival >= dt {
                 // Died while idle or in flight: it held no claimed
-                // tasks, so nothing is orphaned.
+                // tasks, so nothing it owned is orphaned — but if it
+                // was the last live rank of its group, the group's
+                // unclaimed range is.
                 dead[w] = true;
                 undead -= 1;
                 stats.injected += 1;
                 stats.detected += 1;
+                let g = wgroup(w);
+                alive_in_group[g] -= 1;
+                if alive_in_group[g] == 0 {
+                    let (_, gend) = range(g);
+                    if next_task[g] < gend {
+                        for od in &mut orphan_death[next_task[g]..gend] {
+                            *od = dt;
+                        }
+                        recovery.extend(next_task[g]..gend);
+                        stats.orphaned += (gend - next_task[g]) as u64;
+                        recovery_open = recovery_open.min(dt + plan.detection_interval);
+                        next_task[g] = gend;
+                    }
+                }
+                // Wake parked survivors: either orphans just appeared
+                // for them to claim, or no deaths remain pending and
+                // they can retire.
+                if !recovery.is_empty() || undead == 0 {
+                    for (pw, pt) in parked.drain(..) {
+                        let wake = if recovery.is_empty() {
+                            pt
+                        } else {
+                            recovery_open.max(pt)
+                        };
+                        heap.push(Reverse((OrdF64(wake), pw)));
+                    }
+                }
                 continue;
             }
         }
@@ -665,6 +698,17 @@ fn faulty_counter(
                 orphan_death[i] = dt;
                 recovery.push_back(i);
                 stats.orphaned += 1;
+            }
+            alive_in_group[g] -= 1;
+            if alive_in_group[g] == 0 && next_task[g] < gend {
+                // Last rank of the group: nobody is left to claim the
+                // group's remaining range, so orphan it globally too.
+                for od in &mut orphan_death[next_task[g]..gend] {
+                    *od = dt;
+                }
+                recovery.extend(next_task[g]..gend);
+                stats.orphaned += (gend - next_task[g]) as u64;
+                next_task[g] = gend;
             }
             recovery_open = recovery_open.min(dt + plan.detection_interval);
             for (pw, pt) in parked.drain(..) {
@@ -1126,6 +1170,39 @@ mod tests {
         assert_eq!(r.faults.recovered, 6);
         assert_eq!(r.sim.tasks[1], 2);
         assert!(r.sim.makespan > 8.0, "survivors absorb the orphans");
+    }
+
+    #[test]
+    fn fully_dead_group_orphans_its_range_to_other_groups() {
+        // Workers 0,1 form group 0 (range 0..20), workers 2,3 group 1
+        // (range 20..40). Killing all of group 0 must orphan group 0's
+        // unclaimed range onto the global recovery queue — survivors in
+        // group 1 finish it, so nothing is lost.
+        let costs = vec![1.0; 40];
+        let p = 4;
+        let cfg = SimConfig {
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(p)
+        };
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 2.5)
+            .with_rank_failure(1, 2.5);
+        let model = SimModel::GroupCounters {
+            groups: 2,
+            chunk: 2,
+        };
+        let r = simulate_with_faults(&costs, &model, &cfg, &plan);
+        assert_eq!(r.faults.lost, 0, "dead group's range must be recovered");
+        assert_eq!(r.faults.recovered, r.faults.orphaned);
+        assert_eq!(r.sim.tasks.iter().sum::<usize>(), 40);
+        assert!(
+            r.sim.tasks[0] + r.sim.tasks[1] < 20,
+            "group 0 died before finishing its range"
+        );
+        assert!(
+            r.sim.tasks[2] + r.sim.tasks[3] > 20,
+            "group 1 survivors must absorb group 0's residual work"
+        );
     }
 
     #[test]

@@ -113,6 +113,7 @@ pub(crate) struct FaultState {
     tripped: Vec<AtomicBool>,
     attempts: Vec<AtomicU32>,
     first_fail_ns: Vec<AtomicU64>,
+    aborted: AtomicBool,
     pub(crate) max_retries: u32,
 }
 
@@ -139,8 +140,23 @@ impl FaultState {
             tripped: (0..ntasks).map(|_| AtomicBool::new(false)).collect(),
             attempts: (0..ntasks).map(|_| AtomicU32::new(0)).collect(),
             first_fail_ns: (0..ntasks).map(|_| AtomicU64::new(0)).collect(),
+            aborted: AtomicBool::new(false),
             max_retries: cfg.max_retries,
         }
+    }
+
+    /// Marks the run as aborted: some worker is about to propagate a
+    /// panic from a task that exhausted its retries. Spin loops that
+    /// otherwise wait for the remaining-task count to reach zero (the
+    /// work-stealing idle loop) must check this, because the count will
+    /// never reach zero once a worker unwinds.
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// True once [`abort`](FaultState::abort) has been called.
+    pub(crate) fn aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
     }
 
     /// True exactly once per poisoned task: the caller must panic.
@@ -171,13 +187,32 @@ impl FaultState {
     }
 }
 
+/// A panic caught by the fault wrapper, tagged with whether it was the
+/// injected poison (fired before the task body) or a genuine panic from
+/// the task body itself — the distinction keeps the
+/// `runtime.faults.injected` metric honest.
+pub(crate) struct CaughtPanic {
+    /// The unwind payload, for re-raising after `max_retries`.
+    pub(crate) payload: Box<dyn std::any::Any + Send>,
+    /// True when the panic was the armed poison, not the task body.
+    pub(crate) injected: bool,
+}
+
+impl std::fmt::Debug for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaughtPanic")
+            .field("injected", &self.injected)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Runs `f` under a poison check for task `i`: panics (to be caught by
 /// the worker) when the task is poisoned and has not fired yet.
 pub(crate) fn run_poisonable<R>(
     state: &FaultState,
     i: usize,
     f: impl FnOnce() -> R,
-) -> std::thread::Result<R> {
+) -> Result<R, CaughtPanic> {
     let poison = state.arm_poison(i);
     catch_unwind(AssertUnwindSafe(move || {
         if poison {
@@ -185,6 +220,12 @@ pub(crate) fn run_poisonable<R>(
         }
         f()
     }))
+    // The poison panics before `f` runs, so a caught panic with the
+    // poison armed is by construction the injected one.
+    .map_err(|payload| CaughtPanic {
+        payload,
+        injected: poison,
+    })
 }
 
 /// Re-raises a payload from a task that exhausted its retries.
@@ -262,10 +303,27 @@ mod tests {
     fn run_poisonable_catches_injected_panic_then_succeeds() {
         let cfg = FaultInjection::poison_tasks(vec![0]);
         let st = FaultState::new(1, &cfg);
-        assert!(run_poisonable(&st, 0, || 42).is_err());
+        let caught = run_poisonable(&st, 0, || 42).expect_err("poison must fire");
+        assert!(caught.injected, "the armed poison is an injected fault");
         assert_eq!(
             run_poisonable(&st, 0, || 42).expect("retry must succeed"),
             42
         );
+    }
+
+    #[test]
+    fn genuine_task_panic_is_not_marked_injected() {
+        let st = FaultState::new(1, &FaultInjection::default());
+        let caught =
+            run_poisonable(&st, 0, || -> i32 { panic!("task body bug") }).expect_err("must catch");
+        assert!(!caught.injected, "a task-body panic was not injected");
+    }
+
+    #[test]
+    fn abort_flag_starts_clear_and_latches() {
+        let st = FaultState::new(1, &FaultInjection::default());
+        assert!(!st.aborted());
+        st.abort();
+        assert!(st.aborted());
     }
 }

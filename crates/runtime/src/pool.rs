@@ -429,6 +429,15 @@ impl Executor {
                                     ctx.obs_idle_end(idle_from);
                                     break 'outer;
                                 }
+                                if ctx.fault_aborted() {
+                                    // A peer is propagating the panic of
+                                    // a task that exhausted its retries;
+                                    // `remaining` will never reach zero,
+                                    // so exit instead of spinning (the
+                                    // scope join re-raises the panic).
+                                    ctx.obs_idle_end(idle_from);
+                                    break 'outer;
+                                }
                                 if p == 1 {
                                     // No victims exist; the remaining
                                     // check above is the only exit.
@@ -561,6 +570,13 @@ impl WorkerCtx {
         self.straggle = straggle;
     }
 
+    /// True when some worker is propagating a permanently-failing
+    /// task's panic and the run can never complete normally.
+    #[inline]
+    fn fault_aborted(&self) -> bool {
+        self.faults.as_ref().is_some_and(|s| s.aborted())
+    }
+
     /// Runs task `i` to completion: with faults attached a caught panic
     /// is retried in place (list/counter models have no queue to return
     /// the task to); without faults this is the plain task call.
@@ -589,12 +605,14 @@ impl WorkerCtx {
                 self.account(i, t0, t1);
                 true
             }
-            Err(payload) => {
+            Err(caught) => {
                 // The failed attempt still consumed this worker's time.
                 self.stats.busy += t1.saturating_sub(t0);
                 self.stats.panics_caught += 1;
-                if let Some(fh) = self.obs.as_ref().and_then(|o| o.faults.as_ref()) {
-                    fh.injected.inc();
+                if caught.injected {
+                    if let Some(fh) = self.obs.as_ref().and_then(|o| o.faults.as_ref()) {
+                        fh.injected.inc();
+                    }
                 }
                 let n = state.record_failure(i, dur_ns(t1));
                 if n > state.max_retries {
@@ -602,7 +620,11 @@ impl WorkerCtx {
                         "[emx-runtime] worker {}: task {i} panicked {n} times, propagating",
                         self.worker
                     );
-                    propagate(payload);
+                    // Peers spinning on the remaining-task count must
+                    // see the run is over — it will never reach zero
+                    // once this worker unwinds.
+                    state.abort();
+                    propagate(caught.payload);
                 }
                 eprintln!(
                     "[emx-runtime] worker {}: caught panic in task {i} (attempt {n}), re-enqueueing",
@@ -1075,6 +1097,38 @@ mod tests {
                 },
             );
         }
+
+        #[test]
+        #[should_panic(expected = "worker panicked")]
+        fn stealing_exhausted_retries_do_not_deadlock_peers() {
+            // Regression: when a task exhausts max_retries under work
+            // stealing, the propagating worker must set the abort flag,
+            // or peers spin forever on `remaining > 0` and the scoped
+            // join never returns (the run used to hang here).
+            let ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()))
+                .with_faults(FaultInjection::default());
+            let _ = ex.run(
+                10,
+                |_| (),
+                |i, _| {
+                    if i == 5 {
+                        panic!("task body is genuinely broken");
+                    }
+                },
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "worker panicked")]
+        fn stealing_single_worker_exhausted_retries_propagate() {
+            // p = 1 has no victims: the abort/remaining checks are the
+            // only exits from the idle loop.
+            let mut fi = FaultInjection::poison_tasks(vec![0]);
+            fi.max_retries = 0;
+            let ex =
+                Executor::new(1, ExecutionModel::WorkStealing(StealConfig::default())).with_faults(fi);
+            let _ = ex.run(4, |_| (), |_, _| {});
+        }
     }
 
     mod obs {
@@ -1201,6 +1255,33 @@ mod tests {
                 Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
                 other => panic!("recovery latency missing: {other:?}"),
             }
+        }
+
+        #[test]
+        fn genuine_panics_are_not_counted_as_injected() {
+            use crate::faults::FaultInjection;
+            use std::sync::atomic::AtomicBool;
+            // Task 7 panics once from its own body: it is caught and
+            // recovered, but it was not injected — the injected counter
+            // must stay at zero.
+            let reg = Arc::new(MetricsRegistry::new());
+            let tripped = AtomicBool::new(false);
+            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 4 })
+                .with_obs(RuntimeObs::new(reg.clone()))
+                .with_faults(FaultInjection::default());
+            let (_, report) = ex.run(
+                20,
+                |_| 0u64,
+                |i, l| {
+                    if i == 7 && !tripped.swap(true, Ordering::Relaxed) {
+                        panic!("one-shot genuine failure");
+                    }
+                    *l += i as u64;
+                },
+            );
+            assert_eq!(report.total_panics_caught(), 1);
+            assert_eq!(metric_counter(&reg, "runtime.faults.injected"), 0);
+            assert_eq!(metric_counter(&reg, "runtime.faults.recovered"), 1);
         }
 
         #[test]

@@ -28,14 +28,11 @@ fn bench_e2(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(300));
     for (name, ex) in [
-        ("serial", Executor::new(1, ExecutionModel::Serial)),
-        (
-            "static-block-p2",
-            Executor::new(2, ExecutionModel::StaticBlock),
-        ),
+        ("serial", Executor::new(1, PolicyKind::Serial)),
+        ("static-block-p2", Executor::new(2, PolicyKind::StaticBlock)),
         (
             "work-stealing-p2",
-            Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())),
+            Executor::new(2, PolicyKind::WorkStealing(StealConfig::default())),
         ),
     ] {
         group.bench_function(name, |b| {

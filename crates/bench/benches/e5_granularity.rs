@@ -37,7 +37,7 @@ fn bench_real_dispatch(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
     let n = 4096;
     for chunk in [1usize, 16, 256] {
-        let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk });
+        let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk });
         group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
             b.iter(|| {
                 let (locals, _) = ex.run(n, |_| 0.0f64, |_, acc| *acc += busy_work(20));

@@ -23,12 +23,12 @@ fn bench_dispatch(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300));
     let n = 10_000;
     for (name, model) in [
-        ("static-block", ExecutionModel::StaticBlock),
-        ("counter-c1", ExecutionModel::DynamicCounter { chunk: 1 }),
-        ("counter-c64", ExecutionModel::DynamicCounter { chunk: 64 }),
+        ("static-block", PolicyKind::StaticBlock),
+        ("counter-c1", PolicyKind::DynamicCounter { chunk: 1 }),
+        ("counter-c64", PolicyKind::DynamicCounter { chunk: 64 }),
         (
             "work-stealing",
-            ExecutionModel::WorkStealing(StealConfig::default()),
+            PolicyKind::WorkStealing(StealConfig::default()),
         ),
     ] {
         let ex = Executor::new(2, model);

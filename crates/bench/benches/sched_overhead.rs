@@ -1,0 +1,92 @@
+//! `sched_overhead` — dispatch cost of the unified scheduling layer.
+//!
+//! Runs an empty task body through every policy in the roster at 1, 2,
+//! 4 and 8 workers on real threads, so the number is pure scheduling
+//! overhead: partition computation, counter fetches, deque traffic and
+//! steal negotiation. Reported as tasks/second (higher is better).
+//!
+//! Besides the criterion-style console lines, writes a stamped
+//! `results/BENCH_sched.json` (schema version, experiment id, git
+//! describe) so the numbers are comparable across revisions.
+
+use criterion::{BenchmarkId, Criterion};
+use emx_obs::{git_describe_string, RunMeta};
+use emx_runtime::{Executor, PolicyKind};
+use std::time::Instant;
+
+const NTASKS: usize = 10_000;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 7;
+
+/// The measured roster: every policy family of the registry. Uniform
+/// costs feed the persistence balancer (the bench body is empty anyway).
+fn roster(workers: usize) -> Vec<(String, PolicyKind)> {
+    PolicyKind::full_roster(&vec![1.0; NTASKS], workers, 8)
+}
+
+/// Median tasks/second over [`SAMPLES`] runs of `NTASKS` empty tasks.
+fn tasks_per_sec(kind: &PolicyKind, workers: usize) -> f64 {
+    let ex = Executor::new(workers, kind.clone());
+    // One warm-up run outside the timed samples.
+    ex.run(NTASKS, |_| (), |_, _| {});
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let (_, r) = ex.run(NTASKS, |_| (), |_, _| {});
+            assert_eq!(r.total_tasks_run(), NTASKS);
+            NTASKS as f64 / start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_and_record(c: &mut Criterion) -> String {
+    let mut rows = Vec::new();
+    let mut group = c.benchmark_group("sched_overhead");
+    for workers in WORKER_COUNTS {
+        for (label, kind) in roster(workers) {
+            // Serial ignores the worker count; measure it once.
+            if matches!(kind, PolicyKind::Serial) && workers != 1 {
+                continue;
+            }
+            let rate = tasks_per_sec(&kind, workers);
+            rows.push(format!(
+                "    {{\"policy\": \"{label}\", \"workers\": {workers}, \
+                 \"tasks_per_sec\": {rate:.1}}}"
+            ));
+            let ex = Executor::new(workers, kind);
+            group.bench_with_input(BenchmarkId::new(&label, workers), &NTASKS, |b, &n| {
+                b.iter(|| {
+                    let (_, r) = ex.run(n, |_| (), |_, _| {});
+                    r.total_tasks_run()
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let meta = RunMeta::new("sched_overhead", git_describe_string());
+    format!(
+        "{{\n  \"schema_version\": {},\n  \"experiment\": \"{}\",\n  \
+         \"git\": \"{}\",\n  \"ntasks\": {},\n  \"samples\": {},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        meta.schema_version,
+        meta.experiment_id,
+        meta.git_describe,
+        NTASKS,
+        SAMPLES,
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let json = bench_and_record(&mut c);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_sched.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_sched.json");
+    println!("wrote {path}");
+}

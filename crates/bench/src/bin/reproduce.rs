@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Experiment ids follow `DESIGN.md` (E1–E8) plus `faults` (fault
-//! injection, see `docs/FAULT_MODEL.md`), `ablations` and `obs`
-//! (an instrumented capture of the whole stack). Output is plain-text
+//! injection, see `docs/FAULT_MODEL.md`), `ablations`, `obs`
+//! (an instrumented capture of the whole stack) and `smoke` (CI's
+//! fast check: the full policy roster through both substrates). Output is plain-text
 //! tables; pass `--csv DIR` to also write stamped CSV files,
 //! `--trace-out DIR` for Chrome trace JSON and `--metrics-out FILE` for
 //! a stamped JSONL metrics snapshot (the latter two imply `obs`).
@@ -184,6 +185,9 @@ fn main() {
             "obs" => {
                 run_obs_capture(trace_dir.as_deref(), metrics_path.as_deref());
             }
+            "smoke" => {
+                tables.push(smoke_full_roster(&machine));
+            }
             "ablations" => {
                 tables.push(ablation_steal_policy(&machine));
                 tables.push(ablation_counter_chunk(&machine));
@@ -223,6 +227,65 @@ fn main() {
             println!("wrote {path}");
         }
     }
+}
+
+/// The `smoke` experiment — CI's fast end-to-end check. Runs the entire
+/// policy roster through BOTH substrates on a small skewed workload:
+/// every policy executes on real threads (exactly-once asserted by the
+/// executor) and replays in the discrete-event simulator. Seconds, not
+/// minutes.
+fn smoke_full_roster(machine: &MachineModel) -> Table {
+    let w = synthetic_workload(
+        CostModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
+        96,
+        7,
+        1e-4,
+        "smoke-96",
+    );
+    let p = 4;
+    let n = w.ntasks();
+    let cfg = SimConfig {
+        workers: p,
+        machine: *machine,
+        ..SimConfig::new(p)
+    };
+    let mut t = Table::new(
+        format!(
+            "Smoke: full policy roster on both substrates ({}, P={p})",
+            w.name
+        ),
+        &[
+            "model",
+            "threads wall",
+            "threads tasks",
+            "sim makespan",
+            "sim util",
+        ],
+    );
+    for (label, kind) in PolicyKind::full_roster(&w.costs, p, 8) {
+        let ex = Executor::new(p, kind.clone());
+        let (sums, report) = ex.run(
+            n,
+            |_| 0.0f64,
+            |i, acc| {
+                *acc += (w.costs[i] * 1e6).sqrt();
+            },
+        );
+        assert!(sums.iter().sum::<f64>() > 0.0);
+        let sim = simulate_policy(&w.costs, &kind, &cfg);
+        assert_eq!(sim.assignment.len(), n, "{label}: simulator lost tasks");
+        t.push(vec![
+            label,
+            fmt_secs(report.wall.as_secs_f64()),
+            report.total_tasks_run().to_string(),
+            fmt_secs(sim.makespan),
+            format!("{:.2}", sim.utilization()),
+        ]);
+    }
+    t
 }
 
 /// A result table's CSV, self-described with `#` header comments: the
@@ -598,7 +661,7 @@ fn ablation_seed_partition() -> Table {
     ] {
         let ex = Executor::new(
             2,
-            ExecutionModel::WorkStealing(StealConfig {
+            PolicyKind::WorkStealing(StealConfig {
                 seed,
                 ..StealConfig::default()
             }),

@@ -16,7 +16,7 @@ use emx_distsim::machine::MachineModel;
 use emx_distsim::sim::{simulate, SimConfig, SimModel};
 use emx_obs::{git_describe_string, metrics_to_jsonl, Json, MetricsRegistry, RunMeta};
 use emx_runtime::{
-    publish_report_gauges, report_to_chrome, ExecutionModel, Executor, RuntimeObs, StealConfig,
+    publish_report_gauges, report_to_chrome, Executor, PolicyKind, RuntimeObs, StealConfig,
 };
 use std::sync::Arc;
 
@@ -47,7 +47,7 @@ pub fn capture_observability(experiment_id: &str) -> ObsCapture {
         let pairs = ScreenedPairs::build(&bm, cfg.tau * 1e-2);
         let pf = ParallelFock::new(&bm, &pairs, cfg.tau, 2);
         let density = initial_density(&bm);
-        let mut ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()))
+        let mut ex = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()))
             .with_obs(obs.clone());
         ex.trace = true;
         let (_, report) = pf.execute(&density, &ex);
@@ -61,8 +61,7 @@ pub fn capture_observability(experiment_id: &str) -> ObsCapture {
         let pairs = ScreenedPairs::build(&bm, cfg.tau * 1e-2);
         let pf = ParallelFock::new(&bm, &pairs, cfg.tau, 2);
         let density = initial_density(&bm);
-        let ex =
-            Executor::new(4, ExecutionModel::DynamicCounter { chunk: 2 }).with_obs(obs.clone());
+        let ex = Executor::new(4, PolicyKind::DynamicCounter { chunk: 2 }).with_obs(obs.clone());
         let (_, report) = pf.execute(&density, &ex);
         publish_report_gauges(&metrics, "exec.counter", &report);
     }
@@ -71,7 +70,7 @@ pub fn capture_observability(experiment_id: &str) -> ObsCapture {
     let mut extra: Vec<Json> = Vec::new();
     let scf_iterations;
     {
-        let ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()))
+        let ex = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default()))
             .with_obs(obs.clone());
         let (result, _reports) = rhf_parallel(&bm, &cfg, &ex, 3);
         scf_iterations = result.iterations;

@@ -13,32 +13,22 @@ use emx_balance::prelude::Problem;
 use emx_distsim::faults::{simulate_with_faults, FaultPlan, RecoveryPolicy};
 use emx_distsim::machine::MachineModel;
 use emx_distsim::nxtval::NxtVal;
-use emx_distsim::sim::{simulate, SimConfig, SimModel};
-use emx_runtime::{block_owner, ExecutionModel, Executor, StealConfig, Variability};
+use emx_distsim::sim::{simulate, simulate_policy, SimConfig, SimModel};
+use emx_runtime::{Executor, Variability};
+use emx_sched::{block_partition, PolicyKind, StealConfig};
 
 /// The execution models compared in the scaling experiments, with a
-/// default counter chunk.
+/// default counter chunk: the shared registry's comparison roster,
+/// materialized onto the simulator's model vocabulary.
 fn sim_models(ntasks: usize, workers: usize, chunk: usize) -> Vec<(String, SimModel)> {
-    vec![
-        (
-            "static-block".into(),
-            SimModel::Static(
-                (0..ntasks)
-                    .map(|i| block_owner(i, ntasks.max(1), workers) as u32)
-                    .collect(),
-            ),
-        ),
-        (
-            "static-cyclic".into(),
-            SimModel::Static((0..ntasks).map(|i| (i % workers) as u32).collect()),
-        ),
-        (format!("counter(c={chunk})"), SimModel::Counter { chunk }),
-        ("guided".into(), SimModel::Guided { min_chunk: 1 }),
-        (
-            "work-stealing".into(),
-            SimModel::WorkStealing { steal_half: true },
-        ),
-    ]
+    PolicyKind::comparison_roster(chunk)
+        .into_iter()
+        .map(|(label, kind)| {
+            let model = SimModel::from_policy(&kind, ntasks, workers)
+                .expect("comparison roster maps onto the simulator");
+            (label, model)
+        })
+        .collect()
 }
 
 /// E1 — strong scaling of every execution model.
@@ -98,12 +88,13 @@ pub fn e2_headline(w: &KernelWorkload, p: usize, machine: &MachineModel) -> Head
         machine: *machine,
         ..SimConfig::new(p)
     };
-    let n = w.ntasks();
-    let block: Vec<u32> = (0..n).map(|i| block_owner(i, n.max(1), p) as u32).collect();
-    let cyclic: Vec<u32> = (0..n).map(|i| (i % p) as u32).collect();
-    let st_block = simulate(&w.costs, &SimModel::Static(block), &cfg);
-    let st_cyclic = simulate(&w.costs, &SimModel::Static(cyclic), &cfg);
-    let ws = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+    let st_block = simulate_policy(&w.costs, &PolicyKind::StaticBlock, &cfg);
+    let st_cyclic = simulate_policy(&w.costs, &PolicyKind::StaticCyclic, &cfg);
+    let ws = simulate_policy(
+        &w.costs,
+        &PolicyKind::WorkStealing(StealConfig::default()),
+        &cfg,
+    );
     let best_static = st_block.makespan.min(st_cyclic.makespan);
     let improvement = best_static / ws.makespan.max(1e-300);
     let mut t = Table::new(
@@ -322,10 +313,11 @@ pub fn e5_granularity(
         };
         let counter = simulate(&w.costs, &SimModel::Counter { chunk: 1 }, &cfg);
         let ws = simulate(&w.costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
-        let owners: Vec<u32> = (0..w.ntasks())
-            .map(|i| block_owner(i, w.ntasks().max(1), p) as u32)
-            .collect();
-        let st = simulate(&w.costs, &SimModel::Static(owners), &cfg);
+        let st = simulate(
+            &w.costs,
+            &SimModel::Static(block_partition(w.ntasks(), p)),
+            &cfg,
+        );
         let best = counter.makespan.min(ws.makespan).min(st.makespan);
         let best_name = if best == ws.makespan {
             "work-stealing"
@@ -422,18 +414,13 @@ pub fn e7_overheads(threads: &[usize]) -> Table {
     // Per-task dispatch overhead of each execution model (empty tasks).
     let n = 20_000;
     for &p in threads {
-        for model in [
-            ExecutionModel::StaticBlock,
-            ExecutionModel::DynamicCounter { chunk: 1 },
-            ExecutionModel::DynamicCounter { chunk: 64 },
-            ExecutionModel::WorkStealing(StealConfig::default()),
-        ] {
-            let ex = Executor::new(p, model.clone());
+        for kind in PolicyKind::overhead_roster() {
+            let ex = Executor::new(p, kind.clone());
             let t0 = std::time::Instant::now();
             let (_, _report) = ex.run(n, |_| (), |_, _| {});
             let el = t0.elapsed().as_secs_f64();
             t.push(vec![
-                format!("dispatch/{}", model.name()),
+                format!("dispatch/{}", kind.name()),
                 p.to_string(),
                 n.to_string(),
                 fmt_secs(el),
@@ -575,33 +562,28 @@ pub fn overhead_decomposition(w: &KernelWorkload, p: usize, machine: &MachineMod
 }
 
 /// The execution models compared under fault injection, each with the
-/// recovery policy that redistributes its orphaned tasks.
+/// recovery policy that redistributes its orphaned tasks: the registry's
+/// comparison roster (chunk 8) filtered to the E10 lineup, plus the
+/// stealing+persistence hybrid.
 fn fault_models(ntasks: usize, workers: usize) -> Vec<(String, SimModel, RecoveryPolicy)> {
-    let owners: Vec<u32> = (0..ntasks)
-        .map(|i| block_owner(i, ntasks.max(1), workers) as u32)
-        .collect();
-    vec![
-        (
-            "static-block".into(),
-            SimModel::Static(owners.clone()),
-            RecoveryPolicy::BlockSurvivors,
-        ),
-        (
-            "counter(c=8)".into(),
-            SimModel::Counter { chunk: 8 },
-            RecoveryPolicy::SemiMatching,
-        ),
-        (
-            "work-stealing".into(),
-            SimModel::WorkStealing { steal_half: true },
-            RecoveryPolicy::SemiMatching,
-        ),
-        (
-            "stealing+persist".into(),
-            SimModel::WorkStealing { steal_half: true },
-            RecoveryPolicy::Persistence,
-        ),
-    ]
+    let mut out = Vec::new();
+    for (label, kind) in PolicyKind::comparison_roster(8) {
+        let recovery = match label.as_str() {
+            "static-block" => RecoveryPolicy::BlockSurvivors,
+            "counter(c=8)" | "work-stealing" => RecoveryPolicy::SemiMatching,
+            // static-cyclic and guided are not part of the E10 lineup.
+            _ => continue,
+        };
+        let model = SimModel::from_policy(&kind, ntasks, workers)
+            .expect("comparison roster maps onto the simulator");
+        out.push((label, model, recovery));
+    }
+    out.push((
+        "stealing+persist".into(),
+        SimModel::WorkStealing { steal_half: true },
+        RecoveryPolicy::Persistence,
+    ));
+    out
 }
 
 /// E10 — fault injection and degraded-mode scheduling: completion time

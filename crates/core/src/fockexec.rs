@@ -2,7 +2,7 @@
 //!
 //! This is the integration point of the whole study: the Fock task list
 //! from [`emx_chem::fock`] executed by [`emx_runtime::Executor`] under
-//! any [`emx_runtime::ExecutionModel`], with worker-local `G`
+//! any [`emx_sched::PolicyKind`], with worker-local `G`
 //! accumulators reduced at the end (the shared-memory analogue of the
 //! paper's Global-Arrays accumulate). Because tasks only ever *add*
 //! contributions, the result is identical (up to floating-point
@@ -116,7 +116,7 @@ mod tests {
     use super::*;
     use emx_chem::basis::{BasisSet, BasisedMolecule};
     use emx_chem::molecule::Molecule;
-    use emx_runtime::{ExecutionModel, StealConfig};
+    use emx_runtime::{PolicyKind, StealConfig};
 
     fn water() -> BasisedMolecule {
         BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g)
@@ -131,12 +131,12 @@ mod tests {
             0.2 / (1.0 + (i as f64 - j as f64).abs())
         });
         d.symmetrize();
-        let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+        let (reference, _) = pf.execute(&d, &Executor::new(1, PolicyKind::Serial));
         for model in [
-            ExecutionModel::StaticBlock,
-            ExecutionModel::StaticCyclic,
-            ExecutionModel::DynamicCounter { chunk: 2 },
-            ExecutionModel::WorkStealing(StealConfig::default()),
+            PolicyKind::StaticBlock,
+            PolicyKind::StaticCyclic,
+            PolicyKind::DynamicCounter { chunk: 2 },
+            PolicyKind::WorkStealing(StealConfig::default()),
         ] {
             let (g, report) = pf.execute(&d, &Executor::new(3, model.clone()));
             assert!(
@@ -153,16 +153,12 @@ mod tests {
     fn scf_energy_identical_across_models() {
         let bm = water();
         let cfg = ScfConfig::default();
-        let (serial, _) = rhf_parallel(
-            &bm,
-            &cfg,
-            &Executor::new(1, ExecutionModel::Serial),
-            usize::MAX,
-        );
+        let (serial, _) =
+            rhf_parallel(&bm, &cfg, &Executor::new(1, PolicyKind::Serial), usize::MAX);
         let (ws, reports) = rhf_parallel(
             &bm,
             &cfg,
-            &Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())),
+            &Executor::new(2, PolicyKind::WorkStealing(StealConfig::default())),
             3,
         );
         assert!(serial.converged && ws.converged);
@@ -182,8 +178,7 @@ mod tests {
         d.symmetrize();
         let metrics = std::sync::Arc::new(emx_obs::MetricsRegistry::new());
         let obs = RuntimeObs::new(metrics.clone());
-        let exec =
-            Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default())).with_obs(obs);
+        let exec = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default())).with_obs(obs);
         let (_, report) = pf.execute(&d, &exec);
         let entries = metrics.snapshot();
         let h = entries

@@ -14,7 +14,7 @@ use emx_chem::molecule::Molecule;
 use emx_chem::screening::ScreenedPairs;
 use emx_chem::synthetic::{generate_costs, CostModel};
 use emx_linalg::Matrix;
-use emx_runtime::{ExecutionModel, Executor};
+use emx_runtime::{Executor, PolicyKind};
 
 /// A named task-cost vector with affinity information.
 #[derive(Debug, Clone)]
@@ -59,7 +59,7 @@ pub fn measure_fock_workload(
         0.4 / (1.0 + (i as f64 - j as f64).abs())
     });
     d.symmetrize();
-    let mut ex = Executor::new(1, ExecutionModel::Serial);
+    let mut ex = Executor::new(1, PolicyKind::Serial);
     ex.trace = true;
     let (_, report) = pf.execute(&d, &ex);
     let costs: Vec<f64> = report

@@ -32,11 +32,12 @@
 //! in tests and is what makes degraded-vs-healthy comparisons
 //! meaningful. See `docs/FAULT_MODEL.md` for the full contract.
 
-use crate::sim::{stretched, ChunkPolicy, OrdF64, SimConfig, SimModel, SimReport, SplitMix};
+use crate::sim::{stretched, OrdF64, SimConfig, SimModel, SimReport, SplitMix};
 use emx_balance::prelude::{
     full_adjacency, rebalance, semi_matching, PersistenceConfig, Problem, SemiMatchConfig,
 };
 use emx_obs::MetricsRegistry;
+use emx_sched::ChunkRule;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -287,18 +288,21 @@ pub fn simulate_with_faults(
     match model {
         SimModel::Static(owners) => faulty_static(costs, owners, cfg, plan),
         SimModel::Counter { chunk } => {
-            faulty_counter(costs, ChunkPolicy::Fixed(*chunk), 1, cfg, plan)
+            faulty_counter(costs, ChunkRule::Fixed(*chunk), 1, cfg, plan)
         }
-        SimModel::Guided { min_chunk } => {
-            faulty_counter(costs, ChunkPolicy::Guided(*min_chunk), 1, cfg, plan)
-        }
-        SimModel::GroupCounters { groups, chunk } => faulty_counter(
+        SimModel::Guided { min_chunk } => faulty_counter(
             costs,
-            ChunkPolicy::Fixed(*chunk),
-            (*groups).max(1),
+            ChunkRule::Tapering {
+                k: 2,
+                min: *min_chunk,
+            },
+            1,
             cfg,
             plan,
         ),
+        SimModel::GroupCounters { groups, chunk } => {
+            faulty_counter(costs, ChunkRule::Fixed(*chunk), (*groups).max(1), cfg, plan)
+        }
         SimModel::WorkStealing { steal_half } => {
             faulty_stealing(costs, *steal_half, None, None, cfg, plan)
         }
@@ -484,6 +488,7 @@ fn faulty_static(costs: &[f64], owners: &[u32], cfg: &SimConfig, plan: &FaultPla
             counter_fetches: 0,
             comm: Vec::new(),
             traces,
+            assignment: Vec::new(),
         },
         faults: stats,
     }
@@ -491,17 +496,12 @@ fn faulty_static(costs: &[f64], owners: &[u32], cfg: &SimConfig, plan: &FaultPla
 
 fn faulty_counter(
     costs: &[f64],
-    policy: ChunkPolicy,
+    rule: ChunkRule,
     groups: usize,
     cfg: &SimConfig,
     plan: &FaultPlan,
 ) -> FaultReport {
-    if let ChunkPolicy::Fixed(c) = policy {
-        assert!(c > 0, "chunk must be positive");
-    }
-    if let ChunkPolicy::Guided(mc) = policy {
-        assert!(mc > 0, "min_chunk must be positive");
-    }
+    rule.validate();
     let p = cfg.workers;
     let n = costs.len();
     let m = &cfg.machine;
@@ -632,7 +632,7 @@ fn faulty_counter(
         // Claim: main group range first, then the recovery queue.
         let claimed: Vec<usize> = if next_task[g] < gend {
             let remaining = gend - next_task[g];
-            let chunk = policy.claim(remaining, group_size[g]);
+            let chunk = rule.claim(remaining, group_size[g]);
             let begin = next_task[g];
             next_task[g] = begin + chunk;
             (begin..begin + chunk).collect()
@@ -643,7 +643,7 @@ fn faulty_counter(
                 heap.push(Reverse((OrdF64(recovery_open), w)));
                 continue;
             }
-            let chunk = policy.claim(recovery.len(), group_size[g]);
+            let chunk = rule.claim(recovery.len(), group_size[g]);
             (0..chunk).filter_map(|_| recovery.pop_front()).collect()
         } else if undead > 0 {
             // Nothing to do now, but a rank is still scheduled to die —
@@ -730,6 +730,7 @@ fn faulty_counter(
             counter_fetches: fetches,
             comm: Vec::new(),
             traces,
+            assignment: Vec::new(),
         },
         faults: stats,
     }
@@ -758,7 +759,7 @@ fn faulty_stealing(
         }
         None => {
             for i in 0..n {
-                queues[emx_runtime::block_owner(i, n.max(1), p)].push_back(i);
+                queues[emx_sched::block_owner(i, n.max(1), p)].push_back(i);
             }
         }
     }
@@ -1000,6 +1001,7 @@ fn faulty_stealing(
             counter_fetches: 0,
             comm: Vec::new(),
             traces,
+            assignment: Vec::new(),
         },
         faults: stats,
     }
@@ -1130,7 +1132,7 @@ mod tests {
                     model.name(),
                     policy.name()
                 );
-                assert_eq!(r.sim.tasks[3] < 96, true);
+                assert!(r.sim.tasks[3] < 96);
                 assert_eq!(
                     r.faults.recovery_latency.len() as u64,
                     r.faults.recovered,

@@ -54,8 +54,10 @@ pub mod prelude {
     pub use crate::nxtval::NxtVal;
     pub use crate::obs::{publish_ga_traffic, publish_sim_metrics, sim_report_to_chrome};
     pub use crate::sim::{
-        simulate, simulate_static_with_data, DataLayout, SimConfig, SimModel, SimReport,
+        simulate, simulate_policy, simulate_static_with_data, DataLayout, SimConfig, SimModel,
+        SimReport,
     };
     pub use crate::simviz::{render_sim_timeline, sim_utilization_curve};
     pub use crate::world::{run_world, run_world_with_obs, Message, RankCtx, Traffic};
+    pub use emx_sched::PolicyKind;
 }

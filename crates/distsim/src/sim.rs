@@ -18,6 +18,9 @@
 
 use crate::machine::MachineModel;
 use emx_runtime::Variability;
+use emx_sched::{
+    random_victim, round_robin_victim, ChunkRule, PolicyKind, SeedPartition, VictimPolicy,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::time::Duration;
@@ -90,6 +93,41 @@ impl SimModel {
             SimModel::HierarchicalStealing { .. } => "hier-stealing",
         }
     }
+
+    /// Maps a substrate-agnostic [`PolicyKind`] onto the simulator's
+    /// model vocabulary, materializing static partitions for `ntasks`
+    /// tasks on `workers` workers. Returns `None` for policies the
+    /// `SimModel` enum cannot express (guided-adaptive chunking,
+    /// round-robin victims) — use [`simulate_policy`] for those, which
+    /// replays any registry policy directly. The reverse direction has
+    /// no mapping either: `GroupCounters`, `SeededStealing` and
+    /// `HierarchicalStealing` are simulator-only extensions.
+    pub fn from_policy(kind: &PolicyKind, ntasks: usize, workers: usize) -> Option<SimModel> {
+        match kind {
+            PolicyKind::Serial
+            | PolicyKind::StaticBlock
+            | PolicyKind::StaticCyclic
+            | PolicyKind::StaticAssigned(_)
+            | PolicyKind::PersistenceBased(_) => {
+                Some(SimModel::Static(kind.initial_partition(ntasks, workers)?))
+            }
+            PolicyKind::DynamicCounter { chunk } => Some(SimModel::Counter { chunk: *chunk }),
+            PolicyKind::Guided { min_chunk } => Some(SimModel::Guided {
+                min_chunk: *min_chunk,
+            }),
+            PolicyKind::GuidedAdaptive { .. } => None,
+            PolicyKind::WorkStealing(cfg) => match (&cfg.seed, cfg.victim) {
+                (SeedPartition::Block, VictimPolicy::Random) => Some(SimModel::WorkStealing {
+                    steal_half: cfg.steal_batch,
+                }),
+                (seed, VictimPolicy::Random) => Some(SimModel::SeededStealing {
+                    owners: seed.owners(ntasks, workers),
+                    steal_half: cfg.steal_batch,
+                }),
+                (_, VictimPolicy::RoundRobin) => None,
+            },
+        }
+    }
 }
 
 /// Simulation parameters.
@@ -143,6 +181,11 @@ pub struct SimReport {
     /// Per-worker task intervals `(start, end)` in seconds — populated
     /// when [`SimConfig::trace`] is set.
     pub traces: Vec<Vec<(f64, f64)>>,
+    /// Which worker executed each task (`assignment[i] = worker`).
+    /// Populated by the fault-free simulation paths; fault-injected runs
+    /// leave it empty (tasks there can be re-executed after failures, so
+    /// no single owner exists).
+    pub assignment: Vec<u32>,
 }
 
 impl SimReport {
@@ -162,20 +205,31 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
     match model {
         SimModel::Static(owners) => simulate_static(costs, owners, cfg),
         SimModel::Counter { chunk } => {
-            simulate_counter_family(costs, ChunkPolicy::Fixed(*chunk), 1, cfg)
+            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), 1, cfg)
         }
-        SimModel::Guided { min_chunk } => {
-            simulate_counter_family(costs, ChunkPolicy::Guided(*min_chunk), 1, cfg)
-        }
+        SimModel::Guided { min_chunk } => simulate_counter_family(
+            costs,
+            ChunkRule::Tapering {
+                k: 2,
+                min: *min_chunk,
+            },
+            1,
+            cfg,
+        ),
         SimModel::GroupCounters { groups, chunk } => {
-            simulate_counter_family(costs, ChunkPolicy::Fixed(*chunk), (*groups).max(1), cfg)
+            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), (*groups).max(1), cfg)
         }
         SimModel::WorkStealing { steal_half } => {
-            simulate_stealing(costs, *steal_half, None, None, cfg)
+            simulate_stealing(costs, *steal_half, None, None, VictimPolicy::Random, cfg)
         }
-        SimModel::SeededStealing { owners, steal_half } => {
-            simulate_stealing(costs, *steal_half, None, Some(owners), cfg)
-        }
+        SimModel::SeededStealing { owners, steal_half } => simulate_stealing(
+            costs,
+            *steal_half,
+            None,
+            Some(owners),
+            VictimPolicy::Random,
+            cfg,
+        ),
         SimModel::HierarchicalStealing {
             steal_half,
             node_size,
@@ -185,28 +239,51 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
             *steal_half,
             Some(((*node_size).max(1), remote_factor.max(1.0))),
             None,
+            VictimPolicy::Random,
             cfg,
         ),
     }
 }
 
-/// How a counter fetch sizes its claim.
-pub(crate) enum ChunkPolicy {
-    /// Fixed chunk of the given size.
-    Fixed(usize),
-    /// Guided: `remaining/(2·P_group)` floored at the value.
-    Guided(usize),
-}
-
-impl ChunkPolicy {
-    /// Number of tasks the next fetch claims, given `remaining` tasks
-    /// and a serving group of `group_size` workers.
-    pub(crate) fn claim(&self, remaining: usize, group_size: usize) -> usize {
-        match *self {
-            ChunkPolicy::Fixed(c) => c,
-            ChunkPolicy::Guided(mc) => (remaining / (2 * group_size.max(1))).max(mc),
+/// Replays any registry policy ([`PolicyKind`]) through the simulator —
+/// the same policy objects the thread runtime executes, in virtual time.
+/// Static policies replay their partition; counter-family policies
+/// replay their [`ChunkRule`] against the simulated shared counter;
+/// work stealing replays the configured seed partition, victim policy
+/// and batch size (victim draws come from [`SimConfig::seed`], the
+/// simulator's RNG convention).
+pub fn simulate_policy(costs: &[f64], kind: &PolicyKind, cfg: &SimConfig) -> SimReport {
+    assert!(cfg.workers > 0, "need at least one worker");
+    let n = costs.len();
+    match kind {
+        PolicyKind::Serial
+        | PolicyKind::StaticBlock
+        | PolicyKind::StaticCyclic
+        | PolicyKind::StaticAssigned(_)
+        | PolicyKind::PersistenceBased(_) => {
+            let owners = kind
+                .initial_partition(n, cfg.workers)
+                .expect("static policy has a partition");
+            simulate_static(costs, &owners, cfg)
         }
-        .min(remaining)
+        PolicyKind::DynamicCounter { .. }
+        | PolicyKind::Guided { .. }
+        | PolicyKind::GuidedAdaptive { .. } => {
+            let rule = kind.chunk_rule().expect("counter-family policy");
+            rule.validate();
+            simulate_counter_family(costs, rule, 1, cfg)
+        }
+        PolicyKind::WorkStealing(scfg) => {
+            let seeded;
+            let seed_owners = match &scfg.seed {
+                SeedPartition::Block => None,
+                other => {
+                    seeded = other.owners(n, cfg.workers);
+                    Some(seeded.as_slice())
+                }
+            };
+            simulate_stealing(costs, scfg.steal_batch, None, seed_owners, scfg.victim, cfg)
+        }
     }
 }
 
@@ -249,6 +326,7 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
         counter_fetches: 0,
         comm: Vec::new(),
         traces,
+        assignment: owners.to_vec(),
     }
 }
 
@@ -368,21 +446,17 @@ pub fn simulate_static_with_data(
         counter_fetches: 0,
         comm,
         traces,
+        assignment: owners.to_vec(),
     }
 }
 
 fn simulate_counter_family(
     costs: &[f64],
-    policy: ChunkPolicy,
+    rule: ChunkRule,
     groups: usize,
     cfg: &SimConfig,
 ) -> SimReport {
-    if let ChunkPolicy::Fixed(c) = policy {
-        assert!(c > 0, "chunk must be positive");
-    }
-    if let ChunkPolicy::Guided(mc) = policy {
-        assert!(mc > 0, "min_chunk must be positive");
-    }
+    rule.validate();
     let p = cfg.workers;
     let n = costs.len();
     let m = &cfg.machine;
@@ -405,6 +479,7 @@ fn simulate_counter_family(
     let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
     let mut counter_free = vec![0.0f64; groups];
     let mut makespan = 0.0f64;
+    let mut assignment = vec![u32::MAX; n];
 
     // Heap of (arrival time at the group's counter, worker).
     let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
@@ -424,19 +499,20 @@ fn simulate_counter_family(
             continue;
         }
         let remaining = gend - next_task[g];
-        let chunk = policy.claim(remaining, group_size[g]);
+        let chunk = rule.claim(remaining, group_size[g]);
         let begin = next_task[g];
         let end = begin + chunk;
         next_task[g] = end;
         let mut t = response;
-        for &cost in &costs[begin..end] {
-            let d = stretched(cost, w, t, cfg) + m.dispatch_overhead;
+        for i in begin..end {
+            let d = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
             if cfg.trace {
                 traces[w].push((t, t + d));
             }
             t += d;
             busy[w] += d;
             tasks[w] += 1;
+            assignment[i] = w as u32;
         }
         makespan = makespan.max(t);
         // Request the next chunk.
@@ -452,6 +528,7 @@ fn simulate_counter_family(
         counter_fetches: fetches,
         comm: Vec::new(),
         traces,
+        assignment,
     }
 }
 
@@ -460,6 +537,7 @@ fn simulate_stealing(
     steal_half: bool,
     hierarchy: Option<(usize, f64)>,
     seed_owners: Option<&[u32]>,
+    victim_policy: VictimPolicy,
     cfg: &SimConfig,
 ) -> SimReport {
     let p = cfg.workers;
@@ -479,11 +557,12 @@ fn simulate_stealing(
         }
         None => {
             for i in 0..n {
-                queues[emx_runtime::block_owner(i, n.max(1), p)].push_back(i);
+                queues[emx_sched::block_owner(i, n.max(1), p)].push_back(i);
             }
         }
     }
     let mut remaining = n;
+    let mut assignment = vec![u32::MAX; n];
     let mut busy = vec![0.0; p];
     let mut tasks = vec![0usize; p];
     let mut traces = if cfg.trace {
@@ -495,6 +574,8 @@ fn simulate_stealing(
     let mut attempts = 0u64;
     let mut makespan = 0.0f64;
     let mut rng = SplitMix::new(cfg.seed);
+    // Round-robin victim selection scans per-worker (no RNG draw).
+    let mut rr_attempts = vec![0u64; p];
 
     // Event heap: (time, seq, worker). `seq` keeps ordering total.
     let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
@@ -512,6 +593,7 @@ fn simulate_stealing(
             }
             busy[w] += d;
             tasks[w] += 1;
+            assignment[i] = w as u32;
             remaining -= 1;
             makespan = makespan.max(t + d);
             heap.push(Reverse((OrdF64(t + d), seq, w)));
@@ -541,20 +623,17 @@ fn simulate_stealing(
                     }
                     (v, m.steal_latency / remote_factor)
                 } else {
-                    let mut v = (rng.next() as usize) % (p - 1);
-                    if v >= w {
-                        v += 1;
-                    }
+                    (random_victim(rng.next(), w, p), m.steal_latency)
+                }
+            }
+            _ if p > 1 => match victim_policy {
+                VictimPolicy::Random => (random_victim(rng.next(), w, p), m.steal_latency),
+                VictimPolicy::RoundRobin => {
+                    let v = round_robin_victim(w, rr_attempts[w], p);
+                    rr_attempts[w] += 1;
                     (v, m.steal_latency)
                 }
-            }
-            _ if p > 1 => {
-                let mut v = (rng.next() as usize) % (p - 1);
-                if v >= w {
-                    v += 1;
-                }
-                (v, m.steal_latency)
-            }
+            },
             _ => (w, m.steal_latency),
         };
         let t_resolved = t + latency;
@@ -604,6 +683,7 @@ fn simulate_stealing(
         counter_fetches: 0,
         comm: Vec::new(),
         traces,
+        assignment,
     }
 }
 
@@ -619,30 +699,24 @@ impl Ord for OrdF64 {
     }
 }
 
-/// splitmix64 — the simulator's deterministic RNG (victim selection and
-/// fault-fate draws use independent instances of this stream).
-pub(crate) struct SplitMix {
-    state: u64,
-}
+/// The simulator's deterministic RNG (victim selection and fault-fate
+/// draws use independent instances): [`emx_sched::SplitMix64`] behind
+/// the simulator's seed-whitening convention (`seed ^ 0x1234…`), kept
+/// so historical seeds reproduce the same streams.
+pub(crate) struct SplitMix(emx_sched::SplitMix64);
 
 impl SplitMix {
     pub(crate) fn new(seed: u64) -> SplitMix {
-        SplitMix {
-            state: seed ^ 0x1234_5678_9abc_def0,
-        }
+        SplitMix(emx_sched::SplitMix64::new(seed ^ 0x1234_5678_9abc_def0))
     }
 
     pub(crate) fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.0.next()
     }
 
     /// Uniform draw in `[0, 1)`.
     pub(crate) fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+        self.0.unit()
     }
 }
 

@@ -16,12 +16,17 @@
 //! deterministic fault injection ([`faults`]: poisoned tasks caught and
 //! re-enqueued, straggler workers) — see `docs/FAULT_MODEL.md`.
 //!
+//! The scheduling-policy vocabulary itself ([`PolicyKind`] and friends)
+//! lives in the substrate-agnostic `emx-sched` crate, shared with the
+//! distributed simulator; this crate executes those policies on real
+//! threads.
+//!
 //! ## Example
 //!
 //! ```
 //! use emx_runtime::prelude::*;
 //!
-//! let ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+//! let ex = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default()));
 //! let (locals, report) = ex.run(100, |_| 0u64, |i, sum| *sum += i as u64);
 //! assert_eq!(locals.iter().sum::<u64>(), 4950);
 //! assert_eq!(report.total_tasks_run(), 100);
@@ -38,7 +43,9 @@ pub mod timeline;
 pub mod variability;
 
 pub use faults::{FaultInjection, PoisonSpec, StragglerSpec};
-pub use model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+#[allow(deprecated)]
+pub use model::ExecutionModel;
+pub use model::{block_owner, ChunkRule, PolicyKind, SeedPartition, StealConfig, VictimPolicy};
 pub use obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
 pub use pool::Executor;
 pub use report::{ExecutionReport, TaskEvent, WorkerStats};
@@ -48,7 +55,9 @@ pub use variability::Variability;
 /// Common imports.
 pub mod prelude {
     pub use crate::faults::{FaultInjection, PoisonSpec, StragglerSpec};
-    pub use crate::model::{ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+    #[allow(deprecated)]
+    pub use crate::model::ExecutionModel;
+    pub use crate::model::{ChunkRule, PolicyKind, SeedPartition, StealConfig, VictimPolicy};
     pub use crate::obs::{publish_report_gauges, report_to_chrome, RuntimeObs};
     pub use crate::pool::Executor;
     pub use crate::report::{ExecutionReport, TaskEvent, WorkerStats};

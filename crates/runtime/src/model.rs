@@ -1,19 +1,26 @@
-//! Execution-model descriptions.
+//! Execution-model descriptions (thin shim over [`emx_sched`]).
 //!
-//! An *execution model* here is the abstract policy deciding which
-//! worker runs which task and when — the variable of the whole study.
-//! The concrete policies mirror the paper's spectrum:
-//!
-//! * **Static** — ownership fixed before execution (block, cyclic, or an
-//!   arbitrary assignment produced by a load balancer);
-//! * **Dynamic shared counter** — NXTVAL-style self-scheduling from one
-//!   global counter, with a chunk size;
-//! * **Work stealing** — distributed deques with random victim
-//!   selection.
+//! The policy vocabulary — which worker runs which task and when, the
+//! variable of the whole study — now lives in the substrate-agnostic
+//! [`emx_sched`] crate so the thread runtime and the distributed
+//! simulator share one definition. This module re-exports those types
+//! and keeps the old [`ExecutionModel`] enum as a deprecated alias that
+//! converts into [`PolicyKind`].
 
 use std::sync::Arc;
 
+pub use emx_sched::{
+    block_owner, block_partition, cyclic_partition, ChunkRule, PolicyKind, SeedPartition,
+    StealConfig, VictimPolicy,
+};
+
 /// How tasks are distributed to workers before/while running.
+///
+/// Superseded by [`PolicyKind`], which covers the same policies (plus
+/// guided-adaptive and persistence-based scheduling) for both the thread
+/// runtime and the simulator. Every variant converts losslessly via
+/// `From<ExecutionModel> for PolicyKind`.
+#[deprecated(since = "0.1.0", note = "use emx_sched::PolicyKind instead")]
 #[derive(Debug, Clone)]
 pub enum ExecutionModel {
     /// One worker runs everything in task order (baseline).
@@ -32,8 +39,7 @@ pub enum ExecutionModel {
         chunk: usize,
     },
     /// Guided self-scheduling: each fetch claims `remaining / (2·P)`
-    /// tasks (at least `min_chunk`) — large chunks early to amortize
-    /// the counter, small chunks late to balance the tail.
+    /// tasks (at least `min_chunk`).
     DynamicGuided {
         /// Smallest chunk a fetch may claim.
         min_chunk: usize,
@@ -42,97 +48,41 @@ pub enum ExecutionModel {
     WorkStealing(StealConfig),
 }
 
+#[allow(deprecated)]
 impl ExecutionModel {
     /// Short, stable name used in reports and bench tables.
     pub fn name(&self) -> &'static str {
-        match self {
-            ExecutionModel::Serial => "serial",
-            ExecutionModel::StaticBlock => "static-block",
-            ExecutionModel::StaticCyclic => "static-cyclic",
-            ExecutionModel::StaticAssigned(_) => "static-assigned",
-            ExecutionModel::DynamicCounter { .. } => "dynamic-counter",
-            ExecutionModel::DynamicGuided { .. } => "dynamic-guided",
-            ExecutionModel::WorkStealing(_) => "work-stealing",
-        }
+        PolicyKind::from(self.clone()).name()
     }
 
     /// Whether the model can rebalance at runtime.
     pub fn is_dynamic(&self) -> bool {
-        matches!(
-            self,
-            ExecutionModel::DynamicCounter { .. }
-                | ExecutionModel::DynamicGuided { .. }
-                | ExecutionModel::WorkStealing(_)
-        )
+        PolicyKind::from(self.clone()).is_dynamic()
     }
 }
 
-/// Work-stealing policy knobs (the ablation axes of experiment E7).
-#[derive(Debug, Clone)]
-pub struct StealConfig {
-    /// How tasks are seeded into the deques before execution.
-    pub seed: SeedPartition,
-    /// Victim selection policy.
-    pub victim: VictimPolicy,
-    /// Steal a batch (about half the victim's deque) instead of one task.
-    pub steal_batch: bool,
-    /// RNG seed for random victim selection (reproducibility).
-    pub rng_seed: u64,
-}
-
-impl Default for StealConfig {
-    fn default() -> Self {
-        StealConfig {
-            seed: SeedPartition::Block,
-            victim: VictimPolicy::Random,
-            steal_batch: true,
-            rng_seed: 0x57ea1,
+#[allow(deprecated)]
+impl From<ExecutionModel> for PolicyKind {
+    fn from(model: ExecutionModel) -> PolicyKind {
+        match model {
+            ExecutionModel::Serial => PolicyKind::Serial,
+            ExecutionModel::StaticBlock => PolicyKind::StaticBlock,
+            ExecutionModel::StaticCyclic => PolicyKind::StaticCyclic,
+            ExecutionModel::StaticAssigned(a) => PolicyKind::StaticAssigned(a),
+            ExecutionModel::DynamicCounter { chunk } => PolicyKind::DynamicCounter { chunk },
+            ExecutionModel::DynamicGuided { min_chunk } => PolicyKind::Guided { min_chunk },
+            ExecutionModel::WorkStealing(cfg) => PolicyKind::WorkStealing(cfg),
         }
     }
 }
 
-/// Initial distribution of tasks into the stealing deques.
-#[derive(Debug, Clone)]
-pub enum SeedPartition {
-    /// Contiguous blocks (default — mirrors the static baseline).
-    Block,
-    /// Round-robin.
-    Cyclic,
-    /// Explicit owner map, e.g. from a locality-aware balancer.
-    Assigned(Arc<Vec<u32>>),
-}
-
-/// Victim selection for steals.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VictimPolicy {
-    /// Uniformly random victim (classic).
-    Random,
-    /// Cyclic scan starting from the thief's right neighbour.
-    RoundRobin,
-}
-
-/// Computes the static-block owner of task `i` out of `n` for `p`
-/// workers (balanced block sizes, remainder spread over the first
-/// workers).
-pub fn block_owner(i: usize, n: usize, p: usize) -> usize {
-    debug_assert!(i < n && p > 0);
-    let base = n / p;
-    let rem = n % p;
-    // The first `rem` workers own `base+1` tasks.
-    let cut = rem * (base + 1);
-    if i < cut {
-        i / (base + 1)
-    } else {
-        rem + (i - cut) / base.max(1)
-    }
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn names_are_stable() {
+    fn shim_names_match_the_registry() {
         assert_eq!(ExecutionModel::Serial.name(), "serial");
         assert_eq!(ExecutionModel::StaticBlock.name(), "static-block");
         assert_eq!(
@@ -140,9 +90,26 @@ mod tests {
             "dynamic-counter"
         );
         assert_eq!(
+            ExecutionModel::DynamicGuided { min_chunk: 2 }.name(),
+            "guided"
+        );
+        assert_eq!(
             ExecutionModel::WorkStealing(StealConfig::default()).name(),
             "work-stealing"
         );
+    }
+
+    #[test]
+    fn shim_conversion_is_lossless() {
+        match PolicyKind::from(ExecutionModel::DynamicGuided { min_chunk: 3 }) {
+            PolicyKind::Guided { min_chunk } => assert_eq!(min_chunk, 3),
+            other => panic!("unexpected conversion {other:?}"),
+        }
+        let owners = Arc::new(vec![1u32, 0, 1]);
+        match PolicyKind::from(ExecutionModel::StaticAssigned(owners.clone())) {
+            PolicyKind::StaticAssigned(a) => assert_eq!(a, owners),
+            other => panic!("unexpected conversion {other:?}"),
+        }
     }
 
     #[test]
@@ -154,25 +121,8 @@ mod tests {
     }
 
     #[test]
-    fn block_owner_partitions_evenly() {
-        let (n, p) = (10, 3);
-        let owners: Vec<usize> = (0..n).map(|i| block_owner(i, n, p)).collect();
+    fn block_owner_reexport_partitions_evenly() {
+        let owners: Vec<usize> = (0..10).map(|i| block_owner(i, 10, 3)).collect();
         assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
-        // Monotone non-decreasing and covers all workers.
-        for w in owners.windows(2) {
-            assert!(w[0] <= w[1]);
-        }
-    }
-
-    #[test]
-    fn block_owner_exact_division() {
-        let owners: Vec<usize> = (0..8).map(|i| block_owner(i, 8, 4)).collect();
-        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
-    }
-
-    #[test]
-    fn block_owner_more_workers_than_tasks() {
-        let owners: Vec<usize> = (0..3).map(|i| block_owner(i, 3, 8)).collect();
-        assert_eq!(owners, vec![0, 1, 2]);
     }
 }

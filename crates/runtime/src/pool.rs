@@ -8,11 +8,12 @@
 //! what lets one kernel run unchanged under every execution model.
 
 use crate::faults::{propagate, run_poisonable, FaultInjection, FaultState};
-use crate::model::{block_owner, ExecutionModel, SeedPartition, StealConfig, VictimPolicy};
+use crate::model::{ChunkRule, PolicyKind, StealConfig, VictimPolicy};
 use crate::obs::{dur_ns, RuntimeObs, WorkerObs};
 use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
 use crate::variability::Variability;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use emx_sched::{random_victim, round_robin_victim, worker_stream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,7 +24,7 @@ pub struct Executor {
     /// Number of worker threads.
     pub workers: usize,
     /// Scheduling policy.
-    pub model: ExecutionModel,
+    pub model: PolicyKind,
     /// Performance-variability injection.
     pub variability: Variability,
     /// Record per-task event traces (adds small overhead).
@@ -38,12 +39,13 @@ pub struct Executor {
 
 impl Executor {
     /// Creates an executor with no variability, tracing off and no
-    /// observability attached.
-    pub fn new(workers: usize, model: ExecutionModel) -> Executor {
+    /// observability attached. Accepts any [`PolicyKind`] (or a
+    /// deprecated [`crate::model::ExecutionModel`], which converts).
+    pub fn new(workers: usize, model: impl Into<PolicyKind>) -> Executor {
         assert!(workers > 0, "need at least one worker");
         Executor {
             workers,
-            model,
+            model: model.into(),
             variability: Variability::None,
             trace: false,
             obs: None,
@@ -107,32 +109,27 @@ impl Executor {
         FTask: Fn(usize, &mut L) + Sync,
     {
         let outcome = match &self.model {
-            ExecutionModel::Serial => self.run_serial(ntasks, &init, &task),
-            ExecutionModel::StaticBlock => {
-                let lists = (0..ntasks).map(|i| block_owner(i, ntasks, self.workers) as u32);
-                self.run_static(ntasks, lists.collect(), &init, &task)
+            PolicyKind::Serial => self.run_serial(ntasks, &init, &task),
+            PolicyKind::StaticBlock
+            | PolicyKind::StaticCyclic
+            | PolicyKind::StaticAssigned(_)
+            | PolicyKind::PersistenceBased(_) => {
+                let owners = self
+                    .model
+                    .initial_partition(ntasks, self.workers)
+                    .expect("static policy has a partition");
+                self.run_static(ntasks, owners, &init, &task)
             }
-            ExecutionModel::StaticCyclic => {
-                let lists = (0..ntasks).map(|i| (i % self.workers) as u32);
-                self.run_static(ntasks, lists.collect(), &init, &task)
-            }
-            ExecutionModel::StaticAssigned(map) => {
-                assert_eq!(map.len(), ntasks, "assignment length mismatch");
-                assert!(
-                    map.iter().all(|&w| (w as usize) < self.workers),
-                    "assignment names a worker out of range"
-                );
-                self.run_static(ntasks, map.as_ref().clone(), &init, &task)
-            }
-            ExecutionModel::DynamicCounter { chunk } => {
+            PolicyKind::DynamicCounter { chunk } => {
                 assert!(*chunk > 0, "chunk must be positive");
                 self.run_counter(ntasks, *chunk, &init, &task)
             }
-            ExecutionModel::DynamicGuided { min_chunk } => {
-                assert!(*min_chunk > 0, "min_chunk must be positive");
-                self.run_guided(ntasks, *min_chunk, &init, &task)
+            PolicyKind::Guided { .. } | PolicyKind::GuidedAdaptive { .. } => {
+                let rule = self.model.chunk_rule().expect("guided policy has a rule");
+                rule.validate();
+                self.run_guided(ntasks, rule, &init, &task)
             }
-            ExecutionModel::WorkStealing(cfg) => self.run_stealing(ntasks, cfg, &init, &task),
+            PolicyKind::WorkStealing(cfg) => self.run_stealing(ntasks, cfg, &init, &task),
         };
         let (locals, report) = outcome;
         assert_eq!(
@@ -282,7 +279,7 @@ impl Executor {
     fn run_guided<L>(
         &self,
         ntasks: usize,
-        min_chunk: usize,
+        rule: ChunkRule,
         init: &(impl Fn(usize) -> L + Sync),
         task: &(impl Fn(usize, &mut L) + Sync),
     ) -> (Vec<L>, ExecutionReport)
@@ -311,10 +308,10 @@ impl Executor {
                             ctx.attach_faults(fs, straggle);
                         }
                         loop {
-                            // Claim remaining/(2P), floored at min_chunk,
-                            // via CAS (the claim size depends on the
-                            // current counter value, so fetch_add alone
-                            // is not enough).
+                            // Claim what the tapering rule dictates, via
+                            // CAS (the claim size depends on the current
+                            // counter value, so fetch_add alone is not
+                            // enough).
                             let t_fetch = ctx.obs_mark();
                             let begin;
                             let end;
@@ -324,7 +321,7 @@ impl Executor {
                                     return (local, ctx.stats, ctx.events);
                                 }
                                 let remaining = ntasks - cur;
-                                let chunk = (remaining / (2 * p)).max(min_chunk).min(remaining);
+                                let chunk = rule.claim(remaining, p);
                                 match next.compare_exchange_weak(
                                     cur,
                                     cur + chunk,
@@ -371,16 +368,8 @@ impl Executor {
         // moved into its owning thread).
         let deques: Vec<Deque<usize>> = (0..p).map(|_| Deque::new_lifo()).collect();
         let stealers: Vec<Stealer<usize>> = deques.iter().map(|d| d.stealer()).collect();
-        for i in 0..ntasks {
-            let owner = match &cfg.seed {
-                SeedPartition::Block => block_owner(i, ntasks, p),
-                SeedPartition::Cyclic => i % p,
-                SeedPartition::Assigned(map) => {
-                    assert_eq!(map.len(), ntasks, "seed assignment length mismatch");
-                    map[i] as usize
-                }
-            };
-            deques[owner].push(i);
+        for (i, &owner) in cfg.seed.owners(ntasks, p).iter().enumerate() {
+            deques[owner as usize].push(i);
         }
         let remaining = AtomicUsize::new(ntasks);
         let fstate = self.fault_state(ntasks);
@@ -406,9 +395,7 @@ impl Executor {
                         if let Some(fs) = faults {
                             ctx.attach_faults(fs, straggle);
                         }
-                        let mut rng = SplitMix::new(
-                            cfg.rng_seed ^ (w as u64).wrapping_mul(0x9e3779b97f4a7c15),
-                        );
+                        let mut rng = worker_stream(cfg.rng_seed, w);
                         'outer: loop {
                             // Drain the local deque first. A task whose
                             // panic was caught goes back on the deque
@@ -445,17 +432,9 @@ impl Executor {
                                     continue;
                                 }
                                 let victim = match cfg.victim {
-                                    VictimPolicy::Random => {
-                                        let mut v = (rng.next() as usize) % (p - 1);
-                                        if v >= w {
-                                            v += 1;
-                                        }
-                                        v
-                                    }
+                                    VictimPolicy::Random => random_victim(rng.next(), w, p),
                                     VictimPolicy::RoundRobin => {
-                                        let v = (w + 1 + (spins as usize) % (p - 1)) % p;
-                                        debug_assert_ne!(v, w);
-                                        v
+                                        round_robin_victim(w, spins as u64, p)
                                     }
                                 };
                                 ctx.stats.steal_attempts += 1;
@@ -751,48 +730,30 @@ impl WorkerCtx {
     }
 }
 
-/// Minimal splitmix64 PRNG for victim selection (no `rand` dependency in
-/// the hot steal loop).
-struct SplitMix {
-    state: u64,
-}
-
-impl SplitMix {
-    fn new(seed: u64) -> SplitMix {
-        SplitMix { state: seed }
-    }
-
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::SeedPartition;
     use std::sync::Arc;
 
-    fn all_models(n: usize) -> Vec<ExecutionModel> {
+    fn all_models(n: usize) -> Vec<PolicyKind> {
         vec![
-            ExecutionModel::Serial,
-            ExecutionModel::StaticBlock,
-            ExecutionModel::StaticCyclic,
-            ExecutionModel::StaticAssigned(Arc::new((0..n as u32).map(|i| i % 3).collect())),
-            ExecutionModel::DynamicCounter { chunk: 1 },
-            ExecutionModel::DynamicCounter { chunk: 7 },
-            ExecutionModel::DynamicGuided { min_chunk: 1 },
-            ExecutionModel::DynamicGuided { min_chunk: 4 },
-            ExecutionModel::WorkStealing(StealConfig::default()),
-            ExecutionModel::WorkStealing(StealConfig {
+            PolicyKind::Serial,
+            PolicyKind::StaticBlock,
+            PolicyKind::StaticCyclic,
+            PolicyKind::StaticAssigned(Arc::new((0..n as u32).map(|i| i % 3).collect())),
+            PolicyKind::DynamicCounter { chunk: 1 },
+            PolicyKind::DynamicCounter { chunk: 7 },
+            PolicyKind::Guided { min_chunk: 1 },
+            PolicyKind::Guided { min_chunk: 4 },
+            PolicyKind::GuidedAdaptive { k: 4, min_chunk: 2 },
+            PolicyKind::WorkStealing(StealConfig::default()),
+            PolicyKind::WorkStealing(StealConfig {
                 victim: VictimPolicy::RoundRobin,
                 steal_batch: false,
                 ..StealConfig::default()
             }),
-            ExecutionModel::WorkStealing(StealConfig {
+            PolicyKind::WorkStealing(StealConfig {
                 seed: SeedPartition::Cyclic,
                 ..StealConfig::default()
             }),
@@ -857,7 +818,7 @@ mod tests {
 
     #[test]
     fn static_block_assigns_contiguously() {
-        let ex = Executor::new(3, ExecutionModel::StaticBlock);
+        let ex = Executor::new(3, PolicyKind::StaticBlock);
         let (locals, _) = ex.run(9, |_| Vec::new(), |i, l: &mut Vec<usize>| l.push(i));
         assert_eq!(locals[0], vec![0, 1, 2]);
         assert_eq!(locals[1], vec![3, 4, 5]);
@@ -866,7 +827,7 @@ mod tests {
 
     #[test]
     fn static_cyclic_assigns_round_robin() {
-        let ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        let ex = Executor::new(2, PolicyKind::StaticCyclic);
         let (locals, _) = ex.run(5, |_| Vec::new(), |i, l: &mut Vec<usize>| l.push(i));
         assert_eq!(locals[0], vec![0, 2, 4]);
         assert_eq!(locals[1], vec![1, 3]);
@@ -874,7 +835,7 @@ mod tests {
 
     #[test]
     fn counter_model_reports_fetches() {
-        let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 10 });
+        let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 10 });
         let (_, report) = ex.run(100, |_| (), |_, _| {});
         // 10 productive fetches plus up to `workers` empty ones.
         let fetches = report.total_counter_fetches();
@@ -884,9 +845,9 @@ mod tests {
     #[test]
     fn guided_uses_fewer_fetches_than_unit_counter() {
         let n = 4096;
-        let unit = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 1 });
+        let unit = Executor::new(2, PolicyKind::DynamicCounter { chunk: 1 });
         let (_, r_unit) = unit.run(n, |_| (), |_, _| {});
-        let guided = Executor::new(2, ExecutionModel::DynamicGuided { min_chunk: 1 });
+        let guided = Executor::new(2, PolicyKind::Guided { min_chunk: 1 });
         let (_, r_guided) = guided.run(n, |_| (), |_, _| {});
         assert!(
             r_guided.total_counter_fetches() * 10 < r_unit.total_counter_fetches(),
@@ -900,7 +861,7 @@ mod tests {
     fn guided_single_worker_claims_shrink() {
         // With P = 1 and min_chunk 1, claims follow remaining/2:
         // 0..2048, then 1024, … — the fetch count is O(log n).
-        let ex = Executor::new(1, ExecutionModel::DynamicGuided { min_chunk: 1 });
+        let ex = Executor::new(1, PolicyKind::Guided { min_chunk: 1 });
         let (_, r) = ex.run(4096, |_| (), |_, _| {});
         let fetches = r.total_counter_fetches();
         assert!(fetches <= 30, "fetches {fetches}");
@@ -916,7 +877,7 @@ mod tests {
         let map: Arc<Vec<u32>> = Arc::new(vec![0; 64]);
         let mut ex = Executor::new(
             4,
-            ExecutionModel::WorkStealing(StealConfig {
+            PolicyKind::WorkStealing(StealConfig {
                 seed: SeedPartition::Assigned(map),
                 ..StealConfig::default()
             }),
@@ -950,7 +911,7 @@ mod tests {
 
     #[test]
     fn serial_model_reports_one_worker() {
-        let ex = Executor::new(8, ExecutionModel::Serial);
+        let ex = Executor::new(8, PolicyKind::Serial);
         let (locals, report) = ex.run(10, |_| 0u32, |_, l| *l += 1);
         assert_eq!(report.workers, 1);
         assert_eq!(locals.len(), 1);
@@ -959,7 +920,7 @@ mod tests {
 
     #[test]
     fn trace_records_every_task() {
-        let mut ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        let mut ex = Executor::new(2, PolicyKind::StaticCyclic);
         ex.trace = true;
         let (_, report) = ex.run(20, |_| (), |_, _| {});
         let total: usize = report.traces.iter().map(|t| t.len()).sum();
@@ -971,7 +932,7 @@ mod tests {
 
     #[test]
     fn variability_pads_busy_time() {
-        let mut ex = Executor::new(1, ExecutionModel::Serial);
+        let mut ex = Executor::new(1, PolicyKind::Serial);
         ex.variability = Variability::SlowCores {
             factor: 3.0,
             count: 1,
@@ -998,20 +959,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "assignment length mismatch")]
     fn bad_assignment_length_panics() {
-        let ex = Executor::new(2, ExecutionModel::StaticAssigned(Arc::new(vec![0; 3])));
+        let ex = Executor::new(2, PolicyKind::StaticAssigned(Arc::new(vec![0; 3])));
         let _ = ex.run(4, |_| (), |_, _| {});
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_assignment_target_panics() {
-        let ex = Executor::new(2, ExecutionModel::StaticAssigned(Arc::new(vec![5; 3])));
+        let ex = Executor::new(2, PolicyKind::StaticAssigned(Arc::new(vec![5; 3])));
         let _ = ex.run(3, |_| (), |_, _| {});
     }
 
     #[test]
     fn work_stealing_with_one_worker_terminates() {
-        let ex = Executor::new(1, ExecutionModel::WorkStealing(StealConfig::default()));
+        let ex = Executor::new(1, PolicyKind::WorkStealing(StealConfig::default()));
         let (locals, _) = ex.run(50, |_| 0u32, |_, l| *l += 1);
         assert_eq!(locals[0], 50);
     }
@@ -1043,8 +1004,8 @@ mod tests {
         #[test]
         fn fault_free_config_changes_nothing() {
             let n = 100;
-            let ex = Executor::new(3, ExecutionModel::StaticCyclic)
-                .with_faults(FaultInjection::default());
+            let ex =
+                Executor::new(3, PolicyKind::StaticCyclic).with_faults(FaultInjection::default());
             let (locals, report) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
             assert_eq!(locals.iter().sum::<u64>(), (0..n as u64).sum());
             assert_eq!(report.total_panics_caught(), 0);
@@ -1053,7 +1014,7 @@ mod tests {
 
         #[test]
         fn stragglers_pad_but_do_not_change_results() {
-            let ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()))
+            let ex = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()))
                 .with_faults(FaultInjection::default().with_stragglers(1, 3.0));
             let (locals, report) = ex.run(
                 64,
@@ -1076,7 +1037,7 @@ mod tests {
         fn exhausted_retries_propagate() {
             let mut fi = FaultInjection::poison_tasks(vec![2]);
             fi.max_retries = 0;
-            let ex = Executor::new(2, ExecutionModel::StaticBlock).with_faults(fi);
+            let ex = Executor::new(2, PolicyKind::StaticBlock).with_faults(fi);
             let _ = ex.run(10, |_| (), |_, _| {});
         }
 
@@ -1085,7 +1046,7 @@ mod tests {
         fn genuinely_broken_task_does_not_livelock() {
             // Task 5 panics on every attempt — the executor must give up
             // after max_retries instead of spinning forever.
-            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 2 })
+            let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 2 })
                 .with_faults(FaultInjection::default());
             let _ = ex.run(
                 10,
@@ -1105,7 +1066,7 @@ mod tests {
             // stealing, the propagating worker must set the abort flag,
             // or peers spin forever on `remaining > 0` and the scoped
             // join never returns (the run used to hang here).
-            let ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()))
+            let ex = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default()))
                 .with_faults(FaultInjection::default());
             let _ = ex.run(
                 10,
@@ -1126,7 +1087,7 @@ mod tests {
             let mut fi = FaultInjection::poison_tasks(vec![0]);
             fi.max_retries = 0;
             let ex =
-                Executor::new(1, ExecutionModel::WorkStealing(StealConfig::default())).with_faults(fi);
+                Executor::new(1, PolicyKind::WorkStealing(StealConfig::default())).with_faults(fi);
             let _ = ex.run(4, |_| (), |_, _| {});
         }
     }
@@ -1154,7 +1115,7 @@ mod tests {
             // register or update any metric — the shared registry stays
             // empty no matter how many tasks run.
             let reg = Arc::new(MetricsRegistry::new());
-            let ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()));
+            let ex = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()));
             assert!(ex.obs.is_none());
             let _ = ex.run(500, |_| 0u64, |i, l| *l += i as u64);
             assert!(reg.snapshot().is_empty());
@@ -1163,7 +1124,7 @@ mod tests {
         #[test]
         fn counter_model_metrics_match_report() {
             let reg = Arc::new(MetricsRegistry::new());
-            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 10 })
+            let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 10 })
                 .with_obs(RuntimeObs::new(reg.clone()));
             let (_, report) = ex.run(100, |_| (), |_, _| {});
             assert_eq!(metric_counter(&reg, "runtime.tasks"), 100);
@@ -1192,7 +1153,7 @@ mod tests {
             let sink = Arc::new(CollectingSink::new());
             let mut ex = Executor::new(
                 4,
-                ExecutionModel::WorkStealing(StealConfig {
+                PolicyKind::WorkStealing(StealConfig {
                     seed: SeedPartition::Assigned(map),
                     ..StealConfig::default()
                 }),
@@ -1239,7 +1200,7 @@ mod tests {
         fn fault_metrics_published_when_faults_attached() {
             use crate::faults::FaultInjection;
             let reg = Arc::new(MetricsRegistry::new());
-            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 4 })
+            let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 4 })
                 .with_obs(RuntimeObs::new(reg.clone()))
                 .with_faults(FaultInjection::poison_tasks(vec![3, 9]));
             let (_, report) = ex.run(20, |_| 0u64, |i, l| *l += i as u64);
@@ -1266,7 +1227,7 @@ mod tests {
             // must stay at zero.
             let reg = Arc::new(MetricsRegistry::new());
             let tripped = AtomicBool::new(false);
-            let ex = Executor::new(2, ExecutionModel::DynamicCounter { chunk: 4 })
+            let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 4 })
                 .with_obs(RuntimeObs::new(reg.clone()))
                 .with_faults(FaultInjection::default());
             let (_, report) = ex.run(

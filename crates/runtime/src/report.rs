@@ -131,6 +131,26 @@ impl ExecutionReport {
         }
         out
     }
+
+    /// Which worker ran each task, reconstructed from the traces
+    /// (requires tracing; `None` otherwise). For deterministic policies
+    /// this must equal the policy's `initial_partition` and the
+    /// simulator's replay — the cross-substrate consistency tests rely
+    /// on it.
+    pub fn task_assignment(&self) -> Option<Vec<u32>> {
+        let mut out = vec![u32::MAX; self.tasks];
+        for (w, trace) in self.traces.iter().enumerate() {
+            for ev in trace {
+                if ev.task < out.len() {
+                    out[ev.task] = w as u32;
+                }
+            }
+        }
+        if out.contains(&u32::MAX) {
+            return None;
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]

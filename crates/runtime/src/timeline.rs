@@ -234,9 +234,9 @@ mod tests {
     fn real_trace_integrates_to_busy_fraction() {
         // Run an actual traced execution and check the curve average is
         // close to the report's utilization.
-        use crate::model::ExecutionModel;
+        use crate::model::PolicyKind;
         use crate::pool::Executor;
-        let mut ex = Executor::new(2, ExecutionModel::StaticCyclic);
+        let mut ex = Executor::new(2, PolicyKind::StaticCyclic);
         ex.trace = true;
         let (_, r) = ex.run(
             200,

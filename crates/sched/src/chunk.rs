@@ -1,0 +1,99 @@
+//! Chunk-sizing rules for counter-based self-scheduling.
+//!
+//! Every counter fetch — on the real shared counter or the simulated
+//! one — claims a number of consecutive tasks decided by a [`ChunkRule`].
+//! Keeping the formula here means the thread runtime and the simulator
+//! can never disagree about what "guided" means.
+
+/// How a counter fetch sizes its claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkRule {
+    /// Fixed chunk of the given size (classic NXTVAL chunking).
+    Fixed(usize),
+    /// Tapering (guided) chunks: each fetch claims `remaining/(k·P)`
+    /// tasks, floored at `min` — large chunks early to amortize the
+    /// counter, small chunks late to balance the tail. Guided
+    /// self-scheduling is `k = 2`; larger `k` hands out smaller chunks
+    /// sooner (more balance, more fetches).
+    Tapering {
+        /// Taper divisor multiplier (≥ 1); guided self-scheduling uses 2.
+        k: u32,
+        /// Smallest chunk a fetch may claim (≥ 1).
+        min: usize,
+    },
+}
+
+impl ChunkRule {
+    /// Number of tasks the next fetch claims, given `remaining`
+    /// unclaimed tasks served to `workers` workers. Never exceeds
+    /// `remaining`.
+    pub fn claim(&self, remaining: usize, workers: usize) -> usize {
+        match *self {
+            ChunkRule::Fixed(c) => c,
+            ChunkRule::Tapering { k, min } => (remaining / (k as usize * workers.max(1))).max(min),
+        }
+        .min(remaining)
+    }
+
+    /// Panics unless the rule's parameters are usable (positive chunk,
+    /// floor and divisor) — called once per run by both substrates.
+    pub fn validate(&self) {
+        match *self {
+            ChunkRule::Fixed(c) => assert!(c > 0, "chunk must be positive"),
+            ChunkRule::Tapering { k, min } => {
+                assert!(k > 0, "taper divisor must be positive");
+                assert!(min > 0, "min_chunk must be positive");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_claims_are_capped_at_remaining() {
+        let r = ChunkRule::Fixed(8);
+        assert_eq!(r.claim(100, 4), 8);
+        assert_eq!(r.claim(5, 4), 5);
+        assert_eq!(r.claim(0, 4), 0);
+    }
+
+    #[test]
+    fn guided_tapers_to_the_floor() {
+        let r = ChunkRule::Tapering { k: 2, min: 1 };
+        // remaining/(2·4) early, the floor late.
+        assert_eq!(r.claim(4096, 4), 512);
+        assert_eq!(r.claim(16, 4), 2);
+        assert_eq!(r.claim(3, 4), 1);
+        assert_eq!(r.claim(0, 4), 0);
+    }
+
+    #[test]
+    fn adaptive_k_shrinks_chunks() {
+        let guided = ChunkRule::Tapering { k: 2, min: 1 };
+        let adaptive = ChunkRule::Tapering { k: 8, min: 1 };
+        assert!(adaptive.claim(4096, 4) < guided.claim(4096, 4));
+        assert_eq!(adaptive.claim(4096, 4), 4096 / (8 * 4));
+    }
+
+    #[test]
+    fn min_floor_is_respected_but_never_overshoots() {
+        let r = ChunkRule::Tapering { k: 2, min: 16 };
+        assert_eq!(r.claim(40, 8), 16);
+        assert_eq!(r.claim(7, 8), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_fixed_chunk_is_rejected() {
+        ChunkRule::Fixed(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_chunk must be positive")]
+    fn zero_min_chunk_is_rejected() {
+        ChunkRule::Tapering { k: 2, min: 0 }.validate();
+    }
+}

@@ -1,0 +1,543 @@
+//! The execution-model registry.
+//!
+//! [`PolicyKind`] is the single enumeration of every scheduling policy
+//! the study compares. Both substrates dispatch on it, the experiment
+//! drivers build their rosters from it, and the reproduce harness parses
+//! it from the command line — adding a variant here is the whole cost of
+//! adding an execution model to the repository.
+
+use crate::chunk::ChunkRule;
+use crate::partition::{block_partition, cyclic_partition};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A scheduling policy: which worker runs which task, decided when.
+///
+/// The variants mirror the paper's spectrum. *Static* policies fix the
+/// task→worker map before execution ([`PolicyKind::initial_partition`]
+/// returns `Some`); *dynamic* policies decide at runtime and return
+/// `None`.
+#[derive(Debug, Clone)]
+pub enum PolicyKind {
+    /// One worker runs everything in task order (baseline).
+    Serial,
+    /// Contiguous index blocks: worker `w` owns `[w·n/P, (w+1)·n/P)`.
+    StaticBlock,
+    /// Round-robin: task `i` belongs to worker `i mod P`.
+    StaticCyclic,
+    /// Explicit per-task owner map (`assignment[i] < P`), produced by a
+    /// cost-model load balancer.
+    StaticAssigned(Arc<Vec<u32>>),
+    /// NXTVAL-style self-scheduling off a single shared counter; each
+    /// fetch claims `chunk` consecutive tasks.
+    DynamicCounter {
+        /// Tasks claimed per counter fetch.
+        chunk: usize,
+    },
+    /// Guided self-scheduling: each fetch claims `remaining/(2·P)`
+    /// tasks, floored at `min_chunk`.
+    Guided {
+        /// Smallest chunk a fetch may claim.
+        min_chunk: usize,
+    },
+    /// Adaptive guided self-scheduling: like [`PolicyKind::Guided`] but
+    /// with a configurable taper — each fetch claims `remaining/(k·P)`
+    /// tasks, floored at `min_chunk`. Larger `k` trades extra counter
+    /// fetches for a finer balanced tail.
+    GuidedAdaptive {
+        /// Taper divisor multiplier (`k = 2` reproduces plain guided).
+        k: u32,
+        /// Smallest chunk a fetch may claim.
+        min_chunk: usize,
+    },
+    /// Work stealing over per-worker deques.
+    WorkStealing(StealConfig),
+    /// Persistence-based assignment: a static owner map produced by
+    /// rebalancing the previous iteration's assignment with measured
+    /// costs (see [`PolicyKind::persistence_from_costs`]). Statically
+    /// scheduled at run time; the balancing happens between runs.
+    PersistenceBased(Arc<Vec<u32>>),
+}
+
+impl PolicyKind {
+    /// Short, stable canonical name used in reports, CSVs and parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Serial => "serial",
+            PolicyKind::StaticBlock => "static-block",
+            PolicyKind::StaticCyclic => "static-cyclic",
+            PolicyKind::StaticAssigned(_) => "static-assigned",
+            PolicyKind::DynamicCounter { .. } => "dynamic-counter",
+            PolicyKind::Guided { .. } => "guided",
+            PolicyKind::GuidedAdaptive { .. } => "guided-adaptive",
+            PolicyKind::WorkStealing(_) => "work-stealing",
+            PolicyKind::PersistenceBased(_) => "persistence-based",
+        }
+    }
+
+    /// Every canonical policy name, in roster order.
+    pub fn canonical_names() -> &'static [&'static str] {
+        &[
+            "serial",
+            "static-block",
+            "static-cyclic",
+            "static-assigned",
+            "dynamic-counter",
+            "guided",
+            "guided-adaptive",
+            "work-stealing",
+            "persistence-based",
+        ]
+    }
+
+    /// Whether the policy can rebalance at runtime.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::DynamicCounter { .. }
+                | PolicyKind::Guided { .. }
+                | PolicyKind::GuidedAdaptive { .. }
+                | PolicyKind::WorkStealing(_)
+        )
+    }
+
+    /// Whether the task→worker assignment is fully determined before
+    /// execution (independent of timing). For deterministic policies the
+    /// simulator, the thread executor and [`crate::replay_assignment`]
+    /// must all produce identical assignments.
+    pub fn is_deterministic(&self) -> bool {
+        !self.is_dynamic()
+    }
+
+    /// The pre-execution task→worker map of a static policy (`None` for
+    /// dynamic policies). Validates explicit maps: panics on length
+    /// mismatch or an owner `≥ workers`.
+    pub fn initial_partition(&self, ntasks: usize, workers: usize) -> Option<Vec<u32>> {
+        assert!(workers > 0, "need at least one worker");
+        let check = |map: &Arc<Vec<u32>>| {
+            assert_eq!(map.len(), ntasks, "assignment length mismatch");
+            assert!(
+                map.iter().all(|&w| (w as usize) < workers),
+                "assignment names a worker out of range"
+            );
+            map.as_ref().clone()
+        };
+        match self {
+            PolicyKind::Serial => Some(vec![0; ntasks]),
+            PolicyKind::StaticBlock => Some(block_partition(ntasks, workers)),
+            PolicyKind::StaticCyclic => Some(cyclic_partition(ntasks, workers)),
+            PolicyKind::StaticAssigned(map) | PolicyKind::PersistenceBased(map) => Some(check(map)),
+            _ => None,
+        }
+    }
+
+    /// The chunk-sizing rule of a counter-family policy (`None` for
+    /// everything else).
+    pub fn chunk_rule(&self) -> Option<ChunkRule> {
+        match *self {
+            PolicyKind::DynamicCounter { chunk } => Some(ChunkRule::Fixed(chunk)),
+            PolicyKind::Guided { min_chunk } => Some(ChunkRule::Tapering {
+                k: 2,
+                min: min_chunk,
+            }),
+            PolicyKind::GuidedAdaptive { k, min_chunk } => {
+                Some(ChunkRule::Tapering { k, min: min_chunk })
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds a persistence-based policy for `costs` on `workers`
+    /// workers: the block partition plays the role of the previous
+    /// iteration's assignment and is rebalanced against the measured (or
+    /// estimated) costs with the default persistence configuration.
+    pub fn persistence_from_costs(costs: &[f64], workers: usize) -> PolicyKind {
+        let previous = block_partition(costs.len(), workers);
+        let problem = emx_balance::prelude::Problem::new(costs.to_vec(), workers);
+        let assignment = emx_balance::persistence::rebalance(
+            &problem,
+            &previous,
+            &emx_balance::persistence::PersistenceConfig::default(),
+        );
+        PolicyKind::PersistenceBased(Arc::new(assignment))
+    }
+
+    /// The five-model roster of the scaling experiments (E1/E6/E8/E9 and
+    /// the overhead decomposition), with the display labels those tables
+    /// have always used.
+    pub fn comparison_roster(chunk: usize) -> Vec<(String, PolicyKind)> {
+        vec![
+            ("static-block".into(), PolicyKind::StaticBlock),
+            ("static-cyclic".into(), PolicyKind::StaticCyclic),
+            (
+                format!("counter(c={chunk})"),
+                PolicyKind::DynamicCounter { chunk },
+            ),
+            ("guided".into(), PolicyKind::Guided { min_chunk: 1 }),
+            (
+                "work-stealing".into(),
+                PolicyKind::WorkStealing(StealConfig::default()),
+            ),
+        ]
+    }
+
+    /// The dispatch-overhead roster of E7: the models whose per-task
+    /// scheduling cost the real-thread microbenchmarks measure.
+    pub fn overhead_roster() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::StaticBlock,
+            PolicyKind::DynamicCounter { chunk: 1 },
+            PolicyKind::DynamicCounter { chunk: 64 },
+            PolicyKind::WorkStealing(StealConfig::default()),
+        ]
+    }
+
+    /// The full policy roster: every model of the paper's spectrum,
+    /// runnable on both substrates. `costs` supplies the estimates the
+    /// persistence policy rebalances from (pass the task-cost vector, or
+    /// uniform costs for microbenchmarks).
+    pub fn full_roster(costs: &[f64], workers: usize, chunk: usize) -> Vec<(String, PolicyKind)> {
+        let mut out = vec![("serial".into(), PolicyKind::Serial)];
+        out.extend(PolicyKind::comparison_roster(chunk));
+        out.push((
+            "guided-adaptive".into(),
+            PolicyKind::GuidedAdaptive { k: 4, min_chunk: 1 },
+        ));
+        out.push((
+            "persistence-based".into(),
+            PolicyKind::persistence_from_costs(costs, workers),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::DynamicCounter { chunk } => write!(f, "dynamic-counter:{chunk}"),
+            PolicyKind::Guided { min_chunk } => write!(f, "guided:{min_chunk}"),
+            PolicyKind::GuidedAdaptive { k, min_chunk } => {
+                write!(f, "guided-adaptive:{k}:{min_chunk}")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Error from parsing a [`PolicyKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyError;
+
+    /// Parses `name[:param[:param]]`: `serial`, `static-block`,
+    /// `static-cyclic`, `dynamic-counter[:chunk]`, `guided[:min_chunk]`,
+    /// `guided-adaptive[:k[:min_chunk]]`, `work-stealing`.
+    /// `static-assigned` and `persistence-based` carry owner maps and
+    /// must be constructed programmatically.
+    fn from_str(s: &str) -> Result<PolicyKind, ParsePolicyError> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut num = |default: usize| -> Result<usize, ParsePolicyError> {
+            match parts.next() {
+                None => Ok(default),
+                Some(x) => x
+                    .parse()
+                    .map_err(|_| ParsePolicyError(format!("bad policy parameter {x:?} in {s:?}"))),
+            }
+        };
+        let kind = match head {
+            "serial" => PolicyKind::Serial,
+            "static-block" => PolicyKind::StaticBlock,
+            "static-cyclic" => PolicyKind::StaticCyclic,
+            "dynamic-counter" => PolicyKind::DynamicCounter { chunk: num(1)? },
+            "guided" => PolicyKind::Guided { min_chunk: num(1)? },
+            "guided-adaptive" => PolicyKind::GuidedAdaptive {
+                k: num(4)? as u32,
+                min_chunk: num(1)?,
+            },
+            "work-stealing" => PolicyKind::WorkStealing(StealConfig::default()),
+            "static-assigned" | "persistence-based" => {
+                return Err(ParsePolicyError(format!(
+                    "{head} carries an owner map; construct it programmatically"
+                )))
+            }
+            other => {
+                return Err(ParsePolicyError(format!(
+                    "unknown policy {other:?} (known: {})",
+                    PolicyKind::canonical_names().join(", ")
+                )))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(ParsePolicyError(format!("too many parameters in {s:?}")));
+        }
+        Ok(kind)
+    }
+}
+
+/// Work-stealing policy knobs (the ablation axes of experiment E7).
+#[derive(Debug, Clone)]
+pub struct StealConfig {
+    /// How tasks are seeded into the deques before execution.
+    pub seed: SeedPartition,
+    /// Victim selection policy.
+    pub victim: VictimPolicy,
+    /// Steal a batch (about half the victim's deque) instead of one task.
+    pub steal_batch: bool,
+    /// RNG seed for random victim selection (reproducibility).
+    pub rng_seed: u64,
+}
+
+impl Default for StealConfig {
+    fn default() -> Self {
+        StealConfig {
+            seed: SeedPartition::Block,
+            victim: VictimPolicy::Random,
+            steal_batch: true,
+            rng_seed: 0x57ea1,
+        }
+    }
+}
+
+/// Initial distribution of tasks into the stealing deques.
+#[derive(Debug, Clone)]
+pub enum SeedPartition {
+    /// Contiguous blocks (default — mirrors the static baseline).
+    Block,
+    /// Round-robin.
+    Cyclic,
+    /// Explicit owner map, e.g. from a locality-aware balancer.
+    Assigned(Arc<Vec<u32>>),
+}
+
+impl SeedPartition {
+    /// The deque-seeding owner map for `ntasks` tasks on `workers`
+    /// workers (validated for explicit maps).
+    pub fn owners(&self, ntasks: usize, workers: usize) -> Vec<u32> {
+        match self {
+            SeedPartition::Block => block_partition(ntasks, workers),
+            SeedPartition::Cyclic => cyclic_partition(ntasks, workers),
+            SeedPartition::Assigned(map) => {
+                assert_eq!(map.len(), ntasks, "seed assignment length mismatch");
+                assert!(
+                    map.iter().all(|&w| (w as usize) < workers),
+                    "seed owner out of range"
+                );
+                map.as_ref().clone()
+            }
+        }
+    }
+}
+
+/// Victim selection for steals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniformly random victim (classic).
+    Random,
+    /// Cyclic scan starting from the thief's right neighbour.
+    RoundRobin,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PolicyKind::Serial.name(), "serial");
+        assert_eq!(PolicyKind::StaticBlock.name(), "static-block");
+        assert_eq!(
+            PolicyKind::DynamicCounter { chunk: 4 }.name(),
+            "dynamic-counter"
+        );
+        assert_eq!(PolicyKind::Guided { min_chunk: 1 }.name(), "guided");
+        assert_eq!(
+            PolicyKind::GuidedAdaptive { k: 4, min_chunk: 1 }.name(),
+            "guided-adaptive"
+        );
+        assert_eq!(
+            PolicyKind::WorkStealing(StealConfig::default()).name(),
+            "work-stealing"
+        );
+        assert_eq!(
+            PolicyKind::PersistenceBased(Arc::new(vec![])).name(),
+            "persistence-based"
+        );
+    }
+
+    #[test]
+    fn every_canonical_name_is_a_policy_name() {
+        // The canonical list and the variants cannot drift apart.
+        let costs = vec![1.0; 12];
+        for (_, kind) in PolicyKind::full_roster(&costs, 3, 4) {
+            assert!(
+                PolicyKind::canonical_names().contains(&kind.name()),
+                "{} missing from canonical_names",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for s in [
+            "serial",
+            "static-block",
+            "static-cyclic",
+            "dynamic-counter:8",
+            "guided:2",
+            "guided-adaptive:4:2",
+            "work-stealing",
+        ] {
+            let kind: PolicyKind = s.parse().expect(s);
+            assert_eq!(kind.to_string(), s, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        assert!(matches!(
+            "dynamic-counter".parse::<PolicyKind>().unwrap(),
+            PolicyKind::DynamicCounter { chunk: 1 }
+        ));
+        assert!(matches!(
+            "guided-adaptive".parse::<PolicyKind>().unwrap(),
+            PolicyKind::GuidedAdaptive { k: 4, min_chunk: 1 }
+        ));
+        assert!("nope".parse::<PolicyKind>().is_err());
+        assert!("static-assigned".parse::<PolicyKind>().is_err());
+        assert!("guided:x".parse::<PolicyKind>().is_err());
+        assert!("guided:1:2".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn dynamic_classification() {
+        assert!(!PolicyKind::StaticBlock.is_dynamic());
+        assert!(!PolicyKind::Serial.is_dynamic());
+        assert!(!PolicyKind::PersistenceBased(Arc::new(vec![0, 0])).is_dynamic());
+        assert!(PolicyKind::DynamicCounter { chunk: 1 }.is_dynamic());
+        assert!(PolicyKind::Guided { min_chunk: 1 }.is_dynamic());
+        assert!(PolicyKind::GuidedAdaptive { k: 4, min_chunk: 1 }.is_dynamic());
+        assert!(PolicyKind::WorkStealing(StealConfig::default()).is_dynamic());
+        assert!(PolicyKind::StaticCyclic.is_deterministic());
+    }
+
+    #[test]
+    fn initial_partitions() {
+        assert_eq!(
+            PolicyKind::Serial.initial_partition(4, 3).unwrap(),
+            vec![0, 0, 0, 0]
+        );
+        assert_eq!(
+            PolicyKind::StaticCyclic.initial_partition(5, 2).unwrap(),
+            vec![0, 1, 0, 1, 0]
+        );
+        assert_eq!(
+            PolicyKind::StaticBlock.initial_partition(9, 3).unwrap(),
+            vec![0, 0, 0, 1, 1, 1, 2, 2, 2]
+        );
+        let map = Arc::new(vec![1, 0, 1]);
+        assert_eq!(
+            PolicyKind::StaticAssigned(map.clone())
+                .initial_partition(3, 2)
+                .unwrap(),
+            vec![1, 0, 1]
+        );
+        assert!(PolicyKind::WorkStealing(StealConfig::default())
+            .initial_partition(10, 2)
+            .is_none());
+        assert!(PolicyKind::Guided { min_chunk: 1 }
+            .initial_partition(10, 2)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length mismatch")]
+    fn assigned_partition_length_is_checked() {
+        let _ = PolicyKind::StaticAssigned(Arc::new(vec![0; 3])).initial_partition(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assigned_partition_range_is_checked() {
+        let _ = PolicyKind::StaticAssigned(Arc::new(vec![5; 3])).initial_partition(3, 2);
+    }
+
+    #[test]
+    fn chunk_rules_match_policy_parameters() {
+        assert_eq!(
+            PolicyKind::DynamicCounter { chunk: 8 }.chunk_rule(),
+            Some(ChunkRule::Fixed(8))
+        );
+        assert_eq!(
+            PolicyKind::Guided { min_chunk: 2 }.chunk_rule(),
+            Some(ChunkRule::Tapering { k: 2, min: 2 })
+        );
+        assert_eq!(
+            PolicyKind::GuidedAdaptive { k: 8, min_chunk: 1 }.chunk_rule(),
+            Some(ChunkRule::Tapering { k: 8, min: 1 })
+        );
+        assert_eq!(PolicyKind::StaticBlock.chunk_rule(), None);
+    }
+
+    #[test]
+    fn comparison_roster_labels_are_the_historical_csv_names() {
+        let labels: Vec<String> = PolicyKind::comparison_roster(8)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "static-block",
+                "static-cyclic",
+                "counter(c=8)",
+                "guided",
+                "work-stealing"
+            ]
+        );
+    }
+
+    #[test]
+    fn full_roster_covers_the_spectrum_and_persistence_balances() {
+        // Skewed costs: the persistence assignment must differ from the
+        // block partition it starts from and stay in range.
+        let costs: Vec<f64> = (1..=32).map(|i| i as f64).collect();
+        let roster = PolicyKind::full_roster(&costs, 4, 8);
+        assert_eq!(roster.len(), 8);
+        assert_eq!(roster[0].0, "serial");
+        let (_, persistence) = roster.last().unwrap();
+        let owners = persistence.initial_partition(32, 4).unwrap();
+        assert!(owners.iter().all(|&w| w < 4));
+        assert_ne!(owners, crate::partition::block_partition(32, 4));
+    }
+
+    #[test]
+    fn seed_partition_owners_match_static_partitions() {
+        assert_eq!(
+            SeedPartition::Block.owners(9, 3),
+            PolicyKind::StaticBlock.initial_partition(9, 3).unwrap()
+        );
+        assert_eq!(
+            SeedPartition::Cyclic.owners(5, 2),
+            PolicyKind::StaticCyclic.initial_partition(5, 2).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "seed assignment length mismatch")]
+    fn seed_partition_length_is_checked() {
+        let _ = SeedPartition::Assigned(Arc::new(vec![0; 2])).owners(3, 2);
+    }
+}

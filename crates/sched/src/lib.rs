@@ -1,0 +1,52 @@
+//! # emx-sched — the scheduling-policy layer
+//!
+//! The study compares *execution models* as first-class objects, so the
+//! model descriptions must not be owned by any one substrate. This crate
+//! defines them once:
+//!
+//! * [`PolicyKind`] — the registry enum naming every model of the paper's
+//!   spectrum (serial, static block/cyclic/assigned, shared-counter
+//!   self-scheduling, guided and adaptive-guided self-scheduling, work
+//!   stealing, persistence-based assignment), with canonical names,
+//!   parsing, classification, and the experiment rosters;
+//! * [`ChunkRule`] — the single source of truth for how a counter fetch
+//!   sizes its claim (fixed chunks vs the guided `remaining/(k·P)` taper);
+//! * [`SchedulePolicy`] — the substrate-agnostic policy trait (initial
+//!   partition, `next_task(worker) -> Claim`, completion/rebalance hooks)
+//!   plus sequential reference implementations and [`replay_assignment`],
+//!   the deterministic replayer cross-substrate tests compare against;
+//! * [`partition`] and [`rng`] — the partition maps and the splitmix64
+//!   victim-selection streams both substrates reproduce bit-for-bit.
+//!
+//! The thread runtime (`emx-runtime`) executes these policies with real
+//! atomics and Chase–Lev deques; the discrete-event simulator
+//! (`emx-distsim`) replays the same objects in virtual time. Both consume
+//! this crate, so adding an execution model here makes it appear in every
+//! experiment on both substrates.
+//!
+//! ## Example
+//!
+//! ```
+//! use emx_sched::PolicyKind;
+//!
+//! let kind: PolicyKind = "guided-adaptive:4:2".parse().unwrap();
+//! assert_eq!(kind.name(), "guided-adaptive");
+//! assert!(kind.is_dynamic());
+//! // Static policies fix the task→worker map before execution:
+//! let owners = PolicyKind::StaticCyclic.initial_partition(5, 2).unwrap();
+//! assert_eq!(owners, vec![0, 1, 0, 1, 0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod kind;
+pub mod partition;
+pub mod policy;
+pub mod rng;
+
+pub use chunk::ChunkRule;
+pub use kind::{PolicyKind, SeedPartition, StealConfig, VictimPolicy};
+pub use partition::{block_owner, block_partition, cyclic_partition};
+pub use policy::{build_policy, replay_assignment, Claim, SchedulePolicy};
+pub use rng::{random_victim, round_robin_victim, worker_stream, SplitMix64};

@@ -1,0 +1,67 @@
+//! Canonical static partition maps.
+//!
+//! Both substrates (and the work-stealing seed) must agree on what
+//! "block" and "cyclic" mean, down to how a remainder is spread — these
+//! functions are that agreement.
+
+/// Computes the static-block owner of task `i` out of `n` for `p`
+/// workers (balanced block sizes, remainder spread over the first
+/// workers).
+pub fn block_owner(i: usize, n: usize, p: usize) -> usize {
+    debug_assert!(i < n && p > 0);
+    let base = n / p;
+    let rem = n % p;
+    // The first `rem` workers own `base+1` tasks.
+    let cut = rem * (base + 1);
+    if i < cut {
+        i / (base + 1)
+    } else {
+        rem + (i - cut) / base.max(1)
+    }
+}
+
+/// The full block partition: `owner[i] = block_owner(i, n, p)`.
+pub fn block_partition(n: usize, p: usize) -> Vec<u32> {
+    (0..n).map(|i| block_owner(i, n.max(1), p) as u32).collect()
+}
+
+/// The cyclic (round-robin) partition: `owner[i] = i mod p`.
+pub fn cyclic_partition(n: usize, p: usize) -> Vec<u32> {
+    (0..n).map(|i| (i % p) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_owner_partitions_evenly() {
+        let (n, p) = (10, 3);
+        let owners: Vec<usize> = (0..n).map(|i| block_owner(i, n, p)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        // Monotone non-decreasing.
+        for w in owners.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn block_owner_exact_division() {
+        let owners: Vec<usize> = (0..8).map(|i| block_owner(i, 8, 4)).collect();
+        assert_eq!(owners, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn block_owner_more_workers_than_tasks() {
+        let owners: Vec<usize> = (0..3).map(|i| block_owner(i, 3, 8)).collect();
+        assert_eq!(owners, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_vectors_match_owner_function() {
+        assert_eq!(block_partition(10, 3), vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(cyclic_partition(5, 2), vec![0, 1, 0, 1, 0]);
+        assert!(block_partition(0, 4).is_empty());
+        assert!(cyclic_partition(0, 4).is_empty());
+    }
+}

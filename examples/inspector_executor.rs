@@ -47,7 +47,7 @@ fn main() {
             iteration += 1;
             let mut ex = emx_runtime::Executor::new(
                 workers,
-                emx_runtime::ExecutionModel::StaticAssigned(Arc::new(assignment_ref.clone())),
+                emx_runtime::PolicyKind::StaticAssigned(Arc::new(assignment_ref.clone())),
             );
             ex.trace = true;
             let (g, report) = pf.execute(density, &ex);

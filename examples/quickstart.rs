@@ -23,7 +23,7 @@ fn main() {
     let cfg = ScfConfig::default();
 
     // Serial baseline.
-    let serial = Executor::new(1, ExecutionModel::Serial);
+    let serial = Executor::new(1, PolicyKind::Serial);
     let (r_serial, _) = rhf_parallel(&bm, &cfg, &serial, usize::MAX);
     println!(
         "serial:        E = {:.8} Ha in {} iterations (converged: {})",
@@ -31,7 +31,7 @@ fn main() {
     );
 
     // Work stealing over 4 workers with chunked tasks.
-    let stealing = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()));
+    let stealing = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()));
     let (r_ws, reports) = rhf_parallel(&bm, &cfg, &stealing, 8);
     println!(
         "work stealing: E = {:.8} Ha in {} iterations (converged: {})",
@@ -54,7 +54,7 @@ fn main() {
     // One traced build to visualize where the time goes.
     let pairs = ScreenedPairs::build(&bm, 1e-12);
     let pf = ParallelFock::new(&bm, &pairs, 1e-10, 8);
-    let mut traced = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()));
+    let mut traced = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()));
     traced.trace = true;
     let (_, report) = pf.execute(&r_ws.density, &traced);
     println!("\nwork-stealing timeline (# = in task body):");

@@ -14,17 +14,20 @@ fn mock_density(n: usize) -> Matrix {
     d
 }
 
-fn all_models(ntasks: usize, workers: usize) -> Vec<ExecutionModel> {
+fn all_models(ntasks: usize, workers: usize) -> Vec<PolicyKind> {
     vec![
-        ExecutionModel::StaticBlock,
-        ExecutionModel::StaticCyclic,
-        ExecutionModel::StaticAssigned(Arc::new(
+        PolicyKind::StaticBlock,
+        PolicyKind::StaticCyclic,
+        PolicyKind::StaticAssigned(Arc::new(
             (0..ntasks as u32).map(|i| i % workers as u32).collect(),
         )),
-        ExecutionModel::DynamicCounter { chunk: 1 },
-        ExecutionModel::DynamicCounter { chunk: 5 },
-        ExecutionModel::WorkStealing(StealConfig::default()),
-        ExecutionModel::WorkStealing(StealConfig {
+        PolicyKind::DynamicCounter { chunk: 1 },
+        PolicyKind::DynamicCounter { chunk: 5 },
+        PolicyKind::Guided { min_chunk: 1 },
+        PolicyKind::GuidedAdaptive { k: 4, min_chunk: 2 },
+        PolicyKind::persistence_from_costs(&vec![1.0; ntasks], workers),
+        PolicyKind::WorkStealing(StealConfig::default()),
+        PolicyKind::WorkStealing(StealConfig {
             victim: VictimPolicy::RoundRobin,
             steal_batch: false,
             ..StealConfig::default()
@@ -40,7 +43,7 @@ fn fock_identical_across_models_and_granularities() {
 
     let reference = {
         let pf = ParallelFock::new(&bm, &pairs, 1e-10, usize::MAX);
-        let (g, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+        let (g, _) = pf.execute(&d, &Executor::new(1, PolicyKind::Serial));
         g
     };
 
@@ -65,19 +68,27 @@ fn fock_identical_across_models_and_granularities() {
 fn full_scf_energy_invariant_under_execution_model() {
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let cfg = ScfConfig::default();
-    let (reference, _) = rhf_parallel(
-        &bm,
-        &cfg,
-        &Executor::new(1, ExecutionModel::Serial),
-        usize::MAX,
-    );
+    let (reference, _) = rhf_parallel(&bm, &cfg, &Executor::new(1, PolicyKind::Serial), usize::MAX);
     assert!(reference.converged);
     assert!((reference.energy + 74.96).abs() < 0.05);
 
+    // Task count of the parallel Fock build at chunk 2 (same derivation
+    // as `rhf_parallel`), needed to size the persistence assignment.
+    let ntasks_c2 = {
+        let pairs = ScreenedPairs::build(&bm, cfg.tau * 1e-2);
+        ParallelFock::new(&bm, &pairs, cfg.tau, 2).ntasks()
+    };
     for (workers, model, chunk) in [
-        (2, ExecutionModel::StaticCyclic, 4),
-        (3, ExecutionModel::DynamicCounter { chunk: 2 }, 2),
-        (4, ExecutionModel::WorkStealing(StealConfig::default()), 1),
+        (2, PolicyKind::StaticCyclic, 4),
+        (3, PolicyKind::DynamicCounter { chunk: 2 }, 2),
+        (4, PolicyKind::Guided { min_chunk: 1 }, 2),
+        (3, PolicyKind::GuidedAdaptive { k: 4, min_chunk: 1 }, 2),
+        (
+            4,
+            PolicyKind::persistence_from_costs(&vec![1.0; ntasks_c2], 4),
+            2,
+        ),
+        (4, PolicyKind::WorkStealing(StealConfig::default()), 1),
     ] {
         let (r, reports) = rhf_parallel(&bm, &cfg, &Executor::new(workers, model.clone()), chunk);
         assert!(r.converged, "model {}", model.name());
@@ -99,8 +110,8 @@ fn h2_dissociation_curve_is_model_invariant() {
     // serial and work stealing, and the curve must have a minimum
     // between the endpoints.
     let cfg = ScfConfig::default();
-    let serial = Executor::new(1, ExecutionModel::Serial);
-    let ws = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+    let serial = Executor::new(1, PolicyKind::Serial);
+    let ws = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default()));
     let mut energies = Vec::new();
     for r in [1.0, 1.4, 2.0, 3.0] {
         let bm = BasisedMolecule::assign(&Molecule::h2(r), BasisSet::Sto3g);
@@ -120,19 +131,15 @@ fn fault_injection_does_not_change_scf_energy() {
     // identical to the fault-free serial run and no task may be lost.
     let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
     let cfg = ScfConfig::default();
-    let (reference, _) = rhf_parallel(
-        &bm,
-        &cfg,
-        &Executor::new(1, ExecutionModel::Serial),
-        usize::MAX,
-    );
+    let (reference, _) = rhf_parallel(&bm, &cfg, &Executor::new(1, PolicyKind::Serial), usize::MAX);
     assert!(reference.converged);
 
     for (workers, model) in [
-        (4, ExecutionModel::StaticBlock),
-        (4, ExecutionModel::StaticCyclic),
-        (3, ExecutionModel::DynamicCounter { chunk: 2 }),
-        (4, ExecutionModel::WorkStealing(StealConfig::default())),
+        (4, PolicyKind::StaticBlock),
+        (4, PolicyKind::StaticCyclic),
+        (3, PolicyKind::DynamicCounter { chunk: 2 }),
+        (4, PolicyKind::Guided { min_chunk: 2 }),
+        (4, PolicyKind::WorkStealing(StealConfig::default())),
     ] {
         let ex = Executor::new(workers, model.clone())
             .with_faults(FaultInjection::poison_tasks(vec![0, 1, 2]).with_stragglers(1, 2.0));
@@ -219,9 +226,9 @@ fn variability_injection_does_not_change_results() {
     let pairs = ScreenedPairs::build(&bm, 1e-12);
     let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
     let d = mock_density(bm.nbf);
-    let (reference, _) = pf.execute(&d, &Executor::new(1, ExecutionModel::Serial));
+    let (reference, _) = pf.execute(&d, &Executor::new(1, PolicyKind::Serial));
 
-    let mut ex = Executor::new(2, ExecutionModel::WorkStealing(StealConfig::default()));
+    let mut ex = Executor::new(2, PolicyKind::WorkStealing(StealConfig::default()));
     ex.variability = Variability::SlowCores {
         factor: 2.0,
         count: 1,

@@ -151,7 +151,7 @@ fn des_and_thread_runtime_agree_on_task_counts() {
     assert_eq!(sim.tasks.iter().sum::<usize>(), 40);
 
     use emx_runtime::prelude::*;
-    let ex = Executor::new(4, ExecutionModel::WorkStealing(StealConfig::default()));
+    let ex = Executor::new(4, PolicyKind::WorkStealing(StealConfig::default()));
     let (_, report) = ex.run(40, |_| (), |_, _| {});
     assert_eq!(report.total_tasks_run(), 40);
 }

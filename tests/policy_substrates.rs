@@ -1,0 +1,132 @@
+//! Cross-substrate policy equality tests.
+//!
+//! The whole point of `emx-sched` is that one policy object drives both
+//! substrates. These tests pin that contract:
+//!
+//! * deterministic policies produce the *identical* task→worker
+//!   assignment on real threads, in the discrete-event simulator, and
+//!   from the pure replay driver;
+//! * every policy in the full roster runs to completion on both
+//!   substrates with every task executed exactly once.
+
+use std::sync::Arc;
+
+use emx_distsim::sim::{simulate_policy, SimConfig};
+use emx_runtime::{Executor, PolicyKind};
+use emx_sched::{replay_assignment, StealConfig};
+
+const NTASKS: usize = 23;
+const WORKERS: usize = 4;
+
+fn skewed_costs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1e-7 * (1.0 + (i % 7) as f64)).collect()
+}
+
+fn deterministic_roster(ntasks: usize, workers: usize) -> Vec<PolicyKind> {
+    let costs = skewed_costs(ntasks);
+    vec![
+        PolicyKind::Serial,
+        PolicyKind::StaticBlock,
+        PolicyKind::StaticCyclic,
+        PolicyKind::StaticAssigned(Arc::new(
+            (0..ntasks).map(|i| ((i * i) % workers) as u32).collect(),
+        )),
+        PolicyKind::persistence_from_costs(&costs, workers),
+    ]
+}
+
+/// Runs `kind` on the threaded executor with tracing and returns the
+/// observed task→worker map.
+fn threaded_assignment(kind: &PolicyKind, ntasks: usize, workers: usize) -> Vec<u32> {
+    let mut ex = Executor::new(workers, kind.clone());
+    ex.trace = true;
+    let (_, report) = ex.run(ntasks, |_| 0u64, |i, acc| *acc += i as u64 + 1);
+    report
+        .task_assignment()
+        .expect("traced run records every task")
+}
+
+#[test]
+fn deterministic_policies_agree_on_assignment() {
+    for kind in deterministic_roster(NTASKS, WORKERS) {
+        assert!(kind.is_deterministic(), "{kind} should be deterministic");
+        let expected = kind
+            .initial_partition(NTASKS, WORKERS)
+            .expect("deterministic policy has a partition");
+
+        let replayed = replay_assignment(&kind, NTASKS, WORKERS);
+        assert_eq!(replayed, expected, "replay driver diverged for {kind}");
+
+        let threaded = threaded_assignment(&kind, NTASKS, WORKERS);
+        assert_eq!(threaded, expected, "thread executor diverged for {kind}");
+
+        let sim = simulate_policy(&skewed_costs(NTASKS), &kind, &SimConfig::new(WORKERS));
+        assert_eq!(sim.assignment, expected, "simulator diverged for {kind}");
+    }
+}
+
+#[test]
+fn full_roster_runs_on_threads_exactly_once() {
+    let costs = skewed_costs(NTASKS);
+    let want: u64 = (1..=NTASKS as u64).sum();
+    for (label, kind) in PolicyKind::full_roster(&costs, WORKERS, 2) {
+        let ex = Executor::new(WORKERS, kind);
+        let (locals, report) = ex.run(NTASKS, |_| 0u64, |i, acc| *acc += i as u64 + 1);
+        assert_eq!(
+            locals.iter().sum::<u64>(),
+            want,
+            "policy {label} dropped or duplicated work"
+        );
+        assert_eq!(report.total_tasks_run(), NTASKS, "policy {label}");
+    }
+}
+
+#[test]
+fn full_roster_runs_in_simulator_exactly_once() {
+    let costs = skewed_costs(NTASKS);
+    for (label, kind) in PolicyKind::full_roster(&costs, WORKERS, 2) {
+        let report = simulate_policy(&costs, &kind, &SimConfig::new(WORKERS));
+        assert!(report.makespan > 0.0, "policy {label} did no work");
+        assert_eq!(
+            report.assignment.len(),
+            NTASKS,
+            "policy {label} lost its assignment record"
+        );
+        let mut seen = [false; NTASKS];
+        for (t, &w) in report.assignment.iter().enumerate() {
+            assert!((w as usize) < WORKERS, "policy {label} owner out of range");
+            seen[t] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "policy {label} skipped a task");
+    }
+}
+
+#[test]
+fn work_stealing_round_robin_victims_run_on_both_substrates() {
+    // RoundRobin victim selection is a threads-first feature; the
+    // simulator replays it too via `simulate_policy`.
+    let kind = PolicyKind::WorkStealing(StealConfig {
+        victim: emx_runtime::VictimPolicy::RoundRobin,
+        ..StealConfig::default()
+    });
+    let costs = skewed_costs(NTASKS);
+    let want: u64 = (1..=NTASKS as u64).sum();
+
+    let ex = Executor::new(WORKERS, kind.clone());
+    let (locals, _) = ex.run(NTASKS, |_| 0u64, |i, acc| *acc += i as u64 + 1);
+    assert_eq!(locals.iter().sum::<u64>(), want);
+
+    let report = simulate_policy(&costs, &kind, &SimConfig::new(WORKERS));
+    assert_eq!(report.assignment.len(), NTASKS);
+}
+
+#[test]
+fn replay_matches_threads_for_every_worker_count() {
+    for workers in 1..=6 {
+        for kind in deterministic_roster(NTASKS, workers) {
+            let expected = replay_assignment(&kind, NTASKS, workers);
+            let threaded = threaded_assignment(&kind, NTASKS, workers);
+            assert_eq!(threaded, expected, "{kind} at p={workers}");
+        }
+    }
+}

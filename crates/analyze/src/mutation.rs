@@ -1,0 +1,356 @@
+//! Mutation self-test: proof the verifier can actually see.
+//!
+//! A verifier that has never flagged anything is indistinguishable from
+//! one that checks nothing. This module seeds *known* violations into
+//! otherwise-correct policies — a dropped task, a double assignment, a
+//! dead-victim livelock — runs them through the same
+//! [`crate::replay::probe`] the real verifier uses, and asserts each
+//! seeded defect is reported as exactly the expected
+//! [`ViolationKind`]. `reproduce analyze` runs this before trusting a
+//! clean roster sweep, and [`self_test`] is the CI gate's canary.
+
+use crate::replay::{probe, ProbeOutcome};
+use crate::report::{AnalysisReport, Violation, ViolationKind};
+use emx_sched::{build_policy, Claim, PolicyKind, SchedulePolicy};
+
+/// A defect seeded into a healthy policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Task `x` is silently swallowed — never handed to any worker.
+    DropTask(usize),
+    /// Task `x` is handed out a second time, to a different worker.
+    DuplicateTask(usize),
+    /// Workers other than 0 spin forever issuing steals against a
+    /// victim that never yields work (the dead-victim bug class).
+    DeadVictimSpin,
+}
+
+impl Mutation {
+    /// Stable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropTask(_) => "drop-task",
+            Mutation::DuplicateTask(_) => "duplicate-task",
+            Mutation::DeadVictimSpin => "dead-victim-spin",
+        }
+    }
+
+    /// The violation kind this mutation must be reported as.
+    pub fn expected_kind(self) -> ViolationKind {
+        match self {
+            Mutation::DropTask(_) => ViolationKind::TaskDropped,
+            Mutation::DuplicateTask(_) => ViolationKind::TaskDuplicated,
+            Mutation::DeadVictimSpin => ViolationKind::Livelock,
+        }
+    }
+}
+
+/// A healthy policy with one seeded defect, still implementing
+/// [`SchedulePolicy`] so the probe cannot tell it apart structurally.
+pub struct MutantPolicy {
+    inner: Box<dyn SchedulePolicy>,
+    mutation: Mutation,
+    /// Deferred remainder of a claim split around a dropped task, per
+    /// worker.
+    stash: Vec<Option<(usize, usize)>>,
+    /// Worker observed claiming the to-be-duplicated task.
+    dup_owner: Option<usize>,
+    /// The duplicate has been emitted.
+    dup_done: bool,
+}
+
+impl MutantPolicy {
+    /// Wraps the reference policy for `kind` with the seeded `mutation`.
+    pub fn new(
+        kind: &PolicyKind,
+        ntasks: usize,
+        workers: usize,
+        mutation: Mutation,
+    ) -> MutantPolicy {
+        MutantPolicy {
+            inner: build_policy(kind, ntasks, workers),
+            mutation,
+            stash: vec![None; workers],
+            dup_owner: None,
+            dup_done: false,
+        }
+    }
+
+    fn observe_claim(&mut self, worker: usize, begin: usize, end: usize) {
+        if let Mutation::DuplicateTask(x) = self.mutation {
+            if (begin..end).contains(&x) && self.dup_owner.is_none() {
+                self.dup_owner = Some(worker);
+            }
+        }
+    }
+}
+
+impl SchedulePolicy for MutantPolicy {
+    fn name(&self) -> &'static str {
+        self.mutation.name()
+    }
+
+    fn initial_partition(&self) -> Option<Vec<u32>> {
+        self.inner.initial_partition()
+    }
+
+    fn next_task(&mut self, worker: usize) -> Claim {
+        // A pending remainder from an earlier split goes out first.
+        if let Some((b, e)) = self.stash[worker].take() {
+            return Claim::Local { begin: b, end: e };
+        }
+        if let Mutation::DuplicateTask(x) = self.mutation {
+            if !self.dup_done {
+                if let Some(owner) = self.dup_owner {
+                    if owner != worker {
+                        self.dup_done = true;
+                        return Claim::Local {
+                            begin: x,
+                            end: x + 1,
+                        };
+                    }
+                }
+            }
+        }
+        loop {
+            let claim = self.inner.next_task(worker);
+            let (begin, end, from_counter) = match claim {
+                Claim::Local { begin, end } => (begin, end, false),
+                Claim::FromCounter { begin, end } => (begin, end, true),
+                other => return other,
+            };
+            self.observe_claim(worker, begin, end);
+            if let Mutation::DropTask(x) = self.mutation {
+                if (begin..end).contains(&x) {
+                    // Swallow x; mark it done inside the inner policy so
+                    // its bookkeeping still terminates.
+                    self.inner.task_done(worker, x, 0.0);
+                    let (lo, hi) = (begin, end);
+                    if lo == x && x + 1 == hi {
+                        continue; // the whole claim was the victim
+                    }
+                    if lo == x {
+                        return Claim::Local {
+                            begin: x + 1,
+                            end: hi,
+                        };
+                    }
+                    if x + 1 == hi {
+                        return Claim::Local { begin: lo, end: x };
+                    }
+                    self.stash[worker] = Some((x + 1, hi));
+                    return Claim::Local { begin: lo, end: x };
+                }
+            }
+            return if from_counter {
+                Claim::FromCounter { begin, end }
+            } else {
+                Claim::Local { begin, end }
+            };
+        }
+    }
+
+    fn task_done(&mut self, worker: usize, task: usize, cost: f64) {
+        self.inner.task_done(worker, task, cost);
+    }
+}
+
+/// The dead-victim spinner: worker 0 drains everything, every other
+/// worker issues steals against it forever and never retires. A policy
+/// with this shape is what the exhausted-retries deadlock fix (e82b711)
+/// guards against in the executor.
+pub struct DeadVictimSpinPolicy {
+    next: usize,
+    ntasks: usize,
+}
+
+impl DeadVictimSpinPolicy {
+    /// A spinner over `ntasks` tasks.
+    pub fn new(ntasks: usize) -> DeadVictimSpinPolicy {
+        DeadVictimSpinPolicy { next: 0, ntasks }
+    }
+}
+
+impl SchedulePolicy for DeadVictimSpinPolicy {
+    fn name(&self) -> &'static str {
+        "dead-victim-spin"
+    }
+
+    fn initial_partition(&self) -> Option<Vec<u32>> {
+        None
+    }
+
+    fn next_task(&mut self, worker: usize) -> Claim {
+        if worker == 0 {
+            if self.next < self.ntasks {
+                let begin = self.next;
+                self.next = self.ntasks;
+                Claim::Local {
+                    begin,
+                    end: self.ntasks,
+                }
+            } else {
+                Claim::Done
+            }
+        } else {
+            // Steal from a victim that will never have queued work, and
+            // never give up — the structural livelock.
+            Claim::StealFrom {
+                victim: 0,
+                amount: 0,
+            }
+        }
+    }
+}
+
+/// Runs one seeded mutation through the probe and returns what the
+/// verifier saw.
+pub fn run_mutation(
+    mutation: Mutation,
+    base: &PolicyKind,
+    ntasks: usize,
+    workers: usize,
+) -> ProbeOutcome {
+    match mutation {
+        Mutation::DeadVictimSpin => {
+            let mut policy = DeadVictimSpinPolicy::new(ntasks);
+            probe(&mut policy, ntasks, workers, mutation.name(), "mutation")
+        }
+        _ => {
+            let mut policy = MutantPolicy::new(base, ntasks, workers, mutation);
+            probe(&mut policy, ntasks, workers, mutation.name(), "mutation")
+        }
+    }
+}
+
+/// The canonical seeded-defect roster: one mutation per bug class the
+/// verifier claims to detect.
+pub fn mutation_roster(ntasks: usize) -> Vec<(Mutation, PolicyKind)> {
+    vec![
+        (
+            Mutation::DropTask(ntasks / 2),
+            PolicyKind::DynamicCounter { chunk: 3 },
+        ),
+        (Mutation::DropTask(0), PolicyKind::StaticCyclic),
+        (Mutation::DuplicateTask(ntasks / 3), PolicyKind::StaticBlock),
+        (
+            Mutation::DuplicateTask(ntasks - 1),
+            PolicyKind::Guided { min_chunk: 1 },
+        ),
+        (Mutation::DeadVictimSpin, PolicyKind::StaticBlock),
+    ]
+}
+
+/// Runs every seeded mutation and checks each is flagged as exactly its
+/// expected kind. The returned report's `passed` lists caught
+/// mutations; any *escaped* mutation (verifier stayed silent, or spoke
+/// with the wrong kind) is itself a violation — of the verifier.
+pub fn self_test(ntasks: usize, workers: usize) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    for (mutation, base) in mutation_roster(ntasks) {
+        let out = run_mutation(mutation, &base, ntasks, workers);
+        let expected = mutation.expected_kind();
+        let hits = out.violations.iter().filter(|v| v.kind == expected).count();
+        if hits > 0 {
+            report.passed.push((
+                mutation.name().to_string(),
+                format!("seeded:{}", base.name()),
+            ));
+        } else {
+            report.violations.push(Violation::new(
+                mutation.name(),
+                expected,
+                "mutation-escape",
+                format!(
+                    "seeded {} into {} but the probe reported {:?}",
+                    mutation.name(),
+                    base.name(),
+                    out.violations
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 40;
+    const P: usize = 4;
+
+    #[test]
+    fn dropped_task_is_flagged_and_located() {
+        let out = run_mutation(
+            Mutation::DropTask(N / 2),
+            &PolicyKind::DynamicCounter { chunk: 3 },
+            N,
+            P,
+        );
+        let drops: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::TaskDropped)
+            .collect();
+        assert_eq!(drops.len(), 1, "{:?}", out.violations);
+        assert_eq!(drops[0].task, Some(N / 2));
+        // Only the seeded defect is reported — no collateral findings.
+        assert_eq!(out.violations.len(), 1);
+    }
+
+    #[test]
+    fn duplicated_task_is_flagged_with_both_workers_involved() {
+        let out = run_mutation(
+            Mutation::DuplicateTask(N / 3),
+            &PolicyKind::StaticBlock,
+            N,
+            P,
+        );
+        let dups: Vec<_> = out
+            .violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::TaskDuplicated)
+            .collect();
+        assert_eq!(dups.len(), 1, "{:?}", out.violations);
+        assert_eq!(dups[0].task, Some(N / 3));
+        assert!(dups[0].worker.is_some());
+    }
+
+    #[test]
+    fn dead_victim_spin_is_flagged_as_livelock_not_hang() {
+        let out = run_mutation(Mutation::DeadVictimSpin, &PolicyKind::StaticBlock, N, P);
+        assert!(out.stalled, "probe must cut the spin short");
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Livelock));
+    }
+
+    #[test]
+    fn every_seeded_mutation_is_caught() {
+        let report = self_test(N, P);
+        assert!(
+            report.is_clean(),
+            "escaped mutations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.passed.len(), mutation_roster(N).len());
+    }
+
+    #[test]
+    fn drop_at_claim_boundaries() {
+        // Dropping the first and last task of a worker's block exercises
+        // both split edges.
+        for x in [0, N - 1, 9] {
+            let out = run_mutation(Mutation::DropTask(x), &PolicyKind::StaticBlock, N, P);
+            let drops: Vec<_> = out
+                .violations
+                .iter()
+                .filter(|v| v.kind == ViolationKind::TaskDropped)
+                .collect();
+            assert_eq!(drops.len(), 1, "x={x}: {:?}", out.violations);
+            assert_eq!(drops[0].task, Some(x));
+        }
+    }
+}

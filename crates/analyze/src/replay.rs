@@ -1,0 +1,264 @@
+//! The instrumented replay probe.
+//!
+//! [`emx_sched::replay_assignment`] asserts its invariants and panics on
+//! the first breach — the right behavior inside the substrates, and the
+//! wrong one for an analyzer that must *report* every breach. This
+//! module re-drives the same [`SchedulePolicy`] state machines with a
+//! tolerant driver: duplicates, drops, out-of-range claims and progress
+//! stalls are collected as [`Violation`]s instead of aborting, and a
+//! progress budget converts a spinning policy (the dead-victim livelock
+//! class) into a finding rather than a hung analyzer.
+
+use crate::report::{Violation, ViolationKind};
+use emx_sched::{Claim, SchedulePolicy};
+
+/// Everything one probed replay observed.
+#[derive(Debug, Clone)]
+pub struct ProbeOutcome {
+    /// Final task→worker map (`None` = never assigned).
+    pub assignment: Vec<Option<u32>>,
+    /// Violations observed while driving the policy.
+    pub violations: Vec<Violation>,
+    /// Total `next_task` calls issued.
+    pub calls: u64,
+    /// True when the driver hit its progress budget before every worker
+    /// retired — the policy can spin forever.
+    pub stalled: bool,
+    /// Longest run of consecutive scheduling rounds in which no worker
+    /// made progress (work remained unfinished throughout).
+    pub max_idle_rounds: u64,
+}
+
+impl ProbeOutcome {
+    /// The assignment as a plain vector; `None` slots become `u32::MAX`.
+    pub fn assignment_or_max(&self) -> Vec<u32> {
+        self.assignment
+            .iter()
+            .map(|a| a.unwrap_or(u32::MAX))
+            .collect()
+    }
+}
+
+/// Drives `policy` round-robin over `workers` virtual workers until all
+/// retire or the progress budget runs out, recording every invariant
+/// breach. `label` and `scenario` tag the emitted violations.
+///
+/// The budget is expressed in *stalled rounds*: full sweeps over every
+/// unfinished worker in which no task was claimed. A correct policy
+/// needs at most a handful (steal transfers deliver on the next call);
+/// the default bound in [`probe`] is generous enough for any legitimate
+/// topology yet converts an unbounded spin into a finding in
+/// microseconds.
+pub fn probe_with_budget(
+    policy: &mut dyn SchedulePolicy,
+    ntasks: usize,
+    workers: usize,
+    label: &str,
+    scenario: &str,
+    stall_budget: u64,
+) -> ProbeOutcome {
+    let mut assignment: Vec<Option<u32>> = vec![None; ntasks];
+    let mut violations = Vec::new();
+    let mut done = vec![false; workers];
+    let mut calls = 0u64;
+    let mut stalled_rounds = 0u64;
+    let mut max_idle_rounds = 0u64;
+
+    while !done.iter().all(|&d| d) {
+        let mut progressed = false;
+        for (w, done_w) in done.iter_mut().enumerate() {
+            if *done_w {
+                continue;
+            }
+            calls += 1;
+            match policy.next_task(w) {
+                Claim::Local { begin, end } | Claim::FromCounter { begin, end } => {
+                    if end < begin || end > ntasks {
+                        violations.push(
+                            Violation::new(
+                                label,
+                                ViolationKind::OutOfRange,
+                                scenario,
+                                format!("claim {begin}..{end} outside 0..{ntasks}"),
+                            )
+                            .at_worker(w),
+                        );
+                        // A malformed range cannot be executed; treat the
+                        // worker as wedged and let the budget decide.
+                        continue;
+                    }
+                    if end > begin {
+                        progressed = true;
+                    }
+                    for (i, slot) in assignment[begin..end]
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(off, s)| (begin + off, s))
+                    {
+                        match slot {
+                            Some(prev) => violations.push(
+                                Violation::new(
+                                    label,
+                                    ViolationKind::TaskDuplicated,
+                                    scenario,
+                                    format!("task {i} claimed by worker {w} after worker {prev}"),
+                                )
+                                .at_task(i)
+                                .at_worker(w),
+                            ),
+                            None => {
+                                *slot = Some(w as u32);
+                                policy.task_done(w, i, 0.0);
+                            }
+                        }
+                    }
+                }
+                // Stolen work arrives as a Local claim on the next call;
+                // the steal itself is activity but not progress.
+                Claim::StealFrom { victim, amount } => {
+                    if victim >= workers {
+                        violations.push(
+                            Violation::new(
+                                label,
+                                ViolationKind::OutOfRange,
+                                scenario,
+                                format!("steal victim {victim} outside 0..{workers}"),
+                            )
+                            .at_worker(w),
+                        );
+                    }
+                    let _ = amount;
+                }
+                Claim::Done => *done_w = true,
+            }
+        }
+        if progressed || done.iter().all(|&d| d) {
+            stalled_rounds = 0;
+        } else {
+            stalled_rounds += 1;
+            max_idle_rounds = max_idle_rounds.max(stalled_rounds);
+            if stalled_rounds > stall_budget {
+                let spinning: Vec<usize> = (0..workers).filter(|&w| !done[w]).collect();
+                let mut v = Violation::new(
+                    label,
+                    ViolationKind::Livelock,
+                    scenario,
+                    format!(
+                        "no progress in {stalled_rounds} consecutive rounds; \
+                         workers {spinning:?} neither obtain work nor retire"
+                    ),
+                );
+                if let [w] = spinning[..] {
+                    v = v.at_worker(w);
+                }
+                violations.push(v);
+                return ProbeOutcome {
+                    assignment,
+                    violations,
+                    calls,
+                    stalled: true,
+                    max_idle_rounds,
+                };
+            }
+        }
+    }
+
+    for (i, slot) in assignment.iter().enumerate() {
+        if slot.is_none() {
+            violations.push(
+                Violation::new(
+                    label,
+                    ViolationKind::TaskDropped,
+                    scenario,
+                    format!("task {i} was never assigned to any worker"),
+                )
+                .at_task(i),
+            );
+        }
+    }
+
+    ProbeOutcome {
+        assignment,
+        violations,
+        calls,
+        stalled: false,
+        max_idle_rounds,
+    }
+}
+
+/// [`probe_with_budget`] with the default stall budget: `4·P + 16`
+/// fruitless rounds. Any legitimate steal topology delivers work (or
+/// drains to global termination) within `O(P)` rounds of the sequential
+/// driver; the slack covers batch-steal redistribution chains.
+pub fn probe(
+    policy: &mut dyn SchedulePolicy,
+    ntasks: usize,
+    workers: usize,
+    label: &str,
+    scenario: &str,
+) -> ProbeOutcome {
+    probe_with_budget(
+        policy,
+        ntasks,
+        workers,
+        label,
+        scenario,
+        4 * workers as u64 + 16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sched::{build_policy, PolicyKind, StealConfig};
+
+    #[test]
+    fn healthy_policies_probe_clean() {
+        for kind in [
+            PolicyKind::Serial,
+            PolicyKind::StaticBlock,
+            PolicyKind::StaticCyclic,
+            PolicyKind::DynamicCounter { chunk: 3 },
+            PolicyKind::Guided { min_chunk: 1 },
+            PolicyKind::GuidedAdaptive { k: 4, min_chunk: 2 },
+            PolicyKind::WorkStealing(StealConfig::default()),
+        ] {
+            let mut policy = build_policy(&kind, 40, 4);
+            let out = probe(policy.as_mut(), 40, 4, kind.name(), "healthy");
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                kind.name(),
+                out.violations
+            );
+            assert!(!out.stalled);
+            assert!(out.assignment.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn probe_matches_replay_assignment() {
+        for kind in [
+            PolicyKind::StaticCyclic,
+            PolicyKind::DynamicCounter { chunk: 5 },
+            PolicyKind::WorkStealing(StealConfig::default()),
+        ] {
+            let mut policy = build_policy(&kind, 33, 3);
+            let out = probe(policy.as_mut(), 33, 3, kind.name(), "healthy");
+            assert_eq!(
+                out.assignment_or_max(),
+                emx_sched::replay_assignment(&kind, 33, 3),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_tasks_probe_clean() {
+        let mut policy = build_policy(&PolicyKind::Guided { min_chunk: 1 }, 0, 3);
+        let out = probe(policy.as_mut(), 0, 3, "guided", "healthy");
+        assert!(out.violations.is_empty());
+        assert!(out.assignment.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Machine-readable violation reports.
+//!
+//! Every analyzer pass speaks one vocabulary: a [`Violation`] names the
+//! broken invariant ([`ViolationKind`]), the policy and fault scenario
+//! it was observed under, and — when the invariant is per-task or
+//! per-worker — the offending task and worker ids. Reports serialize to
+//! the workspace's minimal JSON ([`emx_obs::Json`]), so CI gates and
+//! humans read the same artifact.
+
+use emx_obs::Json;
+use std::fmt;
+
+/// The invariant a schedule or configuration violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A task was never assigned to any worker (exactly-once broken low).
+    TaskDropped,
+    /// A task was assigned to more than one worker (exactly-once broken
+    /// high).
+    TaskDuplicated,
+    /// A claim named a worker or task outside the configured ranges.
+    OutOfRange,
+    /// The replay driver exhausted its progress budget: some worker can
+    /// spin forever without obtaining work or terminating (the
+    /// dead-victim bug class fixed in the work-stealing executor).
+    Livelock,
+    /// A configuration admits a cycle in the wait-for graph: every party
+    /// some worker can wait on is itself waiting (or dead) with no
+    /// timeout to break the wait.
+    Deadlock,
+    /// The same policy produced different assignments on two substrates
+    /// (threads vs simulator vs sequential replay) although it is
+    /// deterministic.
+    SubstrateMismatch,
+    /// Two identically-seeded runs disagreed — hidden state (wall clock,
+    /// global RNG) leaked into a replay path.
+    Nondeterminism,
+    /// A fault scenario lost tasks although survivors existed to run
+    /// them.
+    LostTask,
+    /// Fault accounting does not balance (orphaned ≠ recovered + lost,
+    /// or executed + lost ≠ total).
+    AccountingLeak,
+    /// A recovered task completed before its orphaning failure could
+    /// have been detected.
+    EarlyRecovery,
+    /// A worker exceeded the configured idle bound while work remained
+    /// claimable.
+    UnboundedIdle,
+}
+
+impl ViolationKind {
+    /// Stable kebab-case name used in reports and CSVs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::TaskDropped => "task-dropped",
+            ViolationKind::TaskDuplicated => "task-duplicated",
+            ViolationKind::OutOfRange => "out-of-range",
+            ViolationKind::Livelock => "livelock",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::SubstrateMismatch => "substrate-mismatch",
+            ViolationKind::Nondeterminism => "nondeterminism",
+            ViolationKind::LostTask => "lost-task",
+            ViolationKind::AccountingLeak => "accounting-leak",
+            ViolationKind::EarlyRecovery => "early-recovery",
+            ViolationKind::UnboundedIdle => "unbounded-idle",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, located as precisely as the invariant allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Canonical name of the policy under analysis.
+    pub policy: String,
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Fault scenario label (`"healthy"` for fault-free analysis).
+    pub scenario: String,
+    /// Offending task id, when the invariant is per-task.
+    pub task: Option<usize>,
+    /// Offending worker id, when the invariant is per-worker.
+    pub worker: Option<usize>,
+    /// Human-readable explanation with the observed numbers.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Constructs a violation with no task/worker location.
+    pub fn new(
+        policy: impl Into<String>,
+        kind: ViolationKind,
+        scenario: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Violation {
+        Violation {
+            policy: policy.into(),
+            kind,
+            scenario: scenario.into(),
+            task: None,
+            worker: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attaches the offending task id.
+    pub fn at_task(mut self, task: usize) -> Violation {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attaches the offending worker id.
+    pub fn at_worker(mut self, worker: usize) -> Violation {
+        self.worker = Some(worker);
+        self
+    }
+
+    /// The violation as a JSON object (`policy`, `kind`, `scenario`,
+    /// `task`, `worker`, `detail`).
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<usize>| match v {
+            Some(x) => Json::Num(x as f64),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("policy", Json::Str(self.policy.clone())),
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("task", opt(self.task)),
+            ("worker", opt(self.worker)),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} / {}", self.kind, self.policy, self.scenario)?;
+        if let Some(t) = self.task {
+            write!(f, " task {t}")?;
+        }
+        if let Some(w) = self.worker {
+            write!(f, " worker {w}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The outcome of one full analysis run: per-policy × scenario pass
+/// counts, every violation found, and the combinations the analyzer
+/// could not express (never silently skipped).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// `(policy, scenario)` combinations that were checked and passed.
+    pub passed: Vec<(String, String)>,
+    /// Every violation found, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Combinations skipped with the reason (e.g. a policy the fault
+    /// simulator cannot express).
+    pub skipped: Vec<String>,
+}
+
+impl AnalysisReport {
+    /// True when no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.passed.extend(other.passed);
+        self.violations.extend(other.violations);
+        self.skipped.extend(other.skipped);
+    }
+
+    /// The report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "passed",
+                Json::Arr(
+                    self.passed
+                        .iter()
+                        .map(|(p, s)| Json::Str(format!("{p}/{s}")))
+                        .collect(),
+                ),
+            ),
+            (
+                "violations",
+                Json::Arr(self.violations.iter().map(Violation::to_json).collect()),
+            ),
+            (
+                "skipped",
+                Json::Arr(self.skipped.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_json_has_every_field() {
+        let v = Violation::new("guided", ViolationKind::TaskDropped, "healthy", "gone")
+            .at_task(7)
+            .at_worker(2);
+        let j = v.to_json();
+        assert_eq!(j.get("policy").and_then(Json::as_str), Some("guided"));
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("task-dropped"));
+        assert_eq!(j.get("task").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(j.get("worker").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("scenario").and_then(Json::as_str), Some("healthy"));
+    }
+
+    #[test]
+    fn display_locates_the_violation() {
+        let v = Violation::new("ws", ViolationKind::Livelock, "dead-victim", "spin").at_worker(3);
+        let s = v.to_string();
+        assert!(s.contains("livelock"), "{s}");
+        assert!(s.contains("worker 3"), "{s}");
+    }
+
+    #[test]
+    fn report_merge_and_clean() {
+        let mut a = AnalysisReport::default();
+        assert!(a.is_clean());
+        let mut b = AnalysisReport::default();
+        b.violations
+            .push(Violation::new("x", ViolationKind::Deadlock, "s", "d"));
+        b.passed.push(("x".into(), "healthy".into()));
+        a.merge(b);
+        assert!(!a.is_clean());
+        assert_eq!(a.passed.len(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Structural deadlock / livelock detection.
+//!
+//! The verifier in [`crate::verifier`] *runs* schedules; this module
+//! rejects bad configurations **without running anything**, from the
+//! [`StealConfig`] / [`FaultPlan`] structure alone. It builds a
+//! wait-for graph whose nodes are ranks (plus the shared-counter host
+//! when the policy fetches from one) and whose edges are the waits a
+//! configuration admits:
+//!
+//! * a thief waits on every rank its victim policy can select;
+//! * a counter-based worker waits on the counter host;
+//! * a sender whose message can be dropped waits on the retry path.
+//!
+//! Edges are **blocking** when the wait has no timeout to break it
+//! (`rpc_timeout ≤ 0`), otherwise they are retried waits. Analysis uses
+//! *may* semantics — a configuration is rejected if **some** schedule
+//! can wedge, which is the right bar for a gate:
+//!
+//! * **Deadlock** — a live node with a blocking edge into the
+//!   unresponsive set (dead ranks, a counter host that never fails
+//!   over) can suspend forever; the unresponsive set is closed under
+//!   this rule (fixpoint), so blocked waiters propagate.
+//! * **Livelock** — a live node whose *every* steal target is
+//!   unresponsive, under a plan with unbounded retries, spins forever
+//!   re-issuing requests no one will answer. This is exactly the
+//!   exhausted-retries work-stealing bug class fixed in the executor
+//!   (commit e82b711): the detector rejects such configs up front.
+
+use crate::report::{AnalysisReport, Violation, ViolationKind};
+use emx_distsim::prelude::FaultPlan;
+use emx_sched::{PolicyKind, StealConfig};
+
+/// A node in the wait-for graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Party {
+    /// Rank `w` of the simulated machine.
+    Rank(usize),
+    /// The shared-counter host (NXTVAL).
+    Counter,
+}
+
+impl std::fmt::Display for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Party::Rank(w) => write!(f, "rank {w}"),
+            Party::Counter => f.write_str("counter host"),
+        }
+    }
+}
+
+/// Wait-for graph of one configuration. Node `0..workers` are ranks;
+/// node `workers` (when present) is the counter host.
+#[derive(Debug, Clone)]
+pub struct WaitForGraph {
+    /// Rank count (ranks are nodes `0..workers`).
+    pub workers: usize,
+    /// `edges[n]` = nodes that node `n` may wait on.
+    pub edges: Vec<Vec<usize>>,
+    /// Nodes that will never answer a request (dead ranks, a counter
+    /// host whose outage never fails over).
+    pub unresponsive: Vec<bool>,
+    /// True when waits block with no timeout (`rpc_timeout ≤ 0`).
+    pub blocking: bool,
+    /// True when the plan bounds retries (a spinning requester
+    /// eventually gives up and surfaces an error instead of wedging).
+    pub bounded_retries: bool,
+}
+
+impl WaitForGraph {
+    /// Nodes that some schedule can block forever: the closure of the
+    /// unresponsive set under "has a blocking edge into it". Empty when
+    /// waits carry a timeout.
+    pub fn blocked_forever(&self) -> Vec<usize> {
+        if !self.blocking {
+            return Vec::new();
+        }
+        let mut stuck = self.unresponsive.clone();
+        loop {
+            let mut changed = false;
+            for (n, targets) in self.edges.iter().enumerate() {
+                if !stuck[n] && targets.iter().any(|&t| stuck[t]) {
+                    stuck[n] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..stuck.len())
+            .filter(|&n| stuck[n] && !self.unresponsive[n])
+            .collect()
+    }
+
+    /// Nodes that spin forever: live, retried (non-blocking) waits,
+    /// unbounded retries, and *every* wait target unresponsive — no
+    /// schedule can ever hand them work or an answer.
+    pub fn spinning_forever(&self) -> Vec<usize> {
+        if self.blocking || self.bounded_retries {
+            return Vec::new();
+        }
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(n, targets)| {
+                !self.unresponsive[*n]
+                    && !targets.is_empty()
+                    && targets.iter().all(|&t| self.unresponsive[t])
+            })
+            .map(|(n, _)| n)
+            .collect()
+    }
+}
+
+/// What the detector analyzes: a policy's wait topology under a fault
+/// plan, plus the retry discipline of the hosting runtime.
+#[derive(Debug, Clone)]
+pub struct LivenessConfig<'a> {
+    /// Rank count.
+    pub workers: usize,
+    /// Policy whose wait topology is analyzed.
+    pub policy: &'a PolicyKind,
+    /// Fault plan supplying the death schedule, outage and timeouts.
+    pub plan: &'a FaultPlan,
+    /// Retry cap of the hosting runtime (`None` = retry forever). The
+    /// threaded executor's `FaultInjection::max_retries` maps here.
+    pub retry_cap: Option<u32>,
+}
+
+fn steal_edges(cfg: &StealConfig, workers: usize) -> Vec<Vec<usize>> {
+    // Both victim policies (Random, RoundRobin) range over every other
+    // rank, so the may-wait set of a thief is all peers.
+    let _ = cfg;
+    (0..workers)
+        .map(|w| (0..workers).filter(|&v| v != w).collect())
+        .collect()
+}
+
+/// Builds the wait-for graph for `cfg` without simulating anything.
+pub fn build_graph(cfg: &LivenessConfig<'_>) -> WaitForGraph {
+    let p = cfg.workers;
+    let uses_counter = matches!(
+        cfg.policy,
+        PolicyKind::DynamicCounter { .. }
+            | PolicyKind::Guided { .. }
+            | PolicyKind::GuidedAdaptive { .. }
+    );
+    let nodes = p + usize::from(uses_counter);
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    match cfg.policy {
+        PolicyKind::WorkStealing(sc) => {
+            for (w, targets) in steal_edges(sc, p).into_iter().enumerate() {
+                edges[w] = targets;
+            }
+        }
+        PolicyKind::DynamicCounter { .. }
+        | PolicyKind::Guided { .. }
+        | PolicyKind::GuidedAdaptive { .. } => {
+            for e in edges.iter_mut().take(p) {
+                e.push(p); // every worker fetches from the counter host
+            }
+        }
+        // Static policies and serial runs wait on nobody.
+        _ => {}
+    }
+
+    let mut unresponsive = vec![false; nodes];
+    for f in &cfg.plan.rank_failures {
+        if f.rank < p {
+            unresponsive[f.rank] = true;
+        }
+    }
+    if uses_counter {
+        if let Some(o) = &cfg.plan.counter_outage {
+            // A failover that never completes leaves the counter dark.
+            if never_fires(o.failover) || o.failover.is_infinite() {
+                unresponsive[p] = true;
+            }
+        }
+    }
+
+    WaitForGraph {
+        workers: p,
+        edges,
+        unresponsive,
+        blocking: never_fires(cfg.plan.rpc_timeout),
+        bounded_retries: cfg.retry_cap.is_some(),
+    }
+}
+
+/// A timeout that can never fire — zero, negative, or NaN — so a wait
+/// guarded only by it blocks forever.
+fn never_fires(timeout: f64) -> bool {
+    timeout.is_nan() || timeout <= 0.0
+}
+
+fn party(n: usize, workers: usize) -> Party {
+    if n < workers {
+        Party::Rank(n)
+    } else {
+        Party::Counter
+    }
+}
+
+/// Structural liveness check of one configuration. Returns a clean
+/// report for healthy configs; Deadlock / Livelock violations name the
+/// wedged rank and the parties it waits on.
+pub fn check_liveness(cfg: &LivenessConfig<'_>) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    let label = cfg.policy.name();
+    let graph = build_graph(cfg);
+
+    for n in graph.blocked_forever() {
+        let waits: Vec<String> = graph.edges[n]
+            .iter()
+            .filter(|&&t| graph.unresponsive[t])
+            .map(|&t| party(t, cfg.workers).to_string())
+            .collect();
+        let mut v = Violation::new(
+            label,
+            ViolationKind::Deadlock,
+            "config",
+            format!(
+                "{} can block forever: rpc_timeout ≤ 0 and it may wait on \
+                 unresponsive {}",
+                party(n, cfg.workers),
+                waits.join(", ")
+            ),
+        );
+        if n < cfg.workers {
+            v = v.at_worker(n);
+        }
+        report.violations.push(v);
+    }
+
+    for n in graph.spinning_forever() {
+        let mut v = Violation::new(
+            label,
+            ViolationKind::Livelock,
+            "config",
+            format!(
+                "{} spins forever: every wait target is dead and retries \
+                 are unbounded (the exhausted-retries bug class)",
+                party(n, cfg.workers)
+            ),
+        );
+        if n < cfg.workers {
+            v = v.at_worker(n);
+        }
+        report.violations.push(v);
+    }
+
+    // Plan-shape rejections the simulator would only catch by panicking.
+    if cfg.plan.drop_prob > 0.0 && never_fires(cfg.plan.rpc_timeout) {
+        report.violations.push(Violation::new(
+            label,
+            ViolationKind::Deadlock,
+            "config",
+            "messages can be dropped but rpc_timeout ≤ 0: a dropped \
+             request is never retried"
+                .to_string(),
+        ));
+    }
+    if !(0.0..1.0).contains(&cfg.plan.drop_prob) || !(0.0..1.0).contains(&cfg.plan.delay_prob) {
+        report.violations.push(Violation::new(
+            label,
+            ViolationKind::OutOfRange,
+            "config",
+            format!(
+                "message fault probabilities ({}, {}) outside [0, 1)",
+                cfg.plan.drop_prob, cfg.plan.delay_prob
+            ),
+        ));
+    }
+
+    if report.is_clean() {
+        report
+            .passed
+            .push((label.to_string(), "config".to_string()));
+    }
+    report
+}
+
+/// Sweeps the full roster × a set of fault plans through the structural
+/// detector, for `reproduce analyze` and the gate tests.
+pub fn check_roster_liveness(
+    roster: &[PolicyKind],
+    plans: &[(String, FaultPlan)],
+    workers: usize,
+    retry_cap: Option<u32>,
+) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    for kind in roster {
+        for (name, plan) in plans {
+            let mut sub = check_liveness(&LivenessConfig {
+                workers,
+                policy: kind,
+                plan,
+                retry_cap,
+            });
+            // Re-label the generic "config" scenario with the plan name.
+            for v in &mut sub.violations {
+                v.scenario = format!("config:{name}");
+            }
+            for p in &mut sub.passed {
+                p.1 = format!("config:{name}");
+            }
+            report.merge(sub);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: usize = 4;
+
+    fn check(kind: &PolicyKind, plan: &FaultPlan, cap: Option<u32>) -> AnalysisReport {
+        check_liveness(&LivenessConfig {
+            workers: P,
+            policy: kind,
+            plan,
+            retry_cap: cap,
+        })
+    }
+
+    #[test]
+    fn healthy_configs_pass() {
+        let ws = PolicyKind::WorkStealing(StealConfig::default());
+        let ctr = PolicyKind::DynamicCounter { chunk: 2 };
+        let plan = FaultPlan::fault_free();
+        for kind in [&ws, &ctr, &PolicyKind::StaticBlock] {
+            let r = check(kind, &plan, None);
+            assert!(r.is_clean(), "{}: {:?}", kind.name(), r.violations);
+        }
+    }
+
+    #[test]
+    fn one_dead_victim_with_timeout_is_fine() {
+        let ws = PolicyKind::WorkStealing(StealConfig::default());
+        let plan = FaultPlan::fault_free().with_rank_failure(2, 1e-6);
+        let r = check(&ws, &plan, None);
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn dead_victim_without_timeout_deadlocks() {
+        let ws = PolicyKind::WorkStealing(StealConfig::default());
+        let mut plan = FaultPlan::fault_free().with_rank_failure(2, 1e-6);
+        plan.rpc_timeout = 0.0;
+        let r = check(&ws, &plan, None);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Deadlock));
+    }
+
+    #[test]
+    fn all_victims_dead_unbounded_retries_livelocks() {
+        // The e82b711 bug class: the sole survivor steals from corpses
+        // forever. Bounding retries clears the finding.
+        let ws = PolicyKind::WorkStealing(StealConfig::default());
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 1e-6)
+            .with_rank_failure(1, 1e-6)
+            .with_rank_failure(2, 1e-6);
+        let r = check(&ws, &plan, None);
+        let spin: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::Livelock)
+            .collect();
+        assert_eq!(spin.len(), 1, "{:?}", r.violations);
+        assert_eq!(spin[0].worker, Some(3));
+
+        let bounded = check(&ws, &plan, Some(3));
+        assert!(bounded.is_clean(), "{:?}", bounded.violations);
+    }
+
+    #[test]
+    fn counter_outage_that_never_fails_over_deadlocks_waiters() {
+        let ctr = PolicyKind::DynamicCounter { chunk: 2 };
+        let mut plan = FaultPlan::fault_free().with_counter_outage(1e-6, 0.0);
+        plan.rpc_timeout = 0.0;
+        let r = check(&ctr, &plan, None);
+        let stuck: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::Deadlock)
+            .collect();
+        // All four workers wait on the dark counter host.
+        assert_eq!(stuck.len(), P, "{:?}", r.violations);
+
+        // With a failover that completes, the same outage is healthy.
+        let ok_plan = FaultPlan::fault_free().with_counter_outage(1e-6, 5e-6);
+        assert!(check(&ctr, &ok_plan, None).is_clean());
+    }
+
+    #[test]
+    fn counter_spin_on_dark_host_with_unbounded_retries() {
+        let ctr = PolicyKind::Guided { min_chunk: 1 };
+        let plan = FaultPlan::fault_free().with_counter_outage(1e-6, f64::INFINITY);
+        let r = check(&ctr, &plan, None);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::Livelock),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn dropped_messages_require_a_timeout() {
+        let ws = PolicyKind::WorkStealing(StealConfig::default());
+        let mut plan = FaultPlan::fault_free().with_message_faults(0.1, 0.0, 0.0);
+        plan.rpc_timeout = 0.0;
+        let r = check(&ws, &plan, None);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Deadlock && v.detail.contains("dropped")));
+    }
+
+    #[test]
+    fn static_policies_never_wedge() {
+        // No waits → no deadlock even under a hostile plan.
+        let mut plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 1e-6)
+            .with_rank_failure(1, 1e-6)
+            .with_rank_failure(2, 1e-6)
+            .with_rank_failure(3, 1e-6);
+        plan.rpc_timeout = 0.0;
+        let r = check(&PolicyKind::StaticCyclic, &plan, None);
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn roster_sweep_labels_scenarios() {
+        let roster = vec![
+            PolicyKind::StaticBlock,
+            PolicyKind::WorkStealing(StealConfig::default()),
+        ];
+        let plans = vec![
+            ("healthy".to_string(), FaultPlan::fault_free()),
+            ("one-death".to_string(), {
+                FaultPlan::fault_free().with_rank_failure(1, 1e-6)
+            }),
+        ];
+        let r = check_roster_liveness(&roster, &plans, P, Some(3));
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert!(r.passed.iter().any(|(_, s)| s == "config:one-death"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Regression matrix for orphan redistribution: every
+//! [`RecoveryPolicy`] × a fully-dead counter group (and the other
+//! fully-dead-subset shapes a redistribution pass must survive).
+//!
+//! The invariants are the ones `emx-analyze` verifies generically:
+//! work conservation (`executed + lost = total`), zero loss while
+//! survivors remain, orphans fully recovered, recovery latency bounded
+//! below by the detection interval, and bit-for-bit reproducibility of
+//! the degraded run.
+
+use emx_distsim::machine::MachineModel;
+use emx_distsim::prelude::*;
+
+const NTASKS: usize = 40;
+const P: usize = 4;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        machine: MachineModel::ideal(),
+        ..SimConfig::new(P)
+    }
+}
+
+fn policies() -> [RecoveryPolicy; 3] {
+    [
+        RecoveryPolicy::BlockSurvivors,
+        RecoveryPolicy::SemiMatching,
+        RecoveryPolicy::Persistence,
+    ]
+}
+
+fn assert_degraded_invariants(r: &FaultReport, plan: &FaultPlan, label: &str) {
+    let executed: usize = r.sim.tasks.iter().sum();
+    assert_eq!(
+        executed + r.faults.lost as usize,
+        NTASKS,
+        "{label}: work not conserved"
+    );
+    assert_eq!(
+        r.faults.lost, 0,
+        "{label}: survivors exist, nothing may be lost"
+    );
+    assert_eq!(
+        r.faults.recovered, r.faults.orphaned,
+        "{label}: every orphan must be recovered"
+    );
+    for &lat in &r.faults.recovery_latency {
+        assert!(
+            lat + 1e-12 >= plan.detection_interval,
+            "{label}: recovery at {lat} beats detection interval {}",
+            plan.detection_interval
+        );
+    }
+}
+
+/// Group 0 (ranks 0 and 1, range 0..20) dies entirely, early, under
+/// every recovery policy: its whole residual range must land on the
+/// survivors of group 1, with identical accounting across reruns.
+#[test]
+fn fully_dead_group_recovers_under_every_policy() {
+    let costs = vec![1.0; NTASKS];
+    let model = SimModel::GroupCounters {
+        groups: 2,
+        chunk: 2,
+    };
+    for policy in policies() {
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 2.5)
+            .with_rank_failure(1, 2.5)
+            .with_recovery(policy);
+        let label = format!("group-dead/{}", policy.name());
+        let r = simulate_with_faults(&costs, &model, &cfg(), &plan);
+        assert_degraded_invariants(&r, &plan, &label);
+        assert!(
+            r.sim.tasks[0] + r.sim.tasks[1] < 20,
+            "{label}: dead group cannot have finished its range"
+        );
+        assert!(
+            r.sim.tasks[2] + r.sim.tasks[3] > 20,
+            "{label}: survivors must absorb the dead group's residue"
+        );
+        // The degraded run is deterministic per policy.
+        let again = simulate_with_faults(&costs, &model, &cfg(), &plan);
+        assert_eq!(
+            again.sim.assignment, r.sim.assignment,
+            "{label}: not reproducible"
+        );
+        assert_eq!(again.faults.recovered, r.faults.recovered, "{label}");
+    }
+}
+
+/// The same matrix with the group dying at t=0, before it claims
+/// anything: the entire 0..20 range is orphaned in one batch — the
+/// worst case for a redistribution pass.
+#[test]
+fn group_dead_at_start_orphans_entire_range_under_every_policy() {
+    let costs = vec![1.0; NTASKS];
+    let model = SimModel::GroupCounters {
+        groups: 2,
+        chunk: 2,
+    };
+    for policy in policies() {
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 0.0)
+            .with_rank_failure(1, 0.0)
+            .with_recovery(policy);
+        let label = format!("group-dead-at-start/{}", policy.name());
+        let r = simulate_with_faults(&costs, &model, &cfg(), &plan);
+        assert_degraded_invariants(&r, &plan, &label);
+        assert_eq!(r.sim.tasks[0] + r.sim.tasks[1], 0, "{label}: dead at t=0");
+        assert_eq!(
+            r.sim.tasks[2] + r.sim.tasks[3],
+            NTASKS,
+            "{label}: survivors run everything"
+        );
+    }
+}
+
+/// Static partitioning with one rank's whole block orphaned — the
+/// degenerate "group of one" — across every recovery policy, including
+/// staggered second deaths re-orphaning already-redistributed work.
+#[test]
+fn static_block_owner_death_and_reorphaning_under_every_policy() {
+    let costs = vec![1.0; NTASKS];
+    let owners: Vec<u32> = (0..NTASKS).map(|i| (i * P / NTASKS) as u32).collect();
+    for policy in policies() {
+        // Rank 1 dies early; rank 2 dies later, after it may have
+        // absorbed part of rank 1's block — its own block plus any
+        // inherited orphans re-orphan onto ranks 0 and 3.
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(1, 1.5)
+            .with_rank_failure(2, 6.5)
+            .with_recovery(policy);
+        let label = format!("staggered-deaths/{}", policy.name());
+        let r = simulate_with_faults(&costs, &SimModel::Static(owners.clone()), &cfg(), &plan);
+        assert_degraded_invariants(&r, &plan, &label);
+        assert!(r.faults.orphaned > 0, "{label}: deaths must orphan work");
+        assert!(
+            r.sim.tasks[0] + r.sim.tasks[3] > NTASKS / 2,
+            "{label}: the two survivors carry the majority"
+        );
+    }
+}
+
+/// All groups fully dead: with no survivors anywhere, every policy must
+/// report the unexecuted residue as lost — and exactly that residue.
+#[test]
+fn all_groups_dead_loses_exactly_the_residue_under_every_policy() {
+    let costs = vec![1.0; NTASKS];
+    let model = SimModel::GroupCounters {
+        groups: 2,
+        chunk: 2,
+    };
+    for policy in policies() {
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 2.5)
+            .with_rank_failure(1, 2.5)
+            .with_rank_failure(2, 2.5)
+            .with_rank_failure(3, 2.5)
+            .with_recovery(policy);
+        let label = format!("all-dead/{}", policy.name());
+        let r = simulate_with_faults(&costs, &model, &cfg(), &plan);
+        let executed: usize = r.sim.tasks.iter().sum();
+        assert!(executed < NTASKS, "{label}: nobody survives to finish");
+        assert_eq!(
+            r.faults.lost as usize,
+            NTASKS - executed,
+            "{label}: lost must equal the unexecuted residue"
+        );
+        assert_eq!(r.faults.recovered, 0, "{label}: no survivors, no recovery");
+    }
+}
+
+/// Dead group with message chaos layered on top: recovery must still
+/// conserve work when the redistribution-era messages themselves drop
+/// and stall.
+#[test]
+fn dead_group_with_message_faults_still_conserves_work() {
+    let costs = vec![1.0; NTASKS];
+    let model = SimModel::GroupCounters {
+        groups: 2,
+        chunk: 2,
+    };
+    for policy in policies() {
+        let plan = FaultPlan::fault_free()
+            .with_rank_failure(0, 2.5)
+            .with_rank_failure(1, 2.5)
+            .with_message_faults(0.15, 0.15, 0.5)
+            .with_recovery(policy);
+        let label = format!("dead-group+chaos/{}", policy.name());
+        let r = simulate_with_faults(&costs, &model, &cfg(), &plan);
+        assert_degraded_invariants(&r, &plan, &label);
+    }
+}

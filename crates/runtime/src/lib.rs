@@ -43,6 +43,7 @@ pub mod timeline;
 pub mod variability;
 
 pub use faults::{FaultInjection, PoisonSpec, StragglerSpec};
+#[cfg(feature = "legacy")]
 #[allow(deprecated)]
 pub use model::ExecutionModel;
 pub use model::{block_owner, ChunkRule, PolicyKind, SeedPartition, StealConfig, VictimPolicy};
@@ -55,6 +56,7 @@ pub use variability::Variability;
 /// Common imports.
 pub mod prelude {
     pub use crate::faults::{FaultInjection, PoisonSpec, StragglerSpec};
+    #[cfg(feature = "legacy")]
     #[allow(deprecated)]
     pub use crate::model::ExecutionModel;
     pub use crate::model::{ChunkRule, PolicyKind, SeedPartition, StealConfig, VictimPolicy};

@@ -4,9 +4,12 @@
 //! variable of the whole study — now lives in the substrate-agnostic
 //! [`emx_sched`] crate so the thread runtime and the distributed
 //! simulator share one definition. This module re-exports those types
-//! and keeps the old [`ExecutionModel`] enum as a deprecated alias that
-//! converts into [`PolicyKind`].
+//! and (behind the `legacy` cargo feature) keeps the old
+//! `ExecutionModel` enum as a deprecated alias that converts into
+//! [`PolicyKind`]. With the feature off — the default — the shim does
+//! not exist, so the workspace compiles under `-D deprecated`.
 
+#[cfg(feature = "legacy")]
 use std::sync::Arc;
 
 pub use emx_sched::{
@@ -20,6 +23,7 @@ pub use emx_sched::{
 /// guided-adaptive and persistence-based scheduling) for both the thread
 /// runtime and the simulator. Every variant converts losslessly via
 /// `From<ExecutionModel> for PolicyKind`.
+#[cfg(feature = "legacy")]
 #[deprecated(since = "0.1.0", note = "use emx_sched::PolicyKind instead")]
 #[derive(Debug, Clone)]
 pub enum ExecutionModel {
@@ -48,6 +52,7 @@ pub enum ExecutionModel {
     WorkStealing(StealConfig),
 }
 
+#[cfg(feature = "legacy")]
 #[allow(deprecated)]
 impl ExecutionModel {
     /// Short, stable name used in reports and bench tables.
@@ -61,6 +66,7 @@ impl ExecutionModel {
     }
 }
 
+#[cfg(feature = "legacy")]
 #[allow(deprecated)]
 impl From<ExecutionModel> for PolicyKind {
     fn from(model: ExecutionModel) -> PolicyKind {
@@ -77,6 +83,17 @@ impl From<ExecutionModel> for PolicyKind {
 }
 
 #[cfg(test)]
+mod reexport_tests {
+    use super::*;
+
+    #[test]
+    fn block_owner_reexport_partitions_evenly() {
+        let owners: Vec<usize> = (0..10).map(|i| block_owner(i, 10, 3)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+}
+
+#[cfg(all(test, feature = "legacy"))]
 #[allow(deprecated)]
 mod tests {
     use super::*;
@@ -118,11 +135,5 @@ mod tests {
         assert!(!ExecutionModel::Serial.is_dynamic());
         assert!(ExecutionModel::DynamicCounter { chunk: 1 }.is_dynamic());
         assert!(ExecutionModel::WorkStealing(StealConfig::default()).is_dynamic());
-    }
-
-    #[test]
-    fn block_owner_reexport_partitions_evenly() {
-        let owners: Vec<usize> = (0..10).map(|i| block_owner(i, 10, 3)).collect();
-        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
     }
 }

@@ -39,8 +39,9 @@ pub struct Executor {
 
 impl Executor {
     /// Creates an executor with no variability, tracing off and no
-    /// observability attached. Accepts any [`PolicyKind`] (or a
-    /// deprecated [`crate::model::ExecutionModel`], which converts).
+    /// observability attached. Accepts any [`PolicyKind`] (or, with the
+    /// `legacy` feature, the deprecated `ExecutionModel`, which
+    /// converts).
     pub fn new(workers: usize, model: impl Into<PolicyKind>) -> Executor {
         assert!(workers > 0, "need at least one worker");
         Executor {

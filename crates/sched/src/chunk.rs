@@ -26,11 +26,19 @@ pub enum ChunkRule {
 impl ChunkRule {
     /// Number of tasks the next fetch claims, given `remaining`
     /// unclaimed tasks served to `workers` workers. Never exceeds
-    /// `remaining`.
+    /// `remaining`, and is never zero while work remains — even for a
+    /// rule that skipped [`ChunkRule::validate`] (`min = 0`, `k = 0`,
+    /// `workers > remaining`), a claim of zero with tasks outstanding
+    /// would spin the counter loop forever without progress.
     pub fn claim(&self, remaining: usize, workers: usize) -> usize {
+        if remaining == 0 {
+            return 0;
+        }
         match *self {
-            ChunkRule::Fixed(c) => c,
-            ChunkRule::Tapering { k, min } => (remaining / (k as usize * workers.max(1))).max(min),
+            ChunkRule::Fixed(c) => c.max(1),
+            ChunkRule::Tapering { k, min } => {
+                (remaining / ((k as usize).max(1) * workers.max(1))).max(min.max(1))
+            }
         }
         .min(remaining)
     }
@@ -83,6 +91,72 @@ mod tests {
         let r = ChunkRule::Tapering { k: 2, min: 16 };
         assert_eq!(r.claim(40, 8), 16);
         assert_eq!(r.claim(7, 8), 7);
+    }
+
+    #[test]
+    fn floor_boundary_is_exact() {
+        // Divisor k·P = 8, floor 4: the taper formula crosses the floor
+        // exactly at remaining = 32.
+        let r = ChunkRule::Tapering { k: 2, min: 4 };
+        assert_eq!(r.claim(40, 4), 5); // above the boundary: remaining/8
+        assert_eq!(r.claim(32, 4), 4); // at the boundary: quotient == min
+        assert_eq!(r.claim(31, 4), 4); // below: quotient 3 floored to min
+        assert_eq!(r.claim(4, 4), 4); // floor capped at remaining…
+        assert_eq!(r.claim(3, 4), 3); // …and below it, remaining wins
+    }
+
+    #[test]
+    fn unvalidated_zero_floor_still_makes_progress() {
+        // min = 0 skipped validate(): the claim must still be ≥ 1 while
+        // work remains, or the counter loop would spin forever on
+        // zero-size chunks.
+        let r = ChunkRule::Tapering { k: 2, min: 0 };
+        assert_eq!(r.claim(3, 4), 1, "tail claim must not collapse to zero");
+        assert_eq!(r.claim(1, 64), 1, "workers > tasks must not starve");
+        assert_eq!(r.claim(0, 4), 0, "no work, no claim");
+        let f = ChunkRule::Fixed(0);
+        assert_eq!(f.claim(5, 4), 1, "unvalidated fixed-0 still advances");
+        assert_eq!(f.claim(0, 4), 0);
+    }
+
+    #[test]
+    fn zero_taper_divisor_does_not_divide_by_zero() {
+        let r = ChunkRule::Tapering { k: 0, min: 2 };
+        assert_eq!(r.claim(16, 4), 4); // k clamped to 1: 16/(1·4)
+        let w = ChunkRule::Tapering { k: 2, min: 2 };
+        assert_eq!(w.claim(16, 0), 8); // workers clamped to 1: 16/(2·1)
+    }
+
+    #[test]
+    fn driven_chunks_partition_the_range() {
+        // Drive each rule the way CounterPolicy does: chunks must be
+        // non-zero, disjoint, in order, and cover 0..n exactly — no
+        // zero-size and no duplicate chunks for any (n, P) shape,
+        // including n == 0 and P > n.
+        for rule in [
+            ChunkRule::Fixed(3),
+            ChunkRule::Tapering { k: 2, min: 1 },
+            ChunkRule::Tapering { k: 4, min: 5 },
+            ChunkRule::Tapering { k: 2, min: 0 }, // unvalidated
+        ] {
+            for (n, p) in [(0usize, 4usize), (1, 8), (7, 16), (96, 4), (13, 13)] {
+                let mut next = 0;
+                let mut chunks = Vec::new();
+                let mut fuel = 2 * n + 4; // any spin would exhaust this
+                while next < n {
+                    let c = rule.claim(n - next, p);
+                    assert!(c > 0, "{rule:?} n={n} P={p}: zero-size chunk");
+                    chunks.push((next, next + c));
+                    next += c;
+                    fuel -= 1;
+                    assert!(fuel > 0, "{rule:?} n={n} P={p}: runaway loop");
+                }
+                assert_eq!(next, n, "{rule:?}: chunks must cover the range");
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "{rule:?}: gap or overlap");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! `cargo xtask` — the repository's lint wall.
+//!
+//! `cargo xtask lint` runs three families of checks that rustc and
+//! clippy cannot express, and exits non-zero on any finding:
+//!
+//! 1. **Replay-path hygiene** — the deterministic replay paths
+//!    (`emx-sched`, the simulator, fault injection, the analyzer) must
+//!    not read the wall clock (`Instant::now`, `SystemTime`) or ambient
+//!    randomness (`thread_rng`, `from_entropy`, `OsRng`): any of those
+//!    would make `replay_assignment` and `simulate_with_faults`
+//!    unreproducible. Instrumentation-only exceptions are listed
+//!    explicitly in [`WALL_CLOCK_ALLOW`].
+//! 2. **Roster coverage** — every [`PolicyKind`] variant must be
+//!    reachable from the analyzer's verification roster, so adding a
+//!    variant without wiring it into verification fails the gate.
+//! 3. **Experiment registration** — every experiment id matched by the
+//!    `reproduce` binary must be runnable from its default list (or be
+//!    an explicitly-listed on-demand id), and vice versa, so dead or
+//!    unregistered experiments cannot accumulate silently.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Source roots whose code must be wall-clock- and ambient-RNG-free.
+const REPLAY_PATH_ROOTS: &[&str] = &[
+    "crates/sched/src",
+    "crates/analyze/src",
+    "crates/distsim/src/sim.rs",
+    "crates/distsim/src/faults.rs",
+    "crates/balance/src",
+];
+
+/// `file:substring` pairs exempt from the wall-clock lint (metrics
+/// timestamps on non-replay paths, with the burden of proof on the
+/// entry).
+const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[];
+
+/// Experiment ids legitimately absent from `reproduce`'s default list
+/// (on-demand modes).
+const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke"];
+
+fn repo_root() -> PathBuf {
+    // xtask always runs via `cargo xtask` from inside the workspace.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").expect("run via cargo");
+    Path::new(&manifest)
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the root")
+        .to_path_buf()
+}
+
+fn rust_sources(root: &Path, rel: &str) -> Vec<PathBuf> {
+    let path = root.join(rel);
+    if path.is_file() {
+        return vec![path];
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![path];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scan_for(
+    root: &Path,
+    roots: &[&str],
+    needles: &[&str],
+    allow: &[(&str, &str)],
+    what: &str,
+    findings: &mut Vec<String>,
+) {
+    for rel in roots {
+        for file in rust_sources(root, rel) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let shown = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            for (lineno, line) in text.lines().enumerate() {
+                let code = line.split("//").next().unwrap_or(line);
+                for needle in needles {
+                    if code.contains(needle)
+                        && !allow
+                            .iter()
+                            .any(|(f, s)| shown.ends_with(f) && line.contains(s))
+                    {
+                        findings.push(format!(
+                            "{shown}:{}: {what}: `{needle}` in a replay path",
+                            lineno + 1
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_replay_hygiene(root: &Path, findings: &mut Vec<String>) {
+    scan_for(
+        root,
+        REPLAY_PATH_ROOTS,
+        &["Instant::now", "SystemTime"],
+        WALL_CLOCK_ALLOW,
+        "wall clock",
+        findings,
+    );
+    scan_for(
+        root,
+        REPLAY_PATH_ROOTS,
+        &["thread_rng", "from_entropy", "OsRng", "rand::random"],
+        &[],
+        "ambient randomness",
+        findings,
+    );
+}
+
+fn lint_roster_coverage(findings: &mut Vec<String>) {
+    use emx_analyze::verifier::{verification_roster, VerifierConfig};
+    use emx_sched::PolicyKind;
+
+    let cfg = VerifierConfig::default();
+    let roster = verification_roster(&cfg);
+    let covered: Vec<&str> = roster.iter().map(|k| k.name()).collect();
+    for name in PolicyKind::canonical_names() {
+        if !covered.contains(name) {
+            findings.push(format!(
+                "roster coverage: PolicyKind variant `{name}` is not in the \
+                 analyzer's verification roster"
+            ));
+        }
+    }
+    // The paper-facing full roster must stay a subset of the canonical
+    // registry (no orphaned display names).
+    for (label, kind) in PolicyKind::full_roster(&cfg.costs(), cfg.workers, cfg.chunk) {
+        if !PolicyKind::canonical_names().contains(&kind.name()) {
+            findings.push(format!(
+                "roster coverage: full_roster entry `{label}` has unregistered \
+                 kind `{}`",
+                kind.name()
+            ));
+        }
+    }
+}
+
+fn quoted_idents(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        let ident = &tail[..close];
+        if !ident.is_empty()
+            && ident
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            out.push(ident.to_string());
+        }
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+fn lint_experiment_registration(root: &Path, findings: &mut Vec<String>) {
+    let path = root.join("crates/bench/src/bin/reproduce.rs");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        findings.push("experiment registration: cannot read reproduce.rs".into());
+        return;
+    };
+
+    // The default experiment list: quoted ids between `wanted = vec![`
+    // and the closing `];`.
+    let mut defaults = Vec::new();
+    let mut in_defaults = false;
+    // Match arms of `match exp.as_str()`: `"id" => ...` lines.
+    let mut arms = Vec::new();
+    let mut in_match = false;
+    for line in text.lines() {
+        if line.contains("wanted = vec![") {
+            in_defaults = true;
+        }
+        if in_defaults {
+            defaults.extend(quoted_idents(line));
+            if line.contains(']') && !line.contains("vec![") {
+                in_defaults = false;
+            }
+        }
+        if line.contains("match exp.as_str()") {
+            in_match = true;
+            continue;
+        }
+        if in_match {
+            let t = line.trim_start();
+            if let Some(arrow) = t.find("=>") {
+                let head = &t[..arrow];
+                if head.starts_with('"') {
+                    arms.extend(quoted_idents(head));
+                } else if head.starts_with("other") || head.starts_with('_') {
+                    in_match = false;
+                }
+            }
+        }
+    }
+
+    if defaults.is_empty() || arms.is_empty() {
+        findings.push(format!(
+            "experiment registration: failed to parse {} (defaults {}, arms {})",
+            path.display(),
+            defaults.len(),
+            arms.len()
+        ));
+        return;
+    }
+    for d in &defaults {
+        if !arms.contains(d) {
+            findings.push(format!(
+                "experiment registration: default experiment `{d}` has no match \
+                 arm in reproduce.rs"
+            ));
+        }
+    }
+    for a in &arms {
+        if !defaults.contains(a) && !ON_DEMAND_EXPERIMENTS.contains(&a.as_str()) {
+            findings.push(format!(
+                "experiment registration: experiment `{a}` is matched but neither \
+                 in the default list nor declared on-demand"
+            ));
+        }
+    }
+}
+
+fn run_lints() -> Vec<String> {
+    let root = repo_root();
+    let mut findings = Vec::new();
+    lint_replay_hygiene(&root, &mut findings);
+    lint_roster_coverage(&mut findings);
+    lint_experiment_registration(&root, &mut findings);
+    findings
+}
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    match cmd.as_str() {
+        "lint" => {
+            let findings = run_lints();
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_wall_is_clean() {
+        assert_eq!(run_lints(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn quoted_ident_extraction() {
+        assert_eq!(
+            quoted_idents(r#"  "e1" | "e2" => run(),"#),
+            vec!["e1".to_string(), "e2".to_string()]
+        );
+        assert!(quoted_idents("no strings here").is_empty());
+    }
+
+    #[test]
+    fn scanner_flags_seeded_violations() {
+        let dir = std::env::temp_dir().join("xtask-lint-selftest");
+        let src = dir.join("bad/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "fn f() { let t = std::time::Instant::now(); }\n// Instant::now in a comment is fine\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        scan_for(
+            &dir,
+            &["bad/src"],
+            &["Instant::now"],
+            &[],
+            "wall clock",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("lib.rs:1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The real loom exhaustively enumerates thread interleavings under the
+//! C11 memory model. This environment has no registry access, so this
+//! crate substitutes *seeded schedule perturbation*: [`model`] runs the
+//! closure many times over real OS threads, and every exploration point
+//! — each atomic access, spawn, and [`thread::yield_now`] — consults a
+//! per-iteration SplitMix64 stream to decide whether to yield the OS
+//! scheduler there. That shakes out ordering bugs (lost updates, missed
+//! wakeups, non-atomic read-modify-write) with high probability while
+//! keeping loom's API shape, so harnesses written against this crate
+//! compile unchanged against the real loom when it is available.
+//!
+//! Build with `--cfg loom` (the upstream convention) to multiply the
+//! schedule count for the nightly deep-exploration job.
+//!
+//! Subset implemented: `loom::model`, `loom::thread::{spawn, yield_now}`,
+//! `loom::sync::{Arc, Mutex, Condvar}`, and the `loom::sync::atomic`
+//! integer/bool types with the operations this workspace uses.
+
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Global schedule state: the current iteration's seed (set by
+/// [`model`]) and a shared draw counter so every thread of one
+/// iteration consumes one SplitMix64 stream.
+static SCHEDULE_SEED: StdAtomicU64 = StdAtomicU64::new(0);
+static SCHEDULE_DRAWS: StdAtomicU64 = StdAtomicU64::new(0);
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One exploration point: maybe hand the OS scheduler a chance to
+/// reorder us against the other threads of this iteration.
+fn explore() {
+    let seed = SCHEDULE_SEED.load(StdOrdering::Relaxed);
+    let n = SCHEDULE_DRAWS.fetch_add(1, StdOrdering::Relaxed);
+    let draw = splitmix(seed ^ n.wrapping_mul(0x100_0000_01b3));
+    // Yield at roughly half the exploration points, pattern varying
+    // per iteration; occasionally sleep to force a real preemption.
+    if draw & 1 == 1 {
+        std::thread::yield_now();
+    }
+    if draw & 0xff == 0xff {
+        std::thread::sleep(std::time::Duration::from_micros(1));
+    }
+}
+
+/// Number of schedules one [`model`] call explores.
+fn schedule_count() -> u64 {
+    if cfg!(loom) {
+        512
+    } else {
+        64
+    }
+}
+
+/// Runs `f` under many perturbed schedules, panicking (inside `f`) on
+/// the first schedule that breaks an assertion — the stand-in for
+/// loom's exhaustive exploration.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for seed in 0..schedule_count() {
+        SCHEDULE_SEED.store(splitmix(seed), StdOrdering::Relaxed);
+        SCHEDULE_DRAWS.store(0, StdOrdering::Relaxed);
+        f();
+    }
+}
+
+/// Threads with exploration points at spawn and yield.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a model thread (an exploration point).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::explore();
+        std::thread::spawn(move || {
+            super::explore();
+            f()
+        })
+    }
+
+    /// A yield the scheduler may or may not honor — also an exploration
+    /// point under the stand-in.
+    pub fn yield_now() {
+        super::explore();
+        std::thread::yield_now();
+    }
+}
+
+/// `std::sync` subset with exploration-instrumented atomics.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Atomics that insert an exploration point around every access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stand_in {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Exploration-instrumented atomic.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub const fn new(v: $int) -> $name {
+                        $name(<$std>::new(v))
+                    }
+
+                    /// Atomic load with an exploration point before it.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        super::super::explore();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store with exploration points around it.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        super::super::explore();
+                        self.0.store(v, order);
+                        super::super::explore();
+                    }
+
+                    /// Atomic fetch-add (exploration point before).
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        super::super::explore();
+                        self.0.fetch_add(v, order)
+                    }
+
+                    /// Atomic swap (exploration point before).
+                    pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                        super::super::explore();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Atomic compare-exchange (exploration point before).
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        super::super::explore();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Weak compare-exchange (maps to the strong one).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Unsynchronized read for post-join assertions.
+                    pub fn into_inner(self) -> $int {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        atomic_stand_in!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_stand_in!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_stand_in!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Exploration-instrumented atomic bool.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates the atomic.
+            pub const fn new(v: bool) -> AtomicBool {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load with an exploration point before it.
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::explore();
+                self.0.load(order)
+            }
+
+            /// Atomic store with exploration points around it.
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::explore();
+                self.0.store(v, order);
+                super::super::explore();
+            }
+
+            /// Atomic swap (exploration point before).
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                super::super::explore();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+/// Spin-loop hint, kept as an exploration point so spin loops actually
+/// get preempted under the stand-in.
+pub mod hint {
+    /// Exploration-instrumented spin hint.
+    pub fn spin_loop() {
+        super::explore();
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_many_schedules_and_finds_races_witnessable() {
+        // Two incrementers via fetch_add: never loses an update.
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn lost_update_is_observable_under_some_schedule() {
+        // A non-atomic read-modify-write CAN lose an update; the
+        // stand-in must be able to exhibit that schedule (this is the
+        // property that makes the wall a real check and not a tautology).
+        use std::sync::atomic::{AtomicBool as B, Ordering as O};
+        static LOST_SEEN: B = B::new(false);
+        super::model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    super::thread::spawn(move || {
+                        let v = c.load(O::SeqCst);
+                        super::thread::yield_now();
+                        c.store(v + 1, O::SeqCst);
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            if c.load(O::SeqCst) == 1 {
+                LOST_SEEN.store(true, O::SeqCst);
+            }
+        });
+        assert!(
+            LOST_SEEN.load(O::SeqCst),
+            "perturbation never exhibited the lost update"
+        );
+    }
+}

@@ -111,8 +111,9 @@ fn bench_post_hf_kernels(c: &mut Criterion) {
     group.bench_function("rhf-fock-build", |b| {
         b.iter(|| {
             let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+            let mut scratch = fb.scratch();
             for t in &tasks {
-                fb.execute(t, &d, &mut g);
+                fb.execute(t, &d, &mut g, &mut scratch);
             }
             black_box(g.frobenius_norm())
         })
@@ -120,8 +121,9 @@ fn bench_post_hf_kernels(c: &mut Criterion) {
     group.bench_function("uhf-jk-build", |b| {
         b.iter(|| {
             let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+            let mut scratch = fb.scratch();
             for t in &tasks {
-                fb.execute_jk(t, &d, &d, 1.0, &mut g);
+                fb.execute_jk(t, &d, &d, 1.0, &mut g, &mut scratch);
             }
             black_box(g.frobenius_norm())
         })

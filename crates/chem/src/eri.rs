@@ -14,16 +14,54 @@
 //! precisely the load-imbalance source the paper investigates.
 
 use crate::basis::{cartesian_components, Shell};
-use crate::md::{hermite_r, r_index};
+use crate::md::{hermite_r_into, r_index, RScratch};
 use crate::shellpair::ShellPair;
 use std::f64::consts::PI;
 
+/// Reusable per-worker buffers for the ERI kernel: the output block
+/// plus the Hermite/Boys scratch of [`RScratch`]. One `EriScratch`
+/// lives in each worker's local state; after a warm-up quartet per
+/// angular-momentum class the hot loop performs zero heap allocations
+/// (asserted by the counting-allocator guard in `tests/alloc_guard.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct EriScratch {
+    block: Vec<f64>,
+    r: RScratch,
+}
+
+impl EriScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> EriScratch {
+        EriScratch::default()
+    }
+
+    /// Scratch pre-sized for shells up to angular momentum `l_shell`
+    /// (so even the first quartet allocates nothing).
+    pub fn for_max_shell_l(l_shell: usize) -> EriScratch {
+        let ncart = (l_shell + 1) * (l_shell + 2) / 2;
+        let mut s = EriScratch {
+            block: Vec::with_capacity(ncart * ncart * ncart * ncart),
+            r: RScratch::new(),
+        };
+        s.r.ensure(4 * l_shell);
+        s
+    }
+}
+
 /// Computes the full Cartesian integral block for the quartet formed by
-/// `bra` (shells a,b) and `ket` (shells c,d).
+/// `bra` (shells a,b) and `ket` (shells c,d) into `scratch`, returning
+/// the filled block.
 ///
 /// The result is indexed `[((ia·ncb + ib)·ncc + ic)·ncd + id]`, with
-/// per-component normalization corrections already applied.
-pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f64> {
+/// per-component normalization corrections already applied. The slice
+/// is valid until the next call on the same scratch; allocation-free
+/// once the scratch has seen the quartet's angular-momentum class.
+pub fn eri_quartet_into<'s>(
+    scratch: &'s mut EriScratch,
+    bra: &ShellPair,
+    ket: &ShellPair,
+    shells: &[Shell],
+) -> &'s [f64] {
     let (sa, sb) = (&shells[bra.a], &shells[bra.b]);
     let (sc, sd) = (&shells[ket.a], &shells[ket.b]);
     let carts_a = cartesian_components(bra.la);
@@ -33,7 +71,9 @@ pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f6
     let (nca, ncb, ncc, ncd) = (carts_a.len(), carts_b.len(), carts_c.len(), carts_d.len());
     let l_total = bra.la + bra.lb + ket.la + ket.lb;
 
-    let mut out = vec![0.0; nca * ncb * ncc * ncd];
+    scratch.block.clear();
+    scratch.block.resize(nca * ncb * ncc * ncd, 0.0);
+    let out = &mut scratch.block;
 
     for bp in &bra.prims {
         for kp in &ket.prims {
@@ -41,19 +81,21 @@ pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f6
             let q = kp.p;
             let alpha = p * q / (p + q);
             let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt()) * bp.coef * kp.coef;
-            let r = hermite_r(
+            hermite_r_into(
+                &mut scratch.r,
                 l_total,
                 alpha,
                 bp.center[0] - kp.center[0],
                 bp.center[1] - kp.center[1],
                 bp.center[2] - kp.center[2],
             );
+            let r = scratch.r.r();
 
             let mut o = 0;
-            for &(ax, ay, az) in &carts_a {
-                for &(bx, by, bz) in &carts_b {
-                    for &(cx, cy, cz) in &carts_c {
-                        for &(dx, dy, dz) in &carts_d {
+            for &(ax, ay, az) in carts_a {
+                for &(bx, by, bz) in carts_b {
+                    for &(cx, cy, cz) in carts_c {
+                        for &(dx, dy, dz) in carts_d {
                             let mut val = 0.0;
                             for t in 0..=(ax + bx) {
                                 let ebx = bp.ex.at(ax, bx, t);
@@ -119,13 +161,13 @@ pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f6
 
     // Per-component normalization corrections (relative to (l,0,0)).
     let mut o = 0;
-    for &ca in &carts_a {
+    for &ca in carts_a {
         let na = sa.component_norm(ca);
-        for &cb in &carts_b {
+        for &cb in carts_b {
             let nb = sb.component_norm(cb);
-            for &cc in &carts_c {
+            for &cc in carts_c {
                 let nc = sc.component_norm(cc);
-                for &cd in &carts_d {
+                for &cd in carts_d {
                     let nd = sd.component_norm(cd);
                     out[o] *= na * nb * nc * nd;
                     o += 1;
@@ -134,6 +176,128 @@ pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f6
         }
     }
     out
+}
+
+/// Allocating convenience wrapper around [`eri_quartet_into`] for
+/// reference paths (`g_matrix_reference`, `full_eri_tensor` setup) and
+/// tests; the Fock/screening hot loops pass a long-lived scratch
+/// instead.
+pub fn eri_quartet(bra: &ShellPair, ket: &ShellPair, shells: &[Shell]) -> Vec<f64> {
+    let mut scratch = EriScratch::new();
+    eri_quartet_into(&mut scratch, bra, ket, shells);
+    scratch.block
+}
+
+/// Maximum `|(ab|ab)|` over the components of the pair `sp` — the
+/// Schwarz diagonal that `ScreenedPairs::build` needs — computed
+/// without forming the full `ncart⁴` quartet block.
+///
+/// A diagonal entry fixes the ket component to the bra component, so
+/// only `nca·ncb` values are accumulated and the component loops cost
+/// `ncart²` instead of `ncart⁴` per primitive pair (for a d|d pair
+/// that's 36 values instead of 1296). The result is identical to
+/// `max |diag(eri_quartet(sp, sp))|` to the last bit: the arithmetic
+/// per surviving entry is unchanged, the off-diagonal work is simply
+/// never done.
+pub fn eri_quartet_schwarz_max(scratch: &mut EriScratch, sp: &ShellPair, shells: &[Shell]) -> f64 {
+    let (sa, sb) = (&shells[sp.a], &shells[sp.b]);
+    let carts_a = cartesian_components(sp.la);
+    let carts_b = cartesian_components(sp.lb);
+    let (nca, ncb) = (carts_a.len(), carts_b.len());
+    let l_total = 2 * (sp.la + sp.lb);
+
+    scratch.block.clear();
+    scratch.block.resize(nca * ncb, 0.0);
+    let diag = &mut scratch.block;
+
+    for bp in &sp.prims {
+        for kp in &sp.prims {
+            let p = bp.p;
+            let q = kp.p;
+            let alpha = p * q / (p + q);
+            let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt()) * bp.coef * kp.coef;
+            hermite_r_into(
+                &mut scratch.r,
+                l_total,
+                alpha,
+                bp.center[0] - kp.center[0],
+                bp.center[1] - kp.center[1],
+                bp.center[2] - kp.center[2],
+            );
+            let r = scratch.r.r();
+
+            let mut o = 0;
+            for &(ax, ay, az) in carts_a {
+                for &(bx, by, bz) in carts_b {
+                    // Ket component = bra component: (ab|ab).
+                    let mut val = 0.0;
+                    for t in 0..=(ax + bx) {
+                        let ebx = bp.ex.at(ax, bx, t);
+                        if ebx == 0.0 {
+                            continue;
+                        }
+                        for u in 0..=(ay + by) {
+                            let eby = bp.ey.at(ay, by, u);
+                            if eby == 0.0 {
+                                continue;
+                            }
+                            for v in 0..=(az + bz) {
+                                let ebz = bp.ez.at(az, bz, v);
+                                if ebz == 0.0 {
+                                    continue;
+                                }
+                                let ebra = ebx * eby * ebz;
+                                for tau in 0..=(ax + bx) {
+                                    let ekx = kp.ex.at(ax, bx, tau);
+                                    if ekx == 0.0 {
+                                        continue;
+                                    }
+                                    for nu in 0..=(ay + by) {
+                                        let eky = kp.ey.at(ay, by, nu);
+                                        if eky == 0.0 {
+                                            continue;
+                                        }
+                                        for phi in 0..=(az + bz) {
+                                            let ekz = kp.ez.at(az, bz, phi);
+                                            if ekz == 0.0 {
+                                                continue;
+                                            }
+                                            let sign =
+                                                if (tau + nu + phi) % 2 == 0 { 1.0 } else { -1.0 };
+                                            val += ebra
+                                                * sign
+                                                * ekx
+                                                * eky
+                                                * ekz
+                                                * r[r_index(l_total, t + tau, u + nu, v + phi)];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    diag[o] += pref * val;
+                    o += 1;
+                }
+            }
+        }
+    }
+
+    let mut maxv = 0.0f64;
+    let mut o = 0;
+    for &ca in carts_a {
+        let na = sa.component_norm(ca);
+        for &cb in carts_b {
+            let nb = sb.component_norm(cb);
+            // Same association as the full-block correction
+            // (((na·nb)·nc)·nd with c=a, d=b) so the result is
+            // bit-identical to the full quartet's diagonal.
+            let nfac = na * nb * na * nb;
+            maxv = maxv.max((diag[o] * nfac).abs());
+            o += 1;
+        }
+    }
+    maxv
 }
 
 /// Estimated floating-point work of one quartet: primitive-pair products
@@ -145,6 +309,129 @@ pub fn quartet_cost_estimate(bra: &ShellPair, ket: &ShellPair) -> u64 {
     let l = bra.la + bra.lb + ket.la + ket.lb;
     let hermite = ((l + 1) * (l + 2) * (l + 3) / 6) as u64;
     (bra.prims.len() as u64) * (ket.prims.len() as u64) * (ncart_bra * ncart_ket) as u64 * hermite
+}
+
+/// The pre-scratch allocating kernel, kept verbatim as the oracle the
+/// equivalence tests (here and in `fock.rs`) replay against the
+/// scratch-buffer path: per-quartet output `Vec`, per-primitive-pair
+/// `hermite_r` allocation. Test-only — the production path is
+/// [`eri_quartet_into`].
+#[cfg(test)]
+pub(crate) fn eri_quartet_alloc_reference(
+    bra: &ShellPair,
+    ket: &ShellPair,
+    shells: &[Shell],
+) -> Vec<f64> {
+    use crate::md::hermite_r;
+    let (sa, sb) = (&shells[bra.a], &shells[bra.b]);
+    let (sc, sd) = (&shells[ket.a], &shells[ket.b]);
+    let carts_a = cartesian_components(bra.la);
+    let carts_b = cartesian_components(bra.lb);
+    let carts_c = cartesian_components(ket.la);
+    let carts_d = cartesian_components(ket.lb);
+    let (nca, ncb, ncc, ncd) = (carts_a.len(), carts_b.len(), carts_c.len(), carts_d.len());
+    let l_total = bra.la + bra.lb + ket.la + ket.lb;
+
+    let mut out = vec![0.0; nca * ncb * ncc * ncd];
+
+    for bp in &bra.prims {
+        for kp in &ket.prims {
+            let p = bp.p;
+            let q = kp.p;
+            let alpha = p * q / (p + q);
+            let pref = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt()) * bp.coef * kp.coef;
+            let r = hermite_r(
+                l_total,
+                alpha,
+                bp.center[0] - kp.center[0],
+                bp.center[1] - kp.center[1],
+                bp.center[2] - kp.center[2],
+            );
+
+            let mut o = 0;
+            for &(ax, ay, az) in carts_a {
+                for &(bx, by, bz) in carts_b {
+                    for &(cx, cy, cz) in carts_c {
+                        for &(dx, dy, dz) in carts_d {
+                            let mut val = 0.0;
+                            for t in 0..=(ax + bx) {
+                                let ebx = bp.ex.at(ax, bx, t);
+                                if ebx == 0.0 {
+                                    continue;
+                                }
+                                for u in 0..=(ay + by) {
+                                    let eby = bp.ey.at(ay, by, u);
+                                    if eby == 0.0 {
+                                        continue;
+                                    }
+                                    for v in 0..=(az + bz) {
+                                        let ebz = bp.ez.at(az, bz, v);
+                                        if ebz == 0.0 {
+                                            continue;
+                                        }
+                                        let ebra = ebx * eby * ebz;
+                                        for tau in 0..=(cx + dx) {
+                                            let ekx = kp.ex.at(cx, dx, tau);
+                                            if ekx == 0.0 {
+                                                continue;
+                                            }
+                                            for nu in 0..=(cy + dy) {
+                                                let eky = kp.ey.at(cy, dy, nu);
+                                                if eky == 0.0 {
+                                                    continue;
+                                                }
+                                                for phi in 0..=(cz + dz) {
+                                                    let ekz = kp.ez.at(cz, dz, phi);
+                                                    if ekz == 0.0 {
+                                                        continue;
+                                                    }
+                                                    let sign = if (tau + nu + phi) % 2 == 0 {
+                                                        1.0
+                                                    } else {
+                                                        -1.0
+                                                    };
+                                                    val += ebra
+                                                        * sign
+                                                        * ekx
+                                                        * eky
+                                                        * ekz
+                                                        * r[r_index(
+                                                            l_total,
+                                                            t + tau,
+                                                            u + nu,
+                                                            v + phi,
+                                                        )];
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            out[o] += pref * val;
+                            o += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut o = 0;
+    for &ca in carts_a {
+        let na = sa.component_norm(ca);
+        for &cb in carts_b {
+            let nb = sb.component_norm(cb);
+            for &cc in carts_c {
+                let nc = sc.component_norm(cc);
+                for &cd in carts_d {
+                    let nd = sd.component_norm(cd);
+                    out[o] *= na * nb * nc * nd;
+                    o += 1;
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -282,6 +569,66 @@ mod tests {
             for b in 0..6 {
                 let idx = ((a * 6 + b) * 6 + a) * 6 + b;
                 assert!(block[idx] >= -1e-12, "negative diagonal at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_path_matches_alloc_reference() {
+        // The scratch kernel vs the preserved pre-rework kernel, with
+        // scratch reuse across quartets of different shapes (s, p, d,
+        // contracted, off-center) so stale-buffer leaks would show.
+        let shells = vec![
+            s_shell([0.0; 3], vec![1.1, 0.3], vec![0.7, 0.4]),
+            p_shell([0.0, 0.9, 0.2], vec![0.8], vec![1.0]),
+            Shell::new(2, [0.5, -0.3, 1.0], vec![0.9, 0.4], vec![0.6, 0.4], 0),
+        ];
+        let pair = |x: usize, y: usize| ShellPair::build(x, &shells[x], y, &shells[y], 0);
+        let mut scratch = EriScratch::new();
+        for (b, k) in [(2, 2), (0, 0), (0, 1), (1, 2), (2, 0), (1, 1)] {
+            let bra = pair(0, b);
+            let ket = pair(k, 1);
+            let reference = eri_quartet_alloc_reference(&bra, &ket, &shells);
+            let block = eri_quartet_into(&mut scratch, &bra, &ket, &shells);
+            assert_eq!(block.len(), reference.len(), "bra {b} ket {k}");
+            for (i, (&s, &r)) in block.iter().zip(&reference).enumerate() {
+                assert!(
+                    (s - r).abs() < 1e-12 * (1.0 + r.abs()),
+                    "bra {b} ket {k} [{i}]: {s} vs {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schwarz_diagonal_matches_full_block() {
+        // Diagonal-only kernel vs max |diag| of the full quartet, for
+        // every pair class the bases produce (s|s, s|p, p|p, d|s, d|d,
+        // contracted, off-center).
+        let shells = vec![
+            s_shell([0.0; 3], vec![1.1, 0.3], vec![0.7, 0.4]),
+            p_shell([0.3, -0.9, 0.2], vec![0.8, 2.1], vec![0.6, 0.5]),
+            Shell::new(2, [0.5, -0.3, 1.0], vec![0.9, 0.4], vec![0.6, 0.4], 0),
+        ];
+        let mut scratch = EriScratch::new();
+        for a in 0..shells.len() {
+            for b in 0..shells.len() {
+                let sp = ShellPair::build(a, &shells[a], b, &shells[b], 0);
+                let block = eri_quartet(&sp, &sp, &shells);
+                let nca = cartesian_components(sp.la).len();
+                let ncb = cartesian_components(sp.lb).len();
+                let mut expected = 0.0f64;
+                for ia in 0..nca {
+                    for ib in 0..ncb {
+                        let idx = ((ia * ncb + ib) * nca + ia) * ncb + ib;
+                        expected = expected.max(block[idx].abs());
+                    }
+                }
+                let got = eri_quartet_schwarz_max(&mut scratch, &sp, &shells);
+                assert!(
+                    (got - expected).abs() <= 1e-15 * (1.0 + expected),
+                    "pair ({a},{b}): {got} vs {expected}"
+                );
             }
         }
     }

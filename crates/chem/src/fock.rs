@@ -16,7 +16,7 @@
 //! (the shared-memory analogue of Global Arrays `acc`).
 
 use crate::basis::{cartesian_components, BasisedMolecule};
-use crate::eri::{eri_quartet, quartet_cost_estimate};
+use crate::eri::{eri_quartet_into, quartet_cost_estimate, EriScratch};
 use crate::screening::ScreenedPairs;
 use emx_linalg::Matrix;
 
@@ -48,6 +48,14 @@ impl<'a> FockBuilder<'a> {
     /// Creates an engine with quartet threshold `tau`.
     pub fn new(bm: &'a BasisedMolecule, pairs: &'a ScreenedPairs, tau: f64) -> FockBuilder<'a> {
         FockBuilder { bm, pairs, tau }
+    }
+
+    /// An [`EriScratch`] pre-sized for this molecule's largest shell,
+    /// so task execution never allocates. Each worker keeps one in its
+    /// local state.
+    pub fn scratch(&self) -> EriScratch {
+        let lmax = self.bm.shells.iter().map(|s| s.l).max().unwrap_or(0);
+        EriScratch::for_max_shell_l(lmax)
     }
 
     /// Decomposes the triangular quartet loop into tasks.
@@ -93,12 +101,19 @@ impl<'a> FockBuilder<'a> {
         est
     }
 
-    /// Executes one task: computes its surviving quartets and adds their
-    /// contributions into `g_local` (shape `nbf × nbf`).
+    /// Executes one task: computes its surviving quartets into `scratch`
+    /// and adds their contributions into `g_local` (shape `nbf × nbf`).
     ///
     /// Returns the number of quartets actually computed (post-screening),
     /// which the persistence-based balancer uses as a measured cost.
-    pub fn execute(&self, task: &FockTask, density: &Matrix, g_local: &mut Matrix) -> u64 {
+    /// Allocation-free with a warm scratch (see [`Self::scratch`]).
+    pub fn execute(
+        &self,
+        task: &FockTask,
+        density: &Matrix,
+        g_local: &mut Matrix,
+        scratch: &mut EriScratch,
+    ) -> u64 {
         debug_assert_eq!(density.shape(), (self.bm.nbf, self.bm.nbf));
         debug_assert_eq!(g_local.shape(), (self.bm.nbf, self.bm.nbf));
         let mut done = 0;
@@ -108,8 +123,8 @@ impl<'a> FockBuilder<'a> {
                 continue;
             }
             let ket_pair = &self.pairs.pairs[ket];
-            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
-            self.scatter(bra_pair, ket_pair, &block, density, g_local);
+            let block = eri_quartet_into(scratch, bra_pair, ket_pair, &self.bm.shells);
+            self.scatter(bra_pair, ket_pair, block, density, g_local);
             done += 1;
         }
         done
@@ -132,6 +147,9 @@ impl<'a> FockBuilder<'a> {
     /// quartet that the triangular loop never visits, and the
     /// contribution would be silently dropped (visible only with
     /// split-valence bases, where the dropped integrals are nonzero).
+    ///
+    /// Returns the number of permutational images applied — the
+    /// old-vs-scratch equivalence tests compare these counts.
     fn scatter(
         &self,
         bra: &crate::shellpair::ShellPair,
@@ -139,7 +157,7 @@ impl<'a> FockBuilder<'a> {
         block: &[f64],
         p: &Matrix,
         g: &mut Matrix,
-    ) {
+    ) -> u64 {
         let off = &self.bm.shell_offsets;
         let ca = cartesian_components(bra.la);
         let cb = cartesian_components(bra.lb);
@@ -151,6 +169,7 @@ impl<'a> FockBuilder<'a> {
         let same_cd = ket.a == ket.b;
         let same_pair = bra.a == ket.a && bra.b == ket.b;
 
+        let mut images = 0;
         let mut idx = 0;
         for ia in 0..ca.len() {
             let mu = oa + ia;
@@ -178,19 +197,21 @@ impl<'a> FockBuilder<'a> {
                                 continue;
                             }
                         }
-                        scatter_images(g, p, v, mu, nu, la, si);
+                        images += scatter_images(g, p, v, mu, nu, la, si);
                     }
                 }
             }
         }
+        images
     }
 
     /// Builds the full two-electron matrix `G` serially (the reference
-    /// execution model: one worker, canonical task order).
+    /// execution model: one worker, canonical task order, one scratch).
     pub fn build_serial(&self, density: &Matrix) -> Matrix {
         let mut g = Matrix::zeros(self.bm.nbf, self.bm.nbf);
+        let mut scratch = self.scratch();
         for task in self.tasks(usize::MAX) {
-            self.execute(&task, density, &mut g);
+            self.execute(&task, density, &mut g, &mut scratch);
         }
         g
     }
@@ -201,6 +222,7 @@ impl<'a> FockBuilder<'a> {
     /// The RHF build is the special case `(d_j, d_k, k_scale) =
     /// (P, P, ½)`; the UHF spin Focks use `(Pᵅ+Pᵝ, Pᵅ, 1)` and
     /// `(Pᵅ+Pᵝ, Pᵝ, 1)`.
+    #[allow(clippy::too_many_arguments)] // kernel-internal plumbing
     pub fn execute_jk(
         &self,
         task: &FockTask,
@@ -208,6 +230,7 @@ impl<'a> FockBuilder<'a> {
         d_k: &Matrix,
         k_scale: f64,
         g_local: &mut Matrix,
+        scratch: &mut EriScratch,
     ) -> u64 {
         let mut done = 0;
         let bra_pair = &self.pairs.pairs[task.bra];
@@ -216,8 +239,8 @@ impl<'a> FockBuilder<'a> {
                 continue;
             }
             let ket_pair = &self.pairs.pairs[ket];
-            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
-            self.scatter_jk(bra_pair, ket_pair, &block, d_j, d_k, k_scale, g_local);
+            let block = eri_quartet_into(scratch, bra_pair, ket_pair, &self.bm.shells);
+            self.scatter_jk(bra_pair, ket_pair, block, d_j, d_k, k_scale, g_local);
             done += 1;
         }
         done
@@ -314,6 +337,7 @@ impl<'a> FockBuilder<'a> {
         density: &Matrix,
         dmax: &[f64],
         g_local: &mut Matrix,
+        scratch: &mut EriScratch,
     ) -> u64 {
         debug_assert_eq!(dmax.len(), self.pairs.len());
         let mut done = 0;
@@ -324,8 +348,8 @@ impl<'a> FockBuilder<'a> {
                 continue;
             }
             let ket_pair = &self.pairs.pairs[ket];
-            let block = eri_quartet(bra_pair, ket_pair, &self.bm.shells);
-            self.scatter(bra_pair, ket_pair, &block, density, g_local);
+            let block = eri_quartet_into(scratch, bra_pair, ket_pair, &self.bm.shells);
+            self.scatter(bra_pair, ket_pair, block, density, g_local);
             done += 1;
         }
         done
@@ -333,8 +357,17 @@ impl<'a> FockBuilder<'a> {
 }
 
 /// Applies the J/K updates of one canonical integral value to every
-/// distinct permutational image of `(μν|λσ)`.
-fn scatter_images(g: &mut Matrix, p: &Matrix, v: f64, mu: usize, nu: usize, la: usize, si: usize) {
+/// distinct permutational image of `(μν|λσ)`. Returns the number of
+/// distinct images applied.
+fn scatter_images(
+    g: &mut Matrix,
+    p: &Matrix,
+    v: f64,
+    mu: usize,
+    nu: usize,
+    la: usize,
+    si: usize,
+) -> u64 {
     let images = [
         (mu, nu, la, si),
         (nu, mu, la, si),
@@ -364,6 +397,7 @@ fn scatter_images(g: &mut Matrix, p: &Matrix, v: f64, mu: usize, nu: usize, la: 
         g[(a, b)] += p.row(c)[d] * v;
         g[(a, c)] -= 0.5 * p.row(b)[d] * v;
     }
+    nseen as u64
 }
 
 /// J/K image scatter with independent Coulomb/exchange densities.
@@ -418,7 +452,7 @@ pub fn g_matrix_reference(bm: &BasisedMolecule, density: &Matrix) -> Matrix {
                 for d in 0..nsh {
                     let ket =
                         crate::shellpair::ShellPair::build(c, &bm.shells[c], d, &bm.shells[d], 0);
-                    let block = eri_quartet(&bra, &ket, &bm.shells);
+                    let block = crate::eri::eri_quartet(&bra, &ket, &bm.shells);
                     let (na, nb) = (bm.shells[a].ncart(), bm.shells[b].ncart());
                     let (nc, nd) = (bm.shells[c].ncart(), bm.shells[d].ncart());
                     let (oa, ob, oc, od) = (
@@ -570,8 +604,9 @@ mod tests {
             // Execute in a scrambled order to mimic dynamic scheduling.
             let mut tasks = fb.tasks(chunk);
             tasks.reverse();
+            let mut scratch = fb.scratch();
             for t in &tasks {
-                fb.execute(t, &d, &mut g);
+                fb.execute(t, &d, &mut g, &mut scratch);
             }
             assert!(g.max_abs_diff(&reference) < 1e-10, "chunk {chunk}");
         }
@@ -585,9 +620,10 @@ mod tests {
         let d = mock_density(bm.nbf);
         let mut g_rhf = Matrix::zeros(bm.nbf, bm.nbf);
         let mut g_jk = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut scratch = fb.scratch();
         for t in fb.tasks(5) {
-            fb.execute(&t, &d, &mut g_rhf);
-            fb.execute_jk(&t, &d, &d, 0.5, &mut g_jk);
+            fb.execute(&t, &d, &mut g_rhf, &mut scratch);
+            fb.execute_jk(&t, &d, &d, 0.5, &mut g_jk, &mut scratch);
         }
         assert!(g_rhf.max_abs_diff(&g_jk) < 1e-14);
     }
@@ -602,10 +638,11 @@ mod tests {
         let mut j_only = Matrix::zeros(bm.nbf, bm.nbf);
         let mut k_only = Matrix::zeros(bm.nbf, bm.nbf);
         let mut combined = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut scratch = fb.scratch();
         for t in fb.tasks(usize::MAX) {
-            fb.execute_jk(&t, &d, &zero, 1.0, &mut j_only);
-            fb.execute_jk(&t, &zero, &d, 1.0, &mut k_only);
-            fb.execute_jk(&t, &d, &d, 1.0, &mut combined);
+            fb.execute_jk(&t, &d, &zero, 1.0, &mut j_only, &mut scratch);
+            fb.execute_jk(&t, &zero, &d, 1.0, &mut k_only, &mut scratch);
+            fb.execute_jk(&t, &d, &d, 1.0, &mut combined, &mut scratch);
         }
         let sum = j_only.add(&k_only).unwrap();
         assert!(sum.max_abs_diff(&combined) < 1e-13);
@@ -640,11 +677,99 @@ mod tests {
         let fb = FockBuilder::new(&bm, &pairs, 1e-10);
         let d = mock_density(bm.nbf);
         let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut scratch = fb.scratch();
         let total: u64 = fb
             .tasks(usize::MAX)
             .iter()
-            .map(|t| fb.execute(t, &d, &mut g))
+            .map(|t| fb.execute(t, &d, &mut g, &mut scratch))
             .sum();
         assert_eq!(total as usize, pairs.surviving_quartets(1e-10));
+    }
+
+    /// Replays a task list through the *pre-rework* allocating kernel
+    /// ([`crate::eri::eri_quartet_alloc_reference`]) with the same
+    /// screening and scatter, returning (quartets, images, G).
+    fn execute_all_alloc_oracle(
+        fb: &FockBuilder,
+        tasks: &[FockTask],
+        d: &Matrix,
+    ) -> (u64, u64, Matrix) {
+        let mut g = Matrix::zeros(fb.bm.nbf, fb.bm.nbf);
+        let (mut quartets, mut images) = (0u64, 0u64);
+        for task in tasks {
+            let bra_pair = &fb.pairs.pairs[task.bra];
+            for ket in task.ket_begin..task.ket_end {
+                if !fb.pairs.survives(task.bra, ket, fb.tau) {
+                    continue;
+                }
+                let ket_pair = &fb.pairs.pairs[ket];
+                let block =
+                    crate::eri::eri_quartet_alloc_reference(bra_pair, ket_pair, &fb.bm.shells);
+                images += fb.scatter(bra_pair, ket_pair, &block, d, &mut g);
+                quartets += 1;
+            }
+        }
+        (quartets, images, g)
+    }
+
+    /// The same replay through the scratch-buffer production kernel.
+    fn execute_all_scratch(fb: &FockBuilder, tasks: &[FockTask], d: &Matrix) -> (u64, u64, Matrix) {
+        let mut g = Matrix::zeros(fb.bm.nbf, fb.bm.nbf);
+        let mut scratch = fb.scratch();
+        let (mut quartets, mut images) = (0u64, 0u64);
+        for task in tasks {
+            let bra_pair = &fb.pairs.pairs[task.bra];
+            for ket in task.ket_begin..task.ket_end {
+                if !fb.pairs.survives(task.bra, ket, fb.tau) {
+                    continue;
+                }
+                let ket_pair = &fb.pairs.pairs[ket];
+                let block =
+                    crate::eri::eri_quartet_into(&mut scratch, bra_pair, ket_pair, &fb.bm.shells);
+                images += fb.scatter(bra_pair, ket_pair, block, d, &mut g);
+                quartets += 1;
+            }
+        }
+        (quartets, images, g)
+    }
+
+    fn assert_scratch_equivalent(bm: &BasisedMolecule, pair_threshold: f64, tau: f64) {
+        let pairs = ScreenedPairs::build(bm, pair_threshold);
+        let fb = FockBuilder::new(bm, &pairs, tau);
+        let d = mock_density(bm.nbf);
+        let tasks = fb.tasks(4);
+        let (q_old, im_old, g_old) = execute_all_alloc_oracle(&fb, &tasks, &d);
+        let (q_new, im_new, g_new) = execute_all_scratch(&fb, &tasks, &d);
+        assert_eq!(q_old, q_new, "quartets-computed counts diverged");
+        assert_eq!(im_old, im_new, "scatter-image counts diverged");
+        assert!(q_new > 0 && im_new > q_new, "workload must be nontrivial");
+        assert!(
+            g_old.max_abs_diff(&g_new) < 1e-12,
+            "G diverged: {}",
+            g_old.max_abs_diff(&g_new)
+        );
+        // And the production entry point reports the same quartet count.
+        let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+        let mut scratch = fb.scratch();
+        let q_exec: u64 = tasks
+            .iter()
+            .map(|t| fb.execute(t, &d, &mut g, &mut scratch))
+            .sum();
+        assert_eq!(q_exec, q_new);
+    }
+
+    #[test]
+    fn scratch_path_counts_match_alloc_path_sto3g() {
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+        assert_scratch_equivalent(&bm, 1e-12, 1e-10);
+    }
+
+    #[test]
+    fn scratch_path_counts_match_alloc_path_split_valence() {
+        // Split-valence: multiple shells of equal angular momentum per
+        // center exercise every scatter dedup filter, and the scratch
+        // block resizes across quartet shapes.
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+        assert_scratch_equivalent(&bm, 1e-12, 1e-10);
     }
 }

@@ -14,7 +14,7 @@
 //! Helgaker, Jørgensen & Olsen, *Molecular Electronic-Structure Theory*,
 //! ch. 9.
 
-use crate::boys::boys_ladder;
+use crate::boys::boys_ladder_cached;
 
 /// Table of Hermite expansion coefficients for one Cartesian direction.
 ///
@@ -102,29 +102,76 @@ impl HermiteE {
     }
 }
 
-/// Hermite Coulomb integral tensor `R⁰_{tuv}` for all `t+u+v ≤ l`.
+/// Reusable buffers for [`hermite_r_into`]: the Boys ladder plus the
+/// two ping-pong Hermite levels. The integral kernels keep one per
+/// worker (inside [`crate::eri::EriScratch`]) so the inner loop never
+/// touches the allocator; the only allocations happen in
+/// [`RScratch::ensure`] the first time a given order is requested.
+#[derive(Debug, Clone, Default)]
+pub struct RScratch {
+    f: Vec<f64>,
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl RScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> RScratch {
+        RScratch::default()
+    }
+
+    /// Grows the buffers to hold order-`l` tensors (idempotent; no-op
+    /// once warm).
+    pub fn ensure(&mut self, l: usize) {
+        let dim3 = (l + 1) * (l + 1) * (l + 1);
+        if self.f.len() < l + 1 {
+            self.f.resize(l + 1, 0.0);
+        }
+        if self.cur.len() < dim3 {
+            self.cur.resize(dim3, 0.0);
+            self.prev.resize(dim3, 0.0);
+        }
+    }
+
+    /// The tensor produced by the last [`hermite_r_into`] call, indexed
+    /// by [`r_index`] with that call's `l`.
+    #[inline]
+    pub fn r(&self) -> &[f64] {
+        &self.cur
+    }
+}
+
+/// Hermite Coulomb integral tensor `R⁰_{tuv}` for all `t+u+v ≤ l`,
+/// computed into `scratch` (read it back via [`RScratch::r`]).
 ///
 /// * `l` — maximum total Hermite order;
 /// * `alpha` — the effective exponent (`p` for nuclear attraction,
 ///   `pq/(p+q)` for ERIs);
 /// * `dx, dy, dz` — the displacement vector (`P−C` or `P−Q`).
 ///
-/// Returns a flat `(l+1)³` array indexed by [`r_index`] (entries with
-/// `t+u+v > l` are zero).
-pub fn hermite_r(l: usize, alpha: f64, dx: f64, dy: f64, dz: f64) -> Vec<f64> {
+/// The first `(l+1)³` entries of the result are indexed by [`r_index`]
+/// (entries with `t+u+v > l` are zero). Allocation-free once the
+/// scratch is warm: the auxiliary levels ping-pong between two
+/// persistent buffers instead of cloning per level, and the Boys
+/// ladder comes from the precomputed table
+/// ([`crate::boys::boys_ladder_cached`]).
+pub fn hermite_r_into(scratch: &mut RScratch, l: usize, alpha: f64, dx: f64, dy: f64, dz: f64) {
+    scratch.ensure(l);
     let dim = l + 1;
     let t_arg = alpha * (dx * dx + dy * dy + dz * dz);
-    let mut f = vec![0.0; l + 1];
-    boys_ladder(l, t_arg, &mut f);
+    let RScratch { f, prev, cur } = scratch;
+    boys_ladder_cached(l, t_arg, &mut f[..l + 1]);
 
     let idx = |t: usize, u: usize, v: usize| (t * dim + u) * dim + v;
-    let mut prev: Vec<f64> = Vec::new();
-    let mut cur = vec![0.0; dim * dim * dim];
 
     // Build levels n = l down to 0; at level n entries with
-    // t+u+v ≤ l−n are valid.
+    // t+u+v ≤ l−n are valid. Each level reads the previous one, so the
+    // two buffers alternate roles (swap instead of clone).
     for n in (0..=l).rev() {
-        cur.iter_mut().for_each(|v| *v = 0.0);
+        if n != l {
+            std::mem::swap(prev, cur);
+        }
+        cur[..dim * dim * dim].fill(0.0);
         cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * f[n];
         let budget = l - n;
         for total in 1..=budget {
@@ -154,9 +201,16 @@ pub fn hermite_r(l: usize, alpha: f64, dx: f64, dy: f64, dz: f64) -> Vec<f64> {
                 }
             }
         }
-        prev = cur.clone();
     }
-    cur
+}
+
+/// Allocating convenience wrapper around [`hermite_r_into`] for the
+/// one-electron integrals and tests (the ERI hot path uses the scratch
+/// form directly).
+pub fn hermite_r(l: usize, alpha: f64, dx: f64, dy: f64, dz: f64) -> Vec<f64> {
+    let mut scratch = RScratch::new();
+    hermite_r_into(&mut scratch, l, alpha, dx, dy, dz);
+    scratch.cur
 }
 
 /// Index into the flat tensor returned by [`hermite_r`].
@@ -235,6 +289,30 @@ mod tests {
         // R⁰_{000} = F_0(0) = 1 regardless of alpha.
         let r = hermite_r(0, 0.75, 0.0, 0.0, 0.0);
         assert!((r[r_index(0, 0, 0, 0)] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // Warm the scratch with a high order, then compute lower
+        // orders: stale tail entries must never leak into indexed
+        // reads, and reuse must be bit-identical to a fresh buffer.
+        let mut s = RScratch::new();
+        hermite_r_into(&mut s, 4, 0.9, 0.3, -0.7, 0.5);
+        for l in [0usize, 1, 2, 3] {
+            hermite_r_into(&mut s, l, 0.6, 0.4, 0.1, -0.2);
+            let fresh = hermite_r(l, 0.6, 0.4, 0.1, -0.2);
+            for t in 0..=l {
+                for u in 0..=(l - t) {
+                    for v in 0..=(l - t - u) {
+                        assert_eq!(
+                            s.r()[r_index(l, t, u, v)],
+                            fresh[r_index(l, t, u, v)],
+                            "l={l} ({t},{u},{v})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,25 @@ impl Molecule {
         m
     }
 
+    /// A single water molecule at the RHF/STO-3G *optimized* geometry
+    /// (r(OH) = 0.9894 Å, ∠HOH = 100.03°), oxygen at the origin.
+    ///
+    /// The often-quoted water/STO-3G reference energy of −74.9659 Ha is
+    /// the minimum of the STO-3G surface, i.e. *this* geometry — at the
+    /// experimental geometry of [`Molecule::water`] the same method
+    /// gives −74.9629 Ha. Validation tables must pair each reference
+    /// energy with the geometry it belongs to or they inherit a
+    /// spurious ~3 mHa discrepancy.
+    pub fn water_sto3g_opt() -> Molecule {
+        let r = 0.9894 * ANGSTROM;
+        let half = (100.03f64 / 2.0).to_radians();
+        let mut m = Molecule::new();
+        m.push(Element::O, [0.0, 0.0, 0.0]);
+        m.push(Element::H, [r * half.sin(), 0.0, r * half.cos()]);
+        m.push(Element::H, [-r * half.sin(), 0.0, r * half.cos()]);
+        m
+    }
+
     /// A cluster of `n` rigid water molecules placed on a cubic grid
     /// (3 Å spacing) with deterministic random jitter and orientation.
     ///

@@ -14,7 +14,7 @@
 //! with `i, j` doubly-occupied and `a, b` virtual spatial orbitals.
 
 use crate::basis::BasisedMolecule;
-use crate::eri::eri_quartet;
+use crate::eri::{eri_quartet_into, EriScratch};
 use crate::scf::ScfResult;
 use crate::shellpair::ShellPair;
 use emx_linalg::Matrix;
@@ -27,13 +27,14 @@ pub fn full_eri_tensor(bm: &BasisedMolecule) -> Vec<f64> {
     let mut eri = vec![0.0; n * n * n * n];
     let at = |m: usize, u: usize, l: usize, s: usize| ((m * n + u) * n + l) * n + s;
     let nsh = bm.nshells();
+    let mut scratch = EriScratch::new();
     for a in 0..nsh {
         for b in 0..nsh {
             let bra = ShellPair::build(a, &bm.shells[a], b, &bm.shells[b], 0);
             for c in 0..nsh {
                 for d in 0..nsh {
                     let ket = ShellPair::build(c, &bm.shells[c], d, &bm.shells[d], 0);
-                    let block = eri_quartet(&bra, &ket, &bm.shells);
+                    let block = eri_quartet_into(&mut scratch, &bra, &ket, &bm.shells);
                     let (na, nb) = (bm.shells[a].ncart(), bm.shells[b].ncart());
                     let (nc, nd) = (bm.shells[c].ncart(), bm.shells[d].ncart());
                     let (oa, ob, oc, od) = (

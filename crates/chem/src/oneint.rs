@@ -229,7 +229,7 @@ fn build_pairwise(
                 }
             }
             let mut block = vec![0.0; nca * ncb];
-            fill(&pair, &mut block, ncb, &carts_a, &carts_b, &norms);
+            fill(&pair, &mut block, ncb, carts_a, carts_b, &norms);
             let (oa, ob) = (bm.shell_offsets[a], bm.shell_offsets[b]);
             for ia in 0..nca {
                 for ib in 0..ncb {

@@ -8,7 +8,7 @@
 //! core load-balancing challenge of the study.
 
 use crate::basis::BasisedMolecule;
-use crate::eri::eri_quartet;
+use crate::eri::{eri_quartet_schwarz_max, EriScratch};
 use crate::shellpair::ShellPair;
 
 /// A screened list of significant shell pairs with Schwarz factors.
@@ -31,24 +31,17 @@ impl ScreenedPairs {
         let shells = &bm.shells;
         let mut pairs = Vec::new();
         let mut q = Vec::new();
+        let mut scratch = EriScratch::new();
         for a in 0..shells.len() {
             for b in 0..=a {
                 let sp = ShellPair::build(a, &shells[a], b, &shells[b], 0);
                 if sp.prims.is_empty() {
                     continue;
                 }
-                let block = eri_quartet(&sp, &sp, shells);
-                // (ab|ab) diagonal over the component block: the maximum
-                // |(ab|ab)| over components bounds every |(ab|cd)|.
-                let nca = (shells[a].l + 1) * (shells[a].l + 2) / 2;
-                let ncb = (shells[b].l + 1) * (shells[b].l + 2) / 2;
-                let mut maxv = 0.0f64;
-                for ia in 0..nca {
-                    for ib in 0..ncb {
-                        let idx = ((ia * ncb + ib) * nca + ia) * ncb + ib;
-                        maxv = maxv.max(block[idx].abs());
-                    }
-                }
+                // max |(ab|ab)| over components bounds every |(ab|cd)|;
+                // the diagonal-only kernel never forms the full ncart⁴
+                // quartet block.
+                let maxv = eri_quartet_schwarz_max(&mut scratch, &sp, shells);
                 let qv = maxv.sqrt();
                 if qv >= pair_threshold {
                     pairs.push(sp);
@@ -134,6 +127,7 @@ impl ScreeningStats {
 mod tests {
     use super::*;
     use crate::basis::{BasisSet, BasisedMolecule};
+    use crate::eri::eri_quartet;
     use crate::molecule::Molecule;
 
     #[test]

@@ -115,14 +115,15 @@ pub fn uhf(bm: &BasisedMolecule, multiplicity: usize, config: &ScfConfig) -> Uhf
     let mut c_a = Matrix::zeros(nbf, nbf);
     let mut c_b = Matrix::zeros(nbf, nbf);
 
+    let mut scratch = fb.scratch();
     for it in 0..config.max_iter * 2 {
         iterations = it + 1;
         let p_total = p_a.add(&p_b).expect("shapes");
         let mut g_a = Matrix::zeros(nbf, nbf);
         let mut g_b = Matrix::zeros(nbf, nbf);
         for t in &tasks {
-            fb.execute_jk(t, &p_total, &p_a, 1.0, &mut g_a);
-            fb.execute_jk(t, &p_total, &p_b, 1.0, &mut g_b);
+            fb.execute_jk(t, &p_total, &p_a, 1.0, &mut g_a, &mut scratch);
+            fb.execute_jk(t, &p_total, &p_b, 1.0, &mut g_b, &mut scratch);
         }
         let f_a = h.add(&g_a).expect("shapes");
         let f_b = h.add(&g_b).expect("shapes");

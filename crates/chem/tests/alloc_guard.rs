@@ -1,0 +1,93 @@
+//! Allocation-count guard on the Fock hot path.
+//!
+//! A counting `#[global_allocator]` wrapper proves the scratch-buffer
+//! rework actually removed the per-quartet heap traffic: once a warmed
+//! [`EriScratch`] exists, executing every Fock task — plain, J/K and
+//! density-screened — performs **zero** allocations. This file holds a
+//! single test on purpose: the default test harness runs tests on
+//! several threads, and a concurrent test's allocations would leak into
+//! the counter.
+
+use emx_chem::basis::{BasisSet, BasisedMolecule};
+use emx_chem::fock::FockBuilder;
+use emx_chem::molecule::Molecule;
+use emx_chem::screening::ScreenedPairs;
+use emx_linalg::Matrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on; returns how many allocations
+/// (malloc or realloc) happened inside.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    f();
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn fock_execute_paths_are_allocation_free() {
+    // Split-valence basis: resizing scratch across quartet shapes is
+    // exactly where a hidden re-allocation would hide.
+    let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::SixThirtyOneG);
+    let pairs = ScreenedPairs::build(&bm, 1e-12);
+    let fb = FockBuilder::new(&bm, &pairs, 1e-10);
+    let tasks = fb.tasks(4);
+    let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+        0.2 / (1.0 + (i as f64 - j as f64).abs())
+    });
+    d.symmetrize();
+    let delta = d.clone();
+    let dmax = fb.pair_density_max(&delta);
+    let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+    let mut scratch = fb.scratch();
+
+    // Warm-up: grows the scratch block to the largest quartet shape and
+    // builds the process-global Boys table.
+    let mut quartets = 0u64;
+    for t in &tasks {
+        quartets += fb.execute(t, &d, &mut g, &mut scratch);
+    }
+    assert!(quartets > 0, "workload must be nontrivial");
+
+    let n = count_allocs(|| {
+        for t in &tasks {
+            fb.execute(t, &d, &mut g, &mut scratch);
+            fb.execute_jk(t, &d, &d, 0.5, &mut g, &mut scratch);
+            fb.execute_density_screened(t, &delta, &dmax, &mut g, &mut scratch);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "Fock hot path allocated {n} times with a warmed scratch"
+    );
+}

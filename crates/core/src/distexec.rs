@@ -101,6 +101,7 @@ pub fn rhf_distributed_observed(
         };
         let (per_rank, _traffic) = run_world_with_obs(nranks, machine, metrics, |ctx| {
             let mut local = Matrix::zeros(nbf, nbf);
+            let mut scratch = pf.scratch();
             let mut executed = 0usize;
             match scheduler {
                 DistScheduler::NxtVal { chunk } => loop {
@@ -109,7 +110,7 @@ pub fn rhf_distributed_observed(
                         break;
                     }
                     for i in begin..(begin + chunk as usize).min(ntasks) {
-                        pf.execute_task_into(i, density, &mut local);
+                        pf.execute_task_into(i, density, &mut local, &mut scratch);
                         executed += 1;
                     }
                 },
@@ -117,7 +118,7 @@ pub fn rhf_distributed_observed(
                     let begin = ctx.rank * ntasks / ctx.nranks;
                     let end = (ctx.rank + 1) * ntasks / ctx.nranks;
                     for i in begin..end {
-                        pf.execute_task_into(i, density, &mut local);
+                        pf.execute_task_into(i, density, &mut local, &mut scratch);
                         executed += 1;
                     }
                 }

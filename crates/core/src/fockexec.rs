@@ -10,6 +10,7 @@
 //! integration tests assert exactly that.
 
 use emx_chem::basis::BasisedMolecule;
+use emx_chem::eri::EriScratch;
 use emx_chem::fock::{FockBuilder, FockTask};
 use emx_chem::scf::{rhf_with, ScfConfig, ScfResult};
 use emx_chem::screening::ScreenedPairs;
@@ -52,15 +53,38 @@ impl<'a> ParallelFock<'a> {
         self.tasks.iter().map(|t| t.est_cost as f64).collect()
     }
 
+    /// A scratch workspace sized for this system's largest shell quartet
+    /// (see [`FockBuilder::scratch`]) — one per rank/worker.
+    pub fn scratch(&self) -> EriScratch {
+        self.builder.scratch()
+    }
+
     /// Executes one task by index into a caller-owned accumulator —
     /// the entry point for external runtimes (the distributed driver's
     /// rank loops). Returns the quartets computed.
-    pub fn execute_task_into(&self, i: usize, density: &Matrix, g_local: &mut Matrix) -> u64 {
-        self.builder.execute(&self.tasks[i], density, g_local)
+    pub fn execute_task_into(
+        &self,
+        i: usize,
+        density: &Matrix,
+        g_local: &mut Matrix,
+        scratch: &mut EriScratch,
+    ) -> u64 {
+        self.builder
+            .execute(&self.tasks[i], density, g_local, scratch)
     }
 
     /// Executes all tasks under `executor` against `density`, reducing
     /// the worker-local accumulators into the returned `G`.
+    ///
+    /// Each worker owns a `(G, EriScratch)` pair for the whole build —
+    /// the hot loop performs no heap allocation — and the locals merge
+    /// through [`Executor::run_reduced`]'s pairwise tree, whose order
+    /// depends only on the worker count. Within one worker, tasks under
+    /// a *deterministic* policy arrive in a fixed order too, so static
+    /// and counter policies reproduce `G` bitwise run to run; work
+    /// stealing reorders additions within a worker but stays within
+    /// floating-point reassociation noise (≪ SCF tolerances), which the
+    /// integration tests pin.
     ///
     /// When the executor carries observability ([`Executor::with_obs`]),
     /// every task additionally records its computed ERI quartet count
@@ -72,20 +96,22 @@ impl<'a> ParallelFock<'a> {
             .obs
             .as_ref()
             .map(|o| o.metrics.histogram("chem.quartets_per_task", "count"));
-        let (locals, report) = executor.run(
+        let ((g, _), report) = executor.run_reduced(
             self.tasks.len(),
-            |_| Matrix::zeros(n, n),
-            |i, g_local: &mut Matrix| {
-                let q = self.builder.execute(&self.tasks[i], density, g_local);
+            |_| (Matrix::zeros(n, n), self.scratch()),
+            |i, local: &mut (Matrix, EriScratch)| {
+                let (g_local, scratch) = local;
+                let q = self
+                    .builder
+                    .execute(&self.tasks[i], density, g_local, scratch);
                 if let Some(h) = &quartets {
                     h.record(q);
                 }
             },
+            |acc, other| {
+                acc.0.axpy(1.0, &other.0).expect("local G shapes match");
+            },
         );
-        let mut g = Matrix::zeros(n, n);
-        for l in locals {
-            g.axpy(1.0, &l).expect("local G shapes match");
-        }
         (g, report)
     }
 }

@@ -142,6 +142,46 @@ impl Executor {
         (locals, report)
     }
 
+    /// Runs `ntasks` tasks like [`Executor::run`], then reduces the
+    /// worker locals into a single value with a **deterministic pairwise
+    /// tree**: at stride `s`, the local of worker `i` absorbs the local
+    /// of worker `i + s` (`s = 1, 2, 4, …`). The merge order is a
+    /// function of the worker count alone — never of task timing — so
+    /// for floating-point accumulators the reduced value is bitwise
+    /// reproducible run to run under every policy, and `merge` is called
+    /// exactly `workers − 1` times (the Global-Arrays accumulate
+    /// analogue: locals merge pairwise instead of funnelling every
+    /// worker's matrix through one linear fold).
+    pub fn run_reduced<L, FInit, FTask, FMerge>(
+        &self,
+        ntasks: usize,
+        init: FInit,
+        task: FTask,
+        merge: FMerge,
+    ) -> (L, ExecutionReport)
+    where
+        L: Send,
+        FInit: Fn(usize) -> L + Sync,
+        FTask: Fn(usize, &mut L) + Sync,
+        FMerge: Fn(&mut L, L),
+    {
+        let (locals, report) = self.run(ntasks, init, task);
+        let mut slots: Vec<Option<L>> = locals.into_iter().map(Some).collect();
+        let n = slots.len();
+        let mut stride = 1;
+        while stride < n {
+            let mut i = 0;
+            while i + stride < n {
+                let other = slots[i + stride].take().expect("slot consumed once");
+                merge(slots[i].as_mut().expect("left slot alive"), other);
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+        let reduced = slots[0].take().expect("workers >= 1 leaves a root");
+        (reduced, report)
+    }
+
     fn run_serial<L>(
         &self,
         ntasks: usize,
@@ -402,12 +442,24 @@ impl Executor {
                             // panic was caught goes back on the deque
                             // (where a thief may pick it up) instead of
                             // wedging this worker.
+                            //
+                            // Completions are batched in a worker-local
+                            // count and published as one decrement when
+                            // the deque runs dry — the NXTVAL-claims
+                            // analogue for the termination counter. The
+                            // invariant: a worker never idle-waits on
+                            // `remaining` with unflushed completions, so
+                            // peers' termination detection stays exact.
+                            let mut done = 0usize;
                             while let Some(i) = deque.pop() {
                                 if ctx.try_run_task(i, &mut local, task) {
-                                    remaining.fetch_sub(1, Ordering::Release);
+                                    done += 1;
                                 } else {
                                     deque.push(i);
                                 }
+                            }
+                            if done > 0 {
+                                remaining.fetch_sub(done, Ordering::Release);
                             }
                             // Steal until we obtain work or everything is done.
                             let mut spins = 0u32;
@@ -813,6 +865,75 @@ mod tests {
                 expected,
                 "model {}",
                 model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn run_reduced_matches_run_plus_fold() {
+        let n = 500usize;
+        let expected: u64 = (0..n as u64).sum();
+        for model in all_models(n) {
+            let ex = Executor::new(4, model.clone());
+            let (total, report) =
+                ex.run_reduced(n, |_| 0u64, |i, l| *l += i as u64, |a, b| *a += b);
+            assert_eq!(total, expected, "model {}", model.name());
+            assert_eq!(report.total_tasks_run(), n);
+        }
+    }
+
+    #[test]
+    fn run_reduced_merge_order_is_a_pairwise_tree() {
+        // With 5 workers the stride-doubling tree must merge
+        // (0,1) (2,3) then (0,2) then (0,4) — a fixed order that
+        // depends only on the worker count, never on task timing.
+        let ex = Executor::new(5, PolicyKind::StaticCyclic);
+        let merges = std::sync::Mutex::new(Vec::new());
+        let (root, _) = ex.run_reduced(
+            10,
+            |w| vec![w],
+            |_, _| {},
+            |a: &mut Vec<usize>, b: Vec<usize>| {
+                merges.lock().unwrap().push((a[0], b[0]));
+                a.extend(b);
+            },
+        );
+        assert_eq!(
+            merges.into_inner().unwrap(),
+            vec![(0, 1), (2, 3), (0, 2), (0, 4)]
+        );
+        let mut all = root;
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_reduced_single_worker_never_merges() {
+        let ex = Executor::new(1, PolicyKind::Serial);
+        let (v, _) = ex.run_reduced(
+            7,
+            |_| 0u64,
+            |i, l| *l += i as u64,
+            |_, _| panic!("one local needs no merge"),
+        );
+        assert_eq!(v, 21);
+    }
+
+    #[test]
+    fn nxtval_claims_are_batched_by_chunk() {
+        // The dynamic-counter model is the paper's NXTVAL pattern: one
+        // shared-counter RMW claims `chunk` tasks, so counter traffic is
+        // ntasks/chunk productive fetches (plus ≤ workers empty probes),
+        // not one RMW per task.
+        let n = 1200usize;
+        for chunk in [1usize, 8, 32] {
+            let ex = Executor::new(3, PolicyKind::DynamicCounter { chunk });
+            let (_, r) = ex.run(n, |_| (), |_, _| {});
+            let productive = n.div_ceil(chunk) as u64;
+            let fetches = r.total_counter_fetches();
+            assert!(
+                (productive..=productive + 3).contains(&fetches),
+                "chunk {chunk}: {fetches} fetches for {productive} claims"
             );
         }
     }

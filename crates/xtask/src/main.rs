@@ -17,6 +17,13 @@
 //!    `reproduce` binary must be runnable from its default list (or be
 //!    an explicitly-listed on-demand id), and vice versa, so dead or
 //!    unregistered experiments cannot accumulate silently.
+//! 4. **Hot-path allocation hygiene** — the ERI quartet inner-loop
+//!    modules ([`HOT_PATH_FILES`]) must not grow `Vec` allocations in
+//!    their non-test code: the whole point of the scratch-buffer API is
+//!    that a warmed Fock build performs zero heap traffic (enforced
+//!    dynamically by `crates/chem/tests/alloc_guard.rs`; this lint
+//!    catches the regression at review time). Setup-time allocations
+//!    are listed in [`HOT_PATH_ALLOC_ALLOW`].
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -37,7 +44,21 @@ const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[];
 
 /// Experiment ids legitimately absent from `reproduce`'s default list
 /// (on-demand modes).
-const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke"];
+const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock"];
+
+/// Files whose non-test code forms the ERI quartet inner loop and must
+/// stay free of per-call `Vec` allocation.
+const HOT_PATH_FILES: &[&str] = &["crates/chem/src/eri.rs", "crates/chem/src/md.rs"];
+
+/// `file:substring` pairs exempt from the hot-path allocation lint —
+/// one-time setup, never per-quartet work.
+const HOT_PATH_ALLOC_ALLOW: &[(&str, &str)] = &[
+    // EriScratch pre-sizing: allocates once per worker, before the loop.
+    ("eri.rs", "block: Vec::with_capacity"),
+    // Hermite E-table construction: runs once per *shell pair* when the
+    // screened pair list is built, not per quartet.
+    ("md.rs", "data: vec![0.0;"),
+];
 
 fn repo_root() -> PathBuf {
     // xtask always runs via `cargo xtask` from inside the workspace.
@@ -244,12 +265,54 @@ fn lint_experiment_registration(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Lint 4: no `Vec` allocation in the quartet inner-loop modules'
+/// non-test code (everything before the first `#[cfg(test)]` line —
+/// both the test-only reference kernel and the test module sit below
+/// it by construction).
+fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
+    const NEEDLES: &[&str] = &[
+        "vec![",
+        "Vec::new",
+        "with_capacity",
+        ".to_vec()",
+        ".collect()",
+    ];
+    for rel in HOT_PATH_FILES {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            findings.push(format!("hot-path allocations: cannot read {rel}"));
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            for needle in NEEDLES {
+                if code.contains(needle)
+                    && !HOT_PATH_ALLOC_ALLOW
+                        .iter()
+                        .any(|(f, s)| rel.ends_with(f) && line.contains(s))
+                {
+                    findings.push(format!(
+                        "{rel}:{}: hot-path allocation: `{needle}` in a quartet \
+                         inner-loop module (use the scratch buffers, or add a \
+                         justified allow entry)",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
 fn run_lints() -> Vec<String> {
     let root = repo_root();
     let mut findings = Vec::new();
     lint_replay_hygiene(&root, &mut findings);
     lint_roster_coverage(&mut findings);
     lint_experiment_registration(&root, &mut findings);
+    lint_hotpath_allocations(&root, &mut findings);
     findings
 }
 

@@ -39,6 +39,7 @@ fn main() {
 
     let (per_rank, traffic) = run_world(nranks, machine, |ctx| {
         let mut local = Matrix::zeros(nbf, nbf);
+        let mut scratch = builder.scratch();
         let mut executed = 0usize;
         loop {
             let start = counter.next(chunk) as usize;
@@ -46,7 +47,7 @@ fn main() {
                 break;
             }
             for t in &tasks[start..(start + chunk as usize).min(tasks.len())] {
-                builder.execute(t, &density, &mut local);
+                builder.execute(t, &density, &mut local, &mut scratch);
                 executed += 1;
             }
         }

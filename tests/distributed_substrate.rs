@@ -31,13 +31,14 @@ fn nxtval_scheduled_ga_fock_matches_serial() {
         let counter = NxtVal::new();
         let (executed, _) = run_world(nranks, MachineModel::default(), |ctx| {
             let mut local = Matrix::zeros(nbf, nbf);
+            let mut scratch = builder.scratch();
             let mut n = 0usize;
             loop {
                 let i = counter.next(1) as usize;
                 if i >= tasks.len() {
                     break;
                 }
-                builder.execute(&tasks[i], &density, &mut local);
+                builder.execute(&tasks[i], &density, &mut local, &mut scratch);
                 n += 1;
             }
             fock.acc(ctx.rank, 0, 0, nbf, nbf, 1.0, local.as_slice());
@@ -76,13 +77,14 @@ fn row_blocked_accumulation_matches_full_acc() {
     let counter = NxtVal::new();
     run_world(nranks, MachineModel::default(), |ctx| {
         let mut local = Matrix::zeros(nbf, nbf);
+        let mut scratch = builder.scratch();
         loop {
             let i = counter.next(2) as usize;
             if i >= tasks.len() {
                 break;
             }
             for t in &tasks[i..(i + 2).min(tasks.len())] {
-                builder.execute(t, &density, &mut local);
+                builder.execute(t, &density, &mut local, &mut scratch);
             }
         }
         // Per-owner row-block accumulate.
@@ -119,12 +121,13 @@ fn allreduce_based_reduction_matches_ga() {
 
     let (results, traffic) = run_world(nranks, MachineModel::default(), |ctx| {
         let mut local = Matrix::zeros(nbf, nbf);
+        let mut scratch = builder.scratch();
         loop {
             let i = counter.next(1) as usize;
             if i >= tasks.len() {
                 break;
             }
-            builder.execute(&tasks[i], &density, &mut local);
+            builder.execute(&tasks[i], &density, &mut local, &mut scratch);
         }
         ctx.allreduce_sum(local.as_slice())
     });

@@ -8,10 +8,15 @@
 //! Experiment ids follow `DESIGN.md` (E1–E8) plus `faults` (fault
 //! injection, see `docs/FAULT_MODEL.md`), `ablations`, `obs`
 //! (an instrumented capture of the whole stack), `analyze` (the static
-//! concurrency-correctness gate, see `docs/ANALYSIS.md`) and `smoke`
-//! (CI's fast check: the full policy roster through both substrates). Output is plain-text
+//! concurrency-correctness gate, see `docs/ANALYSIS.md`), `smoke`
+//! (CI's fast check: the full policy roster through both substrates)
+//! and `profile` (ring-captured blame attribution of the real Fock
+//! build per policy, stamping `results/BENCH_obs.json` — see
+//! `docs/OBSERVABILITY.md`; `EMX_PROFILE_SMOKE=1` shrinks it for CI).
+//! Output is plain-text
 //! tables; pass `--csv DIR` to also write stamped CSV files,
-//! `--trace-out DIR` for Chrome trace JSON and `--metrics-out FILE` for
+//! `--trace-out DIR` for Chrome trace JSON (plus speedscope/collapsed
+//! exports under `profile`) and `--metrics-out FILE` for
 //! a stamped JSONL metrics snapshot (the latter two imply `obs`).
 
 use emx_balance::prelude::{movement, rebalance, PersistenceConfig, Problem};
@@ -193,6 +198,9 @@ fn main() {
             "fock" => {
                 tables.push(fock_kernel_throughput());
             }
+            "profile" => {
+                tables.push(run_profile(trace_dir.as_deref()));
+            }
             "analyze" => {
                 let (table, report) = run_analyze();
                 tables.push(table);
@@ -255,6 +263,128 @@ fn fock_kernel_throughput() -> Table {
             format!("{:.0}", row.quartets_per_sec),
         ]);
     }
+    t
+}
+
+/// The `profile` experiment — the always-on profiling pipeline end to
+/// end. Every roster policy's Fock build runs with per-worker event
+/// rings attached; each capture is decomposed into blame categories
+/// (compute / counter / steal / merge / idle, summing to the wall
+/// clock), compared differentially against the headline static policy
+/// and the previously stamped baseline, exported as speedscope +
+/// collapsed stacks when `--trace-out` is given, and finally stamped
+/// into `results/BENCH_obs.json` together with the measured rings-on
+/// vs obs-off recording overhead (ceiling-checked outside smoke mode).
+fn run_profile(trace_dir: Option<&str>) -> Table {
+    use emx_bench::profbench::{self, OVERHEAD_CEILING_FRAC};
+    use emx_obs::AttributionDiff;
+
+    let smoke = profbench::profile_smoke();
+    let workers = if smoke { 2 } else { 4 };
+    let report = profbench::profile_fock_roster(workers, smoke);
+
+    let mut t = Table::new(
+        format!(
+            "Profile: ring-captured blame attribution on {}/{} ({} tasks, P={})",
+            report.molecule, report.basis, report.ntasks, report.workers
+        ),
+        &[
+            "policy",
+            "wall ms",
+            "crit path",
+            "compute%",
+            "counter%",
+            "steal%",
+            "merge%",
+            "idle%",
+            "lost",
+        ],
+    );
+    for p in &report.policies {
+        let a = &p.profile.attribution;
+        let tot = a.totals();
+        // Percentages of the P·wall budget, so the five categories of a
+        // multi-worker run still sum to ~100.
+        let budget = (a.wall_ns.max(1) * a.workers.len().max(1) as u64) as f64;
+        let pct = |ns: u64| format!("{:.1}", ns as f64 / budget * 100.0);
+        t.push(vec![
+            p.label.clone(),
+            format!("{:.3}", a.wall_ns as f64 / 1e6),
+            format!("{:.0}%", a.critical_path_fraction() * 100.0),
+            pct(tot.compute_ns),
+            pct(tot.counter_ns),
+            pct(tot.steal_ns),
+            pct(tot.merge_ns),
+            pct(tot.idle_ns),
+            a.overwritten.to_string(),
+        ]);
+    }
+
+    // Per-worker detail for the headline policy, plus the differential
+    // against the static baseline the paper compares it to.
+    let ws = report.policies.iter().find(|p| p.label == "work-stealing");
+    if let Some(ws) = ws {
+        println!("{}", ws.profile.attribution.render());
+        if let Some(sb) = report.policies.iter().find(|p| p.label == "static-block") {
+            println!(
+                "{}",
+                AttributionDiff::between(&sb.profile.attribution, &ws.profile.attribution).render()
+            );
+        }
+    }
+
+    // Differential against the previously stamped baseline (read
+    // before this run overwrites the stamp).
+    let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_obs.json");
+    if let (Some(prev), Some(cur)) = (
+        profbench::baseline_attribution(bench_path),
+        report.baseline_policy(),
+    ) {
+        println!("vs stamped baseline:");
+        println!(
+            "{}",
+            AttributionDiff::between(&prev, &cur.profile.attribution).render()
+        );
+    }
+
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        for p in &report.policies {
+            let slug = emx_bench::csv_slug(&p.label);
+            let path = format!("{dir}/profile_{slug}.speedscope.json");
+            let name = format!("{} fock build", p.label);
+            std::fs::write(&path, emx_obs::speedscope_json(&name, &p.profile.events))
+                .expect("write speedscope export");
+            println!("wrote {path}");
+            let path = format!("{dir}/profile_{slug}.collapsed.txt");
+            std::fs::write(&path, emx_obs::collapsed_stacks(&p.profile.events))
+                .expect("write collapsed-stack export");
+            println!("wrote {path}");
+        }
+    }
+
+    let o = &report.overhead;
+    println!(
+        "[profile] recording overhead on the warmed Fock build (P={}, {} samples): \
+         obs-off {:.2} builds/s, rings-on {:.2} builds/s -> {:+.2}% (ceiling {:.0}%)\n",
+        o.workers,
+        o.samples,
+        o.obs_off_builds_per_sec,
+        o.rings_on_builds_per_sec,
+        o.overhead_frac() * 100.0,
+        OVERHEAD_CEILING_FRAC * 100.0
+    );
+    if !smoke {
+        assert!(
+            o.overhead_frac() <= OVERHEAD_CEILING_FRAC,
+            "ring recording overhead {:.2}% exceeds the {:.0}% ceiling",
+            o.overhead_frac() * 100.0,
+            OVERHEAD_CEILING_FRAC * 100.0
+        );
+    }
+    let json = profbench::bench_obs_json(&report, &git_describe_string(), smoke);
+    std::fs::write(bench_path, json).expect("write BENCH_obs.json");
+    println!("wrote {bench_path}");
     t
 }
 

@@ -12,10 +12,15 @@ use emx_core::prelude::*;
 
 pub mod fockbench;
 pub mod obscapture;
+pub mod profbench;
 pub mod slug;
 
 pub use fockbench::{fock_hotpath_measure, FockBenchReport, FockBenchRow};
 pub use obscapture::{capture_observability, ObsCapture};
+pub use profbench::{
+    bench_obs_json, profile_fock_roster, profile_smoke, PolicyProfile, ProfileReport,
+    RecordingOverhead, OVERHEAD_CEILING_FRAC,
+};
 pub use slug::csv_slug;
 
 /// The standard chemistry workload of the scaling experiments:

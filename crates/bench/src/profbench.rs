@@ -1,0 +1,290 @@
+//! `reproduce profile` measurement: full-roster attribution capture on
+//! the real Fock build, plus the rings-on vs obs-off recording-overhead
+//! number stamped into `results/BENCH_obs.json`.
+//!
+//! Two halves, mirroring `fockbench`:
+//!
+//! * [`profile_fock_roster`] runs every roster policy on the standard
+//!   (H₂O)₂/6-31G build with per-worker event rings attached and
+//!   returns one [`FockProfile`] per policy — attribution table rows,
+//!   speedscope / collapsed-stack export inputs, and the differential
+//!   comparison all come from this single capture.
+//! * [`recording_overhead`] measures the cost of leaving the rings on:
+//!   median builds/second with no observability vs with rings attached,
+//!   on the same warmed kernel. The stamped overhead is held to
+//!   [`OVERHEAD_CEILING_FRAC`] so observability cost regressions are
+//!   caught exactly like Fock kernel regressions.
+//!
+//! `EMX_PROFILE_SMOKE=1` switches both to the small H₂O/STO-3G workload
+//! and the reduced [`PolicyKind::profile_roster`] for CI.
+
+use crate::fockbench::{fock_hotpath_workload, mock_density};
+use emx_chem::basis::{BasisSet, BasisedMolecule};
+use emx_chem::molecule::Molecule;
+use emx_chem::screening::ScreenedPairs;
+use emx_core::fockexec::{FockProfile, ParallelFock};
+use emx_obs::{Attribution, MetricsRegistry, RingSet};
+use emx_runtime::{Executor, PolicyKind, RuntimeObs};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ceiling on the rings-on recording overhead vs the obs-off build
+/// (fraction of build time). Stamped into `BENCH_obs.json` and asserted
+/// by non-smoke `reproduce profile` runs and the results-file test.
+pub const OVERHEAD_CEILING_FRAC: f64 = 0.05;
+
+/// Ring depth used for profiled builds: deep enough to hold every
+/// event of a medium build on few workers without overwrite.
+pub const PROFILE_RING_CAPACITY: usize = 1 << 14;
+
+/// True when `EMX_PROFILE_SMOKE` is set — CI's fast mode (small
+/// molecule, reduced roster, fewer overhead samples, no ceiling
+/// assertion since shared runners are noisy).
+pub fn profile_smoke() -> bool {
+    std::env::var("EMX_PROFILE_SMOKE").is_ok()
+}
+
+/// One profiled roster entry.
+pub struct PolicyProfile {
+    /// Roster display label (the historical CSV name).
+    pub label: String,
+    /// Attribution + raw event streams of one build under this policy.
+    pub profile: FockProfile,
+}
+
+/// The rings-on vs obs-off cost of recording, measured on the same
+/// warmed kernel (median of `samples` timed builds each).
+pub struct RecordingOverhead {
+    /// Timed builds per mode.
+    pub samples: usize,
+    /// Workers used for the measured builds.
+    pub workers: usize,
+    /// Median throughput with `obs = None` (the zero-cost path).
+    pub obs_off_builds_per_sec: f64,
+    /// Median throughput with per-worker rings attached.
+    pub rings_on_builds_per_sec: f64,
+}
+
+impl RecordingOverhead {
+    /// Fractional slowdown of rings-on vs obs-off (negative = noise).
+    pub fn overhead_frac(&self) -> f64 {
+        if self.rings_on_builds_per_sec <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.obs_off_builds_per_sec / self.rings_on_builds_per_sec - 1.0
+    }
+}
+
+/// Everything the `reproduce profile` arm reports and stamps.
+pub struct ProfileReport {
+    /// Workload molecule label.
+    pub molecule: String,
+    /// Basis-set label.
+    pub basis: String,
+    /// Tasks in the decomposition.
+    pub ntasks: usize,
+    /// Workers every profiled build ran on.
+    pub workers: usize,
+    /// One profiled build per roster policy.
+    pub policies: Vec<PolicyProfile>,
+    /// The recording-overhead measurement.
+    pub overhead: RecordingOverhead,
+}
+
+impl ProfileReport {
+    /// The profile stamped as the differential baseline (work stealing
+    /// — the policy the paper's headline comparisons center on), or the
+    /// first roster entry if the roster somehow lacks it.
+    pub fn baseline_policy(&self) -> Option<&PolicyProfile> {
+        self.policies
+            .iter()
+            .find(|p| p.label == "work-stealing")
+            .or_else(|| self.policies.first())
+    }
+}
+
+/// The profile workload: (H₂O)₂/6-31G (the `fock_hotpath` workload), or
+/// H₂O/STO-3G under smoke.
+fn profile_workload(smoke: bool) -> (BasisedMolecule, ScreenedPairs, &'static str, &'static str) {
+    if smoke {
+        let bm = BasisedMolecule::assign(&Molecule::water(), BasisSet::Sto3g);
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        (bm, pairs, "H2O", "STO-3G")
+    } else {
+        let (bm, pairs) = fock_hotpath_workload();
+        (bm, pairs, "(H2O)2", "6-31G")
+    }
+}
+
+/// Runs the roster with rings attached and measures recording overhead.
+/// Full mode: the 8-policy [`PolicyKind::full_roster`] at `workers`,
+/// 5 overhead samples. Smoke: [`PolicyKind::profile_roster`], 2 samples.
+pub fn profile_fock_roster(workers: usize, smoke: bool) -> ProfileReport {
+    let (bm, pairs, molecule, basis) = profile_workload(smoke);
+    let pf = ParallelFock::new(&bm, &pairs, 1e-10, if smoke { 4 } else { 8 });
+    let density = mock_density(bm.nbf);
+
+    let roster = if smoke {
+        PolicyKind::profile_roster(4)
+    } else {
+        PolicyKind::full_roster(&pf.estimated_costs(), workers, 8)
+    };
+
+    let mut policies = Vec::new();
+    for (label, kind) in roster {
+        // Serial profiles on one worker; everything else on `workers`.
+        let w = if matches!(kind, PolicyKind::Serial) {
+            1
+        } else {
+            workers
+        };
+        // Warm-up build so attribution measures the steady-state kernel.
+        pf.execute(&density, &Executor::new(w, kind.clone()));
+        let (_, report, mut profile) =
+            pf.execute_profiled(&density, w, kind, PROFILE_RING_CAPACITY);
+        assert_eq!(report.total_tasks_run(), pf.ntasks());
+        // Report under the roster's display label (`kind.name()` is the
+        // family name; the roster distinguishes e.g. counter chunks).
+        profile.attribution.policy = label.clone();
+        policies.push(PolicyProfile { label, profile });
+    }
+
+    let overhead = recording_overhead(&pf, &density, workers, if smoke { 2 } else { 5 });
+
+    ProfileReport {
+        molecule: molecule.into(),
+        basis: basis.into(),
+        ntasks: pf.ntasks(),
+        workers,
+        policies,
+        overhead,
+    }
+}
+
+/// Median-of-samples builds/second for obs-off vs rings-on on one
+/// warmed kernel under work stealing (the policy whose idle/steal path
+/// takes the extra ring clock reads — the worst case for recording
+/// overhead).
+pub fn recording_overhead(
+    pf: &ParallelFock<'_>,
+    density: &emx_linalg::Matrix,
+    workers: usize,
+    samples: usize,
+) -> RecordingOverhead {
+    let kind = PolicyKind::WorkStealing(Default::default());
+
+    let median_secs = |ex: &Executor| -> f64 {
+        // One untimed warm-up, then `samples` timed builds.
+        pf.execute(density, ex);
+        let mut secs: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                let (_, r) = pf.execute(density, ex);
+                assert_eq!(r.total_tasks_run(), pf.ntasks());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        secs[secs.len() / 2]
+    };
+
+    let off = median_secs(&Executor::new(workers, kind.clone()));
+    let rings = RingSet::new(workers, PROFILE_RING_CAPACITY);
+    let obs = RuntimeObs::new(Arc::new(MetricsRegistry::new())).with_rings(rings);
+    let on = median_secs(&Executor::new(workers, kind).with_obs(obs));
+
+    RecordingOverhead {
+        samples,
+        workers,
+        obs_off_builds_per_sec: 1.0 / off,
+        rings_on_builds_per_sec: 1.0 / on,
+    }
+}
+
+/// Renders the stamped `results/BENCH_obs.json`: schema + workload
+/// identity, both throughputs, the overhead fraction with its ceiling,
+/// and the baseline policy's attribution (the differential baseline
+/// future runs compare against via [`Attribution::from_json`]).
+pub fn bench_obs_json(report: &ProfileReport, git: &str, smoke: bool) -> String {
+    let o = &report.overhead;
+    let attribution = report
+        .baseline_policy()
+        .map(|p| p.profile.attribution.to_json().to_json_string())
+        .unwrap_or_else(|| "null".into());
+    format!(
+        "{{\n  \"schema_version\": {},\n  \"experiment\": \"profile\",\n  \
+         \"git\": \"{}\",\n  \"smoke\": {},\n  \"molecule\": \"{}\",\n  \
+         \"basis\": \"{}\",\n  \"ntasks\": {},\n  \"workers\": {},\n  \
+         \"samples\": {},\n  \"obs_off_builds_per_sec\": {:.3},\n  \
+         \"rings_on_builds_per_sec\": {:.3},\n  \
+         \"recording_overhead_frac\": {:.4},\n  \
+         \"overhead_ceiling_frac\": {:.2},\n  \"attribution\": {}\n}}\n",
+        emx_obs::SCHEMA_VERSION,
+        git,
+        smoke,
+        report.molecule,
+        report.basis,
+        report.ntasks,
+        o.workers,
+        o.samples,
+        o.obs_off_builds_per_sec,
+        o.rings_on_builds_per_sec,
+        o.overhead_frac(),
+        OVERHEAD_CEILING_FRAC,
+        attribution
+    )
+}
+
+/// Parses the attribution block back out of a stamped `BENCH_obs.json`
+/// (the differential baseline). Returns `None` for missing files, old
+/// schemas or a `null` attribution.
+pub fn baseline_attribution(path: &str) -> Option<Attribution> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = emx_obs::Json::parse(&text).ok()?;
+    Attribution::from_json(v.get("attribution")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_profile_attributes_every_policy() {
+        let report = profile_fock_roster(2, true);
+        assert_eq!(report.policies.len(), 3, "reduced roster");
+        for p in &report.policies {
+            let a = &p.profile.attribution;
+            assert_eq!(a.policy, p.label);
+            let tasks: u64 = a.workers.iter().map(|w| w.tasks).sum();
+            assert_eq!(tasks as usize, report.ntasks, "{}", p.label);
+            assert!(
+                a.max_sum_error() < 0.01,
+                "{}: decomposition off by {}",
+                p.label,
+                a.max_sum_error()
+            );
+        }
+        assert!(report.baseline_policy().unwrap().label == "work-stealing");
+        assert!(report.overhead.obs_off_builds_per_sec > 0.0);
+        assert!(report.overhead.rings_on_builds_per_sec > 0.0);
+    }
+
+    #[test]
+    fn bench_obs_json_round_trips_the_baseline_attribution() {
+        let report = profile_fock_roster(2, true);
+        let json = bench_obs_json(&report, "test", true);
+        let v = emx_obs::Json::parse(&json).expect("stamped JSON parses");
+        assert_eq!(
+            v.get("overhead_ceiling_frac").unwrap().as_f64(),
+            Some(OVERHEAD_CEILING_FRAC)
+        );
+        let a =
+            Attribution::from_json(v.get("attribution").unwrap()).expect("attribution embedded");
+        assert_eq!(a.policy, "work-stealing");
+        let path = std::env::temp_dir().join("emx_bench_obs_test.json");
+        std::fs::write(&path, &json).unwrap();
+        let b = baseline_attribution(path.to_str().unwrap()).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -3,16 +3,21 @@
 //! A counting `#[global_allocator]` wrapper proves the scratch-buffer
 //! rework actually removed the per-quartet heap traffic: once a warmed
 //! [`EriScratch`] exists, executing every Fock task — plain, J/K and
-//! density-screened — performs **zero** allocations. This file holds a
-//! single test on purpose: the default test harness runs tests on
-//! several threads, and a concurrent test's allocations would leak into
-//! the counter.
+//! density-screened — performs **zero** allocations. The same guard
+//! covers the observability layer's zero-cost-when-off claim: driving
+//! the warmed kernel with a disabled [`SpanRecorder`] and with event
+//! recording into a pre-sized [`EventRing`] both stay allocation-free,
+//! and the disabled-recorder loop runs at the same speed as the bare
+//! loop. This file holds a single test on purpose: the default test
+//! harness runs tests on several threads, and a concurrent test's
+//! allocations would leak into the counter.
 
 use emx_chem::basis::{BasisSet, BasisedMolecule};
 use emx_chem::fock::FockBuilder;
 use emx_chem::molecule::Molecule;
 use emx_chem::screening::ScreenedPairs;
 use emx_linalg::Matrix;
+use emx_obs::{EventKind, EventRing, SpanRecorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -89,5 +94,64 @@ fn fock_execute_paths_are_allocation_free() {
     assert_eq!(
         n, 0,
         "Fock hot path allocated {n} times with a warmed scratch"
+    );
+
+    // Zero-cost-when-off: a disabled span recorder in the loop adds no
+    // heap traffic (it is one predictable branch per record call).
+    let mut off = SpanRecorder::off();
+    let n = count_allocs(|| {
+        for (i, t) in tasks.iter().enumerate() {
+            let start = i as u64 * 100;
+            fb.execute(t, &d, &mut g, &mut scratch);
+            off.record("task", start, start + 100);
+        }
+    });
+    assert_eq!(n, 0, "SpanRecorder::Off allocated {n} times in the loop");
+
+    // And the profiling rings hold the same guarantee with recording
+    // *on*: once the fixed-capacity ring exists, recording a start/end
+    // event pair per task is store-only — no allocation on the hot path.
+    let ring = EventRing::new(tasks.len().next_power_of_two() * 2);
+    let mut writer = ring.writer();
+    let n = count_allocs(|| {
+        for (i, t) in tasks.iter().enumerate() {
+            let start = i as u64 * 100;
+            writer.record(EventKind::TaskStart, i as u64, start);
+            fb.execute(t, &d, &mut g, &mut scratch);
+            writer.record(EventKind::TaskEnd, i as u64, start + 100);
+        }
+    });
+    assert_eq!(n, 0, "ring recording allocated {n} times in the loop");
+    assert_eq!(ring.recorded(), 2 * tasks.len() as u64);
+
+    // "No measurable overhead": the Off-recorder loop must run at the
+    // same speed as the bare loop. Medians over several repetitions,
+    // with a generous bound so the guard never flakes on shared runners
+    // — the real claim (one branch per task) is orders below it.
+    let median_secs = |f: &mut dyn FnMut()| -> f64 {
+        let mut secs: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        secs[secs.len() / 2]
+    };
+    let bare = median_secs(&mut || {
+        for t in &tasks {
+            fb.execute(t, &d, &mut g, &mut scratch);
+        }
+    });
+    let with_off = median_secs(&mut || {
+        for (i, t) in tasks.iter().enumerate() {
+            fb.execute(t, &d, &mut g, &mut scratch);
+            off.record("task", i as u64, i as u64 + 1);
+        }
+    });
+    assert!(
+        with_off <= bare * 1.5 + 1e-4,
+        "disabled recorder slowed the warmed loop: {with_off:.6}s vs {bare:.6}s bare"
     );
 }

@@ -15,7 +15,21 @@ use emx_chem::fock::{FockBuilder, FockTask};
 use emx_chem::scf::{rhf_with, ScfConfig, ScfResult};
 use emx_chem::screening::ScreenedPairs;
 use emx_linalg::Matrix;
-use emx_runtime::{ExecutionReport, Executor};
+use emx_obs::{Attribution, MetricsRegistry, ProfEvent, RingSet};
+use emx_runtime::{ExecutionReport, Executor, PolicyKind, RuntimeObs};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything one profiled Fock build captures beyond its result: the
+/// blame attribution and the raw per-worker event streams it was
+/// reconstructed from (keep the streams for speedscope / collapsed /
+/// Chrome exports — one capture, every view).
+pub struct FockProfile {
+    /// Critical path + per-worker blame decomposition of the build.
+    pub attribution: Attribution,
+    /// Raw per-worker profiling events (ring snapshot order).
+    pub events: Vec<Vec<ProfEvent>>,
+}
 
 /// A Fock build bound to a task decomposition, ready to execute under
 /// any execution model.
@@ -113,6 +127,45 @@ impl<'a> ParallelFock<'a> {
             },
         );
         (g, report)
+    }
+
+    /// Executes one build under a fresh `workers`-wide executor with
+    /// per-worker profiling rings attached, and reconstructs the blame
+    /// attribution from the captured event streams.
+    ///
+    /// The wall clock the attribution is normalized against wraps the
+    /// *whole* build — worker execution plus the pairwise reduction
+    /// merges stamped after the join — so the compute / counter / steal
+    /// / merge / idle decomposition sums to it by construction. Size
+    /// `ring_capacity` at ≥ `2 · ntasks / workers` plus steal/fetch
+    /// headroom to capture a build without overwrite (losses are
+    /// reported in [`Attribution::overwritten`], never silently).
+    pub fn execute_profiled(
+        &self,
+        density: &Matrix,
+        workers: usize,
+        kind: PolicyKind,
+        ring_capacity: usize,
+    ) -> (Matrix, ExecutionReport, FockProfile) {
+        let label = kind.name();
+        let rings = RingSet::new(workers, ring_capacity);
+        let obs = RuntimeObs::new(Arc::new(MetricsRegistry::new())).with_rings(rings.clone());
+        let ex = Executor::new(workers, kind).with_obs(obs);
+        let start = Instant::now();
+        let (g, report) = self.execute(density, &ex);
+        let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let snaps = rings.snapshot_all();
+        let overwritten: u64 = snaps.iter().map(|s| s.overwritten).sum();
+        let events: Vec<Vec<ProfEvent>> = snaps.into_iter().map(|s| s.events).collect();
+        let attribution = Attribution::build_with_losses(label, wall_ns, &events, overwritten);
+        (
+            g,
+            report,
+            FockProfile {
+                attribution,
+                events,
+            },
+        )
     }
 }
 
@@ -219,6 +272,39 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(report.total_tasks_run(), pf.ntasks());
+    }
+
+    #[test]
+    fn profiled_build_matches_unprofiled_and_attributes_every_task() {
+        let bm = water();
+        let pairs = ScreenedPairs::build(&bm, 1e-12);
+        let pf = ParallelFock::new(&bm, &pairs, 1e-10, 4);
+        let mut d = Matrix::from_fn(bm.nbf, bm.nbf, |i, j| {
+            0.2 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        d.symmetrize();
+        let (reference, _) = pf.execute(&d, &Executor::new(1, PolicyKind::Serial));
+        let (g, report, profile) = pf.execute_profiled(
+            &d,
+            3,
+            PolicyKind::WorkStealing(StealConfig::default()),
+            4096,
+        );
+        assert!(g.max_abs_diff(&reference) < 1e-12, "profiling is passive");
+        assert_eq!(report.total_tasks_run(), pf.ntasks());
+        let a = &profile.attribution;
+        assert_eq!(a.policy, "work-stealing");
+        assert_eq!(a.workers.len(), 3);
+        assert_eq!(a.overwritten, 0, "4096-deep rings capture a water build");
+        let tasks: u64 = a.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(tasks as usize, pf.ntasks(), "every task attributed");
+        assert!(
+            a.max_sum_error() < 0.01,
+            "decomposition must sum to wall within 1%: {}",
+            a.max_sum_error()
+        );
+        assert!(a.critical_path_ns > 0 && a.critical_path_ns <= a.wall_ns);
+        assert_eq!(profile.events.len(), 3, "one stream per worker");
     }
 
     #[test]

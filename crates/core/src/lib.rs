@@ -49,7 +49,7 @@ pub mod prelude {
         e5_granularity, e6_variability, e7_overheads, e8_distributed, e9_weak_scaling,
         overhead_decomposition, synthetic_affinity, HeadlineResult,
     };
-    pub use crate::fockexec::{rhf_parallel, ParallelFock};
+    pub use crate::fockexec::{rhf_parallel, FockProfile, ParallelFock};
     pub use crate::table::{fmt3, fmt_secs, Table};
     pub use crate::workload::{
         estimate_fock_workload, measure_fock_workload, synthetic_workload, KernelWorkload,

@@ -489,6 +489,7 @@ fn faulty_static(costs: &[f64], owners: &[u32], cfg: &SimConfig, plan: &FaultPla
             comm: Vec::new(),
             traces,
             assignment: Vec::new(),
+            events: Vec::new(),
         },
         faults: stats,
     }
@@ -731,6 +732,7 @@ fn faulty_counter(
             comm: Vec::new(),
             traces,
             assignment: Vec::new(),
+            events: Vec::new(),
         },
         faults: stats,
     }
@@ -1002,6 +1004,7 @@ fn faulty_stealing(
             comm: Vec::new(),
             traces,
             assignment: Vec::new(),
+            events: Vec::new(),
         },
         faults: stats,
     }

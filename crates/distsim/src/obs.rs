@@ -20,13 +20,17 @@ use crate::sim::SimReport;
 use emx_obs::{ChromeTrace, MetricsRegistry};
 
 /// Converts a traced simulation report into one Chrome-trace process:
-/// one thread track per simulated worker, one `"task"` slice per busy
-/// interval. Requires the simulation to have run with
-/// `SimConfig::trace = true` (untraced reports yield an empty process).
+/// one thread track per simulated rank, one `"task"` slice per busy
+/// interval. Tracks are labeled `rank N` (the simulator's workers model
+/// cluster ranks, unlike the thread runtime's `worker N` tracks), so a
+/// combined trace distinguishes the two substrates at a glance.
+/// Requires the simulation to have run with `SimConfig::trace = true`
+/// (untraced reports yield an empty process).
 pub fn sim_report_to_chrome(report: &SimReport, pid: u32, label: &str) -> ChromeTrace {
     let mut trace = ChromeTrace::new();
     trace.set_process_name(pid, label.to_string());
     for (w, intervals) in report.traces.iter().enumerate() {
+        trace.set_thread_name(pid, w as u32, format!("rank {w}"));
         trace.add_worker_intervals(pid, w as u32, "task", "sim", intervals);
     }
     trace
@@ -92,11 +96,30 @@ mod tests {
         let trace = sim_report_to_chrome(&r, 3, "sim ws");
         let v = Json::parse(&trace.to_json_string()).unwrap();
         let events = v.get("traceEvents").unwrap().as_arr().unwrap();
-        let tracks = events
+        let tracks: Vec<&str> = events
             .iter()
             .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
-            .count();
-        assert_eq!(tracks, 4);
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(tracks.len(), 4);
+        for (w, name) in tracks.iter().enumerate() {
+            assert_eq!(*name, format!("rank {w}"), "sim tracks are rank-labeled");
+        }
+        let proc = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .unwrap();
+        assert_eq!(
+            proc.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("sim ws")
+        );
         let slices = events
             .iter()
             .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))

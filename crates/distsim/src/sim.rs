@@ -17,6 +17,7 @@
 //! * per-worker speed variability stretches whatever each worker runs.
 
 use crate::machine::MachineModel;
+use emx_obs::{EventKind, ProfEvent};
 use emx_runtime::Variability;
 use emx_sched::{
     random_victim, round_robin_victim, ChunkRule, PolicyKind, SeedPartition, VictimPolicy,
@@ -24,6 +25,12 @@ use emx_sched::{
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::time::Duration;
+
+/// Virtual seconds → nanoseconds for profiling event timestamps.
+#[inline]
+fn virt_ns(t: f64) -> u64 {
+    (t.max(0.0) * 1e9).round() as u64
+}
 
 /// Scheduling policy to simulate.
 #[derive(Debug, Clone)]
@@ -145,6 +152,10 @@ pub struct SimConfig {
     /// Record per-task execution intervals (worker, start, end) for
     /// timeline rendering.
     pub trace: bool,
+    /// Emit per-worker profiling events ([`ProfEvent`]) in virtual time
+    /// — the same schema the thread runtime's event rings record — so
+    /// one attribution/export pipeline serves both substrates.
+    pub events: bool,
 }
 
 impl SimConfig {
@@ -156,6 +167,7 @@ impl SimConfig {
             variability: Variability::None,
             seed: 0xd15c,
             trace: false,
+            events: false,
         }
     }
 }
@@ -186,6 +198,12 @@ pub struct SimReport {
     /// leave it empty (tasks there can be re-executed after failures, so
     /// no single owner exists).
     pub assignment: Vec<u32>,
+    /// Per-worker profiling event streams in virtual nanoseconds —
+    /// populated when [`SimConfig::events`] is set. The schema matches
+    /// the thread runtime's [`emx_obs::RingSet`] capture, so
+    /// [`emx_obs::Attribution`] and the speedscope/collapsed exporters
+    /// consume either substrate's streams unchanged.
+    pub events: Vec<Vec<ProfEvent>>,
 }
 
 impl SimReport {
@@ -306,12 +324,29 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
     } else {
         Vec::new()
     };
+    let mut events = if cfg.events {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
         assert!(w < p, "owner out of range");
         let d = stretched(costs[t], w, clock[w], cfg) + cfg.machine.dispatch_overhead;
         if cfg.trace {
             traces[w].push((clock[w], clock[w] + d));
+        }
+        if cfg.events {
+            events[w].push(ProfEvent {
+                kind: EventKind::TaskStart,
+                arg: t as u64,
+                t_ns: virt_ns(clock[w]),
+            });
+            events[w].push(ProfEvent {
+                kind: EventKind::TaskEnd,
+                arg: t as u64,
+                t_ns: virt_ns(clock[w] + d),
+            });
         }
         clock[w] += d;
         busy[w] += d;
@@ -327,6 +362,7 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
         comm: Vec::new(),
         traces,
         assignment: owners.to_vec(),
+        events,
     }
 }
 
@@ -413,6 +449,11 @@ pub fn simulate_static_with_data(
     } else {
         Vec::new()
     };
+    let mut events = if cfg.events {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
 
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
@@ -433,6 +474,18 @@ pub fn simulate_static_with_data(
         if cfg.trace {
             traces[w].push((clock[w], clock[w] + d));
         }
+        if cfg.events {
+            events[w].push(ProfEvent {
+                kind: EventKind::TaskStart,
+                arg: t as u64,
+                t_ns: virt_ns(clock[w]),
+            });
+            events[w].push(ProfEvent {
+                kind: EventKind::TaskEnd,
+                arg: t as u64,
+                t_ns: virt_ns(clock[w] + d),
+            });
+        }
         clock[w] += d;
         busy[w] += d;
         tasks[w] += 1;
@@ -447,6 +500,7 @@ pub fn simulate_static_with_data(
         comm,
         traces,
         assignment: owners.to_vec(),
+        events,
     }
 }
 
@@ -475,6 +529,11 @@ fn simulate_counter_family(
     } else {
         Vec::new()
     };
+    let mut events = if cfg.events {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
     let mut fetches = 0u64;
     let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
     let mut counter_free = vec![0.0f64; groups];
@@ -492,6 +551,20 @@ fn simulate_counter_family(
         counter_free[g] = start + m.counter_service;
         fetches += 1;
         let response = counter_free[g] + m.latency;
+        if cfg.events {
+            // The worker issued this fetch one network latency before it
+            // arrived at the counter host.
+            events[w].push(ProfEvent {
+                kind: EventKind::CounterFetchStart,
+                arg: 0,
+                t_ns: virt_ns(arrival - m.latency),
+            });
+            events[w].push(ProfEvent {
+                kind: EventKind::CounterFetchEnd,
+                arg: next_task[g] as u64,
+                t_ns: virt_ns(response),
+            });
+        }
         let (_, gend) = range(g);
         if next_task[g] >= gend {
             // Group range exhausted: the worker retires (no cross-group
@@ -508,6 +581,18 @@ fn simulate_counter_family(
             let d = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
             if cfg.trace {
                 traces[w].push((t, t + d));
+            }
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskStart,
+                    arg: i as u64,
+                    t_ns: virt_ns(t),
+                });
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskEnd,
+                    arg: i as u64,
+                    t_ns: virt_ns(t + d),
+                });
             }
             t += d;
             busy[w] += d;
@@ -529,6 +614,7 @@ fn simulate_counter_family(
         comm: Vec::new(),
         traces,
         assignment,
+        events,
     }
 }
 
@@ -570,6 +656,14 @@ fn simulate_stealing(
     } else {
         Vec::new()
     };
+    let mut events = if cfg.events {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    // Per-worker "hunting for work" state, used only for event emission
+    // (IdleStart on entering the hunt, StealSuccess/IdleEnd on leaving).
+    let mut hunting = vec![false; p];
     let mut steals = 0u64;
     let mut attempts = 0u64;
     let mut makespan = 0.0f64;
@@ -591,6 +685,18 @@ fn simulate_stealing(
             if cfg.trace {
                 traces[w].push((t, t + d));
             }
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskStart,
+                    arg: i as u64,
+                    t_ns: virt_ns(t),
+                });
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskEnd,
+                    arg: i as u64,
+                    t_ns: virt_ns(t + d),
+                });
+            }
             busy[w] += d;
             tasks[w] += 1;
             assignment[i] = w as u32;
@@ -601,7 +707,23 @@ fn simulate_stealing(
             continue;
         }
         if remaining == 0 {
+            if cfg.events && hunting[w] {
+                events[w].push(ProfEvent {
+                    kind: EventKind::IdleEnd,
+                    arg: 0,
+                    t_ns: virt_ns(t),
+                });
+                hunting[w] = false;
+            }
             continue; // global termination: worker retires
+        }
+        if cfg.events && !hunting[w] {
+            events[w].push(ProfEvent {
+                kind: EventKind::IdleStart,
+                arg: 0,
+                t_ns: virt_ns(t),
+            });
+            hunting[w] = true;
         }
         // Steal attempt: resolves one round trip later (victim queue is
         // inspected at resolution time, which is "now + RTT" — we fold
@@ -637,6 +759,13 @@ fn simulate_stealing(
             _ => (w, m.steal_latency),
         };
         let t_resolved = t + latency;
+        if cfg.events {
+            events[w].push(ProfEvent {
+                kind: EventKind::StealAttempt,
+                arg: victim as u64,
+                t_ns: virt_ns(t),
+            });
+        }
         let qlen = queues[victim].len();
         if victim != w && qlen > 0 {
             let take = if steal_half { qlen.div_ceil(2) } else { 1 };
@@ -647,6 +776,14 @@ fn simulate_stealing(
                 }
             }
             steals += 1;
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::StealSuccess,
+                    arg: victim as u64,
+                    t_ns: virt_ns(t_resolved),
+                });
+                hunting[w] = false;
+            }
             heap.push(Reverse((
                 OrdF64(t_resolved + take as f64 * m.steal_transfer),
                 seq,
@@ -660,7 +797,22 @@ fn simulate_stealing(
             // while every round trip completes (`remaining > 0` implies a
             // non-empty queue between events), but it makes the
             // no-response path terminate even with faults disabled.
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::StealFail,
+                    arg: victim as u64,
+                    t_ns: virt_ns(t_resolved),
+                });
+            }
             if queues.iter().all(VecDeque::is_empty) {
+                if cfg.events && hunting[w] {
+                    events[w].push(ProfEvent {
+                        kind: EventKind::IdleEnd,
+                        arg: 0,
+                        t_ns: virt_ns(t_resolved),
+                    });
+                    hunting[w] = false;
+                }
                 continue;
             }
             // Retry no earlier than the next event in the system, so
@@ -684,6 +836,7 @@ fn simulate_stealing(
         comm: Vec::new(),
         traces,
         assignment,
+        events,
     }
 }
 
@@ -1122,5 +1275,143 @@ mod tests {
         let u = r.utilization();
         assert!((0.0..=1.0).contains(&u));
         assert!(u > 0.8, "stealing should utilize well: {u}");
+    }
+
+    fn event_cfg(p: usize) -> SimConfig {
+        SimConfig {
+            events: true,
+            ..ideal_cfg(p)
+        }
+    }
+
+    /// Per-worker counts of one event kind.
+    fn count_kind(events: &[Vec<ProfEvent>], kind: EventKind) -> u64 {
+        events.iter().flatten().filter(|e| e.kind == kind).count() as u64
+    }
+
+    #[test]
+    fn events_off_by_default() {
+        let costs = vec![1.0; 8];
+        let r = simulate(&costs, &SimModel::Counter { chunk: 2 }, &ideal_cfg(2));
+        assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn static_sim_emits_task_events_in_virtual_time() {
+        let costs: Vec<f64> = (1..=8).map(|i| i as f64 * 1e-6).collect();
+        let owners = block_assignment(8, 2);
+        let r = simulate(&costs, &SimModel::Static(owners.clone()), &event_cfg(2));
+        assert_eq!(r.events.len(), 2);
+        for (w, stream) in r.events.iter().enumerate() {
+            assert_eq!(stream.len(), 2 * r.tasks[w], "one start/end pair per task");
+            let mut last = 0u64;
+            for pair in stream.chunks(2) {
+                assert_eq!(pair[0].kind, EventKind::TaskStart);
+                assert_eq!(pair[1].kind, EventKind::TaskEnd);
+                assert_eq!(pair[0].arg, pair[1].arg, "start/end tag the same task");
+                assert_eq!(owners[pair[0].arg as usize] as usize, w);
+                assert!(pair[0].t_ns >= last && pair[1].t_ns >= pair[0].t_ns);
+                last = pair[1].t_ns;
+            }
+        }
+        let last_end = r.events.iter().flatten().map(|e| e.t_ns).max().unwrap();
+        assert_eq!(
+            last_end,
+            virt_ns(r.makespan),
+            "timeline ends at the makespan"
+        );
+    }
+
+    #[test]
+    fn counter_sim_fetch_events_match_fetch_count() {
+        let costs: Vec<f64> = (1..=16).map(|i| i as f64 * 1e-6).collect();
+        let mut cfg = event_cfg(4);
+        cfg.machine = MachineModel::default();
+        let r = simulate(&costs, &SimModel::Counter { chunk: 2 }, &cfg);
+        assert_eq!(
+            count_kind(&r.events, EventKind::CounterFetchStart),
+            r.counter_fetches
+        );
+        assert_eq!(
+            count_kind(&r.events, EventKind::CounterFetchEnd),
+            r.counter_fetches
+        );
+        // Every fetch round-trips: start strictly before its response
+        // (the machine has nonzero latency), and streams stay monotone.
+        for stream in &r.events {
+            let mut last = 0u64;
+            for e in stream {
+                assert!(e.t_ns >= last, "virtual timestamps are monotone");
+                last = e.t_ns;
+            }
+        }
+        let task_pairs = count_kind(&r.events, EventKind::TaskStart);
+        assert_eq!(task_pairs, 16);
+        assert_eq!(count_kind(&r.events, EventKind::TaskEnd), 16);
+    }
+
+    #[test]
+    fn stealing_sim_events_match_steal_counters() {
+        let costs: Vec<f64> = (1..=32).map(|i| i as f64 * 1e-6).collect();
+        let mut cfg = event_cfg(4);
+        cfg.machine = MachineModel::default();
+        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        assert_eq!(
+            count_kind(&r.events, EventKind::StealAttempt),
+            r.steal_attempts
+        );
+        assert_eq!(count_kind(&r.events, EventKind::StealSuccess), r.steals);
+        assert_eq!(count_kind(&r.events, EventKind::TaskStart), 32);
+        // Every hunt a worker opened is closed by a steal success or a
+        // final IdleEnd — no dangling IdleStart survives the run.
+        for stream in &r.events {
+            let mut hunting = false;
+            for e in stream {
+                match e.kind {
+                    EventKind::IdleStart => {
+                        assert!(!hunting, "no nested hunts");
+                        hunting = true;
+                    }
+                    EventKind::StealSuccess | EventKind::IdleEnd => hunting = false,
+                    _ => {}
+                }
+            }
+            assert!(!hunting, "every hunt is closed");
+        }
+    }
+
+    #[test]
+    fn event_emission_does_not_perturb_the_simulation() {
+        let costs: Vec<f64> = (1..=64).map(|i| ((i * 37) % 11) as f64 * 1e-6).collect();
+        for model in [
+            SimModel::Static(block_assignment(64, 4)),
+            SimModel::Counter { chunk: 3 },
+            SimModel::Guided { min_chunk: 1 },
+            SimModel::WorkStealing { steal_half: true },
+        ] {
+            let base = simulate(&costs, &model, &ideal_cfg(4));
+            let with_events = simulate(&costs, &model, &event_cfg(4));
+            assert_eq!(base.makespan, with_events.makespan, "{}", model.name());
+            assert_eq!(base.busy, with_events.busy, "{}", model.name());
+            assert_eq!(base.assignment, with_events.assignment, "{}", model.name());
+            assert_eq!(base.steals, with_events.steals, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn sim_events_feed_the_shared_attribution_pipeline() {
+        let costs: Vec<f64> = (1..=24).map(|i| i as f64 * 1e-6).collect();
+        let mut cfg = event_cfg(3);
+        cfg.machine = MachineModel::default();
+        let r = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let wall = virt_ns(r.makespan);
+        let a = emx_obs::Attribution::build("sim-ws", wall, &r.events);
+        assert_eq!(a.workers.len(), 3);
+        let total_tasks: u64 = a.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(total_tasks, 24);
+        // Virtual time is exact up to ns rounding: measured categories
+        // never meaningfully overrun the virtual wall clock.
+        assert!(a.max_sum_error() < 0.01, "{}", a.max_sum_error());
+        assert!(a.critical_path_ns > 0 && a.critical_path_ns <= wall);
     }
 }

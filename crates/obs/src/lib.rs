@@ -16,8 +16,18 @@
 //!   histograms. Handles are `Arc`s that hot paths clone up front and
 //!   update with relaxed atomics; the registry lock is touched only at
 //!   registration and snapshot time.
+//! * [`ring`] — bounded per-worker SPSC profiling event rings: the
+//!   always-on capture path (fixed capacity, overwrite-oldest, no
+//!   allocation after setup), sharing one event schema between the
+//!   thread runtime and the discrete-event simulator.
+//! * [`attrib`] — critical-path extraction and blame attribution over
+//!   those event streams: wall time split into compute / counter /
+//!   steal / merge / idle per worker, plus differential comparison of
+//!   two runs.
 //! * [`chrome`] — Chrome trace-event JSON (the `chrome://tracing` /
 //!   Perfetto format) built from any per-worker interval data.
+//! * [`speedscope`] — speedscope JSON and collapsed-stack (flamegraph)
+//!   exports of the same event streams.
 //! * [`export`] — JSONL and CSV metric snapshots, stamped with a schema
 //!   version, experiment id and git-describe string.
 //! * [`json`] — the minimal JSON value type backing the exporters (the
@@ -38,12 +48,16 @@
 //! assert!(jsonl.lines().count() >= 3);
 //! ```
 
+pub mod attrib;
 pub mod chrome;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod ring;
+pub mod speedscope;
 
+pub use attrib::{Attribution, AttributionDiff, WorkerBlame};
 pub use chrome::{ChromeTrace, TraceSpan};
 pub use export::{git_describe_string, metrics_to_csv, metrics_to_jsonl, RunMeta, SCHEMA_VERSION};
 pub use json::Json;
@@ -51,9 +65,12 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
 };
 pub use recorder::{CollectingSink, EventSink, NullSink, SpanEvent, SpanRecorder};
+pub use ring::{EventKind, EventRing, ProfEvent, RingSet, RingSnapshot, RingWriter};
+pub use speedscope::{collapsed_stacks, speedscope_json};
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::attrib::{Attribution, AttributionDiff, WorkerBlame};
     pub use crate::chrome::ChromeTrace;
     pub use crate::export::{
         git_describe_string, metrics_to_csv, metrics_to_jsonl, RunMeta, SCHEMA_VERSION,
@@ -63,4 +80,6 @@ pub mod prelude {
         Counter, Gauge, Histogram, MetricEntry, MetricValue, MetricsRegistry,
     };
     pub use crate::recorder::{CollectingSink, EventSink, NullSink, SpanEvent, SpanRecorder};
+    pub use crate::ring::{EventKind, EventRing, ProfEvent, RingSet, RingWriter};
+    pub use crate::speedscope::{collapsed_stacks, speedscope_json};
 }

@@ -129,36 +129,66 @@ impl Histogram {
             })
             .collect();
         let count = self.count.load(Ordering::Relaxed);
-        let min = self.min.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
+        let max = self.max.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 { 0 } else { min },
-            max: self.max.load(Ordering::Relaxed),
-            p50: percentile(&buckets, count, 0.50),
-            p90: percentile(&buckets, count, 0.90),
-            p99: percentile(&buckets, count, 0.99),
+            min,
+            max,
+            p50: percentile(&buckets, count, min, max, 0.50),
+            p90: percentile(&buckets, count, min, max, 0.90),
+            p99: percentile(&buckets, count, min, max, 0.99),
             buckets,
         }
     }
 }
 
-/// Bucket-resolution percentile: the upper bound of the bucket that
-/// contains the requested rank (an upper estimate, never below the true
-/// percentile's bucket).
-fn percentile(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+/// Bucket-resolution percentile with in-bucket interpolation.
+///
+/// The requested rank is `ceil(q·count)` (1-based, matching a sorted
+/// vector's `sorted[rank−1]`). Rank 1 and rank `count` return the exact
+/// tracked `min`/`max`. Interior ranks interpolate linearly across the
+/// rank's log₂ bucket `[2^(i−1), 2^i − 1]` and clamp to `[min, max]`,
+/// so a value landing exactly on a power-of-two edge — the lower bound
+/// of its bucket — no longer gets reported a full bucket high: a
+/// histogram of identical samples reports every quantile as that exact
+/// value. The estimate always stays inside the true percentile's
+/// bucket.
+fn percentile(buckets: &[(u64, u64)], count: u64, min: u64, max: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
     }
     let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    if rank == 1 {
+        return min;
+    }
+    if rank == count {
+        return max;
+    }
     let mut seen = 0;
     for &(upper, n) in buckets {
-        seen += n;
-        if seen >= rank {
-            return upper;
+        if seen + n >= rank {
+            let lower = if upper == 0 { 0 } else { upper / 2 + 1 };
+            let k = rank - seen; // 1-based rank within this bucket
+            let est = if n == 1 {
+                // A lone sample carries no shape information: split the
+                // bucket (the clamp below pins it when min/max agree).
+                lower + (upper - lower) / 2
+            } else {
+                // Model the bucket's samples as evenly spaced from its
+                // lower to its upper bound.
+                lower + ((k - 1) as u128 * (upper - lower) as u128 / (n - 1) as u128) as u64
+            };
+            return est.clamp(min, max);
         }
+        seen += n;
     }
-    buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+    max
 }
 
 /// Point-in-time view of a [`Histogram`].
@@ -172,11 +202,11 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
-    /// Median (bucket upper bound).
+    /// Median (bucket-interpolated, clamped to `[min, max]`).
     pub p50: u64,
-    /// 90th percentile (bucket upper bound).
+    /// 90th percentile (bucket-interpolated, clamped to `[min, max]`).
     pub p90: u64,
-    /// 99th percentile (bucket upper bound).
+    /// 99th percentile (bucket-interpolated, clamped to `[min, max]`).
     pub p99: u64,
     /// Non-empty `(bucket_upper_bound, count)` pairs, ascending.
     pub buckets: Vec<(u64, u64)>,
@@ -354,10 +384,10 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 100_000);
         assert_eq!(s.sum, 101_106);
-        // p50 of 7 samples is the 4th (value 3) → bucket upper 3.
+        // p50 of 7 samples is the 4th (value 3) → interpolates to 3.
         assert_eq!(s.p50, 3);
-        // p99 lands in the last bucket.
-        assert!(s.p99 >= 100_000);
+        // p99's rank is the final sample, reported exactly.
+        assert_eq!(s.p99, 100_000);
         // Buckets are ascending and sum to the count.
         let total: u64 = s.buckets.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 7);
@@ -369,6 +399,92 @@ mod tests {
         let s = Histogram::default().snapshot();
         assert_eq!((s.count, s.min, s.max, s.p50, s.p99), (0, 0, 0, 0, 0));
         assert!(s.buckets.is_empty());
+    }
+
+    /// The boundary bug this pins down: a sample sitting exactly on a
+    /// power-of-two edge is the *lower* bound of its log₂ bucket, so
+    /// reporting the bucket's upper bound shifted every quantile a full
+    /// bucket (≈2×) high. Identical-sample histograms must now report
+    /// the exact value at every quantile.
+    #[test]
+    fn power_of_two_edge_does_not_shift_quantiles() {
+        for v in [1u64, 2, 4, 1024, 1 << 20, (1 << 20) + 1] {
+            let h = Histogram::default();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            assert_eq!((s.p50, s.p90, s.p99), (v, v, v), "value {v}");
+        }
+    }
+
+    /// Deterministic xorshift-free generator for the property tests.
+    struct SplitMix(u64);
+    impl SplitMix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Property: against a sorted-vector oracle (`sorted[⌈q·n⌉−1]`),
+    /// every reported quantile (a) lies within `[min, max]`, (b) lies
+    /// within the oracle value's own log₂ bucket, (c) is exact at the
+    /// extreme ranks, and (d) quantiles are monotone in `q`.
+    #[test]
+    fn quantiles_pinned_against_sorted_oracle() {
+        let mut rng = SplitMix(0x0b5e_c0de);
+        for trial in 0..200 {
+            let n = 1 + (rng.next() % 400) as usize;
+            // Mix of scales so buckets of every width appear, with
+            // deliberate power-of-two edge values sprinkled in.
+            let samples: Vec<u64> = (0..n)
+                .map(|_| match rng.next() % 4 {
+                    0 => rng.next() % 16,
+                    1 => 1 << (rng.next() % 30),
+                    2 => rng.next() % 10_000,
+                    _ => rng.next() % 10_000_000,
+                })
+                .collect();
+            let h = Histogram::default();
+            for &v in &samples {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let oracle = |q: f64| {
+                let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+                sorted[rank - 1]
+            };
+            for (q, got) in [(0.50, s.p50), (0.90, s.p90), (0.99, s.p99)] {
+                let want = oracle(q);
+                assert!(
+                    got >= s.min && got <= s.max,
+                    "trial {trial} q={q}: {got} outside [{}, {}]",
+                    s.min,
+                    s.max
+                );
+                let upper = if want == 0 {
+                    0
+                } else {
+                    (1u128 << (64 - want.leading_zeros())) as u64 - 1
+                };
+                let lower = if upper == 0 { 0 } else { upper / 2 + 1 };
+                assert!(
+                    got >= lower.min(s.max) && got <= upper.max(s.min),
+                    "trial {trial} q={q}: {got} outside oracle bucket [{lower}, {upper}] (oracle {want})"
+                );
+            }
+            assert_eq!(s.p99.max(s.p90).max(s.p50), s.p99, "monotone");
+            assert_eq!(s.p50.min(s.p90).min(s.p99), s.p50, "monotone");
+            // Extreme ranks are exact.
+            assert_eq!(oracle(1.0 / n as f64), s.min);
+            assert_eq!(oracle(1.0), s.max);
+        }
     }
 
     #[test]

@@ -1,0 +1,455 @@
+//! Per-worker lock-free profiling event rings.
+//!
+//! The span [`recorder`](crate::recorder) answers "what happened in this
+//! run" with worker-local `Vec` buffers — fine for tests, wrong for an
+//! always-on profiler, where capture must be bounded, allocation-free
+//! after setup and immune to a slow consumer. This module is the
+//! production path: one bounded single-producer/single-consumer
+//! [`EventRing`] per worker, fixed capacity, overwrite-oldest, cycle
+//! timestamps carried by the caller (the runtime reuses the clock reads
+//! it already makes for busy accounting; the simulator stamps virtual
+//! time), and a seqlock-style slot protocol so a reader may snapshot the
+//! ring *while the worker is still writing* without locks, torn events
+//! or unsafe code.
+//!
+//! ## Event schema
+//!
+//! One [`ProfEvent`] is `(kind, arg, t_ns)`. The same schema is emitted
+//! by both substrates — real threads (`emx-runtime`'s pool) and the
+//! discrete-event simulator (`emx-distsim`, in virtual nanoseconds) — so
+//! one attribution pipeline ([`crate::attrib`]) serves both.
+//!
+//! | kind                | arg            | marks                          |
+//! |---------------------|----------------|--------------------------------|
+//! | `TaskStart/TaskEnd` | task index     | task body execution            |
+//! | `StealAttempt`      | victim worker  | one steal probe (point event)  |
+//! | `StealSuccess`      | victim worker  | probe succeeded, hunt over     |
+//! | `StealFail`         | victim worker  | probe failed                   |
+//! | `CounterFetchStart/End` | first index fetched | shared-counter round trip |
+//! | `IdleStart`         | 0              | out of local work, hunt begins |
+//! | `IdleEnd`           | 0              | hunt ends without a steal      |
+//! | `MergeStart/MergeEnd` | other slot   | pairwise reduction-tree merge  |
+//!
+//! ## Slot protocol
+//!
+//! Each slot is three `AtomicU64`s: a sequence word and two payload
+//! words. Writing event `n` into slot `n % capacity`:
+//!
+//! 1. `seq ← 2n+1` (odd: in flight),
+//! 2. payload stores,
+//! 3. `seq ← 2n+2` (even, Release: event `n` complete).
+//!
+//! A reader accepts a slot only if it reads `seq == 2n+2` both before
+//! and after the payload loads (with an acquire fence between), so an
+//! event is returned iff it was completely written and not overwritten
+//! mid-read. The ring head counts every event ever recorded; drains
+//! report how many were overwritten so analysis can refuse to trust a
+//! truncated window.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a [`ProfEvent`] marks. Stored in the top byte of a packed word;
+/// the discriminants are part of the on-ring layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Task body begins (`arg` = task index).
+    TaskStart = 1,
+    /// Task body ends (`arg` = task index).
+    TaskEnd = 2,
+    /// One steal probe issued (`arg` = victim worker).
+    StealAttempt = 3,
+    /// A probe succeeded (`arg` = victim worker).
+    StealSuccess = 4,
+    /// A probe failed (`arg` = victim worker).
+    StealFail = 5,
+    /// Shared-counter fetch begins (`arg` = 0; the index is not yet known).
+    CounterFetchStart = 6,
+    /// Shared-counter fetch returned (`arg` = first index fetched).
+    CounterFetchEnd = 7,
+    /// Worker ran out of local work (`arg` = 0).
+    IdleStart = 8,
+    /// Hunt for work ended without a steal — exhaustion or abort (`arg` = 0).
+    IdleEnd = 9,
+    /// Reduction-tree merge begins (`arg` = the other slot index).
+    MergeStart = 10,
+    /// Reduction-tree merge ends (`arg` = the other slot index).
+    MergeEnd = 11,
+}
+
+impl EventKind {
+    fn from_u8(b: u8) -> Option<EventKind> {
+        Some(match b {
+            1 => EventKind::TaskStart,
+            2 => EventKind::TaskEnd,
+            3 => EventKind::StealAttempt,
+            4 => EventKind::StealSuccess,
+            5 => EventKind::StealFail,
+            6 => EventKind::CounterFetchStart,
+            7 => EventKind::CounterFetchEnd,
+            8 => EventKind::IdleStart,
+            9 => EventKind::IdleEnd,
+            10 => EventKind::MergeStart,
+            11 => EventKind::MergeEnd,
+            _ => return None,
+        })
+    }
+
+    /// Short stable name (used by exports and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::TaskStart => "task_start",
+            EventKind::TaskEnd => "task_end",
+            EventKind::StealAttempt => "steal_attempt",
+            EventKind::StealSuccess => "steal_success",
+            EventKind::StealFail => "steal_fail",
+            EventKind::CounterFetchStart => "counter_fetch_start",
+            EventKind::CounterFetchEnd => "counter_fetch_end",
+            EventKind::IdleStart => "idle_start",
+            EventKind::IdleEnd => "idle_end",
+            EventKind::MergeStart => "merge_start",
+            EventKind::MergeEnd => "merge_end",
+        }
+    }
+}
+
+/// One profiling event: kind, a 56-bit argument and a timestamp in
+/// nanoseconds (real for the thread runtime, virtual for the simulator),
+/// measured from the run's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific argument (task index, victim, other merge slot).
+    pub arg: u64,
+    /// Nanoseconds since the run started.
+    pub t_ns: u64,
+}
+
+/// Arguments wider than 56 bits are clamped on record (task counts and
+/// worker ids never approach this).
+const ARG_MASK: u64 = (1 << 56) - 1;
+
+fn pack(kind: EventKind, arg: u64) -> u64 {
+    ((kind as u64) << 56) | (arg & ARG_MASK)
+}
+
+fn unpack(w0: u64, w1: u64) -> Option<ProfEvent> {
+    let kind = EventKind::from_u8((w0 >> 56) as u8)?;
+    Some(ProfEvent {
+        kind,
+        arg: w0 & ARG_MASK,
+        t_ns: w1,
+    })
+}
+
+struct Slot {
+    seq: AtomicU64,
+    w0: AtomicU64,
+    w1: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            w0: AtomicU64::new(0),
+            w1: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded single-producer/single-consumer profiling ring.
+///
+/// One worker writes through a [`RingWriter`]; any thread may
+/// [`snapshot`](EventRing::snapshot) concurrently. Capacity is rounded
+/// up to a power of two at construction and never reallocated; once
+/// full, each new event overwrites the oldest.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Total events ever recorded (monotonic; not reset by snapshots).
+    head: AtomicU64,
+}
+
+impl EventRing {
+    /// A ring holding the most recent `capacity` events (rounded up to a
+    /// power of two, minimum 2). All allocation happens here.
+    pub fn new(capacity: usize) -> Arc<EventRing> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        Arc::new(EventRing {
+            slots: slots.into_boxed_slice(),
+            mask: (cap as u64) - 1,
+            head: AtomicU64::new(0),
+        })
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded into this ring.
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// A producer handle starting at the current head. Single-producer
+    /// discipline: at most one live writer at a time (sequential handoff
+    /// — e.g. worker thread, then the merge phase on the main thread —
+    /// is fine).
+    pub fn writer(self: &Arc<EventRing>) -> RingWriter {
+        RingWriter {
+            next: self.head.load(Ordering::Acquire),
+            ring: Arc::clone(self),
+        }
+    }
+
+    /// Snapshots the ring: the most recent `min(recorded, capacity)`
+    /// events oldest-first, plus the number of older events already
+    /// overwritten. Safe while the producer is still writing — slots
+    /// caught mid-write are skipped, never torn.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for n in start..head {
+            let slot = &self.slots[(n & self.mask) as usize];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != 2 * n + 2 {
+                continue; // in flight or already overwritten
+            }
+            let w0 = slot.w0.load(Ordering::Relaxed);
+            let w1 = slot.w1.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // overwritten mid-read
+            }
+            if let Some(e) = unpack(w0, w1) {
+                events.push(e);
+            }
+        }
+        RingSnapshot {
+            events,
+            overwritten: start,
+        }
+    }
+}
+
+/// Result of [`EventRing::snapshot`].
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// Surviving events, oldest first.
+    pub events: Vec<ProfEvent>,
+    /// Events recorded before the oldest surviving slot (lost to
+    /// overwrite). Non-zero means the window is truncated.
+    pub overwritten: u64,
+}
+
+/// The single producer's handle to an [`EventRing`]. Records one event
+/// with three atomic stores and no allocation; the slot index is derived
+/// from a writer-local counter, so the hot path performs no atomic RMW.
+pub struct RingWriter {
+    ring: Arc<EventRing>,
+    next: u64,
+}
+
+impl RingWriter {
+    /// Records one event. Never blocks, never allocates; overwrites the
+    /// oldest event once the ring is full.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, arg: u64, t_ns: u64) {
+        let n = self.next;
+        self.next = n + 1;
+        let slot = &self.ring.slots[(n & self.ring.mask) as usize];
+        slot.seq.store(2 * n + 1, Ordering::Relaxed);
+        slot.w0.store(pack(kind, arg), Ordering::Relaxed);
+        slot.w1.store(t_ns, Ordering::Relaxed);
+        slot.seq.store(2 * n + 2, Ordering::Release);
+        self.ring.head.store(n + 1, Ordering::Release);
+    }
+
+    /// The ring this writer feeds.
+    pub fn ring(&self) -> &Arc<EventRing> {
+        &self.ring
+    }
+}
+
+/// One ring per worker — the unit the runtime and simulator attach.
+pub struct RingSet {
+    rings: Vec<Arc<EventRing>>,
+}
+
+impl RingSet {
+    /// `workers` rings of `capacity` events each (all allocation up
+    /// front).
+    pub fn new(workers: usize, capacity: usize) -> Arc<RingSet> {
+        Arc::new(RingSet {
+            rings: (0..workers).map(|_| EventRing::new(capacity)).collect(),
+        })
+    }
+
+    /// Number of per-worker rings.
+    pub fn workers(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The producer handle for `worker` (indices beyond the set wrap —
+    /// callers size the set to the worker count).
+    pub fn writer(&self, worker: usize) -> RingWriter {
+        self.rings[worker % self.rings.len()].writer()
+    }
+
+    /// Per-worker event snapshots, oldest-first within each worker.
+    pub fn snapshot_all(&self) -> Vec<RingSnapshot> {
+        self.rings.iter().map(|r| r.snapshot()).collect()
+    }
+
+    /// Per-worker event vectors (the shape the attribution pipeline
+    /// takes), discarding overwrite counts.
+    pub fn events_per_worker(&self) -> Vec<Vec<ProfEvent>> {
+        self.rings.iter().map(|r| r.snapshot().events).collect()
+    }
+
+    /// Total events overwritten across all rings (0 ⇒ complete capture).
+    pub fn total_overwritten(&self) -> u64 {
+        self.rings.iter().map(|r| r.snapshot().overwritten).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let ring = EventRing::new(16);
+        let mut w = ring.writer();
+        for i in 0..5u64 {
+            w.record(EventKind::TaskStart, i, 10 * i);
+            w.record(EventKind::TaskEnd, i, 10 * i + 5);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.overwritten, 0);
+        assert_eq!(snap.events.len(), 10);
+        assert_eq!(snap.events[0].kind, EventKind::TaskStart);
+        assert_eq!(
+            snap.events[9],
+            ProfEvent {
+                kind: EventKind::TaskEnd,
+                arg: 4,
+                t_ns: 45,
+            }
+        );
+        let ts: Vec<u64> = snap.events.iter().map(|e| e.t_ns).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "snapshot preserves record order");
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts_losses() {
+        let ring = EventRing::new(8); // exact power of two
+        let mut w = ring.writer();
+        for i in 0..20u64 {
+            w.record(EventKind::StealAttempt, i, i);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.overwritten, 12, "20 recorded into 8 slots");
+        assert_eq!(snap.events.len(), 8);
+        let args: Vec<u64> = snap.events.iter().map(|e| e.arg).collect();
+        assert_eq!(
+            args,
+            (12..20).collect::<Vec<_>>(),
+            "newest 8 survive, oldest first"
+        );
+        assert_eq!(ring.recorded(), 20);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::new(0).capacity(), 2);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(1024).capacity(), 1024);
+        assert_eq!(EventRing::new(1025).capacity(), 2048);
+    }
+
+    #[test]
+    fn arg_wider_than_56_bits_is_clamped_not_corrupting_kind() {
+        let ring = EventRing::new(4);
+        let mut w = ring.writer();
+        w.record(EventKind::MergeEnd, u64::MAX, 7);
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, EventKind::MergeEnd);
+        assert_eq!(snap.events[0].arg, ARG_MASK);
+        assert_eq!(snap.events[0].t_ns, 7);
+    }
+
+    #[test]
+    fn writer_handoff_continues_the_sequence() {
+        let ring = EventRing::new(8);
+        {
+            let mut w = ring.writer();
+            w.record(EventKind::TaskStart, 0, 0);
+        }
+        let mut w2 = ring.writer();
+        w2.record(EventKind::TaskEnd, 0, 1);
+        let snap = ring.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[1].kind, EventKind::TaskEnd);
+    }
+
+    #[test]
+    fn snapshot_while_writing_never_tears() {
+        // A writer loops recording (i, 2*i) pairs while a reader
+        // snapshots continuously: every surviving event must satisfy
+        // t_ns == 2*arg — a torn slot would break the pairing.
+        use std::sync::atomic::AtomicBool;
+        let ring = EventRing::new(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut w = ring.writer();
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    w.record(EventKind::TaskStart, i, 2 * i);
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..2000 {
+            let snap = ring.snapshot();
+            for e in &snap.events {
+                assert_eq!(e.t_ns, 2 * e.arg, "torn event: {e:?}");
+            }
+            // Events are in record order within one snapshot.
+            for pair in snap.events.windows(2) {
+                assert!(pair[0].arg < pair[1].arg);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn ring_set_routes_writers_and_snapshots_per_worker() {
+        let set = RingSet::new(3, 16);
+        for wkr in 0..3usize {
+            let mut w = set.writer(wkr);
+            w.record(EventKind::TaskStart, wkr as u64, 0);
+        }
+        let per = set.events_per_worker();
+        assert_eq!(per.len(), 3);
+        for (wkr, events) in per.iter().enumerate() {
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].arg, wkr as u64);
+        }
+        assert_eq!(set.total_overwritten(), 0);
+    }
+}

@@ -33,13 +33,16 @@
 //! emitted as an `"idle"` span when a sink is attached.
 
 use crate::report::{ExecutionReport, TaskEvent};
-use emx_obs::{ChromeTrace, Counter, EventSink, Histogram, MetricsRegistry, SpanRecorder};
+use emx_obs::{
+    ChromeTrace, Counter, EventSink, Histogram, MetricsRegistry, RingSet, RingWriter, SpanRecorder,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Observability attachment for an executor run: a metrics registry and
-/// an optional span sink shared by every worker.
+/// Observability attachment for an executor run: a metrics registry,
+/// an optional span sink shared by every worker, and optional
+/// per-worker profiling event rings.
 #[derive(Clone)]
 pub struct RuntimeObs {
     /// Registry receiving the runtime.* metrics.
@@ -47,14 +50,19 @@ pub struct RuntimeObs {
     /// Destination for per-worker span buffers (`"task"` / `"idle"`),
     /// flushed once per worker after the timed region.
     pub sink: Option<Arc<dyn EventSink>>,
+    /// Per-worker profiling event rings (the always-on capture path:
+    /// bounded, allocation-free after setup). Worker `w` writes ring
+    /// `w`; drain with [`RingSet::snapshot_all`] after the run.
+    pub rings: Option<Arc<RingSet>>,
 }
 
 impl RuntimeObs {
-    /// Metrics-only observability (no span recording).
+    /// Metrics-only observability (no span recording, no event rings).
     pub fn new(metrics: Arc<MetricsRegistry>) -> RuntimeObs {
         RuntimeObs {
             metrics,
             sink: None,
+            rings: None,
         }
     }
 
@@ -64,6 +72,15 @@ impl RuntimeObs {
         self.sink = Some(sink);
         self
     }
+
+    /// Attaches per-worker profiling rings. Each worker then records
+    /// task / steal / counter-fetch / idle events (and the reduction
+    /// merges) into its own bounded ring — three atomic stores per
+    /// event, no allocation, overwrite-oldest when full.
+    pub fn with_rings(mut self, rings: Arc<RingSet>) -> RuntimeObs {
+        self.rings = Some(rings);
+        self
+    }
 }
 
 impl fmt::Debug for RuntimeObs {
@@ -71,6 +88,7 @@ impl fmt::Debug for RuntimeObs {
         f.debug_struct("RuntimeObs")
             .field("metrics", &"MetricsRegistry")
             .field("sink", &self.sink.is_some())
+            .field("rings", &self.rings.is_some())
             .finish()
     }
 }
@@ -87,6 +105,9 @@ pub(crate) struct WorkerObs {
     pub(crate) counter_fetch_latency: Arc<Histogram>,
     pub(crate) faults: Option<FaultObsHandles>,
     pub(crate) recorder: SpanRecorder,
+    /// Producer handle into this worker's profiling ring (`None` when
+    /// the run has no rings attached — then no event clock is read).
+    pub(crate) ring: Option<RingWriter>,
 }
 
 /// Fault-injection metric handles, resolved only when the executor
@@ -113,6 +134,7 @@ impl WorkerObs {
                 Some(sink) => SpanRecorder::on(worker, sink.clone()),
                 None => SpanRecorder::off(),
             },
+            ring: obs.rings.as_ref().map(|r| r.writer(worker as usize)),
         }
     }
 

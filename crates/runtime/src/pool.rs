@@ -13,6 +13,7 @@ use crate::obs::{dur_ns, RuntimeObs, WorkerObs};
 use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
 use crate::variability::Variability;
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+use emx_obs::EventKind;
 use emx_sched::{random_victim, round_robin_victim, worker_stream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -168,12 +169,41 @@ impl Executor {
         let (locals, report) = self.run(ntasks, init, task);
         let mut slots: Vec<Option<L>> = locals.into_iter().map(Some).collect();
         let n = slots.len();
+        // Merge events land in the absorbing worker's profiling ring,
+        // stamped on the run's timeline: the workers have joined, so the
+        // merge phase continues from `report.wall` on a fresh clock.
+        let rings = self.obs.as_ref().and_then(|o| o.rings.clone());
+        let merge_clock = rings
+            .as_ref()
+            .map(|_| (Instant::now(), dur_ns(report.wall)));
+        let merge_ns = |clock: &Option<(Instant, u64)>| {
+            clock
+                .as_ref()
+                .map(|(t0, base)| base + dur_ns(t0.elapsed()))
+                .unwrap_or(0)
+        };
         let mut stride = 1;
         while stride < n {
             let mut i = 0;
             while i + stride < n {
                 let other = slots[i + stride].take().expect("slot consumed once");
+                let mut writer = rings.as_ref().map(|r| {
+                    let mut w = r.writer(i);
+                    w.record(
+                        EventKind::MergeStart,
+                        (i + stride) as u64,
+                        merge_ns(&merge_clock),
+                    );
+                    w
+                });
                 merge(slots[i].as_mut().expect("left slot alive"), other);
+                if let Some(w) = writer.as_mut() {
+                    w.record(
+                        EventKind::MergeEnd,
+                        (i + stride) as u64,
+                        merge_ns(&merge_clock),
+                    );
+                }
                 i += 2 * stride;
             }
             stride *= 2;
@@ -300,7 +330,7 @@ impl Executor {
                                 break;
                             }
                             ctx.stats.counter_fetches += 1;
-                            ctx.obs_counter_fetch(t_fetch);
+                            ctx.obs_counter_fetch(t_fetch, begin);
                             for i in begin..(begin + chunk).min(ntasks) {
                                 ctx.run_task(i, &mut local, task);
                             }
@@ -378,7 +408,7 @@ impl Executor {
                                 }
                             }
                             ctx.stats.counter_fetches += 1;
-                            ctx.obs_counter_fetch(t_fetch);
+                            ctx.obs_counter_fetch(t_fetch, begin);
                             for i in begin..end {
                                 ctx.run_task(i, &mut local, task);
                             }
@@ -464,6 +494,7 @@ impl Executor {
                             // Steal until we obtain work or everything is done.
                             let mut spins = 0u32;
                             let idle_from = ctx.obs_mark();
+                            ctx.obs_idle_start(idle_from);
                             loop {
                                 if remaining.load(Ordering::Acquire) == 0 {
                                     ctx.obs_idle_end(idle_from);
@@ -491,7 +522,7 @@ impl Executor {
                                     }
                                 };
                                 ctx.stats.steal_attempts += 1;
-                                ctx.obs_steal_attempt();
+                                ctx.obs_steal_attempt(victim);
                                 let got = if cfg.steal_batch {
                                     stealers[victim].steal_batch_and_pop(&deque)
                                 } else {
@@ -500,7 +531,7 @@ impl Executor {
                                 match got {
                                     Steal::Success(i) => {
                                         ctx.stats.steals += 1;
-                                        ctx.obs_steal_success(idle_from);
+                                        ctx.obs_steal_success(idle_from, victim);
                                         if ctx.try_run_task(i, &mut local, task) {
                                             remaining.fetch_sub(1, Ordering::Release);
                                         } else {
@@ -509,6 +540,7 @@ impl Executor {
                                         continue 'outer;
                                     }
                                     Steal::Empty | Steal::Retry => {
+                                        ctx.obs_steal_fail(victim);
                                         spins += 1;
                                         if spins % (4 * p as u32) == 0 {
                                             std::thread::yield_now();
@@ -700,6 +732,10 @@ impl WorkerCtx {
                 o.tasks.inc();
                 o.task_duration.record(dur_ns(end.saturating_sub(t0)));
                 o.recorder.record("task", dur_ns(t0), dur_ns(end));
+                if let Some(ring) = o.ring.as_mut() {
+                    ring.record(EventKind::TaskStart, i as u64, dur_ns(t0));
+                    ring.record(EventKind::TaskEnd, i as u64, dur_ns(end));
+                }
             }
             if self.trace {
                 self.events.push(TaskEvent {
@@ -734,24 +770,60 @@ impl WorkerCtx {
     }
 
     /// Counts one productive shared-counter fetch and records its
-    /// latency from `mark` (the instant just before the atomic claim).
+    /// latency from `mark` (the instant just before the atomic claim);
+    /// `begin` is the first task index the fetch returned.
     #[inline]
-    fn obs_counter_fetch(&mut self, mark: Option<Duration>) {
+    fn obs_counter_fetch(&mut self, mark: Option<Duration>, begin: usize) {
         if let Some(o) = self.obs.as_mut() {
             o.counter_fetches.inc();
             if let Some(from) = mark {
                 let now = self.start.elapsed();
                 o.counter_fetch_latency
                     .record(dur_ns(now.saturating_sub(from)));
+                if let Some(ring) = o.ring.as_mut() {
+                    ring.record(EventKind::CounterFetchStart, 0, dur_ns(from));
+                    ring.record(EventKind::CounterFetchEnd, begin as u64, dur_ns(now));
+                }
             }
         }
     }
 
-    /// Counts one steal attempt (success or not).
+    /// Counts one steal attempt (success or not). The event ring, when
+    /// attached, gets a timestamped probe event — the extra clock read
+    /// happens only on workers that are already out of work.
     #[inline]
-    fn obs_steal_attempt(&mut self) {
+    fn obs_steal_attempt(&mut self, victim: usize) {
         if let Some(o) = self.obs.as_mut() {
             o.steal_attempts.inc();
+            if let Some(ring) = o.ring.as_mut() {
+                let now = dur_ns(self.start.elapsed());
+                ring.record(EventKind::StealAttempt, victim as u64, now);
+            }
+        }
+    }
+
+    /// Marks a failed probe on the event ring (metrics already count
+    /// attempts; the ring needs the outcome to reconstruct hunts).
+    #[inline]
+    fn obs_steal_fail(&mut self, victim: usize) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some(ring) = o.ring.as_mut() {
+                let now = dur_ns(self.start.elapsed());
+                ring.record(EventKind::StealFail, victim as u64, now);
+            }
+        }
+    }
+
+    /// Marks the start of a hunt for work on the event ring (`idle_from`
+    /// is the mark taken when the local deque ran dry).
+    #[inline]
+    fn obs_idle_start(&mut self, idle_from: Option<Duration>) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some(ring) = o.ring.as_mut() {
+                if let Some(from) = idle_from {
+                    ring.record(EventKind::IdleStart, 0, dur_ns(from));
+                }
+            }
         }
     }
 
@@ -759,13 +831,16 @@ impl WorkerCtx {
     /// from running out of local work (`idle_from`) to acquiring the
     /// stolen task, and the same interval becomes an `"idle"` span.
     #[inline]
-    fn obs_steal_success(&mut self, idle_from: Option<Duration>) {
+    fn obs_steal_success(&mut self, idle_from: Option<Duration>, victim: usize) {
         if let Some(o) = self.obs.as_mut() {
             o.steals.inc();
             if let Some(from) = idle_from {
                 let now = self.start.elapsed();
                 o.steal_latency.record(dur_ns(now.saturating_sub(from)));
                 o.recorder.record("idle", dur_ns(from), dur_ns(now));
+                if let Some(ring) = o.ring.as_mut() {
+                    ring.record(EventKind::StealSuccess, victim as u64, dur_ns(now));
+                }
             }
         }
     }
@@ -778,6 +853,9 @@ impl WorkerCtx {
             if let Some(from) = idle_from {
                 let now = self.start.elapsed();
                 o.recorder.record("idle", dur_ns(from), dur_ns(now));
+                if let Some(ring) = o.ring.as_mut() {
+                    ring.record(EventKind::IdleEnd, 0, dur_ns(now));
+                }
             }
         }
     }
@@ -1382,6 +1460,112 @@ mod tests {
                     model.name()
                 );
                 assert_eq!(report.total_tasks_run(), n);
+            }
+        }
+
+        #[test]
+        fn rings_capture_every_task_for_every_model() {
+            use emx_obs::{EventKind, RingSet};
+            let n = 120;
+            for model in all_models(n) {
+                let reg = Arc::new(MetricsRegistry::new());
+                let rings = RingSet::new(3, 4096);
+                let ex = Executor::new(3, model.clone())
+                    .with_obs(RuntimeObs::new(reg).with_rings(rings.clone()));
+                let (_, report) = ex.run(n, |_| 0u64, |i, l| *l += i as u64);
+                assert_eq!(report.total_tasks_run(), n);
+                assert_eq!(rings.total_overwritten(), 0, "model {}", model.name());
+                let per = rings.events_per_worker();
+                // Every task index appears exactly once as a start/end
+                // pair across all workers, timestamps monotone per ring.
+                let mut started = vec![0u32; n];
+                let mut ended = vec![0u32; n];
+                for stream in &per {
+                    let mut last = 0u64;
+                    for e in stream {
+                        assert!(
+                            e.t_ns >= last,
+                            "model {}: timestamps not monotone",
+                            model.name()
+                        );
+                        last = e.t_ns;
+                        match e.kind {
+                            EventKind::TaskStart => started[e.arg as usize] += 1,
+                            EventKind::TaskEnd => ended[e.arg as usize] += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                assert!(
+                    started.iter().all(|&c| c == 1) && ended.iter().all(|&c| c == 1),
+                    "model {}: lost or duplicated task events",
+                    model.name()
+                );
+            }
+        }
+
+        #[test]
+        fn counter_model_rings_record_fetch_round_trips() {
+            use emx_obs::{EventKind, RingSet};
+            let reg = Arc::new(MetricsRegistry::new());
+            let rings = RingSet::new(2, 4096);
+            let ex = Executor::new(2, PolicyKind::DynamicCounter { chunk: 10 })
+                .with_obs(RuntimeObs::new(reg).with_rings(rings.clone()));
+            let (_, report) = ex.run(100, |_| (), |_, _| {});
+            let fetch_ends: usize = rings
+                .events_per_worker()
+                .iter()
+                .flatten()
+                .filter(|e| e.kind == EventKind::CounterFetchEnd)
+                .count();
+            assert_eq!(fetch_ends as u64, report.total_counter_fetches());
+        }
+
+        #[test]
+        fn run_reduced_rings_record_the_pairwise_merge_tree() {
+            use emx_obs::{EventKind, RingSet};
+            let p = 5;
+            let reg = Arc::new(MetricsRegistry::new());
+            let rings = RingSet::new(p, 4096);
+            let ex = Executor::new(p, PolicyKind::StaticBlock)
+                .with_obs(RuntimeObs::new(reg).with_rings(rings.clone()));
+            let (sum, _) = ex.run_reduced(50, |_| 0u64, |i, l| *l += i as u64, |a, b| *a += b);
+            assert_eq!(sum, (0..50u64).sum());
+            // Stride-doubling for 5 workers: (0,1), (2,3), (0,2), (0,4).
+            let merges: Vec<(usize, u64)> = rings
+                .events_per_worker()
+                .iter()
+                .enumerate()
+                .flat_map(|(w, stream)| {
+                    stream
+                        .iter()
+                        .filter(|e| e.kind == EventKind::MergeStart)
+                        .map(move |e| (w, e.arg))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert_eq!(merges.len(), p - 1, "workers − 1 merges");
+            for expect in [(0usize, 1u64), (2, 3), (0, 2), (0, 4)] {
+                assert!(
+                    merges.contains(&expect),
+                    "missing merge {expect:?} in {merges:?}"
+                );
+            }
+            // Merge timestamps sit on the run timeline: after each
+            // worker's last task event.
+            for stream in rings.events_per_worker() {
+                let last_task = stream
+                    .iter()
+                    .filter(|e| e.kind == EventKind::TaskEnd)
+                    .map(|e| e.t_ns)
+                    .max();
+                let first_merge = stream
+                    .iter()
+                    .find(|e| e.kind == EventKind::MergeStart)
+                    .map(|e| e.t_ns);
+                if let (Some(t), Some(m)) = (last_task, first_merge) {
+                    assert!(m >= t, "merge stamped before the last task");
+                }
             }
         }
     }

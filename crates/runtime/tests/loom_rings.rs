@@ -1,0 +1,173 @@
+//! Loom harnesses for the profiling event ring's seqlock protocol:
+//! a reader may snapshot an [`EventRing`] while the producer is still
+//! writing, and must never observe a torn event — only complete events,
+//! in record order, with overwrite accounted.
+//!
+//! Like `loom_pool.rs`, these run 64 perturbed schedules per `model`
+//! call under the vendored loom stand-in (512 with
+//! `RUSTFLAGS="--cfg loom"`). The ring uses std atomics internally, so
+//! the model loop is a schedule-perturbed stress of the real protocol.
+//!
+//! Every writer here records events whose payload satisfies
+//! `t_ns == 2 * arg + 1`: any torn read — kind from one event, timestamp
+//! from another — breaks the pairing and trips the assertion.
+
+use emx_obs::{EventKind, EventRing};
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+
+/// Payload invariant every recorded event carries.
+fn check_untorn(events: &[emx_obs::ProfEvent]) {
+    for e in events {
+        assert_eq!(e.kind, EventKind::TaskStart, "foreign kind: {e:?}");
+        assert_eq!(e.t_ns, 2 * e.arg + 1, "torn event: {e:?}");
+    }
+    // Snapshot order is record order: args strictly increase.
+    for pair in events.windows(2) {
+        assert!(pair[0].arg < pair[1].arg, "out of order: {pair:?}");
+    }
+}
+
+/// Drain-while-writing, no wraparound: the reader races the producer
+/// over a ring big enough to hold everything. Every mid-flight snapshot
+/// is an untorn, in-order subset; the post-join snapshot is complete.
+#[test]
+fn loom_snapshot_during_writes_sees_untorn_prefix() {
+    loom::model(|| {
+        const N: u64 = 24;
+        let ring = EventRing::new(32);
+        let writer = {
+            let ring = Arc::clone(&ring);
+            loom::thread::spawn(move || {
+                let mut w = ring.writer();
+                for i in 0..N {
+                    w.record(EventKind::TaskStart, i, 2 * i + 1);
+                    loom::thread::yield_now();
+                }
+            })
+        };
+
+        for _ in 0..8 {
+            let snap = ring.snapshot();
+            assert_eq!(snap.overwritten, 0, "no slot may be overwritten");
+            check_untorn(&snap.events);
+            loom::thread::yield_now();
+        }
+        writer.join().unwrap();
+
+        let snap = ring.snapshot();
+        check_untorn(&snap.events);
+        assert_eq!(snap.events.len() as u64, N, "post-join drain is complete");
+        assert_eq!(ring.recorded(), N);
+    });
+}
+
+/// Drain-while-writing *with* wraparound: a 4-slot ring overwritten many
+/// times over. Snapshots may skip slots caught mid-overwrite but must
+/// never tear one, and the loss count plus survivors must cover the
+/// recorded head the snapshot observed.
+#[test]
+fn loom_overwrite_during_snapshot_skips_never_tears() {
+    loom::model(|| {
+        const N: u64 = 32;
+        let ring = EventRing::new(4);
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            let done = Arc::clone(&done);
+            loom::thread::spawn(move || {
+                let mut w = ring.writer();
+                for i in 0..N {
+                    w.record(EventKind::TaskStart, i, 2 * i + 1);
+                    loom::thread::yield_now();
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+
+        loop {
+            let finished = done.load(Ordering::Acquire);
+            let snap = ring.snapshot();
+            check_untorn(&snap.events);
+            assert!(snap.events.len() <= ring.capacity());
+            // Survivors all come from the window the loss count claims:
+            // nothing older than `overwritten` may appear.
+            if let Some(first) = snap.events.first() {
+                assert!(
+                    first.arg >= snap.overwritten,
+                    "event {} predates the reported loss window {}",
+                    first.arg,
+                    snap.overwritten
+                );
+            }
+            if finished {
+                break;
+            }
+            loom::thread::yield_now();
+        }
+        writer.join().unwrap();
+
+        // After the producer stops nothing is in flight: the final
+        // snapshot holds exactly the newest `capacity` events.
+        let snap = ring.snapshot();
+        assert_eq!(snap.overwritten, N - ring.capacity() as u64);
+        let args: Vec<u64> = snap.events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (N - ring.capacity() as u64..N).collect::<Vec<_>>());
+    });
+}
+
+/// The sequential writer handoff the runtime performs (worker thread,
+/// then the merge phase on the main thread) raced against a concurrent
+/// reader: the second writer continues the sequence, and no interleaving
+/// lets the reader double-count or tear across the handoff.
+#[test]
+fn loom_writer_handoff_under_concurrent_drain() {
+    loom::model(|| {
+        const FIRST: u64 = 6;
+        const SECOND: u64 = 5;
+        let ring = EventRing::new(16);
+        let reader_stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&reader_stop);
+            loom::thread::spawn(move || {
+                let mut max_seen = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = ring.snapshot();
+                    check_untorn(&snap.events);
+                    // Completed events never disappear from a ring with
+                    // no overwrite: snapshots grow monotonically.
+                    assert!(snap.events.len() >= max_seen, "snapshot shrank");
+                    max_seen = snap.events.len();
+                    loom::thread::yield_now();
+                }
+                max_seen
+            })
+        };
+
+        {
+            let mut w = ring.writer();
+            for i in 0..FIRST {
+                w.record(EventKind::TaskStart, i, 2 * i + 1);
+                loom::thread::yield_now();
+            }
+        } // first writer retires (worker joins)
+        {
+            let mut w = ring.writer(); // merge phase picks up the pen
+            for i in FIRST..FIRST + SECOND {
+                w.record(EventKind::TaskStart, i, 2 * i + 1);
+                loom::thread::yield_now();
+            }
+        }
+        reader_stop.store(true, Ordering::Release);
+        let seen = reader.join().unwrap();
+        assert!(seen <= (FIRST + SECOND) as usize);
+
+        let snap = ring.snapshot();
+        assert_eq!(snap.overwritten, 0);
+        assert_eq!(snap.events.len() as u64, FIRST + SECOND);
+        check_untorn(&snap.events);
+        assert_eq!(ring.recorded(), FIRST + SECOND);
+    });
+}

@@ -210,6 +210,25 @@ impl PolicyKind {
         ));
         out
     }
+
+    /// The reduced roster of the `reproduce profile` smoke: one
+    /// representative per scheduling family — static partition,
+    /// shared-counter, work stealing — so the attribution pipeline
+    /// exercises every event kind (tasks, counter fetches, steals,
+    /// merges) in seconds instead of minutes.
+    pub fn profile_roster(chunk: usize) -> Vec<(String, PolicyKind)> {
+        vec![
+            ("static-block".into(), PolicyKind::StaticBlock),
+            (
+                format!("counter(c={chunk})"),
+                PolicyKind::DynamicCounter { chunk },
+            ),
+            (
+                "work-stealing".into(),
+                PolicyKind::WorkStealing(StealConfig::default()),
+            ),
+        ]
+    }
 }
 
 impl fmt::Display for PolicyKind {
@@ -521,6 +540,21 @@ mod tests {
         let owners = persistence.initial_partition(32, 4).unwrap();
         assert!(owners.iter().all(|&w| w < 4));
         assert_ne!(owners, crate::partition::block_partition(32, 4));
+    }
+
+    #[test]
+    fn profile_roster_is_a_labeled_subset_of_the_full_roster() {
+        let costs = vec![1.0; 16];
+        let full: Vec<String> = PolicyKind::full_roster(&costs, 4, 8)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        let profile = PolicyKind::profile_roster(8);
+        assert_eq!(profile.len(), 3, "one representative per family");
+        for (label, kind) in &profile {
+            assert!(full.contains(label), "{label} must keep its CSV name");
+            assert!(!matches!(kind, PolicyKind::Serial));
+        }
     }
 
     #[test]

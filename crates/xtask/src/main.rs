@@ -1,6 +1,6 @@
 //! `cargo xtask` — the repository's lint wall.
 //!
-//! `cargo xtask lint` runs three families of checks that rustc and
+//! `cargo xtask lint` runs five families of checks that rustc and
 //! clippy cannot express, and exits non-zero on any finding:
 //!
 //! 1. **Replay-path hygiene** — the deterministic replay paths
@@ -24,6 +24,12 @@
 //!    dynamically by `crates/chem/tests/alloc_guard.rs`; this lint
 //!    catches the regression at review time). Setup-time allocations
 //!    are listed in [`HOT_PATH_ALLOC_ALLOW`].
+//! 5. **Observability hygiene** — the always-on profiling path is the
+//!    fixed-capacity event ring; the `Vec`-backed `CollectingSink` is a
+//!    test/export convenience and must never be referenced from the
+//!    steal or quartet inner loops ([`NO_COLLECTING_SINK_FILES`]): a
+//!    mutex-guarded `Vec` push per event would put allocation and
+//!    cross-core traffic back inside the measured region.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -44,7 +50,7 @@ const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[];
 
 /// Experiment ids legitimately absent from `reproduce`'s default list
 /// (on-demand modes).
-const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock"];
+const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile"];
 
 /// Files whose non-test code forms the ERI quartet inner loop and must
 /// stay free of per-call `Vec` allocation.
@@ -58,6 +64,16 @@ const HOT_PATH_ALLOC_ALLOW: &[(&str, &str)] = &[
     // Hermite E-table construction: runs once per *shell pair* when the
     // screened pair list is built, not per quartet.
     ("md.rs", "data: vec![0.0;"),
+];
+
+/// Files whose non-test code forms the steal and quartet inner loops:
+/// the per-span `Vec`-push `CollectingSink` must not appear in any of
+/// them (the event ring is the sanctioned always-on capture there).
+const NO_COLLECTING_SINK_FILES: &[&str] = &[
+    "crates/runtime/src/pool.rs",
+    "crates/chem/src/eri.rs",
+    "crates/chem/src/md.rs",
+    "crates/chem/src/fock.rs",
 ];
 
 fn repo_root() -> PathBuf {
@@ -306,6 +322,33 @@ fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Lint 5: `CollectingSink` (mutex + `Vec` push per span) may not be
+/// referenced from the steal/quartet inner-loop modules' non-test code
+/// — always-on capture there goes through the fixed-capacity event
+/// rings instead.
+fn lint_no_collecting_sink(root: &Path, findings: &mut Vec<String>) {
+    for rel in NO_COLLECTING_SINK_FILES {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            findings.push(format!("observability hygiene: cannot read {rel}"));
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            if code.contains("CollectingSink") {
+                findings.push(format!(
+                    "{rel}:{}: observability hygiene: `CollectingSink` in an \
+                     inner-loop module (record into the event ring instead)",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+}
+
 fn run_lints() -> Vec<String> {
     let root = repo_root();
     let mut findings = Vec::new();
@@ -313,6 +356,7 @@ fn run_lints() -> Vec<String> {
     lint_roster_coverage(&mut findings);
     lint_experiment_registration(&root, &mut findings);
     lint_hotpath_allocations(&root, &mut findings);
+    lint_no_collecting_sink(&root, &mut findings);
     findings
 }
 

@@ -36,8 +36,11 @@
 //! words. Writing event `n` into slot `n % capacity`:
 //!
 //! 1. `seq ← 2n+1` (odd: in flight),
-//! 2. payload stores,
-//! 3. `seq ← 2n+2` (even, Release: event `n` complete).
+//! 2. release fence — orders the odd store before the payload stores,
+//!    so on weakly-ordered hardware (ARM/POWER) a reader that sees a
+//!    new payload word is guaranteed to see the odd sequence too,
+//! 3. payload stores,
+//! 4. `seq ← 2n+2` (even, Release: event `n` complete).
 //!
 //! A reader accepts a slot only if it reads `seq == 2n+2` both before
 //! and after the payload loads (with an acquire fence between), so an
@@ -45,7 +48,15 @@
 //! mid-read. The ring head counts every event ever recorded; drains
 //! report how many were overwritten so analysis can refuse to trust a
 //! truncated window.
+//!
+//! Under `RUSTFLAGS="--cfg loom"` the ring's atomics and fences route
+//! through `loom::sync::atomic`, so the loom harnesses
+//! (`runtime/tests/loom_rings.rs`) perturb the schedule at every atomic
+//! access of this protocol, not just at explicit yields.
 
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -266,6 +277,13 @@ impl RingWriter {
         self.next = n + 1;
         let slot = &self.ring.slots[(n & self.ring.mask) as usize];
         slot.seq.store(2 * n + 1, Ordering::Relaxed);
+        // Pairs with the acquire fence in `snapshot`: a reader that
+        // observes either payload store below is guaranteed to observe
+        // the odd sequence word on its re-check, so a slot caught
+        // mid-overwrite is rejected instead of read torn. Without this
+        // fence the payload stores may become visible before the odd
+        // store on weakly-ordered hardware (ARM/POWER).
+        fence(Ordering::Release);
         slot.w0.store(pack(kind, arg), Ordering::Relaxed);
         slot.w1.store(t_ns, Ordering::Relaxed);
         slot.seq.store(2 * n + 2, Ordering::Release);
@@ -297,10 +315,17 @@ impl RingSet {
         self.rings.len()
     }
 
-    /// The producer handle for `worker` (indices beyond the set wrap —
-    /// callers size the set to the worker count).
+    /// The producer handle for `worker`. Panics on an out-of-range
+    /// index: callers must size the set to the worker count — wrapping
+    /// would silently hand two live workers the same ring and break the
+    /// single-producer discipline.
     pub fn writer(&self, worker: usize) -> RingWriter {
-        self.rings[worker % self.rings.len()].writer()
+        assert!(
+            worker < self.rings.len(),
+            "worker {worker} out of range for a {}-ring set",
+            self.rings.len()
+        );
+        self.rings[worker].writer()
     }
 
     /// Per-worker event snapshots, oldest-first within each worker.

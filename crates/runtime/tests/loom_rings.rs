@@ -5,8 +5,15 @@
 //!
 //! Like `loom_pool.rs`, these run 64 perturbed schedules per `model`
 //! call under the vendored loom stand-in (512 with
-//! `RUSTFLAGS="--cfg loom"`). The ring uses std atomics internally, so
-//! the model loop is a schedule-perturbed stress of the real protocol.
+//! `RUSTFLAGS="--cfg loom"`). Under `--cfg loom` the ring itself
+//! compiles against `loom::sync::atomic` (see `emx-obs`'s cfg(loom)
+//! shim), so every seq/payload/head access and the seqlock fences are
+//! exploration points; without it the ring uses std atomics and these
+//! tests degrade to a yield-perturbed stress of the real protocol.
+//! The stand-in perturbs real OS schedules rather than enumerating the
+//! C11 memory model, so this is a high-probability stress check, not an
+//! exhaustive proof — the nightly job runs it on the deep schedule
+//! budget with the shim active.
 //!
 //! Every writer here records events whose payload satisfies
 //! `t_ns == 2 * arg + 1`: any torn read — kind from one event, timestamp

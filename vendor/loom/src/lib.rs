@@ -106,6 +106,14 @@ pub mod sync {
     pub mod atomic {
         pub use std::sync::atomic::Ordering;
 
+        /// Atomic fence with an exploration point before it, so
+        /// fence-based protocols (e.g. seqlocks) get perturbed at the
+        /// fence itself, not only at the surrounding accesses.
+        pub fn fence(order: Ordering) {
+            super::super::explore();
+            std::sync::atomic::fence(order);
+        }
+
         macro_rules! atomic_stand_in {
             ($name:ident, $std:ty, $int:ty) => {
                 /// Exploration-instrumented atomic.

@@ -14,6 +14,7 @@ pub mod fockbench;
 pub mod obscapture;
 pub mod profbench;
 pub mod slug;
+pub mod specbench;
 
 pub use fockbench::{fock_hotpath_measure, FockBenchReport, FockBenchRow};
 pub use obscapture::{capture_observability, ObsCapture};
@@ -22,6 +23,9 @@ pub use profbench::{
     RecordingOverhead, OVERHEAD_CEILING_FRAC,
 };
 pub use slug::csv_slug;
+pub use specbench::{
+    bench_spec_json, spec_smoke, speculate_measure, SpecBenchReport, SpecBenchRow,
+};
 
 /// The standard chemistry workload of the scaling experiments:
 /// (H₂O)₂ / 6-31G, inspector-estimated costs, chunk = 8.

@@ -20,7 +20,8 @@ use crate::machine::MachineModel;
 use emx_obs::{EventKind, ProfEvent};
 use emx_runtime::Variability;
 use emx_sched::{
-    random_victim, round_robin_victim, ChunkRule, PolicyKind, SeedPartition, VictimPolicy,
+    random_victim, round_robin_victim, ChunkRule, PolicyKind, SeedPartition, SpecConfig,
+    VictimPolicy,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -105,8 +106,9 @@ impl SimModel {
     /// model vocabulary, materializing static partitions for `ntasks`
     /// tasks on `workers` workers. Returns `None` for policies the
     /// `SimModel` enum cannot express (guided-adaptive chunking,
-    /// round-robin victims) — use [`simulate_policy`] for those, which
-    /// replays any registry policy directly. The reverse direction has
+    /// round-robin victims, speculative execution) — use
+    /// [`simulate_policy`] for those, which replays any registry policy
+    /// directly. The reverse direction has
     /// no mapping either: `GroupCounters`, `SeededStealing` and
     /// `HierarchicalStealing` are simulator-only extensions.
     pub fn from_policy(kind: &PolicyKind, ntasks: usize, workers: usize) -> Option<SimModel> {
@@ -123,6 +125,10 @@ impl SimModel {
                 min_chunk: *min_chunk,
             }),
             PolicyKind::GuidedAdaptive { .. } => None,
+            // Speculation has no SimModel: its behavior (aborts,
+            // re-execution, in-order commit) is a protocol, not a task
+            // partition — simulate_policy replays it directly.
+            PolicyKind::Speculative(_) => None,
             PolicyKind::WorkStealing(cfg) => match (&cfg.seed, cfg.victim) {
                 (SeedPartition::Block, VictimPolicy::Random) => Some(SimModel::WorkStealing {
                     steal_half: cfg.steal_batch,
@@ -302,6 +308,203 @@ pub fn simulate_policy(costs: &[f64], kind: &PolicyKind, cfg: &SimConfig) -> Sim
             };
             simulate_stealing(costs, scfg.steal_batch, None, seed_owners, scfg.victim, cfg)
         }
+        PolicyKind::Speculative(scfg) => simulate_speculative(costs, scfg, cfg),
+    }
+}
+
+/// Virtual-time replay of the Block-STM-style speculative model.
+///
+/// Workers claim transactions in block order off the shared execution
+/// front (a counter fetch, like the self-scheduling family), execute
+/// optimistically, then validate. Real threads discover conflicts from
+/// captured read sets; the simulator has no data, so the conflict
+/// *structure* is synthesized deterministically from
+/// [`SpecConfig::rng_seed`]: transaction `i` depends on some earlier
+/// transaction `j` within [`SpecConfig::window`] with probability
+/// [`SpecConfig::conflict_pct`]/100. A dependent transaction that
+/// started executing before its dependency committed read a stale
+/// version: validation fails (an `Abort` event, one wasted
+/// incarnation), and the transaction re-executes after the dependency's
+/// commit, which always validates. Commits are released in block order
+/// — the deterministic-commit rule — so `makespan` is the last commit
+/// and `assignment[i]` is the committing worker, exactly-once by
+/// construction. Wasted incarnations are charged to `busy`, so
+/// utilization reflects speculation waste.
+fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> SimReport {
+    let p = cfg.workers;
+    let n = costs.len();
+    let m = &cfg.machine;
+
+    // Synthetic conflict structure: dep[i] = Some(j) means txn i reads
+    // what txn j writes. Drawn from the policy's own seed so the
+    // structure is a property of the SpecConfig, not of the SimConfig.
+    let mut rng = SplitMix::new(scfg.rng_seed);
+    let window = scfg.window.max(1);
+    let dep: Vec<Option<usize>> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                return None;
+            }
+            let hit = (rng.next() % 100) < scfg.conflict_pct.min(100) as u64;
+            if !hit {
+                return None;
+            }
+            let back = 1 + (rng.next() as usize) % window.min(i);
+            Some(i - back)
+        })
+        .collect();
+
+    let mut busy = vec![0.0; p];
+    let mut tasks = vec![0usize; p];
+    let mut traces = if cfg.trace {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    let mut events = if cfg.events {
+        vec![Vec::new(); p]
+    } else {
+        Vec::new()
+    };
+    let mut fetches = 0u64;
+    let mut counter_free = 0.0f64;
+    let mut next_txn = 0usize;
+    let mut commit_time = vec![0.0f64; n];
+    let mut commit_prev = 0.0f64;
+    let mut assignment = vec![u32::MAX; n];
+    let mut makespan = 0.0f64;
+
+    // Validation re-reads the captured read set against the store — one
+    // counter-host service in the machine model's vocabulary.
+    let v_cost = m.counter_service;
+
+    // Heap of (arrival time at the execution front, worker). Claims are
+    // strictly in block order, and commits are released in block order,
+    // so when transaction `i` is popped every j < i already has a final
+    // commit time — the replay can run in claim order.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+
+    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+        if next_txn >= n {
+            // Execution front exhausted: the worker retires.
+            continue;
+        }
+        let start = arrival.max(counter_free);
+        counter_free = start + m.counter_service;
+        fetches += 1;
+        let response = counter_free + m.latency;
+        let i = next_txn;
+        next_txn += 1;
+        if cfg.events {
+            events[w].push(ProfEvent {
+                kind: EventKind::CounterFetchStart,
+                arg: 0,
+                t_ns: virt_ns(arrival - m.latency),
+            });
+            events[w].push(ProfEvent {
+                kind: EventKind::CounterFetchEnd,
+                arg: i as u64,
+                t_ns: virt_ns(response),
+            });
+        }
+
+        let run = |t0: f64,
+                   w: usize,
+                   busy: &mut Vec<f64>,
+                   events: &mut Vec<Vec<ProfEvent>>,
+                   traces: &mut Vec<Vec<(f64, f64)>>|
+         -> f64 {
+            let d = stretched(costs[i], w, t0, cfg) + m.dispatch_overhead;
+            if cfg.trace {
+                traces[w].push((t0, t0 + d));
+            }
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskStart,
+                    arg: i as u64,
+                    t_ns: virt_ns(t0),
+                });
+                events[w].push(ProfEvent {
+                    kind: EventKind::TaskEnd,
+                    arg: i as u64,
+                    t_ns: virt_ns(t0 + d),
+                });
+            }
+            busy[w] += d;
+            t0 + d
+        };
+        let validate =
+            |t0: f64, w: usize, busy: &mut Vec<f64>, events: &mut Vec<Vec<ProfEvent>>| -> f64 {
+                if cfg.events {
+                    events[w].push(ProfEvent {
+                        kind: EventKind::ValidateStart,
+                        arg: i as u64,
+                        t_ns: virt_ns(t0),
+                    });
+                    events[w].push(ProfEvent {
+                        kind: EventKind::ValidateEnd,
+                        arg: i as u64,
+                        t_ns: virt_ns(t0 + v_cost),
+                    });
+                }
+                busy[w] += v_cost;
+                t0 + v_cost
+            };
+
+        // Optimistic first incarnation.
+        let exec_start = response;
+        let mut t = run(exec_start, w, &mut busy, &mut events, &mut traces);
+        t = validate(t, w, &mut busy, &mut events);
+        // Stale read: the dependency committed only after this
+        // incarnation began, so the version it read has been superseded.
+        let stale = dep[i].is_some_and(|j| commit_time[j] > exec_start);
+        if stale {
+            let j = dep[i].expect("stale implies dependency");
+            if cfg.events {
+                events[w].push(ProfEvent {
+                    kind: EventKind::Abort,
+                    arg: i as u64,
+                    t_ns: virt_ns(t),
+                });
+            }
+            // Re-execute once the dependency's write is final; the gap
+            // (if any) is idle, not busy.
+            let restart = t.max(commit_time[j]);
+            t = run(restart, w, &mut busy, &mut events, &mut traces);
+            t = validate(t, w, &mut busy, &mut events);
+        }
+
+        // Deterministic commit rule: commits are released in block
+        // order. The lag is bookkeeping on the commit front, not worker
+        // time — the worker goes back to the execution front at `t`.
+        let committed = t.max(commit_prev);
+        commit_prev = committed;
+        commit_time[i] = committed;
+        if cfg.events {
+            events[w].push(ProfEvent {
+                kind: EventKind::Commit,
+                arg: i as u64,
+                t_ns: virt_ns(committed),
+            });
+        }
+        assignment[i] = w as u32;
+        tasks[w] += 1;
+        makespan = makespan.max(committed);
+        heap.push(Reverse((OrdF64(t + m.latency), w)));
+    }
+
+    SimReport {
+        makespan,
+        busy,
+        tasks,
+        steals: 0,
+        steal_attempts: 0,
+        counter_fetches: fetches,
+        comm: Vec::new(),
+        traces,
+        assignment,
+        events,
     }
 }
 
@@ -1396,6 +1599,67 @@ mod tests {
             assert_eq!(base.assignment, with_events.assignment, "{}", model.name());
             assert_eq!(base.steals, with_events.steals, "{}", model.name());
         }
+    }
+
+    #[test]
+    fn speculative_replay_is_exactly_once_and_deterministic() {
+        let costs: Vec<f64> = (0..64).map(|i| 1e-6 + (i % 7) as f64 * 2e-7).collect();
+        let kind: PolicyKind = "speculative".parse().unwrap();
+        let cfg = event_cfg(4);
+        let a = simulate_policy(&costs, &kind, &cfg);
+        let b = simulate_policy(&costs, &kind, &cfg);
+        assert_eq!(a.assignment, b.assignment, "replay is deterministic");
+        assert!(a.assignment.iter().all(|&w| (w as usize) < 4));
+        assert_eq!(a.tasks.iter().sum::<usize>(), 64);
+        // Every transaction commits exactly once, and the commit stream
+        // across all workers covers 0..n.
+        let mut commits: Vec<u64> = a
+            .events
+            .iter()
+            .flatten()
+            .filter(|e| e.kind == EventKind::Commit)
+            .map(|e| e.arg)
+            .collect();
+        commits.sort_unstable();
+        assert_eq!(commits, (0..64).collect::<Vec<u64>>());
+        // Commit timestamps are monotone in block order: the
+        // deterministic commit rule releases them in sequence.
+        let mut by_txn = vec![0u64; 64];
+        for e in a.events.iter().flatten() {
+            if e.kind == EventKind::Commit {
+                by_txn[e.arg as usize] = e.t_ns;
+            }
+        }
+        assert!(by_txn.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn speculative_conflicts_abort_in_parallel_but_never_serially() {
+        let costs: Vec<f64> = vec![1e-6; 48];
+        let kind = PolicyKind::Speculative(SpecConfig {
+            conflict_pct: 100,
+            ..SpecConfig::default()
+        });
+        let count_aborts = |r: &SimReport| {
+            r.events
+                .iter()
+                .flatten()
+                .filter(|e| e.kind == EventKind::Abort)
+                .count()
+        };
+        // Four optimistic workers race past uncommitted dependencies.
+        let par = simulate_policy(&costs, &kind, &event_cfg(4));
+        assert!(count_aborts(&par) > 0, "parallel run must abort");
+        // One worker claims in block order after each commit: every
+        // dependency is already final, so speculation never misfires.
+        let serial = simulate_policy(&costs, &kind, &event_cfg(1));
+        assert_eq!(count_aborts(&serial), 0, "serial run cannot abort");
+        // Both commit the full block exactly once regardless.
+        assert_eq!(par.tasks.iter().sum::<usize>(), 48);
+        assert_eq!(serial.tasks.iter().sum::<usize>(), 48);
+        // Wasted incarnations are charged to busy time: the aborting
+        // run burns strictly more worker-seconds than the serial one.
+        assert!(par.busy.iter().sum::<f64>() > serial.busy.iter().sum::<f64>());
     }
 
     #[test]

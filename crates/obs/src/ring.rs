@@ -29,6 +29,9 @@
 //! | `IdleStart`         | 0              | out of local work, hunt begins |
 //! | `IdleEnd`           | 0              | hunt ends without a steal      |
 //! | `MergeStart/MergeEnd` | other slot   | pairwise reduction-tree merge  |
+//! | `ValidateStart/End` | task index     | speculative read-set validation |
+//! | `Abort`             | task index     | validation failed, re-execute (point) |
+//! | `Commit`            | task index     | execution became final (point) |
 //!
 //! ## Slot protocol
 //!
@@ -87,6 +90,17 @@ pub enum EventKind {
     MergeStart = 10,
     /// Reduction-tree merge ends (`arg` = the other slot index).
     MergeEnd = 11,
+    /// Speculative read-set validation begins (`arg` = task index).
+    ValidateStart = 12,
+    /// Speculative read-set validation ends (`arg` = task index).
+    ValidateEnd = 13,
+    /// A validation failed and won the abort race: the task's execution
+    /// is discarded and it will re-run at the next incarnation
+    /// (`arg` = task index; point event).
+    Abort = 14,
+    /// A task's execution became final under the deterministic commit
+    /// rule (`arg` = task index; point event).
+    Commit = 15,
 }
 
 impl EventKind {
@@ -103,6 +117,10 @@ impl EventKind {
             9 => EventKind::IdleEnd,
             10 => EventKind::MergeStart,
             11 => EventKind::MergeEnd,
+            12 => EventKind::ValidateStart,
+            13 => EventKind::ValidateEnd,
+            14 => EventKind::Abort,
+            15 => EventKind::Commit,
             _ => return None,
         })
     }
@@ -121,6 +139,10 @@ impl EventKind {
             EventKind::IdleEnd => "idle_end",
             EventKind::MergeStart => "merge_start",
             EventKind::MergeEnd => "merge_end",
+            EventKind::ValidateStart => "validate_start",
+            EventKind::ValidateEnd => "validate_end",
+            EventKind::Abort => "abort",
+            EventKind::Commit => "commit",
         }
     }
 }

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 pub use emx_sched::{
     block_owner, block_partition, cyclic_partition, ChunkRule, PolicyKind, SeedPartition,
-    StealConfig, VictimPolicy,
+    SpecConfig, StealConfig, VictimPolicy,
 };
 
 /// How tasks are distributed to workers before/while running.

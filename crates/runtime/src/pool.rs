@@ -8,7 +8,7 @@
 //! what lets one kernel run unchanged under every execution model.
 
 use crate::faults::{propagate, run_poisonable, FaultInjection, FaultState};
-use crate::model::{ChunkRule, PolicyKind, StealConfig, VictimPolicy};
+use crate::model::{ChunkRule, PolicyKind, SpecConfig, StealConfig, VictimPolicy};
 use crate::obs::{dur_ns, RuntimeObs, WorkerObs};
 use crate::report::{ExecutionReport, TaskEvent, WorkerStats};
 use crate::variability::Variability;
@@ -132,6 +132,7 @@ impl Executor {
                 self.run_guided(ntasks, rule, &init, &task)
             }
             PolicyKind::WorkStealing(cfg) => self.run_stealing(ntasks, cfg, &init, &task),
+            PolicyKind::Speculative(cfg) => self.run_speculative(ntasks, cfg, &init, &task),
         };
         let (locals, report) = outcome;
         assert_eq!(
@@ -563,6 +564,100 @@ impl Executor {
         self.assemble(ntasks, start.elapsed(), results)
     }
 
+    /// Block-STM-style speculative execution over opaque task bodies.
+    ///
+    /// The runtime's tasks expose no read or write sets, so every
+    /// transaction here is conflict-free by construction: the
+    /// multi-version store holds zero locations, validation always
+    /// passes, and each task executes exactly once. What this arm
+    /// exercises on real threads is the *protocol* — the collaborative
+    /// scheduler's execution and validation wave fronts, and the
+    /// validate/commit events on the profiling rings. Workloads with
+    /// real data dependencies declare them through `emx-spec` directly
+    /// (the speculative SCF driver does); the synthetic conflict knobs
+    /// in [`SpecConfig`] shape the simulator substrate, not threads.
+    fn run_speculative<L>(
+        &self,
+        ntasks: usize,
+        _cfg: &SpecConfig,
+        init: &(impl Fn(usize) -> L + Sync),
+        task: &(impl Fn(usize, &mut L) + Sync),
+    ) -> (Vec<L>, ExecutionReport)
+    where
+        L: Send,
+    {
+        use emx_spec::{MvMemory, Scheduler, SchedulerTask};
+        let p = self.workers;
+        let sched = Scheduler::new(ntasks);
+        let mv: MvMemory<()> = MvMemory::new(Vec::new(), ntasks);
+        let fstate = self.fault_state(ntasks);
+        let start = Instant::now();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|w| {
+                    let sched = &sched;
+                    let mv = &mv;
+                    let init = &init;
+                    let task = &task;
+                    let variability = self.variability;
+                    let trace = self.trace;
+                    let obs = self.worker_obs(w);
+                    let faults = fstate.clone();
+                    let straggle = self.straggle(w);
+                    s.spawn(move || {
+                        let mut local = init(w);
+                        let mut ctx = WorkerCtx::new(w, p, variability, trace, start, obs);
+                        if let Some(fs) = faults {
+                            ctx.attach_faults(fs, straggle);
+                        }
+                        let mut t = sched.next_task();
+                        loop {
+                            match t {
+                                SchedulerTask::Done => break,
+                                SchedulerTask::NoTask => {
+                                    if ctx.fault_aborted() {
+                                        // A peer is propagating a
+                                        // permanently-failing task's
+                                        // panic; its transaction will
+                                        // never finish, so the waves
+                                        // can never drain — exit
+                                        // instead of spinning (the
+                                        // scope join re-raises).
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                    t = sched.next_task();
+                                }
+                                SchedulerTask::Execution(v) => {
+                                    ctx.run_task(v.txn, &mut local, task);
+                                    let wrote_new = mv.write(v, Vec::new());
+                                    t = sched.finish_execution(v, wrote_new);
+                                }
+                                SchedulerTask::Validation(v) => {
+                                    let mark = ctx.obs_mark();
+                                    let ok = mv.validate(v.txn, &[]);
+                                    ctx.obs_validate(mark, v.txn, ok);
+                                    debug_assert!(
+                                        ok,
+                                        "opaque tasks read nothing; validation cannot fail"
+                                    );
+                                    sched.finish_validation();
+                                    t = sched.next_task();
+                                }
+                            }
+                        }
+                        (local, ctx.stats, ctx.events)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        self.assemble(ntasks, start.elapsed(), results)
+    }
+
     fn assemble<L>(
         &self,
         ntasks: usize,
@@ -845,6 +940,28 @@ impl WorkerCtx {
         }
     }
 
+    /// Records a speculative validation on the event ring:
+    /// `ValidateStart`/`ValidateEnd` bracket the read-set check, then
+    /// the outcome lands as a `Commit` (or `Abort`) point event.
+    #[inline]
+    fn obs_validate(&mut self, mark: Option<Duration>, txn: usize, committed: bool) {
+        if let Some(o) = self.obs.as_mut() {
+            if let Some(ring) = o.ring.as_mut() {
+                if let Some(from) = mark {
+                    let now = dur_ns(self.start.elapsed());
+                    ring.record(EventKind::ValidateStart, txn as u64, dur_ns(from));
+                    ring.record(EventKind::ValidateEnd, txn as u64, now);
+                    let outcome = if committed {
+                        EventKind::Commit
+                    } else {
+                        EventKind::Abort
+                    };
+                    ring.record(outcome, txn as u64, now);
+                }
+            }
+        }
+    }
+
     /// Closes the trailing idle interval when a worker exits because all
     /// work is done (no steal ever succeeded for this interval).
     #[inline]
@@ -888,6 +1005,7 @@ mod tests {
                 seed: SeedPartition::Cyclic,
                 ..StealConfig::default()
             }),
+            PolicyKind::Speculative(SpecConfig::default()),
         ]
     }
 

@@ -1,0 +1,49 @@
+//! Block-STM-style speculative execution substrate.
+//!
+//! The paper's 2015 hardware offered static, counter, guided, and
+//! stealing execution models; this crate implements the one it could
+//! not: *optimistic concurrency*. A block of `n` tasks ("transactions")
+//! with a fixed serial order executes speculatively across workers.
+//! Each transaction reads and writes named locations through a
+//! [`MvMemory`] multi-version store that keeps every write keyed by
+//! `(location, transaction index)`. A collaborative [`Scheduler`]
+//! drives execution and validation waves: after a transaction runs, its
+//! captured read set is re-checked against the store, and if a lower
+//! transaction has since written a location it read, the transaction is
+//! aborted and re-executed with a bumped incarnation number. The commit
+//! rule is deterministic — the final state is bit-identical to running
+//! the same transactions serially in index order, regardless of worker
+//! count or interleaving.
+//!
+//! The protocol follows Block-STM (Gelashvili et al., PPoPP 2023); the
+//! full walkthrough with the version-lifecycle diagram lives in
+//! `docs/SPECULATION.md`. Integration with the rest of the workspace is
+//! through `PolicyKind::Speculative` in `emx-sched`.
+//!
+//! ```
+//! use emx_spec::execute_transactions;
+//!
+//! // Transaction i reads location i (seeded by the previous
+//! // transaction's write) and publishes its successor at i+1 — a
+//! // serial dependency chain that forces speculation to abort and
+//! // re-execute, yet the committed state must equal serial replay.
+//! let out = execute_transactions(4, vec![0u64; 9], 8, |i, ctx| {
+//!     let seen = *ctx.read(i)?;
+//!     ctx.write(i + 1, seen + i as u64);
+//!     Ok(seen)
+//! });
+//! // Deterministic commit: location k holds sum(0..k).
+//! assert_eq!(*out.values[8], (0..8).sum::<u64>());
+//! assert_eq!(out.stats.commits, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod executor;
+mod mvmemory;
+mod scheduler;
+
+pub use executor::{execute_serial, execute_transactions, SpecOutcome, SpecStats, Stall, TxnCtx};
+pub use mvmemory::{Dependency, MvMemory, ReadOrigin, ReadValue, Version};
+pub use scheduler::{Scheduler, SchedulerTask};

@@ -1,0 +1,342 @@
+//! Multi-version memory: every write is kept, keyed by
+//! `(location, transaction index)`, so a reader at index `t` sees the
+//! highest write below `t` — the state it *would* have seen under
+//! serial execution, if that write survives validation.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Identity of one execution attempt: which transaction, and which
+/// retry of it. Incarnation 0 is the first attempt; every abort bumps
+/// it by one before re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Version {
+    /// Index of the transaction in the block's serial order.
+    pub txn: usize,
+    /// Retry counter: bumped on every abort, never reused.
+    pub incarnation: u32,
+}
+
+/// Where a read was served from — captured into the read set so
+/// validation can detect when re-reading would give something else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOrigin {
+    /// The pre-block base state (no lower transaction wrote here).
+    Base,
+    /// The multi-version entry written by this exact execution attempt.
+    Version(Version),
+}
+
+/// A successful read: the value plus the [`ReadOrigin`] to record in
+/// the read set.
+#[derive(Debug, Clone)]
+pub struct ReadValue<V> {
+    /// Which entry served the read (for the read set).
+    pub origin: ReadOrigin,
+    /// The value itself, shared with the store.
+    pub value: Arc<V>,
+}
+
+/// A read hit an ESTIMATE marker: the named lower transaction wrote
+/// this location, was aborted, and has not re-executed yet. Reading now
+/// would almost certainly be invalidated, so the attempt should stall
+/// and retry after the dependency re-executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dependency(pub usize);
+
+/// One entry in a location's version map.
+#[derive(Debug, Clone)]
+enum Slot<V> {
+    /// A speculative write by the given incarnation.
+    Write { incarnation: u32, value: Arc<V> },
+    /// Tombstone left by an abort: the next incarnation will probably
+    /// write here again, so readers should wait rather than read under
+    /// it and get invalidated.
+    Estimate,
+}
+
+/// The multi-version store: base state plus, per location, a map from
+/// writer transaction index to the current slot (a speculative write or
+/// an ESTIMATE tombstone).
+///
+/// ```
+/// use emx_spec::{MvMemory, ReadOrigin, Version};
+///
+/// let mv = MvMemory::new(vec![10u64, 20], 4);
+/// // Before any writes, every read is served from base state.
+/// let r = mv.read(0, 3).unwrap();
+/// assert_eq!((*r.value, r.origin), (10, ReadOrigin::Base));
+///
+/// // Transaction 1 publishes a write; readers *above* it see it,
+/// // readers at or below it still see base.
+/// let v = Version { txn: 1, incarnation: 0 };
+/// mv.write(v, vec![(0, 77)]);
+/// assert_eq!(*mv.read(0, 3).unwrap().value, 77);
+/// assert_eq!(mv.read(0, 3).unwrap().origin, ReadOrigin::Version(v));
+/// assert_eq!(*mv.read(0, 1).unwrap().value, 10);
+/// ```
+#[derive(Debug)]
+pub struct MvMemory<V> {
+    base: Vec<Arc<V>>,
+    /// `locs[l]`: writer txn index → slot, ordered so `range(..t)`
+    /// finds the highest writer below a reader at `t`.
+    locs: Vec<Mutex<BTreeMap<usize, Slot<V>>>>,
+    /// `written[t]`: locations the latest incarnation of txn `t` wrote
+    /// (so the next incarnation can retract stale entries, and an abort
+    /// knows which slots to convert to estimates).
+    written: Vec<Mutex<Vec<usize>>>,
+}
+
+impl<V> MvMemory<V> {
+    /// Creates a store over `base` (one slot per location) for a block
+    /// of `ntxns` transactions.
+    pub fn new(base: Vec<V>, ntxns: usize) -> MvMemory<V> {
+        let nlocs = base.len();
+        MvMemory {
+            base: base.into_iter().map(Arc::new).collect(),
+            locs: (0..nlocs).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            written: (0..ntxns).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of locations in the store.
+    pub fn num_locations(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Reads `loc` as transaction `txn`: the highest write strictly
+    /// below `txn`, or base state if no lower transaction wrote here.
+    /// Hitting an ESTIMATE (an aborted lower write awaiting
+    /// re-execution) returns [`Dependency`] instead of a value.
+    pub fn read(&self, loc: usize, txn: usize) -> Result<ReadValue<V>, Dependency> {
+        let map = self.locs[loc].lock().unwrap();
+        match map.range(..txn).next_back() {
+            None => Ok(ReadValue {
+                origin: ReadOrigin::Base,
+                value: Arc::clone(&self.base[loc]),
+            }),
+            Some((&t, Slot::Write { incarnation, value })) => Ok(ReadValue {
+                origin: ReadOrigin::Version(Version {
+                    txn: t,
+                    incarnation: *incarnation,
+                }),
+                value: Arc::clone(value),
+            }),
+            Some((&t, Slot::Estimate)) => Err(Dependency(t)),
+        }
+    }
+
+    /// Publishes one execution attempt's write set, replacing whatever
+    /// the previous incarnation of the same transaction wrote (entries
+    /// the new incarnation no longer writes are retracted). Returns
+    /// `true` if the attempt wrote a location its predecessor did not —
+    /// the scheduler then re-validates *higher* transactions, not just
+    /// this one.
+    pub fn write(&self, version: Version, writes: Vec<(usize, V)>) -> bool {
+        let new_locs: Vec<usize> = writes.iter().map(|(l, _)| *l).collect();
+        let prev = std::mem::replace(
+            &mut *self.written[version.txn].lock().unwrap(),
+            new_locs.clone(),
+        );
+        for (loc, value) in writes {
+            self.locs[loc].lock().unwrap().insert(
+                version.txn,
+                Slot::Write {
+                    incarnation: version.incarnation,
+                    value: Arc::new(value),
+                },
+            );
+        }
+        for loc in &prev {
+            if !new_locs.contains(loc) {
+                self.locs[*loc].lock().unwrap().remove(&version.txn);
+            }
+        }
+        new_locs.iter().any(|l| !prev.contains(l))
+    }
+
+    /// Re-checks a captured read set: does every read, performed again
+    /// now, come from the same origin? A mismatch (or an ESTIMATE in
+    /// the way) means a lower transaction's writes changed underneath
+    /// this transaction, so its execution used stale data.
+    pub fn validate(&self, txn: usize, reads: &[(usize, ReadOrigin)]) -> bool {
+        reads
+            .iter()
+            .all(|&(loc, origin)| match self.read(loc, txn) {
+                Ok(r) => r.origin == origin,
+                Err(_) => false,
+            })
+    }
+
+    /// Abort path: converts the transaction's live writes to ESTIMATE
+    /// tombstones so higher readers stall on the dependency instead of
+    /// reading soon-to-be-replaced values.
+    pub fn convert_writes_to_estimates(&self, txn: usize) {
+        for loc in self.written[txn].lock().unwrap().iter() {
+            let mut map = self.locs[*loc].lock().unwrap();
+            if let Some(Slot::Write { .. }) = map.get(&txn) {
+                map.insert(txn, Slot::Estimate);
+            }
+        }
+    }
+
+    /// Final committed state once the scheduler reports the block done:
+    /// per location, the highest surviving write, or base. All
+    /// estimates must have been resolved by then.
+    pub fn committed(&self) -> Vec<Arc<V>> {
+        (0..self.base.len())
+            .map(|loc| {
+                let map = self.locs[loc].lock().unwrap();
+                match map.iter().next_back() {
+                    None => Arc::clone(&self.base[loc]),
+                    Some((_, Slot::Write { value, .. })) => Arc::clone(value),
+                    Some((t, Slot::Estimate)) => {
+                        panic!("commit with unresolved estimate at loc {loc} from txn {t}")
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_sees_highest_lower_write() {
+        let mv = MvMemory::new(vec![0i32], 8);
+        mv.write(
+            Version {
+                txn: 2,
+                incarnation: 0,
+            },
+            vec![(0, 22)],
+        );
+        mv.write(
+            Version {
+                txn: 5,
+                incarnation: 0,
+            },
+            vec![(0, 55)],
+        );
+        assert_eq!(*mv.read(0, 1).unwrap().value, 0);
+        assert_eq!(*mv.read(0, 3).unwrap().value, 22);
+        assert_eq!(*mv.read(0, 7).unwrap().value, 55);
+        // A transaction never sees its own multi-version entry.
+        assert_eq!(*mv.read(0, 2).unwrap().value, 0);
+    }
+
+    #[test]
+    fn estimate_blocks_readers_and_rewrite_unblocks() {
+        let mv = MvMemory::new(vec![0i32], 4);
+        mv.write(
+            Version {
+                txn: 1,
+                incarnation: 0,
+            },
+            vec![(0, 10)],
+        );
+        mv.convert_writes_to_estimates(1);
+        assert_eq!(mv.read(0, 3).unwrap_err(), Dependency(1));
+        // Reader below the estimate is unaffected.
+        assert_eq!(*mv.read(0, 1).unwrap().value, 0);
+        mv.write(
+            Version {
+                txn: 1,
+                incarnation: 1,
+            },
+            vec![(0, 11)],
+        );
+        let r = mv.read(0, 3).unwrap();
+        assert_eq!(*r.value, 11);
+        assert_eq!(
+            r.origin,
+            ReadOrigin::Version(Version {
+                txn: 1,
+                incarnation: 1
+            })
+        );
+    }
+
+    #[test]
+    fn reincarnation_retracts_stale_locations() {
+        let mv = MvMemory::new(vec![0i32; 3], 4);
+        let wrote_new = mv.write(
+            Version {
+                txn: 1,
+                incarnation: 0,
+            },
+            vec![(0, 1), (1, 1)],
+        );
+        assert!(wrote_new);
+        // Incarnation 1 writes {1, 2}: loc 0 must be retracted, loc 2 is new.
+        let wrote_new = mv.write(
+            Version {
+                txn: 1,
+                incarnation: 1,
+            },
+            vec![(1, 2), (2, 2)],
+        );
+        assert!(wrote_new);
+        assert_eq!(mv.read(0, 3).unwrap().origin, ReadOrigin::Base);
+        assert_eq!(*mv.read(1, 3).unwrap().value, 2);
+        // Same write set again: nothing new.
+        assert!(!mv.write(
+            Version {
+                txn: 1,
+                incarnation: 2
+            },
+            vec![(1, 3), (2, 3)]
+        ));
+    }
+
+    #[test]
+    fn validate_detects_origin_drift() {
+        let mv = MvMemory::new(vec![0i32], 8);
+        let r = mv.read(0, 4).unwrap();
+        let reads = vec![(0usize, r.origin)];
+        assert!(mv.validate(4, &reads));
+        // A lower write appears: the base-origin read is now stale.
+        mv.write(
+            Version {
+                txn: 2,
+                incarnation: 0,
+            },
+            vec![(0, 9)],
+        );
+        assert!(!mv.validate(4, &reads));
+        // Re-read and the new origin validates — until the incarnation bumps.
+        let reads = vec![(0usize, mv.read(0, 4).unwrap().origin)];
+        assert!(mv.validate(4, &reads));
+        mv.write(
+            Version {
+                txn: 2,
+                incarnation: 1,
+            },
+            vec![(0, 9)],
+        );
+        assert!(!mv.validate(4, &reads));
+    }
+
+    #[test]
+    fn committed_is_highest_surviving_write() {
+        let mv = MvMemory::new(vec![1i32, 2], 4);
+        mv.write(
+            Version {
+                txn: 0,
+                incarnation: 0,
+            },
+            vec![(0, 100)],
+        );
+        mv.write(
+            Version {
+                txn: 3,
+                incarnation: 2,
+            },
+            vec![(0, 300)],
+        );
+        let state = mv.committed();
+        assert_eq!((*state[0], *state[1]), (300, 2));
+    }
+}

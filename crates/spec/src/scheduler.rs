@@ -1,0 +1,354 @@
+//! Collaborative scheduler: workers pull execution and validation
+//! tasks from two monotone wave fronts, and aborts pull the fronts
+//! back so invalidated work is redone.
+//!
+//! Two atomic indices sweep the block: `execution_idx` hands out
+//! transactions to run, `validation_idx` hands out executed
+//! transactions to re-check. A successful execution schedules its own
+//! validation; an abort bumps the transaction's incarnation, marks it
+//! ready again, and pulls both fronts back so the transaction re-runs
+//! and every higher transaction re-validates against its new writes.
+//! The block is done when both fronts have swept past the end with no
+//! task in flight and no front pulled back in between.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use crate::mvmemory::Version;
+
+/// What a worker should do next, as handed out by [`Scheduler::next_task`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerTask {
+    /// Run the transaction (this attempt = this version).
+    Execution(Version),
+    /// Re-check the recorded read set of this executed version.
+    Validation(Version),
+    /// Nothing to hand out right now; poll again (another worker may
+    /// abort and pull a front back).
+    NoTask,
+    /// Every transaction is executed and validated; stop.
+    Done,
+}
+
+/// Per-transaction lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Wants (re-)execution at the stored incarnation.
+    ReadyToExecute,
+    /// An execution attempt is in flight.
+    Executing,
+    /// Executed; writes are in the store, eligible for validation.
+    Executed,
+    /// A validator won the abort race; re-execution not yet scheduled.
+    Aborting,
+}
+
+/// The shared scheduler state for one speculative block.
+#[derive(Debug)]
+pub struct Scheduler {
+    n: usize,
+    execution_idx: AtomicUsize,
+    validation_idx: AtomicUsize,
+    /// Counts front pull-backs, so `check_done` can tell "both fronts
+    /// past the end" apart from "…but an abort just rewound one".
+    decrease_cnt: AtomicUsize,
+    /// Tasks handed out and not yet finished.
+    num_active: AtomicUsize,
+    done_marker: AtomicBool,
+    /// `(incarnation, status)` per transaction.
+    txn_status: Vec<Mutex<(u32, Status)>>,
+}
+
+impl Scheduler {
+    /// A scheduler for a block of `n` transactions, all ready at
+    /// incarnation 0.
+    pub fn new(n: usize) -> Scheduler {
+        Scheduler {
+            n,
+            execution_idx: AtomicUsize::new(0),
+            validation_idx: AtomicUsize::new(0),
+            decrease_cnt: AtomicUsize::new(0),
+            num_active: AtomicUsize::new(0),
+            done_marker: AtomicBool::new(n == 0),
+            txn_status: (0..n)
+                .map(|_| Mutex::new((0, Status::ReadyToExecute)))
+                .collect(),
+        }
+    }
+
+    /// Number of transactions in the block.
+    pub fn num_txns(&self) -> usize {
+        self.n
+    }
+
+    /// True once the whole block is executed and validated.
+    pub fn done(&self) -> bool {
+        self.done_marker.load(SeqCst)
+    }
+
+    fn decrease_idx(&self, idx: &AtomicUsize, target: usize) {
+        idx.fetch_min(target, SeqCst);
+        self.decrease_cnt.fetch_add(1, SeqCst);
+    }
+
+    /// Done iff both fronts are past the end, nothing is in flight, and
+    /// no front was pulled back while we looked.
+    fn check_done(&self) -> bool {
+        let observed = self.decrease_cnt.load(SeqCst);
+        let e = self.execution_idx.load(SeqCst);
+        let v = self.validation_idx.load(SeqCst);
+        if e.min(v) < self.n || self.num_active.load(SeqCst) > 0 {
+            return false;
+        }
+        if observed == self.decrease_cnt.load(SeqCst) {
+            self.done_marker.store(true, SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// If `txn` wants execution, claim it: mark it executing and return
+    /// the version (its current incarnation) to run.
+    fn try_incarnate(&self, txn: usize) -> Option<Version> {
+        let mut st = self.txn_status[txn].lock().unwrap();
+        if st.1 == Status::ReadyToExecute {
+            st.1 = Status::Executing;
+            Some(Version {
+                txn,
+                incarnation: st.0,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn next_version_to_execute(&self) -> Option<Version> {
+        let idx = self.execution_idx.fetch_add(1, SeqCst);
+        if idx >= self.n {
+            self.check_done();
+            return None;
+        }
+        self.try_incarnate(idx)
+    }
+
+    fn next_version_to_validate(&self) -> Option<Version> {
+        let idx = self.validation_idx.fetch_add(1, SeqCst);
+        if idx >= self.n {
+            self.check_done();
+            return None;
+        }
+        let st = self.txn_status[idx].lock().unwrap();
+        if st.1 == Status::Executed {
+            Some(Version {
+                txn: idx,
+                incarnation: st.0,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Hands out the next unit of work, preferring the front that is
+    /// further behind (validation catches invalidations early, which
+    /// saves wasted downstream execution).
+    pub fn next_task(&self) -> SchedulerTask {
+        if self.done() {
+            return SchedulerTask::Done;
+        }
+        let validate_first = self.validation_idx.load(SeqCst) < self.execution_idx.load(SeqCst);
+        let picked = if validate_first {
+            self.next_version_to_validate()
+                .map(SchedulerTask::Validation)
+        } else {
+            self.next_version_to_execute().map(SchedulerTask::Execution)
+        };
+        match picked {
+            Some(task) => {
+                self.num_active.fetch_add(1, SeqCst);
+                task
+            }
+            None if self.done() => SchedulerTask::Done,
+            None => SchedulerTask::NoTask,
+        }
+    }
+
+    /// Reports a completed execution. If the attempt wrote a location
+    /// its previous incarnation did not, every higher transaction could
+    /// have read stale data, so the validation front is pulled back to
+    /// `txn`; otherwise only `txn` itself needs re-checking and its
+    /// validation task is returned directly (still counted active).
+    pub fn finish_execution(&self, version: Version, wrote_new_location: bool) -> SchedulerTask {
+        {
+            let mut st = self.txn_status[version.txn].lock().unwrap();
+            debug_assert_eq!((st.0, st.1), (version.incarnation, Status::Executing));
+            st.1 = Status::Executed;
+        }
+        if self.validation_idx.load(SeqCst) > version.txn {
+            if wrote_new_location {
+                self.decrease_idx(&self.validation_idx, version.txn);
+            } else {
+                // Hand the validation task straight back: the active
+                // count carries over from the execution task.
+                return SchedulerTask::Validation(version);
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        self.check_done();
+        SchedulerTask::NoTask
+    }
+
+    /// Reports an execution attempt that stalled on a [`Dependency`]
+    /// (read an ESTIMATE): the transaction goes back to ready at the
+    /// *same* incarnation and the execution front is pulled back so it
+    /// is retried once the dependency re-executes.
+    ///
+    /// [`Dependency`]: crate::Dependency
+    pub fn fail_execution(&self, version: Version) {
+        {
+            let mut st = self.txn_status[version.txn].lock().unwrap();
+            debug_assert_eq!((st.0, st.1), (version.incarnation, Status::Executing));
+            st.1 = Status::ReadyToExecute;
+        }
+        self.decrease_idx(&self.execution_idx, version.txn);
+        self.num_active.fetch_sub(1, SeqCst);
+        self.check_done();
+    }
+
+    /// A validator found a stale read set. At most one caller wins per
+    /// incarnation (the status must still be `Executed` at the same
+    /// incarnation); the winner must convert the writes to estimates
+    /// and then call [`Scheduler::finish_abort`].
+    pub fn try_validation_abort(&self, version: Version) -> bool {
+        let mut st = self.txn_status[version.txn].lock().unwrap();
+        if *st == (version.incarnation, Status::Executed) {
+            st.1 = Status::Aborting;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes a won abort: bump the incarnation, mark the
+    /// transaction ready, and pull both fronts back — re-execute it,
+    /// and re-validate every higher transaction against the estimates
+    /// now standing where its writes were.
+    pub fn finish_abort(&self, version: Version) {
+        {
+            let mut st = self.txn_status[version.txn].lock().unwrap();
+            debug_assert_eq!((st.0, st.1), (version.incarnation, Status::Aborting));
+            *st = (version.incarnation + 1, Status::ReadyToExecute);
+        }
+        self.decrease_idx(&self.execution_idx, version.txn);
+        self.decrease_idx(&self.validation_idx, version.txn + 1);
+    }
+
+    /// Reports a validation task finished (whether it passed, lost the
+    /// abort race, or won it — abort bookkeeping is separate).
+    pub fn finish_validation(&self) {
+        self.num_active.fetch_sub(1, SeqCst);
+        self.check_done();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-threaded drive: executes every task in hand-out order
+    /// with no conflicts; the scheduler must hand out each transaction
+    /// exactly once and then report done.
+    #[test]
+    fn conflict_free_block_drains_to_done() {
+        let s = Scheduler::new(3);
+        let mut executed = Vec::new();
+        let mut validated = Vec::new();
+        let mut pending = s.next_task();
+        let mut spins = 0;
+        loop {
+            match pending {
+                SchedulerTask::Execution(v) => {
+                    executed.push(v.txn);
+                    pending = s.finish_execution(v, true);
+                }
+                SchedulerTask::Validation(v) => {
+                    validated.push(v.txn);
+                    s.finish_validation();
+                    pending = s.next_task();
+                }
+                SchedulerTask::NoTask => {
+                    spins += 1;
+                    assert!(spins < 1000, "scheduler wedged");
+                    pending = s.next_task();
+                }
+                SchedulerTask::Done => break,
+            }
+        }
+        assert_eq!(executed, vec![0, 1, 2]);
+        assert_eq!(validated, vec![0, 1, 2]);
+        assert!(s.done());
+    }
+
+    /// Polls past `NoTask` until the scheduler hands out a real task.
+    fn next_real(s: &Scheduler) -> SchedulerTask {
+        for _ in 0..1000 {
+            match s.next_task() {
+                SchedulerTask::NoTask => continue,
+                t => return t,
+            }
+        }
+        panic!("scheduler wedged on NoTask");
+    }
+
+    #[test]
+    fn abort_bumps_incarnation_and_rewinds_fronts() {
+        let s = Scheduler::new(2);
+        let v0 = match next_real(&s) {
+            SchedulerTask::Execution(v) => v,
+            t => panic!("expected execution, got {t:?}"),
+        };
+        let v1 = match next_real(&s) {
+            SchedulerTask::Execution(v) => v,
+            t => panic!("expected execution, got {t:?}"),
+        };
+        assert_eq!((v0.txn, v1.txn), (0, 1));
+        let mut pending = s.finish_execution(v1, false);
+        if pending == SchedulerTask::NoTask {
+            pending = next_real(&s);
+        }
+        assert_eq!(pending, SchedulerTask::Validation(v1));
+        // Validation of txn 1 fails: abort wins once, exactly once.
+        assert!(s.try_validation_abort(v1));
+        assert!(!s.try_validation_abort(v1));
+        s.finish_abort(v1);
+        s.finish_validation();
+        // Txn 1 comes back at incarnation 1.
+        let v1b = match next_real(&s) {
+            SchedulerTask::Execution(v) => v,
+            t => panic!("expected re-execution, got {t:?}"),
+        };
+        assert_eq!((v1b.txn, v1b.incarnation), (1, 1));
+        assert!(!s.done());
+    }
+
+    #[test]
+    fn empty_block_is_born_done() {
+        let s = Scheduler::new(0);
+        assert_eq!(s.next_task(), SchedulerTask::Done);
+    }
+
+    #[test]
+    fn stall_retries_at_same_incarnation() {
+        let s = Scheduler::new(2);
+        let v0 = match s.next_task() {
+            SchedulerTask::Execution(v) => v,
+            t => panic!("{t:?}"),
+        };
+        s.fail_execution(v0);
+        let again = match s.next_task() {
+            SchedulerTask::Execution(v) => v,
+            t => panic!("{t:?}"),
+        };
+        assert_eq!((again.txn, again.incarnation), (0, 0));
+    }
+}

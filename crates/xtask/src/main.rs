@@ -1,6 +1,6 @@
 //! `cargo xtask` — the repository's lint wall.
 //!
-//! `cargo xtask lint` runs five families of checks that rustc and
+//! `cargo xtask lint` runs six families of checks that rustc and
 //! clippy cannot express, and exits non-zero on any finding:
 //!
 //! 1. **Replay-path hygiene** — the deterministic replay paths
@@ -30,6 +30,11 @@
 //!    steal or quartet inner loops ([`NO_COLLECTING_SINK_FILES`]): a
 //!    mutex-guarded `Vec` push per event would put allocation and
 //!    cross-core traffic back inside the measured region.
+//! 6. **Doc-link integrity** — every relative markdown link in
+//!    `README.md` and `docs/*.md` must resolve to an existing file
+//!    (fragments stripped, absolute URLs and pure anchors skipped), so
+//!    renaming or dropping a document cannot leave dangling references
+//!    behind.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -50,7 +55,7 @@ const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[];
 
 /// Experiment ids legitimately absent from `reproduce`'s default list
 /// (on-demand modes).
-const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile"];
+const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile", "speculate"];
 
 /// Files whose non-test code forms the ERI quartet inner loop and must
 /// stay free of per-call `Vec` allocation.
@@ -349,6 +354,85 @@ fn lint_no_collecting_sink(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// The markdown files whose relative links lint 6 checks: the README
+/// plus everything under `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Every `](target)` markdown-link target on one line, in order.
+fn markdown_link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(i) = rest.find("](") {
+        let tail = &rest[i + 2..];
+        let Some(close) = tail.find(')') else { break };
+        out.push(tail[..close].trim().to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// Lint 6: every relative markdown link in the README and `docs/*.md`
+/// must resolve (relative to the containing file) after stripping any
+/// `#fragment`. Absolute URLs, `mailto:` and pure in-page anchors are
+/// out of scope; fenced code blocks are skipped so example syntax
+/// cannot false-positive.
+fn lint_doc_links(root: &Path, findings: &mut Vec<String>) {
+    for file in doc_files(root) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            findings.push(format!("doc links: cannot read {}", file.display()));
+            continue;
+        };
+        let dir = file.parent().unwrap_or(root).to_path_buf();
+        let shown = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        let mut in_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in markdown_link_targets(line) {
+                if target.is_empty()
+                    || target.starts_with('#')
+                    || target.contains("://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap_or(target.as_str());
+                if path_part.is_empty() {
+                    continue;
+                }
+                if !dir.join(path_part).exists() {
+                    findings.push(format!(
+                        "{shown}:{}: doc link: `{target}` does not resolve to an \
+                         existing file",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
 fn run_lints() -> Vec<String> {
     let root = repo_root();
     let mut findings = Vec::new();
@@ -357,6 +441,7 @@ fn run_lints() -> Vec<String> {
     lint_experiment_registration(&root, &mut findings);
     lint_hotpath_allocations(&root, &mut findings);
     lint_no_collecting_sink(&root, &mut findings);
+    lint_doc_links(&root, &mut findings);
     findings
 }
 
@@ -399,6 +484,34 @@ mod tests {
             vec!["e1".to_string(), "e2".to_string()]
         );
         assert!(quoted_idents("no strings here").is_empty());
+    }
+
+    #[test]
+    fn markdown_link_target_extraction() {
+        assert_eq!(
+            markdown_link_targets("see [a](docs/A.md) and ![img](x.png#frag)"),
+            vec!["docs/A.md".to_string(), "x.png#frag".to_string()]
+        );
+        assert!(markdown_link_targets("no links [here] (space)").is_empty());
+    }
+
+    #[test]
+    fn doc_link_lint_flags_dangling_and_accepts_valid() {
+        let dir = std::env::temp_dir().join("xtask-doclink-selftest");
+        let docs = dir.join("docs");
+        std::fs::create_dir_all(&docs).unwrap();
+        std::fs::write(dir.join("README.md"), "[ok](docs/GOOD.md)\n").unwrap();
+        std::fs::write(
+            docs.join("GOOD.md"),
+            "[up](../README.md#anchor)\n[web](https://example.com/x.md)\n\
+             [anchor](#local)\n```\n[fenced](MISSING.md)\n```\n[bad](GONE.md)\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_doc_links(&dir, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("GONE.md"), "{findings:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -637,7 +637,11 @@ impl Executor {
                                     let mark = ctx.obs_mark();
                                     let ok = mv.validate(v.txn, &[]);
                                     ctx.obs_validate(mark, v.txn, ok);
-                                    debug_assert!(
+                                    // Hard assert (off the hot path): if the
+                                    // runtime arm ever gains real read sets, a
+                                    // failed validation must not be silently
+                                    // ignored in release builds.
+                                    assert!(
                                         ok,
                                         "opaque tasks read nothing; validation cannot fail"
                                     );

@@ -123,30 +123,51 @@ impl Scheduler {
         }
     }
 
+    /// Claims the next execution slot. The active count is raised
+    /// *before* the index fetch (Block-STM Algorithm 3 ordering): once
+    /// a slot is claimed it is always counted, so `check_done` can
+    /// never observe quiescence while a claimed task is still between
+    /// "index taken" and "reported active". If no task materialises
+    /// (front past the end, or the transaction is not ready), the
+    /// count is released again.
     fn next_version_to_execute(&self) -> Option<Version> {
-        let idx = self.execution_idx.fetch_add(1, SeqCst);
-        if idx >= self.n {
+        if self.execution_idx.load(SeqCst) >= self.n {
             self.check_done();
             return None;
         }
-        self.try_incarnate(idx)
+        self.num_active.fetch_add(1, SeqCst);
+        let idx = self.execution_idx.fetch_add(1, SeqCst);
+        if idx < self.n {
+            if let Some(v) = self.try_incarnate(idx) {
+                return Some(v);
+            }
+        }
+        self.num_active.fetch_sub(1, SeqCst);
+        self.check_done();
+        None
     }
 
+    /// Claims the next validation slot; same count-before-claim
+    /// ordering as [`Scheduler::next_version_to_execute`].
     fn next_version_to_validate(&self) -> Option<Version> {
-        let idx = self.validation_idx.fetch_add(1, SeqCst);
-        if idx >= self.n {
+        if self.validation_idx.load(SeqCst) >= self.n {
             self.check_done();
             return None;
         }
-        let st = self.txn_status[idx].lock().unwrap();
-        if st.1 == Status::Executed {
-            Some(Version {
-                txn: idx,
-                incarnation: st.0,
-            })
-        } else {
-            None
+        self.num_active.fetch_add(1, SeqCst);
+        let idx = self.validation_idx.fetch_add(1, SeqCst);
+        if idx < self.n {
+            let st = self.txn_status[idx].lock().unwrap();
+            if st.1 == Status::Executed {
+                return Some(Version {
+                    txn: idx,
+                    incarnation: st.0,
+                });
+            }
         }
+        self.num_active.fetch_sub(1, SeqCst);
+        self.check_done();
+        None
     }
 
     /// Hands out the next unit of work, preferring the front that is
@@ -164,10 +185,8 @@ impl Scheduler {
             self.next_version_to_execute().map(SchedulerTask::Execution)
         };
         match picked {
-            Some(task) => {
-                self.num_active.fetch_add(1, SeqCst);
-                task
-            }
+            // Already counted active by next_version_to_{execute,validate}.
+            Some(task) => task,
             None if self.done() => SchedulerTask::Done,
             None => SchedulerTask::NoTask,
         }

@@ -8,8 +8,10 @@
 //! are held to it.
 //!
 //! `EMX_FOCK_SMOKE=1` shrinks the run (2 samples, 1–2 workers) for CI;
-//! the smoke run skips the same-machine trajectory assertion since the
-//! baseline was recorded on the development host.
+//! the smoke run skips the same-machine trajectory assertions (the
+//! baselines were recorded on the development host) but still asserts
+//! the host-independent batched-vs-scalar kernel ratio, so CI catches a
+//! regression of the SoA restructure itself.
 
 use emx_bench::fockbench::fock_hotpath_measure;
 use emx_obs::{git_describe_string, RunMeta};
@@ -26,6 +28,18 @@ const SMOKE_WORKERS: [usize; 2] = [1, 2];
 const BASELINE_GIT: &str = "aef2bf7";
 const BASELINE_SERIAL_BUILDS_PER_SEC: f64 = 6.587;
 const BASELINE_SERIAL_QUARTETS_PER_SEC: f64 = 86104.0;
+
+/// Serial throughput stamped in `results/BENCH_fock.json` immediately
+/// before the batched SoA kernel landed (scalar `eri_quartet_into`
+/// path, same harness, same host). The batched kernel must hold at
+/// least [`BATCHED_FLOOR_FACTOR`]× this — the asserted floor of the
+/// SoA restructure (the measured landing was ~2.5×).
+const PRE_BATCH_SERIAL_BUILDS_PER_SEC: f64 = 16.52;
+const BATCHED_FLOOR_FACTOR: f64 = 2.0;
+
+/// Host-independent floor on the batched/scalar same-process ratio —
+/// asserted even in smoke runs, where absolute builds/s means nothing.
+const BATCHED_VS_SCALAR_FLOOR: f64 = 1.3;
 
 fn main() {
     let smoke = std::env::var("EMX_FOCK_SMOKE").is_ok();
@@ -58,6 +72,17 @@ fn main() {
         f64::NAN
     };
     println!("serial speedup vs {BASELINE_GIT} baseline: {speedup:.2}x");
+    let vs_scalar = report
+        .batched_vs_scalar()
+        .expect("report includes the scalar arm");
+    println!("batched kernel vs scalar kernel (serial, same process): {vs_scalar:.2}x");
+    // The ratio of two same-process arms is host-independent, so it is
+    // asserted even in smoke/CI runs.
+    assert!(
+        vs_scalar > BATCHED_VS_SCALAR_FLOOR,
+        "batched kernel only {vs_scalar:.2}x over scalar \
+         (floor {BATCHED_VS_SCALAR_FLOOR}x)"
+    );
     if !smoke && BASELINE_SERIAL_BUILDS_PER_SEC > 0.0 {
         // Same-machine trajectory floor: the scratch/Boys-table rework
         // bought >1.5x; never regress below 1.2x of the old kernel.
@@ -65,6 +90,15 @@ fn main() {
             speedup > 1.2,
             "serial Fock throughput regressed to {speedup:.2}x of the \
              pre-rework baseline (floor 1.2x)"
+        );
+        // Batched-SoA floor: hold ≥2x of the stamped pre-batch serial
+        // throughput on the development host.
+        let floor = BATCHED_FLOOR_FACTOR * PRE_BATCH_SERIAL_BUILDS_PER_SEC;
+        assert!(
+            serial >= floor,
+            "serial Fock throughput {serial:.2} builds/s fell below the \
+             batched-kernel floor {floor:.2} ({BATCHED_FLOOR_FACTOR}x the \
+             pre-batch {PRE_BATCH_SERIAL_BUILDS_PER_SEC})"
         );
     }
 
@@ -75,7 +109,10 @@ fn main() {
          \"nbf\": {},\n  \"ntasks\": {},\n  \"quartets_per_build\": {},\n  \
          \"samples\": {},\n  \"baseline\": {{\"git\": \"{}\", \
          \"serial_builds_per_sec\": {:.3}, \"serial_quartets_per_sec\": {:.1}}},\n  \
-         \"serial_speedup_vs_baseline\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"serial_speedup_vs_baseline\": {:.3},\n  \
+         \"pre_batch_serial_builds_per_sec\": {:.3},\n  \
+         \"serial_floor_builds_per_sec\": {:.3},\n  \
+         \"batched_vs_scalar\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
         meta.schema_version,
         meta.experiment_id,
         meta.git_describe,
@@ -89,6 +126,9 @@ fn main() {
         BASELINE_SERIAL_BUILDS_PER_SEC,
         BASELINE_SERIAL_QUARTETS_PER_SEC,
         speedup,
+        PRE_BATCH_SERIAL_BUILDS_PER_SEC,
+        BATCHED_FLOOR_FACTOR * PRE_BATCH_SERIAL_BUILDS_PER_SEC,
+        vs_scalar,
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_fock.json");

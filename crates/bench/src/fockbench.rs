@@ -44,6 +44,29 @@ impl FockBenchReport {
             .find(|r| r.policy == "serial")
             .map(|r| r.builds_per_sec)
     }
+
+    /// The serial throughput of the retained *scalar* quartet kernel
+    /// (`FockBuilder::execute_scalar`) on the same workload.
+    pub fn scalar_serial_builds_per_sec(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.policy == "serial-scalar")
+            .map(|r| r.builds_per_sec)
+    }
+
+    /// Batched-kernel speedup over the scalar kernel, serial on this
+    /// host. Both arms run in the same process on the same workload, so
+    /// unlike the absolute builds/s trajectory this ratio is
+    /// host-independent evidence that the SoA restructure pays.
+    pub fn batched_vs_scalar(&self) -> Option<f64> {
+        match (
+            self.serial_builds_per_sec(),
+            self.scalar_serial_builds_per_sec(),
+        ) {
+            (Some(b), Some(s)) if s > 0.0 => Some(b / s),
+            _ => None,
+        }
+    }
 }
 
 /// The standard hot-path workload: (H₂O)₂/6-31G, τ = 1e-10, chunk = 8,
@@ -79,6 +102,38 @@ pub fn fock_hotpath_measure(samples: usize, worker_counts: &[usize]) -> FockBenc
         .sum();
 
     let mut rows = Vec::new();
+
+    // The retained scalar kernel, serial, same task list: the batched /
+    // scalar ratio is the host-independent reading of the SoA rework.
+    {
+        let fb = emx_chem::fock::FockBuilder::new(&bm, &pairs, tau);
+        let tasks = fb.tasks(8);
+        let mut scratch = fb.scratch();
+        let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+        for t in &tasks {
+            fb.execute_scalar(t, &density, &mut g, &mut scratch);
+        }
+        let mut secs: Vec<f64> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                let mut g = Matrix::zeros(bm.nbf, bm.nbf);
+                let mut q = 0;
+                for t in &tasks {
+                    q += fb.execute_scalar(t, &density, &mut g, &mut scratch);
+                }
+                assert_eq!(q, quartets_per_build);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        secs.sort_by(|a, b| a.total_cmp(b));
+        let median = secs[secs.len() / 2];
+        rows.push(FockBenchRow {
+            policy: "serial-scalar".into(),
+            workers: 1,
+            builds_per_sec: 1.0 / median,
+            quartets_per_sec: quartets_per_build as f64 / median,
+        });
+    }
     for &workers in worker_counts {
         let mut roster = vec![("serial".to_string(), PolicyKind::Serial)];
         roster.extend(PolicyKind::comparison_roster(8));
@@ -130,7 +185,10 @@ mod tests {
         let report = fock_hotpath_measure(1, &[1]);
         assert!(report.quartets_per_build > 1000, "screening left work");
         assert!(report.serial_builds_per_sec().unwrap() > 0.0);
-        // serial + the 5-policy comparison roster at one worker count
-        assert_eq!(report.rows.len(), 6);
+        // scalar arm + serial + the 5-policy comparison roster at one
+        // worker count
+        assert_eq!(report.rows.len(), 7);
+        assert!(report.scalar_serial_builds_per_sec().unwrap() > 0.0);
+        assert!(report.batched_vs_scalar().unwrap() > 0.0);
     }
 }

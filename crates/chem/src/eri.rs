@@ -18,15 +18,21 @@ use crate::md::{hermite_r_into, r_index, RScratch};
 use crate::shellpair::ShellPair;
 use std::f64::consts::PI;
 
-/// Reusable per-worker buffers for the ERI kernel: the output block
-/// plus the Hermite/Boys scratch of [`RScratch`]. One `EriScratch`
-/// lives in each worker's local state; after a warm-up quartet per
-/// angular-momentum class the hot loop performs zero heap allocations
-/// (asserted by the counting-allocator guard in `tests/alloc_guard.rs`).
+/// Reusable per-worker buffers for the ERI kernels: the scalar output
+/// block, the Hermite/Boys scratch of [`RScratch`], and the batched
+/// kernel's accumulators ([`crate::eribatch::BatchScratch`]). One
+/// `EriScratch` lives in each worker's local state; after a warm-up
+/// pass per angular-momentum class the hot loop performs zero heap
+/// allocations (asserted by the counting-allocator guard in
+/// `tests/alloc_guard.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct EriScratch {
-    block: Vec<f64>,
-    r: RScratch,
+    pub(crate) block: Vec<f64>,
+    pub(crate) r: RScratch,
+    pub(crate) batch: crate::eribatch::BatchScratch,
+    /// Surviving-ket staging list for the batched consumers (taken and
+    /// restored around `eri_bra_block_into` calls).
+    pub(crate) ket_buf: Vec<u32>,
 }
 
 impl EriScratch {
@@ -41,10 +47,20 @@ impl EriScratch {
         let ncart = (l_shell + 1) * (l_shell + 2) / 2;
         let mut s = EriScratch {
             block: Vec::with_capacity(ncart * ncart * ncart * ncart),
-            r: RScratch::new(),
+            ..EriScratch::default()
         };
         s.r.ensure(4 * l_shell);
+        s.batch.warm(l_shell);
         s
+    }
+
+    /// Output block of ket `i` from the last
+    /// [`crate::eribatch::eri_bra_block_into`] call on this scratch,
+    /// laid out exactly like [`eri_quartet_into`]'s return.
+    #[inline]
+    pub fn ket_block(&self, i: usize) -> &[f64] {
+        let (b, e) = (self.batch.offs[i], self.batch.offs[i + 1]);
+        &self.batch.blocks[b..e]
     }
 }
 
@@ -300,15 +316,31 @@ pub fn eri_quartet_schwarz_max(scratch: &mut EriScratch, sp: &ShellPair, shells:
     maxv
 }
 
-/// Estimated floating-point work of one quartet: primitive-pair products
-/// times component products times Hermite contraction length. Used by
-/// the inspector pass and the static cost-model balancers.
+/// Estimated floating-point work of one quartet under the batched
+/// kernel ([`crate::eribatch::eri_bra_block_into`]), in FMA-ish units.
+/// Used by the inspector pass and the static cost-model balancers.
+///
+/// Mirrors the kernel's two-stage shape: per primitive *pair*, the `R`
+/// recurrence (`Σ_n` tetrahedra ≈ the 4-simplex count) plus the stage-1
+/// gather and ket contraction (`nh_bra·nh_ket·(1 + ncomp_ket)`); per
+/// *bra* primitive, one stage-2 `nh_bra·ncomp_bra·ncomp_ket` product —
+/// the bra-side contraction is amortized over the ket contraction
+/// depth, which is exactly why deep ket contractions are relatively
+/// cheaper than the old `P_b·P_k·ncomp⁴`-style model claimed.
 pub fn quartet_cost_estimate(bra: &ShellPair, ket: &ShellPair) -> u64 {
-    let ncart_bra = ((bra.la + 1) * (bra.la + 2) / 2) * ((bra.lb + 1) * (bra.lb + 2) / 2);
-    let ncart_ket = ((ket.la + 1) * (ket.la + 2) / 2) * ((ket.lb + 1) * (ket.lb + 2) / 2);
+    let ncart = |l: usize| (l + 1) * (l + 2) / 2;
+    let tetra = |l: usize| (l + 1) * (l + 2) * (l + 3) / 6;
+    let ncomp_bra = (ncart(bra.la) * ncart(bra.lb)) as u64;
+    let ncomp_ket = (ncart(ket.la) * ncart(ket.lb)) as u64;
+    let nh_bra = tetra(bra.la + bra.lb) as u64;
+    let nh_ket = tetra(ket.la + ket.lb) as u64;
     let l = bra.la + bra.lb + ket.la + ket.lb;
-    let hermite = ((l + 1) * (l + 2) * (l + 3) / 6) as u64;
-    (bra.prims.len() as u64) * (ket.prims.len() as u64) * (ncart_bra * ncart_ket) as u64 * hermite
+    // Building R_{tuv} writes one simplex per auxiliary level: the
+    // 4-simplex number (l+1)(l+2)(l+3)(l+4)/24.
+    let r_cost = (tetra(l) * (l + 4) / 4) as u64;
+    let pb = bra.prims.len() as u64;
+    let pk = ket.prims.len() as u64;
+    pb * pk * (r_cost + nh_bra * nh_ket * (1 + ncomp_ket)) + pb * nh_bra * ncomp_bra * ncomp_ket
 }
 
 /// The pre-scratch allocating kernel, kept verbatim as the oracle the

@@ -1,0 +1,176 @@
+//! The batched ERI kernel: all surviving kets of one bra pair in a
+//! single pass over the SoA shell-pair data.
+//!
+//! Same McMurchie–Davidson contraction as [`crate::eri::eri_quartet_into`],
+//! restructured for throughput. The scalar kernel walks six nested
+//! sparse `E`-coefficient loops per output component, calling
+//! `HermiteE::at` (index arithmetic + bounds branch) for every factor.
+//! Here the `E` products are precomputed dense rows over the Hermite
+//! simplex ([`crate::shellpair::ShellPairBatch`]), so the contraction
+//! becomes two flat, branch-free stages per bra primitive:
+//!
+//! ```text
+//! stage 1 (per ket primitive kp):
+//!   T[hb][cd] += Σ_hk  e_ket[kp][cd][hk] · pref(bp,kp) · R[comb[hb][hk]]
+//! stage 2 (per bra primitive bp, after all kp):
+//!   out[ab][cd] += Σ_hb e_bra[bp][ab][hb] · T[hb][cd]
+//! ```
+//!
+//! Stage 2 — the `ncomp_bra · ncomp_ket · nh_bra` triple product that
+//! dominates high-angular-momentum quartets — thus runs once per *bra*
+//! primitive instead of once per primitive *pair*: the bra contraction
+//! is amortized over the ket contraction depth. All loops are
+//! contiguous-slice dot products and AXPYs the autovectorizer handles;
+//! the `(−1)^{τ+ν+φ}` sign and every coefficient/norm factor are folded
+//! into the tables at pair-build time.
+//!
+//! Each ket's block is computed into its own accumulators, so a
+//! quartet's result is bit-identical regardless of which other kets
+//! share the call — task chunking and worker count cannot perturb `G`.
+//! Against the scalar kernel only the summation *order* differs, so
+//! agreement is to rounding (≤ 1e-12 relative; pinned by the property
+//! test in `tests/eri_batch_equivalence.rs`), not bitwise.
+
+use crate::eri::EriScratch;
+use crate::md::{hermite_comb_table, hermite_count, hermite_r_into};
+use crate::shellpair::PairBatchSet;
+use std::f64::consts::PI;
+
+/// Reusable buffers of the batched kernel, embedded in [`EriScratch`]
+/// so every consumer keeps one per worker. `blocks` holds the
+/// concatenated per-ket output blocks of the last
+/// [`eri_bra_block_into`] call, delimited by `offs`.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    /// Stage-1 accumulator `T[hb][comp_ket]` for the current bra prim.
+    pub(crate) tacc: Vec<f64>,
+    /// Prefactor-scaled `R` gather row, length `nh_ket`.
+    pub(crate) rg: Vec<f64>,
+    /// Concatenated per-ket output blocks.
+    pub(crate) blocks: Vec<f64>,
+    /// Block offsets: ket `i` owns `blocks[offs[i]..offs[i+1]]`.
+    pub(crate) offs: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Pre-sizes the per-quartet buffers for shells up to `l_shell`
+    /// (the ket-list-dependent `blocks` buffer still grows on first
+    /// use; consumers warm it with one untimed pass, as the allocation
+    /// guard does).
+    pub(crate) fn warm(&mut self, l_shell: usize) {
+        let ncart = (l_shell + 1) * (l_shell + 2) / 2;
+        let nh = hermite_count(2 * l_shell);
+        self.tacc.reserve(nh * ncart * ncart);
+        self.rg.reserve(nh);
+    }
+}
+
+/// Computes the Cartesian integral blocks of every quartet `(bra |
+/// ket)` for `kets` (pair indices, caller order preserved) into
+/// `scratch`; read them back via [`EriScratch::ket_block`].
+///
+/// Block `i` is indexed `[(ia·ncb + ib)·ncc·ncd + ic·ncd + id]` with
+/// normalization applied — identical layout and meaning to
+/// [`crate::eri::eri_quartet_into`], which remains the independent
+/// scalar oracle. Allocation-free once the scratch has seen the
+/// angular classes and a ket list at least this large.
+pub fn eri_bra_block_into(scratch: &mut EriScratch, set: &PairBatchSet, bra: usize, kets: &[u32]) {
+    let EriScratch { r: rs, batch, .. } = scratch;
+    let BatchScratch {
+        tacc,
+        rg,
+        blocks,
+        offs,
+    } = batch;
+    let (bc, bslot) = set.class_of(bra);
+    let nh_b = bc.nh;
+    let ncomp_b = bc.ncomp;
+    let bp0 = bc.prim_off[bslot] as usize;
+    let bp1 = bc.prim_off[bslot + 1] as usize;
+
+    offs.clear();
+    offs.push(0);
+    let mut total = 0usize;
+    for &k in kets {
+        total += ncomp_b * set.class_of(k as usize).0.ncomp;
+        offs.push(total);
+    }
+    blocks.clear();
+    blocks.resize(total, 0.0);
+
+    for (ki, &k) in kets.iter().enumerate() {
+        let (kc, kslot) = set.class_of(k as usize);
+        let nh_k = kc.nh;
+        let ncomp_k = kc.ncomp;
+        let l_tot = bc.l + kc.l;
+        let comb = hermite_comb_table(bc.l, kc.l);
+        let kp0 = kc.prim_off[kslot] as usize;
+        let kp1 = kc.prim_off[kslot + 1] as usize;
+        let out = &mut blocks[offs[ki]..offs[ki + 1]];
+
+        rg.clear();
+        rg.resize(nh_k, 0.0);
+
+        for bp in bp0..bp1 {
+            tacc.clear();
+            tacc.resize(nh_b * ncomp_k, 0.0);
+            let pb = bc.p[bp];
+            let (bx, by, bz) = (bc.px[bp], bc.py[bp], bc.pz[bp]);
+
+            for kp in kp0..kp1 {
+                let q = kc.p[kp];
+                let alpha = pb * q / (pb + q);
+                let pref = 2.0 * PI.powf(2.5) / (pb * q * (pb + q).sqrt());
+                hermite_r_into(
+                    rs,
+                    l_tot,
+                    alpha,
+                    bx - kc.px[kp],
+                    by - kc.py[kp],
+                    bz - kc.pz[kp],
+                );
+                let rt = rs.r();
+                let e_k = &kc.e_ket[kp * ncomp_k * nh_k..][..ncomp_k * nh_k];
+                for hb in 0..nh_b {
+                    // Gather the prefactor-scaled R row this bra
+                    // Hermite component pairs with, then dot it against
+                    // every ket component's dense E row.
+                    let crow = &comb[hb * nh_k..][..nh_k];
+                    for (x, &ci) in rg.iter_mut().zip(crow) {
+                        *x = pref * rt[ci as usize];
+                    }
+                    let trow = &mut tacc[hb * ncomp_k..][..ncomp_k];
+                    let mut ec = 0;
+                    for t in trow.iter_mut() {
+                        let erow = &e_k[ec..ec + nh_k];
+                        ec += nh_k;
+                        let mut s = 0.0;
+                        for (e, g) in erow.iter().zip(rg.iter()) {
+                            s += e * g;
+                        }
+                        *t += s;
+                    }
+                }
+            }
+
+            // Stage 2: contract the bra E rows against the accumulated
+            // T — once per bra primitive, amortized over ket prims.
+            let e_b = &bc.e_bra[bp * ncomp_b * nh_b..][..ncomp_b * nh_b];
+            for a in 0..ncomp_b {
+                let erow = &e_b[a * nh_b..][..nh_b];
+                let orow = &mut out[a * ncomp_k..][..ncomp_k];
+                for (hb, &w) in erow.iter().enumerate() {
+                    // Dense bra rows keep the E triangle's zeros; a row
+                    // skip here saves the whole ncomp_k AXPY.
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let trow = &tacc[hb * ncomp_k..][..ncomp_k];
+                    for (o, t) in orow.iter_mut().zip(trow) {
+                        *o += w * t;
+                    }
+                }
+            }
+        }
+    }
+}

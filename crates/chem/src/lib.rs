@@ -8,7 +8,9 @@
 //!   alkanes, random clusters);
 //! * [`basis`] — contracted Gaussian shells, STO-3G and 6-31G data;
 //! * [`boys`], [`md`] — Boys function and McMurchie–Davidson machinery;
-//! * [`oneint`], [`eri`] — one- and two-electron integrals;
+//! * [`oneint`], [`eri`] — one- and two-electron integrals
+//!   ([`eribatch`] holds the batched SoA quartet kernel the Fock build
+//!   runs on; [`eri`] keeps the scalar oracle);
 //! * [`screening`] — Schwarz screening (the source of task-cost skew);
 //! * [`fock`] — the Fock build decomposed into schedulable tasks;
 //! * [`scf`] — the RHF driver consuming the kernel;
@@ -32,6 +34,7 @@
 pub mod basis;
 pub mod boys;
 pub mod eri;
+pub mod eribatch;
 pub mod fock;
 pub mod md;
 pub mod molecule;

@@ -102,6 +102,77 @@ impl HermiteE {
     }
 }
 
+/// Number of Hermite components `(t,u,v)` with `t+u+v ≤ l` — the
+/// tetrahedral number `(l+1)(l+2)(l+3)/6`. This is the row length of
+/// every dense Hermite table in the batched ERI path.
+#[inline]
+pub const fn hermite_count(l: usize) -> usize {
+    (l + 1) * (l + 2) * (l + 3) / 6
+}
+
+/// Highest per-side Hermite order the precomputed component/combination
+/// tables cover. A shell pair's order is `la + lb`, so 4 serves every
+/// basis in the study (s..d shells) with nothing to spare by design:
+/// exceeding it is a programming error the batch builder asserts on.
+pub const PAIR_L_MAX: usize = 4;
+
+/// The Hermite component triples `(t,u,v)` with `t+u+v ≤ l`, in the
+/// canonical order (ascending total, then ascending `t`, then `u`) that
+/// every flat Hermite index in the batched ERI tables refers to.
+pub fn hermite_components(l: usize) -> &'static [(usize, usize, usize)] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Vec<Vec<(usize, usize, usize)>>> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut all = Vec::with_capacity(2 * PAIR_L_MAX + 1);
+        for l in 0..=2 * PAIR_L_MAX {
+            let mut out = Vec::with_capacity(hermite_count(l));
+            for total in 0..=l {
+                for t in 0..=total {
+                    for u in 0..=(total - t) {
+                        out.push((t, u, total - t - u));
+                    }
+                }
+            }
+            all.push(out);
+        }
+        all
+    });
+    &tables[l]
+}
+
+/// Flat index-combination table for one `(bra order, ket order)` class:
+/// entry `hb·nh_ket + hk` holds the [`r_index`] (at `l = l_bra +
+/// l_ket`) of the componentwise sum of bra triple `hb` and ket triple
+/// `hk`. The batched ERI kernel's innermost gather walks this table
+/// instead of re-deriving `(t+τ, u+ν, v+φ)` per element.
+pub fn hermite_comb_table(l_bra: usize, l_ket: usize) -> &'static [u32] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Vec<Vec<u32>>> = OnceLock::new();
+    assert!(
+        l_bra <= PAIR_L_MAX && l_ket <= PAIR_L_MAX,
+        "hermite_comb_table: pair order ({l_bra},{l_ket}) exceeds PAIR_L_MAX {PAIR_L_MAX}"
+    );
+    let tables = TABLES.get_or_init(|| {
+        let mut all = Vec::with_capacity((PAIR_L_MAX + 1) * (PAIR_L_MAX + 1));
+        for lb in 0..=PAIR_L_MAX {
+            for lk in 0..=PAIR_L_MAX {
+                let l = lb + lk;
+                let bras = hermite_components(lb);
+                let kets = hermite_components(lk);
+                let mut tab = Vec::with_capacity(bras.len() * kets.len());
+                for &(t, u, v) in bras {
+                    for &(tau, nu, phi) in kets {
+                        tab.push(r_index(l, t + tau, u + nu, v + phi) as u32);
+                    }
+                }
+                all.push(tab);
+            }
+        }
+        all
+    });
+    &tables[l_bra * (PAIR_L_MAX + 1) + l_ket]
+}
+
 /// Reusable buffers for [`hermite_r_into`]: the Boys ladder plus the
 /// two ping-pong Hermite levels. The integral kernels keep one per
 /// worker (inside [`crate::eri::EriScratch`]) so the inner loop never
@@ -149,9 +220,11 @@ impl RScratch {
 ///   `pq/(p+q)` for ERIs);
 /// * `dx, dy, dz` — the displacement vector (`P−C` or `P−Q`).
 ///
-/// The first `(l+1)³` entries of the result are indexed by [`r_index`]
-/// (entries with `t+u+v > l` are zero). Allocation-free once the
-/// scratch is warm: the auxiliary levels ping-pong between two
+/// The first `(l+1)³` entries of the result are indexed by [`r_index`];
+/// only entries with `t+u+v ≤ l` are meaningful (positions outside the
+/// simplex are left untouched, so a reused scratch carries stale values
+/// there — every kernel indexes within the simplex). Allocation-free
+/// once the scratch is warm: the auxiliary levels ping-pong between two
 /// persistent buffers instead of cloning per level, and the Boys
 /// ladder comes from the precomputed table
 /// ([`crate::boys::boys_ladder_cached`]).
@@ -166,12 +239,14 @@ pub fn hermite_r_into(scratch: &mut RScratch, l: usize, alpha: f64, dx: f64, dy:
 
     // Build levels n = l down to 0; at level n entries with
     // t+u+v ≤ l−n are valid. Each level reads the previous one, so the
-    // two buffers alternate roles (swap instead of clone).
+    // two buffers alternate roles (swap instead of clone). No per-level
+    // clear: every read below stays inside the previous level's valid
+    // simplex (total−1 ≤ budget−1), so stale entries outside it are
+    // never consulted and rewriting the valid simplex suffices.
     for n in (0..=l).rev() {
         if n != l {
             std::mem::swap(prev, cur);
         }
-        cur[..dim * dim * dim].fill(0.0);
         cur[idx(0, 0, 0)] = (-2.0 * alpha).powi(n as i32) * f[n];
         let budget = l - n;
         for total in 1..=budget {
@@ -308,6 +383,45 @@ mod tests {
                             s.r()[r_index(l, t, u, v)],
                             fresh[r_index(l, t, u, v)],
                             "l={l} ({t},{u},{v})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hermite_component_tables_enumerate_the_simplex() {
+        for l in 0..=2 * PAIR_L_MAX {
+            let comps = hermite_components(l);
+            assert_eq!(comps.len(), hermite_count(l), "l={l}");
+            // Every triple valid, distinct, and in ascending-total order.
+            let mut last_total = 0;
+            let mut seen = std::collections::HashSet::new();
+            for &(t, u, v) in comps {
+                assert!(t + u + v <= l);
+                assert!(t + u + v >= last_total, "order regressed at l={l}");
+                last_total = t + u + v;
+                assert!(seen.insert((t, u, v)), "duplicate ({t},{u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn comb_table_matches_direct_r_index() {
+        for lb in 0..=PAIR_L_MAX {
+            for lk in 0..=PAIR_L_MAX {
+                let tab = hermite_comb_table(lb, lk);
+                let bras = hermite_components(lb);
+                let kets = hermite_components(lk);
+                assert_eq!(tab.len(), bras.len() * kets.len());
+                for (hb, &(t, u, v)) in bras.iter().enumerate() {
+                    for (hk, &(tau, nu, phi)) in kets.iter().enumerate() {
+                        let expect = r_index(lb + lk, t + tau, u + nu, v + phi);
+                        assert_eq!(
+                            tab[hb * kets.len() + hk] as usize,
+                            expect,
+                            "({lb},{lk}) hb={hb} hk={hk}"
                         );
                     }
                 }

@@ -16,42 +16,63 @@
 use crate::basis::BasisedMolecule;
 use crate::eri::{eri_quartet_into, EriScratch};
 use crate::scf::ScfResult;
-use crate::shellpair::ShellPair;
+use crate::screening::ScreenedPairs;
 use emx_linalg::Matrix;
 
 /// Materializes the full AO ERI tensor `(μν|λσ)` in chemists' notation,
 /// row-major over four indices. Memory is `nbf⁴` doubles — intended for
 /// the study's small molecules only.
+///
+/// Built from a precomputed [`ScreenedPairs`] list (threshold 0, so
+/// nothing is dropped): each canonical quartet — unique pair indices
+/// `pj ≤ pi` over unique pairs `a ≥ b` — is evaluated once through the
+/// *scalar* kernel and written to all 8 permutational images, so the
+/// tensor is exactly symmetric and this stays an oracle fully
+/// independent of the batched path. The previous version rebuilt
+/// `ShellPair::build` for every one of the `nshell⁴` quartets — an
+/// `O(nshell⁴)` pair-construction bill (E-table recurrences included)
+/// on top of the integrals themselves; pair data is now computed once
+/// per unique pair, and the quartet count drops 8-fold.
 pub fn full_eri_tensor(bm: &BasisedMolecule) -> Vec<f64> {
     let n = bm.nbf;
     let mut eri = vec![0.0; n * n * n * n];
     let at = |m: usize, u: usize, l: usize, s: usize| ((m * n + u) * n + l) * n + s;
-    let nsh = bm.nshells();
+    let pairs = ScreenedPairs::build(bm, 0.0);
     let mut scratch = EriScratch::new();
-    for a in 0..nsh {
-        for b in 0..nsh {
-            let bra = ShellPair::build(a, &bm.shells[a], b, &bm.shells[b], 0);
-            for c in 0..nsh {
-                for d in 0..nsh {
-                    let ket = ShellPair::build(c, &bm.shells[c], d, &bm.shells[d], 0);
-                    let block = eri_quartet_into(&mut scratch, &bra, &ket, &bm.shells);
-                    let (na, nb) = (bm.shells[a].ncart(), bm.shells[b].ncart());
-                    let (nc, nd) = (bm.shells[c].ncart(), bm.shells[d].ncart());
-                    let (oa, ob, oc, od) = (
-                        bm.shell_offsets[a],
-                        bm.shell_offsets[b],
-                        bm.shell_offsets[c],
-                        bm.shell_offsets[d],
-                    );
-                    let mut i = 0;
-                    for ia in 0..na {
-                        for ib in 0..nb {
-                            for ic in 0..nc {
-                                for id in 0..nd {
-                                    eri[at(oa + ia, ob + ib, oc + ic, od + id)] = block[i];
-                                    i += 1;
-                                }
-                            }
+    for pi in 0..pairs.len() {
+        let bra = &pairs.pairs[pi];
+        for pj in 0..=pi {
+            let ket = &pairs.pairs[pj];
+            let block = eri_quartet_into(&mut scratch, bra, ket, &bm.shells);
+            let (na, nb) = (bm.shells[bra.a].ncart(), bm.shells[bra.b].ncart());
+            let (nc, nd) = (bm.shells[ket.a].ncart(), bm.shells[ket.b].ncart());
+            let (oa, ob, oc, od) = (
+                bm.shell_offsets[bra.a],
+                bm.shell_offsets[bra.b],
+                bm.shell_offsets[ket.a],
+                bm.shell_offsets[ket.b],
+            );
+            let mut i = 0;
+            for ia in 0..na {
+                let mu = oa + ia;
+                for ib in 0..nb {
+                    let nu = ob + ib;
+                    for ic in 0..nc {
+                        let la = oc + ic;
+                        for id in 0..nd {
+                            let si = od + id;
+                            let v = block[i];
+                            i += 1;
+                            // All 8 images; duplicate writes are
+                            // idempotent (same canonical value).
+                            eri[at(mu, nu, la, si)] = v;
+                            eri[at(nu, mu, la, si)] = v;
+                            eri[at(mu, nu, si, la)] = v;
+                            eri[at(nu, mu, si, la)] = v;
+                            eri[at(la, si, mu, nu)] = v;
+                            eri[at(si, la, mu, nu)] = v;
+                            eri[at(la, si, nu, mu)] = v;
+                            eri[at(si, la, nu, mu)] = v;
                         }
                     }
                 }

@@ -9,7 +9,7 @@
 
 use crate::basis::BasisedMolecule;
 use crate::eri::{eri_quartet_schwarz_max, EriScratch};
-use crate::shellpair::ShellPair;
+use crate::shellpair::{PairBatchSet, ShellPair};
 
 /// A screened list of significant shell pairs with Schwarz factors.
 #[derive(Debug, Clone)]
@@ -21,12 +21,20 @@ pub struct ScreenedPairs {
     pub q: Vec<f64>,
     /// Threshold used for pair formation.
     pub pair_threshold: f64,
+    /// The batched SoA layout of `pairs` (per-class flat E-product
+    /// tables), with each member's Schwarz diagonal cached on it. The
+    /// batched quartet kernel reads only this.
+    pub batch: PairBatchSet,
 }
 
 impl ScreenedPairs {
     /// Builds all unique shell pairs and their Schwarz factors, dropping
     /// pairs whose factor is below `pair_threshold` (they cannot pass
-    /// any quartet test either, since `Q ≤ max Q` bounds apply).
+    /// any quartet test either, since `Q ≤ max Q` bounds apply). The
+    /// surviving list is also laid out as a [`PairBatchSet`] here, so
+    /// every Schwarz diagonal is computed exactly once per pair for the
+    /// lifetime of the molecule — consumers read `q`/`batch` instead of
+    /// re-deriving bounds through the quartet kernel.
     pub fn build(bm: &BasisedMolecule, pair_threshold: f64) -> ScreenedPairs {
         let shells = &bm.shells;
         let mut pairs = Vec::new();
@@ -49,10 +57,13 @@ impl ScreenedPairs {
                 }
             }
         }
+        let mut batch = PairBatchSet::build(shells, &pairs);
+        batch.set_schwarz(&q);
         ScreenedPairs {
             pairs,
             q,
             pair_threshold,
+            batch,
         }
     }
 

@@ -5,9 +5,24 @@
 //! total exponent `p`, the product center `P` and the per-dimension
 //! Hermite `E` tables. An ERI over the quartet `(AB|CD)` then only
 //! combines a *bra* pair with a *ket* pair through the `R` tensor.
+//!
+//! Two representations coexist:
+//!
+//! * [`ShellPair`] — the AoS form, one [`PrimPair`] per primitive pair
+//!   with per-dimension `E` tables. The scalar quartet kernel
+//!   ([`crate::eri::eri_quartet_into`]) and the one-electron integrals
+//!   consume it.
+//! * [`ShellPairBatch`] / [`PairBatchSet`] — the batched SoA form: all
+//!   primitive pairs of every pair in one angular-momentum class laid
+//!   out in flat contiguous arrays, with the three-dimensional `E`
+//!   tables pre-multiplied into dense per-component *products* over the
+//!   Hermite simplex (contraction coefficients, component norms and the
+//!   ket-side `(−1)^{t+u+v}` sign already folded in). The batched ERI
+//!   kernel ([`crate::eribatch::eri_bra_block_into`]) reads only this
+//!   form, so its inner loops are branch-free flat-slice arithmetic.
 
-use crate::basis::Shell;
-use crate::md::HermiteE;
+use crate::basis::{cartesian_components, Shell};
+use crate::md::{hermite_components, hermite_count, HermiteE, PAIR_L_MAX};
 
 /// One primitive pair within a shell pair.
 #[derive(Debug, Clone)]
@@ -91,6 +106,189 @@ impl ShellPair {
     }
 }
 
+/// Batched SoA data for every shell pair of one angular-momentum class
+/// `(la, lb)`.
+///
+/// Per *member* pair: its index in the source pair list, its primitive
+/// range in `prim_off`, and its Schwarz diagonal `√max|(ab|ab)|`
+/// (cached at screening time so no consumer recomputes it). Per
+/// *primitive* pair, SoA across the whole class: total exponent `p`,
+/// product center `(px, py, pz)`, and two dense `E`-product tables of
+/// `ncomp · nh` doubles each:
+///
+/// * `e_bra[prim][comp][h] = c_a·c_b · N_a·N_b · E_t^x E_u^y E_v^z`
+/// * `e_ket[prim][comp][h]` — the same with `(−1)^{t+u+v}` folded in,
+///
+/// where `h` runs over [`hermite_components`]`(la+lb)` and `comp` over
+/// the Cartesian component pairs (row-major `ia·ncb + ib`). Entries
+/// outside the per-component triangle (`t > i_x+j_x` …) are zero, so
+/// the kernel never branches on validity. Folding the contraction
+/// coefficient and the component norms into *both* tables is exact:
+/// each quartet uses one pair's `e_bra` and the other's `e_ket`, so
+/// every factor appears exactly once.
+#[derive(Debug, Clone)]
+pub struct ShellPairBatch {
+    /// Angular momentum of the first shell in every member pair.
+    pub la: usize,
+    /// Angular momentum of the second shell in every member pair.
+    pub lb: usize,
+    /// Pair Hermite order `la + lb`.
+    pub l: usize,
+    /// Hermite simplex size `hermite_count(l)` — the `h` stride.
+    pub nh: usize,
+    /// Cartesian components of the first shell.
+    pub nca: usize,
+    /// Cartesian components of the second shell.
+    pub ncb: usize,
+    /// Component pairs per quartet side: `nca · ncb`.
+    pub ncomp: usize,
+    /// Source pair-list index of each member.
+    pub members: Vec<u32>,
+    /// Primitive-pair range of member `m`: `prim_off[m]..prim_off[m+1]`.
+    pub prim_off: Vec<u32>,
+    /// Schwarz diagonal `√max|(ab|ab)|` per member (0 when unknown).
+    pub schwarz: Vec<f64>,
+    /// Total exponent `p = a + b` per primitive pair.
+    pub p: Vec<f64>,
+    /// Product center x per primitive pair.
+    pub px: Vec<f64>,
+    /// Product center y per primitive pair.
+    pub py: Vec<f64>,
+    /// Product center z per primitive pair.
+    pub pz: Vec<f64>,
+    /// Bra-side `E` products, `[prim][comp][h]`, coef- and norm-folded.
+    pub e_bra: Vec<f64>,
+    /// Ket-side `E` products: `e_bra` with `(−1)^{t+u+v}` folded in.
+    pub e_ket: Vec<f64>,
+}
+
+impl ShellPairBatch {
+    fn new_class(la: usize, lb: usize) -> ShellPairBatch {
+        assert!(
+            la + lb <= PAIR_L_MAX,
+            "pair order {la}+{lb} exceeds PAIR_L_MAX {PAIR_L_MAX}"
+        );
+        let l = la + lb;
+        let nca = cartesian_components(la).len();
+        let ncb = cartesian_components(lb).len();
+        ShellPairBatch {
+            la,
+            lb,
+            l,
+            nh: hermite_count(l),
+            nca,
+            ncb,
+            ncomp: nca * ncb,
+            members: Vec::new(),
+            prim_off: vec![0],
+            schwarz: Vec::new(),
+            p: Vec::new(),
+            px: Vec::new(),
+            py: Vec::new(),
+            pz: Vec::new(),
+            e_bra: Vec::new(),
+            e_ket: Vec::new(),
+        }
+    }
+
+    /// Appends one pair's primitive data; returns its member slot.
+    fn push_pair(&mut self, pair_index: usize, sp: &ShellPair, shells: &[Shell]) -> usize {
+        debug_assert_eq!((sp.la, sp.lb), (self.la, self.lb));
+        let (sa, sb) = (&shells[sp.a], &shells[sp.b]);
+        let carts_a = cartesian_components(self.la);
+        let carts_b = cartesian_components(self.lb);
+        let hcomps = hermite_components(self.l);
+        for pp in &sp.prims {
+            self.p.push(pp.p);
+            self.px.push(pp.center[0]);
+            self.py.push(pp.center[1]);
+            self.pz.push(pp.center[2]);
+            for &(ax, ay, az) in carts_a {
+                let na = sa.component_norm((ax, ay, az));
+                for &(bx, by, bz) in carts_b {
+                    let w = pp.coef * na * sb.component_norm((bx, by, bz));
+                    for &(t, u, v) in hcomps {
+                        let e = pp.ex.at(ax, bx, t) * pp.ey.at(ay, by, u) * pp.ez.at(az, bz, v);
+                        self.e_bra.push(w * e);
+                        let sign = if (t + u + v) % 2 == 0 { 1.0 } else { -1.0 };
+                        self.e_ket.push(sign * w * e);
+                    }
+                }
+            }
+        }
+        self.members.push(pair_index as u32);
+        self.prim_off.push(self.p.len() as u32);
+        self.schwarz.push(0.0);
+        self.members.len() - 1
+    }
+
+    /// Number of primitive pairs of member `m`.
+    #[inline]
+    pub fn nprims(&self, m: usize) -> usize {
+        (self.prim_off[m + 1] - self.prim_off[m]) as usize
+    }
+}
+
+/// The batched SoA view of a whole pair list: one [`ShellPairBatch`]
+/// per angular-momentum class present, plus the pair-index → (class,
+/// slot) map consumers use to find a pair's batch data in O(1).
+#[derive(Debug, Clone, Default)]
+pub struct PairBatchSet {
+    /// One batch per distinct `(la, lb)` class, in first-seen order.
+    pub classes: Vec<ShellPairBatch>,
+    /// `loc[pair] = (class index, member slot)`.
+    pub loc: Vec<(u32, u32)>,
+}
+
+impl PairBatchSet {
+    /// Builds the batched layout for `pairs` (indices into which are
+    /// the `pair_index` space of [`Self::class_of`]). Schwarz bounds
+    /// start at 0 — [`Self::set_schwarz`] fills them once screening has
+    /// computed the diagonals.
+    pub fn build(shells: &[Shell], pairs: &[ShellPair]) -> PairBatchSet {
+        let mut keys: Vec<(usize, usize)> = Vec::new();
+        let mut classes: Vec<ShellPairBatch> = Vec::new();
+        let mut loc = Vec::with_capacity(pairs.len());
+        for (pi, sp) in pairs.iter().enumerate() {
+            let key = (sp.la, sp.lb);
+            let ci = match keys.iter().position(|&k| k == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    classes.push(ShellPairBatch::new_class(sp.la, sp.lb));
+                    keys.len() - 1
+                }
+            };
+            let slot = classes[ci].push_pair(pi, sp, shells);
+            loc.push((ci as u32, slot as u32));
+        }
+        PairBatchSet { classes, loc }
+    }
+
+    /// The batch holding `pair` and its member slot within it.
+    #[inline]
+    pub fn class_of(&self, pair: usize) -> (&ShellPairBatch, usize) {
+        let (c, s) = self.loc[pair];
+        (&self.classes[c as usize], s as usize)
+    }
+
+    /// Caches the Schwarz diagonal `q[pair] = √max|(ab|ab)|` on each
+    /// member (same index space as `build`'s `pairs`).
+    pub fn set_schwarz(&mut self, q: &[f64]) {
+        assert_eq!(q.len(), self.loc.len(), "schwarz length mismatch");
+        for (pi, &(c, s)) in self.loc.iter().enumerate() {
+            self.classes[c as usize].schwarz[s as usize] = q[pi];
+        }
+    }
+
+    /// Cached Schwarz diagonal of `pair`.
+    #[inline]
+    pub fn schwarz(&self, pair: usize) -> f64 {
+        let (c, s) = self.loc[pair];
+        self.classes[c as usize].schwarz[s as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +322,93 @@ mod tests {
         let b = s_shell([0.0, 0.0, 50.0], vec![5.0], vec![1.0]);
         let sp = ShellPair::build(0, &a, 1, &b, 0);
         assert!(sp.prims.is_empty(), "far-apart tight pair must prune");
+    }
+
+    #[test]
+    fn batch_layout_matches_aos_pairs() {
+        // Mixed classes: s|s, p|s, p|p across three shells.
+        let shells = vec![
+            s_shell([0.0; 3], vec![1.1, 0.3], vec![0.7, 0.4]),
+            Shell::new(1, [0.0, 0.9, 0.2], vec![0.8], vec![1.0], 0),
+            Shell::new(1, [0.5, -0.3, 1.0], vec![0.5, 2.0], vec![0.5, 0.5], 0),
+        ];
+        let mut pairs = Vec::new();
+        for a in 0..shells.len() {
+            for b in 0..=a {
+                pairs.push(ShellPair::build(a, &shells[a], b, &shells[b], 0));
+            }
+        }
+        let set = PairBatchSet::build(&shells, &pairs);
+        assert_eq!(set.loc.len(), pairs.len());
+        // Classes present: (0,0), (1,0), (1,1).
+        assert_eq!(set.classes.len(), 3);
+        for (pi, sp) in pairs.iter().enumerate() {
+            let (bc, slot) = set.class_of(pi);
+            assert_eq!((bc.la, bc.lb), (sp.la, sp.lb));
+            assert_eq!(bc.members[slot] as usize, pi);
+            assert_eq!(bc.nprims(slot), sp.prims.len());
+            // SoA centers/exponents match the AoS prim pairs in order.
+            let p0 = bc.prim_off[slot] as usize;
+            for (k, pp) in sp.prims.iter().enumerate() {
+                assert_eq!(bc.p[p0 + k], pp.p);
+                assert_eq!(bc.px[p0 + k], pp.center[0]);
+                assert_eq!(bc.pz[p0 + k], pp.center[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_e_tables_reproduce_hermite_products() {
+        use crate::md::hermite_components;
+        let shells = vec![
+            Shell::new(1, [0.2, -0.1, 0.4], vec![0.9, 0.4], vec![0.6, 0.4], 0),
+            s_shell([0.0; 3], vec![1.3], vec![1.0]),
+        ];
+        let sp = ShellPair::build(0, &shells[0], 1, &shells[1], 0);
+        let set = PairBatchSet::build(&shells, std::slice::from_ref(&sp));
+        let (bc, slot) = set.class_of(0);
+        assert_eq!(slot, 0);
+        let carts_a = cartesian_components(sp.la);
+        let carts_b = cartesian_components(sp.lb);
+        let hcomps = hermite_components(sp.la + sp.lb);
+        let p0 = bc.prim_off[0] as usize;
+        for (k, pp) in sp.prims.iter().enumerate() {
+            let mut idx = (p0 + k) * bc.ncomp * bc.nh;
+            for &(ax, ay, az) in carts_a {
+                let na = shells[0].component_norm((ax, ay, az));
+                for &(bx, by, bz) in carts_b {
+                    let nb = shells[1].component_norm((bx, by, bz));
+                    for &(t, u, v) in hcomps {
+                        let e = pp.coef
+                            * na
+                            * nb
+                            * pp.ex.at(ax, bx, t)
+                            * pp.ey.at(ay, by, u)
+                            * pp.ez.at(az, bz, v);
+                        assert!((bc.e_bra[idx] - e).abs() < 1e-15);
+                        let sign = if (t + u + v) % 2 == 0 { 1.0 } else { -1.0 };
+                        assert!((bc.e_ket[idx] - sign * e).abs() < 1e-15);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schwarz_cache_round_trips() {
+        let shells = vec![
+            s_shell([0.0; 3], vec![1.0], vec![1.0]),
+            s_shell([0.0, 0.0, 1.0], vec![0.7], vec![1.0]),
+        ];
+        let pairs = vec![
+            ShellPair::build(0, &shells[0], 0, &shells[0], 0),
+            ShellPair::build(1, &shells[1], 0, &shells[0], 0),
+        ];
+        let mut set = PairBatchSet::build(&shells, &pairs);
+        assert_eq!(set.schwarz(0), 0.0);
+        set.set_schwarz(&[1.25, 0.5]);
+        assert_eq!(set.schwarz(0), 1.25);
+        assert_eq!(set.schwarz(1), 0.5);
     }
 }

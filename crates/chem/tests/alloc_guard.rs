@@ -3,7 +3,11 @@
 //! A counting `#[global_allocator]` wrapper proves the scratch-buffer
 //! rework actually removed the per-quartet heap traffic: once a warmed
 //! [`EriScratch`] exists, executing every Fock task — plain, J/K and
-//! density-screened — performs **zero** allocations. The same guard
+//! density-screened, all through the batched SoA kernel, plus the
+//! retained scalar arm — performs **zero** allocations. The batched
+//! path stages its surviving-ket list and per-ket output blocks in the
+//! scratch too (`mem::take`/restore around the kernel call), so the
+//! guard would catch a regression in that plumbing as well. The same guard
 //! covers the observability layer's zero-cost-when-off claim: driving
 //! the warmed kernel with a disabled [`SpanRecorder`] and with event
 //! recording into a pre-sized [`EventRing`] both stay allocation-free,
@@ -89,6 +93,7 @@ fn fock_execute_paths_are_allocation_free() {
             fb.execute(t, &d, &mut g, &mut scratch);
             fb.execute_jk(t, &d, &d, 0.5, &mut g, &mut scratch);
             fb.execute_density_screened(t, &delta, &dmax, &mut g, &mut scratch);
+            fb.execute_scalar(t, &d, &mut g, &mut scratch);
         }
     });
     assert_eq!(

@@ -1,0 +1,133 @@
+//! Property test: the batched SoA kernel `eri_bra_block_into` must
+//! reproduce the scalar oracle `eri_quartet_into` on randomized shell
+//! sets — mixed s/p/d angular momenta, mixed contraction depths,
+//! random centers — to 1e-12 relative, element by element.
+//!
+//! The two kernels share no contraction code: the scalar path walks the
+//! sparse six-deep `E` loops per component, the batched path contracts
+//! dense precomputed `E`-product rows in two stages. Agreement across
+//! random inputs therefore pins both the `ShellPairBatch` table
+//! construction (coefficient/norm/sign folding) and the two-stage
+//! summation itself.
+
+use emx_chem::basis::Shell;
+use emx_chem::eri::{eri_quartet_into, EriScratch};
+use emx_chem::eribatch::eri_bra_block_into;
+use emx_chem::shellpair::{PairBatchSet, ShellPair};
+
+/// splitmix64 — same no-dependency PRNG idiom as `emx-sched::rng`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A random shell: l ∈ {0, 1, 2}, 1–3 primitives, center within a
+/// ~2 a₀ box so no primitive pair is pruned away entirely.
+fn random_shell(rng: &mut Rng) -> Shell {
+    let l = rng.pick(3);
+    let nprim = 1 + rng.pick(3);
+    let mut exps = Vec::new();
+    let mut coefs = Vec::new();
+    for _ in 0..nprim {
+        exps.push(rng.uniform(0.15, 3.5));
+        coefs.push(rng.uniform(0.2, 1.0) * if rng.pick(4) == 0 { -1.0 } else { 1.0 });
+    }
+    let center = [
+        rng.uniform(-1.0, 1.0),
+        rng.uniform(-1.0, 1.0),
+        rng.uniform(-1.0, 1.0),
+    ];
+    Shell::new(l, center, exps, coefs, 0)
+}
+
+#[test]
+fn batched_kernel_matches_scalar_oracle_on_random_shells() {
+    let mut rng = Rng(0x5eed_cafe);
+    for round in 0..12 {
+        let shells: Vec<Shell> = (0..4).map(|_| random_shell(&mut rng)).collect();
+        // All unique pairs (a ≥ b), as the screened pair list builds them.
+        let mut pairs = Vec::new();
+        for a in 0..shells.len() {
+            for b in 0..=a {
+                let sp = ShellPair::build(a, &shells[a], b, &shells[b], 0);
+                if !sp.prims.is_empty() {
+                    pairs.push(sp);
+                }
+            }
+        }
+        let set = PairBatchSet::build(&shells, &pairs);
+        let all_kets: Vec<u32> = (0..pairs.len() as u32).collect();
+
+        let mut scratch = EriScratch::new();
+        let mut oracle = EriScratch::new();
+        for bra in 0..pairs.len() {
+            // Every bra sees the full ket list in one batched call.
+            eri_bra_block_into(&mut scratch, &set, bra, &all_kets);
+            for ket in 0..pairs.len() {
+                let want = eri_quartet_into(&mut oracle, &pairs[bra], &pairs[ket], &shells);
+                let got = scratch.ket_block(ket);
+                assert_eq!(
+                    got.len(),
+                    want.len(),
+                    "round {round} bra {bra} ket {ket}: block size"
+                );
+                let scale = want.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+                for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+                    assert!(
+                        (g - w).abs() <= 1e-12 * scale,
+                        "round {round} bra {bra} ket {ket} [{i}]: batched {g} vs scalar {w}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ket_blocks_are_independent_of_batch_composition() {
+    // A quartet's block must be bit-identical whether its ket is
+    // evaluated alone, in a prefix, or in the full list — this is what
+    // keeps G bitwise-deterministic across task chunkings.
+    let mut rng = Rng(0xabcd_0123);
+    let shells: Vec<Shell> = (0..3).map(|_| random_shell(&mut rng)).collect();
+    let mut pairs = Vec::new();
+    for a in 0..shells.len() {
+        for b in 0..=a {
+            let sp = ShellPair::build(a, &shells[a], b, &shells[b], 0);
+            if !sp.prims.is_empty() {
+                pairs.push(sp);
+            }
+        }
+    }
+    let set = PairBatchSet::build(&shells, &pairs);
+    let all_kets: Vec<u32> = (0..pairs.len() as u32).collect();
+
+    let mut full = EriScratch::new();
+    let mut single = EriScratch::new();
+    for bra in 0..pairs.len() {
+        eri_bra_block_into(&mut full, &set, bra, &all_kets);
+        for ket in 0..pairs.len() {
+            eri_bra_block_into(&mut single, &set, bra, &all_kets[ket..ket + 1]);
+            let a = full.ket_block(ket);
+            let b = single.ket_block(0);
+            assert_eq!(a, b, "bra {bra} ket {ket}: batch composition leaked");
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! `cargo xtask` — the repository's lint wall.
 //!
-//! `cargo xtask lint` runs six families of checks that rustc and
+//! `cargo xtask lint` runs seven families of checks that rustc and
 //! clippy cannot express, and exits non-zero on any finding:
 //!
 //! 1. **Replay-path hygiene** — the deterministic replay paths
@@ -35,6 +35,14 @@
 //!    (fragments stripped, absolute URLs and pure anchors skipped), so
 //!    renaming or dropping a document cannot leave dangling references
 //!    behind.
+//! 7. **Pair-data reuse** — the quartet hot-path modules
+//!    ([`NO_PAIR_REBUILD_FILES`]) must not construct shell-pair data
+//!    (`ShellPair::build`, `HermiteE::build`) in non-test code: all `E`
+//!    tables are precomputed once per pair at screening time (AoS and
+//!    batched SoA forms), and rebuilding them inside a quartet or
+//!    tensor loop silently multiplies the per-pair recurrence cost by
+//!    the quartet count — exactly the regression the old
+//!    `full_eri_tensor` shipped with.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,7 +67,11 @@ const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile", "speculate"
 
 /// Files whose non-test code forms the ERI quartet inner loop and must
 /// stay free of per-call `Vec` allocation.
-const HOT_PATH_FILES: &[&str] = &["crates/chem/src/eri.rs", "crates/chem/src/md.rs"];
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/chem/src/eri.rs",
+    "crates/chem/src/eribatch.rs",
+    "crates/chem/src/md.rs",
+];
 
 /// `file:substring` pairs exempt from the hot-path allocation lint —
 /// one-time setup, never per-quartet work.
@@ -69,6 +81,12 @@ const HOT_PATH_ALLOC_ALLOW: &[(&str, &str)] = &[
     // Hermite E-table construction: runs once per *shell pair* when the
     // screened pair list is built, not per quartet.
     ("md.rs", "data: vec![0.0;"),
+    // Static Hermite component/index tables: built once per process
+    // inside OnceLock initializers, then only read.
+    ("md.rs", "Vec::with_capacity(2 * PAIR_L_MAX"),
+    ("md.rs", "Vec::with_capacity(hermite_count"),
+    ("md.rs", "Vec::with_capacity((PAIR_L_MAX"),
+    ("md.rs", "Vec::with_capacity(bras.len()"),
 ];
 
 /// Files whose non-test code forms the steal and quartet inner loops:
@@ -77,8 +95,18 @@ const HOT_PATH_ALLOC_ALLOW: &[(&str, &str)] = &[
 const NO_COLLECTING_SINK_FILES: &[&str] = &[
     "crates/runtime/src/pool.rs",
     "crates/chem/src/eri.rs",
+    "crates/chem/src/eribatch.rs",
     "crates/chem/src/md.rs",
     "crates/chem/src/fock.rs",
+];
+
+/// Files whose non-test code sits inside (or feeds) the quartet loops
+/// and must read precomputed pair data instead of rebuilding it.
+const NO_PAIR_REBUILD_FILES: &[&str] = &[
+    "crates/chem/src/eri.rs",
+    "crates/chem/src/eribatch.rs",
+    "crates/chem/src/fock.rs",
+    "crates/chem/src/mp2.rs",
 ];
 
 fn repo_root() -> PathBuf {
@@ -433,6 +461,37 @@ fn lint_doc_links(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Lint 7: shell-pair data may not be rebuilt in the quartet hot-path
+/// modules' non-test code — `ShellPair::build` and `HermiteE::build`
+/// belong to pair-list construction (`screening.rs`, `shellpair.rs`,
+/// one-electron setup), never inside quartet or tensor loops.
+fn lint_no_pair_rebuild(root: &Path, findings: &mut Vec<String>) {
+    const NEEDLES: &[&str] = &["ShellPair::build", "HermiteE::build"];
+    for rel in NO_PAIR_REBUILD_FILES {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            findings.push(format!("pair-data reuse: cannot read {rel}"));
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            for needle in NEEDLES {
+                if code.contains(needle) {
+                    findings.push(format!(
+                        "{rel}:{}: pair-data reuse: `{needle}` in a quartet \
+                         hot-path module (read the precomputed ScreenedPairs \
+                         cache instead)",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
 fn run_lints() -> Vec<String> {
     let root = repo_root();
     let mut findings = Vec::new();
@@ -442,6 +501,7 @@ fn run_lints() -> Vec<String> {
     lint_hotpath_allocations(&root, &mut findings);
     lint_no_collecting_sink(&root, &mut findings);
     lint_doc_links(&root, &mut findings);
+    lint_no_pair_rebuild(&root, &mut findings);
     findings
 }
 

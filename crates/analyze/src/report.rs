@@ -47,6 +47,32 @@ pub enum ViolationKind {
     /// A worker exceeded the configured idle bound while work remained
     /// claimable.
     UnboundedIdle,
+    /// A source atomic site uses `Ordering::Relaxed` outside any
+    /// manifest-declared counter role and without a `// relaxed-ok:`
+    /// justification (emx-srclint).
+    UnmanagedOrdering,
+    /// A declared protocol sequence expects a memory fence that is
+    /// absent from the source — the PR-6 seqlock-writer bug class
+    /// (emx-srclint).
+    MissingFence,
+    /// A source site or function diverges from its declared protocol
+    /// rule: wrong ordering for the role, or an atomic-op sequence
+    /// that does not match the manifest exactly (emx-srclint).
+    ProtocolMismatch,
+    /// An `unsafe` occurrence without a `// SAFETY:` comment on or
+    /// directly above it (emx-srclint).
+    MissingSafetyComment,
+    /// A non-Relaxed atomic site in the source that no manifest rule
+    /// covers — new synchronization must declare its protocol
+    /// (emx-srclint).
+    UndeclaredSite,
+    /// A manifest rule performs an Acquire-side read but names no
+    /// Release-side partner role, or its named partner publishes
+    /// nothing (emx-srclint).
+    UnpairedAcquire,
+    /// A manifest rule matched no source site at all — the code moved
+    /// and the declared protocol went stale (emx-srclint).
+    ManifestStale,
 }
 
 impl ViolationKind {
@@ -64,6 +90,13 @@ impl ViolationKind {
             ViolationKind::AccountingLeak => "accounting-leak",
             ViolationKind::EarlyRecovery => "early-recovery",
             ViolationKind::UnboundedIdle => "unbounded-idle",
+            ViolationKind::UnmanagedOrdering => "unmanaged-ordering",
+            ViolationKind::MissingFence => "missing-fence",
+            ViolationKind::ProtocolMismatch => "protocol-mismatch",
+            ViolationKind::MissingSafetyComment => "missing-safety-comment",
+            ViolationKind::UndeclaredSite => "undeclared-site",
+            ViolationKind::UnpairedAcquire => "unpaired-acquire",
+            ViolationKind::ManifestStale => "manifest-stale",
         }
     }
 }

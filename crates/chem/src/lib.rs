@@ -31,6 +31,11 @@
 //! assert!((result.energy + 1.1167).abs() < 1e-3);
 //! ```
 
+// Attribute rather than Cargo-level [lints]: the alloc-guard
+// integration test legitimately implements an unsafe GlobalAlloc, so
+// only the library proper forbids unsafe.
+#![forbid(unsafe_code)]
+
 pub mod basis;
 pub mod boys;
 pub mod eri;

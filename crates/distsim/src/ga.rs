@@ -227,6 +227,8 @@ impl GlobalArray {
         self.for_each_block(caller, r0, nr, nc, f);
     }
 
+    // Protocol `distsim-ga-counters` (docs/protocols.toml): Relaxed
+    // traffic accounting, aggregated after the simulation joins.
     fn account(&self, caller: usize, owner: usize, elems: usize) {
         if caller == owner {
             self.local_ops.fetch_add(1, Ordering::Relaxed);

@@ -51,6 +51,11 @@ impl NxtVal {
 
     /// Claims the next `chunk` values; returns the first of the claimed
     /// range. The caller owns `[ret, ret + chunk)`.
+    ///
+    /// Protocol `distsim-nxtval` (docs/protocols.toml): the claim is
+    /// Relaxed because task payloads travel through the simulated
+    /// network, not through this counter — atomicity is all NXTVAL
+    /// needs (the paper's shared dynamic counter).
     #[inline]
     pub fn next(&self, chunk: u64) -> u64 {
         debug_assert!(chunk > 0);

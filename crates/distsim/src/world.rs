@@ -57,6 +57,8 @@ impl RankCtx {
     /// Sends `data` to rank `to` with a tag.
     pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.nranks, "rank out of range");
+        // Protocol `distsim-world-counters` (docs/protocols.toml):
+        // Relaxed message/byte accounting, read after ranks join.
         self.plumbing.messages.fetch_add(1, Ordering::Relaxed);
         self.plumbing
             .bytes

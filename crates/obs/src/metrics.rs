@@ -20,6 +20,10 @@ pub struct Counter {
     value: AtomicU64,
 }
 
+// All orderings here are governed by protocol `obs-counters` role
+// `counter` (docs/protocols.toml): Relaxed is the discipline, because
+// snapshots are best-effort and no payload is published through these
+// cells.
 impl Counter {
     /// Adds one.
     #[inline]
@@ -45,6 +49,7 @@ pub struct Gauge {
     bits: AtomicU64,
 }
 
+// Protocol `obs-counters` role `counter` (docs/protocols.toml).
 impl Gauge {
     /// Sets the value.
     #[inline]
@@ -85,6 +90,9 @@ impl Default for Histogram {
     }
 }
 
+// Protocol `obs-counters` role `counter` (docs/protocols.toml): the
+// five cells are updated independently, so a concurrent snapshot can
+// mix sample generations — accepted for observability data.
 impl Histogram {
     /// Index of the bucket for `value`.
     #[inline]

@@ -244,6 +244,9 @@ impl EventRing {
     /// events oldest-first, plus the number of older events already
     /// overwritten. Safe while the producer is still writing — slots
     /// caught mid-write are skipped, never torn.
+    ///
+    /// Protocol `seqlock-ring` role `reader` (docs/protocols.toml),
+    /// paired with the writer's Release side.
     pub fn snapshot(&self) -> RingSnapshot {
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
@@ -293,6 +296,10 @@ pub struct RingWriter {
 impl RingWriter {
     /// Records one event. Never blocks, never allocates; overwrites the
     /// oldest event once the ring is full.
+    ///
+    /// Protocol `seqlock-ring` role `writer` (docs/protocols.toml):
+    /// the exact store/fence sequence below is pinned by the manifest
+    /// and checked by `cargo xtask lint`.
     #[inline]
     pub fn record(&mut self, kind: EventKind, arg: u64, t_ns: u64) {
         let n = self.next;

@@ -151,13 +151,24 @@ impl FaultState {
     /// work-stealing idle loop) must check this, because the count will
     /// never reach zero once a worker unwinds.
     pub(crate) fn abort(&self) {
+        // Protocol `runtime-abort-flag` role `raise`
+        // (docs/protocols.toml): Release pairs with the Acquire in
+        // `aborted`, so fault accounting written before the abort is
+        // visible to every observer that sees the flag.
         self.aborted.store(true, Ordering::Release);
     }
 
     /// True once [`abort`](FaultState::abort) has been called.
     pub(crate) fn aborted(&self) -> bool {
+        // Protocol `runtime-abort-flag` role `observe`.
         self.aborted.load(Ordering::Acquire)
     }
+
+    // The four bookkeeping fns below are protocol
+    // `runtime-fault-counters` (docs/protocols.toml): Relaxed per-task
+    // cells read for reporting after the run, never used to publish
+    // task data. The fns are enumerated in the manifest on purpose —
+    // a file-wide wildcard could mask a weakened abort-flag store.
 
     /// True exactly once per poisoned task: the caller must panic.
     pub(crate) fn arm_poison(&self, i: usize) -> bool {

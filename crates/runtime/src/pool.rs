@@ -326,6 +326,10 @@ impl Executor {
                         }
                         loop {
                             let t_fetch = ctx.obs_mark();
+                            // Protocol `runtime-counter-dispatch`
+                            // (docs/protocols.toml): Relaxed claim —
+                            // task indices are data-independent, the
+                            // fetch_add only needs atomicity.
                             let begin = next.fetch_add(chunk, Ordering::Relaxed);
                             if begin >= ntasks {
                                 break;
@@ -387,6 +391,10 @@ impl Executor {
                             let t_fetch = ctx.obs_mark();
                             let begin;
                             let end;
+                            // Protocol `runtime-guided-claim`
+                            // (docs/protocols.toml): Acquire read +
+                            // AcqRel CAS, each claim's Release side
+                            // pairs with the next claimant's load.
                             loop {
                                 let cur = next.load(Ordering::Acquire);
                                 if cur >= ntasks {
@@ -489,6 +497,11 @@ impl Executor {
                                     deque.push(i);
                                 }
                             }
+                            // Protocol `runtime-ws-termination`
+                            // (docs/protocols.toml): Release
+                            // decrements publish completed work; the
+                            // idle loop's Acquire load of zero is the
+                            // only exit signal.
                             if done > 0 {
                                 remaining.fetch_sub(done, Ordering::Release);
                             }

@@ -10,6 +10,13 @@
 //! and every higher transaction re-validates against its new writes.
 //! The block is done when both fronts have swept past the end with no
 //! task in flight and no front pulled back in between.
+//!
+//! Every atomic here is SeqCst on purpose — protocol
+//! `spec-done-protocol` (docs/protocols.toml): the done decision reads
+//! three counters whose *total* order across threads is the protocol,
+//! and the count-before-claim sequence in the two claim paths (the
+//! PR-7 TOCTOU fix) is pinned by the manifest and checked by
+//! `cargo xtask lint`.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::Mutex;

@@ -1,0 +1,350 @@
+//! A hand-rolled Rust lexer, just deep enough for concurrency-surface
+//! extraction.
+//!
+//! The extractor ([`crate::extract`]) needs four things a grep cannot
+//! deliver reliably:
+//!
+//! 1. **code tokens with line numbers**, so `.load(` inside a string
+//!    literal or a doc comment is never mistaken for an atomic
+//!    operation;
+//! 2. **comment text with line numbers**, so `// SAFETY:` and
+//!    `// relaxed-ok:` justifications can be attributed to the code
+//!    they annotate;
+//! 3. **string/char literal skipping** that understands raw strings
+//!    (`r#"…"#`), escapes and lifetimes (`'a` is not an unterminated
+//!    char literal);
+//! 4. **nested block comments** (`/* /* */ */`), which Rust permits.
+//!
+//! The output is a flat token stream — identifiers, numbers and
+//! single-character punctuation — deliberately simpler than a full
+//! Rust grammar: the extractor re-assembles just the shapes it cares
+//! about (method calls, `fn` items, brace depth) on top of it.
+
+/// One lexed token, tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, `load`, …).
+    Ident(String),
+    /// Numeric literal (value unused; kept so token adjacency stays
+    /// faithful).
+    Num,
+    /// A string/char literal, contents discarded.
+    Lit,
+    /// Single punctuation character (`.`, `(`, `{`, `:`, …).
+    Punct(char),
+}
+
+/// A token plus the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One comment (line or block), with the line it starts on and its
+/// text with the comment markers stripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body (without `//`, `/*`, `*/`).
+    pub text: String,
+}
+
+/// Lexer output: the code token stream and every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Spanned>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// degrades to punctuation tokens rather than aborting, because a lint
+/// must not be DOS-able by one odd file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    let bump_lines = |s: &[char], from: usize, to: usize, line: &mut usize| {
+        for c in &s[from..to] {
+            if *c == '\n' {
+                *line += 1;
+            }
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                // Line comment (includes /// and //!).
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                bump_lines(&b, i, j, &mut line);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                // Plain string literal.
+                let mut j = i + 1;
+                while j < n {
+                    match b[j] {
+                        '\\' => j += 2,
+                        '"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                let j = j.min(n);
+                bump_lines(&b, i, j, &mut line);
+                out.tokens.push(Spanned {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = j;
+            }
+            'r' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') && is_raw_string(&b, i) => {
+                // Raw string r"…" / r#"…"#.
+                let mut hashes = 0usize;
+                let mut j = i + 1;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                let closer: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let closer: Vec<char> = closer.chars().collect();
+                while j < n && !matches_at(&b, j, &closer) {
+                    j += 1;
+                }
+                let j = (j + closer.len()).min(n);
+                bump_lines(&b, i, j, &mut line);
+                out.tokens.push(Spanned {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote.
+                if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    // Find the end of the ident run.
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-char literal.
+                        out.tokens.push(Spanned {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        // Lifetime: skip it entirely.
+                        i = j;
+                    }
+                } else {
+                    // Escaped or symbolic char literal: '\n', '\'', '('.
+                    let mut j = i + 1;
+                    if j < n && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' {
+                        j += 1;
+                    }
+                    out.tokens.push(Spanned {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = j.min(n);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // Stop a range expression `0..n` from being eaten
+                    // as one number.
+                    if b[j] == '.' && j + 1 < n && b[j + 1] == '.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Num,
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when the `r` at `i` starts a raw string (`r"` or `r#…"`), as
+/// opposed to an identifier that merely begins with `r`.
+fn is_raw_string(b: &[char], i: usize) -> bool {
+    // Preceded by an ident char ⇒ part of a longer identifier.
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+fn matches_at(b: &[char], at: usize, pat: &[char]) -> bool {
+    at + pat.len() <= b.len() && b[at..at + pat.len()] == *pat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(x) => Some(x),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r#"
+            // a .load(Ordering::Relaxed) in a comment
+            let s = "x.store(Ordering::Release)";
+            /* fetch_add */
+            y.load(Ordering::Acquire);
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"store".to_string()));
+        assert!(!ids.contains(&"fetch_add".to_string()));
+        assert!(ids.contains(&"load".to_string()));
+        assert!(ids.contains(&"Acquire".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// SAFETY: fine\nunsafe {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex_cleanly() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"a \" load \"#; }";
+        let ids = idents(src);
+        assert!(!ids.contains(&"load".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_code() {
+        let src = "let c = '('; x.load(Ordering::Relaxed);";
+        let ids = idents(src);
+        assert!(ids.contains(&"load".to_string()));
+        assert!(ids.contains(&"Relaxed".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* outer /* inner */ still comment */ fence(Ordering::SeqCst);";
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["fence", "Ordering", "SeqCst"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let s = \"line\none\";\nx.load(Ordering::Acquire);\n";
+        let lexed = lex(src);
+        let load = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("load".into()))
+            .unwrap();
+        assert_eq!(load.line, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Mutation self-test (PR-4 style): seeds known-bad source and
+//! manifest mutants into a scratch mirror of the workspace and fails
+//! on any escape. Two mutants are the literal review-caught bugs this
+//! pass exists to catch mechanically: the PR-6 fence-less seqlock
+//! writer and a Relaxed-weakened PR-7 done-protocol counter.
+
+use emx_analyze::report::ViolationKind;
+use emx_srclint::selftest::{builtin_mutants, run_mutants};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn no_mutant_escapes() {
+    let work = std::env::temp_dir().join(format!("emx-srclint-mutants-{}", std::process::id()));
+    let failures = run_mutants(&repo_root(), &work).expect("self-test harness");
+    let _ = std::fs::remove_dir_all(&work);
+    assert!(
+        failures.is_empty(),
+        "mutation self-test failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn the_two_review_caught_bugs_are_seeded() {
+    let mutants = builtin_mutants();
+    let pr6 = mutants
+        .iter()
+        .find(|m| m.name == "pr6-fenceless-seqlock-writer")
+        .expect("PR-6 mutant present");
+    assert_eq!(pr6.expect, ViolationKind::MissingFence);
+    assert_eq!(pr6.file, "crates/obs/src/ring.rs");
+    let pr7 = mutants
+        .iter()
+        .find(|m| m.name == "pr7-relaxed-done-counter")
+        .expect("PR-7 mutant present");
+    assert_eq!(pr7.expect, ViolationKind::ProtocolMismatch);
+    assert_eq!(pr7.file, "crates/spec/src/scheduler.rs");
+}

@@ -1,6 +1,6 @@
 //! `cargo xtask` — the repository's lint wall.
 //!
-//! `cargo xtask lint` runs seven families of checks that rustc and
+//! `cargo xtask lint` runs eight families of checks that rustc and
 //! clippy cannot express, and exits non-zero on any finding:
 //!
 //! 1. **Replay-path hygiene** — the deterministic replay paths
@@ -43,6 +43,15 @@
 //!    tensor loop silently multiplies the per-pair recurrence cost by
 //!    the quartet count — exactly the regression the old
 //!    `full_eri_tensor` shipped with.
+//! 8. **Memory-protocol conformance (emx-srclint)** — a real static
+//!    pass (lexer + site extractor, not a grep): every atomic
+//!    operation and `unsafe` occurrence in the workspace is modeled
+//!    and checked against the declared protocols in
+//!    `docs/protocols.toml` — required orderings per role, exact
+//!    fence/store sequences (the PR-6 seqlock bug class), Acquire/
+//!    Release pairing, Relaxed-needs-a-role, and `// SAFETY:` hygiene.
+//!    `cargo xtask srclint --json <path>` additionally writes the full
+//!    machine-readable site inventory + report (the CI artifact).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -181,9 +190,13 @@ fn scan_for(
 }
 
 fn lint_replay_hygiene(root: &Path, findings: &mut Vec<String>) {
+    lint_replay_hygiene_at(root, REPLAY_PATH_ROOTS, findings);
+}
+
+fn lint_replay_hygiene_at(root: &Path, roots: &[&str], findings: &mut Vec<String>) {
     scan_for(
         root,
-        REPLAY_PATH_ROOTS,
+        roots,
         &["Instant::now", "SystemTime"],
         WALL_CLOCK_ALLOW,
         "wall clock",
@@ -191,7 +204,7 @@ fn lint_replay_hygiene(root: &Path, findings: &mut Vec<String>) {
     );
     scan_for(
         root,
-        REPLAY_PATH_ROOTS,
+        roots,
         &["thread_rng", "from_entropy", "OsRng", "rand::random"],
         &[],
         "ambient randomness",
@@ -206,7 +219,23 @@ fn lint_roster_coverage(findings: &mut Vec<String>) {
     let cfg = VerifierConfig::default();
     let roster = verification_roster(&cfg);
     let covered: Vec<&str> = roster.iter().map(|k| k.name()).collect();
-    for name in PolicyKind::canonical_names() {
+    let full: Vec<(String, String)> = PolicyKind::full_roster(&cfg.costs(), cfg.workers, cfg.chunk)
+        .into_iter()
+        .map(|(label, kind)| (label.to_string(), kind.name().to_string()))
+        .collect();
+    roster_coverage_core(PolicyKind::canonical_names(), &covered, &full, findings);
+}
+
+/// Core of lint 2, injectable for the fixture tests: `canonical` is
+/// the policy registry, `covered` the verification roster, `full` the
+/// paper-facing `(label, kind-name)` roster.
+fn roster_coverage_core(
+    canonical: &[&str],
+    covered: &[&str],
+    full: &[(String, String)],
+    findings: &mut Vec<String>,
+) {
+    for name in canonical {
         if !covered.contains(name) {
             findings.push(format!(
                 "roster coverage: PolicyKind variant `{name}` is not in the \
@@ -216,12 +245,11 @@ fn lint_roster_coverage(findings: &mut Vec<String>) {
     }
     // The paper-facing full roster must stay a subset of the canonical
     // registry (no orphaned display names).
-    for (label, kind) in PolicyKind::full_roster(&cfg.costs(), cfg.workers, cfg.chunk) {
-        if !PolicyKind::canonical_names().contains(&kind.name()) {
+    for (label, kind) in full {
+        if !canonical.contains(&kind.as_str()) {
             findings.push(format!(
                 "roster coverage: full_roster entry `{label}` has unregistered \
-                 kind `{}`",
-                kind.name()
+                 kind `{kind}`"
             ));
         }
     }
@@ -252,7 +280,12 @@ fn lint_experiment_registration(root: &Path, findings: &mut Vec<String>) {
         findings.push("experiment registration: cannot read reproduce.rs".into());
         return;
     };
+    experiment_registration_core(&text, &path.display().to_string(), findings);
+}
 
+/// Core of lint 3, injectable for the fixture tests: parses the given
+/// `reproduce.rs` source text instead of reading it from disk.
+fn experiment_registration_core(text: &str, shown: &str, findings: &mut Vec<String>) {
     // The default experiment list: quoted ids between `wanted = vec![`
     // and the closing `];`.
     let mut defaults = Vec::new();
@@ -289,8 +322,7 @@ fn lint_experiment_registration(root: &Path, findings: &mut Vec<String>) {
 
     if defaults.is_empty() || arms.is_empty() {
         findings.push(format!(
-            "experiment registration: failed to parse {} (defaults {}, arms {})",
-            path.display(),
+            "experiment registration: failed to parse {shown} (defaults {}, arms {})",
             defaults.len(),
             arms.len()
         ));
@@ -319,6 +351,15 @@ fn lint_experiment_registration(root: &Path, findings: &mut Vec<String>) {
 /// both the test-only reference kernel and the test module sit below
 /// it by construction).
 fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
+    hotpath_allocations_at(root, HOT_PATH_FILES, HOT_PATH_ALLOC_ALLOW, findings);
+}
+
+fn hotpath_allocations_at(
+    root: &Path,
+    files: &[&str],
+    allow: &[(&str, &str)],
+    findings: &mut Vec<String>,
+) {
     const NEEDLES: &[&str] = &[
         "vec![",
         "Vec::new",
@@ -326,7 +367,7 @@ fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
         ".to_vec()",
         ".collect()",
     ];
-    for rel in HOT_PATH_FILES {
+    for rel in files {
         let path = root.join(rel);
         let Ok(text) = std::fs::read_to_string(&path) else {
             findings.push(format!("hot-path allocations: cannot read {rel}"));
@@ -339,7 +380,7 @@ fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
             let code = line.split("//").next().unwrap_or(line);
             for needle in NEEDLES {
                 if code.contains(needle)
-                    && !HOT_PATH_ALLOC_ALLOW
+                    && !allow
                         .iter()
                         .any(|(f, s)| rel.ends_with(f) && line.contains(s))
                 {
@@ -360,7 +401,11 @@ fn lint_hotpath_allocations(root: &Path, findings: &mut Vec<String>) {
 /// — always-on capture there goes through the fixed-capacity event
 /// rings instead.
 fn lint_no_collecting_sink(root: &Path, findings: &mut Vec<String>) {
-    for rel in NO_COLLECTING_SINK_FILES {
+    collecting_sink_at(root, NO_COLLECTING_SINK_FILES, findings);
+}
+
+fn collecting_sink_at(root: &Path, files: &[&str], findings: &mut Vec<String>) {
+    for rel in files {
         let path = root.join(rel);
         let Ok(text) = std::fs::read_to_string(&path) else {
             findings.push(format!("observability hygiene: cannot read {rel}"));
@@ -466,8 +511,12 @@ fn lint_doc_links(root: &Path, findings: &mut Vec<String>) {
 /// belong to pair-list construction (`screening.rs`, `shellpair.rs`,
 /// one-electron setup), never inside quartet or tensor loops.
 fn lint_no_pair_rebuild(root: &Path, findings: &mut Vec<String>) {
+    pair_rebuild_at(root, NO_PAIR_REBUILD_FILES, findings);
+}
+
+fn pair_rebuild_at(root: &Path, files: &[&str], findings: &mut Vec<String>) {
     const NEEDLES: &[&str] = &["ShellPair::build", "HermiteE::build"];
-    for rel in NO_PAIR_REBUILD_FILES {
+    for rel in files {
         let path = root.join(rel);
         let Ok(text) = std::fs::read_to_string(&path) else {
             findings.push(format!("pair-data reuse: cannot read {rel}"));
@@ -492,6 +541,26 @@ fn lint_no_pair_rebuild(root: &Path, findings: &mut Vec<String>) {
     }
 }
 
+/// Lint 8: the whole-workspace memory-protocol pass. Runs the
+/// emx-srclint extractor + checker against `docs/protocols.toml` and
+/// folds every violation into the lint wall. A failure to run the pass
+/// at all (missing manifest, parse error) is itself a finding.
+fn lint_srclint(root: &Path, findings: &mut Vec<String>) {
+    match emx_srclint::run(root) {
+        Ok(outcome) => {
+            for v in &outcome.report.violations {
+                findings.push(format!(
+                    "srclint: [{}] {}: {}",
+                    v.kind.name(),
+                    v.scenario,
+                    v.detail
+                ));
+            }
+        }
+        Err(e) => findings.push(format!("srclint: {e}")),
+    }
+}
+
 fn run_lints() -> Vec<String> {
     let root = repo_root();
     let mut findings = Vec::new();
@@ -502,13 +571,61 @@ fn run_lints() -> Vec<String> {
     lint_no_collecting_sink(&root, &mut findings);
     lint_doc_links(&root, &mut findings);
     lint_no_pair_rebuild(&root, &mut findings);
+    lint_srclint(&root, &mut findings);
     findings
 }
 
+/// `cargo xtask srclint [--json <path>]` — run only the
+/// memory-protocol pass, print a human summary, and (with `--json`)
+/// write the full machine-readable site inventory + report for CI to
+/// archive.
+fn run_srclint(json_path: Option<&str>) -> ExitCode {
+    let root = repo_root();
+    let outcome = match emx_srclint::run(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask srclint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = json_path {
+        let json = outcome.to_json().to_json_string();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("xtask srclint: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("xtask srclint: wrote {path}");
+    }
+    println!(
+        "xtask srclint: {} files, {} atomic site(s), {} unsafe site(s), \
+         {} protocol(s)",
+        outcome.inventory.files_scanned,
+        outcome.inventory.sites.len(),
+        outcome.inventory.unsafes.len(),
+        outcome.manifest.protocols.len()
+    );
+    if outcome.report.is_clean() {
+        println!(
+            "xtask srclint: clean ({} check(s) passed)",
+            outcome.report.passed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.report.violations {
+            eprintln!("srclint: [{}] {}: {}", v.kind.name(), v.scenario, v.detail);
+        }
+        eprintln!(
+            "xtask srclint: {} violation(s)",
+            outcome.report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let cmd = std::env::args().nth(1).unwrap_or_default();
-    match cmd.as_str() {
-        "lint" => {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
             let findings = run_lints();
             if findings.is_empty() {
                 println!("xtask lint: clean");
@@ -521,8 +638,26 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("srclint") => {
+            let json_path = match args.get(1).map(String::as_str) {
+                Some("--json") => match args.get(2) {
+                    Some(p) => Some(p.as_str()),
+                    None => {
+                        eprintln!("usage: cargo xtask srclint [--json <path>]");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("unknown srclint flag `{other}`");
+                    eprintln!("usage: cargo xtask srclint [--json <path>]");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            run_srclint(json_path)
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint | cargo xtask srclint [--json <path>]");
             ExitCode::FAILURE
         }
     }
@@ -596,5 +731,143 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].contains("lib.rs:1"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // ---- per-family seeded fixtures: each lint family must fire on a
+    // ---- deliberately bad snippet, so a silently-dead lint is caught.
+
+    /// A throwaway fixture tree under the system temp dir, removed on drop.
+    struct Fixture(PathBuf);
+    impl Fixture {
+        fn new(name: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("xtask-fixture-{name}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            Fixture(dir)
+        }
+        fn write(&self, rel: &str, text: &str) {
+            let path = self.0.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, text).unwrap();
+        }
+    }
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn replay_hygiene_flags_seeded_randomness() {
+        let fx = Fixture::new("replay");
+        fx.write(
+            "crates/bad/src/lib.rs",
+            "fn f() -> u64 { rand::random() }\n",
+        );
+        let mut findings = Vec::new();
+        lint_replay_hygiene_at(&fx.0, &["crates/bad/src"], &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("ambient randomness"), "{findings:?}");
+    }
+
+    #[test]
+    fn roster_coverage_flags_uncovered_and_orphaned() {
+        let mut findings = Vec::new();
+        roster_coverage_core(
+            &["static", "stealing"],
+            &["static"], // "stealing" missing from the verification roster
+            &[("Exotic".into(), "exotic".into())], // not in the registry
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("`stealing`"), "{findings:?}");
+        assert!(findings[1].contains("`exotic`"), "{findings:?}");
+    }
+
+    #[test]
+    fn experiment_registration_flags_unmatched_and_unregistered() {
+        let text = "\
+let wanted = vec![
+    \"alpha\",
+    \"beta\",
+];
+match exp.as_str() {
+    \"alpha\" => run_alpha(),
+    \"gamma\" => run_gamma(),
+    other => die(other),
+}
+";
+        let mut findings = Vec::new();
+        experiment_registration_core(text, "fixture.rs", &mut findings);
+        // `beta` is a default with no arm; `gamma` has an arm but is
+        // neither a default nor declared on-demand.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("`beta`"), "{findings:?}");
+        assert!(findings[1].contains("`gamma`"), "{findings:?}");
+    }
+
+    #[test]
+    fn hotpath_allocation_lint_flags_seeded_vec() {
+        let fx = Fixture::new("hotpath");
+        fx.write(
+            "crates/bad/src/eri.rs",
+            "fn quartet() { let v: Vec<f64> = Vec::new(); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { let w = vec![1.0]; } }\n",
+        );
+        let mut findings = Vec::new();
+        hotpath_allocations_at(&fx.0, &["crates/bad/src/eri.rs"], &[], &mut findings);
+        // The Vec::new before #[cfg(test)] fires; the vec![ after it is
+        // exempt (test-only reference kernels live below that marker).
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("Vec::new"), "{findings:?}");
+        // ...and an allow entry silences it.
+        let mut allowed = Vec::new();
+        hotpath_allocations_at(
+            &fx.0,
+            &["crates/bad/src/eri.rs"],
+            &[("eri.rs", "Vec::new()")],
+            &mut allowed,
+        );
+        assert!(allowed.is_empty(), "{allowed:?}");
+    }
+
+    #[test]
+    fn collecting_sink_lint_flags_seeded_reference() {
+        let fx = Fixture::new("sink");
+        fx.write(
+            "crates/bad/src/pool.rs",
+            "fn steal() { let s = CollectingSink::default(); }\n",
+        );
+        let mut findings = Vec::new();
+        collecting_sink_at(&fx.0, &["crates/bad/src/pool.rs"], &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("CollectingSink"), "{findings:?}");
+    }
+
+    #[test]
+    fn pair_rebuild_lint_flags_seeded_build() {
+        let fx = Fixture::new("pair");
+        fx.write(
+            "crates/bad/src/fock.rs",
+            "fn quartet(a: &Shell, b: &Shell) { let p = ShellPair::build(a, b); }\n",
+        );
+        let mut findings = Vec::new();
+        pair_rebuild_at(&fx.0, &["crates/bad/src/fock.rs"], &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("ShellPair::build"), "{findings:?}");
+    }
+
+    #[test]
+    fn srclint_family_reports_run_errors_as_findings() {
+        // Pointing the pass at a tree with no manifest must surface as
+        // a finding, not a silent pass.
+        let fx = Fixture::new("srclint");
+        fx.write("crates/empty/src/lib.rs", "pub fn nothing() {}\n");
+        let mut findings = Vec::new();
+        lint_srclint(&fx.0, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].starts_with("srclint:"), "{findings:?}");
     }
 }

@@ -16,7 +16,10 @@
 //! and `speculate` (the Block-STM speculative incremental SCF against
 //! the sequential and work-stealing drivers, stamping
 //! `results/BENCH_spec.json` — see `docs/SPECULATION.md`;
-//! `EMX_SPEC_SMOKE=1` shrinks it for CI).
+//! `EMX_SPEC_SMOKE=1` shrinks it for CI) and `distsim` (the simulator
+//! event core at 10⁴–10⁵ ranks, calendar queue vs the binary-heap
+//! oracle, stamping `results/BENCH_distsim.json` — see
+//! `docs/ARCHITECTURE.md`; `EMX_DISTSIM_SMOKE=1` shrinks it for CI).
 //! Output is plain-text
 //! tables; pass `--csv DIR` to also write stamped CSV files,
 //! `--trace-out DIR` for Chrome trace JSON (plus speedscope/collapsed
@@ -150,11 +153,16 @@ fn main() {
             }
             "e8" => {
                 let w = synthetic_workload_large(100_000);
-                tables.push(e8_distributed(&w, &[64, 256, 1024, 4096], &machine));
+                tables.push(e8_distributed(&w, &[64, 256, 1024, 4096, 16_384], &machine));
             }
             "e9" => {
                 let base = chem_workload_medium();
-                tables.push(e9_weak_scaling(&base, &[4, 16, 64, 256], 128, &machine));
+                tables.push(e9_weak_scaling(
+                    &base,
+                    &[4, 16, 64, 256, 1024],
+                    128,
+                    &machine,
+                ));
                 tables.push(overhead_decomposition(&base, 64, &machine));
             }
             "faults" => {
@@ -207,6 +215,9 @@ fn main() {
             }
             "speculate" => {
                 tables.push(run_speculate());
+            }
+            "distsim" => {
+                tables.push(run_distsim());
             }
             "analyze" => {
                 let (table, report) = run_analyze();
@@ -457,6 +468,78 @@ fn run_speculate() -> Table {
     let bench_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_spec.json");
     let json = specbench::bench_spec_json(&report, &git_describe_string(), smoke);
     std::fs::write(bench_path, json).expect("write BENCH_spec.json");
+    println!("wrote {bench_path}");
+    t
+}
+
+/// The `distsim` experiment — event-core throughput of the simulator
+/// at cluster scale. The full scheduling-model roster runs at 10⁴ and
+/// 10⁵ simulated ranks on both event-queue backends (the production
+/// calendar queue and the retained binary-heap oracle — see
+/// `docs/ARCHITECTURE.md`); every pair is asserted bitwise identical,
+/// and the stamped metric is simulated events per second of wall clock.
+/// The CI gate is host-independent: aggregate calendar throughput must
+/// stay within [`emx_bench::DISTSIM_FLOOR_RATIO`] of the heap oracle's
+/// on the same host. Walls, rates and the ratio are stamped into
+/// `results/BENCH_distsim.json`; `EMX_DISTSIM_SMOKE=1` shrinks the
+/// sweep to 10³/10⁴ ranks for CI.
+fn run_distsim() -> Table {
+    use emx_bench::distsimbench;
+
+    let smoke = distsimbench::distsim_smoke();
+    let report = distsimbench::distsim_measure(smoke);
+
+    let mut t = Table::new(
+        format!(
+            "Distsim: event-core throughput, roster x ranks ({} samples, \
+             calendar vs heap oracle)",
+            report.samples
+        ),
+        &[
+            "model",
+            "ranks",
+            "events",
+            "cal wall s",
+            "cal ev/s",
+            "heap wall s",
+            "heap ev/s",
+            "vs heap",
+        ],
+    );
+    for r in &report.rows {
+        t.push(vec![
+            r.model.to_string(),
+            r.ranks.to_string(),
+            r.events.to_string(),
+            format!("{:.4}", r.calendar_wall_secs),
+            format!("{:.0}", r.calendar_events_per_sec()),
+            format!("{:.4}", r.heap_wall_secs),
+            format!("{:.0}", r.heap_events_per_sec()),
+            format!("{:.2}x", r.speedup_vs_heap()),
+        ]);
+    }
+    println!(
+        "[distsim] aggregate calendar {:.0} events/s vs heap oracle {:.0} events/s \
+         (ratio {:.2}, floor {:.2}) — every cell bitwise identical across backends\n",
+        report.calendar_rate(),
+        report.heap_rate(),
+        report.ratio_vs_heap(),
+        emx_bench::DISTSIM_FLOOR_RATIO
+    );
+    assert!(
+        report.ratio_vs_heap() >= emx_bench::DISTSIM_FLOOR_RATIO,
+        "calendar event core fell below {:.2}x of the heap oracle's throughput \
+         (ratio {:.4}) — event-core regression",
+        emx_bench::DISTSIM_FLOOR_RATIO,
+        report.ratio_vs_heap()
+    );
+
+    let bench_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_distsim.json"
+    );
+    let json = distsimbench::bench_distsim_json(&report, &git_describe_string(), smoke);
+    std::fs::write(bench_path, json).expect("write BENCH_distsim.json");
     println!("wrote {bench_path}");
     t
 }

@@ -10,12 +10,17 @@ use emx_chem::molecule::Molecule;
 use emx_chem::synthetic::CostModel;
 use emx_core::prelude::*;
 
+pub mod distsimbench;
 pub mod fockbench;
 pub mod obscapture;
 pub mod profbench;
 pub mod slug;
 pub mod specbench;
 
+pub use distsimbench::{
+    bench_distsim_json, distsim_measure, distsim_smoke, DistsimBenchReport, DistsimBenchRow,
+    DISTSIM_FLOOR_RATIO,
+};
 pub use fockbench::{fock_hotpath_measure, FockBenchReport, FockBenchRow};
 pub use obscapture::{capture_observability, ObsCapture};
 pub use profbench::{

@@ -21,14 +21,30 @@ use emx_sched::{block_partition, PolicyKind, StealConfig};
 /// default counter chunk: the shared registry's comparison roster,
 /// materialized onto the simulator's model vocabulary.
 fn sim_models(ntasks: usize, workers: usize, chunk: usize) -> Vec<(String, SimModel)> {
-    PolicyKind::comparison_roster(chunk)
+    let mut out: Vec<(String, SimModel)> = PolicyKind::comparison_roster(chunk)
         .into_iter()
         .map(|(label, kind)| {
             let model = SimModel::from_policy(&kind, ntasks, workers)
                 .expect("comparison roster maps onto the simulator");
             (label, model)
         })
-        .collect()
+        .collect();
+    // Simulator-only scale models (no PolicyKind mapping): the
+    // hierarchical NXTVAL tree and topology-aware stealing, the two
+    // mechanisms that keep dynamic scheduling viable at 10⁴–10⁵ ranks.
+    out.push((
+        "hier-counters".into(),
+        SimModel::HierCounters {
+            chunk,
+            node_size: 32,
+            parent_chunk: chunk * 8,
+        },
+    ));
+    out.push((
+        "topo-stealing".into(),
+        SimModel::TopologyStealing { steal_half: true },
+    ));
+    out
 }
 
 /// E1 — strong scaling of every execution model.
@@ -460,9 +476,14 @@ pub fn e8_distributed(w: &KernelWorkload, workers: &[usize], machine: &MachineMo
         &["P", "model", "makespan", "utilization", "steals", "fetches"],
     );
     for &p in workers {
+        // Distributed scale is where node/rack structure matters: give
+        // the topology-aware models their locality levels (the flat
+        // models ignore the field).
+        let mut m = *machine;
+        m.topology.get_or_insert_with(Default::default);
         let cfg = SimConfig {
             workers: p,
-            machine: *machine,
+            machine: m,
             ..SimConfig::new(p)
         };
         for (name, model) in sim_models(w.ntasks(), p, 8) {
@@ -505,9 +526,13 @@ pub fn e9_weak_scaling(
     let mut baseline: Option<f64> = None;
     for &p in workers {
         let costs = resample(p * tasks_per_worker);
+        // Same topology treatment as E8: locality levels for the
+        // topology-aware models, a no-op for the rest.
+        let mut m = *machine;
+        m.topology.get_or_insert_with(Default::default);
         let cfg = SimConfig {
             workers: p,
-            machine: *machine,
+            machine: m,
             ..SimConfig::new(p)
         };
         for (name, model) in sim_models(costs.len(), p, 8) {
@@ -564,7 +589,8 @@ pub fn overhead_decomposition(w: &KernelWorkload, p: usize, machine: &MachineMod
 /// The execution models compared under fault injection, each with the
 /// recovery policy that redistributes its orphaned tasks: the registry's
 /// comparison roster (chunk 8) filtered to the E10 lineup, plus the
-/// stealing+persistence hybrid.
+/// stealing+persistence hybrid and the simulator-only scale models
+/// (hierarchical counters, topology-aware stealing).
 fn fault_models(ntasks: usize, workers: usize) -> Vec<(String, SimModel, RecoveryPolicy)> {
     let mut out = Vec::new();
     for (label, kind) in PolicyKind::comparison_roster(8) {
@@ -582,6 +608,20 @@ fn fault_models(ntasks: usize, workers: usize) -> Vec<(String, SimModel, Recover
         "stealing+persist".into(),
         SimModel::WorkStealing { steal_half: true },
         RecoveryPolicy::Persistence,
+    ));
+    out.push((
+        "hier-counters".into(),
+        SimModel::HierCounters {
+            chunk: 8,
+            node_size: 32,
+            parent_chunk: 64,
+        },
+        RecoveryPolicy::SemiMatching,
+    ));
+    out.push((
+        "topo-stealing".into(),
+        SimModel::TopologyStealing { steal_half: true },
+        RecoveryPolicy::BlockSurvivors,
     ));
     out
 }
@@ -639,9 +679,13 @@ pub fn e10_faults(w: &KernelWorkload, p: usize, machine: &MachineModel) -> Table
     let mut baseline: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     for (sname, plan, var) in &scenarios {
         for (mname, model, recovery) in fault_models(w.ntasks(), p) {
+            // Locality levels for the topology-aware fault models (a
+            // no-op for the rest — same treatment as E8/E9).
+            let mut m = *machine;
+            m.topology.get_or_insert_with(Default::default);
             let cfg = SimConfig {
                 workers: p,
-                machine: *machine,
+                machine: m,
                 variability: *var,
                 ..SimConfig::new(p)
             };
@@ -679,8 +723,9 @@ mod tests {
     #[test]
     fn e1_has_rows_for_every_p_and_model() {
         let t = e1_scaling(&skewed(64), &[2, 4], &MachineModel::ideal());
-        assert_eq!(t.rows.len(), 2 * 5);
+        assert_eq!(t.rows.len(), 2 * 7);
         assert!(t.rows.iter().any(|r| r[1] == "guided"));
+        assert!(t.rows.iter().any(|r| r[1] == "hier-counters"));
     }
 
     #[test]
@@ -769,14 +814,15 @@ mod tests {
     #[test]
     fn e8_reports_overheads() {
         let t = e8_distributed(&skewed(512), &[64, 256], &MachineModel::default());
-        assert_eq!(t.rows.len(), 2 * 5);
+        assert_eq!(t.rows.len(), 2 * 7);
+        assert!(t.rows.iter().any(|r| r[1] == "topo-stealing"));
     }
 
     #[test]
     fn e9_stealing_weak_scales_flat() {
         let base = skewed(64);
         let t = e9_weak_scaling(&base, &[4, 16, 64], 64, &MachineModel::ideal());
-        assert_eq!(t.rows.len(), 3 * 5);
+        assert_eq!(t.rows.len(), 3 * 7);
         // Work stealing efficiency stays near its P=4 value across the
         // sweep (flat makespan = constant efficiency column ratio).
         let eff = |p: &str| -> f64 {
@@ -794,7 +840,7 @@ mod tests {
     fn overhead_decomposition_fractions_sum_to_one() {
         let w = skewed(256);
         let t = overhead_decomposition(&w, 16, &MachineModel::default());
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), 7);
         for row in &t.rows {
             let busy: f64 = row[2].parse().unwrap();
             let idle: f64 = row[3].parse().unwrap();
@@ -813,7 +859,7 @@ mod tests {
     #[test]
     fn e10_no_tasks_lost_and_stealing_recovers_all_orphans() {
         let t = e10_faults(&skewed(256), 8, &MachineModel::default());
-        assert_eq!(t.rows.len(), 5 * 4);
+        assert_eq!(t.rows.len(), 5 * 6);
         for row in &t.rows {
             assert_eq!(row[6], "0", "tasks lost in {row:?}");
         }

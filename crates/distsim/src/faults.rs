@@ -23,23 +23,25 @@
 //! * **counter outage** — the shared-counter host goes down and fetches
 //!   stall until a backup host takes over after
 //!   [`CounterOutage::failover`];
-//! * **dead-victim steals** — a steal request to a dead rank gets no
-//!   response; the thief times out and retries under exponential
-//!   backoff instead of spinning.
+//! * **dead-victim steals** — a steal request to a rank that died but
+//!   whose death is not yet detected gets no response; the thief times
+//!   out and retries under exponential backoff instead of spinning.
+//!   Once the detection interval elapses, thieves drop the rank from
+//!   their believed-alive victim set and stop paying timeouts.
 //!
 //! A fault-free plan reproduces [`crate::sim::simulate`] *exactly* —
 //! same event order, same RNG draws, same makespan — which is asserted
 //! in tests and is what makes degraded-vs-healthy comparisons
 //! meaningful. See `docs/FAULT_MODEL.md` for the full contract.
 
-use crate::sim::{stretched, OrdF64, SimConfig, SimModel, SimReport, SplitMix};
+use crate::eventq::{EventQueue, WorkTracker};
+use crate::sim::{stretched, topo_levels, SimConfig, SimModel, SimReport, SplitMix};
 use emx_balance::prelude::{
     full_adjacency, rebalance, semi_matching, PersistenceConfig, Problem, SemiMatchConfig,
 };
 use emx_obs::MetricsRegistry;
 use emx_sched::ChunkRule;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// A scheduled fail-stop failure of one simulated rank.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -288,7 +290,7 @@ pub fn simulate_with_faults(
     match model {
         SimModel::Static(owners) => faulty_static(costs, owners, cfg, plan),
         SimModel::Counter { chunk } => {
-            faulty_counter(costs, ChunkRule::Fixed(*chunk), 1, cfg, plan)
+            faulty_counter(costs, ChunkRule::Fixed(*chunk), 1, None, cfg, plan)
         }
         SimModel::Guided { min_chunk } => faulty_counter(
             costs,
@@ -297,17 +299,35 @@ pub fn simulate_with_faults(
                 min: *min_chunk,
             },
             1,
+            None,
             cfg,
             plan,
         ),
-        SimModel::GroupCounters { groups, chunk } => {
-            faulty_counter(costs, ChunkRule::Fixed(*chunk), (*groups).max(1), cfg, plan)
-        }
+        SimModel::GroupCounters { groups, chunk } => faulty_counter(
+            costs,
+            ChunkRule::Fixed(*chunk),
+            (*groups).max(1),
+            None,
+            cfg,
+            plan,
+        ),
+        SimModel::HierCounters {
+            chunk,
+            node_size,
+            parent_chunk,
+        } => faulty_counter(
+            costs,
+            ChunkRule::Fixed(*chunk),
+            cfg.workers.div_ceil((*node_size).max(1)),
+            Some((*parent_chunk).max(1)),
+            cfg,
+            plan,
+        ),
         SimModel::WorkStealing { steal_half } => {
-            faulty_stealing(costs, *steal_half, None, None, cfg, plan)
+            faulty_stealing(costs, *steal_half, &[], None, cfg, plan)
         }
         SimModel::SeededStealing { owners, steal_half } => {
-            faulty_stealing(costs, *steal_half, None, Some(owners), cfg, plan)
+            faulty_stealing(costs, *steal_half, &[], Some(owners), cfg, plan)
         }
         SimModel::HierarchicalStealing {
             steal_half,
@@ -316,7 +336,15 @@ pub fn simulate_with_faults(
         } => faulty_stealing(
             costs,
             *steal_half,
-            Some(((*node_size).max(1), remote_factor.max(1.0))),
+            &[((*node_size).max(1), remote_factor.max(1.0))],
+            None,
+            cfg,
+            plan,
+        ),
+        SimModel::TopologyStealing { steal_half } => faulty_stealing(
+            costs,
+            *steal_half,
+            &topo_levels(&cfg.machine),
             None,
             cfg,
             plan,
@@ -499,6 +527,7 @@ fn faulty_counter(
     costs: &[f64],
     rule: ChunkRule,
     groups: usize,
+    refill: Option<usize>,
     cfg: &SimConfig,
     plan: &FaultPlan,
 ) -> FaultReport {
@@ -508,7 +537,6 @@ fn faulty_counter(
     let m = &cfg.machine;
     let groups = groups.min(p).max(1);
     let wgroup = |w: usize| w * groups / p;
-    let range = |g: usize| (g * n / groups, (g + 1) * n / groups);
     let mut group_size = vec![0usize; groups];
     for w in 0..p {
         group_size[wgroup(w)] += 1;
@@ -535,7 +563,19 @@ fn faulty_counter(
         Vec::new()
     };
     let mut fetches = 0u64;
-    let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
+    // Unclaimed range of each counter: a static block slice (no
+    // refill), or empty-until-refilled from the root (hierarchical).
+    let mut leaf_lo: Vec<usize>;
+    let mut leaf_hi: Vec<usize>;
+    if refill.is_some() {
+        leaf_lo = vec![0; groups];
+        leaf_hi = vec![0; groups];
+    } else {
+        leaf_lo = (0..groups).map(|g| g * n / groups).collect();
+        leaf_hi = (0..groups).map(|g| (g + 1) * n / groups).collect();
+    }
+    let mut root_next = 0usize;
+    let mut root_free = 0.0f64;
     let mut counter_free = vec![0.0f64; groups];
     let mut makespan = 0.0f64;
     let mut executed = 0usize;
@@ -546,12 +586,15 @@ fn faulty_counter(
     let mut recovery_open = f64::INFINITY;
     let mut orphan_death = vec![f64::NAN; n];
     let mut parked: Vec<(usize, f64)> = Vec::new();
+    let mut claim_buf: Vec<usize> = Vec::new();
     let mut fate = SplitMix::new(plan.seed ^ 0x0bad_cafe);
 
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
-        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+    let mut q = EventQueue::with_capacity(cfg.queue, p);
+    for w in 0..p {
+        q.push(m.latency, w);
+    }
 
-    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+    while let Some((arrival, w)) = q.pop() {
         if dead[w] {
             continue;
         }
@@ -567,17 +610,14 @@ fn faulty_counter(
                 stats.detected += 1;
                 let g = wgroup(w);
                 alive_in_group[g] -= 1;
-                if alive_in_group[g] == 0 {
-                    let (_, gend) = range(g);
-                    if next_task[g] < gend {
-                        for od in &mut orphan_death[next_task[g]..gend] {
-                            *od = dt;
-                        }
-                        recovery.extend(next_task[g]..gend);
-                        stats.orphaned += (gend - next_task[g]) as u64;
-                        recovery_open = recovery_open.min(dt + plan.detection_interval);
-                        next_task[g] = gend;
+                if alive_in_group[g] == 0 && leaf_lo[g] < leaf_hi[g] {
+                    for od in &mut orphan_death[leaf_lo[g]..leaf_hi[g]] {
+                        *od = dt;
                     }
+                    recovery.extend(leaf_lo[g]..leaf_hi[g]);
+                    stats.orphaned += (leaf_hi[g] - leaf_lo[g]) as u64;
+                    recovery_open = recovery_open.min(dt + plan.detection_interval);
+                    leaf_lo[g] = leaf_hi[g];
                 }
                 // Wake parked survivors: either orphans just appeared
                 // for them to claim, or no deaths remain pending and
@@ -589,7 +629,7 @@ fn faulty_counter(
                         } else {
                             recovery_open.max(pt)
                         };
-                        heap.push(Reverse((OrdF64(wake), pw)));
+                        q.push(wake, pw);
                     }
                 }
                 continue;
@@ -600,7 +640,7 @@ fn faulty_counter(
         if plan.drop_prob > 0.0 && fate.unit() < plan.drop_prob {
             stats.dropped_messages += 1;
             stats.injected += 1;
-            heap.push(Reverse((OrdF64(arrival + plan.rpc_timeout), w)));
+            q.push(arrival + plan.rpc_timeout, w);
             continue;
         }
         if plan.delay_prob > 0.0 && fate.unit() < plan.delay_prob {
@@ -611,7 +651,7 @@ fn faulty_counter(
         let g = wgroup(w);
         // The group's counter host serializes its fetches.
         let mut start = arrival.max(counter_free[g]);
-        if g == 0 {
+        if g == 0 && refill.is_none() {
             if let Some(o) = plan.counter_outage {
                 if start >= o.at && start < o.at + o.failover {
                     // Counter host down: the fetch stalls until the
@@ -627,25 +667,54 @@ fn faulty_counter(
         }
         counter_free[g] = start + m.counter_service;
         fetches += 1;
+        if leaf_lo[g] >= leaf_hi[g] {
+            if let Some(block) = refill {
+                if root_next < n {
+                    // Dry leaf: forward one block claim to the root
+                    // counter (an extra serialized round trip). In the
+                    // hierarchical tree the *root* is the outage-prone
+                    // shared host.
+                    let mut root_start = (counter_free[g] + m.latency).max(root_free);
+                    if let Some(o) = plan.counter_outage {
+                        if root_start >= o.at && root_start < o.at + o.failover {
+                            root_start = o.at + o.failover;
+                            if !outage_fired {
+                                outage_fired = true;
+                                stats.injected += 1;
+                                stats.counter_failovers += 1;
+                            }
+                        }
+                    }
+                    root_free = root_start + m.counter_service;
+                    fetches += 1;
+                    let take = block.min(n - root_next);
+                    leaf_lo[g] = root_next;
+                    leaf_hi[g] = root_next + take;
+                    root_next += take;
+                    counter_free[g] = root_free + m.latency;
+                }
+            }
+        }
         let response = counter_free[g] + m.latency;
-        let (_, gend) = range(g);
 
-        // Claim: main group range first, then the recovery queue.
-        let claimed: Vec<usize> = if next_task[g] < gend {
-            let remaining = gend - next_task[g];
+        // Claim: the worker's own counter first, then the recovery
+        // queue.
+        claim_buf.clear();
+        if leaf_lo[g] < leaf_hi[g] {
+            let remaining = leaf_hi[g] - leaf_lo[g];
             let chunk = rule.claim(remaining, group_size[g]);
-            let begin = next_task[g];
-            next_task[g] = begin + chunk;
-            (begin..begin + chunk).collect()
+            let begin = leaf_lo[g];
+            leaf_lo[g] = begin + chunk;
+            claim_buf.extend(begin..begin + chunk);
         } else if !recovery.is_empty() {
             if response < recovery_open {
                 // Orphans exist but the failure is not yet detected —
                 // come back once it is.
-                heap.push(Reverse((OrdF64(recovery_open), w)));
+                q.push(recovery_open, w);
                 continue;
             }
             let chunk = rule.claim(recovery.len(), group_size[g]);
-            (0..chunk).filter_map(|_| recovery.pop_front()).collect()
+            claim_buf.extend((0..chunk).filter_map(|_| recovery.pop_front()));
         } else if undead > 0 {
             // Nothing to do now, but a rank is still scheduled to die —
             // park until its orphans (if any) appear.
@@ -653,13 +722,13 @@ fn faulty_counter(
             continue;
         } else {
             continue; // range exhausted, no recovery work: retire
-        };
+        }
 
         // Execute the claim, honoring a mid-chunk death.
         let mut t = response;
         let mut died_at: Option<f64> = None;
-        let mut first_unrun = claimed.len();
-        for (k, &i) in claimed.iter().enumerate() {
+        let mut first_unrun = claim_buf.len();
+        for (k, &i) in claim_buf.iter().enumerate() {
             if let Some(dt) = death[w] {
                 if t >= dt {
                     died_at = Some(dt);
@@ -695,28 +764,28 @@ fn faulty_counter(
             undead -= 1;
             stats.injected += 1;
             stats.detected += 1;
-            for &i in &claimed[first_unrun..] {
+            for &i in &claim_buf[first_unrun..] {
                 orphan_death[i] = dt;
                 recovery.push_back(i);
                 stats.orphaned += 1;
             }
             alive_in_group[g] -= 1;
-            if alive_in_group[g] == 0 && next_task[g] < gend {
+            if alive_in_group[g] == 0 && leaf_lo[g] < leaf_hi[g] {
                 // Last rank of the group: nobody is left to claim the
-                // group's remaining range, so orphan it globally too.
-                for od in &mut orphan_death[next_task[g]..gend] {
+                // counter's remaining range, so orphan it globally too.
+                for od in &mut orphan_death[leaf_lo[g]..leaf_hi[g]] {
                     *od = dt;
                 }
-                recovery.extend(next_task[g]..gend);
-                stats.orphaned += (gend - next_task[g]) as u64;
-                next_task[g] = gend;
+                recovery.extend(leaf_lo[g]..leaf_hi[g]);
+                stats.orphaned += (leaf_hi[g] - leaf_lo[g]) as u64;
+                leaf_lo[g] = leaf_hi[g];
             }
             recovery_open = recovery_open.min(dt + plan.detection_interval);
             for (pw, pt) in parked.drain(..) {
-                heap.push(Reverse((OrdF64(recovery_open.max(pt)), pw)));
+                q.push(recovery_open.max(pt), pw);
             }
         } else {
-            heap.push(Reverse((OrdF64(t + m.latency), w)));
+            q.push(t + m.latency, w);
         }
     }
 
@@ -738,10 +807,59 @@ fn faulty_counter(
     }
 }
 
+/// Mutable per-rank liveness bookkeeping of the stealing loop, grouped
+/// so [`die`] stays callable while the queues are borrowed elsewhere.
+struct Liveness {
+    /// Fail-stop flags, indexed by rank.
+    dead: Vec<bool>,
+    /// Live ranks in ascending rank order — the survivor set orphans are
+    /// redistributed over. Updated immediately at death.
+    alive_now: Vec<usize>,
+    /// Ranks *believed* live by thieves, in ascending rank order: a dead
+    /// rank stays in here (and keeps absorbing steal requests, which
+    /// time out) until its death is detected.
+    alive: Vec<usize>,
+    /// Index of each rank in `alive` (valid only while the rank is in
+    /// `alive`).
+    alive_pos: Vec<usize>,
+    /// Pending detections `(dt + detection_interval, rank)`, sorted by
+    /// descending time so the next one pops from the back.
+    detect: Vec<(f64, usize)>,
+    /// Residual queued cost per rank, maintained incrementally so
+    /// redistribution never rescans queues.
+    qload: Vec<f64>,
+}
+
+impl Liveness {
+    fn new(p: usize) -> Liveness {
+        Liveness {
+            dead: vec![false; p],
+            alive_now: (0..p).collect(),
+            alive: (0..p).collect(),
+            alive_pos: (0..p).collect(),
+            detect: Vec::new(),
+            qload: vec![0.0; p],
+        }
+    }
+
+    /// Removes ranks whose detection time has passed from the thieves'
+    /// `alive` view.
+    fn run_detections(&mut self, t: f64) {
+        while self.detect.last().is_some_and(|&(due, _)| due <= t) {
+            let (_, v) = self.detect.pop().expect("checked non-empty");
+            let pos = self.alive_pos[v];
+            self.alive.remove(pos);
+            for k in pos..self.alive.len() {
+                self.alive_pos[self.alive[k]] = k;
+            }
+        }
+    }
+}
+
 fn faulty_stealing(
     costs: &[f64],
     steal_half: bool,
-    hierarchy: Option<(usize, f64)>,
+    levels: &[(usize, f64)],
     seed_owners: Option<&[u32]>,
     cfg: &SimConfig,
     plan: &FaultPlan,
@@ -766,13 +884,30 @@ fn faulty_stealing(
         }
     }
     let death = death_times(p, plan);
-    let mut dead = vec![false; p];
+    let mut live = Liveness::new(p);
+    for (w, q) in queues.iter().enumerate() {
+        live.qload[w] = q.iter().map(|&i| costs[i]).sum();
+    }
+    let level_sizes: Vec<usize> = levels.iter().map(|&(s, _)| s).collect();
+    let mut tracker = WorkTracker::new(p, &level_sizes);
+    for (w, q) in queues.iter().enumerate() {
+        tracker.update(w, !q.is_empty());
+    }
     let mut stats = FaultStats::default();
     let mut orphan_death = vec![f64::NAN; n];
-    // Pending redistributions: (due time, orphaned tasks). Processed
-    // lazily when the simulation clock reaches the due time.
-    let mut redis: Vec<(f64, Vec<usize>)> = Vec::new();
+    // Pending redistributions `(due time, batch serial, orphans)`,
+    // sorted by descending key so the earliest batch pops from the
+    // back; the serial keeps same-time batches in death order.
+    let mut redis: Vec<(f64, u64, Vec<usize>)> = Vec::new();
+    let mut redis_ser = 0u64;
     let mut backoff_k = vec![0u32; p];
+    // Stolen tasks in transit to each thief (see the stealing loop in
+    // `sim.rs`): they leave the victim at the steal decision and land
+    // at the thief's arrival event, so an in-flight task cannot be
+    // re-stolen — the endgame livelock where two idle survivors pass
+    // the last task back and forth forever is structurally impossible.
+    let mut fly: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut flying = 0usize;
 
     let mut remaining = n;
     let mut busy = vec![0.0; p];
@@ -788,11 +923,9 @@ fn faulty_stealing(
     let mut rng = SplitMix::new(cfg.seed);
     let mut fate = SplitMix::new(plan.seed ^ 0x0bad_cafe);
 
-    let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    let mut q = EventQueue::with_capacity(cfg.queue, p);
     for w in 0..p {
-        heap.push(Reverse((OrdF64(0.0), seq, w)));
-        seq += 1;
+        q.push(0.0, w);
     }
 
     // One exponential-backoff wait after the k-th consecutive failure.
@@ -804,28 +937,39 @@ fn faulty_stealing(
         }
     };
 
-    while let Some(Reverse((OrdF64(t), _, w))) = heap.pop() {
+    while let Some((t, w)) = q.pop() {
+        live.run_detections(t);
         // Redistribute any orphan batch whose detection time has passed.
-        while let Some(k) = redis.iter().position(|&(due, _)| due <= t) {
-            let (_, orphans) = redis.swap_remove(k);
-            let survivors: Vec<usize> = (0..p).filter(|&v| !dead[v]).collect();
-            if survivors.is_empty() {
+        while redis.last().is_some_and(|&(due, _, _)| due <= t) {
+            let (_, _, orphans) = redis.pop().expect("checked non-empty");
+            if live.alive_now.is_empty() {
                 continue; // unreachable: the popped worker is alive
             }
             stats.detected += 1;
             let weights: Vec<f64> = orphans.iter().map(|&i| costs[i]).collect();
-            let loads: Vec<f64> = survivors
-                .iter()
-                .map(|&s| queues[s].iter().map(|&i| costs[i]).sum())
-                .collect();
+            let loads: Vec<f64> = live.alive_now.iter().map(|&s| live.qload[s]).collect();
             let assign = assign_orphans(&weights, &loads, plan.recovery);
             for (k, &i) in orphans.iter().enumerate() {
-                queues[survivors[assign[k]]].push_back(i);
+                let s = live.alive_now[assign[k]];
+                queues[s].push_back(i);
+                live.qload[s] += costs[i];
+                tracker.update(s, true);
             }
         }
 
-        if dead[w] {
+        if live.dead[w] {
             continue;
+        }
+        // Land any stolen haul that rode this worker's arrival event.
+        // Landing precedes the death check so a thief killed mid-return
+        // orphans the haul with the rest of its queue.
+        if !fly[w].is_empty() {
+            flying -= fly[w].len();
+            for i in std::mem::take(&mut fly[w]) {
+                live.qload[w] += costs[i];
+                queues[w].push_back(i);
+            }
+            tracker.update(w, true);
         }
         if let Some(dt) = death[w] {
             if t >= dt {
@@ -834,10 +978,12 @@ fn faulty_stealing(
                 die(
                     w,
                     dt,
-                    &mut dead,
+                    &mut live,
+                    &mut tracker,
                     &mut queues,
                     &mut orphan_death,
                     &mut redis,
+                    &mut redis_ser,
                     &mut stats,
                     plan,
                 );
@@ -855,16 +1001,20 @@ fn faulty_stealing(
                     die(
                         w,
                         dt,
-                        &mut dead,
+                        &mut live,
+                        &mut tracker,
                         &mut queues,
                         &mut orphan_death,
                         &mut redis,
+                        &mut redis_ser,
                         &mut stats,
                         plan,
                     );
                     continue;
                 }
             }
+            live.qload[w] -= costs[i];
+            tracker.update(w, !queues[w].is_empty());
             if cfg.trace {
                 traces[w].push((t, t + dur));
             }
@@ -877,61 +1027,59 @@ fn faulty_stealing(
                 stats.recovery_latency.push(t + dur - orphan_death[i]);
             }
             backoff_k[w] = 0;
-            heap.push(Reverse((OrdF64(t + dur), seq, w)));
-            seq += 1;
+            q.push(t + dur, w);
             continue;
         }
         if remaining == 0 {
             continue; // global termination: worker retires
         }
-        // No local work. If no queue holds work and no redistribution is
-        // pending, the remaining tasks are unreachable (their holders
-        // died with no survivors to hand them to) — retire cleanly.
-        if queues.iter().all(VecDeque::is_empty) && redis.is_empty() {
+        // No local work. If no queue holds work, nothing is in flight,
+        // and no redistribution is pending, the remaining tasks are
+        // unreachable (their holders died with no survivors to hand
+        // them to) — retire cleanly.
+        if !tracker.any() && redis.is_empty() && flying == 0 {
             continue;
         }
         attempts += 1;
-        let (victim, latency) = match hierarchy {
-            Some((node_size, remote_factor)) if p > 1 => {
-                let node = w / node_size;
-                let lo = node * node_size;
-                let hi = ((node + 1) * node_size).min(p);
-                let local_has_work = (lo..hi).any(|v| v != w && !queues[v].is_empty());
-                if local_has_work && hi - lo > 1 {
-                    let span = hi - lo - 1;
-                    let mut v = lo + (rng.next() as usize) % span;
-                    if v >= w {
-                        v += 1;
-                    }
-                    (v, m.steal_latency / remote_factor)
-                } else {
-                    let mut v = (rng.next() as usize) % (p - 1);
-                    if v >= w {
-                        v += 1;
-                    }
-                    (v, m.steal_latency)
-                }
-            }
-            _ if p > 1 => {
-                let mut v = (rng.next() as usize) % (p - 1);
+        // Innermost topology level with known work wins; otherwise fall
+        // back to a uniform draw over the ranks still believed alive
+        // (dead ranks keep getting hit until detection — those requests
+        // time out below).
+        let mut pick: Option<(usize, f64)> = None;
+        for (l, &(size, factor)) in levels.iter().enumerate() {
+            let lo = w / size * size;
+            let hi = (lo + size).min(p);
+            if hi - lo > 1 && tracker.domain_has_work(l, w) {
+                let span = hi - lo - 1;
+                let mut v = lo + (rng.next() as usize) % span;
                 if v >= w {
                     v += 1;
                 }
-                (v, m.steal_latency)
+                pick = Some((v, m.steal_latency / factor));
+                break;
             }
-            _ => (w, m.steal_latency),
+        }
+        let (victim, latency) = match pick {
+            Some(hit) => hit,
+            None => {
+                let k = live.alive.len();
+                if k >= 2 {
+                    let mut idx = (rng.next() as usize) % (k - 1);
+                    if idx >= live.alive_pos[w] {
+                        idx += 1;
+                    }
+                    (live.alive[idx], m.steal_latency)
+                } else {
+                    (w, m.steal_latency)
+                }
+            }
         };
         // Transient faults on the steal request.
         if plan.drop_prob > 0.0 && fate.unit() < plan.drop_prob {
             stats.dropped_messages += 1;
             stats.injected += 1;
             backoff_k[w] += 1;
-            heap.push(Reverse((
-                OrdF64(t + plan.rpc_timeout + backoff(backoff_k[w])),
-                seq,
-                w,
-            )));
-            seq += 1;
+            q.push(t + plan.rpc_timeout + backoff(backoff_k[w]), w);
             continue;
         }
         let mut t_resolved = t + latency;
@@ -945,51 +1093,41 @@ fn faulty_stealing(
             // the round trip after the timeout and backs off.
             stats.rpc_timeouts += 1;
             backoff_k[w] += 1;
-            heap.push(Reverse((
-                OrdF64(t + plan.rpc_timeout + backoff(backoff_k[w])),
-                seq,
-                w,
-            )));
-            seq += 1;
+            q.push(t + plan.rpc_timeout + backoff(backoff_k[w]), w);
             continue;
         }
         let qlen = queues[victim].len();
         if victim != w && qlen > 0 {
             let take = if steal_half { qlen.div_ceil(2) } else { 1 };
+            // The haul is in flight until the thief's arrival event —
+            // invisible to other thieves, so the last task cannot
+            // ping-pong between idle survivors forever.
             for _ in 0..take {
                 if let Some(task) = queues[victim].pop_back() {
-                    queues[w].push_back(task);
+                    fly[w].push(task);
+                    flying += 1;
+                    live.qload[victim] -= costs[task];
                 }
             }
+            tracker.update(victim, !queues[victim].is_empty());
             steals += 1;
             backoff_k[w] = 0;
-            heap.push(Reverse((
-                OrdF64(t_resolved + take as f64 * m.steal_transfer),
-                seq,
-                w,
-            )));
+            q.push(t_resolved + take as f64 * m.steal_transfer, w);
         } else {
             // Failed attempt: back off, but never retry earlier than the
             // next event (or the next pending redistribution, which may
             // be the only future work source).
             backoff_k[w] += 1;
             let mut retry = t_resolved + backoff(backoff_k[w]);
-            let next_event = heap
-                .peek()
-                .map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
+            let next_event = q.peek_time().unwrap_or(t_resolved);
             retry = retry.max(next_event);
             if retry <= t {
-                if let Some(due) = redis
-                    .iter()
-                    .map(|&(due, _)| due)
-                    .min_by(|a, b| a.partial_cmp(b).expect("NaN time"))
-                {
+                if let Some(&(due, _, _)) = redis.last() {
                     retry = retry.max(due);
                 }
             }
-            heap.push(Reverse((OrdF64(retry), seq, w)));
+            q.push(retry, w);
         }
-        seq += 1;
     }
 
     stats.lost = remaining as u64;
@@ -1011,28 +1149,44 @@ fn faulty_stealing(
 }
 
 /// Processes a fail-stop of `w` at `dt` in the stealing loop: freezes
-/// the rank, orphans its queue, and schedules redistribution after the
+/// the rank, orphans its queue, drops it from the survivor set, and
+/// schedules both redistribution and thief-side detection after the
 /// detection interval.
 #[allow(clippy::too_many_arguments)]
 fn die(
     w: usize,
     dt: f64,
-    dead: &mut [bool],
+    live: &mut Liveness,
+    tracker: &mut WorkTracker,
     queues: &mut [VecDeque<usize>],
     orphan_death: &mut [f64],
-    redis: &mut Vec<(f64, Vec<usize>)>,
+    redis: &mut Vec<(f64, u64, Vec<usize>)>,
+    redis_ser: &mut u64,
     stats: &mut FaultStats,
     plan: &FaultPlan,
 ) {
-    dead[w] = true;
+    live.dead[w] = true;
     stats.injected += 1;
     let orphans: Vec<usize> = std::mem::take(&mut queues[w]).into();
+    live.qload[w] = 0.0;
+    tracker.update(w, false);
+    let pos = live
+        .alive_now
+        .binary_search(&w)
+        .expect("dying rank is alive");
+    live.alive_now.remove(pos);
+    let due = dt + plan.detection_interval;
+    let pos = live.detect.partition_point(|&(d, _)| d > due);
+    live.detect.insert(pos, (due, w));
     stats.orphaned += orphans.len() as u64;
     for &i in &orphans {
         orphan_death[i] = dt;
     }
     if !orphans.is_empty() {
-        redis.push((dt + plan.detection_interval, orphans));
+        let ser = *redis_ser;
+        *redis_ser += 1;
+        let pos = redis.partition_point(|&(d, s, _)| (d, s) > (due, ser));
+        redis.insert(pos, (due, ser, orphans));
     }
 }
 
@@ -1071,6 +1225,12 @@ mod tests {
                 node_size: 2,
                 remote_factor: 4.0,
             },
+            SimModel::HierCounters {
+                chunk: 2,
+                node_size: 2,
+                parent_chunk: 8,
+            },
+            SimModel::TopologyStealing { steal_half: true },
         ]
     }
 
@@ -1251,9 +1411,14 @@ mod tests {
         let p = 4;
         let cfg = SimConfig::new(p);
         let total: f64 = costs.iter().sum();
-        let plan = FaultPlan::fault_free()
+        let mut plan = FaultPlan::fault_free()
             .with_rank_failure(2, 0.15 * total / p as f64)
             .with_backoff(20e-6, 2.0, 1e-3);
+        // Slow detector: the dead rank stays in the thieves'
+        // believed-alive victim set for the whole stealing phase, so
+        // requests keep hitting it and timing out. (Once a death is
+        // detected, thieves drop the rank and stop paying timeouts.)
+        plan.detection_interval = 0.5;
         let r = simulate_with_faults(
             &costs,
             &SimModel::WorkStealing { steal_half: true },
@@ -1263,6 +1428,35 @@ mod tests {
         assert!(r.faults.rpc_timeouts > 0, "thieves must hit the dead rank");
         assert_eq!(r.faults.lost, 0);
         assert_eq!(r.sim.tasks.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn endgame_steal_ping_pong_terminates() {
+        // Two of four ranks die early, leaving two idle survivors and a
+        // dwindling task supply. With instantaneous steals the last
+        // task used to bounce between the survivors forever — each
+        // re-stole it from the other's queue before the other's arrival
+        // event could execute it. In-flight hauls (tasks invisible
+        // between the steal decision and the thief's arrival) make that
+        // livelock structurally impossible; this pins the exact wedged
+        // configuration from the fault-matrix verifier.
+        let costs: Vec<f64> = (0..48)
+            .map(|i| 1e-6 * (1.0 + (48 - i) as f64 / 8.0))
+            .collect();
+        let mut plan = FaultPlan::fault_free()
+            .with_rank_failure(1, 2e-6)
+            .with_rank_failure(3, 4e-6)
+            .with_recovery(RecoveryPolicy::BlockSurvivors);
+        plan.rpc_timeout = 50e-6;
+        let cfg = SimConfig::new(4);
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &cfg,
+            &plan,
+        );
+        assert_eq!(r.faults.lost, 0, "survivors must finish every task");
+        assert_eq!(r.sim.tasks.iter().sum::<usize>(), 48);
     }
 
     #[test]
@@ -1325,6 +1519,63 @@ mod tests {
         assert!(snap
             .iter()
             .any(|e| e.name == "distsim.faults.recovery_latency"));
+    }
+
+    #[test]
+    fn coincident_fault_free_fetches_round_robin_instead_of_starving() {
+        // On an ideal machine with zero-cost tasks every fetch response
+        // lands at t = 0. The old `(time, worker)` heap key re-popped
+        // worker 0 forever, handing it the whole range; insertion order
+        // must round-robin the workers instead. This mirrors the
+        // healthy-simulator pin and keeps the fault layer's event
+        // ordering in lockstep with it.
+        let costs = vec![0.0; 12];
+        let cfg = SimConfig {
+            machine: MachineModel::ideal(),
+            ..SimConfig::new(4)
+        };
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::Counter { chunk: 1 },
+            &cfg,
+            &FaultPlan::fault_free(),
+        );
+        assert_eq!(r.sim.tasks, vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn ten_thousand_ranks_with_half_failing_finish_without_blowup() {
+        // Scale regression for the fault path: 10⁴ ranks, every even
+        // rank fail-stops early, survivors absorb the orphans. The old
+        // implementation rescanned all P queues per steal attempt and
+        // rebuilt the survivor list per redistribution, which is
+        // quadratic here; the tracker/liveness structures must keep
+        // this a seconds-scale run even in debug builds.
+        let p = 10_000;
+        let n = 2 * p;
+        let costs: Vec<f64> = (0..n).map(|i| ((i * 13) % 7 + 1) as f64 * 1e-4).collect();
+        let mut cfg = SimConfig::new(p);
+        cfg.machine.topology = Some(crate::machine::Topology::default());
+        let mut plan = FaultPlan::fault_free().with_recovery(RecoveryPolicy::BlockSurvivors);
+        for w in (0..p).step_by(2) {
+            plan = plan.with_rank_failure(w, 1e-4 + w as f64 * 1e-8);
+        }
+        let t0 = std::time::Instant::now();
+        let r = simulate_with_faults(
+            &costs,
+            &SimModel::TopologyStealing { steal_half: true },
+            &cfg,
+            &plan,
+        );
+        let elapsed = t0.elapsed();
+        assert_eq!(r.faults.injected, (p / 2) as u64);
+        assert_eq!(r.faults.lost, 0, "survivors must finish every task");
+        assert_eq!(r.sim.tasks.iter().sum::<usize>(), n);
+        assert!((0..p).step_by(2).all(|w| r.sim.tasks[w] * 50 < n));
+        assert!(
+            elapsed < std::time::Duration::from_secs(90),
+            "fault-path scale regression: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod eventq;
 pub mod faults;
 pub mod ga;
 pub mod machine;
@@ -45,13 +46,14 @@ pub mod world;
 
 /// Common imports.
 pub mod prelude {
+    pub use crate::eventq::{EventQueue, QueueKind};
     pub use crate::faults::{
         publish_fault_metrics, simulate_with_faults, CounterOutage, FaultPlan, FaultReport,
         FaultStats, RankFailure, RecoveryPolicy,
     };
     pub use crate::ga::GlobalArray;
-    pub use crate::machine::MachineModel;
-    pub use crate::nxtval::NxtVal;
+    pub use crate::machine::{MachineModel, Topology};
+    pub use crate::nxtval::{HierNxtVal, NxtVal};
     pub use crate::obs::{publish_ga_traffic, publish_sim_metrics, sim_report_to_chrome};
     pub use crate::sim::{
         simulate, simulate_policy, simulate_static_with_data, DataLayout, SimConfig, SimModel,

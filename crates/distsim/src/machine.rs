@@ -37,6 +37,45 @@ pub struct MachineModel {
     /// seconds. Default `0.5e-6` (0.5 µs): moving one task descriptor
     /// (indices, not matrix data) to the thief.
     pub steal_transfer: f64,
+    /// Optional node/rack topology. `None` (the default) models a flat
+    /// machine where every pair of ranks communicates at `latency`;
+    /// `Some` enables the multi-level locality used by
+    /// `SimModel::TopologyStealing` and the hierarchical counter tree.
+    pub topology: Option<Topology>,
+}
+
+/// Node/rack locality structure of the simulated cluster.
+///
+/// Communication *within* a domain is cheaper than crossing it: a
+/// same-node steal costs `steal_latency / node_factor`, a same-rack
+/// (but off-node) steal `steal_latency / rack_factor`, and anything
+/// crossing racks pays the full flat `steal_latency`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Topology {
+    /// Ranks per node (the innermost stealing/counter domain).
+    pub node_size: usize,
+    /// Nodes per rack (the second-level domain spans
+    /// `node_size * rack_nodes` ranks).
+    pub rack_nodes: usize,
+    /// Latency advantage of intra-node traffic (shared memory /
+    /// intra-node fabric); `>= 1`.
+    pub node_factor: f64,
+    /// Latency advantage of intra-rack traffic (one switch hop);
+    /// `>= 1`, typically between 1 and `node_factor`.
+    pub rack_factor: f64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        // 32-rank nodes in 16-node racks: a 512-rank rack, so 10⁴–10⁵
+        // rank jobs span tens to hundreds of racks.
+        Topology {
+            node_size: 32,
+            rack_nodes: 16,
+            node_factor: 8.0,
+            rack_factor: 2.0,
+        }
+    }
 }
 
 impl Default for MachineModel {
@@ -48,6 +87,7 @@ impl Default for MachineModel {
             dispatch_overhead: 0.15e-6,
             steal_latency: 6e-6,
             steal_transfer: 0.5e-6,
+            topology: None,
         }
     }
 }
@@ -63,6 +103,16 @@ impl MachineModel {
             dispatch_overhead: 0.0,
             steal_latency: 0.0,
             steal_transfer: 0.0,
+            topology: None,
+        }
+    }
+
+    /// The default machine with the default node/rack [`Topology`]
+    /// attached — the configuration the topology-aware models sweep.
+    pub fn with_topology() -> MachineModel {
+        MachineModel {
+            topology: Some(Topology::default()),
+            ..MachineModel::default()
         }
     }
 
@@ -102,5 +152,13 @@ mod tests {
         let m = MachineModel::default();
         assert!(m.latency > 0.0 && m.latency < 1e-3);
         assert!(m.counter_service < m.steal_latency);
+        assert!(m.topology.is_none());
+    }
+
+    #[test]
+    fn topology_defaults_keep_locality_ordered() {
+        let t = MachineModel::with_topology().topology.unwrap();
+        assert!(t.node_size >= 2 && t.rack_nodes >= 2);
+        assert!(t.node_factor >= t.rack_factor && t.rack_factor >= 1.0);
     }
 }

@@ -10,7 +10,7 @@
 
 use emx_obs::{Counter, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Metric handles of an instrumented counter (see
 /// [`NxtVal::with_metrics`]).
@@ -83,6 +83,81 @@ impl NxtVal {
     }
 }
 
+/// One leaf counter's unclaimed block `[next, end)`.
+#[derive(Debug, Default)]
+struct LeafBlock {
+    next: u64,
+    end: u64,
+}
+
+/// A two-level NXTVAL tree: per-leaf counters that claim blocks of
+/// `parent_chunk` values from one shared root.
+///
+/// This is the shared-memory stand-in for the hierarchical counter the
+/// simulator models as [`crate::sim::SimModel::HierCounters`]: workers
+/// fetch small chunks from their node-local leaf, and only a dry leaf
+/// pays the root round trip. With `L` leaves the root sees `~1/L` of the
+/// traffic a flat [`NxtVal`] would, which is what restores counter
+/// scheduling at 10⁴–10⁵ ranks.
+#[derive(Debug)]
+pub struct HierNxtVal {
+    /// Protocol `distsim-nxtval` (docs/protocols.toml): Relaxed for the
+    /// same reason as [`NxtVal::next`] — only atomicity is required.
+    root: AtomicU64,
+    limit: u64,
+    parent_chunk: u64,
+    leaves: Vec<Mutex<LeafBlock>>,
+}
+
+impl HierNxtVal {
+    /// A tree of `leaves` leaf counters handing out values in
+    /// `[0, limit)`, each refilling `parent_chunk` values at a time
+    /// from the root.
+    pub fn new(leaves: usize, limit: u64, parent_chunk: u64) -> HierNxtVal {
+        assert!(leaves > 0, "need at least one leaf");
+        assert!(parent_chunk > 0, "parent chunk must be positive");
+        HierNxtVal {
+            root: AtomicU64::new(0),
+            limit,
+            parent_chunk,
+            leaves: (0..leaves)
+                .map(|_| Mutex::new(LeafBlock::default()))
+                .collect(),
+        }
+    }
+
+    /// Claims up to `chunk` values through `leaf`; returns
+    /// `(start, count)` with `count == 0` once the range is exhausted.
+    /// The caller owns `[start, start + count)`.
+    pub fn next(&self, leaf: usize, chunk: u64) -> (u64, u64) {
+        debug_assert!(chunk > 0);
+        let mut b = self.leaves[leaf].lock().expect("leaf lock poisoned");
+        if b.next >= b.end {
+            if self.root.load(Ordering::Relaxed) >= self.limit {
+                return (self.limit, 0); // range exhausted, skip the round trip
+            }
+            // Dry leaf: one root claim refills the whole block. The
+            // root may overshoot `limit`; the min-clamps below keep
+            // handed-out values inside the range.
+            let start = self.root.fetch_add(self.parent_chunk, Ordering::Relaxed);
+            b.next = start.min(self.limit);
+            b.end = start.saturating_add(self.parent_chunk).min(self.limit);
+        }
+        let start = b.next;
+        let count = chunk.min(b.end - b.next);
+        b.next += count;
+        (start, count)
+    }
+
+    /// Root fetches so far (monitoring/tests; racy by nature). Each one
+    /// models a full round trip to the shared counter host.
+    pub fn root_fetches(&self) -> u64 {
+        self.root
+            .load(Ordering::Relaxed)
+            .div_ceil(self.parent_chunk)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +221,72 @@ mod tests {
             "duplicate ranges"
         );
         assert_eq!(c.peek(), nthreads as u64 * per * 2);
+    }
+
+    #[test]
+    fn hierarchical_claims_cover_the_range_exactly_once() {
+        let c = HierNxtVal::new(4, 103, 16);
+        let mut seen = [false; 103];
+        let mut dry = 0;
+        let mut round = 0;
+        while dry < 4 {
+            let (start, count) = c.next(round % 4, 3);
+            round += 1;
+            if count == 0 {
+                dry += 1;
+                continue;
+            }
+            dry = 0;
+            for v in start..start + count {
+                assert!(!seen[v as usize], "value {v} handed out twice");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "range not fully covered");
+    }
+
+    #[test]
+    fn leaves_amortize_root_round_trips() {
+        let c = HierNxtVal::new(8, 1024, 64);
+        let mut claimed = 0u64;
+        while claimed < 1024 {
+            let (_, count) = c.next((claimed as usize / 4) % 8, 4);
+            assert!(count > 0);
+            claimed += count;
+        }
+        // 1024 values in 64-value root blocks: 16 root trips instead of
+        // the 256 a flat counter would pay at chunk 4.
+        assert_eq!(c.root_fetches(), 1024 / 64);
+    }
+
+    #[test]
+    fn concurrent_hierarchical_claims_never_overlap() {
+        let c = HierNxtVal::new(4, 4000, 32);
+        let claims: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let c = &c;
+            (0..4usize)
+                .map(|leaf| {
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            let (start, count) = c.next(leaf, 5);
+                            if count == 0 {
+                                return got;
+                            }
+                            got.extend(start..start + count);
+                        }
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u64> = claims.into_iter().flatten().collect();
+        all.sort_unstable();
+        let len = all.len();
+        all.dedup();
+        assert_eq!(all.len(), len, "duplicate values across leaves");
+        assert_eq!(all.len(), 4000, "range not fully claimed");
     }
 }

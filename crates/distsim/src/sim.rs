@@ -16,6 +16,7 @@
 //!   actually materializes;
 //! * per-worker speed variability stretches whatever each worker runs.
 
+use crate::eventq::{EventQueue, ProfArena, QueueKind, WorkTracker};
 use crate::machine::MachineModel;
 use emx_obs::{EventKind, ProfEvent};
 use emx_runtime::Variability;
@@ -23,8 +24,7 @@ use emx_sched::{
     random_victim, round_robin_victim, ChunkRule, PolicyKind, SeedPartition, SpecConfig,
     VictimPolicy,
 };
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Virtual seconds → nanoseconds for profiling event timestamps.
@@ -86,6 +86,32 @@ pub enum SimModel {
         /// How much cheaper an intra-node steal is (≥ 1).
         remote_factor: f64,
     },
+    /// Hierarchical NXTVAL counter tree: one leaf counter per node of
+    /// `node_size` workers hands out `chunk`-task claims locally, and
+    /// refills itself with `parent_chunk`-task blocks from a root
+    /// counter when it runs dry. Unlike [`SimModel::GroupCounters`]
+    /// (static leaf ranges, no balancing across groups), the tree
+    /// balances globally while taking the root round trip only once per
+    /// `parent_chunk` tasks — the scalable NXTVAL the paper's shared
+    /// counter wants at 10⁴⁺ ranks.
+    HierCounters {
+        /// Tasks per leaf-counter claim.
+        chunk: usize,
+        /// Workers per leaf counter (node size).
+        node_size: usize,
+        /// Tasks per root-counter refill block.
+        parent_chunk: usize,
+    },
+    /// Topology-aware multi-level work stealing driven by
+    /// [`MachineModel::topology`]: thieves try a random node-mate first
+    /// (latency ÷ `node_factor`), then a random rack-mate (latency ÷
+    /// `rack_factor`), then a random global victim at full latency.
+    /// With no topology on the machine it degenerates to flat
+    /// [`SimModel::WorkStealing`].
+    TopologyStealing {
+        /// Steal half the victim's queue (vs a single task).
+        steal_half: bool,
+    },
 }
 
 impl SimModel {
@@ -99,6 +125,8 @@ impl SimModel {
             SimModel::WorkStealing { .. } => "work-stealing",
             SimModel::SeededStealing { .. } => "seeded-stealing",
             SimModel::HierarchicalStealing { .. } => "hier-stealing",
+            SimModel::HierCounters { .. } => "hier-counters",
+            SimModel::TopologyStealing { .. } => "topo-stealing",
         }
     }
 
@@ -109,8 +137,9 @@ impl SimModel {
     /// round-robin victims, speculative execution) — use
     /// [`simulate_policy`] for those, which replays any registry policy
     /// directly. The reverse direction has
-    /// no mapping either: `GroupCounters`, `SeededStealing` and
-    /// `HierarchicalStealing` are simulator-only extensions.
+    /// no mapping either: `GroupCounters`, `SeededStealing`,
+    /// `HierarchicalStealing`, `HierCounters` and `TopologyStealing`
+    /// are simulator-only extensions.
     pub fn from_policy(kind: &PolicyKind, ntasks: usize, workers: usize) -> Option<SimModel> {
         match kind {
             PolicyKind::Serial
@@ -162,6 +191,12 @@ pub struct SimConfig {
     /// — the same schema the thread runtime's event rings record — so
     /// one attribution/export pipeline serves both substrates.
     pub events: bool,
+    /// Event-queue backend. [`QueueKind::Calendar`] (the default) is the
+    /// O(1)-amortized production backend; [`QueueKind::Heap`] is the
+    /// binary-heap oracle it is checked against — both implement the
+    /// same `(time, seq)` total order, so reports are bitwise
+    /// identical.
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -174,6 +209,7 @@ impl SimConfig {
             seed: 0xd15c,
             trace: false,
             events: false,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -229,7 +265,7 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
     match model {
         SimModel::Static(owners) => simulate_static(costs, owners, cfg),
         SimModel::Counter { chunk } => {
-            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), 1, cfg)
+            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), 1, None, cfg)
         }
         SimModel::Guided { min_chunk } => simulate_counter_family(
             costs,
@@ -238,18 +274,33 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
                 min: *min_chunk,
             },
             1,
+            None,
             cfg,
         ),
         SimModel::GroupCounters { groups, chunk } => {
-            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), (*groups).max(1), cfg)
+            simulate_counter_family(costs, ChunkRule::Fixed(*chunk), (*groups).max(1), None, cfg)
+        }
+        SimModel::HierCounters {
+            chunk,
+            node_size,
+            parent_chunk,
+        } => {
+            let groups = cfg.workers.div_ceil((*node_size).max(1));
+            simulate_counter_family(
+                costs,
+                ChunkRule::Fixed(*chunk),
+                groups,
+                Some((*parent_chunk).max(1)),
+                cfg,
+            )
         }
         SimModel::WorkStealing { steal_half } => {
-            simulate_stealing(costs, *steal_half, None, None, VictimPolicy::Random, cfg)
+            simulate_stealing(costs, *steal_half, &[], None, VictimPolicy::Random, cfg)
         }
         SimModel::SeededStealing { owners, steal_half } => simulate_stealing(
             costs,
             *steal_half,
-            None,
+            &[],
             Some(owners),
             VictimPolicy::Random,
             cfg,
@@ -261,11 +312,35 @@ pub fn simulate(costs: &[f64], model: &SimModel, cfg: &SimConfig) -> SimReport {
         } => simulate_stealing(
             costs,
             *steal_half,
-            Some(((*node_size).max(1), remote_factor.max(1.0))),
+            &[((*node_size).max(1), remote_factor.max(1.0))],
             None,
             VictimPolicy::Random,
             cfg,
         ),
+        SimModel::TopologyStealing { steal_half } => simulate_stealing(
+            costs,
+            *steal_half,
+            &topo_levels(&cfg.machine),
+            None,
+            VictimPolicy::Random,
+            cfg,
+        ),
+    }
+}
+
+/// Stealing-domain levels of `m`'s topology, innermost first: `(domain
+/// size in workers, latency divisor)`. Empty (flat machine) when no
+/// topology is attached.
+pub(crate) fn topo_levels(m: &MachineModel) -> Vec<(usize, f64)> {
+    match m.topology {
+        Some(t) => {
+            let node = t.node_size.max(1);
+            vec![
+                (node, t.node_factor.max(1.0)),
+                (node * t.rack_nodes.max(1), t.rack_factor.max(1.0)),
+            ]
+        }
+        None => Vec::new(),
     }
 }
 
@@ -295,7 +370,7 @@ pub fn simulate_policy(costs: &[f64], kind: &PolicyKind, cfg: &SimConfig) -> Sim
         | PolicyKind::GuidedAdaptive { .. } => {
             let rule = kind.chunk_rule().expect("counter-family policy");
             rule.validate();
-            simulate_counter_family(costs, rule, 1, cfg)
+            simulate_counter_family(costs, rule, 1, None, cfg)
         }
         PolicyKind::WorkStealing(scfg) => {
             let seeded;
@@ -306,7 +381,7 @@ pub fn simulate_policy(costs: &[f64], kind: &PolicyKind, cfg: &SimConfig) -> Sim
                     Some(seeded.as_slice())
                 }
             };
-            simulate_stealing(costs, scfg.steal_batch, None, seed_owners, scfg.victim, cfg)
+            simulate_stealing(costs, scfg.steal_batch, &[], seed_owners, scfg.victim, cfg)
         }
         PolicyKind::Speculative(scfg) => simulate_speculative(costs, scfg, cfg),
     }
@@ -361,11 +436,7 @@ fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> Si
     } else {
         Vec::new()
     };
-    let mut events = if cfg.events {
-        vec![Vec::new(); p]
-    } else {
-        Vec::new()
-    };
+    let mut arena = ProfArena::new(cfg.events);
     let mut fetches = 0u64;
     let mut counter_free = 0.0f64;
     let mut next_txn = 0usize;
@@ -378,14 +449,16 @@ fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> Si
     // counter-host service in the machine model's vocabulary.
     let v_cost = m.counter_service;
 
-    // Heap of (arrival time at the execution front, worker). Claims are
+    // Queue of (arrival time at the execution front, worker). Claims are
     // strictly in block order, and commits are released in block order,
     // so when transaction `i` is popped every j < i already has a final
     // commit time — the replay can run in claim order.
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
-        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+    let mut q = EventQueue::with_capacity(cfg.queue, p);
+    for w in 0..p {
+        q.push(m.latency, w);
+    }
 
-    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+    while let Some((arrival, w)) = q.pop() {
         if next_txn >= n {
             // Execution front exhausted: the worker retires.
             continue;
@@ -396,83 +469,97 @@ fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> Si
         let response = counter_free + m.latency;
         let i = next_txn;
         next_txn += 1;
-        if cfg.events {
-            events[w].push(ProfEvent {
-                kind: EventKind::CounterFetchStart,
-                arg: 0,
-                t_ns: virt_ns(arrival - m.latency),
-            });
-            events[w].push(ProfEvent {
-                kind: EventKind::CounterFetchEnd,
-                arg: i as u64,
-                t_ns: virt_ns(response),
-            });
+        if arena.on() {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::CounterFetchStart,
+                    arg: 0,
+                    t_ns: virt_ns(arrival - m.latency),
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::CounterFetchEnd,
+                    arg: i as u64,
+                    t_ns: virt_ns(response),
+                },
+            );
         }
 
         let run = |t0: f64,
                    w: usize,
                    busy: &mut Vec<f64>,
-                   events: &mut Vec<Vec<ProfEvent>>,
+                   arena: &mut ProfArena,
                    traces: &mut Vec<Vec<(f64, f64)>>|
          -> f64 {
             let d = stretched(costs[i], w, t0, cfg) + m.dispatch_overhead;
             if cfg.trace {
                 traces[w].push((t0, t0 + d));
             }
-            if cfg.events {
-                events[w].push(ProfEvent {
+            arena.push(
+                w,
+                ProfEvent {
                     kind: EventKind::TaskStart,
                     arg: i as u64,
                     t_ns: virt_ns(t0),
-                });
-                events[w].push(ProfEvent {
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
                     kind: EventKind::TaskEnd,
                     arg: i as u64,
                     t_ns: virt_ns(t0 + d),
-                });
-            }
+                },
+            );
             busy[w] += d;
             t0 + d
         };
-        let validate =
-            |t0: f64, w: usize, busy: &mut Vec<f64>, events: &mut Vec<Vec<ProfEvent>>| -> f64 {
-                if cfg.events {
-                    events[w].push(ProfEvent {
-                        kind: EventKind::ValidateStart,
-                        arg: i as u64,
-                        t_ns: virt_ns(t0),
-                    });
-                    events[w].push(ProfEvent {
-                        kind: EventKind::ValidateEnd,
-                        arg: i as u64,
-                        t_ns: virt_ns(t0 + v_cost),
-                    });
-                }
-                busy[w] += v_cost;
-                t0 + v_cost
-            };
+        let validate = |t0: f64, w: usize, busy: &mut Vec<f64>, arena: &mut ProfArena| -> f64 {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::ValidateStart,
+                    arg: i as u64,
+                    t_ns: virt_ns(t0),
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::ValidateEnd,
+                    arg: i as u64,
+                    t_ns: virt_ns(t0 + v_cost),
+                },
+            );
+            busy[w] += v_cost;
+            t0 + v_cost
+        };
 
         // Optimistic first incarnation.
         let exec_start = response;
-        let mut t = run(exec_start, w, &mut busy, &mut events, &mut traces);
-        t = validate(t, w, &mut busy, &mut events);
+        let mut t = run(exec_start, w, &mut busy, &mut arena, &mut traces);
+        t = validate(t, w, &mut busy, &mut arena);
         // Stale read: the dependency committed only after this
         // incarnation began, so the version it read has been superseded.
         let stale = dep[i].is_some_and(|j| commit_time[j] > exec_start);
         if stale {
             let j = dep[i].expect("stale implies dependency");
-            if cfg.events {
-                events[w].push(ProfEvent {
+            arena.push(
+                w,
+                ProfEvent {
                     kind: EventKind::Abort,
                     arg: i as u64,
                     t_ns: virt_ns(t),
-                });
-            }
+                },
+            );
             // Re-execute once the dependency's write is final; the gap
             // (if any) is idle, not busy.
             let restart = t.max(commit_time[j]);
-            t = run(restart, w, &mut busy, &mut events, &mut traces);
-            t = validate(t, w, &mut busy, &mut events);
+            t = run(restart, w, &mut busy, &mut arena, &mut traces);
+            t = validate(t, w, &mut busy, &mut arena);
         }
 
         // Deterministic commit rule: commits are released in block
@@ -481,17 +568,18 @@ fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> Si
         let committed = t.max(commit_prev);
         commit_prev = committed;
         commit_time[i] = committed;
-        if cfg.events {
-            events[w].push(ProfEvent {
+        arena.push(
+            w,
+            ProfEvent {
                 kind: EventKind::Commit,
                 arg: i as u64,
                 t_ns: virt_ns(committed),
-            });
-        }
+            },
+        );
         assignment[i] = w as u32;
         tasks[w] += 1;
         makespan = makespan.max(committed);
-        heap.push(Reverse((OrdF64(t + m.latency), w)));
+        q.push(t + m.latency, w);
     }
 
     SimReport {
@@ -504,7 +592,7 @@ fn simulate_speculative(costs: &[f64], scfg: &SpecConfig, cfg: &SimConfig) -> Si
         comm: Vec::new(),
         traces,
         assignment,
-        events,
+        events: arena.into_streams(p),
     }
 }
 
@@ -527,11 +615,7 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
     } else {
         Vec::new()
     };
-    let mut events = if cfg.events {
-        vec![Vec::new(); p]
-    } else {
-        Vec::new()
-    };
+    let mut arena = ProfArena::new(cfg.events);
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
         assert!(w < p, "owner out of range");
@@ -539,17 +623,23 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
         if cfg.trace {
             traces[w].push((clock[w], clock[w] + d));
         }
-        if cfg.events {
-            events[w].push(ProfEvent {
-                kind: EventKind::TaskStart,
-                arg: t as u64,
-                t_ns: virt_ns(clock[w]),
-            });
-            events[w].push(ProfEvent {
-                kind: EventKind::TaskEnd,
-                arg: t as u64,
-                t_ns: virt_ns(clock[w] + d),
-            });
+        if arena.on() {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::TaskStart,
+                    arg: t as u64,
+                    t_ns: virt_ns(clock[w]),
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::TaskEnd,
+                    arg: t as u64,
+                    t_ns: virt_ns(clock[w] + d),
+                },
+            );
         }
         clock[w] += d;
         busy[w] += d;
@@ -565,7 +655,7 @@ fn simulate_static(costs: &[f64], owners: &[u32], cfg: &SimConfig) -> SimReport 
         comm: Vec::new(),
         traces,
         assignment: owners.to_vec(),
-        events,
+        events: arena.into_streams(p),
     }
 }
 
@@ -652,11 +742,7 @@ pub fn simulate_static_with_data(
     } else {
         Vec::new()
     };
-    let mut events = if cfg.events {
-        vec![Vec::new(); p]
-    } else {
-        Vec::new()
-    };
+    let mut arena = ProfArena::new(cfg.events);
 
     for (t, &w) in owners.iter().enumerate() {
         let w = w as usize;
@@ -677,17 +763,23 @@ pub fn simulate_static_with_data(
         if cfg.trace {
             traces[w].push((clock[w], clock[w] + d));
         }
-        if cfg.events {
-            events[w].push(ProfEvent {
-                kind: EventKind::TaskStart,
-                arg: t as u64,
-                t_ns: virt_ns(clock[w]),
-            });
-            events[w].push(ProfEvent {
-                kind: EventKind::TaskEnd,
-                arg: t as u64,
-                t_ns: virt_ns(clock[w] + d),
-            });
+        if arena.on() {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::TaskStart,
+                    arg: t as u64,
+                    t_ns: virt_ns(clock[w]),
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::TaskEnd,
+                    arg: t as u64,
+                    t_ns: virt_ns(clock[w] + d),
+                },
+            );
         }
         clock[w] += d;
         busy[w] += d;
@@ -703,14 +795,22 @@ pub fn simulate_static_with_data(
         comm,
         traces,
         assignment: owners.to_vec(),
-        events,
+        events: arena.into_streams(p),
     }
 }
 
+/// Shared-counter family: `groups` independent counters each serve a
+/// worker group. With `refill: None` every counter statically owns a
+/// block slice of the task range (the Counter/Guided/GroupCounters
+/// models). With `refill: Some(block)` the counters are *leaves of a
+/// hierarchical NXTVAL tree*: they start empty and claim `block`-task
+/// ranges from a root counter on demand, so work balances globally
+/// while the root is contacted only once per block.
 fn simulate_counter_family(
     costs: &[f64],
     rule: ChunkRule,
     groups: usize,
+    refill: Option<usize>,
     cfg: &SimConfig,
 ) -> SimReport {
     rule.validate();
@@ -719,7 +819,6 @@ fn simulate_counter_family(
     let m = &cfg.machine;
     let groups = groups.min(p).max(1);
     let wgroup = |w: usize| w * groups / p;
-    let range = |g: usize| (g * n / groups, (g + 1) * n / groups);
     let mut group_size = vec![0usize; groups];
     for w in 0..p {
         group_size[wgroup(w)] += 1;
@@ -732,70 +831,109 @@ fn simulate_counter_family(
     } else {
         Vec::new()
     };
-    let mut events = if cfg.events {
-        vec![Vec::new(); p]
-    } else {
-        Vec::new()
-    };
+    let mut arena = ProfArena::new(cfg.events);
     let mut fetches = 0u64;
-    let mut next_task: Vec<usize> = (0..groups).map(|g| range(g).0).collect();
+    // Unclaimed range of each counter: a static block slice (no
+    // refill), or empty-until-refilled (hierarchical tree).
+    let mut leaf_lo: Vec<usize>;
+    let mut leaf_hi: Vec<usize>;
+    if refill.is_some() {
+        leaf_lo = vec![0; groups];
+        leaf_hi = vec![0; groups];
+    } else {
+        leaf_lo = (0..groups).map(|g| g * n / groups).collect();
+        leaf_hi = (0..groups).map(|g| (g + 1) * n / groups).collect();
+    }
+    let mut root_next = 0usize;
+    let mut root_free = 0.0f64;
     let mut counter_free = vec![0.0f64; groups];
     let mut makespan = 0.0f64;
     let mut assignment = vec![u32::MAX; n];
 
-    // Heap of (arrival time at the group's counter, worker).
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
-        (0..p).map(|w| Reverse((OrdF64(m.latency), w))).collect();
+    // Queue of (arrival time at the group's counter, worker).
+    let mut q = EventQueue::with_capacity(cfg.queue, p);
+    for w in 0..p {
+        q.push(m.latency, w);
+    }
 
-    while let Some(Reverse((OrdF64(arrival), w))) = heap.pop() {
+    while let Some((arrival, w)) = q.pop() {
         let g = wgroup(w);
         // The group's counter host serializes its fetches.
         let start = arrival.max(counter_free[g]);
         counter_free[g] = start + m.counter_service;
         fetches += 1;
+        if leaf_lo[g] >= leaf_hi[g] {
+            if let Some(block) = refill {
+                if root_next < n {
+                    // The dry leaf forwards one block claim to the root
+                    // counter: a full extra round trip, serialized at
+                    // the root, before the leaf can answer.
+                    let root_start = (counter_free[g] + m.latency).max(root_free);
+                    root_free = root_start + m.counter_service;
+                    fetches += 1;
+                    let take = block.min(n - root_next);
+                    leaf_lo[g] = root_next;
+                    leaf_hi[g] = root_next + take;
+                    root_next += take;
+                    counter_free[g] = root_free + m.latency;
+                }
+            }
+        }
         let response = counter_free[g] + m.latency;
-        if cfg.events {
+        if arena.on() {
             // The worker issued this fetch one network latency before it
             // arrived at the counter host.
-            events[w].push(ProfEvent {
-                kind: EventKind::CounterFetchStart,
-                arg: 0,
-                t_ns: virt_ns(arrival - m.latency),
-            });
-            events[w].push(ProfEvent {
-                kind: EventKind::CounterFetchEnd,
-                arg: next_task[g] as u64,
-                t_ns: virt_ns(response),
-            });
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::CounterFetchStart,
+                    arg: 0,
+                    t_ns: virt_ns(arrival - m.latency),
+                },
+            );
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::CounterFetchEnd,
+                    arg: leaf_lo[g] as u64,
+                    t_ns: virt_ns(response),
+                },
+            );
         }
-        let (_, gend) = range(g);
-        if next_task[g] >= gend {
-            // Group range exhausted: the worker retires (no cross-group
-            // balancing by design — that asymmetry IS the model).
+        if leaf_lo[g] >= leaf_hi[g] {
+            // Counter exhausted — range done (no refill: no cross-group
+            // balancing by design, that asymmetry IS the model) or the
+            // root has nothing left. The worker retires.
             continue;
         }
-        let remaining = gend - next_task[g];
+        let remaining = leaf_hi[g] - leaf_lo[g];
         let chunk = rule.claim(remaining, group_size[g]);
-        let begin = next_task[g];
+        let begin = leaf_lo[g];
         let end = begin + chunk;
-        next_task[g] = end;
+        leaf_lo[g] = end;
         let mut t = response;
         for i in begin..end {
             let d = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
             if cfg.trace {
                 traces[w].push((t, t + d));
             }
-            if cfg.events {
-                events[w].push(ProfEvent {
-                    kind: EventKind::TaskStart,
-                    arg: i as u64,
-                    t_ns: virt_ns(t),
-                });
-                events[w].push(ProfEvent {
-                    kind: EventKind::TaskEnd,
-                    arg: i as u64,
-                    t_ns: virt_ns(t + d),
-                });
+            if arena.on() {
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::TaskStart,
+                        arg: i as u64,
+                        t_ns: virt_ns(t),
+                    },
+                );
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::TaskEnd,
+                        arg: i as u64,
+                        t_ns: virt_ns(t + d),
+                    },
+                );
             }
             t += d;
             busy[w] += d;
@@ -804,7 +942,7 @@ fn simulate_counter_family(
         }
         makespan = makespan.max(t);
         // Request the next chunk.
-        heap.push(Reverse((OrdF64(t + m.latency), w)));
+        q.push(t + m.latency, w);
     }
 
     SimReport {
@@ -817,14 +955,21 @@ fn simulate_counter_family(
         comm: Vec::new(),
         traces,
         assignment,
-        events,
+        events: arena.into_streams(p),
     }
 }
 
+/// Work-stealing family. `levels` lists nested locality domains,
+/// innermost first, as `(domain size in workers, latency divisor)`:
+/// a thief probes the innermost domain that still holds work and draws
+/// a uniform victim there at `steal_latency / divisor`, falling back to
+/// a global draw at full latency. An empty slice is flat stealing; one
+/// level reproduces [`SimModel::HierarchicalStealing`]; two levels are
+/// the node/rack topology of [`SimModel::TopologyStealing`].
 fn simulate_stealing(
     costs: &[f64],
     steal_half: bool,
-    hierarchy: Option<(usize, f64)>,
+    levels: &[(usize, f64)],
     seed_owners: Option<&[u32]>,
     victim_policy: VictimPolicy,
     cfg: &SimConfig,
@@ -850,6 +995,13 @@ fn simulate_stealing(
             }
         }
     }
+    // Nonempty-queue counters per domain — O(1) "who still has work"
+    // answers instead of O(P) scans per steal attempt.
+    let level_sizes: Vec<usize> = levels.iter().map(|&(s, _)| s).collect();
+    let mut tracker = WorkTracker::new(p, &level_sizes);
+    for (w, q) in queues.iter().enumerate() {
+        tracker.update(w, !q.is_empty());
+    }
     let mut remaining = n;
     let mut assignment = vec![u32::MAX; n];
     let mut busy = vec![0.0; p];
@@ -859,11 +1011,7 @@ fn simulate_stealing(
     } else {
         Vec::new()
     };
-    let mut events = if cfg.events {
-        vec![Vec::new(); p]
-    } else {
-        Vec::new()
-    };
+    let mut arena = ProfArena::new(cfg.events);
     // Per-worker "hunting for work" state, used only for event emission
     // (IdleStart on entering the hunt, StealSuccess/IdleEnd on leaving).
     let mut hunting = vec![false; p];
@@ -873,85 +1021,111 @@ fn simulate_stealing(
     let mut rng = SplitMix::new(cfg.seed);
     // Round-robin victim selection scans per-worker (no RNG draw).
     let mut rr_attempts = vec![0u64; p];
+    // Stolen tasks in transit to each thief: they leave the victim's
+    // queue at the steal decision but only become visible (and
+    // stealable again) when the thief's arrival event fires. Without
+    // this, two idle workers can pass the last task back and forth
+    // forever, each re-stealing it before the other's arrival event
+    // executes it — a deterministic livelock.
+    let mut fly: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut flying = 0usize;
 
-    // Event heap: (time, seq, worker). `seq` keeps ordering total.
-    let mut heap: BinaryHeap<Reverse<(OrdF64, u64, usize)>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    // Pending events keyed (time, seq, worker) — seq keeps order total.
+    let mut q = EventQueue::with_capacity(cfg.queue, p);
     for w in 0..p {
-        heap.push(Reverse((OrdF64(0.0), seq, w)));
-        seq += 1;
+        q.push(0.0, w);
     }
 
-    while let Some(Reverse((OrdF64(t), _, w))) = heap.pop() {
+    while let Some((t, w)) = q.pop() {
+        if !fly[w].is_empty() {
+            flying -= fly[w].len();
+            for i in std::mem::take(&mut fly[w]) {
+                queues[w].push_back(i);
+            }
+            tracker.update(w, true);
+        }
         if let Some(i) = queues[w].pop_front() {
+            tracker.update(w, !queues[w].is_empty());
             let d = stretched(costs[i], w, t, cfg) + m.dispatch_overhead;
             if cfg.trace {
                 traces[w].push((t, t + d));
             }
-            if cfg.events {
-                events[w].push(ProfEvent {
-                    kind: EventKind::TaskStart,
-                    arg: i as u64,
-                    t_ns: virt_ns(t),
-                });
-                events[w].push(ProfEvent {
-                    kind: EventKind::TaskEnd,
-                    arg: i as u64,
-                    t_ns: virt_ns(t + d),
-                });
+            if arena.on() {
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::TaskStart,
+                        arg: i as u64,
+                        t_ns: virt_ns(t),
+                    },
+                );
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::TaskEnd,
+                        arg: i as u64,
+                        t_ns: virt_ns(t + d),
+                    },
+                );
             }
             busy[w] += d;
             tasks[w] += 1;
             assignment[i] = w as u32;
             remaining -= 1;
             makespan = makespan.max(t + d);
-            heap.push(Reverse((OrdF64(t + d), seq, w)));
-            seq += 1;
+            q.push(t + d, w);
             continue;
         }
         if remaining == 0 {
-            if cfg.events && hunting[w] {
-                events[w].push(ProfEvent {
-                    kind: EventKind::IdleEnd,
-                    arg: 0,
-                    t_ns: virt_ns(t),
-                });
+            if arena.on() && hunting[w] {
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::IdleEnd,
+                        arg: 0,
+                        t_ns: virt_ns(t),
+                    },
+                );
                 hunting[w] = false;
             }
             continue; // global termination: worker retires
         }
-        if cfg.events && !hunting[w] {
-            events[w].push(ProfEvent {
-                kind: EventKind::IdleStart,
-                arg: 0,
-                t_ns: virt_ns(t),
-            });
+        if arena.on() && !hunting[w] {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::IdleStart,
+                    arg: 0,
+                    t_ns: virt_ns(t),
+                },
+            );
             hunting[w] = true;
         }
         // Steal attempt: resolves one round trip later (victim queue is
         // inspected at resolution time, which is "now + RTT" — we fold
         // that into scheduling the check directly).
         attempts += 1;
-        // Hierarchical policy: try a random local victim when any
-        // node-mate has work, else go remote at full latency.
-        let (victim, latency) = match hierarchy {
-            Some((node_size, remote_factor)) if p > 1 => {
-                let node = w / node_size;
-                let lo = node * node_size;
-                let hi = ((node + 1) * node_size).min(p);
-                let local_has_work = (lo..hi).any(|v| v != w && !queues[v].is_empty());
-                if local_has_work && hi - lo > 1 {
+        // Innermost locality domain that still holds work, if any: draw
+        // a uniform victim there at the level's discounted latency.
+        let mut choice = None;
+        if p > 1 {
+            for (l, &(size, factor)) in levels.iter().enumerate() {
+                let lo = w / size * size;
+                let hi = (lo + size).min(p);
+                if hi - lo > 1 && tracker.domain_has_work(l, w) {
                     let span = hi - lo - 1;
                     let mut v = lo + (rng.next() as usize) % span;
                     if v >= w {
                         v += 1;
                     }
-                    (v, m.steal_latency / remote_factor)
-                } else {
-                    (random_victim(rng.next(), w, p), m.steal_latency)
+                    choice = Some((v, m.steal_latency / factor));
+                    break;
                 }
             }
-            _ if p > 1 => match victim_policy {
+        }
+        let (victim, latency) = match choice {
+            Some(c) => c,
+            None if p > 1 => match victim_policy {
                 VictimPolicy::Random => (random_victim(rng.next(), w, p), m.steal_latency),
                 VictimPolicy::RoundRobin => {
                     let v = round_robin_victim(w, rr_attempts[w], p);
@@ -959,61 +1133,71 @@ fn simulate_stealing(
                     (v, m.steal_latency)
                 }
             },
-            _ => (w, m.steal_latency),
+            None => (w, m.steal_latency),
         };
         let t_resolved = t + latency;
-        if cfg.events {
-            events[w].push(ProfEvent {
-                kind: EventKind::StealAttempt,
-                arg: victim as u64,
-                t_ns: virt_ns(t),
-            });
+        if arena.on() {
+            arena.push(
+                w,
+                ProfEvent {
+                    kind: EventKind::StealAttempt,
+                    arg: victim as u64,
+                    t_ns: virt_ns(t),
+                },
+            );
         }
         let qlen = queues[victim].len();
         if victim != w && qlen > 0 {
             let take = if steal_half { qlen.div_ceil(2) } else { 1 };
             // Steal from the back (cold end), like Chase–Lev thieves.
+            // The haul rides the return trip: it lands at the arrival
+            // event below, not in the thief's queue now.
             for _ in 0..take {
                 if let Some(task) = queues[victim].pop_back() {
-                    queues[w].push_back(task);
+                    fly[w].push(task);
+                    flying += 1;
                 }
             }
+            tracker.update(victim, !queues[victim].is_empty());
             steals += 1;
-            if cfg.events {
-                events[w].push(ProfEvent {
-                    kind: EventKind::StealSuccess,
-                    arg: victim as u64,
-                    t_ns: virt_ns(t_resolved),
-                });
+            if arena.on() {
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::StealSuccess,
+                        arg: victim as u64,
+                        t_ns: virt_ns(t_resolved),
+                    },
+                );
                 hunting[w] = false;
             }
-            heap.push(Reverse((
-                OrdF64(t_resolved + take as f64 * m.steal_transfer),
-                seq,
-                w,
-            )));
+            q.push(t_resolved + take as f64 * m.steal_transfer, w);
         } else {
-            // Failed attempt. If no queue anywhere holds work, the
-            // outstanding tasks can never be obtained by stealing (the
-            // holder gave no response and never will) — retire cleanly
-            // instead of spinning forever on a silent victim. Unreachable
-            // while every round trip completes (`remaining > 0` implies a
-            // non-empty queue between events), but it makes the
-            // no-response path terminate even with faults disabled.
-            if cfg.events {
-                events[w].push(ProfEvent {
-                    kind: EventKind::StealFail,
-                    arg: victim as u64,
-                    t_ns: virt_ns(t_resolved),
-                });
-            }
-            if queues.iter().all(VecDeque::is_empty) {
-                if cfg.events && hunting[w] {
-                    events[w].push(ProfEvent {
-                        kind: EventKind::IdleEnd,
-                        arg: 0,
+            // Failed attempt. If no queue anywhere holds work and
+            // nothing is in flight, the outstanding tasks can never be
+            // obtained by stealing (the holder gave no response and
+            // never will) — retire cleanly instead of spinning forever
+            // on a silent victim.
+            if arena.on() {
+                arena.push(
+                    w,
+                    ProfEvent {
+                        kind: EventKind::StealFail,
+                        arg: victim as u64,
                         t_ns: virt_ns(t_resolved),
-                    });
+                    },
+                );
+            }
+            if !tracker.any() && flying == 0 {
+                if arena.on() && hunting[w] {
+                    arena.push(
+                        w,
+                        ProfEvent {
+                            kind: EventKind::IdleEnd,
+                            arg: 0,
+                            t_ns: virt_ns(t_resolved),
+                        },
+                    );
                     hunting[w] = false;
                 }
                 continue;
@@ -1021,12 +1205,9 @@ fn simulate_stealing(
             // Retry no earlier than the next event in the system, so
             // zero-latency machines cannot livelock at a frozen
             // timestamp while another worker finishes a task.
-            let next_event = heap
-                .peek()
-                .map_or(t_resolved, |Reverse((OrdF64(x), _, _))| *x);
-            heap.push(Reverse((OrdF64(t_resolved.max(next_event)), seq, w)));
+            let next_event = q.peek_time().unwrap_or(t_resolved);
+            q.push(t_resolved.max(next_event), w);
         }
-        seq += 1;
     }
 
     SimReport {
@@ -1039,19 +1220,7 @@ fn simulate_stealing(
         comm: Vec::new(),
         traces,
         assignment,
-        events,
-    }
-}
-
-/// Total-ordered f64 wrapper for the event heaps (times are finite).
-#[derive(PartialEq, PartialOrd)]
-pub(crate) struct OrdF64(pub(crate) f64);
-
-impl Eq for OrdF64 {}
-#[allow(clippy::derive_ord_xor_partial_ord)]
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("NaN simulation time")
+        events: arena.into_streams(p),
     }
 }
 
@@ -1677,5 +1846,250 @@ mod tests {
         // never meaningfully overrun the virtual wall clock.
         assert!(a.max_sum_error() < 0.01, "{}", a.max_sum_error());
         assert!(a.critical_path_ns > 0 && a.critical_path_ns <= wall);
+    }
+
+    // ------------------------------------------------------------------
+    // Tie-break regression pins. Historically the counter-family and
+    // speculative queues keyed on (time, worker): at coincident
+    // timestamps the lowest worker popped first, re-claimed, landed at
+    // the same timestamp again, and starved everyone else. The
+    // insertion-sequenced key makes coincident pops FIFO — round-robin.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn coincident_counter_fetches_round_robin_instead_of_starving() {
+        // Zero-cost tasks on an ideal machine: every event in the run
+        // lands at t = 0. Under the old (time, worker) key, worker 0
+        // claimed all 12 tasks (tasks = [12, 0, 0, 0]).
+        let costs = vec![0.0; 12];
+        for model in [
+            SimModel::Counter { chunk: 1 },
+            SimModel::GroupCounters {
+                groups: 1,
+                chunk: 1,
+            },
+        ] {
+            let r = simulate(&costs, &model, &ideal_cfg(4));
+            assert_eq!(r.tasks, vec![3, 3, 3, 3], "{}", model.name());
+            assert_eq!(
+                r.assignment,
+                vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3],
+                "{}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn coincident_speculative_claims_round_robin() {
+        let costs = vec![0.0; 12];
+        let kind = PolicyKind::Speculative(SpecConfig {
+            conflict_pct: 0,
+            ..SpecConfig::default()
+        });
+        let r = simulate_policy(&costs, &kind, &ideal_cfg(4));
+        assert_eq!(r.tasks, vec![3, 3, 3, 3]);
+        assert_eq!(r.assignment, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn coincident_stealing_events_stay_fifo() {
+        // Equal blocks of zero-cost tasks at t = 0: FIFO coincident pops
+        // interleave the workers task-by-task, so every queue drains in
+        // lockstep and nobody ever needs to steal.
+        let costs = vec![0.0; 12];
+        let r = simulate(
+            &costs,
+            &SimModel::WorkStealing { steal_half: true },
+            &ideal_cfg(4),
+        );
+        assert_eq!(r.tasks, vec![3, 3, 3, 3]);
+        assert_eq!(r.steal_attempts, 0, "lockstep drain never hunts");
+        assert_eq!(r.steals, 0);
+    }
+
+    #[test]
+    fn heap_oracle_backend_matches_calendar_exactly() {
+        let costs: Vec<f64> = (1..=256).map(|i| ((i * 31) % 17) as f64 * 1e-6).collect();
+        for model in [
+            SimModel::Counter { chunk: 2 },
+            SimModel::WorkStealing { steal_half: true },
+            SimModel::HierCounters {
+                chunk: 2,
+                node_size: 4,
+                parent_chunk: 16,
+            },
+        ] {
+            let mut cal = SimConfig::new(8);
+            cal.trace = true;
+            cal.events = true;
+            let mut heap = cal.clone();
+            heap.queue = QueueKind::Heap;
+            let a = simulate(&costs, &model, &cal);
+            let b = simulate(&costs, &model, &heap);
+            assert_eq!(
+                a.makespan.to_bits(),
+                b.makespan.to_bits(),
+                "{}",
+                model.name()
+            );
+            assert_eq!(a.assignment, b.assignment, "{}", model.name());
+            assert_eq!(a.tasks, b.tasks, "{}", model.name());
+            assert_eq!(a.events, b.events, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn hier_counters_amortize_root_round_trips() {
+        // Zero-cost tasks, slow root: a flat counter pays the root's
+        // service per chunk; the tree pays it once per parent block and
+        // serves chunks from node-local leaves in parallel.
+        let costs = vec![0.0; 4096];
+        let mut cfg = ideal_cfg(64);
+        cfg.machine.counter_service = 1e-4;
+        let flat = simulate(&costs, &SimModel::Counter { chunk: 1 }, &cfg);
+        let tree = simulate(
+            &costs,
+            &SimModel::HierCounters {
+                chunk: 1,
+                node_size: 8,
+                parent_chunk: 256,
+            },
+            &cfg,
+        );
+        assert_eq!(tree.tasks.iter().sum::<usize>(), 4096);
+        assert!(
+            tree.makespan < 0.3 * flat.makespan,
+            "tree {} vs flat {}",
+            tree.makespan,
+            flat.makespan
+        );
+    }
+
+    #[test]
+    fn hier_counters_balance_across_the_whole_range() {
+        // Triangular costs: static group ranges leave the last group
+        // overloaded; the refilling tree balances globally like one
+        // counter.
+        let costs: Vec<f64> = (1..=256).map(|i| i as f64).collect();
+        let mut cfg = ideal_cfg(16);
+        cfg.machine.counter_service = 1e-9;
+        let grouped = simulate(
+            &costs,
+            &SimModel::GroupCounters {
+                groups: 4,
+                chunk: 1,
+            },
+            &cfg,
+        );
+        let tree = simulate(
+            &costs,
+            &SimModel::HierCounters {
+                chunk: 1,
+                node_size: 4,
+                parent_chunk: 8,
+            },
+            &cfg,
+        );
+        assert_eq!(tree.tasks.iter().sum::<usize>(), 256);
+        assert!(
+            tree.makespan < grouped.makespan,
+            "tree {} vs grouped {}",
+            tree.makespan,
+            grouped.makespan
+        );
+    }
+
+    #[test]
+    fn topology_stealing_without_topology_is_flat() {
+        let costs: Vec<f64> = (1..=128).map(|i| i as f64 * 1e-6).collect();
+        let cfg = SimConfig::new(8); // no topology on the default machine
+        let flat = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        let topo = simulate(
+            &costs,
+            &SimModel::TopologyStealing { steal_half: true },
+            &cfg,
+        );
+        assert_eq!(flat.makespan, topo.makespan);
+        assert_eq!(flat.steals, topo.steals);
+        assert_eq!(flat.assignment, topo.assignment);
+    }
+
+    #[test]
+    fn topology_stealing_prefers_local_victims_on_expensive_networks() {
+        let costs: Vec<f64> = (1..=512).map(|i| (i % 37) as f64 * 1e-5 + 1e-6).collect();
+        let mut cfg = SimConfig::new(64);
+        cfg.machine.steal_latency = 200e-6;
+        let flat = simulate(&costs, &SimModel::WorkStealing { steal_half: true }, &cfg);
+        cfg.machine.topology = Some(crate::machine::Topology {
+            node_size: 8,
+            rack_nodes: 4,
+            node_factor: 50.0,
+            rack_factor: 5.0,
+        });
+        let topo = simulate(
+            &costs,
+            &SimModel::TopologyStealing { steal_half: true },
+            &cfg,
+        );
+        assert_eq!(topo.tasks.iter().sum::<usize>(), 512);
+        assert!(
+            topo.makespan <= flat.makespan * 1.05,
+            "topo {} vs flat {}",
+            topo.makespan,
+            flat.makespan
+        );
+    }
+
+    #[test]
+    fn full_roster_simulates_ten_thousand_ranks_in_bounded_time() {
+        // The tentpole scale contract: every model in the roster runs
+        // 10⁴ ranks without super-linear blowup. Debug builds are slow,
+        // so the bound is generous — the quadratic regressions this
+        // guards against overshoot it by orders of magnitude.
+        let p = 10_000;
+        let n = 2 * p;
+        let costs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 23) as f64 * 1e-6 + 1e-7)
+            .collect();
+        let mut cfg = SimConfig::new(p);
+        cfg.machine.topology = Some(crate::machine::Topology::default());
+        let owners: Vec<u32> = (0..n).map(|i| (i % p) as u32).collect();
+        let roster = [
+            SimModel::Static(owners.clone()),
+            SimModel::Counter { chunk: 8 },
+            SimModel::Guided { min_chunk: 4 },
+            SimModel::GroupCounters {
+                groups: 32,
+                chunk: 8,
+            },
+            SimModel::HierCounters {
+                chunk: 4,
+                node_size: 32,
+                parent_chunk: 256,
+            },
+            SimModel::WorkStealing { steal_half: true },
+            SimModel::SeededStealing {
+                owners,
+                steal_half: true,
+            },
+            SimModel::HierarchicalStealing {
+                steal_half: true,
+                node_size: 32,
+                remote_factor: 8.0,
+            },
+            SimModel::TopologyStealing { steal_half: true },
+        ];
+        let t0 = std::time::Instant::now();
+        for model in &roster {
+            let r = simulate(&costs, model, &cfg);
+            assert_eq!(r.tasks.iter().sum::<usize>(), n, "{}", model.name());
+            assert!(r.makespan > 0.0, "{}", model.name());
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(60),
+            "10k-rank roster took {elapsed:?}"
+        );
     }
 }

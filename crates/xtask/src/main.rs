@@ -1,6 +1,6 @@
 //! `cargo xtask` — the repository's lint wall.
 //!
-//! `cargo xtask lint` runs eight families of checks that rustc and
+//! `cargo xtask lint` runs nine families of checks that rustc and
 //! clippy cannot express, and exits non-zero on any finding:
 //!
 //! 1. **Replay-path hygiene** — the deterministic replay paths
@@ -52,6 +52,13 @@
 //!    Release pairing, Relaxed-needs-a-role, and `// SAFETY:` hygiene.
 //!    `cargo xtask srclint --json <path>` additionally writes the full
 //!    machine-readable site inventory + report (the CI artifact).
+//! 9. **Event-core discipline** — the simulator loops
+//!    ([`NO_BINARYHEAP_FILES`]) must schedule through the shared
+//!    [`emx_distsim`] `EventQueue` abstraction, never a raw
+//!    `BinaryHeap`: per-site heaps are how the `(time, worker)`
+//!    tie-break divergence shipped, and a direct heap bypasses both the
+//!    total `(time, seq)` order and the calendar-queue backend that
+//!    keeps 10⁴–10⁵-rank simulations inside seconds.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -62,17 +69,23 @@ const REPLAY_PATH_ROOTS: &[&str] = &[
     "crates/analyze/src",
     "crates/distsim/src/sim.rs",
     "crates/distsim/src/faults.rs",
+    "crates/distsim/src/eventq.rs",
     "crates/balance/src",
 ];
 
 /// `file:substring` pairs exempt from the wall-clock lint (metrics
 /// timestamps on non-replay paths, with the burden of proof on the
 /// entry).
-const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[];
+const WALL_CLOCK_ALLOW: &[(&str, &str)] = &[
+    // The 10⁴-rank scale regression tests bound their own wall clock —
+    // measurement around the simulation, never inside the replay path.
+    ("sim.rs", "let t0 = std::time::Instant::now();"),
+    ("faults.rs", "let t0 = std::time::Instant::now();"),
+];
 
 /// Experiment ids legitimately absent from `reproduce`'s default list
 /// (on-demand modes).
-const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile", "speculate"];
+const ON_DEMAND_EXPERIMENTS: &[&str] = &["smoke", "fock", "profile", "speculate", "distsim"];
 
 /// Files whose non-test code forms the ERI quartet inner loop and must
 /// stay free of per-call `Vec` allocation.
@@ -108,6 +121,12 @@ const NO_COLLECTING_SINK_FILES: &[&str] = &[
     "crates/chem/src/md.rs",
     "crates/chem/src/fock.rs",
 ];
+
+/// Simulator-loop files whose non-test code must use the shared
+/// `EventQueue` event core, never a raw `BinaryHeap` (the tie-break
+/// and scale story lives in `crates/distsim/src/eventq.rs`; the one
+/// sanctioned `BinaryHeap` is the oracle backend inside it).
+const NO_BINARYHEAP_FILES: &[&str] = &["crates/distsim/src/sim.rs", "crates/distsim/src/faults.rs"];
 
 /// Files whose non-test code sits inside (or feeds) the quartet loops
 /// and must read precomputed pair data instead of rebuilding it.
@@ -541,6 +560,39 @@ fn pair_rebuild_at(root: &Path, files: &[&str], findings: &mut Vec<String>) {
     }
 }
 
+/// Lint 9: simulator loops must schedule through the shared
+/// `EventQueue` event core. A raw `BinaryHeap` in `sim.rs`/`faults.rs`
+/// non-test code reintroduces per-site keys — the exact path the
+/// `(time, worker)` tie-break divergence shipped through — and skips
+/// the calendar backend entirely.
+fn lint_no_binaryheap(root: &Path, findings: &mut Vec<String>) {
+    binaryheap_at(root, NO_BINARYHEAP_FILES, findings);
+}
+
+fn binaryheap_at(root: &Path, files: &[&str], findings: &mut Vec<String>) {
+    for rel in files {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            findings.push(format!("event-core discipline: cannot read {rel}"));
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            if code.contains("BinaryHeap") {
+                findings.push(format!(
+                    "{rel}:{}: event-core discipline: `BinaryHeap` in a \
+                     simulator loop (schedule through `EventQueue` — the heap \
+                     oracle lives behind it in eventq.rs)",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+}
+
 /// Lint 8: the whole-workspace memory-protocol pass. Runs the
 /// emx-srclint extractor + checker against `docs/protocols.toml` and
 /// folds every violation into the lint wall. A failure to run the pass
@@ -571,6 +623,7 @@ fn run_lints() -> Vec<String> {
     lint_no_collecting_sink(&root, &mut findings);
     lint_doc_links(&root, &mut findings);
     lint_no_pair_rebuild(&root, &mut findings);
+    lint_no_binaryheap(&root, &mut findings);
     lint_srclint(&root, &mut findings);
     findings
 }
@@ -857,6 +910,23 @@ match exp.as_str() {
         pair_rebuild_at(&fx.0, &["crates/bad/src/fock.rs"], &mut findings);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].contains("ShellPair::build"), "{findings:?}");
+    }
+
+    #[test]
+    fn binaryheap_lint_flags_seeded_heap_but_not_tests() {
+        let fx = Fixture::new("binheap");
+        fx.write(
+            "crates/bad/src/sim.rs",
+            "use std::collections::BinaryHeap;\n\
+             fn run() { let h: BinaryHeap<u64> = BinaryHeap::new(); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { let _h: std::collections::BinaryHeap<u64> = Default::default(); } }\n",
+        );
+        let mut findings = Vec::new();
+        binaryheap_at(&fx.0, &["crates/bad/src/sim.rs"], &mut findings);
+        // Both non-test lines fire; the #[cfg(test)] reference is exempt.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].contains("BinaryHeap"), "{findings:?}");
     }
 
     #[test]
